@@ -1,0 +1,96 @@
+// Figure 3 — Session and Participant Statistics (Total Counts) at FIXW:
+// sessions (top-left), participants (top-right), active sessions
+// (bottom-left), senders (bottom-right), Nov 1998 - Apr 1999.
+//
+// Paper's observations to reproduce (shape, not absolute values):
+//   1. counts are low (hundreds, not thousands of sessions);
+//   2. variation is high (spiky series, burst-driven);
+//   3. the active/total gap is wide (most sessions carry no content data);
+//   4. after the infrastructure transition, totals drop considerably while
+//      active sessions and senders stay roughly level.
+#include <cstdio>
+
+#include "macro_run.hpp"
+
+using namespace mantra;
+
+int main() {
+  bench::MacroConfig config;
+  config.days = bench::effective_days(180);
+  const bench::MacroSeries run = bench::run_or_load(config);
+
+  const auto sessions = bench::extract_series(run.fixw, "sessions",
+      [](const core::CycleResult& r) { return static_cast<double>(r.usage.sessions); });
+  const auto participants = bench::extract_series(run.fixw, "participants",
+      [](const core::CycleResult& r) { return static_cast<double>(r.usage.participants); });
+  const auto active = bench::extract_series(run.fixw, "active_sessions",
+      [](const core::CycleResult& r) { return static_cast<double>(r.usage.active_sessions); });
+  const auto senders = bench::extract_series(run.fixw, "senders",
+      [](const core::CycleResult& r) { return static_cast<double>(r.usage.senders); });
+
+  std::printf("== Fig 3: usage counts at FIXW over %d days ==\n\n", config.days);
+  for (const auto* series : {&sessions, &participants, &active, &senders}) {
+    std::printf("--- %s ---\n", series->name().c_str());
+    bench::print_series_sample(*series, 20);
+    std::printf("  mean=%.1f median=%.1f stddev=%.1f min=%.0f max=%.0f\n\n",
+                series->mean(), series->median(), series->stddev(),
+                series->min(), series->max());
+  }
+
+  core::AsciiChart chart(76, 16);
+  chart.add_series(sessions, '*');
+  chart.add_series(active, 'o');
+  std::printf("--- sessions (*) vs active sessions (o) ---\n%s\n",
+              chart.render().c_str());
+
+  // --- Shape checks -------------------------------------------------------
+  char detail[256];
+
+  std::snprintf(detail, sizeof detail, "max sessions %.0f (paper: low hundreds)",
+                sessions.max());
+  bench::print_check("counts-are-low", sessions.max() < 3000 && sessions.max() > 30,
+                     detail);
+
+  std::snprintf(detail, sizeof detail, "sessions stddev/mean = %.2f",
+                sessions.stddev() / sessions.mean());
+  bench::print_check("variation-is-high", sessions.stddev() / sessions.mean() > 0.25,
+                     detail);
+
+  std::snprintf(detail, sizeof detail, "mean active %.1f vs mean sessions %.1f",
+                active.mean(), sessions.mean());
+  bench::print_check("wide-active-gap", active.mean() < 0.5 * sessions.mean(), detail);
+
+  const double pre_end = config.transition_day;
+  const double post_start = config.transition_day + config.transition_ramp_days;
+  if (config.transition && config.days > post_start + 10) {
+    const auto metric = [&](const char* name, auto fn) {
+      return std::pair{bench::window_mean(run.fixw, 0, pre_end, fn),
+                       bench::window_mean(run.fixw, post_start, config.days, fn)};
+    };
+    const auto [pre_s, post_s] = metric("sessions", [](const core::CycleResult& r) {
+      return static_cast<double>(r.usage.sessions);
+    });
+    const auto [pre_p, post_p] = metric("participants", [](const core::CycleResult& r) {
+      return static_cast<double>(r.usage.participants);
+    });
+    const auto [pre_a, post_a] = metric("active", [](const core::CycleResult& r) {
+      return static_cast<double>(r.usage.active_sessions);
+    });
+    const auto [pre_n, post_n] = metric("senders", [](const core::CycleResult& r) {
+      return static_cast<double>(r.usage.senders);
+    });
+
+    std::snprintf(detail, sizeof detail,
+                  "participants pre %.0f -> post %.0f; sessions pre %.0f -> post %.0f",
+                  pre_p, post_p, pre_s, post_s);
+    bench::print_check("transition-drops-totals",
+                       post_p < 0.7 * pre_p && post_s < 0.85 * pre_s, detail);
+
+    std::snprintf(detail, sizeof detail,
+                  "active pre %.1f -> post %.1f; senders pre %.1f -> post %.1f",
+                  pre_a, post_a, pre_n, post_n);
+    bench::print_check("actives-roughly-stable",
+                       post_a > 0.5 * pre_a && post_n > 0.5 * pre_n, detail);
+  }
+  return 0;
+}

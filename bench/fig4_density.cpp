@@ -1,0 +1,102 @@
+// Figure 4 — Session Densities at FIXW: average participants-per-session
+// over time.
+//
+// Paper's observations to reproduce:
+//   1. densities are diverse but the average is small (a few participants);
+//   2. spikes in the *session* count correspond to density *dips*
+//      (experimental single-member session bursts);
+//   3. spikes in the *participant* count correspond to density *peaks* —
+//      the early-December peak is the 43rd IETF meeting broadcast.
+#include <algorithm>
+#include <cstdio>
+
+#include "macro_run.hpp"
+
+using namespace mantra;
+
+int main() {
+  bench::MacroConfig config;
+  config.days = bench::effective_days(180);
+  const bench::MacroSeries run = bench::run_or_load(config);
+
+  const auto density = bench::extract_series(run.fixw, "avg_density",
+      [](const core::CycleResult& r) { return r.usage.avg_density; });
+  const auto sessions = bench::extract_series(run.fixw, "sessions",
+      [](const core::CycleResult& r) { return static_cast<double>(r.usage.sessions); });
+  const auto participants = bench::extract_series(run.fixw, "participants",
+      [](const core::CycleResult& r) { return static_cast<double>(r.usage.participants); });
+
+  std::printf("== Fig 4: average session density at FIXW over %d days ==\n\n",
+              config.days);
+  bench::print_series_sample(density, 24);
+  std::printf("\n  mean=%.2f median=%.2f min=%.2f max=%.2f\n\n", density.mean(),
+              density.median(), density.min(), density.max());
+
+  core::AsciiChart chart(76, 14);
+  chart.add_series(density, '*');
+  std::printf("%s\n", chart.render().c_str());
+
+  char detail[256];
+
+  std::snprintf(detail, sizeof detail, "mean density %.2f (paper: small, varied)",
+                density.mean());
+  bench::print_check("density-is-small", density.mean() > 1.0 && density.mean() < 30.0,
+                     detail);
+
+  // Correlation claims. Evaluate at the session-count spikes: density at
+  // those instants should sit below the overall median; at participant
+  // spikes it should sit above.
+  const auto& cycles = run.fixw;
+  if (!cycles.empty()) {
+    const double session_spike_level = sessions.mean() + 1.5 * sessions.stddev();
+    const double participant_spike_level =
+        participants.mean() + 1.5 * participants.stddev();
+    const double density_median = density.median();
+
+    double density_at_session_spikes = 0.0, density_at_participant_spikes = 0.0;
+    int session_spikes = 0, participant_spikes = 0;
+    for (const core::CycleResult& r : cycles) {
+      if (r.usage.sessions > session_spike_level) {
+        density_at_session_spikes += r.usage.avg_density;
+        ++session_spikes;
+      }
+      if (r.usage.participants > participant_spike_level) {
+        density_at_participant_spikes += r.usage.avg_density;
+        ++participant_spikes;
+      }
+    }
+    if (session_spikes > 0) {
+      density_at_session_spikes /= session_spikes;
+      std::snprintf(detail, sizeof detail,
+                    "density %.2f at %d session spikes vs median %.2f",
+                    density_at_session_spikes, session_spikes, density_median);
+      bench::print_check("session-spikes-are-density-dips",
+                         density_at_session_spikes < density_median, detail);
+    }
+    if (participant_spikes > 0) {
+      density_at_participant_spikes /= participant_spikes;
+      std::snprintf(detail, sizeof detail,
+                    "density %.2f at %d participant spikes vs median %.2f",
+                    density_at_participant_spikes, participant_spikes, density_median);
+      bench::print_check("participant-spikes-are-density-peaks",
+                         density_at_participant_spikes > density_median, detail);
+    }
+  }
+
+  // The IETF-43 peak: participants around the meeting window exceed the
+  // background comfortably.
+  if (config.ietf_surge && config.days > config.ietf_day + config.ietf_length_days) {
+    const double during = bench::window_mean(
+        run.fixw, config.ietf_day, config.ietf_day + config.ietf_length_days,
+        [](const core::CycleResult& r) { return static_cast<double>(r.usage.participants); });
+    const double before = bench::window_mean(
+        run.fixw, std::max(0, config.ietf_day - 14), config.ietf_day,
+        [](const core::CycleResult& r) { return static_cast<double>(r.usage.participants); });
+    char detail2[256];
+    std::snprintf(detail2, sizeof detail2,
+                  "participants %.0f during IETF vs %.0f in the prior fortnight",
+                  during, before);
+    bench::print_check("ietf-participant-peak", during > 1.2 * before, detail2);
+  }
+  return 0;
+}

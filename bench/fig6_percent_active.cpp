@@ -1,0 +1,110 @@
+// Figure 6 — Percentage Active at FIXW: (left) % of sessions that are
+// active; (right) % of participants that are senders.
+//
+// Paper's observations to reproduce:
+//   1. both ratios are small (most sessions/participants carry no content);
+//   2. the senders/participants ratio clearly increases after the
+//      transition (passive participants vanish from FIXW's tables);
+//   3. the active/total sessions ratio increases marginally and its
+//      *variance decreases considerably* ("availability of sessions at FIXW
+//      had stabilized").
+#include <cstdio>
+
+#include "macro_run.hpp"
+#include "sim/random.hpp"
+
+using namespace mantra;
+
+namespace {
+
+struct WindowStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+WindowStats window_stats(const std::vector<core::CycleResult>& results,
+                         double from_day, double to_day,
+                         double (*fn)(const core::CycleResult&)) {
+  sim::RunningStats stats;
+  for (const core::CycleResult& r : results) {
+    const double day = r.t.total_days();
+    if (day >= from_day && day < to_day) stats.add(fn(r));
+  }
+  return {stats.mean(), stats.stddev()};
+}
+
+double pct_sessions_active(const core::CycleResult& r) {
+  return r.usage.pct_sessions_active;
+}
+double pct_participants_senders(const core::CycleResult& r) {
+  return r.usage.pct_participants_senders;
+}
+
+}  // namespace
+
+int main() {
+  bench::MacroConfig config;
+  config.days = bench::effective_days(180);
+  const bench::MacroSeries run = bench::run_or_load(config);
+
+  const auto active_pct = bench::extract_series(run.fixw, "pct_sessions_active",
+      [](const core::CycleResult& r) { return r.usage.pct_sessions_active; });
+  const auto sender_pct = bench::extract_series(run.fixw, "pct_participants_senders",
+      [](const core::CycleResult& r) { return r.usage.pct_participants_senders; });
+
+  std::printf("== Fig 6 (left): %% sessions active at FIXW ==\n\n");
+  bench::print_series_sample(active_pct, 24);
+  std::printf("\n== Fig 6 (right): %% participants that are senders ==\n\n");
+  bench::print_series_sample(sender_pct, 24);
+
+  core::AsciiChart chart(76, 14);
+  chart.add_series(active_pct, '*');
+  chart.add_series(sender_pct, 'o');
+  std::printf("\n--- %%active sessions (*) vs %%senders (o) ---\n%s\n",
+              chart.render().c_str());
+
+  char detail[256];
+  std::snprintf(detail, sizeof detail, "mean %%active %.1f, mean %%senders %.1f",
+                active_pct.mean(), sender_pct.mean());
+  bench::print_check("ratios-are-small",
+                     active_pct.mean() < 60.0 && sender_pct.mean() < 60.0, detail);
+
+  const double pre_end = config.transition_day;
+  const double post_start = config.transition_day + config.transition_ramp_days;
+  if (config.transition && config.days > post_start + 10) {
+    const WindowStats pre_senders =
+        window_stats(run.fixw, 0, pre_end, pct_participants_senders);
+    const WindowStats post_senders =
+        window_stats(run.fixw, post_start, config.days, pct_participants_senders);
+    const WindowStats pre_active =
+        window_stats(run.fixw, 0, pre_end, pct_sessions_active);
+    const WindowStats post_active =
+        window_stats(run.fixw, post_start, config.days, pct_sessions_active);
+
+    std::printf("\n  %%senders:  pre %.1f (sd %.1f)  ->  post %.1f (sd %.1f)\n",
+                pre_senders.mean, pre_senders.stddev, post_senders.mean,
+                post_senders.stddev);
+    std::printf("  %%active:   pre %.1f (sd %.1f)  ->  post %.1f (sd %.1f)\n\n",
+                pre_active.mean, pre_active.stddev, post_active.mean,
+                post_active.stddev);
+
+    std::snprintf(detail, sizeof detail, "%%senders pre %.1f -> post %.1f",
+                  pre_senders.mean, post_senders.mean);
+    bench::print_check("sender-ratio-rises-after-transition",
+                       post_senders.mean > 1.3 * pre_senders.mean, detail);
+
+    std::snprintf(detail, sizeof detail, "%%active pre %.1f -> post %.1f",
+                  pre_active.mean, post_active.mean);
+    bench::print_check("active-ratio-rises",
+                       post_active.mean > pre_active.mean, detail);
+
+    // Coefficient of variation: relative variability shrinks post-transition.
+    const double pre_cv = pre_active.stddev / pre_active.mean;
+    const double post_cv = post_active.stddev / post_active.mean;
+    std::snprintf(detail, sizeof detail,
+                  "%%active coefficient of variation pre %.2f -> post %.2f",
+                  pre_cv, post_cv);
+    bench::print_check("active-ratio-stabilises", post_cv < pre_cv, detail);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Shared driver for the figure-reproduction benches: runs the paper's FIXW
+// deployment (Nov 1998 - Apr 1999, with the infrastructure transition, the
+// IETF-43 audience surge, DVMRP report loss, and optional fault injection)
+// under Mantra monitoring, and hands the bench the accumulated results.
+//
+// Every fig*_ binary builds on this with its own analysis and shape checks.
+// The simulated span defaults to the paper's 180 days and can be shortened
+// for quick runs with MANTRA_BENCH_DAYS=<n>.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mantra.hpp"
+#include "workload/scenario.hpp"
+
+namespace mantra::bench {
+
+struct MacroConfig {
+  int days = 180;
+  std::uint64_t seed = 1998;
+
+  /// Infrastructure transition: sparse-plane probability ramps from 0 to
+  /// `transition_final` between `transition_day` and +`transition_ramp_days`.
+  bool transition = true;
+  int transition_day = 105;
+  int transition_ramp_days = 30;
+  double transition_final = 0.85;
+
+  /// 43rd IETF (Orlando, early December): audience surge onto a handful of
+  /// broadcast sessions.
+  bool ietf_surge = true;
+  int ietf_day = 32;
+  int ietf_length_days = 5;
+  int ietf_audience = 500;
+
+  /// Fig 9 fault: unicast route redistribution at the UCSB border.
+  bool route_injection = false;
+  int injection_day = 2;
+  int injection_hour = 14;
+  int injection_routes = 1500;
+  int injection_revert_hours = 6;
+
+  /// Fig 8 exodus: domains withdraw DVMRP stubs over the second year.
+  bool dvmrp_migration = false;
+  int migration_start_day = 330;
+  int migration_span_days = 270;
+
+  int monitor_cycle_minutes = 30;
+
+  /// Scenario sizing (paper-era scale).
+  int domains = 14;
+  int hosts_per_domain = 60;
+  int dvmrp_prefixes_per_domain = 40;
+  double report_loss = 0.08;
+  std::int64_t timer_scale = 40;
+
+  /// Workload overrides (fig 8's two-year routing-plane run dials the
+  /// session churn down; the figure is about DVMRP, not usage).
+  double session_arrivals_per_hour = 40.0;
+  double bursts_per_day = 1.1;
+};
+
+struct MacroRun {
+  std::unique_ptr<workload::FixwScenario> scenario;
+  std::unique_ptr<core::Mantra> monitor;
+
+  [[nodiscard]] const std::vector<core::CycleResult>& fixw() const {
+    return monitor->results("fixw");
+  }
+  [[nodiscard]] const std::vector<core::CycleResult>& ucsb() const {
+    return monitor->results("ucsb-gw");
+  }
+};
+
+/// The cached form of a macro run: just the two per-cycle result series.
+/// Figures 3-7 all analyse the same six-month FIXW run, so the first bench
+/// executes it and writes bench_cache/macro_<hash>.csv; subsequent benches
+/// load the cache (delete the directory or set MANTRA_BENCH_FRESH=1 to
+/// force re-simulation).
+struct MacroSeries {
+  std::vector<core::CycleResult> fixw;
+  std::vector<core::CycleResult> ucsb;
+  bool from_cache = false;
+};
+
+/// Applies the MANTRA_BENCH_DAYS env override, if set.
+[[nodiscard]] int effective_days(int default_days);
+
+/// Builds, runs to completion (with progress dots on stderr) and returns the
+/// scenario + monitor. Always simulates (no cache).
+[[nodiscard]] MacroRun run_macro(MacroConfig config);
+
+/// Cache-aware variant used by the fig3-fig7 benches.
+[[nodiscard]] MacroSeries run_or_load(const MacroConfig& config);
+
+/// Extracts a TimeSeries from a cached/live result vector.
+[[nodiscard]] core::TimeSeries extract_series(
+    const std::vector<core::CycleResult>& results, std::string name,
+    const std::function<double(const core::CycleResult&)>& fn);
+
+/// Mean of a metric over results within [from_day, to_day).
+[[nodiscard]] double window_mean(
+    const std::vector<core::CycleResult>& results, double from_day, double to_day,
+    const std::function<double(const core::CycleResult&)>& fn);
+
+/// Bench-output helpers shared by the fig binaries.
+void print_series_sample(const core::TimeSeries& series, int max_rows = 36);
+void print_check(const std::string& name, bool ok, const std::string& detail);
+
+}  // namespace mantra::bench

@@ -1,0 +1,173 @@
+// Microbenchmarks of the monitoring pipeline itself (google-benchmark):
+// capture-text preprocessing, table parsing, delta computation, logging,
+// statistics, and the LPM trie — the per-cycle costs that bound how many
+// routers one Mantra instance can poll at a given cycle length, and the
+// "text scraping vs structured access" cost DESIGN.md calls out.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/collect.hpp"
+#include "core/log.hpp"
+#include "core/parse.hpp"
+#include "core/process.hpp"
+#include "net/prefix_trie.hpp"
+#include "sim/random.hpp"
+
+using namespace mantra;
+
+namespace {
+
+/// Synthesizes an IOS-style `show ip mroute count` capture with n pairs.
+std::string synth_mroute_count(int pairs) {
+  std::ostringstream out;
+  out << "IP Multicast Statistics\n"
+      << pairs << " routes using " << pairs * 328 << " bytes of memory\n"
+      << "Counts: Pkt Count/Pkts per second/Avg Pkt Size/Kilobits per second\n\n";
+  for (int i = 0; i < pairs; ++i) {
+    const int group = i % (pairs / 4 + 1);
+    out << "Group: 224.2." << (group / 250) << "." << (group % 250) << "\n";
+    out << "  Source: 10." << (i % 200) << ".1." << (i % 250)
+        << "/32, Forwarding: " << (i * 37) << "/3/512/" << (i % 97) * 1.5
+        << ", Other: " << (i * 37) << "/0/0\n";
+    out << "    Average: " << (i % 89) * 1.1 << " kbps, Uptime: 01:02:"
+        << (i % 60 < 10 ? "0" : "") << (i % 60) << "\n";
+  }
+  return out.str();
+}
+
+std::string synth_dvmrp_route(int routes) {
+  std::ostringstream out;
+  out << "DVMRP Routing Table - " << routes << " entries\n";
+  for (int i = 0; i < routes; ++i) {
+    out << "10." << (i / 250) << "." << (i % 250) << ".0/24 [0/" << (i % 30 + 1)
+        << "] uptime 0" << (i % 9) << ":11:22, expires 00:02:0" << (i % 9) << "\n"
+        << "    via 192.168." << (i % 14) << ".2, tunnel" << (i % 14) << "\n";
+  }
+  return out.str();
+}
+
+std::string with_telnet_noise(const std::string& body) {
+  return "\r\nUser Access Verification\r\n\r\nPassword: \r\nfixw> terminal length 0\r\n"
+         "fixw> show ip mroute count\r\n" +
+         body + "fixw> ";
+}
+
+core::PairTable synth_pairs(int n, sim::Rng& rng) {
+  core::PairTable pairs;
+  for (int i = 0; i < n; ++i) {
+    core::PairRow row;
+    row.source = net::Ipv4Address(static_cast<std::uint32_t>(0x0A000000 + i));
+    row.group = net::Ipv4Address(static_cast<std::uint32_t>(0xE0020000 + i % (n / 3 + 1)));
+    row.current_kbps = rng.uniform(0.1, 300.0);
+    row.uptime = sim::Duration::minutes(static_cast<std::int64_t>(rng.uniform(1, 500)));
+    pairs.upsert(row);
+  }
+  return pairs;
+}
+
+void BM_Preprocess(benchmark::State& state) {
+  const std::string raw = with_telnet_noise(synth_mroute_count(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::preprocess(raw));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raw.size()));
+}
+BENCHMARK(BM_Preprocess)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_ParseMrouteCount(benchmark::State& state) {
+  const std::string text = synth_mroute_count(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::parse_mroute_count(text));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ParseMrouteCount)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_ParseDvmrpRoute(benchmark::State& state) {
+  const std::string text = synth_dvmrp_route(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::parse_dvmrp_route(text));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ParseDvmrpRoute)->Arg(100)->Arg(1000)->Arg(6000);
+
+void BM_TableDiff(benchmark::State& state) {
+  sim::Rng rng(7);
+  core::PairTable before = synth_pairs(static_cast<int>(state.range(0)), rng);
+  core::PairTable after = before;
+  // 5% churn between cycles.
+  int i = 0;
+  after.visit([&](const core::PairRow& row) {
+    if (++i % 20 == 0) {
+      core::PairRow changed = row;
+      changed.current_kbps += 1.0;
+      after.upsert(changed);
+    }
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PairTable::diff(before, after));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_TableDiff)->Arg(500)->Arg(3000);
+
+void BM_LoggerRecord(benchmark::State& state) {
+  sim::Rng rng(7);
+  core::Snapshot snapshot;
+  snapshot.router_name = "fixw";
+  snapshot.pairs = synth_pairs(static_cast<int>(state.range(0)), rng);
+  std::int64_t cycle = 0;
+  core::DataLogger logger;
+  for (auto _ : state) {
+    snapshot.captured = sim::TimePoint::from_ms(cycle++ * 900'000);
+    logger.record(snapshot);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_LoggerRecord)->Arg(500)->Arg(3000);
+
+void BM_DeriveAndUsage(benchmark::State& state) {
+  sim::Rng rng(7);
+  core::Snapshot snapshot;
+  snapshot.pairs = synth_pairs(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    snapshot.participants = core::derive_participants(snapshot.pairs);
+    snapshot.sessions = core::derive_sessions(snapshot.pairs);
+    benchmark::DoNotOptimize(core::compute_usage(snapshot));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DeriveAndUsage)->Arg(500)->Arg(3000);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  sim::Rng rng(11);
+  net::PrefixTrie<int> trie;
+  for (int i = 0; i < state.range(0); ++i) {
+    trie.insert(net::Prefix(net::Ipv4Address(static_cast<std::uint32_t>(rng.engine()())),
+                            static_cast<int>(rng.uniform_int(8, 28))),
+                i);
+  }
+  std::uint32_t probe = 1;
+  for (auto _ : state) {
+    probe = probe * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(trie.longest_match(net::Ipv4Address(probe)));
+  }
+}
+BENCHMARK(BM_TrieLongestMatch)->Arg(600)->Arg(6000);
+
+void BM_SpikeDetector(benchmark::State& state) {
+  core::SpikeDetector detector;
+  double value = 600.0;
+  for (auto _ : state) {
+    value += 1.0;
+    benchmark::DoNotOptimize(detector.observe(value));
+  }
+}
+BENCHMARK(BM_SpikeDetector);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// The paper's headline deployment: Mantra watching the FIXW exchange point
+// and the UCSB campus mrouted across the infrastructure transition.
+//
+//   $ ./examples/fixw_monitor [days]     (default 14)
+//
+// Runs the trace-scale FIXW scenario with the transition scheduled mid-run,
+// monitors both collection points, and emits the paper's series as CSV plus
+// overlaid ASCII charts — the terminal equivalent of Mantra's web applets.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mantra.hpp"
+#include "workload/scenario.hpp"
+
+using namespace mantra;
+
+int main(int argc, char** argv) {
+  const int days = argc > 1 ? std::atoi(argv[1]) : 14;
+
+  workload::ScenarioConfig config;
+  config.seed = 1998;
+  config.domains = 10;
+  config.hosts_per_domain = 30;
+  config.dvmrp_prefixes_per_domain = 25;
+  config.report_loss = 0.08;
+  config.timer_scale = 40;
+  config.full_timers = false;
+  config.generator.session_arrivals_per_hour = 40.0;
+  config.generator.bursts_per_day = 1.0;
+
+  workload::FixwScenario scenario(config);
+  // Transition in the middle of the run so both regimes are visible.
+  scenario.schedule_transition(
+      sim::TimePoint::start() + sim::Duration::days(days / 2),
+      sim::Duration::days(std::max(1, days / 5)), 0.85);
+
+  core::MantraConfig monitor_config;
+  monitor_config.cycle = sim::Duration::minutes(30);
+  core::Mantra mantra(scenario.engine(), monitor_config);
+  mantra.add_target(scenario.network().router(scenario.fixw_node()));
+  mantra.add_target(scenario.network().router(scenario.ucsb_node()));
+
+  scenario.start();
+  mantra.start();
+  for (int day = 1; day <= days; ++day) {
+    scenario.engine().run_until(sim::TimePoint::start() + sim::Duration::days(day));
+    std::fprintf(stderr, "day %d/%d: %zu live sessions\n", day, days,
+                 scenario.generator().live_session_count());
+  }
+
+  const auto sessions = mantra.series("fixw", "sessions", [](const core::CycleResult& r) {
+    return static_cast<double>(r.usage.sessions);
+  });
+  const auto participants = mantra.series("fixw", "participants", [](const core::CycleResult& r) {
+    return static_cast<double>(r.usage.participants);
+  });
+  const auto senders = mantra.series("fixw", "senders", [](const core::CycleResult& r) {
+    return static_cast<double>(r.usage.senders);
+  });
+  const auto routes_fixw = mantra.series("fixw", "dvmrp_routes", [](const core::CycleResult& r) {
+    return static_cast<double>(r.dvmrp_valid_routes);
+  });
+  const auto routes_ucsb = mantra.series("ucsb-gw", "dvmrp_routes", [](const core::CycleResult& r) {
+    return static_cast<double>(r.dvmrp_valid_routes);
+  });
+
+  std::printf("=== Usage at FIXW: participants (*) overlaid with sessions (o) ===\n\n");
+  core::AsciiChart usage_chart(76, 16);
+  usage_chart.add_series(participants, '*');
+  usage_chart.add_series(sessions, 'o');
+  std::printf("%s\n", usage_chart.render().c_str());
+
+  std::printf("=== DVMRP routes: UCSB (u) vs FIXW (f) ===\n\n");
+  core::AsciiChart route_chart(76, 12);
+  route_chart.add_series(routes_ucsb, 'u');
+  route_chart.add_series(routes_fixw, 'f');
+  std::printf("%s\n", route_chart.render().c_str());
+
+  std::printf("=== Mantra overview (latest cycle) ===\n\n%s\n",
+              mantra.overview().render().c_str());
+
+  // CSV export for external plotting (the archive Mantra kept for off-line
+  // analysis).
+  std::printf("=== sessions.csv (first lines) ===\n");
+  const std::string csv = sessions.to_csv();
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < csv.size() && shown < 6; ++i) {
+    std::putchar(csv[i]);
+    if (csv[i] == '\n') ++shown;
+  }
+
+  // Storage accounting: the delta log vs naive full snapshots.
+  const core::DataLogger& logger = mantra.logger("fixw");
+  std::printf("\n=== Data logger ===\ncycles recorded: %zu\n"
+              "stored (delta codec): %llu bytes\nnaive (full snapshots): %llu bytes\n"
+              "savings: %.1fx\n",
+              logger.cycle_count(),
+              static_cast<unsigned long long>(logger.stored_bytes()),
+              static_cast<unsigned long long>(logger.naive_bytes()),
+              static_cast<double>(logger.naive_bytes()) /
+                  static_cast<double>(logger.stored_bytes()));
+  std::printf("\nsenders at FIXW (last cycle): %.0f\n",
+              senders.points().empty() ? 0.0 : senders.points().back().value);
+  return 0;
+}

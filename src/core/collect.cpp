@@ -1,0 +1,91 @@
+#include "core/collect.hpp"
+
+#include <algorithm>
+
+#include "router/cli.hpp"
+
+namespace mantra::core {
+
+const std::vector<std::string>& default_command_set() {
+  static const std::vector<std::string> commands = {
+      "show ip mroute count", "show ip dvmrp route", "show ip msdp sa-cache",
+      "show ip mbgp",         "show ip igmp groups",
+  };
+  return commands;
+}
+
+namespace {
+
+bool is_noise_line(std::string_view line) {
+  if (line.find("User Access Verification") != std::string_view::npos) return true;
+  if (line.find("Password:") != std::string_view::npos) return true;
+  // Prompt / echo lines: first token is a hostname followed by '>'
+  // ("fixw> show ip mroute"). Be careful not to match data lines that
+  // merely contain '>' — MBGP best-path rows start with "*>".
+  const auto first_non_space = line.find_first_not_of(' ');
+  if (first_non_space == std::string_view::npos) return false;
+  const auto token_end = line.find(' ', first_non_space);
+  const std::string_view token =
+      line.substr(first_non_space, token_end == std::string_view::npos
+                                       ? std::string_view::npos
+                                       : token_end - first_non_space);
+  if (token.size() < 2 || token.back() != '>') return false;
+  for (char c : token.substr(0, token.size() - 1)) {
+    const bool hostname_char = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                               (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                               c == '.';
+    if (!hostname_char) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string preprocess(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  std::size_t start = 0;
+  bool last_blank = true;  // swallow leading blank lines
+  while (start <= raw.size()) {
+    std::size_t end = raw.find('\n', start);
+    if (end == std::string_view::npos) end = raw.size();
+    std::string_view line = raw.substr(start, end - start);
+    start = end + 1;
+
+    // Strip CRs and trailing whitespace.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                             line.back() == '\t')) {
+      line.remove_suffix(1);
+    }
+    if (is_noise_line(line)) continue;
+    const bool blank = line.empty();
+    if (blank && last_blank) continue;
+    out.append(line);
+    out.push_back('\n');
+    last_blank = blank;
+    if (end == raw.size()) break;
+  }
+  // Drop a trailing blank line.
+  while (out.size() >= 2 && out[out.size() - 1] == '\n' && out[out.size() - 2] == '\n') {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::vector<RawCapture> Collector::capture(const router::MulticastRouter& router,
+                                           sim::TimePoint now) const {
+  std::vector<RawCapture> out;
+  out.reserve(commands_.size());
+  for (const std::string& command : commands_) {
+    RawCapture capture;
+    capture.router_name = router.hostname();
+    capture.command = command;
+    capture.captured = now;
+    capture.raw_text = router::cli::telnet_capture(router, command, now);
+    capture.clean_text = preprocess(capture.raw_text);
+    out.push_back(std::move(capture));
+  }
+  return out;
+}
+
+}  // namespace mantra::core

@@ -1,0 +1,50 @@
+// Data Collector (§III): logs into routers, captures raw CLI output and
+// pre-processes it (strips the telnet transcript noise — banners, password
+// prompts, command echoes, carriage returns, excess blank lines) into text
+// the Router-Table Processor can parse.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "router/router.hpp"
+#include "sim/time.hpp"
+
+namespace mantra::core {
+
+/// One raw capture from one command on one router.
+struct RawCapture {
+  std::string router_name;
+  std::string command;
+  sim::TimePoint captured;
+  std::string raw_text;   ///< full telnet transcript, untouched
+  std::string clean_text; ///< after preprocess()
+};
+
+/// The fixed command set Mantra runs each cycle (the paper's tables map to
+/// these: forwarding state, DVMRP routes, and the newer-protocol state).
+[[nodiscard]] const std::vector<std::string>& default_command_set();
+
+/// Strips transcript noise: CR characters, authentication banner lines,
+/// prompt/echo lines ("hostname> ..."), trailing whitespace, and collapses
+/// runs of blank lines.
+[[nodiscard]] std::string preprocess(std::string_view raw);
+
+class Collector {
+ public:
+  explicit Collector(std::vector<std::string> commands = default_command_set())
+      : commands_(std::move(commands)) {}
+
+  /// Runs the full command set against one router, capturing and
+  /// preprocessing each output.
+  [[nodiscard]] std::vector<RawCapture> capture(
+      const router::MulticastRouter& router, sim::TimePoint now) const;
+
+  [[nodiscard]] const std::vector<std::string>& commands() const { return commands_; }
+
+ private:
+  std::vector<std::string> commands_;
+};
+
+}  // namespace mantra::core

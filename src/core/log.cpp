@@ -1,0 +1,190 @@
+#include "core/log.hpp"
+
+#include <sstream>
+
+namespace mantra::core {
+
+namespace {
+
+// --- Text codec ---------------------------------------------------------
+// One line per row, one-letter record tags:
+//   P src grp cur avg pkts uptime_ms        (pair)
+//   R prefix nh iface metric uptime_ms hd   (route)
+//   A src grp rp via age_ms                 (SA)
+//   B prefix nh as_path                     (MBGP)
+// Deltas prefix the tag with '+' (upsert) or '-' (removal, key fields only).
+
+void encode_pair(std::ostringstream& out, const PairRow& row) {
+  out << row.source.to_string() << ' ' << row.group.to_string() << ' '
+      << row.current_kbps << ' ' << row.average_kbps << ' ' << row.packets
+      << ' ' << row.uptime.total_ms() << '\n';
+}
+
+void encode_route(std::ostringstream& out, const RouteRow& row) {
+  out << row.prefix.to_string() << ' ' << row.next_hop.to_string() << ' '
+      << (row.interface.empty() ? "-" : row.interface) << ' ' << row.metric
+      << ' ' << row.uptime.total_ms() << ' ' << (row.holddown ? 1 : 0) << '\n';
+}
+
+void encode_sa(std::ostringstream& out, const SaRow& row) {
+  out << row.source.to_string() << ' ' << row.group.to_string() << ' '
+      << row.origin_rp.to_string() << ' ' << row.via_peer.to_string() << ' '
+      << row.age.total_ms() << '\n';
+}
+
+void encode_mbgp(std::ostringstream& out, const MbgpRow& row) {
+  out << row.prefix.to_string() << ' ' << row.next_hop.to_string() << ' '
+      << (row.as_path.empty() ? "i" : row.as_path) << '\n';
+}
+
+void encode_participant(std::ostringstream& out, const ParticipantRow& row) {
+  out << row.host.to_string() << ' ' << row.group_count << ' ' << row.total_kbps
+      << ' ' << (row.sender ? 1 : 0) << ' ' << row.known_for.total_ms() << '\n';
+}
+
+void encode_session(std::ostringstream& out, const SessionRow& row) {
+  out << row.group.to_string() << ' ' << row.density << ' ' << row.senders
+      << ' ' << row.total_kbps << ' ' << (row.active ? 1 : 0) << ' '
+      << row.age.total_ms() << '\n';
+}
+
+template <typename Row, typename Encode>
+std::string encode_delta(const typename Table<Row>::Delta& delta, char tag,
+                         Encode encode, const std::function<std::string(
+                                            const typename Row::Key&)>& key_text) {
+  std::ostringstream out;
+  for (const Row& row : delta.upserts) {
+    out << '+' << tag << ' ';
+    encode(out, row);
+  }
+  for (const auto& key : delta.removals) {
+    out << '-' << tag << ' ' << key_text(key) << '\n';
+  }
+  return out.str();
+}
+
+std::string pair_key_text(const PairRow::Key& key) {
+  return key.first.to_string() + " " + key.second.to_string();
+}
+
+}  // namespace
+
+std::string serialize_snapshot(const Snapshot& snapshot, bool include_derived) {
+  std::ostringstream out;
+  out << "# snapshot router=" << snapshot.router_name
+      << " t=" << snapshot.captured.total_ms() << '\n';
+  snapshot.pairs.visit([&](const PairRow& row) {
+    out << "P ";
+    encode_pair(out, row);
+  });
+  snapshot.routes.visit([&](const RouteRow& row) {
+    out << "R ";
+    encode_route(out, row);
+  });
+  snapshot.sa_cache.visit([&](const SaRow& row) {
+    out << "A ";
+    encode_sa(out, row);
+  });
+  snapshot.mbgp_routes.visit([&](const MbgpRow& row) {
+    out << "B ";
+    encode_mbgp(out, row);
+  });
+  if (include_derived) {
+    snapshot.participants.visit([&](const ParticipantRow& row) {
+      out << "H ";
+      encode_participant(out, row);
+    });
+    snapshot.sessions.visit([&](const SessionRow& row) {
+      out << "G ";
+      encode_session(out, row);
+    });
+  }
+  return out.str();
+}
+
+void DataLogger::record(const Snapshot& snapshot) {
+  Record record;
+  record.captured = snapshot.captured;
+  record.router_name = snapshot.router_name;
+
+  const bool keyframe =
+      !config_.store_deltas || !have_previous_ ||
+      (config_.full_snapshot_every > 0 &&
+       records_.size() % static_cast<std::size_t>(config_.full_snapshot_every) == 0);
+
+  naive_bytes_ += serialize_snapshot(snapshot, !config_.derive_redundant).size();
+
+  if (keyframe) {
+    record.keyframe = true;
+    record.pairs = snapshot.pairs;
+    record.routes = snapshot.routes;
+    record.sa_cache = snapshot.sa_cache;
+    record.mbgp_routes = snapshot.mbgp_routes;
+    stored_bytes_ += serialize_snapshot(snapshot, !config_.derive_redundant).size();
+  } else {
+    record.keyframe = false;
+    record.pair_delta = PairTable::diff(previous_.pairs, snapshot.pairs);
+    record.route_delta = RouteTable::diff(previous_.routes, snapshot.routes);
+    record.sa_delta = SaTable::diff(previous_.sa_cache, snapshot.sa_cache);
+    record.mbgp_delta = MbgpTable::diff(previous_.mbgp_routes, snapshot.mbgp_routes);
+
+    stored_bytes_ +=
+        encode_delta<PairRow>(record.pair_delta, 'P', encode_pair, pair_key_text)
+            .size();
+    stored_bytes_ += encode_delta<RouteRow>(
+                         record.route_delta, 'R', encode_route,
+                         [](const net::Prefix& key) { return key.to_string(); })
+                         .size();
+    stored_bytes_ +=
+        encode_delta<SaRow>(record.sa_delta, 'A', encode_sa, pair_key_text).size();
+    stored_bytes_ += encode_delta<MbgpRow>(
+                         record.mbgp_delta, 'B', encode_mbgp,
+                         [](const net::Prefix& key) { return key.to_string(); })
+                         .size();
+    stored_bytes_ += 32;  // record header line
+  }
+
+  records_.push_back(std::move(record));
+  previous_.pairs = snapshot.pairs;
+  previous_.routes = snapshot.routes;
+  previous_.sa_cache = snapshot.sa_cache;
+  previous_.mbgp_routes = snapshot.mbgp_routes;
+  have_previous_ = true;
+}
+
+Snapshot DataLogger::reconstruct(std::size_t index) const {
+  // Find the key-frame at or before `index`.
+  std::size_t keyframe = index;
+  while (keyframe > 0 && !records_[keyframe].keyframe) --keyframe;
+
+  Snapshot snapshot;
+  const Record& base = records_.at(keyframe);
+  snapshot.pairs = base.pairs;
+  snapshot.routes = base.routes;
+  snapshot.sa_cache = base.sa_cache;
+  snapshot.mbgp_routes = base.mbgp_routes;
+
+  for (std::size_t i = keyframe + 1; i <= index; ++i) {
+    const Record& record = records_[i];
+    // Derived fields (uptimes, averages, counters) roll forward by the
+    // inter-cycle gap, then the delta overwrites the rows that actually
+    // changed with exact values.
+    const sim::Duration dt = record.captured - records_[i - 1].captured;
+    snapshot.pairs.advance_derived(dt);
+    snapshot.routes.advance_derived(dt);
+    snapshot.sa_cache.advance_derived(dt);
+    snapshot.pairs.apply(record.pair_delta);
+    snapshot.routes.apply(record.route_delta);
+    snapshot.sa_cache.apply(record.sa_delta);
+    snapshot.mbgp_routes.apply(record.mbgp_delta);
+  }
+
+  const Record& target = records_.at(index);
+  snapshot.router_name = target.router_name;
+  snapshot.captured = target.captured;
+  snapshot.participants = derive_participants(snapshot.pairs);
+  snapshot.sessions = derive_sessions(snapshot.pairs);
+  return snapshot;
+}
+
+}  // namespace mantra::core

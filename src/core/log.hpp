@@ -1,0 +1,83 @@
+// Data Logger (§III): stores each cycle's tables for off-line and long-term
+// analysis, with the paper's two space optimisations:
+//   * Storing only deltas — key-frame snapshots every N cycles, per-table
+//     diffs in between (most effective on the slowly changing route table).
+//   * Avoiding redundancy — the participant and session tables are never
+//     stored; they are re-derived from the pair table on reconstruction.
+//
+// Byte accounting runs through the same text codec an on-disk log would
+// use, so the ablation benchmark's compression ratios are real.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tables.hpp"
+
+namespace mantra::core {
+
+struct LoggerConfig {
+  bool store_deltas = true;      ///< ablation: false = full snapshot per cycle
+  bool derive_redundant = true;  ///< ablation: false = store derived tables too
+  int full_snapshot_every = 96;  ///< key-frame interval (in cycles)
+};
+
+/// Serializes a snapshot (pairs + routes + SA + MBGP tables) to the text
+/// log format. Derived tables are included only when `include_derived`.
+[[nodiscard]] std::string serialize_snapshot(const Snapshot& snapshot,
+                                             bool include_derived);
+
+class DataLogger {
+ public:
+  explicit DataLogger(LoggerConfig config = {}) : config_(config) {}
+
+  /// Records one cycle. The snapshot's derived tables may be empty; they
+  /// are not stored (unless the redundancy ablation asks for them).
+  void record(const Snapshot& snapshot);
+
+  [[nodiscard]] std::size_t cycle_count() const { return records_.size(); }
+
+  /// Reconstructs the full snapshot of cycle `index` by replaying deltas
+  /// from the nearest key-frame, then re-deriving the redundant tables.
+  [[nodiscard]] Snapshot reconstruct(std::size_t index) const;
+
+  /// Timestamp of a recorded cycle.
+  [[nodiscard]] sim::TimePoint time_at(std::size_t index) const {
+    return records_.at(index).captured;
+  }
+
+  /// Bytes this log occupies in the text codec.
+  [[nodiscard]] std::uint64_t stored_bytes() const { return stored_bytes_; }
+  /// Bytes a naive full-snapshot-per-cycle log would occupy.
+  [[nodiscard]] std::uint64_t naive_bytes() const { return naive_bytes_; }
+
+  [[nodiscard]] const LoggerConfig& config() const { return config_; }
+
+ private:
+  struct Record {
+    sim::TimePoint captured;
+    std::string router_name;
+    bool keyframe = false;
+    // Key-frame payload:
+    PairTable pairs;
+    RouteTable routes;
+    SaTable sa_cache;
+    MbgpTable mbgp_routes;
+    // Delta payload:
+    PairTable::Delta pair_delta;
+    RouteTable::Delta route_delta;
+    SaTable::Delta sa_delta;
+    MbgpTable::Delta mbgp_delta;
+  };
+
+  LoggerConfig config_;
+  std::vector<Record> records_;
+  // Rolling state for diffing against the previous cycle.
+  Snapshot previous_;
+  bool have_previous_ = false;
+  std::uint64_t stored_bytes_ = 0;
+  std::uint64_t naive_bytes_ = 0;
+};
+
+}  // namespace mantra::core

@@ -1,0 +1,209 @@
+#include "core/mantra.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace mantra::core {
+
+Mantra::Mantra(sim::Engine& engine, MantraConfig config)
+    : engine_(engine),
+      config_(config),
+      cycle_timer_(engine, config_.cycle, [this] { run_cycle_now(); }) {}
+
+void Mantra::add_target(const router::MulticastRouter* target) {
+  auto state = std::make_unique<TargetState>(config_.logger, config_.spike_window,
+                                             config_.spike_k);
+  state->router = target;
+  targets_[target->hostname()] = std::move(state);
+}
+
+void Mantra::start() { cycle_timer_.start(); }
+void Mantra::stop() { cycle_timer_.stop(); }
+
+void Mantra::run_cycle_now() {
+  for (auto& [name, target] : targets_) run_target_cycle(*target);
+}
+
+void Mantra::run_target_cycle(TargetState& target) {
+  const sim::TimePoint now = engine_.now();
+  const std::vector<RawCapture> captures = collector_.capture(*target.router, now);
+
+  Snapshot snapshot;
+  snapshot.router_name = target.router->hostname();
+  snapshot.captured = now;
+  std::size_t warnings = 0;
+
+  for (const RawCapture& capture : captures) {
+    if (capture.command == "show ip mroute count") {
+      auto parsed = parse_mroute_count(capture.clean_text);
+      warnings += parsed.warnings.size();
+      snapshot.pairs = std::move(parsed.table);
+    } else if (capture.command == "show ip dvmrp route") {
+      auto parsed = parse_dvmrp_route(capture.clean_text);
+      warnings += parsed.warnings.size();
+      snapshot.routes = std::move(parsed.table);
+    } else if (capture.command == "show ip msdp sa-cache") {
+      auto parsed = parse_msdp_sa_cache(capture.clean_text);
+      warnings += parsed.warnings.size();
+      snapshot.sa_cache = std::move(parsed.table);
+    } else if (capture.command == "show ip mbgp") {
+      auto parsed = parse_mbgp(capture.clean_text);
+      warnings += parsed.warnings.size();
+      snapshot.mbgp_routes = std::move(parsed.table);
+    }
+    // "show ip igmp groups" is captured for the archive; host-level
+    // membership detail is not part of the cycle statistics.
+  }
+
+  snapshot.participants =
+      derive_participants(snapshot.pairs, config_.sender_threshold_kbps);
+  snapshot.sessions = derive_sessions(snapshot.pairs, config_.sender_threshold_kbps);
+
+  target.logger.record(snapshot);
+  target.route_monitor.observe(now, snapshot.routes);
+
+  CycleResult result;
+  result.t = now;
+  result.usage = compute_usage(snapshot, config_.sender_threshold_kbps);
+  result.dvmrp_routes = snapshot.routes.size();
+  snapshot.routes.visit([&result](const RouteRow& route) {
+    if (!route.holddown) ++result.dvmrp_valid_routes;
+  });
+  if (!target.route_monitor.history().empty()) {
+    result.route_changes = target.route_monitor.history().back().changes;
+  }
+  result.sa_entries = snapshot.sa_cache.size();
+  result.mbgp_routes = snapshot.mbgp_routes.size();
+  result.parse_warnings = warnings;
+
+  const SpikeDetector::Verdict verdict = target.spike_detector.observe(
+      static_cast<double>(result.dvmrp_valid_routes));
+  result.route_spike = verdict.spike;
+  result.route_spike_score = verdict.score;
+
+  const DensityDistribution density = compute_density_distribution(snapshot.sessions);
+  result.density_single_fraction = density.fraction_single_member;
+  result.density_at_most_two_fraction = density.fraction_at_most_two;
+  result.density_top_share_80 = density.top_session_share_for_80pct;
+
+  target.results.push_back(result);
+  target.latest = std::move(snapshot);
+}
+
+const Mantra::TargetState& Mantra::target(std::string_view router_name) const {
+  const auto it = targets_.find(router_name);
+  if (it == targets_.end()) {
+    throw std::out_of_range("unknown monitoring target: " + std::string(router_name));
+  }
+  return *it->second;
+}
+
+const std::vector<CycleResult>& Mantra::results(std::string_view router_name) const {
+  return target(router_name).results;
+}
+
+const DataLogger& Mantra::logger(std::string_view router_name) const {
+  return target(router_name).logger;
+}
+
+const RouteMonitor& Mantra::route_monitor(std::string_view router_name) const {
+  return target(router_name).route_monitor;
+}
+
+const Snapshot& Mantra::latest_snapshot(std::string_view router_name) const {
+  return target(router_name).latest;
+}
+
+TimeSeries Mantra::series(std::string_view router_name, std::string series_name,
+                          const std::function<double(const CycleResult&)>& extract) const {
+  TimeSeries out(std::move(series_name));
+  for (const CycleResult& result : target(router_name).results) {
+    out.add(result.t, extract(result));
+  }
+  return out;
+}
+
+UsageStats Mantra::aggregate_usage() const {
+  Snapshot merged;
+  merged.router_name = "aggregate";
+  for (const auto& [name, target] : targets_) {
+    target->latest.pairs.visit([&merged](const PairRow& row) {
+      // Union semantics: a pair seen at several points is counted once; the
+      // view with the higher current rate wins (closest to the source).
+      const PairRow* existing = merged.pairs.find(row.key());
+      if (existing == nullptr || existing->current_kbps < row.current_kbps) {
+        merged.pairs.upsert(row);
+      }
+    });
+  }
+  merged.participants = derive_participants(merged.pairs, config_.sender_threshold_kbps);
+  merged.sessions = derive_sessions(merged.pairs, config_.sender_threshold_kbps);
+  return compute_usage(merged, config_.sender_threshold_kbps);
+}
+
+SummaryTable Mantra::busiest_sessions(std::string_view router_name,
+                                      std::size_t limit) const {
+  SummaryTable table({"group", "density", "senders", "kbps", "active", "age"});
+  char buffer[64];
+  target(router_name).latest.sessions.visit([&](const SessionRow& session) {
+    std::snprintf(buffer, sizeof buffer, "%.2f", session.total_kbps);
+    table.add_row({session.group.to_string(), std::to_string(session.density),
+                   std::to_string(session.senders), buffer,
+                   session.active ? "yes" : "no", session.age.to_string()});
+  });
+  const auto kbps = table.column_index("kbps");
+  table.sort_by(kbps.value(), /*numeric=*/true, /*descending=*/true);
+  SummaryTable trimmed(std::vector<std::string>(table.columns()));
+  for (std::size_t i = 0; i < std::min(limit, table.row_count()); ++i) {
+    trimmed.add_row(std::vector<std::string>(table.rows()[i]));
+  }
+  return trimmed;
+}
+
+SummaryTable Mantra::top_senders(std::string_view router_name,
+                                 std::size_t limit) const {
+  SummaryTable table({"host", "groups", "kbps", "sender", "known_for"});
+  char buffer[64];
+  target(router_name).latest.participants.visit([&](const ParticipantRow& row) {
+    std::snprintf(buffer, sizeof buffer, "%.2f", row.total_kbps);
+    table.add_row({row.host.to_string(), std::to_string(row.group_count), buffer,
+                   row.sender ? "yes" : "no", row.known_for.to_string()});
+  });
+  table.sort_by(table.column_index("kbps").value(), true, true);
+  SummaryTable trimmed(std::vector<std::string>(table.columns()));
+  for (std::size_t i = 0; i < std::min(limit, table.row_count()); ++i) {
+    trimmed.add_row(std::vector<std::string>(table.rows()[i]));
+  }
+  return trimmed;
+}
+
+SummaryTable Mantra::overview() const {
+  SummaryTable table({"router", "sessions", "participants", "active", "senders",
+                      "kbps", "dvmrp_routes", "sa_entries", "mbgp_routes"});
+  char buffer[64];
+  for (const auto& [name, target] : targets_) {
+    if (target->results.empty()) {
+      table.add_row({name});
+      continue;
+    }
+    const CycleResult& last = target->results.back();
+    std::snprintf(buffer, sizeof buffer, "%.1f", last.usage.bandwidth_kbps);
+    table.add_row({name, std::to_string(last.usage.sessions),
+                   std::to_string(last.usage.participants),
+                   std::to_string(last.usage.active_sessions),
+                   std::to_string(last.usage.senders), buffer,
+                   std::to_string(last.dvmrp_routes),
+                   std::to_string(last.sa_entries),
+                   std::to_string(last.mbgp_routes)});
+  }
+  return table;
+}
+
+std::vector<std::string> Mantra::target_names() const {
+  std::vector<std::string> out;
+  out.reserve(targets_.size());
+  for (const auto& [name, target] : targets_) out.push_back(name);
+  return out;
+}
+
+}  // namespace mantra::core

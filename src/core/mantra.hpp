@@ -1,0 +1,120 @@
+// The Mantra monitoring cycle (§III Fig 1): every cycle, for every target
+// router — collect (telnet scrape) -> pre-process -> parse into the local
+// table format -> log (deltas) -> process into statistics -> expose results
+// as time series and summary tables. Also implements the paper's §V future
+// work: concurrent multi-router collection with aggregated results.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/collect.hpp"
+#include "core/log.hpp"
+#include "core/output.hpp"
+#include "core/parse.hpp"
+#include "core/process.hpp"
+#include "router/router.hpp"
+#include "sim/engine.hpp"
+
+namespace mantra::core {
+
+struct MantraConfig {
+  sim::Duration cycle = sim::Duration::minutes(15);
+  double sender_threshold_kbps = kSenderThresholdKbps;
+  LoggerConfig logger;
+  /// Route-count spike detection (Fig 9 debugging aid).
+  std::size_t spike_window = 48;
+  double spike_k = 10.0;
+};
+
+/// One monitoring cycle's processed results for one router.
+struct CycleResult {
+  sim::TimePoint t;
+  UsageStats usage;
+  std::size_t dvmrp_routes = 0;
+  std::size_t dvmrp_valid_routes = 0;
+  std::size_t route_changes = 0;
+  std::size_t sa_entries = 0;
+  std::size_t mbgp_routes = 0;
+  std::size_t parse_warnings = 0;
+  bool route_spike = false;
+  double route_spike_score = 0.0;
+  /// Per-cycle density-distribution facts (the §IV-B off-line analysis).
+  double density_single_fraction = 0.0;
+  double density_at_most_two_fraction = 0.0;
+  double density_top_share_80 = 1.0;
+};
+
+class Mantra {
+ public:
+  Mantra(sim::Engine& engine, MantraConfig config);
+
+  /// Registers a router to monitor. The pointer must outlive the monitor.
+  void add_target(const router::MulticastRouter* target);
+
+  /// Starts the periodic monitoring cycle.
+  void start();
+  void stop();
+
+  /// Runs one cycle immediately across all targets (also what the timer
+  /// calls).
+  void run_cycle_now();
+
+  // --- Per-router results ---
+  [[nodiscard]] const std::vector<CycleResult>& results(
+      std::string_view router_name) const;
+  [[nodiscard]] const DataLogger& logger(std::string_view router_name) const;
+  [[nodiscard]] const RouteMonitor& route_monitor(std::string_view router_name) const;
+  [[nodiscard]] const Snapshot& latest_snapshot(std::string_view router_name) const;
+
+  /// Extracts a time series from the result history of one router.
+  [[nodiscard]] TimeSeries series(
+      std::string_view router_name, std::string series_name,
+      const std::function<double(const CycleResult&)>& extract) const;
+
+  /// Multi-point aggregation (§V): union of the latest pair tables across
+  /// all targets, processed as one view.
+  [[nodiscard]] UsageStats aggregate_usage() const;
+
+  // --- Summary tables (§III "interactive tables") ---
+  /// The "busiest multicast sessions" table, sorted by bandwidth.
+  [[nodiscard]] SummaryTable busiest_sessions(std::string_view router_name,
+                                              std::size_t limit = 20) const;
+  /// Top senders by rate.
+  [[nodiscard]] SummaryTable top_senders(std::string_view router_name,
+                                         std::size_t limit = 20) const;
+  /// Per-target one-row overview (routes, sessions, bandwidth).
+  [[nodiscard]] SummaryTable overview() const;
+
+  [[nodiscard]] std::size_t target_count() const { return targets_.size(); }
+  [[nodiscard]] const MantraConfig& config() const { return config_; }
+  [[nodiscard]] std::vector<std::string> target_names() const;
+
+ private:
+  struct TargetState {
+    const router::MulticastRouter* router = nullptr;
+    DataLogger logger;
+    RouteMonitor route_monitor;
+    SpikeDetector spike_detector;
+    std::vector<CycleResult> results;
+    Snapshot latest;
+
+    TargetState(const LoggerConfig& logger_config, std::size_t spike_window,
+                double spike_k)
+        : logger(logger_config), spike_detector(spike_window, spike_k) {}
+  };
+
+  void run_target_cycle(TargetState& target);
+  [[nodiscard]] const TargetState& target(std::string_view router_name) const;
+
+  sim::Engine& engine_;
+  MantraConfig config_;
+  Collector collector_;
+  std::map<std::string, std::unique_ptr<TargetState>, std::less<>> targets_;
+  sim::PeriodicTimer cycle_timer_;
+};
+
+}  // namespace mantra::core

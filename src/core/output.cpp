@@ -1,0 +1,284 @@
+#include "core/output.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/random.hpp"
+
+namespace mantra::core {
+
+namespace {
+
+std::optional<double> parse_number(std::string_view cell) {
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (ec != std::errc{} || ptr != cell.data() + cell.size()) return std::nullopt;
+  return value;
+}
+
+std::string format_number(double value) {
+  char buffer[48];
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+void SummaryTable::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::optional<std::size_t> SummaryTable::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+void SummaryTable::sort_by(std::size_t column, bool numeric, bool descending) {
+  if (column >= columns_.size()) return;
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [&](const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+                     if (numeric) {
+                       const auto va = parse_number(a[column]);
+                       const auto vb = parse_number(b[column]);
+                       if (va && vb) return descending ? *va > *vb : *va < *vb;
+                       if (va != vb) return va.has_value();  // numbers first
+                     }
+                     return descending ? a[column] > b[column] : a[column] < b[column];
+                   });
+}
+
+SummaryTable SummaryTable::search(std::size_t column, std::string_view needle) const {
+  SummaryTable out(columns_);
+  if (column >= columns_.size()) return out;
+  for (const auto& row : rows_) {
+    if (row[column].find(needle) != std::string::npos) out.rows_.push_back(row);
+  }
+  return out;
+}
+
+void SummaryTable::add_computed_column(std::string name, std::size_t a,
+                                       std::size_t b, char op) {
+  if (a >= columns_.size() || b >= columns_.size()) return;
+  columns_.push_back(std::move(name));
+  for (auto& row : rows_) {
+    const auto va = parse_number(row[a]);
+    const auto vb = parse_number(row[b]);
+    std::string cell;
+    if (va && vb) {
+      switch (op) {
+        case '+': cell = format_number(*va + *vb); break;
+        case '-': cell = format_number(*va - *vb); break;
+        case '*': cell = format_number(*va * *vb); break;
+        case '/': cell = *vb != 0.0 ? format_number(*va / *vb) : ""; break;
+        default: break;
+      }
+    }
+    row.push_back(std::move(cell));
+  }
+}
+
+void SummaryTable::scale_column(std::size_t column, double factor) {
+  if (column >= columns_.size()) return;
+  for (auto& row : rows_) {
+    if (const auto value = parse_number(row[column])) {
+      row[column] = format_number(*value * factor);
+    }
+  }
+}
+
+std::string SummaryTable::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out << cells[i];
+      if (i + 1 < cells.size()) {
+        out << std::string(widths[i] - cells[i].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string SummaryTable::to_csv() const {
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out << ',';
+      const bool quote = cells[i].find(',') != std::string::npos;
+      if (quote) out << '"';
+      out << cells[i];
+      if (quote) out << '"';
+    }
+    out << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+// --- TimeSeries ------------------------------------------------------------
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const SeriesPoint& p : points_) out.push_back(p.value);
+  return out;
+}
+
+double TimeSeries::mean() const {
+  sim::RunningStats stats;
+  for (const SeriesPoint& p : points_) stats.add(p.value);
+  return stats.mean();
+}
+
+double TimeSeries::stddev() const {
+  sim::RunningStats stats;
+  for (const SeriesPoint& p : points_) stats.add(p.value);
+  return stats.stddev();
+}
+
+double TimeSeries::median() const { return sim::quantile(values(), 0.5); }
+
+double TimeSeries::min() const {
+  sim::RunningStats stats;
+  for (const SeriesPoint& p : points_) stats.add(p.value);
+  return stats.min();
+}
+
+double TimeSeries::max() const {
+  sim::RunningStats stats;
+  for (const SeriesPoint& p : points_) stats.add(p.value);
+  return stats.max();
+}
+
+TimeSeries TimeSeries::slice(sim::TimePoint from, sim::TimePoint to) const {
+  TimeSeries out(name_);
+  for (const SeriesPoint& p : points_) {
+    if (p.t >= from && p.t <= to) out.add(p.t, p.value);
+  }
+  return out;
+}
+
+std::string TimeSeries::to_csv() const {
+  std::ostringstream out;
+  out << "hours," << name_ << '\n';
+  char buffer[64];
+  for (const SeriesPoint& p : points_) {
+    std::snprintf(buffer, sizeof buffer, "%.3f,%.4f\n", p.t.total_hours(), p.value);
+    out << buffer;
+  }
+  return out.str();
+}
+
+// --- AsciiChart --------------------------------------------------------------
+
+void AsciiChart::add_series(const TimeSeries& series, char glyph) {
+  entries_.push_back({&series, glyph});
+}
+
+void AsciiChart::set_y_range(double lo, double hi) { y_range_ = {lo, hi}; }
+
+void AsciiChart::set_x_range(sim::TimePoint from, sim::TimePoint to) {
+  x_range_ = {from, to};
+}
+
+std::string AsciiChart::render() const {
+  if (entries_.empty()) return "(empty chart)\n";
+
+  // Resolve ranges.
+  double y_lo = 0.0, y_hi = 1.0;
+  sim::TimePoint x_lo = sim::TimePoint::from_ms(INT64_MAX);
+  sim::TimePoint x_hi = sim::TimePoint::from_ms(INT64_MIN);
+  bool any = false;
+  if (y_range_) {
+    y_lo = y_range_->first;
+    y_hi = y_range_->second;
+  }
+  for (const Entry& entry : entries_) {
+    for (const SeriesPoint& p : entry.series->points()) {
+      if (x_range_ && (p.t < x_range_->first || p.t > x_range_->second)) continue;
+      if (!y_range_) {
+        if (!any) {
+          y_lo = y_hi = p.value;
+        } else {
+          y_lo = std::min(y_lo, p.value);
+          y_hi = std::max(y_hi, p.value);
+        }
+      }
+      x_lo = std::min(x_lo, p.t);
+      x_hi = std::max(x_hi, p.t);
+      any = true;
+    }
+  }
+  if (!any) return "(no points in range)\n";
+  if (x_range_) {
+    x_lo = x_range_->first;
+    x_hi = x_range_->second;
+  }
+  if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+  const double x_span = std::max(1.0, (x_hi - x_lo).total_seconds());
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  for (const Entry& entry : entries_) {
+    for (const SeriesPoint& p : entry.series->points()) {
+      if (p.t < x_lo || p.t > x_hi) continue;
+      const double xf = (p.t - x_lo).total_seconds() / x_span;
+      const double yf = (p.value - y_lo) / (y_hi - y_lo);
+      const int col = std::clamp(static_cast<int>(xf * (width_ - 1)), 0, width_ - 1);
+      const int row = std::clamp(static_cast<int>((1.0 - yf) * (height_ - 1)), 0,
+                                 height_ - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          entry.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  char label[160];
+  for (int row = 0; row < height_; ++row) {
+    const double value = y_hi - (y_hi - y_lo) * row / std::max(1, height_ - 1);
+    std::snprintf(label, sizeof label, "%10.1f |", value);
+    out << label << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  out << std::string(12, ' ') << std::string(static_cast<std::size_t>(width_), '-')
+      << '\n';
+  const bool in_days = (x_hi - x_lo) > sim::Duration::hours(48);
+  const double lo_value = in_days ? x_lo.total_days() : x_lo.total_hours();
+  const double hi_value = in_days ? x_hi.total_days() : x_hi.total_hours();
+  const char unit = in_days ? 'd' : 'h';
+  std::snprintf(label, sizeof label, "%12s%.1f%c", "", lo_value, unit);
+  out << label;
+  const int used = static_cast<int>(std::snprintf(nullptr, 0, "%.1f%c", lo_value, unit));
+  std::snprintf(label, sizeof label, "%*.1f%c\n", width_ - used, hi_value, unit);
+  out << label;
+  for (const Entry& entry : entries_) {
+    out << "  " << entry.glyph << " = " << entry.series->name() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mantra::core

@@ -1,0 +1,121 @@
+// Output Interface (§III): the two presentation surfaces Mantra's Java
+// applets provided, re-expressed for a terminal —
+//   * SummaryTable: multi-column text tables with the "interactive"
+//     operations the paper lists (search, sort, algebraic manipulation of
+//     numeric columns).
+//   * TimeSeries + AsciiChart: x-y series with overlay and axis-range
+//     manipulation (the applet's zoom), rendered as ASCII line charts, plus
+//     CSV export for external plotting.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mantra::core {
+
+class SummaryTable {
+ public:
+  explicit SummaryTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return columns_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const { return columns_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  /// Column index by header name.
+  [[nodiscard]] std::optional<std::size_t> column_index(std::string_view name) const;
+
+  /// Sorts rows by a column; numeric sort parses cells as doubles
+  /// (non-numeric cells sort last).
+  void sort_by(std::size_t column, bool numeric = true, bool descending = true);
+
+  /// Rows whose `column` cell contains `needle` (the applet's search box).
+  [[nodiscard]] SummaryTable search(std::size_t column, std::string_view needle) const;
+
+  /// Algebraic column manipulation: appends a column computed as
+  /// `a op b` per row (op in {'+','-','*','/'}); blank on parse failure.
+  void add_computed_column(std::string name, std::size_t a, std::size_t b, char op);
+
+  /// Scales a numeric column in place (unit conversions).
+  void scale_column(std::size_t column, double factor);
+
+  /// Aligned fixed-width text rendering.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+struct SeriesPoint {
+  sim::TimePoint t;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(sim::TimePoint t, double value) { points_.push_back({t, value}); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<SeriesPoint>& points() const { return points_; }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  [[nodiscard]] std::vector<double> values() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double median() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// The applet's x-axis zoom: points within [from, to].
+  [[nodiscard]] TimeSeries slice(sim::TimePoint from, sim::TimePoint to) const;
+
+  /// CSV rows "<hours>,<value>" with a header.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::string name_;
+  std::vector<SeriesPoint> points_;
+};
+
+/// ASCII line chart with series overlay and manual axis ranges.
+class AsciiChart {
+ public:
+  AsciiChart(int width = 72, int height = 16) : width_(width), height_(height) {}
+
+  /// Overlays a series; each gets its own glyph ('*', '+', 'o', ...).
+  void add_series(const TimeSeries& series, char glyph);
+
+  /// Manual y-range (the applet's scale boxes); auto-scaled when unset.
+  void set_y_range(double lo, double hi);
+  void set_x_range(sim::TimePoint from, sim::TimePoint to);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Entry {
+    const TimeSeries* series;
+    char glyph;
+  };
+  int width_;
+  int height_;
+  std::vector<Entry> entries_;
+  std::optional<std::pair<double, double>> y_range_;
+  std::optional<std::pair<sim::TimePoint, sim::TimePoint>> x_range_;
+};
+
+}  // namespace mantra::core

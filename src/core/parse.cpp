@@ -1,0 +1,338 @@
+#include "core/parse.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace mantra::core {
+
+namespace {
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Splits on whitespace runs.
+std::vector<std::string_view> tokens(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool consume_prefix(std::string_view& s, std::string_view prefix) {
+  if (s.substr(0, prefix.size()) != prefix) return false;
+  s.remove_prefix(prefix.size());
+  return true;
+}
+
+std::optional<double> to_double(std::string_view s) {
+  // from_chars for double is available in GCC 11+; keep it simple.
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> to_u64(std::string_view s) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+/// Strips one trailing character if present.
+std::string_view strip_suffix_char(std::string_view s, char c) {
+  if (!s.empty() && s.back() == c) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::optional<sim::Duration> parse_uptime(std::string_view text) {
+  text = trim(text);
+  // "XdYYh"
+  const auto d_pos = text.find('d');
+  if (d_pos != std::string_view::npos && !text.empty() && text.back() == 'h') {
+    const auto days = to_u64(text.substr(0, d_pos));
+    const auto hours = to_u64(text.substr(d_pos + 1, text.size() - d_pos - 2));
+    if (!days || !hours) return std::nullopt;
+    return sim::Duration::days(static_cast<std::int64_t>(*days)) +
+           sim::Duration::hours(static_cast<std::int64_t>(*hours));
+  }
+  // "HH:MM:SS"
+  int h = 0, m = 0, s = 0;
+  char extra = 0;
+  const std::string owned(text);
+  if (std::sscanf(owned.c_str(), "%d:%d:%d%c", &h, &m, &s, &extra) == 3) {
+    return sim::Duration::hours(h) + sim::Duration::minutes(m) +
+           sim::Duration::seconds(s);
+  }
+  return std::nullopt;
+}
+
+ParseOutcome<PairTable> parse_mroute_count(std::string_view text) {
+  ParseOutcome<PairTable> out;
+  net::Ipv4Address group;
+  PairRow pending;
+  bool have_pending = false;
+
+  const auto flush = [&] {
+    if (have_pending) out.table.upsert(pending);
+    have_pending = false;
+  };
+
+  for (std::string_view raw : split_lines(text)) {
+    std::string_view line = trim(raw);
+    if (line.empty()) continue;
+
+    if (consume_prefix(line, "Group: ")) {
+      flush();
+      const auto parsed = net::Ipv4Address::parse(trim(line));
+      if (!parsed) {
+        out.warnings.emplace_back(raw);
+        continue;
+      }
+      group = *parsed;
+      continue;
+    }
+    if (consume_prefix(line, "Source: ")) {
+      flush();
+      // "10.0.1.5/32, Forwarding: 123/4/512/3.20, Other: ..."
+      const auto comma = line.find(',');
+      if (comma == std::string_view::npos) {
+        out.warnings.emplace_back(raw);
+        continue;
+      }
+      std::string_view addr_text = line.substr(0, comma);
+      const auto slash = addr_text.find('/');
+      if (slash != std::string_view::npos) addr_text = addr_text.substr(0, slash);
+      const auto source = net::Ipv4Address::parse(addr_text);
+      const auto fwd_pos = line.find("Forwarding: ");
+      if (!source || fwd_pos == std::string_view::npos || group.is_unspecified()) {
+        out.warnings.emplace_back(raw);
+        continue;
+      }
+      std::string_view counters = line.substr(fwd_pos + 12);
+      const auto counters_end = counters.find(',');
+      if (counters_end != std::string_view::npos) counters = counters.substr(0, counters_end);
+      // pkt/pps/size/kbps
+      std::vector<std::string_view> parts;
+      std::size_t start = 0;
+      while (start <= counters.size()) {
+        std::size_t end = counters.find('/', start);
+        if (end == std::string_view::npos) end = counters.size();
+        parts.push_back(counters.substr(start, end - start));
+        start = end + 1;
+        if (end == counters.size()) break;
+      }
+      if (parts.size() != 4) {
+        out.warnings.emplace_back(raw);
+        continue;
+      }
+      const auto packets = to_u64(parts[0]);
+      const auto kbps = to_double(parts[3]);
+      if (!packets || !kbps) {
+        out.warnings.emplace_back(raw);
+        continue;
+      }
+      pending = PairRow{};
+      pending.source = *source;
+      pending.group = group;
+      pending.packets = *packets;
+      pending.current_kbps = *kbps;
+      have_pending = true;
+      continue;
+    }
+    if (consume_prefix(line, "Average: ")) {
+      // "2.75 kbps, Uptime: 00:15:00"
+      if (!have_pending) {
+        out.warnings.emplace_back(raw);
+        continue;
+      }
+      const auto toks = tokens(line);
+      if (toks.size() >= 1) {
+        if (const auto avg = to_double(toks[0])) pending.average_kbps = *avg;
+      }
+      const auto uptime_pos = line.find("Uptime: ");
+      if (uptime_pos != std::string_view::npos) {
+        if (const auto uptime = parse_uptime(line.substr(uptime_pos + 8))) {
+          pending.uptime = *uptime;
+        }
+      }
+      continue;
+    }
+    // Header/boilerplate lines are expected; ignore silently.
+  }
+  flush();
+  return out;
+}
+
+ParseOutcome<RouteTable> parse_dvmrp_route(std::string_view text) {
+  ParseOutcome<RouteTable> out;
+  RouteRow pending;
+  bool have_pending = false;
+
+  const auto flush = [&] {
+    if (have_pending) out.table.upsert(pending);
+    have_pending = false;
+  };
+
+  for (std::string_view raw : split_lines(text)) {
+    std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    if (consume_prefix(line, "via ")) {
+      // "via 192.168.3.2, tunnel0"
+      if (!have_pending) {
+        out.warnings.emplace_back(raw);
+        continue;
+      }
+      const auto comma = line.find(',');
+      const auto next_hop =
+          net::Ipv4Address::parse(trim(line.substr(0, comma)));
+      if (next_hop) pending.next_hop = *next_hop;
+      if (comma != std::string_view::npos) {
+        pending.interface = std::string(trim(line.substr(comma + 1)));
+      }
+      flush();
+      continue;
+    }
+    // "10.3.16.0/24 [0/3] uptime 01:23:45, expires 00:02:15"
+    const auto toks = tokens(line);
+    if (toks.size() >= 5 && toks[1].front() == '[') {
+      flush();
+      const auto prefix = net::Prefix::parse(toks[0]);
+      if (!prefix) {
+        if (line.find("Routing Table") == std::string_view::npos) {
+          out.warnings.emplace_back(raw);
+        }
+        continue;
+      }
+      pending = RouteRow{};
+      pending.prefix = *prefix;
+      // "[0/3]" -> metric 3
+      std::string_view bracket = toks[1];
+      bracket.remove_prefix(1);
+      bracket = strip_suffix_char(bracket, ']');
+      const auto slash = bracket.find('/');
+      if (slash != std::string_view::npos) {
+        if (const auto metric = to_u64(bracket.substr(slash + 1))) {
+          pending.metric = static_cast<int>(*metric);
+        }
+      }
+      const auto uptime_pos = line.find("uptime ");
+      if (uptime_pos != std::string_view::npos) {
+        std::string_view rest = line.substr(uptime_pos + 7);
+        const auto comma = rest.find(',');
+        if (const auto uptime = parse_uptime(rest.substr(0, comma))) {
+          pending.uptime = *uptime;
+        }
+      }
+      pending.holddown = line.find("expires holddown") != std::string_view::npos;
+      have_pending = true;
+      continue;
+    }
+    // Header lines ("DVMRP Routing Table - N entries") are ignored.
+  }
+  flush();
+  return out;
+}
+
+ParseOutcome<SaTable> parse_msdp_sa_cache(std::string_view text) {
+  ParseOutcome<SaTable> out;
+  for (std::string_view raw : split_lines(text)) {
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() != '(') continue;
+    // "(10.2.1.7, 224.2.3.4), RP 192.168.1.2, via peer 192.168.2.2, 00:05:00"
+    const auto close = line.find(')');
+    if (close == std::string_view::npos) {
+      out.warnings.emplace_back(raw);
+      continue;
+    }
+    std::string_view pair = line.substr(1, close - 1);
+    const auto comma = pair.find(',');
+    if (comma == std::string_view::npos) {
+      out.warnings.emplace_back(raw);
+      continue;
+    }
+    const auto source = net::Ipv4Address::parse(trim(pair.substr(0, comma)));
+    const auto group = net::Ipv4Address::parse(trim(pair.substr(comma + 1)));
+    if (!source || !group) {
+      out.warnings.emplace_back(raw);
+      continue;
+    }
+    SaRow row;
+    row.source = *source;
+    row.group = *group;
+    const auto rp_pos = line.find("RP ");
+    if (rp_pos != std::string_view::npos) {
+      std::string_view rest = line.substr(rp_pos + 3);
+      const auto end = rest.find(',');
+      if (const auto rp = net::Ipv4Address::parse(trim(rest.substr(0, end)))) {
+        row.origin_rp = *rp;
+      }
+    }
+    const auto via_pos = line.find("via peer ");
+    if (via_pos != std::string_view::npos) {
+      std::string_view rest = line.substr(via_pos + 9);
+      const auto end = rest.find(',');
+      if (const auto via = net::Ipv4Address::parse(trim(rest.substr(0, end)))) {
+        row.via_peer = *via;
+      }
+    }
+    const auto last_comma = line.rfind(',');
+    if (last_comma != std::string_view::npos) {
+      if (const auto age = parse_uptime(line.substr(last_comma + 1))) row.age = *age;
+    }
+    out.table.upsert(row);
+  }
+  return out;
+}
+
+ParseOutcome<MbgpTable> parse_mbgp(std::string_view text) {
+  ParseOutcome<MbgpTable> out;
+  for (std::string_view raw : split_lines(text)) {
+    std::string_view line = trim(raw);
+    if (!consume_prefix(line, "*> ")) continue;
+    const auto toks = tokens(line);
+    if (toks.size() < 2) {
+      out.warnings.emplace_back(raw);
+      continue;
+    }
+    const auto prefix = net::Prefix::parse(toks[0]);
+    const auto next_hop = net::Ipv4Address::parse(toks[1]);
+    if (!prefix || !next_hop) {
+      out.warnings.emplace_back(raw);
+      continue;
+    }
+    MbgpRow row;
+    row.prefix = *prefix;
+    row.next_hop = *next_hop;
+    for (std::size_t i = 2; i < toks.size(); ++i) {
+      if (!row.as_path.empty()) row.as_path.push_back(' ');
+      row.as_path.append(toks[i]);
+    }
+    out.table.upsert(row);
+  }
+  return out;
+}
+
+}  // namespace mantra::core

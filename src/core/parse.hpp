@@ -1,0 +1,38 @@
+// Router-Table Processor (§III): maps pre-processed CLI captures onto
+// Mantra's local table format. Parsers are tolerant: unrecognised lines are
+// collected as warnings rather than aborting the cycle (a production
+// scraper survives IOS cosmetic changes or truncated captures).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/tables.hpp"
+
+namespace mantra::core {
+
+/// Parses "HH:MM:SS" and "XdYYh" uptime forms.
+[[nodiscard]] std::optional<sim::Duration> parse_uptime(std::string_view text);
+
+template <typename TableType>
+struct ParseOutcome {
+  TableType table;
+  std::vector<std::string> warnings;  ///< lines that looked like data but failed
+};
+
+/// `show ip mroute count` -> PairTable (current/average kbps, packets,
+/// uptime per (S,G)).
+[[nodiscard]] ParseOutcome<PairTable> parse_mroute_count(std::string_view text);
+
+/// `show ip dvmrp route` -> RouteTable.
+[[nodiscard]] ParseOutcome<RouteTable> parse_dvmrp_route(std::string_view text);
+
+/// `show ip msdp sa-cache` -> SaTable.
+[[nodiscard]] ParseOutcome<SaTable> parse_msdp_sa_cache(std::string_view text);
+
+/// `show ip mbgp` -> MbgpTable.
+[[nodiscard]] ParseOutcome<MbgpTable> parse_mbgp(std::string_view text);
+
+}  // namespace mantra::core

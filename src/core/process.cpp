@@ -1,0 +1,177 @@
+#include "core/process.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mantra::core {
+
+UsageStats compute_usage(const Snapshot& snapshot, double threshold_kbps) {
+  UsageStats stats;
+  const SessionTable sessions = snapshot.sessions.empty()
+                                    ? derive_sessions(snapshot.pairs, threshold_kbps)
+                                    : snapshot.sessions;
+  const ParticipantTable participants =
+      snapshot.participants.empty()
+          ? derive_participants(snapshot.pairs, threshold_kbps)
+          : snapshot.participants;
+
+  stats.sessions = static_cast<int>(sessions.size());
+  stats.participants = static_cast<int>(participants.size());
+
+  int total_density = 0;
+  sessions.visit([&](const SessionRow& session) {
+    total_density += session.density;
+    if (session.active) {
+      ++stats.active_sessions;
+      // Unicast equivalent: every receiver would need its own copy of the
+      // stream through this router (§IV-B's "density multiplied by the rate
+      // of the stream").
+      stats.unicast_equivalent_kbps += session.density * session.total_kbps;
+    }
+    if (session.density == 1) ++stats.single_member_sessions;
+  });
+
+  participants.visit([&](const ParticipantRow& participant) {
+    if (participant.sender) ++stats.senders;
+  });
+
+  snapshot.pairs.visit(
+      [&](const PairRow& pair) { stats.bandwidth_kbps += pair.current_kbps; });
+
+  if (stats.sessions > 0) {
+    stats.avg_density = static_cast<double>(total_density) / stats.sessions;
+    stats.pct_sessions_active =
+        100.0 * stats.active_sessions / static_cast<double>(stats.sessions);
+  }
+  if (stats.participants > 0) {
+    stats.pct_participants_senders =
+        100.0 * stats.senders / static_cast<double>(stats.participants);
+  }
+  if (stats.bandwidth_kbps > 0.0) {
+    stats.saved_multiple = stats.unicast_equivalent_kbps / stats.bandwidth_kbps;
+  }
+  return stats;
+}
+
+DensityDistribution compute_density_distribution(const SessionTable& sessions) {
+  DensityDistribution dist;
+  dist.sessions = sessions.size();
+  if (dist.sessions == 0) return dist;
+
+  std::vector<int> densities;
+  densities.reserve(dist.sessions);
+  std::uint64_t total_participants = 0;
+  std::size_t singles = 0;
+  std::size_t at_most_two = 0;
+  sessions.visit([&](const SessionRow& session) {
+    densities.push_back(session.density);
+    total_participants += static_cast<std::uint64_t>(session.density);
+    if (session.density <= 1) ++singles;
+    if (session.density <= 2) ++at_most_two;
+  });
+
+  dist.fraction_single_member = static_cast<double>(singles) / dist.sessions;
+  dist.fraction_at_most_two = static_cast<double>(at_most_two) / dist.sessions;
+
+  // Sessions sorted by density descending: how few hold 80% of participants?
+  std::sort(densities.begin(), densities.end(), std::greater<>());
+  const double target = 0.8 * static_cast<double>(total_participants);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < densities.size(); ++i) {
+    cumulative += static_cast<std::uint64_t>(densities[i]);
+    if (static_cast<double>(cumulative) >= target) {
+      dist.top_session_share_for_80pct =
+          static_cast<double>(i + 1) / static_cast<double>(dist.sessions);
+      break;
+    }
+  }
+  return dist;
+}
+
+void RouteMonitor::observe(sim::TimePoint t, const RouteTable& routes) {
+  CycleStats stats;
+  stats.t = t;
+  stats.total = routes.size();
+  routes.visit([&](const RouteRow& route) {
+    if (!route.holddown) ++stats.valid;
+    if (first_seen_.find(route.prefix) == first_seen_.end()) {
+      first_seen_[route.prefix] = t;
+    }
+  });
+
+  if (have_previous_) {
+    const RouteTable::Delta delta = RouteTable::diff(previous_, routes);
+    stats.changes = delta.change_count();
+    total_changes_ += stats.changes;
+    for (const net::Prefix& removed : delta.removals) {
+      const auto it = first_seen_.find(removed);
+      if (it != first_seen_.end()) {
+        completed_lifetimes_s_.push_back((t - it->second).total_seconds());
+        first_seen_.erase(it);
+      }
+    }
+  }
+
+  history_.push_back(stats);
+  previous_ = routes;
+  have_previous_ = true;
+}
+
+double RouteMonitor::mean_completed_lifetime_s() const {
+  if (completed_lifetimes_s_.empty()) return 0.0;
+  double total = 0.0;
+  for (double lifetime : completed_lifetimes_s_) total += lifetime;
+  return total / static_cast<double>(completed_lifetimes_s_.size());
+}
+
+ConsistencyStats compare_route_tables(const RouteTable& a, const RouteTable& b) {
+  ConsistencyStats stats;
+  a.visit([&](const RouteRow& route) {
+    if (b.find(route.prefix) != nullptr) {
+      ++stats.common;
+    } else {
+      ++stats.only_a;
+    }
+  });
+  b.visit([&](const RouteRow& route) {
+    if (a.find(route.prefix) == nullptr) ++stats.only_b;
+  });
+  const std::size_t unioned = stats.common + stats.only_a + stats.only_b;
+  stats.jaccard = unioned == 0 ? 1.0 : static_cast<double>(stats.common) / unioned;
+  return stats;
+}
+
+SpikeDetector::Verdict SpikeDetector::observe(double value) {
+  ++samples_seen_;
+  Verdict verdict;
+  if (values_.size() >= 8) {  // need a minimal baseline
+    std::vector<double> sorted(values_.begin(), values_.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    std::vector<double> deviations;
+    deviations.reserve(sorted.size());
+    for (double v : sorted) deviations.push_back(std::abs(v - median));
+    std::sort(deviations.begin(), deviations.end());
+    const double mad = deviations[deviations.size() / 2];
+    const double scale = std::max(mad, mad_floor_);
+    verdict.median = median;
+    verdict.score = std::abs(value - median) / scale;
+    verdict.spike = verdict.score > k_;
+  }
+  if (verdict.spike) {
+    ++consecutive_spikes_;
+    if (consecutive_spikes_ >= regime_threshold_) {
+      // The anomaly persisted long enough to be the new normal: accept it.
+      values_.assign(1, value);
+      consecutive_spikes_ = 0;
+      ++regime_resets_;
+    }
+  } else {
+    consecutive_spikes_ = 0;
+    values_.push_back(value);
+    while (values_.size() > window_) values_.pop_front();
+  }
+  return verdict;
+}
+
+}  // namespace mantra::core

@@ -1,0 +1,40 @@
+#include "core/tables.hpp"
+
+#include <algorithm>
+
+namespace mantra::core {
+
+ParticipantTable derive_participants(const PairTable& pairs, double threshold_kbps) {
+  ParticipantTable out;
+  std::map<net::Ipv4Address, ParticipantRow> accum;
+  pairs.visit([&](const PairRow& pair) {
+    ParticipantRow& row = accum[pair.source];
+    row.host = pair.source;
+    ++row.group_count;
+    row.total_kbps += pair.current_kbps;
+    row.known_for = std::max(row.known_for, pair.uptime);
+    if (pair.current_kbps > threshold_kbps) row.sender = true;
+  });
+  for (auto& [host, row] : accum) out.upsert(std::move(row));
+  return out;
+}
+
+SessionTable derive_sessions(const PairTable& pairs, double threshold_kbps) {
+  SessionTable out;
+  std::map<net::Ipv4Address, SessionRow> accum;
+  pairs.visit([&](const PairRow& pair) {
+    SessionRow& row = accum[pair.group];
+    row.group = pair.group;
+    ++row.density;
+    row.total_kbps += pair.current_kbps;
+    row.age = std::max(row.age, pair.uptime);
+    if (pair.current_kbps > threshold_kbps) {
+      ++row.senders;
+      row.active = true;
+    }
+  });
+  for (auto& [group, row] : accum) out.upsert(std::move(row));
+  return out;
+}
+
+}  // namespace mantra::core

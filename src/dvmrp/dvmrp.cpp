@@ -1,0 +1,232 @@
+#include "dvmrp/dvmrp.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mantra::dvmrp {
+
+Dvmrp::Dvmrp(sim::Engine& engine, net::Ipv4Address router_id, Config config)
+    : engine_(engine),
+      router_id_(router_id),
+      config_(std::move(config)),
+      report_timer_(engine, config_.report_interval, [this] { send_reports_now(); }),
+      expiry_timer_(engine, config_.route_expiry / 2, [this] { expire_now(); }) {}
+
+void Dvmrp::start() {
+  for (const ReportedRoute& origin : config_.originated) {
+    table_.upsert(origin.prefix, origin.metric, net::Ipv4Address{},
+                  net::kInvalidIf, /*local=*/true, engine_.now());
+  }
+  if (config_.timers_enabled) {
+    report_timer_.start();
+    expiry_timer_.start();
+  }
+}
+
+int Dvmrp::interface_metric(net::IfIndex ifindex) const {
+  for (const Config::InterfaceConfig& iface : config_.interfaces) {
+    if (iface.ifindex == ifindex) return iface.metric;
+  }
+  return 1;
+}
+
+RouteReport Dvmrp::build_report(net::IfIndex ifindex) const {
+  RouteReport report;
+  report.sender = router_id_;
+
+  // Aggregation pass: a route covered by a configured aggregate contributes
+  // to the aggregate instead of being advertised itself. The aggregate takes
+  // the minimum metric of its contributors and poisons if the best
+  // contributor's upstream is out this interface.
+  struct AggState {
+    int metric = kInfinity;
+    bool poison = false;
+    bool any = false;
+  };
+  std::map<net::Prefix, AggState> agg;
+
+  table_.visit([&](const Route& route) {
+    const bool poison = !route.local && route.ifindex == ifindex;
+    const int metric =
+        route.state == RouteState::kHolddown ? kInfinity : route.metric;
+    for (const net::Prefix& aggregate : config_.aggregates) {
+      if (aggregate.contains(route.prefix) && aggregate != route.prefix) {
+        AggState& state = agg[aggregate];
+        if (metric < state.metric || !state.any) {
+          state.metric = std::min(metric, kInfinity);
+          state.poison = poison;
+        }
+        state.any = true;
+        return;
+      }
+    }
+    int wire = std::min(metric, kInfinity);
+    if (poison && wire < kInfinity) wire += kInfinity;
+    report.routes.push_back(ReportedRoute{route.prefix, wire});
+  });
+
+  for (const auto& [prefix, state] : agg) {
+    int wire = state.metric;
+    if (state.poison && wire < kInfinity) wire += kInfinity;
+    report.routes.push_back(ReportedRoute{prefix, wire});
+  }
+  return report;
+}
+
+void Dvmrp::send_reports_now() {
+  if (!send_report_) return;
+  for (const Config::InterfaceConfig& iface : config_.interfaces) {
+    RouteReport report = build_report(iface.ifindex);
+    ++reports_sent_;
+    send_report_(iface.ifindex, report);
+  }
+}
+
+void Dvmrp::on_report(net::IfIndex ifindex, net::Ipv4Address from,
+                      const RouteReport& report) {
+  ++reports_received_;
+  const int iface_metric = interface_metric(ifindex);
+  bool changed = false;
+
+  for (const ReportedRoute& advert : report.routes) {
+    if (advert.metric >= 2 * kInfinity || advert.metric < 0) continue;
+
+    Route* existing = table_.find(advert.prefix);
+
+    if (advert.metric >= kInfinity && advert.metric < 2 * kInfinity) {
+      // Poison reverse: `from` depends on us for this route.
+      if (existing != nullptr && existing->state == RouteState::kValid) {
+        if (existing->upstream == from && existing->ifindex == ifindex) {
+          // Our own upstream poisons towards us: mutual-dependency loop;
+          // drop the route into hold-down.
+          existing->state = RouteState::kHolddown;
+          existing->metric = kInfinity;
+          existing->last_change = engine_.now();
+          ++existing->flap_count;
+          changed = true;
+        } else {
+          existing->dependents.insert(from);
+        }
+      }
+      continue;
+    }
+
+    const int new_metric = std::min(advert.metric + iface_metric, kInfinity);
+    if (existing != nullptr) existing->dependents.erase(from);
+
+    if (new_metric >= kInfinity) {
+      // Unreachable advertisement; only meaningful from our upstream.
+      if (existing != nullptr && !existing->local &&
+          existing->state == RouteState::kValid && existing->upstream == from &&
+          existing->ifindex == ifindex) {
+        existing->state = RouteState::kHolddown;
+        existing->metric = kInfinity;
+        existing->last_change = engine_.now();
+        ++existing->flap_count;
+        changed = true;
+      }
+      continue;
+    }
+
+    if (existing == nullptr || existing->state == RouteState::kHolddown) {
+      Route& adopted = table_.upsert(advert.prefix, new_metric, from, ifindex,
+                                     /*local=*/false, engine_.now());
+      adopted.dependents.erase(from);
+      changed = true;
+      continue;
+    }
+    if (existing->local) continue;  // never override locally originated nets
+
+    if (existing->upstream == from && existing->ifindex == ifindex) {
+      // Refresh from current upstream; accept metric changes in either
+      // direction (standard distance-vector rule).
+      if (existing->metric != new_metric) {
+        table_.upsert(advert.prefix, new_metric, from, ifindex, false,
+                      engine_.now());
+        changed = true;
+      } else {
+        existing->last_refresh = engine_.now();
+      }
+      continue;
+    }
+
+    const bool better = new_metric < existing->metric;
+    const bool tiebreak = new_metric == existing->metric && from < existing->upstream;
+    if (better || tiebreak) {
+      Route& adopted = table_.upsert(advert.prefix, new_metric, from, ifindex,
+                                     false, engine_.now());
+      adopted.dependents.erase(from);
+      changed = true;
+    }
+  }
+
+  if (changed) note_change();
+}
+
+void Dvmrp::expire_now() {
+  const sim::TimePoint now = engine_.now();
+  bool changed = false;
+  std::vector<net::Prefix> to_erase;
+
+  table_.visit([&](const Route& route) {
+    if (route.local) return;
+    if (route.state == RouteState::kValid &&
+        now - route.last_refresh >= config_.route_expiry) {
+      to_erase.push_back(route.prefix);  // re-fetch mutable below
+    } else if (route.state == RouteState::kHolddown &&
+               now - route.last_change >= config_.garbage_timeout) {
+      to_erase.push_back(route.prefix);
+    }
+  });
+
+  for (const net::Prefix& prefix : to_erase) {
+    Route* route = table_.find(prefix);
+    if (route == nullptr) continue;
+    if (route->state == RouteState::kValid) {
+      route->state = RouteState::kHolddown;
+      route->metric = kInfinity;
+      route->last_change = now;
+      ++route->flap_count;
+      changed = true;
+    } else {
+      table_.erase(prefix);
+      changed = true;
+    }
+  }
+
+  if (changed) note_change();
+}
+
+void Dvmrp::inject_routes(const std::vector<ReportedRoute>& routes) {
+  for (const ReportedRoute& route : routes) {
+    table_.upsert(route.prefix, route.metric, net::Ipv4Address{},
+                  net::kInvalidIf, /*local=*/true, engine_.now());
+  }
+  note_change();
+  // Flash update: a redistribution event propagates on the next report, but
+  // mrouted also triggers updates on table change; this is what makes the
+  // Fig 9 spike sharp.
+  send_reports_now();
+}
+
+void Dvmrp::withdraw_routes(const std::vector<net::Prefix>& prefixes) {
+  const sim::TimePoint now = engine_.now();
+  for (const net::Prefix& prefix : prefixes) {
+    Route* route = table_.find(prefix);
+    if (route == nullptr) continue;
+    route->local = false;
+    route->state = RouteState::kHolddown;
+    route->metric = kInfinity;
+    route->last_change = now;
+    ++route->flap_count;
+  }
+  note_change();
+  send_reports_now();
+}
+
+void Dvmrp::note_change() {
+  ++route_changes_;
+  if (routes_changed_) routes_changed_();
+}
+
+}  // namespace mantra::dvmrp

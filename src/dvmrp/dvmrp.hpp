@@ -1,0 +1,140 @@
+// DVMRP (RFC 1075 / draft-ietf-idmr-dvmrp-v3) routing engine: periodic full
+// route reports with poison reverse, route expiry and hold-down, optional
+// route aggregation at borders, and runtime injection/withdrawal hooks used
+// by the Fig 8 (migration) and Fig 9 (unicast route injection) scenarios.
+//
+// The data-plane messages (prune / graft / graft-ack) are declared here but
+// processed by the integrated router, which owns the forwarding cache.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dvmrp/route_table.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace mantra::dvmrp {
+
+/// One route inside a report. Metrics >= kInfinity encode poison reverse.
+struct ReportedRoute {
+  net::Prefix prefix;
+  int metric = 1;
+};
+
+struct RouteReport {
+  net::Ipv4Address sender;  ///< filled by the transport on delivery
+  std::vector<ReportedRoute> routes;
+};
+
+/// Data-plane messages (handled by the integrated router).
+struct Prune {
+  net::Ipv4Address source_network;  ///< source host address (RFC: source net)
+  net::Ipv4Address group;
+  sim::Duration lifetime = sim::Duration::seconds(7200);
+};
+struct Graft {
+  net::Ipv4Address source_network;
+  net::Ipv4Address group;
+};
+
+struct Config {
+  /// Interfaces (by ifindex) this DVMRP instance runs on, with their costs.
+  struct InterfaceConfig {
+    net::IfIndex ifindex = net::kInvalidIf;
+    int metric = 1;
+  };
+  std::vector<InterfaceConfig> interfaces;
+
+  /// Directly originated source networks (local subnets plus any stub
+  /// networks this border router represents).
+  std::vector<ReportedRoute> originated;
+
+  /// Aggregation prefixes: routes contained in one of these are advertised
+  /// as the aggregate instead. Deliberately per-router (the paper blames
+  /// "inconsistent route aggregation" for inter-router inconsistency).
+  std::vector<net::Prefix> aggregates;
+
+  sim::Duration report_interval = sim::Duration::seconds(60);
+  sim::Duration route_expiry = sim::Duration::seconds(140);
+  sim::Duration garbage_timeout = sim::Duration::seconds(260);
+
+  /// Trace-scale runs stretch the protocol clocks (e.g. x30) rather than
+  /// disable the machinery; the mechanics are unchanged.
+  void scale_timers(std::int64_t factor) {
+    report_interval = report_interval * factor;
+    route_expiry = route_expiry * factor;
+    garbage_timeout = garbage_timeout * factor;
+  }
+
+  /// When false the instance never starts its timers; tests drive the state
+  /// machine manually via send_reports_now()/expire_now().
+  bool timers_enabled = true;
+};
+
+class Dvmrp {
+ public:
+  /// Transport: deliver a report to all DVMRP neighbors on an interface.
+  using SendReport = std::function<void(net::IfIndex, const RouteReport&)>;
+  /// Notification that the routing table changed (router re-evaluates RPF).
+  using RoutesChanged = std::function<void()>;
+
+  Dvmrp(sim::Engine& engine, net::Ipv4Address router_id, Config config);
+
+  void set_send_report(SendReport fn) { send_report_ = std::move(fn); }
+  void set_routes_changed(RoutesChanged fn) { routes_changed_ = std::move(fn); }
+
+  /// Installs local routes and starts the report/expiry timers.
+  void start();
+
+  /// Processes a route report received on `ifindex` from neighbor `from`.
+  void on_report(net::IfIndex ifindex, net::Ipv4Address from,
+                 const RouteReport& report);
+
+  /// Emits a full (split-horizon/poison-reverse) report on every configured
+  /// interface. Invoked by the periodic timer; public for tests.
+  void send_reports_now();
+
+  /// Runs the expiry/garbage sweep immediately. Public for tests.
+  void expire_now();
+
+  /// Fig 9 fault hook: injects extra routes as locally originated (what a
+  /// misconfigured unicast-redistribution does to mrouted).
+  void inject_routes(const std::vector<ReportedRoute>& routes);
+
+  /// Withdraws previously originated/injected routes (advertised poisoned
+  /// until garbage-collected downstream).
+  void withdraw_routes(const std::vector<net::Prefix>& prefixes);
+
+  [[nodiscard]] const RouteTable& routes() const { return table_; }
+  [[nodiscard]] RouteTable& routes() { return table_; }
+  [[nodiscard]] net::Ipv4Address router_id() const { return router_id_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Monitoring counters.
+  [[nodiscard]] std::uint64_t reports_sent() const { return reports_sent_; }
+  [[nodiscard]] std::uint64_t reports_received() const { return reports_received_; }
+  [[nodiscard]] std::uint64_t route_changes() const { return route_changes_; }
+
+ private:
+  [[nodiscard]] int interface_metric(net::IfIndex ifindex) const;
+  [[nodiscard]] RouteReport build_report(net::IfIndex ifindex) const;
+  void note_change();
+
+  sim::Engine& engine_;
+  net::Ipv4Address router_id_;
+  Config config_;
+  RouteTable table_;
+  SendReport send_report_;
+  RoutesChanged routes_changed_;
+  sim::PeriodicTimer report_timer_;
+  sim::PeriodicTimer expiry_timer_;
+  std::uint64_t reports_sent_ = 0;
+  std::uint64_t reports_received_ = 0;
+  std::uint64_t route_changes_ = 0;
+};
+
+}  // namespace mantra::dvmrp

@@ -1,0 +1,97 @@
+#include "igmp/igmp.hpp"
+
+#include <algorithm>
+
+namespace mantra::igmp {
+
+void Igmp::on_report(net::IfIndex ifindex, net::Ipv4Address group,
+                     net::Ipv4Address reporter) {
+  if (!group.is_multicast()) return;
+  const Key key{ifindex, group};
+  auto [it, fresh_group] = state_.try_emplace(key);
+  GroupState& gs = it->second;
+  if (fresh_group) gs.first_report = engine_.now();
+  const bool fresh_member = gs.members.find(reporter) == gs.members.end();
+  gs.members[reporter] = MemberState{engine_.now()};
+  if (fresh_group && on_change_) on_change_(ifindex, group, true);
+  if (fresh_member && config_.timers_enabled) schedule_expiry();
+}
+
+void Igmp::on_leave(net::IfIndex ifindex, net::Ipv4Address group,
+                    net::Ipv4Address reporter) {
+  const auto it = state_.find(Key{ifindex, group});
+  if (it == state_.end()) return;
+  it->second.members.erase(reporter);
+  if (it->second.members.empty()) {
+    state_.erase(it);
+    if (on_change_) on_change_(ifindex, group, false);
+  }
+}
+
+bool Igmp::has_members(net::IfIndex ifindex, net::Ipv4Address group) const {
+  return state_.find(Key{ifindex, group}) != state_.end();
+}
+
+std::vector<net::Ipv4Address> Igmp::groups(net::IfIndex ifindex) const {
+  std::vector<net::Ipv4Address> out;
+  for (const auto& [key, gs] : state_) {
+    if (key.first == ifindex) out.push_back(key.second);
+  }
+  return out;
+}
+
+std::vector<net::Ipv4Address> Igmp::members(net::IfIndex ifindex,
+                                            net::Ipv4Address group) const {
+  std::vector<net::Ipv4Address> out;
+  const auto it = state_.find(Key{ifindex, group});
+  if (it == state_.end()) return out;
+  out.reserve(it->second.members.size());
+  for (const auto& [addr, member] : it->second.members) out.push_back(addr);
+  return out;
+}
+
+std::vector<net::IfIndex> Igmp::interfaces_with_members(
+    net::Ipv4Address group) const {
+  std::vector<net::IfIndex> out;
+  for (const auto& [key, gs] : state_) {
+    if (key.second == group) out.push_back(key.first);
+  }
+  return out;
+}
+
+std::vector<net::Ipv4Address> Igmp::all_groups() const {
+  std::set<net::Ipv4Address> unique;
+  for (const auto& [key, gs] : state_) unique.insert(key.second);
+  return {unique.begin(), unique.end()};
+}
+
+void Igmp::expire(sim::TimePoint now) {
+  for (auto it = state_.begin(); it != state_.end();) {
+    GroupState& gs = it->second;
+    for (auto member = gs.members.begin(); member != gs.members.end();) {
+      if (now - member->second.last_report >= config_.membership_timeout) {
+        member = gs.members.erase(member);
+      } else {
+        ++member;
+      }
+    }
+    if (gs.members.empty()) {
+      const Key key = it->first;
+      it = state_.erase(it);
+      if (on_change_) on_change_(key.first, key.second, false);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Igmp::schedule_expiry() {
+  if (expiry_event_ != sim::kInvalidEvent) return;
+  expiry_event_ = engine_.schedule_after(config_.membership_timeout, [this] {
+    expiry_event_ = sim::kInvalidEvent;
+    expire(engine_.now());
+    if (!state_.empty() && config_.timers_enabled) schedule_expiry();
+  });
+}
+
+}  // namespace mantra::igmp

@@ -1,0 +1,103 @@
+// IGMPv2 group membership, router side.
+//
+// Tracks, per interface, which groups have members and which hosts reported
+// them. Hosts on a LAN send membership reports (join) and leave messages; a
+// querier timeout reclaims state from hosts that vanish silently.
+//
+// Two operating modes:
+//  * timers enabled (protocol-faithful): membership expires unless refreshed
+//    within `membership_timeout`, as in RFC 2236. Used by unit/integration
+//    tests and short benches.
+//  * timers disabled (trace-scale): membership changes only on explicit
+//    report/leave. Used by the multi-month macro scenarios where periodic
+//    re-report traffic would dominate the event calendar without changing
+//    any monitored statistic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace mantra::igmp {
+
+struct Config {
+  sim::Duration query_interval = sim::Duration::seconds(125);
+  sim::Duration membership_timeout = sim::Duration::seconds(260);
+  bool timers_enabled = true;
+};
+
+/// Router-side IGMP state across all of one router's interfaces.
+class Igmp {
+ public:
+  /// `on_membership_change(ifindex, group, has_members)` fires on the first
+  /// report for a group on an interface and when the last member goes away;
+  /// the multicast routing protocols (DVMRP graft/prune, PIM join/prune)
+  /// react to it.
+  using MembershipChange =
+      std::function<void(net::IfIndex, net::Ipv4Address, bool)>;
+
+  Igmp(sim::Engine& engine, Config config) : engine_(engine), config_(config) {}
+
+  void set_membership_change_handler(MembershipChange handler) {
+    on_change_ = std::move(handler);
+  }
+
+  /// Processes a membership report from `reporter` for `group` on `ifindex`.
+  /// Refreshes the member's expiry timer.
+  void on_report(net::IfIndex ifindex, net::Ipv4Address group,
+                 net::Ipv4Address reporter);
+
+  /// Processes a leave-group message. In IGMPv2 a leave triggers a
+  /// group-specific query; we model the net effect (member removed, group
+  /// state dropped when the last member leaves).
+  void on_leave(net::IfIndex ifindex, net::Ipv4Address group,
+                net::Ipv4Address reporter);
+
+  [[nodiscard]] bool has_members(net::IfIndex ifindex, net::Ipv4Address group) const;
+
+  /// Groups with at least one member on the interface, sorted.
+  [[nodiscard]] std::vector<net::Ipv4Address> groups(net::IfIndex ifindex) const;
+
+  /// Reporters for one group on one interface, sorted.
+  [[nodiscard]] std::vector<net::Ipv4Address> members(net::IfIndex ifindex,
+                                                      net::Ipv4Address group) const;
+
+  /// All interfaces on which the group currently has members.
+  [[nodiscard]] std::vector<net::IfIndex> interfaces_with_members(
+      net::Ipv4Address group) const;
+
+  /// Union of groups over all interfaces, sorted.
+  [[nodiscard]] std::vector<net::Ipv4Address> all_groups() const;
+
+  /// Sweeps expired members (timers mode). Called from the engine; also
+  /// callable directly by tests.
+  void expire(sim::TimePoint now);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct MemberState {
+    sim::TimePoint last_report;
+  };
+  struct GroupState {
+    std::map<net::Ipv4Address, MemberState> members;
+    sim::TimePoint first_report;
+  };
+  using Key = std::pair<net::IfIndex, net::Ipv4Address>;
+
+  void schedule_expiry();
+
+  sim::Engine& engine_;
+  Config config_;
+  MembershipChange on_change_;
+  std::map<Key, GroupState> state_;
+  sim::EventId expiry_event_ = sim::kInvalidEvent;
+};
+
+}  // namespace mantra::igmp

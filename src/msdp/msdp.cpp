@@ -1,0 +1,136 @@
+#include "msdp/msdp.hpp"
+
+namespace mantra::msdp {
+
+Msdp::Msdp(sim::Engine& engine, net::Ipv4Address rp_address, Config config)
+    : engine_(engine),
+      rp_address_(rp_address),
+      config_(std::move(config)),
+      advertise_timer_(engine, config_.sa_advertisement_interval,
+                       [this] { advertise_now(); }),
+      expire_timer_(engine, config_.sa_cache_timeout / 2, [this] { expire_now(); }) {}
+
+void Msdp::start() {
+  if (config_.timers_enabled) {
+    advertise_timer_.start();
+    expire_timer_.start();
+  }
+}
+
+int Msdp::mesh_group_of(net::Ipv4Address peer) const {
+  for (const PeerConfig& config : config_.peers) {
+    if (config.address == peer) return config.mesh_group;
+  }
+  return 0;
+}
+
+void Msdp::originate(net::Ipv4Address source, net::Ipv4Address group) {
+  const SgKey key{source, group};
+  originating_.insert(key);
+  SaCacheEntry& entry = cache_[key];
+  const bool fresh = entry.first_seen == sim::TimePoint{} && entry.source.is_unspecified();
+  entry.source = source;
+  entry.group = group;
+  entry.origin_rp = rp_address_;
+  entry.learned_from = net::Ipv4Address{};
+  if (fresh) entry.first_seen = engine_.now();
+  entry.last_refresh = engine_.now();
+
+  SourceActive message{rp_address_, rp_address_, source, group};
+  flood(message, net::Ipv4Address{});
+}
+
+void Msdp::stop_originating(net::Ipv4Address source, net::Ipv4Address group) {
+  const SgKey key{source, group};
+  originating_.erase(key);
+  // The cache entry ages out naturally, as in the protocol (there is no
+  // explicit SA-withdraw message in MSDP).
+}
+
+void Msdp::on_source_active(const SourceActive& message) {
+  ++sa_received_;
+  // Peer-RPF check: accept only from the peer on the best path towards the
+  // originating RP, or from any member of a shared mesh group.
+  const int sender_mesh = mesh_group_of(message.sender);
+  if (sender_mesh == 0 && rpf_peer_) {
+    const net::Ipv4Address expected = rpf_peer_(message.origin_rp);
+    if (expected != message.sender) {
+      ++sa_rpf_failures_;
+      return;
+    }
+  }
+
+  const SgKey key{message.source, message.group};
+  const auto it = cache_.find(key);
+  const bool fresh = it == cache_.end();
+  SaCacheEntry& entry = cache_[key];
+  entry.source = message.source;
+  entry.group = message.group;
+  entry.origin_rp = message.origin_rp;
+  entry.learned_from = message.sender;
+  if (fresh) entry.first_seen = engine_.now();
+  entry.last_refresh = engine_.now();
+
+  if (fresh && sa_learned_) {
+    sa_learned_(message.source, message.group, message.origin_rp);
+  }
+  flood(message, message.sender);
+}
+
+void Msdp::flood(const SourceActive& original, net::Ipv4Address from_peer) {
+  if (!send_sa_) return;
+  const int source_mesh = from_peer.is_unspecified() ? 0 : mesh_group_of(from_peer);
+  for (const PeerConfig& peer : config_.peers) {
+    if (peer.address == from_peer) continue;
+    // Mesh-group rule: an SA received from a mesh member is not re-flooded
+    // to other members of the same mesh.
+    if (source_mesh != 0 && peer.mesh_group == source_mesh) continue;
+    SourceActive message = original;
+    message.sender = rp_address_;
+    ++sa_sent_;
+    send_sa_(peer.address, message);
+  }
+}
+
+void Msdp::advertise_now() {
+  for (const SgKey& key : originating_) {
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      it->second.last_refresh = engine_.now();
+    }
+    SourceActive message{rp_address_, rp_address_, key.first, key.second};
+    flood(message, net::Ipv4Address{});
+  }
+}
+
+void Msdp::flush(net::Ipv4Address source, net::Ipv4Address group) {
+  const SgKey key{source, group};
+  originating_.erase(key);
+  if (cache_.erase(key) > 0 && sa_expired_) sa_expired_(source, group);
+}
+
+void Msdp::expire_now() {
+  const sim::TimePoint now = engine_.now();
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    const bool local = originating_.find(it->first) != originating_.end();
+    if (!local && now - it->second.last_refresh >= config_.sa_cache_timeout) {
+      const SgKey key = it->first;
+      it = cache_.erase(it);
+      if (sa_expired_) sa_expired_(key.first, key.second);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<SaCacheEntry> Msdp::sa_cache() const {
+  std::vector<SaCacheEntry> out;
+  out.reserve(cache_.size());
+  for (const auto& [key, entry] : cache_) out.push_back(entry);
+  return out;
+}
+
+bool Msdp::has_sa(net::Ipv4Address source, net::Ipv4Address group) const {
+  return cache_.find(SgKey{source, group}) != cache_.end();
+}
+
+}  // namespace mantra::msdp

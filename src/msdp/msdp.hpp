@@ -1,0 +1,127 @@
+// MSDP (draft-ietf-msdp, later RFC 3618): Source-Active flooding between
+// PIM-SM Rendezvous Points so receivers in one domain can find sources
+// registered in another. The paper calls out MSDP as a protocol with no
+// usable MIB at all — which is exactly why Mantra scrapes the SA cache from
+// the router CLI; our router renders the same `show ip msdp sa-cache` text.
+//
+// Implemented: SA origination by the RP, periodic re-origination, peer-RPF
+// flooding, mesh groups, SA cache with expiry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "sim/engine.hpp"
+
+namespace mantra::msdp {
+
+struct SourceActive {
+  net::Ipv4Address sender;     ///< filled in by the transport
+  net::Ipv4Address origin_rp;  ///< RP that originated the SA
+  net::Ipv4Address source;
+  net::Ipv4Address group;
+};
+
+struct SaCacheEntry {
+  net::Ipv4Address source;
+  net::Ipv4Address group;
+  net::Ipv4Address origin_rp;
+  net::Ipv4Address learned_from;  ///< peer; unspecified if locally originated
+  sim::TimePoint first_seen;
+  sim::TimePoint last_refresh;
+};
+
+struct PeerConfig {
+  net::Ipv4Address address;
+  int mesh_group = 0;  ///< 0 = no mesh group
+};
+
+struct Config {
+  std::vector<PeerConfig> peers;
+  sim::Duration sa_advertisement_interval = sim::Duration::seconds(60);
+  sim::Duration sa_cache_timeout = sim::Duration::seconds(150);
+  void scale_timers(std::int64_t factor) {
+    sa_advertisement_interval = sa_advertisement_interval * factor;
+    sa_cache_timeout = sa_cache_timeout * factor;
+  }
+  bool timers_enabled = true;
+};
+
+class Msdp {
+ public:
+  using SendSa = std::function<void(net::Ipv4Address peer, const SourceActive&)>;
+  /// Peer-RPF oracle: the peer we would accept SAs about `origin_rp` from
+  /// (typically derived from the MBGP best path towards the RP).
+  using RpfPeer = std::function<net::Ipv4Address(net::Ipv4Address origin_rp)>;
+  /// A new (source, group) appeared in the cache (PIM may join it) or
+  /// disappeared from it (PIM tears interest down).
+  using SaLearned = std::function<void(net::Ipv4Address source,
+                                       net::Ipv4Address group,
+                                       net::Ipv4Address origin_rp)>;
+  using SaExpired = std::function<void(net::Ipv4Address source,
+                                       net::Ipv4Address group)>;
+
+  Msdp(sim::Engine& engine, net::Ipv4Address rp_address, Config config);
+
+  void set_send_sa(SendSa fn) { send_sa_ = std::move(fn); }
+  void set_rpf_peer(RpfPeer fn) { rpf_peer_ = std::move(fn); }
+  void set_sa_learned(SaLearned fn) { sa_learned_ = std::move(fn); }
+  void set_sa_expired(SaExpired fn) { sa_expired_ = std::move(fn); }
+
+  void start();
+
+  /// RP-side origination: a local source registered. Re-announced every
+  /// advertisement interval until stop_originating is called.
+  void originate(net::Ipv4Address source, net::Ipv4Address group);
+  void stop_originating(net::Ipv4Address source, net::Ipv4Address group);
+
+  void on_source_active(const SourceActive& message);
+
+  /// Drops a cache entry immediately (fires sa_expired). Used by trace-scale
+  /// runs to tear state down explicitly instead of waiting for the timeout.
+  void flush(net::Ipv4Address source, net::Ipv4Address group);
+
+  /// Sweeps expired cache entries; public for tests.
+  void expire_now();
+
+  /// Re-floods locally originated SAs; public for tests.
+  void advertise_now();
+
+  [[nodiscard]] std::vector<SaCacheEntry> sa_cache() const;
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] bool has_sa(net::Ipv4Address source, net::Ipv4Address group) const;
+  [[nodiscard]] net::Ipv4Address rp_address() const { return rp_address_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  [[nodiscard]] std::uint64_t sa_sent() const { return sa_sent_; }
+  [[nodiscard]] std::uint64_t sa_received() const { return sa_received_; }
+  [[nodiscard]] std::uint64_t sa_rpf_failures() const { return sa_rpf_failures_; }
+
+ private:
+  using SgKey = std::pair<net::Ipv4Address, net::Ipv4Address>;  ///< (S, G)
+
+  void flood(const SourceActive& message, net::Ipv4Address from_peer);
+  [[nodiscard]] int mesh_group_of(net::Ipv4Address peer) const;
+
+  sim::Engine& engine_;
+  net::Ipv4Address rp_address_;
+  Config config_;
+  SendSa send_sa_;
+  RpfPeer rpf_peer_;
+  SaLearned sa_learned_;
+  SaExpired sa_expired_;
+  std::map<SgKey, SaCacheEntry> cache_;
+  std::set<SgKey> originating_;
+  sim::PeriodicTimer advertise_timer_;
+  sim::PeriodicTimer expire_timer_;
+  std::uint64_t sa_sent_ = 0;
+  std::uint64_t sa_received_ = 0;
+  std::uint64_t sa_rpf_failures_ = 0;
+};
+
+}  // namespace mantra::msdp

@@ -1,0 +1,38 @@
+#include "net/ipv4.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace mantra::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> octets{};
+  const char* cursor = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+    auto [next, ec] = std::from_chars(cursor, end, octets[i]);
+    if (ec != std::errc{} || next == cursor || octets[i] > 255) return std::nullopt;
+    cursor = next;
+  }
+  if (cursor != end) return std::nullopt;
+  return Ipv4Address(static_cast<std::uint8_t>(octets[0]),
+                     static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]),
+                     static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out.append(std::to_string(octet(i)));
+  }
+  return out;
+}
+
+}  // namespace mantra::net

@@ -1,0 +1,84 @@
+// IPv4 address value type used throughout the Mantra reproduction.
+//
+// Addresses are stored in host byte order as a 32-bit integer; the class is a
+// trivially copyable value type suitable for use as a map key.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mantra::net {
+
+/// An IPv4 address. Immutable value type, host byte order internally.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+
+  /// Constructs from a host-order 32-bit value, e.g. 0xE0000001 == 224.0.0.1.
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : value_(host_order) {}
+
+  /// Constructs from dotted-quad octets: Ipv4Address(224, 2, 127, 254).
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("10.1.2.3"). Returns nullopt on any
+  /// malformed input (missing octets, values > 255, stray characters).
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  /// Renders dotted-quad notation.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// True for 224.0.0.0/4 (class D), the multicast group range.
+  [[nodiscard]] constexpr bool is_multicast() const {
+    return (value_ & 0xF0000000u) == 0xE0000000u;
+  }
+
+  /// True for 224.0.0.0/24, the link-local multicast control block
+  /// (all-routers, all-systems, DVMRP/PIM/IGMP protocol groups).
+  [[nodiscard]] constexpr bool is_link_local_multicast() const {
+    return (value_ & 0xFFFFFF00u) == 0xE0000000u;
+  }
+
+  /// True for 239.0.0.0/8, administratively scoped multicast.
+  [[nodiscard]] constexpr bool is_admin_scoped() const {
+    return (value_ & 0xFF000000u) == 0xEF000000u;
+  }
+
+  [[nodiscard]] constexpr bool is_unspecified() const { return value_ == 0; }
+
+  [[nodiscard]] constexpr bool is_loopback() const {
+    return (value_ & 0xFF000000u) == 0x7F000000u;
+  }
+
+  /// Octet accessor, index 0 is the most significant ("a" in a.b.c.d).
+  [[nodiscard]] constexpr std::uint8_t octet(int index) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - index)));
+  }
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Well-known protocol groups (224.0.0.0/24 control block).
+inline constexpr Ipv4Address kAllSystemsGroup{224, 0, 0, 1};
+inline constexpr Ipv4Address kAllRoutersGroup{224, 0, 0, 2};
+inline constexpr Ipv4Address kDvmrpRoutersGroup{224, 0, 0, 4};
+inline constexpr Ipv4Address kAllPimRoutersGroup{224, 0, 0, 13};
+
+}  // namespace mantra::net
+
+template <>
+struct std::hash<mantra::net::Ipv4Address> {
+  std::size_t operator()(const mantra::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,35 @@
+#include "net/prefix.hpp"
+
+#include <charconv>
+
+namespace mantra::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    auto addr = Ipv4Address::parse(text);
+    if (!addr) return std::nullopt;
+    return Prefix(*addr, 32);
+  }
+  auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  int length = 0;
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      length < 0 || length > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*addr, length);
+}
+
+std::string Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+std::string Prefix::netmask_string() const {
+  return Ipv4Address(netmask()).to_string();
+}
+
+}  // namespace mantra::net

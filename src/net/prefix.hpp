@@ -1,0 +1,85 @@
+// CIDR prefixes and netmask arithmetic.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+
+namespace mantra::net {
+
+/// Returns the netmask for a prefix length, e.g. mask_for_length(24) ==
+/// 0xFFFFFF00. Length must be in [0, 32].
+[[nodiscard]] constexpr std::uint32_t mask_for_length(int length) {
+  return length == 0 ? 0u : (~std::uint32_t{0} << (32 - length));
+}
+
+/// A CIDR prefix (network address + length). Always stored canonically:
+/// host bits are zeroed at construction, so two prefixes compare equal iff
+/// they denote the same network.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Canonicalises: host bits of `address` below `length` are discarded.
+  constexpr Prefix(Ipv4Address address, int length)
+      : address_(Ipv4Address(address.value() & mask_for_length(length))),
+        length_(static_cast<std::uint8_t>(length)) {}
+
+  /// Parses "a.b.c.d/len". A bare address parses as a /32 host route.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  /// Renders "a.b.c.d/len".
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr Ipv4Address address() const { return address_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+  [[nodiscard]] constexpr std::uint32_t netmask() const {
+    return mask_for_length(length_);
+  }
+
+  /// Netmask in dotted-quad form ("255.255.255.0"), as mrouted prints it.
+  [[nodiscard]] std::string netmask_string() const;
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address addr) const {
+    return (addr.value() & netmask()) == address_.value();
+  }
+
+  /// True if `other` is equal to or more specific than this prefix.
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.address_);
+  }
+
+  /// Number of addresses covered (2^(32-length)), saturating for /0.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// The i-th host address inside the prefix (i=0 is the network address).
+  [[nodiscard]] constexpr Ipv4Address host(std::uint32_t i) const {
+    return Ipv4Address(address_.value() + i);
+  }
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Address address_;
+  std::uint8_t length_ = 0;
+};
+
+/// The full class-D multicast range 224.0.0.0/4.
+inline constexpr Prefix kMulticastRange{Ipv4Address{224, 0, 0, 0}, 4};
+
+}  // namespace mantra::net
+
+template <>
+struct std::hash<mantra::net::Prefix> {
+  std::size_t operator()(const mantra::net::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.address().value()} << 8) | std::uint64_t(p.length()));
+  }
+};

@@ -1,0 +1,110 @@
+#include "net/topology.hpp"
+
+#include <stdexcept>
+
+namespace mantra::net {
+
+Ipv4Address Node::primary_address() const {
+  Ipv4Address best;
+  for (const Interface& iface : interfaces) {
+    if (iface.address.is_unspecified()) continue;
+    if (best.is_unspecified() || iface.address < best) best = iface.address;
+  }
+  return best;
+}
+
+NodeId Topology::add_node(std::string name, NodeKind kind) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{.id = id, .name = std::move(name), .kind = kind, .interfaces = {}});
+  return id;
+}
+
+IfIndex Topology::add_interface(NodeId node_id, Ipv4Address address, Prefix subnet,
+                                LinkId link, int metric) {
+  Node& owner = node(node_id);
+  const IfIndex ifindex = static_cast<IfIndex>(owner.interfaces.size());
+  const char* base = link != kInvalidLink && links_[link].kind == LinkKind::kTunnel
+                         ? "tunnel"
+                         : "eth";
+  owner.interfaces.push_back(Interface{
+      .ifindex = ifindex,
+      .name = base + std::to_string(ifindex),
+      .address = address,
+      .subnet = subnet,
+      .link = link,
+      .metric = metric,
+      .enabled = true,
+  });
+  by_address_[address] = Attachment{node_id, ifindex};
+  return ifindex;
+}
+
+LinkId Topology::connect(NodeId a, NodeId b, Prefix subnet, LinkKind kind,
+                         int delay_ms, int metric) {
+  if (subnet.length() > 30) {
+    throw std::invalid_argument("point-to-point subnet must be /30 or shorter");
+  }
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{.id = id,
+                        .kind = kind,
+                        .subnet = subnet,
+                        .delay_ms = delay_ms,
+                        .capacity_kbps = 100'000,
+                        .attachments = {},
+                        .next_host_offset = 3});
+  const IfIndex ifa = add_interface(a, subnet.host(1), subnet, id, metric);
+  const IfIndex ifb = add_interface(b, subnet.host(2), subnet, id, metric);
+  links_[id].attachments = {Attachment{a, ifa}, Attachment{b, ifb}};
+  return id;
+}
+
+LinkId Topology::create_lan(Prefix subnet, int delay_ms) {
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{.id = id,
+                        .kind = LinkKind::kLan,
+                        .subnet = subnet,
+                        .delay_ms = delay_ms,
+                        .capacity_kbps = 100'000,
+                        .attachments = {},
+                        .next_host_offset = 1});
+  return id;
+}
+
+IfIndex Topology::attach_to_lan(NodeId node_id, LinkId lan, int metric) {
+  Link& l = link(lan);
+  if (l.kind != LinkKind::kLan) {
+    throw std::invalid_argument("attach_to_lan requires a LAN link");
+  }
+  if (l.next_host_offset + 1 >= l.subnet.size()) {
+    throw std::runtime_error("LAN subnet exhausted: " + l.subnet.to_string());
+  }
+  const Ipv4Address address = l.subnet.host(l.next_host_offset++);
+  const IfIndex ifindex = add_interface(node_id, address, l.subnet, lan, metric);
+  l.attachments.push_back(Attachment{node_id, ifindex});
+  return ifindex;
+}
+
+std::vector<Attachment> Topology::neighbors(NodeId node_id, IfIndex ifindex) const {
+  std::vector<Attachment> out;
+  const Interface* iface = node(node_id).interface(ifindex);
+  if (iface == nullptr || !iface->enabled || iface->link == kInvalidLink) return out;
+  for (const Attachment& att : link(iface->link).attachments) {
+    if (att.node == node_id && att.ifindex == ifindex) continue;
+    const Interface* peer = node(att.node).interface(att.ifindex);
+    if (peer != nullptr && peer->enabled) out.push_back(att);
+  }
+  return out;
+}
+
+std::optional<Attachment> Topology::find_by_address(Ipv4Address address) const {
+  const auto it = by_address_.find(address);
+  if (it == by_address_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Topology::set_interface_enabled(NodeId node_id, IfIndex ifindex, bool enabled) {
+  Interface* iface = node(node_id).interface(ifindex);
+  if (iface != nullptr) iface->enabled = enabled;
+}
+
+}  // namespace mantra::net

@@ -1,0 +1,128 @@
+// Static network topology: nodes (routers and hosts), links (point-to-point,
+// multi-access LANs, DVMRP tunnels) and numbered, addressed interfaces.
+//
+// The topology is the ground truth that protocol simulations run over. It is
+// built up-front by scenario code and never mutated while the simulation is
+// running, except for enabling/disabling interfaces (link failures).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace mantra::net {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+using IfIndex = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+inline constexpr LinkId kInvalidLink = ~LinkId{0};
+inline constexpr IfIndex kInvalidIf = ~IfIndex{0};
+
+enum class NodeKind : std::uint8_t { kRouter, kHost };
+enum class LinkKind : std::uint8_t { kPointToPoint, kLan, kTunnel };
+
+/// One end of a link: which node, via which of its interfaces.
+struct Attachment {
+  NodeId node = kInvalidNode;
+  IfIndex ifindex = kInvalidIf;
+
+  friend bool operator==(const Attachment&, const Attachment&) = default;
+};
+
+struct Interface {
+  IfIndex ifindex = kInvalidIf;
+  std::string name;       ///< "eth0", "tunnel2", ...
+  Ipv4Address address;    ///< this node's address on the link
+  Prefix subnet;          ///< the link's subnet
+  LinkId link = kInvalidLink;
+  int metric = 1;         ///< routing cost out of this interface
+  bool enabled = true;
+};
+
+struct Node {
+  NodeId id = kInvalidNode;
+  std::string name;
+  NodeKind kind = NodeKind::kRouter;
+  std::vector<Interface> interfaces;
+
+  [[nodiscard]] const Interface* interface(IfIndex ifindex) const {
+    return ifindex < interfaces.size() ? &interfaces[ifindex] : nullptr;
+  }
+  [[nodiscard]] Interface* interface(IfIndex ifindex) {
+    return ifindex < interfaces.size() ? &interfaces[ifindex] : nullptr;
+  }
+
+  /// The node's canonical identity address: its lowest interface address.
+  /// Routers use this as their router-id in protocol messages.
+  [[nodiscard]] Ipv4Address primary_address() const;
+};
+
+struct Link {
+  LinkId id = kInvalidLink;
+  LinkKind kind = LinkKind::kPointToPoint;
+  Prefix subnet;
+  int delay_ms = 1;
+  std::int64_t capacity_kbps = 100'000;
+  std::vector<Attachment> attachments;
+  std::uint32_t next_host_offset = 1;  ///< address allocator cursor
+};
+
+/// The network graph. NodeIds/LinkIds are dense indices.
+class Topology {
+ public:
+  NodeId add_node(std::string name, NodeKind kind);
+
+  /// Convenience wrappers for the two node kinds.
+  NodeId add_router(std::string name) { return add_node(std::move(name), NodeKind::kRouter); }
+  NodeId add_host(std::string name) { return add_node(std::move(name), NodeKind::kHost); }
+
+  /// Connects two nodes with a point-to-point (or tunnel) link, allocating
+  /// .1 and .2 of `subnet` as the endpoint addresses.
+  LinkId connect(NodeId a, NodeId b, Prefix subnet,
+                 LinkKind kind = LinkKind::kPointToPoint, int delay_ms = 1,
+                 int metric = 1);
+
+  /// Creates an empty multi-access LAN; attach nodes with attach_to_lan.
+  LinkId create_lan(Prefix subnet, int delay_ms = 1);
+
+  /// Attaches a node to a LAN, allocating the next free host address.
+  /// Returns the new interface's index on that node.
+  IfIndex attach_to_lan(NodeId node, LinkId lan, int metric = 1);
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
+  [[nodiscard]] Node& node(NodeId id) { return nodes_.at(id); }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id); }
+  [[nodiscard]] Link& link(LinkId id) { return links_.at(id); }
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// All other attachments on the link out of (node, ifindex); empty if the
+  /// interface is invalid or disabled.
+  [[nodiscard]] std::vector<Attachment> neighbors(NodeId node, IfIndex ifindex) const;
+
+  /// Reverse lookup from an interface address to its owner.
+  [[nodiscard]] std::optional<Attachment> find_by_address(Ipv4Address address) const;
+
+  /// Administratively enable/disable one interface (simulates link flap on
+  /// that attachment).
+  void set_interface_enabled(NodeId node, IfIndex ifindex, bool enabled);
+
+ private:
+  IfIndex add_interface(NodeId node, Ipv4Address address, Prefix subnet,
+                        LinkId link, int metric);
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::unordered_map<Ipv4Address, Attachment> by_address_;
+};
+
+}  // namespace mantra::net

@@ -1,0 +1,391 @@
+#include "pim/pim.hpp"
+
+#include <algorithm>
+
+namespace mantra::pim {
+
+Pim::Pim(sim::Engine& engine, net::Ipv4Address router_id, Config config)
+    : engine_(engine),
+      router_id_(router_id),
+      config_(std::move(config)),
+      refresh_timer_(engine, config_.join_prune_interval, [this] {
+        send_periodic_joins();
+        expire_now();
+      }) {}
+
+void Pim::start() {
+  if (config_.timers_enabled) refresh_timer_.start();
+}
+
+net::Ipv4Address Pim::rp_for(net::Ipv4Address group) const {
+  for (const auto& [range, rp] : config_.rp_map) {
+    if (range.contains(group)) return rp;
+  }
+  return net::Ipv4Address{};
+}
+
+bool Pim::is_rp_for(net::Ipv4Address group) const {
+  return rp_for(group) == router_id_ && !router_id_.is_unspecified();
+}
+
+Pim::StarGState& Pim::ensure_star_g(net::Ipv4Address group) {
+  auto [it, fresh] = star_g_.try_emplace(group);
+  StarGState& state = it->second;
+  if (fresh) {
+    state.entry.group = group;
+    state.entry.wildcard = true;
+    state.entry.rp = rp_for(group);
+    state.entry.created = engine_.now();
+    if (!is_rp_for(group) && rpf_lookup_) {
+      if (const auto rpf = rpf_lookup_(state.entry.rp)) {
+        state.entry.upstream_if = rpf->ifindex;
+        state.entry.upstream_neighbor = rpf->neighbor;
+      }
+    }
+  }
+  return state;
+}
+
+Pim::SgState& Pim::ensure_sg(net::Ipv4Address source, net::Ipv4Address group) {
+  auto [it, fresh] = sg_.try_emplace(SgKey{source, group});
+  SgState& state = it->second;
+  if (fresh) {
+    state.entry.group = group;
+    state.entry.source = source;
+    state.entry.rp = rp_for(group);
+    state.entry.created = engine_.now();
+    if (rpf_lookup_) {
+      if (const auto rpf = rpf_lookup_(source)) {
+        state.entry.upstream_if = rpf->ifindex;
+        state.entry.upstream_neighbor = rpf->neighbor;
+      }
+    }
+  }
+  return state;
+}
+
+void Pim::refresh_oifs(RouteEntry& entry, const DownstreamState& down) const {
+  entry.oifs.clear();
+  for (net::IfIndex ifindex : down.joined) {
+    if (ifindex != entry.upstream_if) entry.oifs.insert(ifindex);
+  }
+  for (net::IfIndex ifindex : down.local) {
+    if (ifindex != entry.upstream_if) entry.oifs.insert(ifindex);
+  }
+}
+
+void Pim::send_upstream(const RouteEntry& entry, bool join, bool wildcard,
+                        net::Ipv4Address source) {
+  if (!send_join_prune_ || entry.upstream_if == net::kInvalidIf ||
+      entry.upstream_neighbor.is_unspecified()) {
+    return;
+  }
+  JoinPrune message;
+  message.sender = router_id_;
+  message.upstream_neighbor = entry.upstream_neighbor;
+  message.holdtime = config_.state_holdtime;
+  message.entries.push_back(
+      JoinPruneEntry{entry.group, source, wildcard, join});
+  ++joins_sent_;
+  send_join_prune_(entry.upstream_if, message);
+}
+
+void Pim::evaluate_star_g(net::Ipv4Address group) {
+  const auto it = star_g_.find(group);
+  if (it == star_g_.end()) return;
+  StarGState& state = it->second;
+  refresh_oifs(state.entry, state.down);
+
+  const bool want_upstream = !state.entry.oifs.empty() && !is_rp_for(group);
+  if (want_upstream != state.upstream_joined) {
+    send_upstream(state.entry, want_upstream, /*wildcard=*/true,
+                  net::Ipv4Address{});
+    state.upstream_joined = want_upstream;
+  }
+
+  // If we are the RP and receivers exist, pull every known active source
+  // onto the shortest-path tree.
+  if (is_rp_for(group) && !state.entry.oifs.empty()) {
+    const auto sources = rp_known_sources_.find(group);
+    if (sources != rp_known_sources_.end()) {
+      for (net::Ipv4Address source : sources->second) {
+        SgState& sg = ensure_sg(source, group);
+        if (!sg.locally_wanted) {
+          sg.locally_wanted = true;
+          evaluate_sg(source, group);
+        }
+      }
+    }
+  }
+
+  // (S,G) upstream interest can depend on (*,G) oifs; re-evaluate siblings.
+  std::vector<net::Ipv4Address> sources;
+  for (const auto& [key, sg] : sg_) {
+    if (key.second == group) sources.push_back(key.first);
+  }
+  for (net::Ipv4Address source : sources) evaluate_sg(source, group);
+
+  note_change(group);
+  maybe_gc_star_g(group);
+}
+
+void Pim::evaluate_sg(net::Ipv4Address source, net::Ipv4Address group) {
+  const auto it = sg_.find(SgKey{source, group});
+  if (it == sg_.end()) return;
+  SgState& state = it->second;
+  refresh_oifs(state.entry, state.down);
+
+  // Forwarding also inherits the shared-tree oifs (RFC 2362 forwarding rule);
+  // upstream interest exists if anything would be forwarded.
+  std::set<net::IfIndex> effective = state.entry.oifs;
+  if (const auto star = star_g_.find(group); star != star_g_.end()) {
+    for (net::IfIndex ifindex : star->second.entry.oifs) {
+      if (ifindex != state.entry.upstream_if) effective.insert(ifindex);
+    }
+  }
+
+  const bool directly_connected = state.entry.upstream_neighbor.is_unspecified();
+  const bool want_upstream =
+      (state.locally_wanted || !effective.empty()) && !directly_connected;
+  if (want_upstream != state.upstream_joined) {
+    send_upstream(state.entry, want_upstream, /*wildcard=*/false, source);
+    state.upstream_joined = want_upstream;
+    if (want_upstream) state.entry.spt = true;
+  }
+
+  note_change(group);
+  maybe_gc_sg(SgKey{source, group});
+}
+
+void Pim::local_membership_changed(net::IfIndex ifindex, net::Ipv4Address group,
+                                   bool has_members) {
+  if (has_members) {
+    StarGState& state = ensure_star_g(group);
+    state.down.local.insert(ifindex);
+  } else {
+    const auto it = star_g_.find(group);
+    if (it == star_g_.end()) return;
+    it->second.down.local.erase(ifindex);
+  }
+  // Mirror membership into existing (S,G) entries for this group (their
+  // oifs include local-member interfaces too).
+  for (auto& [key, sg] : sg_) {
+    if (key.second != group) continue;
+    if (has_members) {
+      sg.down.local.insert(ifindex);
+    } else {
+      sg.down.local.erase(ifindex);
+    }
+  }
+  evaluate_star_g(group);
+}
+
+void Pim::local_source_active(net::Ipv4Address source, net::Ipv4Address group) {
+  SgState& state = ensure_sg(source, group);
+  state.entry.register_state = true;
+  if (is_rp_for(group)) {
+    // The DR is the RP itself: no register tunnel needed.
+    on_register(Register{router_id_, source, group});
+  } else if (send_register_) {
+    ++registers_sent_;
+    send_register_(rp_for(group), Register{router_id_, source, group});
+  }
+  evaluate_sg(source, group);
+}
+
+void Pim::local_source_gone(net::Ipv4Address source, net::Ipv4Address group) {
+  const auto it = sg_.find(SgKey{source, group});
+  if (it == sg_.end()) return;
+  it->second.entry.register_state = false;
+  it->second.locally_wanted = false;
+  evaluate_sg(source, group);
+}
+
+void Pim::on_data_arrival(net::Ipv4Address source, net::Ipv4Address group) {
+  if (!config_.spt_switchover) return;
+  const auto star = star_g_.find(group);
+  if (star == star_g_.end() || star->second.down.local.empty()) return;
+  SgState& state = ensure_sg(source, group);
+  if (state.locally_wanted) return;
+  state.locally_wanted = true;
+  state.entry.spt = true;
+  // The SPT inherits the local-member interfaces from the shared tree.
+  state.down.local = star->second.down.local;
+  evaluate_sg(source, group);
+}
+
+void Pim::join_remote_source(net::Ipv4Address source, net::Ipv4Address group) {
+  SgState& state = ensure_sg(source, group);
+  if (state.locally_wanted) return;
+  state.locally_wanted = true;
+  evaluate_sg(source, group);
+}
+
+void Pim::remote_source_gone(net::Ipv4Address source, net::Ipv4Address group) {
+  if (auto sources = rp_known_sources_.find(group);
+      sources != rp_known_sources_.end()) {
+    sources->second.erase(source);
+    if (sources->second.empty()) rp_known_sources_.erase(sources);
+  }
+  const auto it = sg_.find(SgKey{source, group});
+  if (it == sg_.end()) return;
+  it->second.locally_wanted = false;
+  evaluate_sg(source, group);
+}
+
+void Pim::on_join_prune(net::IfIndex ifindex, const JoinPrune& message) {
+  const bool addressed_to_us =
+      is_local_address_ ? is_local_address_(message.upstream_neighbor)
+                        : message.upstream_neighbor == router_id_;
+  if (!addressed_to_us) return;  // overheard on a shared link
+  for (const JoinPruneEntry& item : message.entries) {
+    if (item.wildcard) {
+      if (item.join) {
+        StarGState& state = ensure_star_g(item.group);
+        state.down.joined.insert(ifindex);
+        state.down.refresh[ifindex] = engine_.now();
+      } else if (const auto it = star_g_.find(item.group); it != star_g_.end()) {
+        it->second.down.joined.erase(ifindex);
+        it->second.down.refresh.erase(ifindex);
+      }
+      evaluate_star_g(item.group);
+    } else {
+      if (item.join) {
+        SgState& state = ensure_sg(item.source, item.group);
+        state.down.joined.insert(ifindex);
+        state.down.refresh[ifindex] = engine_.now();
+      } else if (const auto it = sg_.find(SgKey{item.source, item.group});
+                 it != sg_.end()) {
+        it->second.down.joined.erase(ifindex);
+        it->second.down.refresh.erase(ifindex);
+      }
+      evaluate_sg(item.source, item.group);
+    }
+  }
+}
+
+void Pim::on_register(const Register& message) {
+  if (!is_rp_for(message.group)) return;  // not the RP; stray register
+  const bool fresh =
+      rp_known_sources_[message.group].insert(message.source).second;
+  if (fresh && source_discovered_) {
+    source_discovered_(message.source, message.group);
+  }
+  const auto star = star_g_.find(message.group);
+  const bool have_receivers =
+      star != star_g_.end() && !star->second.entry.oifs.empty();
+  if (have_receivers) {
+    SgState& state = ensure_sg(message.source, message.group);
+    if (!state.locally_wanted) {
+      state.locally_wanted = true;
+      evaluate_sg(message.source, message.group);
+    }
+  }
+  // Register-stop: either the SPT is established or there is no interest.
+  if (send_register_stop_ && message.sender != router_id_) {
+    send_register_stop_(message.sender,
+                        RegisterStop{router_id_, message.source, message.group});
+  }
+}
+
+void Pim::on_register_stop(const RegisterStop& message) {
+  const auto it = sg_.find(SgKey{message.source, message.group});
+  if (it == sg_.end()) return;
+  it->second.entry.register_state = false;
+  note_change(message.group);
+}
+
+void Pim::send_periodic_joins() {
+  for (auto& [group, state] : star_g_) {
+    if (state.upstream_joined) {
+      send_upstream(state.entry, true, true, net::Ipv4Address{});
+    }
+  }
+  for (auto& [key, state] : sg_) {
+    if (state.upstream_joined) {
+      send_upstream(state.entry, true, false, key.first);
+    }
+  }
+}
+
+void Pim::expire_now() {
+  const sim::TimePoint now = engine_.now();
+  std::vector<net::Ipv4Address> star_dirty;
+  std::vector<SgKey> sg_dirty;
+  for (auto& [group, state] : star_g_) {
+    bool dirty = false;
+    for (auto it = state.down.refresh.begin(); it != state.down.refresh.end();) {
+      if (now - it->second >= config_.state_holdtime) {
+        state.down.joined.erase(it->first);
+        it = state.down.refresh.erase(it);
+        dirty = true;
+      } else {
+        ++it;
+      }
+    }
+    if (dirty) star_dirty.push_back(group);
+  }
+  for (auto& [key, state] : sg_) {
+    bool dirty = false;
+    for (auto it = state.down.refresh.begin(); it != state.down.refresh.end();) {
+      if (now - it->second >= config_.state_holdtime) {
+        state.down.joined.erase(it->first);
+        it = state.down.refresh.erase(it);
+        dirty = true;
+      } else {
+        ++it;
+      }
+    }
+    if (dirty) sg_dirty.push_back(key);
+  }
+  for (net::Ipv4Address group : star_dirty) evaluate_star_g(group);
+  for (const SgKey& key : sg_dirty) evaluate_sg(key.first, key.second);
+}
+
+void Pim::maybe_gc_star_g(net::Ipv4Address group) {
+  const auto it = star_g_.find(group);
+  if (it == star_g_.end()) return;
+  const StarGState& state = it->second;
+  if (state.down.joined.empty() && state.down.local.empty() &&
+      !state.upstream_joined) {
+    star_g_.erase(it);
+    note_change(group);
+  }
+}
+
+void Pim::maybe_gc_sg(const SgKey& key) {
+  const auto it = sg_.find(key);
+  if (it == sg_.end()) return;
+  const SgState& state = it->second;
+  if (state.down.joined.empty() && state.down.local.empty() &&
+      !state.locally_wanted && !state.upstream_joined &&
+      !state.entry.register_state) {
+    sg_.erase(it);
+    note_change(key.second);
+  }
+}
+
+std::vector<RouteEntry> Pim::entries() const {
+  std::vector<RouteEntry> out;
+  out.reserve(star_g_.size() + sg_.size());
+  for (const auto& [group, state] : star_g_) out.push_back(state.entry);
+  for (const auto& [key, state] : sg_) out.push_back(state.entry);
+  return out;
+}
+
+const RouteEntry* Pim::find_star_g(net::Ipv4Address group) const {
+  const auto it = star_g_.find(group);
+  return it == star_g_.end() ? nullptr : &it->second.entry;
+}
+
+const RouteEntry* Pim::find_sg(net::Ipv4Address source,
+                               net::Ipv4Address group) const {
+  const auto it = sg_.find(SgKey{source, group});
+  return it == sg_.end() ? nullptr : &it->second.entry;
+}
+
+void Pim::note_change(net::Ipv4Address group) {
+  if (state_changed_) state_changed_(group);
+}
+
+}  // namespace mantra::pim

@@ -1,0 +1,233 @@
+// PIM Sparse-Mode (RFC 2362 era, matching the paper's timeframe): static RP
+// mapping, hop-by-hop (*,G) joins towards the RP, source registration at the
+// RP, (S,G) shortest-path trees with last-hop SPT switchover, and periodic
+// join/prune state refresh with expiry.
+//
+// The instance is transport-agnostic: the integrated router supplies RPF
+// lookups and message delivery via callbacks, so the state machine is unit
+// testable with a scripted harness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace mantra::pim {
+
+/// One join or prune item inside a Join/Prune message.
+struct JoinPruneEntry {
+  net::Ipv4Address group;
+  net::Ipv4Address source;  ///< unspecified for (*,G)
+  bool wildcard = false;    ///< (*,G) when true
+  bool join = true;         ///< false = prune
+};
+
+struct JoinPrune {
+  net::Ipv4Address sender;            ///< filled in by the transport
+  net::Ipv4Address upstream_neighbor; ///< addressed router on the link
+  std::vector<JoinPruneEntry> entries;
+  sim::Duration holdtime = sim::Duration::seconds(210);
+};
+
+/// Register: DR tells the RP about an active local source (we model the
+/// control semantics; payload data travels in the flow layer).
+struct Register {
+  net::Ipv4Address sender;
+  net::Ipv4Address source;
+  net::Ipv4Address group;
+};
+
+struct RegisterStop {
+  net::Ipv4Address sender;
+  net::Ipv4Address source;
+  net::Ipv4Address group;
+};
+
+/// Result of an RPF lookup towards a unicast target.
+struct RpfResult {
+  net::IfIndex ifindex = net::kInvalidIf;
+  net::Ipv4Address neighbor;  ///< upstream neighbor address (unspecified if
+                              ///< the target is directly connected)
+};
+
+struct Config {
+  /// Static group-range -> RP mapping (the deployment style of 1998-99;
+  /// BSR/auto-RP are out of scope).
+  std::vector<std::pair<net::Prefix, net::Ipv4Address>> rp_map;
+
+  /// Interfaces PIM runs on.
+  std::vector<net::IfIndex> interfaces;
+
+  /// Last-hop routers switch to the SPT on first data arrival when true.
+  bool spt_switchover = true;
+
+  sim::Duration join_prune_interval = sim::Duration::seconds(60);
+  sim::Duration state_holdtime = sim::Duration::seconds(210);
+
+  /// Trace-scale runs stretch the protocol clocks; mechanics unchanged.
+  void scale_timers(std::int64_t factor) {
+    join_prune_interval = join_prune_interval * factor;
+    state_holdtime = state_holdtime * factor;
+  }
+
+  /// When false, periodic refresh/expiry timers never start: state changes
+  /// only through explicit joins/prunes (used by multi-month scenarios).
+  bool timers_enabled = true;
+};
+
+/// Forwarding-relevant view of one PIM route entry, used by the router's
+/// MFC renderer and the flow layer.
+struct RouteEntry {
+  net::Ipv4Address group;
+  net::Ipv4Address source;      ///< unspecified for (*,G)
+  bool wildcard = false;
+  net::Ipv4Address rp;
+  net::IfIndex upstream_if = net::kInvalidIf;
+  net::Ipv4Address upstream_neighbor;
+  std::set<net::IfIndex> oifs;  ///< downstream-joined + local-member ifaces
+  bool spt = false;             ///< (S,G) on the shortest-path tree
+  bool register_state = false;  ///< DR still register-encapsulating
+  sim::TimePoint created;
+};
+
+class Pim {
+ public:
+  using SendJoinPrune =
+      std::function<void(net::IfIndex, const JoinPrune&)>;
+  /// Unicast control messages (register path). Routed by the harness.
+  using SendRegister = std::function<void(net::Ipv4Address rp, const Register&)>;
+  using SendRegisterStop =
+      std::function<void(net::Ipv4Address dr, const RegisterStop&)>;
+  using RpfLookup = std::function<std::optional<RpfResult>(net::Ipv4Address)>;
+  /// Fired whenever tree state changed for a group (router recomputes the
+  /// group's flow paths).
+  using StateChanged = std::function<void(net::Ipv4Address group)>;
+  /// Fired at the RP when it learns of a new active source (MSDP hook).
+  using SourceDiscovered =
+      std::function<void(net::Ipv4Address source, net::Ipv4Address group)>;
+
+  Pim(sim::Engine& engine, net::Ipv4Address router_id, Config config);
+
+  /// Predicate telling whether an address belongs to this router (join/prune
+  /// messages address the upstream by its *interface* address on the shared
+  /// link, not its router-id). Defaults to equality with the router-id.
+  using IsLocalAddress = std::function<bool(net::Ipv4Address)>;
+
+  void set_send_join_prune(SendJoinPrune fn) { send_join_prune_ = std::move(fn); }
+  void set_is_local_address(IsLocalAddress fn) { is_local_address_ = std::move(fn); }
+  void set_send_register(SendRegister fn) { send_register_ = std::move(fn); }
+  void set_send_register_stop(SendRegisterStop fn) { send_register_stop_ = std::move(fn); }
+  void set_rpf_lookup(RpfLookup fn) { rpf_lookup_ = std::move(fn); }
+  void set_state_changed(StateChanged fn) { state_changed_ = std::move(fn); }
+  void set_source_discovered(SourceDiscovered fn) { source_discovered_ = std::move(fn); }
+
+  void start();
+
+  /// --- Local events (from IGMP / the flow layer) ---
+
+  /// IGMP membership on a local interface changed.
+  void local_membership_changed(net::IfIndex ifindex, net::Ipv4Address group,
+                                bool has_members);
+
+  /// A directly connected source started/stopped sending to `group` and this
+  /// router is its DR.
+  void local_source_active(net::Ipv4Address source, net::Ipv4Address group);
+  void local_source_gone(net::Ipv4Address source, net::Ipv4Address group);
+
+  /// Data for (source, group) arrived at this last-hop router via the shared
+  /// tree (flow layer notification); triggers SPT switchover if configured.
+  void on_data_arrival(net::Ipv4Address source, net::Ipv4Address group);
+
+  /// An external controller (the RP's MSDP instance) asks for an (S,G) join
+  /// because a remote source is active and we have receivers.
+  void join_remote_source(net::Ipv4Address source, net::Ipv4Address group);
+
+  /// Inverse of join_remote_source / register: the source is no longer
+  /// active (SA expired, register timed out); tears down local interest.
+  void remote_source_gone(net::Ipv4Address source, net::Ipv4Address group);
+
+  /// --- Message handlers ---
+  void on_join_prune(net::IfIndex ifindex, const JoinPrune& message);
+  void on_register(const Register& message);
+  void on_register_stop(const RegisterStop& message);
+
+  /// --- Introspection ---
+  [[nodiscard]] net::Ipv4Address rp_for(net::Ipv4Address group) const;
+  [[nodiscard]] bool is_rp_for(net::Ipv4Address group) const;
+  [[nodiscard]] std::vector<RouteEntry> entries() const;
+  [[nodiscard]] const RouteEntry* find_star_g(net::Ipv4Address group) const;
+  [[nodiscard]] const RouteEntry* find_sg(net::Ipv4Address source,
+                                          net::Ipv4Address group) const;
+  [[nodiscard]] std::size_t entry_count() const {
+    return star_g_.size() + sg_.size();
+  }
+  [[nodiscard]] net::Ipv4Address router_id() const { return router_id_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Refresh/expiry, public for tests.
+  void send_periodic_joins();
+  void expire_now();
+
+  [[nodiscard]] std::uint64_t joins_sent() const { return joins_sent_; }
+  [[nodiscard]] std::uint64_t registers_sent() const { return registers_sent_; }
+
+ private:
+  struct DownstreamState {
+    std::set<net::IfIndex> joined;              ///< ifaces with downstream joins
+    std::map<net::IfIndex, sim::TimePoint> refresh;
+    std::set<net::IfIndex> local;               ///< ifaces with IGMP members
+  };
+  struct StarGState {
+    RouteEntry entry;
+    DownstreamState down;
+    bool upstream_joined = false;
+  };
+  struct SgState {
+    RouteEntry entry;
+    DownstreamState down;
+    bool upstream_joined = false;
+    /// This router itself wants the traffic: the RP pulling a registered
+    /// source, or a last-hop router after SPT switchover.
+    bool locally_wanted = false;
+  };
+  using SgKey = std::pair<net::Ipv4Address, net::Ipv4Address>;  ///< (S, G)
+
+  StarGState& ensure_star_g(net::Ipv4Address group);
+  SgState& ensure_sg(net::Ipv4Address source, net::Ipv4Address group);
+  void refresh_oifs(RouteEntry& entry, const DownstreamState& down) const;
+  void evaluate_star_g(net::Ipv4Address group);
+  void evaluate_sg(net::Ipv4Address source, net::Ipv4Address group);
+  void send_upstream(const RouteEntry& entry, bool join, bool wildcard,
+                     net::Ipv4Address source);
+  void note_change(net::Ipv4Address group);
+  void maybe_gc_star_g(net::Ipv4Address group);
+  void maybe_gc_sg(const SgKey& key);
+
+  sim::Engine& engine_;
+  net::Ipv4Address router_id_;
+  Config config_;
+  SendJoinPrune send_join_prune_;
+  IsLocalAddress is_local_address_;
+  SendRegister send_register_;
+  SendRegisterStop send_register_stop_;
+  RpfLookup rpf_lookup_;
+  StateChanged state_changed_;
+  SourceDiscovered source_discovered_;
+  std::map<net::Ipv4Address, StarGState> star_g_;
+  std::map<SgKey, SgState> sg_;
+  /// At the RP: sources learned via register (and MSDP), per group.
+  std::map<net::Ipv4Address, std::set<net::Ipv4Address>> rp_known_sources_;
+  sim::PeriodicTimer refresh_timer_;
+  std::uint64_t joins_sent_ = 0;
+  std::uint64_t registers_sent_ = 0;
+};
+
+}  // namespace mantra::pim

@@ -1,0 +1,245 @@
+#include "router/cli.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "dvmrp/route_table.hpp"
+
+namespace mantra::router::cli {
+
+namespace {
+
+std::string interface_name(const MulticastRouter& router, net::IfIndex ifindex) {
+  return router.interface_name(ifindex);
+}
+
+}  // namespace
+
+std::string uptime_string(sim::Duration d) {
+  const std::int64_t total_s = d.total_ms() / 1000;
+  char buffer[32];
+  if (total_s < 86400) {
+    std::snprintf(buffer, sizeof buffer, "%02d:%02d:%02d",
+                  static_cast<int>(total_s / 3600),
+                  static_cast<int>((total_s / 60) % 60),
+                  static_cast<int>(total_s % 60));
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%" PRId64 "d%02dh", total_s / 86400,
+                  static_cast<int>((total_s / 3600) % 24));
+  }
+  return buffer;
+}
+
+std::string show_ip_dvmrp_route(const MulticastRouter& router, sim::TimePoint now) {
+  std::ostringstream out;
+  const dvmrp::Dvmrp* instance = router.dvmrp();
+  if (instance == nullptr) {
+    out << "% DVMRP not running\n";
+    return out.str();
+  }
+  out << "DVMRP Routing Table - " << instance->routes().size() << " entries\n";
+  instance->routes().visit([&](const dvmrp::Route& route) {
+    char line[160];
+    const std::string from = route.local ? "0.0.0.0" : route.upstream.to_string();
+    const std::string expires =
+        route.state == dvmrp::RouteState::kHolddown
+            ? "holddown"
+            : uptime_string(now - route.last_refresh);
+    std::snprintf(line, sizeof line, "%s [%d/%d] uptime %s, expires %s\n",
+                  route.prefix.to_string().c_str(), 0, route.metric,
+                  uptime_string(now - route.learned).c_str(), expires.c_str());
+    out << line;
+    const std::string via = route.ifindex == net::kInvalidIf
+                                ? "connected"
+                                : interface_name(router, route.ifindex);
+    std::snprintf(line, sizeof line, "    via %s, %s\n", from.c_str(), via.c_str());
+    out << line;
+  });
+  return out.str();
+}
+
+std::string show_ip_mroute(const MulticastRouter& router, sim::TimePoint now) {
+  std::ostringstream out;
+  out << "IP Multicast Routing Table\n"
+      << "Flags: D - Dense, S - Sparse, C - Connected, P - Pruned,\n"
+      << "       T - SPT-bit set, F - Register flag, J - Join SPT\n"
+      << "Timers: Uptime/Expires\n\n";
+
+  // (*,G) entries first (PIM-SM shared trees).
+  if (router.pim() != nullptr) {
+    for (const pim::RouteEntry& entry : router.pim()->entries()) {
+      if (!entry.wildcard) continue;
+      out << "(*, " << entry.group.to_string() << "), "
+          << uptime_string(now - entry.created) << "/00:03:30, RP "
+          << entry.rp.to_string() << ", flags: S\n";
+      out << "  Incoming interface: "
+          << (entry.upstream_if == net::kInvalidIf
+                  ? "Null"
+                  : interface_name(router, entry.upstream_if))
+          << ", RPF nbr " << entry.upstream_neighbor.to_string() << "\n";
+      out << "  Outgoing interface list:";
+      if (entry.oifs.empty()) {
+        out << " Null\n";
+      } else {
+        out << "\n";
+        for (net::IfIndex oif : entry.oifs) {
+          out << "    " << interface_name(router, oif) << ", Forward/Sparse, "
+              << uptime_string(now - entry.created) << "/00:03:30\n";
+        }
+      }
+      out << "\n";
+    }
+  }
+
+  // (S,G) entries from the forwarding cache (both planes).
+  router.mfc().visit([&](const MfcEntry& entry) {
+    std::string flags = entry.mode == MfcMode::kDense ? "D" : "ST";
+    if (entry.upstream_pruned) flags += "P";
+    out << "(" << entry.source.to_string() << ", " << entry.group.to_string()
+        << "), " << uptime_string(entry.uptime(now)) << "/00:03:30, flags: "
+        << flags << "\n";
+    out << "  Incoming interface: " << interface_name(router, entry.iif)
+        << ", RPF nbr 0.0.0.0\n";
+    out << "  Outgoing interface list:";
+    if (entry.oifs.empty()) {
+      out << " Null\n";
+    } else {
+      out << "\n";
+      for (net::IfIndex oif : entry.oifs) {
+        out << "    " << interface_name(router, oif) << ", Forward/"
+            << (entry.mode == MfcMode::kDense ? "Dense" : "Sparse") << ", "
+            << uptime_string(entry.uptime(now)) << "/00:03:30\n";
+      }
+    }
+    out << "\n";
+  });
+  return out.str();
+}
+
+std::string show_ip_mroute_count(const MulticastRouter& router, sim::TimePoint now) {
+  router.mfc().advance_all(now);
+  std::ostringstream out;
+  out << "IP Multicast Statistics\n"
+      << router.mfc().size() << " routes using " << router.mfc().size() * 328
+      << " bytes of memory\n"
+      << "Counts: Pkt Count/Pkts per second/Avg Pkt Size/Kilobits per second\n\n";
+
+  // Group entries by group address, as IOS does.
+  net::Ipv4Address current_group;
+  bool first = true;
+  router.mfc().visit([&](const MfcEntry& entry) {
+    // Note: Mfc::visit iterates in (source, group) order; re-sorting by
+    // group would need a copy. IOS groups by group; we emit a group header
+    // whenever the group changes, which the parser treats identically.
+    if (first || entry.group != current_group) {
+      current_group = entry.group;
+      first = false;
+      out << "Group: " << entry.group.to_string() << "\n";
+    }
+    char line[200];
+    const double avg_rate = entry.average_rate_kbps(now);
+    std::snprintf(line, sizeof line,
+                  "  Source: %s/32, Forwarding: %" PRIu64 "/%.0f/%.0f/%.2f, Other: %" PRIu64
+                  "/0/0\n",
+                  entry.source.to_string().c_str(), entry.packets,
+                  entry.rate_kbps > 0.0
+                      ? entry.rate_kbps * 1000.0 / 8.0 / kAveragePacketBytes
+                      : 0.0,
+                  kAveragePacketBytes, entry.rate_kbps, entry.packets);
+    out << line;
+    std::snprintf(line, sizeof line, "    Average: %.2f kbps, Uptime: %s\n",
+                  avg_rate, uptime_string(entry.uptime(now)).c_str());
+    out << line;
+  });
+  return out.str();
+}
+
+std::string show_ip_msdp_sa_cache(const MulticastRouter& router, sim::TimePoint now) {
+  std::ostringstream out;
+  const msdp::Msdp* instance = router.msdp();
+  if (instance == nullptr) {
+    out << "% MSDP not running\n";
+    return out.str();
+  }
+  out << "MSDP Source-Active Cache - " << instance->cache_size() << " entries\n";
+  for (const msdp::SaCacheEntry& entry : instance->sa_cache()) {
+    out << "(" << entry.source.to_string() << ", " << entry.group.to_string()
+        << "), RP " << entry.origin_rp.to_string() << ", "
+        << (entry.learned_from.is_unspecified()
+                ? std::string("local")
+                : "via peer " + entry.learned_from.to_string())
+        << ", " << uptime_string(now - entry.first_seen) << "\n";
+  }
+  return out.str();
+}
+
+std::string show_ip_mbgp(const MulticastRouter& router, sim::TimePoint /*now*/) {
+  std::ostringstream out;
+  const mbgp::Mbgp* instance = router.mbgp();
+  if (instance == nullptr) {
+    out << "% MBGP not running\n";
+    return out.str();
+  }
+  out << "MBGP table version is 1, local router ID is "
+      << instance->router_id().to_string() << "\n"
+      << "Status codes: * valid, > best\n"
+      << "   Network            Next Hop            Path\n";
+  for (const auto& [prefix, path] : instance->loc_rib()) {
+    char line[200];
+    std::string as_path;
+    for (mbgp::AsNumber as : path.as_path) {
+      if (!as_path.empty()) as_path.push_back(' ');
+      as_path += std::to_string(as);
+    }
+    if (as_path.empty()) as_path = "i";
+    std::snprintf(line, sizeof line, "*> %-18s %-19s %s\n",
+                  prefix.to_string().c_str(), path.next_hop.to_string().c_str(),
+                  as_path.c_str());
+    out << line;
+  }
+  return out.str();
+}
+
+std::string show_ip_igmp_groups(const MulticastRouter& router, sim::TimePoint now) {
+  std::ostringstream out;
+  out << "IGMP Connected Group Membership\n"
+      << "Group Address    Interface     Uptime    Last Reporter\n";
+  (void)now;
+  for (net::Ipv4Address group : router.igmp().all_groups()) {
+    for (net::IfIndex ifindex : router.igmp().interfaces_with_members(group)) {
+      const auto members = router.igmp().members(ifindex, group);
+      char line[160];
+      std::snprintf(line, sizeof line, "%-16s %-13s %-9s %s\n",
+                    group.to_string().c_str(),
+                    interface_name(router, ifindex).c_str(), "00:00:00",
+                    members.empty() ? "0.0.0.0" : members.back().to_string().c_str());
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+std::string execute_show(const MulticastRouter& router, std::string_view command,
+                         sim::TimePoint now) {
+  if (command == "show ip dvmrp route") return show_ip_dvmrp_route(router, now);
+  if (command == "show ip mroute") return show_ip_mroute(router, now);
+  if (command == "show ip mroute count") return show_ip_mroute_count(router, now);
+  if (command == "show ip msdp sa-cache") return show_ip_msdp_sa_cache(router, now);
+  if (command == "show ip mbgp") return show_ip_mbgp(router, now);
+  if (command == "show ip igmp groups") return show_ip_igmp_groups(router, now);
+  return "% Invalid input detected at '^' marker.\n";
+}
+
+std::string telnet_capture(const MulticastRouter& router, std::string_view command,
+                           sim::TimePoint now) {
+  std::ostringstream out;
+  const std::string prompt = router.hostname() + ">";
+  out << "\r\nUser Access Verification\r\n\r\nPassword: \r\n"
+      << prompt << " terminal length 0\r\n"
+      << prompt << " " << command << "\r\n"
+      << execute_show(router, command, now) << prompt << " ";
+  return out.str();
+}
+
+}  // namespace mantra::router::cli

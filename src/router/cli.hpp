@@ -1,0 +1,57 @@
+// IOS/mrouted-style text renderers for router state. These strings are the
+// *only* interface Mantra's data collector sees — exactly as the paper's
+// expect scripts saw telnet output — so they include banners, prompts,
+// flag legends and wrapped continuation lines, and the core/parse module
+// must cope with that.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "router/router.hpp"
+#include "sim/time.hpp"
+
+namespace mantra::router::cli {
+
+/// Uptime/expiry rendering used across commands: "00:04:23" under a day,
+/// "2d03h" beyond (IOS style).
+[[nodiscard]] std::string uptime_string(sim::Duration d);
+
+/// `show ip dvmrp route` — the DVMRP routing table (Figs 7-9 data source).
+[[nodiscard]] std::string show_ip_dvmrp_route(const MulticastRouter& router,
+                                              sim::TimePoint now);
+
+/// `show ip mroute` — the multicast forwarding table ((S,G)/(*,G) entries).
+[[nodiscard]] std::string show_ip_mroute(const MulticastRouter& router,
+                                         sim::TimePoint now);
+
+/// `show ip mroute count` — per-(S,G) traffic counters incl. kbps rates
+/// (the bandwidth source for Figs 3-6).
+[[nodiscard]] std::string show_ip_mroute_count(const MulticastRouter& router,
+                                               sim::TimePoint now);
+
+/// `show ip msdp sa-cache` — MSDP Source-Active cache.
+[[nodiscard]] std::string show_ip_msdp_sa_cache(const MulticastRouter& router,
+                                                sim::TimePoint now);
+
+/// `show ip mbgp` — MBGP Loc-RIB (multicast SAFI).
+[[nodiscard]] std::string show_ip_mbgp(const MulticastRouter& router,
+                                       sim::TimePoint now);
+
+/// `show ip igmp groups` — directly connected membership.
+[[nodiscard]] std::string show_ip_igmp_groups(const MulticastRouter& router,
+                                              sim::TimePoint now);
+
+/// Command dispatch; unknown commands produce the IOS "% Invalid input"
+/// marker (the collector treats that as a failed capture).
+[[nodiscard]] std::string execute_show(const MulticastRouter& router,
+                                       std::string_view command,
+                                       sim::TimePoint now);
+
+/// Full emulated telnet capture of a command: login banner, echoed command,
+/// output, trailing prompt. What the raw collector log contains.
+[[nodiscard]] std::string telnet_capture(const MulticastRouter& router,
+                                         std::string_view command,
+                                         sim::TimePoint now);
+
+}  // namespace mantra::router::cli

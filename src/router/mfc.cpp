@@ -1,0 +1,77 @@
+#include "router/mfc.hpp"
+
+#include <algorithm>
+
+namespace mantra::router {
+
+MfcEntry& Mfc::ensure(net::Ipv4Address source, net::Ipv4Address group,
+                      MfcMode mode, net::IfIndex iif, sim::TimePoint now) {
+  auto [it, fresh] = entries_.try_emplace(SgKey{source, group});
+  MfcEntry& entry = it->second;
+  if (fresh) {
+    entry.source = source;
+    entry.group = group;
+    entry.mode = mode;
+    entry.iif = iif;
+    entry.created = now;
+    entry.last_advance = now;
+    entry.last_packet = now;
+  }
+  return entry;
+}
+
+MfcEntry* Mfc::find(net::Ipv4Address source, net::Ipv4Address group) {
+  const auto it = entries_.find(SgKey{source, group});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const MfcEntry* Mfc::find(net::Ipv4Address source, net::Ipv4Address group) const {
+  const auto it = entries_.find(SgKey{source, group});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool Mfc::erase(net::Ipv4Address source, net::Ipv4Address group) {
+  return entries_.erase(SgKey{source, group}) > 0;
+}
+
+void Mfc::advance_all(sim::TimePoint now) const {
+  for (const auto& [key, entry] : entries_) entry.advance(now);
+}
+
+void Mfc::visit(const std::function<void(const MfcEntry&)>& fn) const {
+  // Deterministic (S, G) order for rendering and tests.
+  std::vector<const std::pair<const SgKey, MfcEntry>*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& item : entries_) sorted.push_back(&item);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* item : sorted) fn(item->second);
+}
+
+void Mfc::visit_group(net::Ipv4Address group,
+                      const std::function<void(MfcEntry&)>& fn) {
+  for (auto& [key, entry] : entries_) {
+    if (key.second == group) fn(entry);
+  }
+}
+
+std::vector<const MfcEntry*> Mfc::entries() const {
+  std::vector<const MfcEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(&entry);
+  return out;
+}
+
+std::size_t Mfc::group_count() const {
+  std::set<net::Ipv4Address> groups;
+  for (const auto& [key, entry] : entries_) groups.insert(key.second);
+  return groups.size();
+}
+
+double Mfc::total_rate_kbps() const {
+  double total = 0.0;
+  for (const auto& [key, entry] : entries_) total += entry.rate_kbps;
+  return total;
+}
+
+}  // namespace mantra::router

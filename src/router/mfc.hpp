@@ -1,0 +1,126 @@
+// Multicast Forwarding Cache: per-(source, group) forwarding entries with
+// packet/byte counters. This is the second table Mantra scrapes (Figures
+// 3-6 all derive from it). Traffic is accounted at flow level: the harness
+// sets each entry's current rate and byte counters accrue lazily.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+
+namespace mantra::router {
+
+enum class MfcMode : std::uint8_t {
+  kDense,   ///< DVMRP / PIM-DM flood-and-prune state
+  kSparse,  ///< PIM-SM tree state
+};
+
+/// Average packet size used to derive packet counters from byte counters
+/// (MBone-era audio/video traffic; only affects cosmetic "pkts" columns).
+inline constexpr double kAveragePacketBytes = 512.0;
+
+struct MfcEntry {
+  net::Ipv4Address source;
+  net::Ipv4Address group;
+  MfcMode mode = MfcMode::kDense;
+  net::IfIndex iif = net::kInvalidIf;
+  std::set<net::IfIndex> oifs;
+
+  /// Dense mode: per-oif set of downstream neighbor addresses that pruned.
+  /// The oif is suppressed when every downstream router on it has pruned
+  /// and no local members exist.
+  std::map<net::IfIndex, std::set<net::Ipv4Address>> prunes;
+  bool upstream_pruned = false;  ///< we sent a prune towards the source
+
+  sim::TimePoint created;
+
+  // --- Traffic accounting (flow level) ---
+  // Counters are lazily materialized from the rate; they are mutable so a
+  // read-only scrape (the CLI renderers) can bring them up to date.
+  double rate_kbps = 0.0;        ///< current flow rate through this entry
+  mutable std::uint64_t bytes = 0;
+  mutable std::uint64_t packets = 0;
+  mutable sim::TimePoint last_packet;
+  mutable sim::TimePoint last_advance;
+
+  /// Accrues byte/packet counters for the elapsed interval at the current
+  /// rate. Call before reading counters or changing the rate.
+  void advance(sim::TimePoint now) const {
+    if (now > last_advance && rate_kbps > 0.0) {
+      const double seconds = (now - last_advance).total_seconds();
+      const auto new_bytes =
+          static_cast<std::uint64_t>(rate_kbps * 1000.0 / 8.0 * seconds);
+      bytes += new_bytes;
+      packets += static_cast<std::uint64_t>(
+          static_cast<double>(new_bytes) / kAveragePacketBytes);
+      last_packet = now;
+    }
+    last_advance = now;
+  }
+
+  /// Lifetime average rate in kbps.
+  [[nodiscard]] double average_rate_kbps(sim::TimePoint now) const {
+    const double seconds = (now - created).total_seconds();
+    if (seconds <= 0.0) return rate_kbps;
+    return static_cast<double>(bytes) * 8.0 / 1000.0 / seconds;
+  }
+
+  [[nodiscard]] sim::Duration uptime(sim::TimePoint now) const { return now - created; }
+};
+
+class Mfc {
+ public:
+  using SgKey = std::pair<net::Ipv4Address, net::Ipv4Address>;  ///< (S, G)
+
+  struct SgHash {
+    std::size_t operator()(const SgKey& key) const noexcept {
+      // (S, G) pairs are well spread; splitmix the concatenation.
+      std::uint64_t x = (std::uint64_t{key.first.value()} << 32) | key.second.value();
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+
+  /// Finds or creates an entry; a fresh entry gets `mode`/`iif` and zeroed
+  /// counters starting at `now`.
+  MfcEntry& ensure(net::Ipv4Address source, net::Ipv4Address group, MfcMode mode,
+                   net::IfIndex iif, sim::TimePoint now);
+
+  [[nodiscard]] MfcEntry* find(net::Ipv4Address source, net::Ipv4Address group);
+  [[nodiscard]] const MfcEntry* find(net::Ipv4Address source,
+                                     net::Ipv4Address group) const;
+
+  bool erase(net::Ipv4Address source, net::Ipv4Address group);
+
+  /// Advances all counters to `now` (called before a monitoring scrape).
+  void advance_all(sim::TimePoint now) const;
+
+  void visit(const std::function<void(const MfcEntry&)>& fn) const;
+  void visit_group(net::Ipv4Address group,
+                   const std::function<void(MfcEntry&)>& fn);
+
+  [[nodiscard]] std::vector<const MfcEntry*> entries() const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Distinct groups present in the cache.
+  [[nodiscard]] std::size_t group_count() const;
+
+  /// Aggregate current rate over all entries, kbps (the "bandwidth through
+  /// the router" series of Fig 5 left).
+  [[nodiscard]] double total_rate_kbps() const;
+
+ private:
+  std::unordered_map<SgKey, MfcEntry, SgHash> entries_;
+};
+
+}  // namespace mantra::router

@@ -1,0 +1,108 @@
+#include "router/mtrace.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace mantra::router {
+
+MtraceResult mtrace(Network& network, net::NodeId receiver,
+                    net::Ipv4Address source_address, net::Ipv4Address group) {
+  MtraceResult result;
+
+  net::NodeId current = network.first_hop_router(receiver);
+  if (current == net::kInvalidNode) {
+    result.outcome = MtraceOutcome::kNoMulticastRouter;
+    return result;
+  }
+
+  const MfcMode plane = network.group_plane(group);
+  std::set<net::NodeId> visited;
+
+  while (true) {
+    if (!visited.insert(current).second) {
+      result.outcome = MtraceOutcome::kLoop;
+      return result;
+    }
+    MulticastRouter* router = network.router(current);
+    if (router == nullptr) {
+      result.outcome = MtraceOutcome::kNoRoute;
+      return result;
+    }
+
+    const auto rpf = plane == MfcMode::kDense
+                         ? router->rpf_dense(source_address)
+                         : router->rpf_sparse(source_address);
+
+    MtraceHop hop;
+    hop.node = current;
+    hop.router_name = router->hostname();
+    hop.protocol = plane == MfcMode::kDense ? "DVMRP" : "PIM";
+    if (rpf) {
+      hop.iif = rpf->ifindex;
+      hop.incoming_address =
+          network.topology().node(current).interface(rpf->ifindex) != nullptr
+              ? network.topology().node(current).interface(rpf->ifindex)->address
+              : net::Ipv4Address{};
+    }
+    if (const MfcEntry* entry = router->mfc().find(source_address, group)) {
+      entry->advance(network.engine().now());
+      hop.have_state = true;
+      hop.pruned = entry->upstream_pruned || entry->oifs.empty();
+      hop.rate_kbps = entry->rate_kbps;
+      hop.packets = entry->packets;
+    }
+    result.hops.push_back(hop);
+
+    if (!rpf) {
+      result.outcome = MtraceOutcome::kNoRoute;
+      return result;
+    }
+    if (rpf->neighbor.is_unspecified()) {
+      // Directly connected source network: done.
+      result.outcome = MtraceOutcome::kReachedSource;
+      return result;
+    }
+    const auto upstream = network.topology().find_by_address(rpf->neighbor);
+    if (!upstream) {
+      result.outcome = MtraceOutcome::kNoRoute;
+      return result;
+    }
+    current = upstream->node;
+  }
+}
+
+std::string MtraceResult::to_string() const {
+  std::ostringstream out;
+  out << "Querying reverse path...\n";
+  int index = 0;
+  for (const MtraceHop& hop : hops) {
+    out << "  -" << index++ << "  " << hop.router_name << " ("
+        << hop.incoming_address.to_string() << ")  " << hop.protocol;
+    if (hop.have_state) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "  thresh^1  %.1f kbps%s",
+                    hop.rate_kbps, hop.pruned ? "  [pruned]" : "");
+      out << buffer;
+    } else {
+      out << "  [no state]";
+    }
+    out << '\n';
+  }
+  switch (outcome) {
+    case MtraceOutcome::kReachedSource:
+      out << "Round trip time: reached source network\n";
+      break;
+    case MtraceOutcome::kNoRoute:
+      out << "* * * no route to source from last responding hop\n";
+      break;
+    case MtraceOutcome::kNoMulticastRouter:
+      out << "* * * receiver has no multicast router\n";
+      break;
+    case MtraceOutcome::kLoop:
+      out << "* * * reverse-path loop detected\n";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace mantra::router

@@ -1,0 +1,55 @@
+// mtrace — the multicast traceroute facility (draft-ietf-idmr-traceroute-
+// ipm). The paper surveys it as the canonical network-layer debugging tool
+// (and the substrate under mhealth/mantaray); we provide it over the
+// simulated network: walk RPF hops from a receiver's last-hop router back
+// towards the source, reporting per-hop forwarding state exactly as a real
+// mtrace response block would.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "router/network.hpp"
+
+namespace mantra::router {
+
+/// One response block, hop by hop from the receiver towards the source.
+struct MtraceHop {
+  net::NodeId node = net::kInvalidNode;
+  std::string router_name;
+  net::Ipv4Address incoming_address;  ///< RPF (towards-source) interface addr
+  net::IfIndex iif = net::kInvalidIf;
+  std::string protocol;               ///< "DVMRP" or "PIM"
+  bool have_state = false;            ///< (S,G) in the forwarding cache
+  bool pruned = false;                ///< oifs empty / upstream pruned
+  double rate_kbps = 0.0;
+  std::uint64_t packets = 0;
+};
+
+enum class MtraceOutcome {
+  kReachedSource,     ///< trace walked all the way to the source's subnet
+  kNoRoute,           ///< a hop had no RPF route towards the source
+  kNoMulticastRouter, ///< receiver has no multicast router
+  kLoop,              ///< RPF walk revisited a router (routing loop)
+};
+
+struct MtraceResult {
+  MtraceOutcome outcome = MtraceOutcome::kNoRoute;
+  std::vector<MtraceHop> hops;  ///< receiver's last-hop first
+
+  [[nodiscard]] bool complete() const {
+    return outcome == MtraceOutcome::kReachedSource;
+  }
+  /// Render in the classic mtrace text layout.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Traces the (source, group) reverse path from `receiver` towards
+/// `source_address`, using each router's own RPF decision (DVMRP table for
+/// dense-plane groups, unicast/MBGP for sparse).
+[[nodiscard]] MtraceResult mtrace(Network& network, net::NodeId receiver,
+                                  net::Ipv4Address source_address,
+                                  net::Ipv4Address group);
+
+}  // namespace mantra::router

@@ -1,0 +1,200 @@
+// Simulation harness tying routers together: protocol message delivery over
+// topology links (with delay and a configurable DVMRP-report loss model),
+// host-level join/leave and flow start/stop, and flow-level distribution
+// tree computation that walks the routers' *actual* forwarding state.
+//
+// Data traffic is modelled as rate-based flows, not packets: a flow's tree
+// is (re)walked whenever relevant control state changes, and every router on
+// the tree accrues byte counters at the flow rate. Control-plane reactions
+// that real packets would trigger (dense-mode state creation and prunes,
+// PIM-SM SPT switchover at last-hop routers) are triggered by the walk, so
+// router state evolves the same way it would under packet forwarding.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "router/router.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+namespace mantra::router {
+
+struct NetworkConfig {
+  /// Loss probability applied to each DVMRP report delivery (per neighbor);
+  /// per-link overrides via set_link_loss. Losing 2-3 consecutive reports
+  /// expires routes — this is the mechanism behind Fig 7's instability.
+  double dvmrp_report_loss = 0.0;
+
+  /// One-way delay for unicast control messages (register tunnel, MBGP and
+  /// MSDP peerings), which are multi-hop TCP in reality.
+  sim::Duration unicast_delay = sim::Duration::milliseconds(5);
+
+  /// Coalescing window for distribution-tree recomputation after control
+  /// state changes (immediate mode).
+  sim::Duration recompute_delay = sim::Duration::milliseconds(100);
+
+  /// Lazy mode: when nonzero, dirty groups are re-walked on this fixed
+  /// period instead of shortly after each state change. Used by the
+  /// multi-month trace-scale runs, where per-event re-walks would dominate;
+  /// rates/trees are then at most this much out of date, well inside the
+  /// monitoring cycle.
+  sim::Duration lazy_recompute_interval;
+
+  /// How long (S,G) forwarding entries linger after their flow stops
+  /// (mrouted cache timeout); sessions stay visible to Mantra this long.
+  sim::Duration mfc_retention = sim::Duration::minutes(5);
+
+  /// Sparse-plane flows below this rate do not establish interdomain
+  /// (S,G) state: their packets are too sporadic to keep data-driven PIM
+  /// state alive (3.5-minute entry timeout vs multi-minute RTCP intervals
+  /// in large sessions), so remote RPs and last-hop routers never hold a
+  /// live tree for them. Dense-mode flood-and-prune state is not affected.
+  double sparse_min_rate_kbps = 0.5;
+
+  /// Member hosts periodically re-send IGMP reports (responses to the
+  /// querier) at this interval. Required when router IGMP timers are
+  /// enabled, or membership would falsely expire; zero disables (the
+  /// trace-scale mode, where router IGMP timers are off too).
+  sim::Duration host_report_interval;
+};
+
+/// A rate-based data flow from one source host to a group.
+struct Flow {
+  net::NodeId host = net::kInvalidNode;
+  net::Ipv4Address source;
+  net::Ipv4Address group;
+  double rate_kbps = 0.0;
+  MfcMode plane = MfcMode::kDense;
+  sim::TimePoint started;
+  bool active = true;
+  /// Routers whose MFC currently carries this flow.
+  std::set<net::NodeId> on_tree;
+  /// Every router that ever held an MFC entry for this flow (the initial
+  /// dense flood reaches routers that later prune off; their entries keep
+  /// prune state and are only torn down when the flow is retired).
+  std::set<net::NodeId> ever_touched;
+  /// Member hosts the flow currently reaches.
+  std::set<net::NodeId> reached_hosts;
+};
+
+class Network final : public RouterEnv {
+ public:
+  Network(sim::Engine& engine, net::Topology& topology, sim::Rng& rng,
+          NetworkConfig config = {});
+
+  /// Registers a router on a topology node. Call before start().
+  MulticastRouter& add_router(net::NodeId node, RouterConfig config);
+
+  /// Computes unicast RIBs and starts every protocol instance.
+  void start();
+
+  // --- Host-level API (driven by the workload generator) ---
+  void host_join(net::NodeId host, net::Ipv4Address group);
+  void host_leave(net::NodeId host, net::Ipv4Address group);
+
+  /// Starts a flow from `host` to `group` at `rate_kbps` on the given
+  /// routing plane. One flow per (host, group).
+  void flow_start(net::NodeId host, net::Ipv4Address group, double rate_kbps,
+                  MfcMode plane);
+  void flow_set_rate(net::NodeId host, net::Ipv4Address group, double rate_kbps);
+  void flow_stop(net::NodeId host, net::Ipv4Address group);
+
+  void set_link_loss(net::LinkId link, double probability);
+
+  /// Declares which plane carries a group. Call before the first join/flow
+  /// for the group; defaults to dense. Drives the routers' membership
+  /// handling (DVMRP graft/prune vs PIM join/prune).
+  void set_group_plane(net::Ipv4Address group, MfcMode plane);
+
+  /// Administrative interface toggle; wraps the topology call and refreshes
+  /// the adjacency caches.
+  void set_interface_enabled(net::NodeId node, net::IfIndex ifindex, bool enabled);
+
+  // --- Introspection ---
+  [[nodiscard]] MulticastRouter* router(net::NodeId node);
+  [[nodiscard]] const MulticastRouter* router(net::NodeId node) const;
+  [[nodiscard]] const std::map<net::NodeId, std::unique_ptr<MulticastRouter>>&
+  routers() const {
+    return routers_;
+  }
+  [[nodiscard]] const Flow* flow(net::Ipv4Address source, net::Ipv4Address group) const;
+  [[nodiscard]] std::vector<const Flow*> flows() const;
+  [[nodiscard]] const std::set<net::NodeId>* group_members(net::Ipv4Address group) const;
+  [[nodiscard]] net::Ipv4Address host_address(net::NodeId host) const;
+
+  /// Designated (lowest-address) router on the host's LAN; kInvalidNode if
+  /// the host has no router.
+  [[nodiscard]] net::NodeId first_hop_router(net::NodeId host) const;
+
+  /// Forces an immediate synchronous recomputation of every active flow's
+  /// tree (tests; the monitoring loop relies on the scheduled path).
+  void recompute_all_now();
+
+  /// Convenience: run the event engine for a simulated duration.
+  void run_for(sim::Duration duration) {
+    engine_.run_until(engine_.now() + duration);
+  }
+
+  // --- RouterEnv ---
+  sim::Engine& engine() override { return engine_; }
+  const net::Topology& topology() const override { return topology_; }
+  void deliver_dvmrp_report(net::NodeId from, net::IfIndex ifindex,
+                            const dvmrp::RouteReport& report) override;
+  void deliver_prune(net::NodeId from, net::IfIndex ifindex, net::Ipv4Address to,
+                     const dvmrp::Prune& prune) override;
+  void deliver_graft(net::NodeId from, net::IfIndex ifindex, net::Ipv4Address to,
+                     const dvmrp::Graft& graft) override;
+  void deliver_join_prune(net::NodeId from, net::IfIndex ifindex,
+                          const pim::JoinPrune& message) override;
+  void deliver_register(net::NodeId from, net::Ipv4Address rp,
+                        const pim::Register& message) override;
+  void deliver_register_stop(net::NodeId from, net::Ipv4Address dr,
+                             const pim::RegisterStop& message) override;
+  void deliver_mbgp(net::NodeId from, net::Ipv4Address peer,
+                    const mbgp::Update& update) override;
+  void deliver_msdp(net::NodeId from, net::Ipv4Address peer,
+                    const msdp::SourceActive& message) override;
+  void multicast_state_changed(net::NodeId node, net::Ipv4Address group) override;
+  const std::vector<net::Attachment>& router_neighbors(
+      net::NodeId node, net::IfIndex ifindex) const override;
+  MfcMode group_plane(net::Ipv4Address group) const override;
+
+ private:
+  using FlowKey = std::pair<net::Ipv4Address, net::Ipv4Address>;  ///< (S, G)
+
+  [[nodiscard]] double link_loss(net::LinkId link) const;
+  [[nodiscard]] MulticastRouter* router_by_address(net::Ipv4Address address);
+  void send_igmp_reports(net::NodeId host, net::Ipv4Address group);
+  void schedule_host_rereport(net::NodeId host, net::Ipv4Address group);
+  void schedule_recompute(net::Ipv4Address group);
+  void process_pending_recomputes();
+  void recompute_group(net::Ipv4Address group);
+  void recompute_flow(Flow& flow);
+  void retire_flow(const FlowKey& key);
+  void rebuild_adjacency_cache();
+
+  sim::Engine& engine_;
+  net::Topology& topology_;
+  sim::Rng& rng_;
+  NetworkConfig config_;
+  std::map<net::NodeId, std::unique_ptr<MulticastRouter>> routers_;
+  std::map<FlowKey, Flow> flows_;
+  std::map<net::Ipv4Address, std::set<net::NodeId>> members_;
+  std::map<net::Ipv4Address, MfcMode> group_planes_;
+  std::map<net::LinkId, double> link_loss_;
+  /// adjacency_[node][ifindex] -> attached *routers* (hosts excluded).
+  std::vector<std::vector<std::vector<net::Attachment>>> adjacency_;
+  std::unique_ptr<sim::PeriodicTimer> lazy_timer_;
+  /// Groups with a recompute pending (coalescing); unspecified address means
+  /// "all groups".
+  std::set<net::Ipv4Address> pending_recompute_;
+  bool recompute_scheduled_ = false;
+  bool started_ = false;
+};
+
+}  // namespace mantra::router

@@ -1,0 +1,102 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace mantra::sim {
+
+EventId Engine::schedule_at(TimePoint when, Callback fn) {
+  if (when < now_) {
+    throw std::invalid_argument("cannot schedule event in the past: " +
+                                when.to_string() + " < " + now_.to_string());
+  }
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_sequence_++, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  if (live_.erase(id) == 0) return false;  // unknown, fired, or cancelled
+  // Lazy deletion: remember the id; pop_next discards it when it surfaces.
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Engine::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the callback must be moved out, so copy
+    // the POD fields first and then const_cast for the move. This is safe
+    // because the element is popped immediately afterwards.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      heap_.pop();
+      continue;
+    }
+    out = std::move(top);
+    heap_.pop();
+    live_.erase(out.id);
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run_until(TimePoint until) {
+  std::size_t count = 0;
+  Entry entry;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    if (!pop_next(entry)) break;
+    if (entry.when > until) {
+      // The surfaced event is beyond the window (all earlier ones were
+      // cancelled); push it back and stop.
+      heap_.push(std::move(entry));
+      break;
+    }
+    now_ = entry.when;
+    entry.fn();
+    ++count;
+    ++processed_;
+  }
+  now_ = until;
+  return count;
+}
+
+std::size_t Engine::run(std::size_t max_events) {
+  std::size_t count = 0;
+  Entry entry;
+  while (count < max_events && pop_next(entry)) {
+    now_ = entry.when;
+    entry.fn();
+    ++count;
+    ++processed_;
+  }
+  return count;
+}
+
+bool Engine::step() {
+  Entry entry;
+  if (!pop_next(entry)) return false;
+  now_ = entry.when;
+  entry.fn();
+  ++processed_;
+  return true;
+}
+
+void PeriodicTimer::start(Duration initial_delay) {
+  stop();
+  pending_ = engine_.schedule_after(initial_delay, [this] { fire(); });
+}
+
+void PeriodicTimer::stop() {
+  if (pending_ != kInvalidEvent) {
+    engine_.cancel(pending_);
+    pending_ = kInvalidEvent;
+  }
+}
+
+void PeriodicTimer::fire() {
+  pending_ = engine_.schedule_after(period_, [this] { fire(); });
+  on_tick_();
+}
+
+}  // namespace mantra::sim

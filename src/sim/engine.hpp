@@ -1,0 +1,116 @@
+// Discrete-event simulation engine: a single-threaded event calendar with
+// cancellable one-shot events and self-rescheduling periodic timers.
+//
+// All protocol machinery (route report timers, IGMP queries, join/prune
+// refresh, workload arrivals) runs as events on one Engine, which makes every
+// experiment fully deterministic for a given RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mantra::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (must be >= now()).
+  /// Returns an id usable with cancel().
+  EventId schedule_at(TimePoint when, Callback fn);
+
+  /// Schedules `fn` to run `delay` from now.
+  EventId schedule_after(Duration delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// Runs all events with timestamp <= `until`, then advances the clock to
+  /// `until`. Events scheduled during processing are honoured if they fall
+  /// within the window. Returns the number of events processed.
+  std::size_t run_until(TimePoint until);
+
+  /// Runs until the calendar is empty (or `max_events` fires as a runaway
+  /// guard). Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Processes exactly one event if any is pending; returns false when idle.
+  bool step();
+
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t sequence;  ///< FIFO tiebreak for simultaneous events
+    EventId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> live_;       ///< ids currently pending
+  std::unordered_set<EventId> cancelled_;  ///< lazy-deletion tombstones
+  TimePoint now_;
+  EventId next_id_ = 1;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+/// A periodic timer that reschedules itself on the engine until stopped.
+/// The owner must outlive the timer's last tick or call stop() first; the
+/// timer guards against that by routing callbacks through its own id.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Engine& engine, Duration period, Engine::Callback on_tick)
+      : engine_(engine), period_(period), on_tick_(std::move(on_tick)) {}
+
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts ticking; first tick after `initial_delay` (defaults to period).
+  void start() { start(period_); }
+  void start(Duration initial_delay);
+
+  void stop();
+
+  [[nodiscard]] bool running() const { return pending_ != kInvalidEvent; }
+  [[nodiscard]] Duration period() const { return period_; }
+  void set_period(Duration period) { period_ = period; }
+
+ private:
+  void fire();
+
+  Engine& engine_;
+  Duration period_;
+  Engine::Callback on_tick_;
+  EventId pending_ = kInvalidEvent;
+};
+
+}  // namespace mantra::sim

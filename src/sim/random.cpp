@@ -1,0 +1,55 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mantra::sim {
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  if (n <= 1) return 1;
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_cdf_.assign(static_cast<std::size_t>(n), 0.0);
+    double total = 0.0;
+    for (std::int64_t k = 1; k <= n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k), s);
+      zipf_cdf_[static_cast<std::size_t>(k - 1)] = total;
+    }
+    for (double& c : zipf_cdf_) c /= total;
+    zipf_n_ = n;
+    zipf_s_ = s;
+  }
+  const double u = uniform(0.0, 1.0);
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<std::int64_t>(it - zipf_cdf_.begin()) + 1;
+}
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(lo), values.end());
+  const double vlo = values[lo];
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(hi), values.end());
+  const double vhi = values[hi];
+  const double frac = pos - static_cast<double>(lo);
+  return vlo + (vhi - vlo) * frac;
+}
+
+}  // namespace mantra::sim

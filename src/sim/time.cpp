@@ -1,0 +1,39 @@
+#include "sim/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mantra::sim {
+
+namespace {
+
+std::string format_hms(std::int64_t total_ms) {
+  const std::int64_t total_s = total_ms / 1000;
+  const std::int64_t days = total_s / 86400;
+  const int h = static_cast<int>((total_s / 3600) % 24);
+  const int m = static_cast<int>((total_s / 60) % 60);
+  const int s = static_cast<int>(total_s % 60);
+  char buffer[64];
+  if (days > 0) {
+    std::snprintf(buffer, sizeof buffer, "%" PRId64 "d %02d:%02d:%02d", days, h, m, s);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%02d:%02d:%02d", h, m, s);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const {
+  if (ms_ < 0) return "-" + Duration(-ms_).to_string();
+  if (ms_ < 60'000) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.3fs", static_cast<double>(ms_) / 1000.0);
+    return buffer;
+  }
+  return format_hms(ms_);
+}
+
+std::string TimePoint::to_string() const { return format_hms(ms_); }
+
+}  // namespace mantra::sim

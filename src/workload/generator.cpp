@@ -1,0 +1,267 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mantra::workload {
+
+Generator::Generator(sim::Engine& engine, router::Network& network, sim::Rng& rng,
+                     GeneratorParams params,
+                     std::vector<std::vector<net::NodeId>> domain_hosts,
+                     GroupAllocator allocator)
+    : engine_(engine),
+      network_(network),
+      rng_(rng),
+      params_(params),
+      domain_hosts_(std::move(domain_hosts)),
+      allocator_(std::move(allocator)) {}
+
+void Generator::start() {
+  schedule_next_arrival();
+  schedule_next_burst();
+}
+
+void Generator::schedule_next_arrival() {
+  if (params_.session_arrivals_per_hour <= 0.0) return;
+  const double hours = rng_.exponential(1.0 / params_.session_arrivals_per_hour);
+  engine_.schedule_after(sim::Duration::from_seconds(hours * 3600.0), [this] {
+    spawn_session();
+    schedule_next_arrival();
+  });
+}
+
+void Generator::schedule_next_burst() {
+  if (params_.bursts_per_day <= 0.0) return;
+  const double days = rng_.exponential(1.0 / params_.bursts_per_day);
+  engine_.schedule_after(sim::Duration::from_seconds(days * 86400.0), [this] {
+    spawn_burst();
+    schedule_next_burst();
+  });
+}
+
+net::NodeId Generator::pick_host() {
+  // Domain popularity is Zipf: big campuses contribute most participants.
+  const auto domain = static_cast<std::size_t>(
+      rng_.zipf(static_cast<std::int64_t>(domain_hosts_.size()), 0.8) - 1);
+  const std::vector<net::NodeId>& hosts = domain_hosts_[domain];
+  return hosts[rng_.pick_index(hosts.size())];
+}
+
+int Generator::draw_member_count() {
+  if (rng_.bernoulli(params_.popular_probability)) {
+    const double x = params_.popular_base +
+                     rng_.pareto(params_.popular_pareto_shape,
+                                 params_.popular_pareto_scale);
+    return std::min(static_cast<int>(x), params_.max_members);
+  }
+  const double x = rng_.pareto(params_.membership_pareto_shape,
+                               params_.membership_pareto_scale);
+  const int n = std::max(1, static_cast<int>(std::floor(x)));
+  return std::min(n, params_.max_members);
+}
+
+double Generator::draw_content_rate() {
+  if (rng_.bernoulli(params_.audio_fraction)) {
+    return std::max(8.0, rng_.lognormal(params_.audio_rate_mu, params_.audio_rate_sigma));
+  }
+  return std::max(64.0, rng_.lognormal(params_.video_rate_mu, params_.video_rate_sigma));
+}
+
+double Generator::draw_rtcp_rate() {
+  // Clamp under the classification threshold: control traffic "rarely
+  // exceeds" 4 kbps (§IV-B).
+  return std::min(3.8, rng_.lognormal(params_.rtcp_rate_mu, params_.rtcp_rate_sigma));
+}
+
+sim::Duration Generator::draw_lifetime() {
+  const bool short_lived = rng_.bernoulli(params_.short_fraction);
+  const double mean_s = short_lived ? params_.short_lifetime_mean.total_seconds()
+                                    : params_.long_lifetime_mean.total_seconds();
+  const double s = std::max(60.0, rng_.exponential(mean_s));
+  return sim::Duration::from_seconds(s);
+}
+
+void Generator::spawn_session() {
+  create_session(/*experimental=*/false, /*force_sender=*/false, draw_lifetime(),
+                 draw_member_count(), net::kInvalidNode);
+}
+
+void Generator::spawn_burst() {
+  // One host fires up a batch of single-member sessions (the paper's
+  // ">85% of sessions have a single member when the count exceeds 500").
+  const net::NodeId host = pick_host();
+  const int count = static_cast<int>(
+      rng_.uniform_int(params_.burst_min_sessions, params_.burst_max_sessions));
+  for (int i = 0; i < count; ++i) {
+    const double s = std::max(
+        120.0, rng_.exponential(params_.burst_lifetime_mean.total_seconds()));
+    create_session(/*experimental=*/true, /*force_sender=*/false,
+                   sim::Duration::from_seconds(s), 1, host);
+  }
+}
+
+net::Ipv4Address Generator::create_session_now(bool experimental, bool force_sender,
+                                               sim::Duration lifetime,
+                                               int member_count) {
+  Session* session = create_session(experimental, force_sender, lifetime,
+                                    member_count, net::kInvalidNode);
+  return session != nullptr ? session->group : net::Ipv4Address{};
+}
+
+Session* Generator::create_session(bool experimental, bool force_sender,
+                                   sim::Duration lifetime, int member_count,
+                                   net::NodeId fixed_host) {
+  const net::Ipv4Address group = allocator_.allocate();
+  if (group.is_unspecified()) return nullptr;
+
+  Session& session = sessions_[group];
+  session.id = next_session_id_++;
+  session.group = group;
+  session.plane = rng_.bernoulli(params_.sparse_probability)
+                      ? router::MfcMode::kSparse
+                      : router::MfcMode::kDense;
+  session.created = engine_.now();
+  session.lifetime = lifetime;
+  session.experimental = experimental;
+  ++sessions_created_;
+  // The plane must be declared before the first join so routers route the
+  // membership change to the right protocol machinery.
+  network_.set_group_plane(group, session.plane);
+
+  const bool has_sender = force_sender || rng_.bernoulli(params_.sender_probability);
+  if (has_sender && member_count < 2) {
+    // Content sessions attract an audience; a sender with zero receivers is
+    // possible but not the norm.
+    member_count = 2 + static_cast<int>(rng_.poisson(params_.sender_audience_mean));
+  }
+
+  for (int i = 0; i < member_count; ++i) {
+    const net::NodeId host = fixed_host != net::kInvalidNode ? fixed_host : pick_host();
+    if (session.participants.find(host) != session.participants.end()) continue;
+    const bool sender = has_sender && i == 0;
+    const double stay_s = std::min(
+        lifetime.total_seconds(),
+        std::max(60.0, rng_.exponential(lifetime.total_seconds() *
+                                        params_.member_stay_fraction)));
+    add_participant(session, host, sender, sim::Duration::from_seconds(stay_s));
+  }
+
+  // Mid-life churn: popular sessions accrete additional members.
+  if (!experimental && member_count >= 3) {
+    const std::int64_t extra =
+        rng_.poisson(params_.churn_joins_per_member * member_count);
+    for (std::int64_t i = 0; i < extra; ++i) {
+      const double at = rng_.uniform(0.05, 0.85) * lifetime.total_seconds();
+      const std::uint64_t id = session.id;
+      engine_.schedule_after(sim::Duration::from_seconds(at), [this, group, id] {
+        const auto it = sessions_.find(group);
+        if (it == sessions_.end() || it->second.id != id) return;
+        Session& live = it->second;
+        const net::NodeId host = pick_host();
+        if (live.participants.find(host) != live.participants.end()) return;
+        const sim::TimePoint end = live.created + live.lifetime;
+        const double left = (end - engine_.now()).total_seconds();
+        if (left <= 60.0) return;
+        const double stay = std::max(60.0, rng_.exponential(left * 0.6));
+        add_participant(live, host, false,
+                        sim::Duration::from_seconds(std::min(stay, left)));
+      });
+    }
+  }
+
+  const std::uint64_t id = session.id;
+  engine_.schedule_after(lifetime, [this, group, id] {
+    const auto it = sessions_.find(group);
+    if (it == sessions_.end() || it->second.id != id) return;  // stale event
+    end_session(group);
+  });
+  return &session;
+}
+
+void Generator::add_participant(Session& session, net::NodeId host, bool sender,
+                                sim::Duration stay) {
+  Participant participant;
+  participant.host = host;
+  participant.sender = sender;
+  if (sender) {
+    participant.rate_kbps = draw_content_rate();
+  } else {
+    // RTCP budget sharing: the per-member control rate shrinks as the
+    // session grows.
+    const double budget_cap = params_.rtcp_total_budget_kbps /
+                              std::max<std::size_t>(1, session.participants.size() + 1);
+    participant.rate_kbps = std::min(draw_rtcp_rate(), budget_cap);
+  }
+  participant.joined = engine_.now();
+  session.participants[host] = participant;
+  ++participants_added_;
+
+  network_.host_join(host, session.group);
+  network_.flow_start(host, session.group, participant.rate_kbps, session.plane);
+
+  const net::Ipv4Address group = session.group;
+  const std::uint64_t id = session.id;
+  if (stay < session.lifetime) {
+    engine_.schedule_after(stay, [this, group, id, host] {
+      const auto it = sessions_.find(group);
+      if (it == sessions_.end() || it->second.id != id) return;  // stale event
+      remove_participant(group, host);
+    });
+  }
+}
+
+void Generator::remove_participant(net::Ipv4Address group, net::NodeId host) {
+  const auto it = sessions_.find(group);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  const auto member = session.participants.find(host);
+  if (member == session.participants.end()) return;
+  network_.flow_stop(host, group);
+  network_.host_leave(host, group);
+  session.participants.erase(member);
+}
+
+void Generator::end_session(net::Ipv4Address group) {
+  const auto it = sessions_.find(group);
+  if (it == sessions_.end()) return;
+  // Copy hosts first: remove_participant mutates the map.
+  std::vector<net::NodeId> hosts;
+  hosts.reserve(it->second.participants.size());
+  for (const auto& [host, participant] : it->second.participants) hosts.push_back(host);
+  for (net::NodeId host : hosts) remove_participant(group, host);
+  sessions_.erase(group);
+  allocator_.release(group);
+}
+
+void Generator::schedule_audience_surge(sim::TimePoint start, sim::Duration ramp,
+                                        sim::Duration stay, int audience,
+                                        int n_sessions) {
+  engine_.schedule_at(start, [this, ramp, stay, audience, n_sessions] {
+    std::vector<net::Ipv4Address> groups;
+    for (int i = 0; i < n_sessions; ++i) {
+      // The broadcast sessions themselves: long-lived, sender-backed.
+      const net::Ipv4Address group = create_session_now(
+          false, /*force_sender=*/true, stay + ramp + sim::Duration::hours(2), 2);
+      if (!group.is_unspecified()) groups.push_back(group);
+    }
+    if (groups.empty()) return;
+    for (int i = 0; i < audience; ++i) {
+      const double at = rng_.uniform(0.0, ramp.total_seconds());
+      const net::Ipv4Address group = groups[rng_.pick_index(groups.size())];
+      engine_.schedule_after(sim::Duration::from_seconds(at),
+                             [this, group, stay] {
+        const auto it = sessions_.find(group);
+        if (it == sessions_.end()) return;
+        const net::NodeId host = pick_host();
+        if (it->second.participants.find(host) != it->second.participants.end()) return;
+        const double stay_s =
+            std::max(600.0, rng_.exponential(stay.total_seconds() * 0.7));
+        add_participant(it->second, host, false,
+                        sim::Duration::from_seconds(
+                            std::min(stay_s, stay.total_seconds())));
+      });
+    }
+  });
+}
+
+}  // namespace mantra::workload

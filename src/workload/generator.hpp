@@ -1,0 +1,154 @@
+// Stochastic workload driver: recreates the statistical texture of the
+// 1998-99 MBone traffic the paper measured at FIXW.
+//
+// Mechanisms (each mapped to an observation in §IV):
+//  * Poisson session arrivals with a short/long lifetime mixture and
+//    heavy-tailed membership sizes  -> low counts, high variance (Fig 3),
+//    density skew (Fig 4, §IV-B offline claims).
+//  * Every participant emits low-rate control (RTCP) traffic; senders emit
+//    content at > 4 kbps                -> sender/passive split (Figs 3, 6).
+//  * "Experimental bursts": one host creating hundreds of single-member
+//    sessions                            -> session spikes + density dips.
+//  * Audience surges onto a few popular sessions (IETF-43 broadcast)
+//                                        -> participant spikes + density peaks.
+//  * A sparse-plane probability that ramps up during the infrastructure
+//    transition                          -> post-transition drop in totals
+//                                           with stable actives (Figs 3, 6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "router/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "workload/session.hpp"
+
+namespace mantra::workload {
+
+struct GeneratorParams {
+  // --- Session arrivals & lifetimes ---
+  double session_arrivals_per_hour = 40.0;
+  double short_fraction = 0.65;  ///< fraction of short-lived sessions
+  sim::Duration short_lifetime_mean = sim::Duration::minutes(30);
+  sim::Duration long_lifetime_mean = sim::Duration::hours(8);
+
+  // --- Membership sizes (bimodal heavy tail) ---
+  // Most sessions are tiny (1-2 participants); a small fraction are popular
+  // broadcasts with large audiences. This bimodality is what concentrates
+  // participants: the paper's off-line analysis finds <6% of sessions hold
+  // ~80% of participants.
+  double membership_pareto_shape = 1.6;
+  double membership_pareto_scale = 0.8;
+  double popular_probability = 0.035;
+  double popular_base = 50.0;
+  double popular_pareto_shape = 1.3;
+  double popular_pareto_scale = 30.0;
+  int max_members = 300;
+  /// Sender-backed sessions always attract some audience (kept small so
+  /// the participant mass stays concentrated in the popular broadcasts).
+  double sender_audience_mean = 1.2;
+  /// Mean fraction of the session lifetime an initial member stays.
+  double member_stay_fraction = 0.75;
+  /// Extra mid-life joins per initial member (popular sessions accrete).
+  double churn_joins_per_member = 0.4;
+
+  // --- Traffic rates ---
+  /// Control (RTCP) traffic: lognormal, well under the 4 kbps threshold.
+  /// The per-member rate is additionally capped by the shared RTCP budget
+  /// (RFC 1889's 5%-of-session-bandwidth rule): members of big sessions
+  /// report rarely, which is why their state disappears from sparse-mode
+  /// routers after the transition.
+  double rtcp_rate_mu = 0.0;     ///< ln kbps
+  double rtcp_rate_sigma = 0.5;
+  double rtcp_total_budget_kbps = 16.0;
+  /// Content traffic: lognormal mixture of audio (~16-64 kbps) and video
+  /// (~128-512 kbps); all above the threshold.
+  double audio_fraction = 0.7;
+  double audio_rate_mu = 3.6;    ///< ln kbps (~36 kbps median)
+  double audio_rate_sigma = 0.5;
+  double video_rate_mu = 5.4;    ///< ln kbps (~220 kbps median)
+  double video_rate_sigma = 0.4;
+  /// Probability a session has a content sender at all (the paper's wide
+  /// active/total gap comes from this being well below 1).
+  double sender_probability = 0.3;
+
+  // --- Experimental bursts ---
+  double bursts_per_day = 1.1;
+  int burst_min_sessions = 150;
+  int burst_max_sessions = 600;
+  sim::Duration burst_lifetime_mean = sim::Duration::minutes(45);
+
+  // --- Routing plane ---
+  /// Probability a *new* session is carried sparse-mode; the transition
+  /// scenario ramps this from 0 towards ~0.9.
+  double sparse_probability = 0.0;
+};
+
+class Generator {
+ public:
+  /// `domain_hosts[d]` lists the host nodes of domain d; participants pick a
+  /// Zipf-popular domain, then a uniform host inside it.
+  Generator(sim::Engine& engine, router::Network& network, sim::Rng& rng,
+            GeneratorParams params, std::vector<std::vector<net::NodeId>> domain_hosts,
+            GroupAllocator allocator);
+
+  /// Begins scheduling arrivals/bursts.
+  void start();
+
+  /// Transition control: fraction of new sessions on the sparse plane.
+  void set_sparse_probability(double p) { params_.sparse_probability = p; }
+  [[nodiscard]] double sparse_probability() const { return params_.sparse_probability; }
+
+  /// Schedules an audience surge (the IETF-meeting pattern): `n_sessions`
+  /// popular sender-backed sessions appear at `start`; `audience` hosts join
+  /// over `ramp` and stay for `stay`.
+  void schedule_audience_surge(sim::TimePoint start, sim::Duration ramp,
+                               sim::Duration stay, int audience, int n_sessions);
+
+  /// Creates one session immediately (bypasses the arrival process; used by
+  /// tests and the surge machinery). Returns the group address.
+  net::Ipv4Address create_session_now(bool experimental, bool force_sender,
+                                      sim::Duration lifetime, int member_count);
+
+  // --- Introspection ---
+  [[nodiscard]] std::size_t live_session_count() const { return sessions_.size(); }
+  [[nodiscard]] const std::map<net::Ipv4Address, Session>& sessions() const {
+    return sessions_;
+  }
+  [[nodiscard]] std::uint64_t sessions_created() const { return sessions_created_; }
+  [[nodiscard]] std::uint64_t participants_added() const { return participants_added_; }
+  [[nodiscard]] GeneratorParams& params() { return params_; }
+
+ private:
+  void schedule_next_arrival();
+  void schedule_next_burst();
+  void spawn_session();
+  void spawn_burst();
+  Session* create_session(bool experimental, bool force_sender,
+                          sim::Duration lifetime, int member_count,
+                          net::NodeId fixed_host);
+  void add_participant(Session& session, net::NodeId host, bool sender,
+                       sim::Duration stay);
+  void remove_participant(net::Ipv4Address group, net::NodeId host);
+  void end_session(net::Ipv4Address group);
+  [[nodiscard]] net::NodeId pick_host();
+  [[nodiscard]] int draw_member_count();
+  [[nodiscard]] double draw_content_rate();
+  [[nodiscard]] double draw_rtcp_rate();
+  [[nodiscard]] sim::Duration draw_lifetime();
+
+  sim::Engine& engine_;
+  router::Network& network_;
+  sim::Rng& rng_;
+  GeneratorParams params_;
+  std::vector<std::vector<net::NodeId>> domain_hosts_;
+  GroupAllocator allocator_;
+  std::map<net::Ipv4Address, Session> sessions_;
+  std::uint64_t next_session_id_ = 1;
+  std::uint64_t sessions_created_ = 0;
+  std::uint64_t participants_added_ = 0;
+};
+
+}  // namespace mantra::workload

@@ -1,0 +1,241 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+
+namespace mantra::workload {
+
+namespace {
+
+/// Group ranges the allocator draws from (cosmetic split across three /16s,
+/// as SDR-era sessions clustered in a few ranges).
+net::Prefix group_range(int index) {
+  return net::Prefix(net::Ipv4Address(224, static_cast<std::uint8_t>(2 + 2 * index), 0, 0), 16);
+}
+
+}  // namespace
+
+FixwScenario::FixwScenario(ScenarioConfig config)
+    : config_(config), rng_(config.seed) {
+  build_topology();
+  build_routers();
+}
+
+std::vector<net::Prefix> FixwScenario::domain_stub_prefixes(int index) const {
+  std::vector<net::Prefix> out;
+  out.reserve(static_cast<std::size_t>(config_.dvmrp_prefixes_per_domain));
+  for (int k = 0; k < config_.dvmrp_prefixes_per_domain; ++k) {
+    out.emplace_back(net::Ipv4Address(10, static_cast<std::uint8_t>(index),
+                                      static_cast<std::uint8_t>(16 + k), 0),
+                     24);
+  }
+  return out;
+}
+
+void FixwScenario::build_topology() {
+  fixw_ = topology_.add_router("fixw");
+
+  for (int d = 0; d < config_.domains; ++d) {
+    const std::string name = d == 0 ? "ucsb-gw" : "bdr" + std::to_string(d);
+    const net::NodeId border = topology_.add_router(name);
+    borders_.push_back(border);
+
+    // DVMRP tunnel to the exchange point.
+    const net::Prefix tunnel(net::Ipv4Address(192, 168, static_cast<std::uint8_t>(d), 0), 30);
+    topology_.connect(fixw_, border, tunnel, net::LinkKind::kTunnel,
+                      /*delay_ms=*/10);
+
+    // The domain LAN with its hosts.
+    const net::Prefix lan(net::Ipv4Address(10, static_cast<std::uint8_t>(d), 1, 0), 24);
+    const net::LinkId lan_link = topology_.create_lan(lan, /*delay_ms=*/1);
+    topology_.attach_to_lan(border, lan_link);
+
+    std::vector<net::NodeId> hosts;
+    hosts.reserve(static_cast<std::size_t>(config_.hosts_per_domain));
+    for (int h = 0; h < config_.hosts_per_domain; ++h) {
+      const net::NodeId host = topology_.add_host(
+          name + "-h" + std::to_string(h));
+      topology_.attach_to_lan(host, lan_link);
+      hosts.push_back(host);
+    }
+    domain_hosts_.push_back(std::move(hosts));
+  }
+}
+
+void FixwScenario::build_routers() {
+  router::NetworkConfig net_config;
+  net_config.dvmrp_report_loss = config_.report_loss;
+  // Keep entries visible to the monitor for a while after flows stop, like
+  // mrouted's cache timeout. Deliberately *not* scaled with the protocol
+  // clocks: cache retention is a forwarding-plane property and inflating it
+  // would inflate every session count the monitor sees.
+  net_config.mfc_retention = sim::Duration::minutes(10);
+  // Trace-scale runs batch distribution-tree re-walks (see NetworkConfig);
+  // protocol-faithful runs recompute within the coalescing window.
+  if (!config_.full_timers) {
+    net_config.lazy_recompute_interval = sim::Duration::minutes(2);
+  }
+  // With protocol-faithful IGMP timers, member hosts must answer the
+  // querier or their membership would falsely expire.
+  net_config.host_report_interval =
+      config_.full_timers ? sim::Duration::seconds(100) : sim::Duration::seconds(0);
+  network_ = std::make_unique<router::Network>(engine_, topology_, rng_, net_config);
+
+  // Per-domain RPs: every domain's routers map all groups onto their own
+  // border (the 1999 interdomain architecture — one RP per domain, MSDP
+  // synchronising active sources between them). This is what makes FIXW
+  // stop seeing single-member and intra-domain sessions post-transition.
+  rp_addresses_.clear();
+  for (int d = 0; d < config_.domains; ++d) {
+    rp_addresses_.push_back(
+        topology_.node(borders_[static_cast<std::size_t>(d)]).primary_address());
+  }
+
+  const auto make_common = [&](bool is_fixw, int domain_index) {
+    router::RouterConfig config;
+    config.igmp.timers_enabled = config_.full_timers;
+
+    config.dvmrp_enabled = true;
+    config.dvmrp.scale_timers(config_.timer_scale);
+    if (!is_fixw) {
+      for (const net::Prefix& stub : domain_stub_prefixes(domain_index)) {
+        config.dvmrp.originated.push_back({stub, 2});
+      }
+      // Even domains aggregate their stubs when advertising — the paper
+      // names "inconsistent route aggregation" as an inconsistency source.
+      if (domain_index % 2 == 0 && domain_index != 0) {
+        config.dvmrp.aggregates.push_back(
+            net::Prefix(net::Ipv4Address(10, static_cast<std::uint8_t>(domain_index), 0, 0), 16));
+      }
+    }
+
+    config.pim_enabled = true;
+    if (!is_fixw) {
+      // Each domain uses its own border as RP for every group. FIXW is
+      // pure transit: it forwards (S,G) joins but terminates no shared
+      // trees, so it needs no RP mapping.
+      config.pim.rp_map = {
+          {net::kMulticastRange, rp_addresses_[static_cast<std::size_t>(domain_index)]}};
+    }
+    config.pim.timers_enabled = config_.full_timers;
+    if (!config_.full_timers) config.pim.scale_timers(config_.timer_scale);
+
+    // Dense-mode prune state does not age at trace scale (grafts handle
+    // re-attachment); short runs keep the mrouted two-hour lifetime.
+    config.prune_lifetime = config_.full_timers ? sim::Duration::hours(2)
+                                                : sim::Duration::seconds(0);
+    return config;
+  };
+
+  // FIXW: hybrid border — DVMRP hub + PIM + MBGP + MSDP transit.
+  {
+    router::RouterConfig config = make_common(/*is_fixw=*/true, -1);
+    config.mbgp_enabled = true;
+    config.mbgp.local_as = 3000;
+    for (int d = 0; d < config_.domains; ++d) {
+      const net::Ipv4Address peer =
+          topology_.node(borders_[static_cast<std::size_t>(d)]).primary_address();
+      config.mbgp.peers.push_back({peer, 100u + static_cast<std::uint32_t>(d)});
+    }
+    network_->add_router(fixw_, std::move(config));
+  }
+
+  for (int d = 0; d < config_.domains; ++d) {
+    router::RouterConfig config = make_common(false, d);
+
+    // Every border peers MBGP with FIXW (hub AS) and originates its /16.
+    config.mbgp_enabled = true;
+    config.mbgp.local_as = 100u + static_cast<std::uint32_t>(d);
+    config.mbgp.peers.push_back({topology_.node(fixw_).primary_address(), 3000});
+    config.mbgp.originated.push_back(
+        net::Prefix(net::Ipv4Address(10, static_cast<std::uint8_t>(d), 0, 0), 16));
+
+    // Every domain RP runs MSDP, fully meshed (mesh group 1: an SA learned
+    // from one member is not re-flooded to the others).
+    config.msdp_enabled = true;
+    config.msdp.timers_enabled = config_.full_timers;
+    if (!config_.full_timers) config.msdp.scale_timers(config_.timer_scale);
+    for (int r = 0; r < config_.domains; ++r) {
+      if (r == d) continue;
+      config.msdp.peers.push_back({rp_addresses_[static_cast<std::size_t>(r)], 1});
+    }
+    network_->add_router(borders_[static_cast<std::size_t>(d)], std::move(config));
+  }
+
+  GroupAllocator allocator({group_range(0), group_range(1), group_range(2)});
+  generator_ = std::make_unique<Generator>(engine_, *network_, rng_,
+                                           config_.generator, domain_hosts_,
+                                           std::move(allocator));
+}
+
+void FixwScenario::start() {
+  network_->start();
+  generator_->start();
+}
+
+void FixwScenario::schedule_transition(sim::TimePoint start, sim::Duration ramp,
+                                       double final_fraction) {
+  // Ten linear steps over the ramp.
+  constexpr int kSteps = 10;
+  for (int i = 1; i <= kSteps; ++i) {
+    const sim::TimePoint at = start + ramp * std::int64_t{i} / std::int64_t{kSteps};
+    const double p = final_fraction * i / kSteps;
+    engine_.schedule_at(at, [this, p] { generator_->set_sparse_probability(p); });
+  }
+}
+
+void FixwScenario::schedule_dvmrp_migration(sim::TimePoint start,
+                                            sim::Duration span, double fraction) {
+  const int migrating = static_cast<int>(config_.domains * fraction);
+  for (int i = 0; i < migrating; ++i) {
+    // Migrate the highest-numbered domains first; UCSB (domain 0) stays
+    // DVMRP longest, as the real campus did.
+    const int domain = config_.domains - 1 - i;
+    if (domain <= 0) break;
+    const sim::TimePoint at = start + span * std::int64_t{i + 1} / std::int64_t{migrating};
+    engine_.schedule_at(at, [this, domain] {
+      router::MulticastRouter* border =
+          network_->router(borders_[static_cast<std::size_t>(domain)]);
+      if (border != nullptr && border->dvmrp() != nullptr) {
+        border->dvmrp()->withdraw_routes(domain_stub_prefixes(domain));
+      }
+    });
+  }
+}
+
+void FixwScenario::schedule_route_injection(sim::TimePoint at, int count,
+                                            sim::Duration revert_after) {
+  std::vector<dvmrp::ReportedRoute> injected;
+  std::vector<net::Prefix> prefixes;
+  injected.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // 172.16.0.0/12 host networks, the classic unicast-redistribution shape.
+    const net::Prefix prefix(
+        net::Ipv4Address(172, static_cast<std::uint8_t>(16 + i / 256),
+                         static_cast<std::uint8_t>(i % 256), 0),
+        24);
+    injected.push_back({prefix, 1});
+    prefixes.push_back(prefix);
+  }
+  engine_.schedule_at(at, [this, injected] {
+    router::MulticastRouter* ucsb = network_->router(ucsb_node());
+    if (ucsb != nullptr && ucsb->dvmrp() != nullptr) {
+      ucsb->dvmrp()->inject_routes(injected);
+    }
+  });
+  engine_.schedule_at(at + revert_after, [this, prefixes] {
+    router::MulticastRouter* ucsb = network_->router(ucsb_node());
+    if (ucsb != nullptr && ucsb->dvmrp() != nullptr) {
+      ucsb->dvmrp()->withdraw_routes(prefixes);
+    }
+  });
+}
+
+void FixwScenario::schedule_ietf_meeting(sim::TimePoint start, sim::Duration length,
+                                         int audience) {
+  // The meeting broadcast: a handful of parallel sender-backed channels
+  // (plenary audio/video, working-group channels).
+  generator_->schedule_audience_surge(start, sim::Duration::hours(12), length,
+                                      audience, /*n_sessions=*/5);
+}
+
+}  // namespace mantra::workload

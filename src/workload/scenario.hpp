@@ -1,0 +1,108 @@
+// Scenario presets reproducing the paper's two collection points:
+//
+//   * FIXW — the Federal IntereXchange-West: a hub router interconnecting
+//     domain border routers over DVMRP tunnels; post-transition it becomes
+//     the border between the remaining DVMRP networks and native (PIM-SM +
+//     MBGP + MSDP) domains.
+//   * UCSB — a campus mrouted border (one of the domains).
+//
+// The scenario owns the engine, topology, network, routers, hosts and the
+// workload generator, and exposes fault-injection/transition scheduling for
+// the individual experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "router/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "workload/generator.hpp"
+
+namespace mantra::workload {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+
+  int domains = 14;
+  int hosts_per_domain = 60;
+  /// Stub networks each domain border originates into DVMRP (route-table
+  /// volume for Figs 7-9).
+  int dvmrp_prefixes_per_domain = 40;
+
+  /// Per-report loss probability on the DVMRP tunnels (instability driver).
+  double report_loss = 0.08;
+
+  /// Protocol clock stretch for trace-scale runs (1 = RFC timers). The
+  /// DVMRP report/expiry machinery stays on; PIM/MSDP/IGMP refresh is
+  /// event-driven at trace scale (explicit teardown keeps state exact).
+  std::int64_t timer_scale = 40;
+
+  /// Enable periodic PIM/MSDP/IGMP refresh timers (protocol-faithful mode;
+  /// use for short runs and integration tests only).
+  bool full_timers = false;
+
+  GeneratorParams generator;
+};
+
+class FixwScenario {
+ public:
+  explicit FixwScenario(ScenarioConfig config);
+
+  /// Starts protocols and the workload.
+  void start();
+
+  /// Ramp of the sparse-plane probability for new sessions: the
+  /// infrastructure transition. Linear from 0 to `final_fraction` over
+  /// `ramp`, starting at `start`.
+  void schedule_transition(sim::TimePoint start, sim::Duration ramp,
+                           double final_fraction);
+
+  /// DVMRP exodus (Fig 8): starting at `start`, domains withdraw their stub
+  /// prefixes from DVMRP one by one, finishing (fraction of domains) by
+  /// `start + span`.
+  void schedule_dvmrp_migration(sim::TimePoint start, sim::Duration span,
+                                double fraction = 1.0);
+
+  /// Fig 9 fault: the UCSB border redistributes `count` unicast routes into
+  /// its DVMRP table at `at`, reverting after `revert_after`.
+  void schedule_route_injection(sim::TimePoint at, int count,
+                                sim::Duration revert_after);
+
+  /// Fig 4's early-December audience surge (the 43rd IETF, Orlando).
+  void schedule_ietf_meeting(sim::TimePoint start, sim::Duration length,
+                             int audience);
+
+  // --- Accessors ---
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] net::Topology& topology() { return topology_; }
+  [[nodiscard]] router::Network& network() { return *network_; }
+  [[nodiscard]] Generator& generator() { return *generator_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] net::NodeId fixw_node() const { return fixw_; }
+  [[nodiscard]] net::NodeId ucsb_node() const { return borders_.at(0); }
+  [[nodiscard]] const std::vector<net::NodeId>& border_nodes() const { return borders_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+  /// Stub prefixes originated into DVMRP by domain `index`.
+  [[nodiscard]] std::vector<net::Prefix> domain_stub_prefixes(int index) const;
+
+ private:
+  void build_topology();
+  void build_routers();
+
+  ScenarioConfig config_;
+  sim::Engine engine_;
+  sim::Rng rng_;
+  net::Topology topology_;
+  std::unique_ptr<router::Network> network_;
+  std::unique_ptr<Generator> generator_;
+  net::NodeId fixw_ = net::kInvalidNode;
+  std::vector<net::NodeId> borders_;
+  std::vector<std::vector<net::NodeId>> domain_hosts_;
+  std::vector<net::Ipv4Address> rp_addresses_;
+};
+
+}  // namespace mantra::workload

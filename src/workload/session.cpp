@@ -1,0 +1,24 @@
+#include "workload/session.hpp"
+
+namespace mantra::workload {
+
+net::Ipv4Address GroupAllocator::allocate() {
+  // Scan forward from the cursor until a free address is found; the pools
+  // are /16s (64k addresses) so this terminates quickly at realistic loads.
+  for (std::size_t attempts = 0; attempts < 1u << 20; ++attempts) {
+    const net::Prefix& range = ranges_[next_range_];
+    if (next_offset_ + 1 >= range.size()) {
+      next_offset_ = 1;
+      next_range_ = (next_range_ + 1) % ranges_.size();
+      continue;
+    }
+    const net::Ipv4Address candidate = range.host(next_offset_++);
+    next_range_ = (next_range_ + 1) % ranges_.size();
+    if (live_.insert(candidate).second) return candidate;
+  }
+  return net::Ipv4Address{};  // pool exhausted (not reachable in practice)
+}
+
+void GroupAllocator::release(net::Ipv4Address group) { live_.erase(group); }
+
+}  // namespace mantra::workload

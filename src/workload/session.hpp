@@ -1,0 +1,60 @@
+// Session bookkeeping for the workload generator: multicast group address
+// allocation and live-session records.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/topology.hpp"
+#include "router/mfc.hpp"
+#include "sim/time.hpp"
+
+namespace mantra::workload {
+
+/// Allocates multicast group addresses round-robin from a pool of /16
+/// ranges. Ranges map onto the scenario's static RP assignment (each /16 is
+/// served by one RP), so allocation also spreads sessions across RPs.
+class GroupAllocator {
+ public:
+  explicit GroupAllocator(std::vector<net::Prefix> ranges)
+      : ranges_(std::move(ranges)) {}
+
+  /// Next free group address; cycles through ranges.
+  net::Ipv4Address allocate();
+
+  /// Returns an address to the pool.
+  void release(net::Ipv4Address group);
+
+  [[nodiscard]] std::size_t live_count() const { return live_.size(); }
+  [[nodiscard]] const std::vector<net::Prefix>& ranges() const { return ranges_; }
+
+ private:
+  std::vector<net::Prefix> ranges_;
+  std::size_t next_range_ = 0;
+  std::uint32_t next_offset_ = 1;
+  std::set<net::Ipv4Address> live_;
+};
+
+/// One participant spell inside a session.
+struct Participant {
+  net::NodeId host = net::kInvalidNode;
+  bool sender = false;        ///< sends content data (> threshold rate)
+  double rate_kbps = 0.0;     ///< content rate, or the RTCP control rate
+  sim::TimePoint joined;
+};
+
+/// A live multicast session driven by the generator.
+struct Session {
+  std::uint64_t id = 0;
+  net::Ipv4Address group;
+  router::MfcMode plane = router::MfcMode::kDense;
+  sim::TimePoint created;
+  sim::Duration lifetime;
+  bool experimental = false;  ///< burst-created single-member session
+  std::map<net::NodeId, Participant> participants;
+};
+
+}  // namespace mantra::workload

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/mantra.hpp"
+#include "workload/scenario.hpp"
+
+namespace mantra::core {
+namespace {
+
+/// Full pipeline over a small protocol-faithful scenario.
+class MantraPipeline : public ::testing::Test {
+ protected:
+  MantraPipeline() : scenario_(make_config()) {
+    scenario_.start();
+    MantraConfig config;
+    config.cycle = sim::Duration::minutes(15);
+    monitor_ = std::make_unique<Mantra>(scenario_.engine(), config);
+    monitor_->add_target(scenario_.network().router(scenario_.fixw_node()));
+    monitor_->add_target(scenario_.network().router(scenario_.ucsb_node()));
+    monitor_->start();
+  }
+
+  static workload::ScenarioConfig make_config() {
+    workload::ScenarioConfig config;
+    config.seed = 21;
+    config.domains = 4;
+    config.hosts_per_domain = 6;
+    config.dvmrp_prefixes_per_domain = 6;
+    config.report_loss = 0.02;
+    config.timer_scale = 1;
+    config.full_timers = true;
+    config.generator.session_arrivals_per_hour = 40.0;
+    config.generator.bursts_per_day = 0.0;
+    return config;
+  }
+
+  void run_hours(int hours) {
+    scenario_.engine().run_until(scenario_.engine().now() +
+                                 sim::Duration::hours(hours));
+  }
+
+  workload::FixwScenario scenario_;
+  std::unique_ptr<Mantra> monitor_;
+};
+
+TEST_F(MantraPipeline, CyclesAccumulateResults) {
+  run_hours(2);
+  const auto& results = monitor_->results("fixw");
+  EXPECT_EQ(results.size(), 8u);  // 2h / 15min
+  EXPECT_EQ(monitor_->results("ucsb-gw").size(), 8u);
+}
+
+TEST_F(MantraPipeline, UsageStatisticsAreLive) {
+  run_hours(3);
+  const CycleResult& last = monitor_->results("fixw").back();
+  EXPECT_GT(last.usage.sessions, 0);
+  EXPECT_GT(last.usage.participants, 0);
+  EXPECT_GE(last.usage.participants, last.usage.senders);
+  EXPECT_GE(last.usage.sessions, last.usage.active_sessions);
+  EXPECT_GT(last.dvmrp_routes, 0u);
+  EXPECT_EQ(last.parse_warnings, 0u);
+}
+
+TEST_F(MantraPipeline, LoggerRecordsEveryCycleAndReconstructs) {
+  run_hours(2);
+  const DataLogger& logger = monitor_->logger("fixw");
+  EXPECT_EQ(logger.cycle_count(), 8u);
+  const Snapshot rebuilt = logger.reconstruct(7);
+  const Snapshot& latest = monitor_->latest_snapshot("fixw");
+  EXPECT_EQ(rebuilt.pairs.size(), latest.pairs.size());
+  EXPECT_EQ(rebuilt.routes.size(), latest.routes.size());
+}
+
+TEST_F(MantraPipeline, SeriesExtraction) {
+  run_hours(2);
+  const TimeSeries sessions = monitor_->series(
+      "fixw", "sessions",
+      [](const CycleResult& r) { return static_cast<double>(r.usage.sessions); });
+  EXPECT_EQ(sessions.size(), 8u);
+  EXPECT_GT(sessions.max(), 0.0);
+}
+
+TEST_F(MantraPipeline, SummaryTablesRender) {
+  run_hours(2);
+  const SummaryTable busiest = monitor_->busiest_sessions("fixw", 5);
+  EXPECT_LE(busiest.row_count(), 5u);
+  const SummaryTable senders = monitor_->top_senders("fixw", 5);
+  EXPECT_LE(senders.row_count(), 5u);
+  const SummaryTable overview = monitor_->overview();
+  EXPECT_EQ(overview.row_count(), 2u);
+  EXPECT_FALSE(overview.render().empty());
+}
+
+TEST_F(MantraPipeline, AggregateUsageAtLeastSingleView) {
+  run_hours(2);
+  const UsageStats fixw = compute_usage(monitor_->latest_snapshot("fixw"));
+  const UsageStats aggregate = monitor_->aggregate_usage();
+  EXPECT_GE(aggregate.sessions, fixw.sessions);
+  EXPECT_GE(aggregate.participants, fixw.participants);
+}
+
+TEST_F(MantraPipeline, RouteMonitorSeesChangesAcrossOutage) {
+  run_hours(1);
+  // Take FIXW's tunnel to UCSB down for an hour: UCSB's learned routes
+  // expire into hold-down and are garbage-collected; the monitor's
+  // cycle-to-cycle diffs must register the churn in both directions.
+  scenario_.network().set_interface_enabled(scenario_.fixw_node(), 0, false);
+  run_hours(1);
+  const std::size_t during =
+      monitor_->results("ucsb-gw").back().dvmrp_valid_routes;
+  scenario_.network().set_interface_enabled(scenario_.fixw_node(), 0, true);
+  run_hours(1);
+  const RouteMonitor& monitor = monitor_->route_monitor("ucsb-gw");
+  EXPECT_EQ(monitor.history().size(), 12u);
+  EXPECT_GT(monitor.total_changes(), 0u);
+  EXPECT_LT(during, monitor_->results("ucsb-gw").back().dvmrp_valid_routes);
+}
+
+TEST_F(MantraPipeline, UnknownTargetThrows) {
+  EXPECT_THROW(monitor_->results("nonesuch"), std::out_of_range);
+}
+
+TEST_F(MantraPipeline, StopHaltsCycles) {
+  run_hours(1);
+  monitor_->stop();
+  const std::size_t cycles = monitor_->results("fixw").size();
+  run_hours(1);
+  EXPECT_EQ(monitor_->results("fixw").size(), cycles);
+}
+
+TEST_F(MantraPipeline, RouteInjectionFlagsSpike) {
+  // Let the detector build a baseline, then inject.
+  run_hours(3);
+  scenario_.schedule_route_injection(scenario_.engine().now() + sim::Duration::minutes(20),
+                                     1500, sim::Duration::hours(2));
+  run_hours(1);
+  bool spiked = false;
+  for (const CycleResult& result : monitor_->results("ucsb-gw")) {
+    if (result.route_spike) spiked = true;
+  }
+  EXPECT_TRUE(spiked);
+}
+
+}  // namespace
+}  // namespace mantra::core

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/output.hpp"
+
+namespace mantra::core {
+namespace {
+
+SummaryTable sample_table() {
+  SummaryTable table({"group", "density", "kbps"});
+  table.add_row({"224.2.0.1", "5", "100.5"});
+  table.add_row({"224.2.0.2", "1", "3.2"});
+  table.add_row({"224.4.0.9", "22", "48.0"});
+  return table;
+}
+
+TEST(SummaryTable, SortNumericDescending) {
+  SummaryTable table = sample_table();
+  table.sort_by(*table.column_index("kbps"), true, true);
+  EXPECT_EQ(table.rows()[0][0], "224.2.0.1");
+  EXPECT_EQ(table.rows()[2][0], "224.2.0.2");
+}
+
+TEST(SummaryTable, SortNumericAscending) {
+  SummaryTable table = sample_table();
+  table.sort_by(*table.column_index("density"), true, false);
+  EXPECT_EQ(table.rows()[0][1], "1");
+  EXPECT_EQ(table.rows()[2][1], "22");
+}
+
+TEST(SummaryTable, SortLexicographic) {
+  SummaryTable table = sample_table();
+  table.sort_by(0, /*numeric=*/false, /*descending=*/false);
+  EXPECT_EQ(table.rows()[0][0], "224.2.0.1");
+  EXPECT_EQ(table.rows()[2][0], "224.4.0.9");
+}
+
+TEST(SummaryTable, SearchFiltersBySubstring) {
+  const SummaryTable table = sample_table();
+  const SummaryTable hits = table.search(0, "224.2");
+  EXPECT_EQ(hits.row_count(), 2u);
+  EXPECT_EQ(table.search(0, "999").row_count(), 0u);
+}
+
+TEST(SummaryTable, ComputedColumnAlgebra) {
+  SummaryTable table = sample_table();
+  table.add_computed_column("kbps_per_member", 2, 1, '/');
+  ASSERT_EQ(table.column_count(), 4u);
+  EXPECT_EQ(table.rows()[0][3], "20.100");
+  // Multiplication too (the "unicast equivalent" computation).
+  table.add_computed_column("unicast_kbps", 2, 1, '*');
+  EXPECT_EQ(table.rows()[0][4], "502.500");
+}
+
+TEST(SummaryTable, ComputedColumnDivisionByZeroBlank) {
+  SummaryTable table({"a", "b"});
+  table.add_row({"4", "0"});
+  table.add_computed_column("q", 0, 1, '/');
+  EXPECT_EQ(table.rows()[0][2], "");
+}
+
+TEST(SummaryTable, ScaleColumnConvertsUnits) {
+  SummaryTable table = sample_table();
+  table.scale_column(2, 1.0 / 1000.0);  // kbps -> mbps
+  EXPECT_EQ(table.rows()[0][2], "0.101");
+}
+
+TEST(SummaryTable, RenderAlignsColumns) {
+  const std::string text = sample_table().render();
+  EXPECT_NE(text.find("group"), std::string::npos);
+  EXPECT_NE(text.find("224.4.0.9"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(SummaryTable, CsvQuotesCommas) {
+  SummaryTable table({"name"});
+  table.add_row({"a,b"});
+  EXPECT_EQ(table.to_csv(), "name\n\"a,b\"\n");
+}
+
+TEST(SummaryTable, ShortRowsPadded) {
+  SummaryTable table({"a", "b"});
+  table.add_row({"1"});
+  EXPECT_EQ(table.rows()[0].size(), 2u);
+}
+
+TEST(TimeSeries, Statistics) {
+  TimeSeries series("x");
+  for (int i = 1; i <= 5; ++i) {
+    series.add(sim::TimePoint::start() + sim::Duration::hours(i),
+               static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(series.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(series.median(), 3.0);
+  EXPECT_DOUBLE_EQ(series.min(), 1.0);
+  EXPECT_DOUBLE_EQ(series.max(), 5.0);
+  EXPECT_NEAR(series.stddev(), 1.5811, 0.001);
+}
+
+TEST(TimeSeries, SliceIsTheZoomOperation) {
+  TimeSeries series("x");
+  for (int i = 0; i < 10; ++i) {
+    series.add(sim::TimePoint::start() + sim::Duration::hours(i),
+               static_cast<double>(i));
+  }
+  const TimeSeries zoomed = series.slice(
+      sim::TimePoint::start() + sim::Duration::hours(3),
+      sim::TimePoint::start() + sim::Duration::hours(6));
+  EXPECT_EQ(zoomed.size(), 4u);
+  EXPECT_DOUBLE_EQ(zoomed.points().front().value, 3.0);
+}
+
+TEST(TimeSeries, CsvFormat) {
+  TimeSeries series("sessions");
+  series.add(sim::TimePoint::start() + sim::Duration::minutes(90), 42.0);
+  const std::string csv = series.to_csv();
+  EXPECT_NE(csv.find("hours,sessions"), std::string::npos);
+  EXPECT_NE(csv.find("1.500,42.0000"), std::string::npos);
+}
+
+TEST(AsciiChart, RendersGlyphsAndLegend) {
+  TimeSeries series("sessions");
+  for (int i = 0; i < 20; ++i) {
+    series.add(sim::TimePoint::start() + sim::Duration::hours(i),
+               static_cast<double>(i * i));
+  }
+  AsciiChart chart(40, 10);
+  chart.add_series(series, '*');
+  const std::string text = chart.render();
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find("* = sessions"), std::string::npos);
+}
+
+TEST(AsciiChart, OverlayTwoSeries) {
+  TimeSeries a("a"), b("b");
+  for (int i = 0; i < 10; ++i) {
+    a.add(sim::TimePoint::start() + sim::Duration::hours(i), 10.0);
+    b.add(sim::TimePoint::start() + sim::Duration::hours(i), 20.0);
+  }
+  AsciiChart chart(30, 8);
+  chart.add_series(a, '*');
+  chart.add_series(b, 'o');
+  const std::string text = chart.render();
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, ManualYRangeClampsPoints) {
+  TimeSeries series("x");
+  series.add(sim::TimePoint::start(), 5.0);
+  series.add(sim::TimePoint::start() + sim::Duration::hours(1), 5000.0);
+  AsciiChart chart(20, 6);
+  chart.add_series(series, '*');
+  chart.set_y_range(0.0, 10.0);
+  // Renders without crashing; the out-of-range point is clamped to the top.
+  const std::string text = chart.render();
+  EXPECT_NE(text.find("10.0"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChartsSayso) {
+  AsciiChart chart;
+  EXPECT_EQ(chart.render(), "(empty chart)\n");
+  TimeSeries empty("e");
+  chart.add_series(empty, '*');
+  EXPECT_EQ(chart.render(), "(no points in range)\n");
+}
+
+}  // namespace
+}  // namespace mantra::core

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "core/collect.hpp"
+#include "core/parse.hpp"
+#include "router/cli.hpp"
+#include "router/network.hpp"
+
+namespace mantra::core {
+namespace {
+
+// --- preprocess --------------------------------------------------------------
+
+TEST(Preprocess, StripsTelnetNoise) {
+  const std::string raw =
+      "\r\nUser Access Verification\r\n\r\nPassword: \r\n"
+      "fixw> terminal length 0\r\n"
+      "fixw> show ip mroute\r\n"
+      "IP Multicast Routing Table\r\n"
+      "data line  \r\n"
+      "fixw> ";
+  const std::string clean = preprocess(raw);
+  EXPECT_EQ(clean, "IP Multicast Routing Table\ndata line\n");
+}
+
+TEST(Preprocess, KeepsMbgpStatusLines) {
+  EXPECT_EQ(preprocess("*> 10.0.0.0/16 192.168.0.2 100\r\n"),
+            "*> 10.0.0.0/16 192.168.0.2 100\n");
+}
+
+TEST(Preprocess, CollapsesBlankRuns) {
+  EXPECT_EQ(preprocess("a\n\n\n\nb\n"), "a\n\nb\n");
+}
+
+TEST(Preprocess, EmptyInput) { EXPECT_EQ(preprocess(""), ""); }
+
+// --- parse_uptime --------------------------------------------------------------
+
+TEST(ParseUptime, Forms) {
+  EXPECT_EQ(parse_uptime("01:02:05"), sim::Duration::seconds(3725));
+  EXPECT_EQ(parse_uptime("2d03h"), sim::Duration::days(2) + sim::Duration::hours(3));
+  EXPECT_EQ(parse_uptime(" 00:00:09 "), sim::Duration::seconds(9));
+  EXPECT_FALSE(parse_uptime("bogus").has_value());
+  EXPECT_FALSE(parse_uptime("1:2").has_value());
+}
+
+// --- parsers on hand-written text ------------------------------------------------
+
+TEST(ParseMrouteCount, ExtractsPairs) {
+  const char* text =
+      "IP Multicast Statistics\n"
+      "2 routes using 656 bytes of memory\n"
+      "Counts: Pkt Count/Pkts per second/Avg Pkt Size/Kilobits per second\n"
+      "\n"
+      "Group: 224.2.0.5\n"
+      "  Source: 10.1.1.2/32, Forwarding: 1200/12/512/48.25, Other: 1200/0/0\n"
+      "    Average: 44.10 kbps, Uptime: 00:15:00\n"
+      "  Source: 10.2.1.9/32, Forwarding: 30/0/512/1.20, Other: 30/0/0\n"
+      "    Average: 1.10 kbps, Uptime: 01:00:30\n";
+  const auto outcome = parse_mroute_count(text);
+  EXPECT_TRUE(outcome.warnings.empty());
+  ASSERT_EQ(outcome.table.size(), 2u);
+  const PairRow* row = outcome.table.find({*net::Ipv4Address::parse("10.1.1.2"),
+                                           *net::Ipv4Address::parse("224.2.0.5")});
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(row->current_kbps, 48.25);
+  EXPECT_DOUBLE_EQ(row->average_kbps, 44.10);
+  EXPECT_EQ(row->packets, 1200u);
+  EXPECT_EQ(row->uptime, sim::Duration::minutes(15));
+}
+
+TEST(ParseMrouteCount, WarnsOnGarbageDataLines) {
+  const auto outcome = parse_mroute_count("Group: not-an-address\n");
+  EXPECT_EQ(outcome.table.size(), 0u);
+  EXPECT_EQ(outcome.warnings.size(), 1u);
+}
+
+TEST(ParseMrouteCount, SourceBeforeGroupIsWarned) {
+  const auto outcome = parse_mroute_count(
+      "  Source: 10.1.1.2/32, Forwarding: 1/0/512/0.5, Other: 1/0/0\n");
+  EXPECT_EQ(outcome.table.size(), 0u);
+  EXPECT_FALSE(outcome.warnings.empty());
+}
+
+TEST(ParseDvmrpRoute, ExtractsRoutes) {
+  const char* text =
+      "DVMRP Routing Table - 2 entries\n"
+      "10.3.16.0/24 [0/3] uptime 01:23:45, expires 00:02:15\n"
+      "    via 192.168.3.2, tunnel0\n"
+      "10.4.0.0/16 [0/32] uptime 2d03h, expires holddown\n"
+      "    via 192.168.4.2, tunnel1\n";
+  const auto outcome = parse_dvmrp_route(text);
+  EXPECT_TRUE(outcome.warnings.empty());
+  ASSERT_EQ(outcome.table.size(), 2u);
+  const RouteRow* row = outcome.table.find(*net::Prefix::parse("10.3.16.0/24"));
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->metric, 3);
+  EXPECT_EQ(row->next_hop, *net::Ipv4Address::parse("192.168.3.2"));
+  EXPECT_EQ(row->interface, "tunnel0");
+  EXPECT_FALSE(row->holddown);
+  EXPECT_EQ(row->uptime, sim::Duration::hours(1) + sim::Duration::minutes(23) +
+                             sim::Duration::seconds(45));
+  EXPECT_TRUE(outcome.table.find(*net::Prefix::parse("10.4.0.0/16"))->holddown);
+}
+
+TEST(ParseMsdpSaCache, ExtractsEntries) {
+  const char* text =
+      "MSDP Source-Active Cache - 2 entries\n"
+      "(10.2.1.7, 224.2.3.4), RP 192.168.1.2, via peer 192.168.2.2, 00:05:00\n"
+      "(10.1.1.9, 224.4.1.2), RP 10.1.1.1, local, 00:07:21\n";
+  const auto outcome = parse_msdp_sa_cache(text);
+  EXPECT_TRUE(outcome.warnings.empty());
+  ASSERT_EQ(outcome.table.size(), 2u);
+  const SaRow* remote = outcome.table.find({*net::Ipv4Address::parse("10.2.1.7"),
+                                            *net::Ipv4Address::parse("224.2.3.4")});
+  ASSERT_NE(remote, nullptr);
+  EXPECT_EQ(remote->origin_rp, *net::Ipv4Address::parse("192.168.1.2"));
+  EXPECT_EQ(remote->via_peer, *net::Ipv4Address::parse("192.168.2.2"));
+  EXPECT_EQ(remote->age, sim::Duration::minutes(5));
+  const SaRow* local = outcome.table.find({*net::Ipv4Address::parse("10.1.1.9"),
+                                           *net::Ipv4Address::parse("224.4.1.2")});
+  ASSERT_NE(local, nullptr);
+  EXPECT_TRUE(local->via_peer.is_unspecified());
+}
+
+TEST(ParseMbgp, ExtractsBestPaths) {
+  const char* text =
+      "MBGP table version is 1, local router ID is 192.168.0.1\n"
+      "Status codes: * valid, > best\n"
+      "   Network            Next Hop            Path\n"
+      "*> 10.3.0.0/16        192.168.3.2         103\n"
+      "*> 10.4.0.0/16        192.168.0.1         3000 104\n";
+  const auto outcome = parse_mbgp(text);
+  EXPECT_TRUE(outcome.warnings.empty());
+  ASSERT_EQ(outcome.table.size(), 2u);
+  const MbgpRow* row = outcome.table.find(*net::Prefix::parse("10.4.0.0/16"));
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->as_path, "3000 104");
+}
+
+// --- Round trip: router CLI -> collector -> parser ------------------------------
+
+class RoundTrip : public ::testing::Test {
+ protected:
+  RoundTrip() : rng_(5), network_(engine_, topo_, rng_, router::NetworkConfig{}) {
+    r1_ = topo_.add_router("r1");
+    r2_ = topo_.add_router("r2");
+    topo_.connect(r1_, r2_, *net::Prefix::parse("192.168.0.0/30"));
+    const auto lan = topo_.create_lan(*net::Prefix::parse("10.1.1.0/24"));
+    topo_.attach_to_lan(r1_, lan);
+    host_ = topo_.add_host("h1");
+    topo_.attach_to_lan(host_, lan);
+
+    router::RouterConfig config;
+    config.dvmrp_enabled = true;
+    config.dvmrp.timers_enabled = false;
+    config.pim_enabled = true;
+    config.pim.timers_enabled = false;
+    config.pim.rp_map = {{net::kMulticastRange, net::Ipv4Address(10, 1, 1, 1)}};
+    config.igmp.timers_enabled = false;
+    network_.add_router(r1_, config);
+    network_.add_router(r2_, config);
+    network_.start();
+    network_.router(r1_)->dvmrp()->send_reports_now();
+    network_.router(r2_)->dvmrp()->send_reports_now();
+    engine_.run_until(engine_.now() + sim::Duration::seconds(2));
+  }
+
+  sim::Engine engine_;
+  sim::Rng rng_;
+  net::Topology topo_;
+  router::Network network_;
+  net::NodeId r1_, r2_, host_;
+};
+
+TEST_F(RoundTrip, DvmrpTableSurvivesScrapeAndParse) {
+  const auto captures = Collector().capture(*network_.router(r1_), engine_.now());
+  std::string dvmrp_text;
+  for (const RawCapture& capture : captures) {
+    if (capture.command == "show ip dvmrp route") dvmrp_text = capture.clean_text;
+  }
+  const auto outcome = parse_dvmrp_route(dvmrp_text);
+  EXPECT_TRUE(outcome.warnings.empty());
+  // Parsed route count matches the router's actual table.
+  EXPECT_EQ(outcome.table.size(),
+            network_.router(r1_)->dvmrp()->routes().size());
+}
+
+TEST_F(RoundTrip, MrouteCountSurvivesScrapeAndParse) {
+  // Put a flow through r1 so there is something to scrape.
+  network_.host_join(host_, net::Ipv4Address(224, 2, 0, 5));
+  network_.flow_start(host_, net::Ipv4Address(224, 2, 0, 5), 100.0,
+                      router::MfcMode::kDense);
+  engine_.run_until(engine_.now() + sim::Duration::minutes(10));
+
+  const auto captures = Collector().capture(*network_.router(r1_), engine_.now());
+  std::string text;
+  for (const RawCapture& capture : captures) {
+    if (capture.command == "show ip mroute count") text = capture.clean_text;
+  }
+  const auto outcome = parse_mroute_count(text);
+  EXPECT_TRUE(outcome.warnings.empty());
+  ASSERT_EQ(outcome.table.size(), 1u);
+  const PairRow row = outcome.table.rows()[0];
+  EXPECT_DOUBLE_EQ(row.current_kbps, 100.0);
+  EXPECT_GT(row.packets, 0u);
+  EXPECT_GT(row.uptime.total_seconds(), 500.0);
+}
+
+TEST_F(RoundTrip, CaptureRecordsRawAndCleanText) {
+  const auto captures = Collector().capture(*network_.router(r1_), engine_.now());
+  ASSERT_EQ(captures.size(), default_command_set().size());
+  for (const RawCapture& capture : captures) {
+    EXPECT_EQ(capture.router_name, "r1");
+    EXPECT_NE(capture.raw_text.find("Password:"), std::string::npos);
+    EXPECT_EQ(capture.clean_text.find("Password:"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mantra::core

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/process.hpp"
+
+namespace mantra::core {
+namespace {
+
+PairRow pair(std::uint32_t source, std::uint32_t group, double kbps) {
+  PairRow row;
+  row.source = net::Ipv4Address(0x0A000000u + source);
+  row.group = net::Ipv4Address(0xE0020000u + group);
+  row.current_kbps = kbps;
+  return row;
+}
+
+RouteRow route(std::uint32_t net_index, int metric = 3, bool holddown = false) {
+  RouteRow row;
+  row.prefix = net::Prefix(net::Ipv4Address(0x0A000000u + (net_index << 8)), 24);
+  row.next_hop = net::Ipv4Address(0xC0A80002u);
+  row.metric = metric;
+  row.holddown = holddown;
+  return row;
+}
+
+Snapshot make_snapshot() {
+  Snapshot snapshot;
+  snapshot.router_name = "fixw";
+  // Session 1: two participants, one sender (active).
+  snapshot.pairs.upsert(pair(1, 1, 100.0));
+  snapshot.pairs.upsert(pair(2, 1, 2.0));
+  // Session 2: single passive member (inactive, single-member).
+  snapshot.pairs.upsert(pair(3, 2, 1.0));
+  // Session 3: three passive members.
+  snapshot.pairs.upsert(pair(4, 3, 0.5));
+  snapshot.pairs.upsert(pair(5, 3, 0.5));
+  snapshot.pairs.upsert(pair(6, 3, 3.0));
+  snapshot.participants = derive_participants(snapshot.pairs);
+  snapshot.sessions = derive_sessions(snapshot.pairs);
+  return snapshot;
+}
+
+TEST(ComputeUsage, CountsAndClassifications) {
+  const UsageStats stats = compute_usage(make_snapshot());
+  EXPECT_EQ(stats.sessions, 3);
+  EXPECT_EQ(stats.participants, 6);
+  EXPECT_EQ(stats.active_sessions, 1);
+  EXPECT_EQ(stats.senders, 1);
+  EXPECT_EQ(stats.single_member_sessions, 1);
+  EXPECT_DOUBLE_EQ(stats.avg_density, 2.0);
+  EXPECT_DOUBLE_EQ(stats.bandwidth_kbps, 107.0);
+  EXPECT_NEAR(stats.pct_sessions_active, 33.33, 0.01);
+  EXPECT_NEAR(stats.pct_participants_senders, 16.67, 0.01);
+}
+
+TEST(ComputeUsage, BandwidthSavedUsesDensityTimesRate) {
+  const UsageStats stats = compute_usage(make_snapshot());
+  // Active session 1: density 2, total 102 kbps -> unicast equivalent 204.
+  EXPECT_DOUBLE_EQ(stats.unicast_equivalent_kbps, 204.0);
+  EXPECT_NEAR(stats.saved_multiple, 204.0 / 107.0, 1e-9);
+}
+
+TEST(ComputeUsage, EmptySnapshotIsAllZero) {
+  const UsageStats stats = compute_usage(Snapshot{});
+  EXPECT_EQ(stats.sessions, 0);
+  EXPECT_EQ(stats.participants, 0);
+  EXPECT_DOUBLE_EQ(stats.saved_multiple, 0.0);
+}
+
+TEST(ComputeUsage, DerivesTablesWhenAbsent) {
+  Snapshot snapshot;
+  snapshot.pairs.upsert(pair(1, 1, 50.0));
+  const UsageStats stats = compute_usage(snapshot);  // derived internally
+  EXPECT_EQ(stats.sessions, 1);
+  EXPECT_EQ(stats.senders, 1);
+}
+
+TEST(DensityDistribution, SkewFacts) {
+  SessionTable sessions;
+  // 8 single-member, 1 with two members, 1 with 40 members.
+  for (int i = 0; i < 8; ++i) {
+    SessionRow row;
+    row.group = net::Ipv4Address(0xE0020000u + i);
+    row.density = 1;
+    sessions.upsert(row);
+  }
+  SessionRow two;
+  two.group = net::Ipv4Address(0xE0020100u);
+  two.density = 2;
+  sessions.upsert(two);
+  SessionRow big;
+  big.group = net::Ipv4Address(0xE0020200u);
+  big.density = 40;
+  sessions.upsert(big);
+
+  const DensityDistribution dist = compute_density_distribution(sessions);
+  EXPECT_EQ(dist.sessions, 10u);
+  EXPECT_DOUBLE_EQ(dist.fraction_single_member, 0.8);
+  EXPECT_DOUBLE_EQ(dist.fraction_at_most_two, 0.9);
+  // 50 participants total; the big session alone holds 80%: share = 1/10.
+  EXPECT_DOUBLE_EQ(dist.top_session_share_for_80pct, 0.1);
+}
+
+TEST(DensityDistribution, EmptyTable) {
+  const DensityDistribution dist = compute_density_distribution(SessionTable{});
+  EXPECT_EQ(dist.sessions, 0u);
+}
+
+TEST(RouteMonitor, TracksCountsChangesAndLifetimes) {
+  RouteMonitor monitor;
+  RouteTable t0;
+  t0.upsert(route(1));
+  t0.upsert(route(2));
+  monitor.observe(sim::TimePoint::start(), t0);
+
+  RouteTable t1 = t0;
+  t1.upsert(route(3));  // new route
+  monitor.observe(sim::TimePoint::start() + sim::Duration::minutes(15), t1);
+
+  RouteTable t2 = t1;
+  t2.erase(route(2).key());  // route 2 lived 30 minutes
+  monitor.observe(sim::TimePoint::start() + sim::Duration::minutes(30), t2);
+
+  ASSERT_EQ(monitor.history().size(), 3u);
+  EXPECT_EQ(monitor.history()[0].total, 2u);
+  EXPECT_EQ(monitor.history()[1].changes, 1u);
+  EXPECT_EQ(monitor.history()[2].changes, 1u);
+  EXPECT_EQ(monitor.total_changes(), 2u);
+  EXPECT_EQ(monitor.completed_route_count(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.mean_completed_lifetime_s(), 1800.0);
+}
+
+TEST(RouteMonitor, ValidCountExcludesHolddown) {
+  RouteMonitor monitor;
+  RouteTable table;
+  table.upsert(route(1));
+  table.upsert(route(2, 32, /*holddown=*/true));
+  monitor.observe(sim::TimePoint::start(), table);
+  EXPECT_EQ(monitor.history()[0].total, 2u);
+  EXPECT_EQ(monitor.history()[0].valid, 1u);
+}
+
+TEST(CompareRouteTables, ConsistencyStats) {
+  RouteTable a, b;
+  a.upsert(route(1));
+  a.upsert(route(2));
+  a.upsert(route(3));
+  b.upsert(route(2));
+  b.upsert(route(3));
+  b.upsert(route(4));
+  const ConsistencyStats stats = compare_route_tables(a, b);
+  EXPECT_EQ(stats.common, 2u);
+  EXPECT_EQ(stats.only_a, 1u);
+  EXPECT_EQ(stats.only_b, 1u);
+  EXPECT_DOUBLE_EQ(stats.jaccard, 0.5);
+}
+
+TEST(CompareRouteTables, IdenticalTablesAreConsistent) {
+  RouteTable a;
+  a.upsert(route(1));
+  const ConsistencyStats stats = compare_route_tables(a, a);
+  EXPECT_DOUBLE_EQ(stats.jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(compare_route_tables(RouteTable{}, RouteTable{}).jaccard, 1.0);
+}
+
+TEST(SpikeDetector, FlagsJumpAboveNoise) {
+  SpikeDetector detector(48, 10.0, 3.0);
+  std::mt19937 rng(3);
+  // Baseline around 600 routes with small flaps.
+  for (int i = 0; i < 48; ++i) {
+    const auto verdict = detector.observe(600.0 + static_cast<double>(rng() % 11) - 5.0);
+    EXPECT_FALSE(verdict.spike);
+  }
+  // Unicast injection: +1500 routes.
+  const auto verdict = detector.observe(2100.0);
+  EXPECT_TRUE(verdict.spike);
+  EXPECT_GT(verdict.score, 10.0);
+}
+
+TEST(SpikeDetector, DoesNotFlagGradualDrift) {
+  SpikeDetector detector(48, 10.0, 3.0);
+  double value = 600.0;
+  bool any_spike = false;
+  for (int i = 0; i < 200; ++i) {
+    value += 1.0;  // slow growth
+    any_spike |= detector.observe(value).spike;
+  }
+  EXPECT_FALSE(any_spike);
+}
+
+TEST(SpikeDetector, SpikesExcludedFromBaseline) {
+  SpikeDetector detector(16, 8.0, 3.0);
+  for (int i = 0; i < 16; ++i) detector.observe(100.0);
+  EXPECT_TRUE(detector.observe(5000.0).spike);
+  // The plateau after the jump still reads anomalous (the spike did not
+  // poison the baseline window).
+  EXPECT_TRUE(detector.observe(5000.0).spike);
+}
+
+TEST(SpikeDetector, NeedsMinimalBaseline) {
+  SpikeDetector detector;
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(detector.observe(1e9).spike);  // warming up
+  }
+}
+
+}  // namespace
+}  // namespace mantra::core

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/tables.hpp"
+
+namespace mantra::core {
+namespace {
+
+PairRow pair(const char* source, const char* group, double kbps) {
+  PairRow row;
+  row.source = *net::Ipv4Address::parse(source);
+  row.group = *net::Ipv4Address::parse(group);
+  row.current_kbps = kbps;
+  return row;
+}
+
+TEST(Table, UpsertFindErase) {
+  PairTable table;
+  table.upsert(pair("10.0.0.1", "224.1.1.1", 5.0));
+  EXPECT_EQ(table.size(), 1u);
+  const PairRow* row = table.find({*net::Ipv4Address::parse("10.0.0.1"),
+                                   *net::Ipv4Address::parse("224.1.1.1")});
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(row->current_kbps, 5.0);
+  table.upsert(pair("10.0.0.1", "224.1.1.1", 7.0));  // replace
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.erase(row->key()));
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(Table, DiffDetectsUpsertsAndRemovals) {
+  PairTable before, after;
+  before.upsert(pair("10.0.0.1", "224.1.1.1", 5.0));
+  before.upsert(pair("10.0.0.2", "224.1.1.1", 3.0));
+  after.upsert(pair("10.0.0.1", "224.1.1.1", 9.0));  // changed rate
+  after.upsert(pair("10.0.0.3", "224.1.1.1", 1.0));  // new
+
+  const auto delta = PairTable::diff(before, after);
+  EXPECT_EQ(delta.upserts.size(), 2u);
+  EXPECT_EQ(delta.removals.size(), 1u);
+  EXPECT_EQ(delta.change_count(), 3u);
+
+  PairTable replayed = before;
+  replayed.apply(delta);
+  EXPECT_EQ(replayed, after);
+}
+
+TEST(Table, DiffIgnoresDerivedFieldChanges) {
+  PairTable before, after;
+  PairRow row = pair("10.0.0.1", "224.1.1.1", 5.0);
+  before.upsert(row);
+  row.uptime = sim::Duration::minutes(15);  // derived field advanced
+  row.packets = 999;
+  after.upsert(row);
+  EXPECT_TRUE(PairTable::diff(before, after).empty());
+}
+
+TEST(Table, AdvanceDerivedRollsPairForward) {
+  PairTable table;
+  PairRow row = pair("10.0.0.1", "224.1.1.1", 8.0);  // 1 KB/s
+  row.uptime = sim::Duration::seconds(100);
+  row.average_kbps = 8.0;
+  table.upsert(row);
+  table.advance_derived(sim::Duration::seconds(100));
+  const PairRow* advanced = table.find(row.key());
+  EXPECT_EQ(advanced->uptime, sim::Duration::seconds(200));
+  EXPECT_NEAR(advanced->average_kbps, 8.0, 1e-9);
+  EXPECT_NEAR(static_cast<double>(advanced->packets), 100'000.0 / 512.0, 1.0);
+}
+
+TEST(Table, RouteDeltaEqualComparesStableFieldsOnly) {
+  RouteRow a;
+  a.prefix = *net::Prefix::parse("10.1.0.0/16");
+  a.next_hop = *net::Ipv4Address::parse("192.168.0.2");
+  a.metric = 3;
+  RouteRow b = a;
+  b.uptime = sim::Duration::hours(5);
+  EXPECT_TRUE(RouteRow::delta_equal(a, b));
+  b.holddown = true;
+  EXPECT_FALSE(RouteRow::delta_equal(a, b));
+}
+
+TEST(DeriveParticipants, AggregatesPerHost) {
+  PairTable pairs;
+  pairs.upsert(pair("10.0.0.1", "224.1.1.1", 100.0));  // sender
+  pairs.upsert(pair("10.0.0.1", "224.1.1.2", 1.0));
+  pairs.upsert(pair("10.0.0.2", "224.1.1.1", 2.0));    // passive
+
+  const ParticipantTable participants = derive_participants(pairs);
+  EXPECT_EQ(participants.size(), 2u);
+  const ParticipantRow* host1 = participants.find(*net::Ipv4Address::parse("10.0.0.1"));
+  ASSERT_NE(host1, nullptr);
+  EXPECT_EQ(host1->group_count, 2);
+  EXPECT_DOUBLE_EQ(host1->total_kbps, 101.0);
+  EXPECT_TRUE(host1->sender);
+  const ParticipantRow* host2 = participants.find(*net::Ipv4Address::parse("10.0.0.2"));
+  ASSERT_NE(host2, nullptr);
+  EXPECT_FALSE(host2->sender);
+}
+
+TEST(DeriveSessions, ClassifiesActiveByThreshold) {
+  PairTable pairs;
+  pairs.upsert(pair("10.0.0.1", "224.1.1.1", 100.0));
+  pairs.upsert(pair("10.0.0.2", "224.1.1.1", 2.0));
+  pairs.upsert(pair("10.0.0.3", "224.1.1.2", 3.5));  // all-passive session
+
+  const SessionTable sessions = derive_sessions(pairs);
+  EXPECT_EQ(sessions.size(), 2u);
+  const SessionRow* active = sessions.find(*net::Ipv4Address::parse("224.1.1.1"));
+  ASSERT_NE(active, nullptr);
+  EXPECT_EQ(active->density, 2);
+  EXPECT_EQ(active->senders, 1);
+  EXPECT_TRUE(active->active);
+  const SessionRow* inactive = sessions.find(*net::Ipv4Address::parse("224.1.1.2"));
+  ASSERT_NE(inactive, nullptr);
+  EXPECT_FALSE(inactive->active);
+  EXPECT_EQ(inactive->density, 1);
+}
+
+TEST(DeriveSessions, ThresholdIsExclusive) {
+  // Exactly 4.0 kbps is *not* a sender ("greater than the threshold").
+  PairTable pairs;
+  pairs.upsert(pair("10.0.0.1", "224.1.1.1", 4.0));
+  const SessionTable sessions = derive_sessions(pairs, 4.0);
+  EXPECT_FALSE(sessions.rows()[0].active);
+  const ParticipantTable participants = derive_participants(pairs, 4.0);
+  EXPECT_FALSE(participants.rows()[0].sender);
+}
+
+TEST(DeriveTables, EmptyPairTableYieldsEmptyDerived) {
+  PairTable pairs;
+  EXPECT_TRUE(derive_participants(pairs).empty());
+  EXPECT_TRUE(derive_sessions(pairs).empty());
+}
+
+}  // namespace
+}  // namespace mantra::core

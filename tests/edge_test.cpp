@@ -1,0 +1,186 @@
+// Edge cases not covered by the per-module suites: engine cancellation
+// corner paths, codec extremes, allocator wrap-around, CLI rendering of
+// empty/odd state, and chart range handling.
+#include <gtest/gtest.h>
+
+#include "core/collect.hpp"
+#include "core/output.hpp"
+#include "router/cli.hpp"
+#include "router/network.hpp"
+#include "sim/engine.hpp"
+#include "workload/session.hpp"
+
+namespace mantra {
+namespace {
+
+TEST(EngineEdge, RunUntilSkipsCancelledHeadEvents) {
+  sim::Engine engine;
+  int fired = 0;
+  const auto a = engine.schedule_at(sim::TimePoint::from_ms(10), [&] { ++fired; });
+  const auto b = engine.schedule_at(sim::TimePoint::from_ms(20), [&] { ++fired; });
+  engine.schedule_at(sim::TimePoint::from_ms(500), [&] { ++fired; });
+  engine.cancel(a);
+  engine.cancel(b);
+  // The only live event is beyond the window: nothing fires, and the
+  // surfaced-but-out-of-window event is not lost.
+  EXPECT_EQ(engine.run_until(sim::TimePoint::from_ms(100)), 0u);
+  EXPECT_EQ(fired, 0);
+  engine.run_until(sim::TimePoint::from_ms(1000));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineEdge, EventsProcessedCounts) {
+  sim::Engine engine;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(sim::TimePoint::from_ms(i), [] {});
+  }
+  engine.run();
+  EXPECT_EQ(engine.events_processed(), 5u);
+}
+
+TEST(EngineEdge, CancelUnknownIdIsFalse) {
+  sim::Engine engine;
+  EXPECT_FALSE(engine.cancel(sim::kInvalidEvent));
+  EXPECT_FALSE(engine.cancel(987654));
+}
+
+TEST(DurationEdge, NegativeRendersWithSign) {
+  const sim::Duration d = sim::Duration::seconds(0) - sim::Duration::seconds(90);
+  EXPECT_EQ(d.to_string(), "-00:01:30");
+}
+
+TEST(DurationEdge, SubMinuteRendersFractionalSeconds) {
+  EXPECT_EQ(sim::Duration::milliseconds(1500).to_string(), "1.500s");
+}
+
+TEST(GroupAllocatorEdge, SmallRangeCyclesWithoutDuplicates) {
+  workload::GroupAllocator allocator({net::Prefix(net::Ipv4Address(224, 9, 0, 0), 29)});
+  std::set<net::Ipv4Address> seen;
+  // /29 has 8 addresses, offsets 1..6 usable by the allocator's rule.
+  for (int i = 0; i < 6; ++i) {
+    const net::Ipv4Address group = allocator.allocate();
+    ASSERT_FALSE(group.is_unspecified());
+    EXPECT_TRUE(seen.insert(group).second);
+  }
+  // Release one; it becomes allocatable again.
+  const net::Ipv4Address freed = *seen.begin();
+  allocator.release(freed);
+  const net::Ipv4Address again = allocator.allocate();
+  EXPECT_EQ(again, freed);
+}
+
+TEST(PreprocessEdge, BareGreaterThanTokenIsKept) {
+  EXPECT_EQ(core::preprocess("> odd line\n"), "> odd line\n");
+}
+
+TEST(PreprocessEdge, HostnameWithDotsAndDashesIsPrompt) {
+  EXPECT_EQ(core::preprocess("core-rtr.ucsb.edu> show ip mroute\nkeep me\n"),
+            "keep me\n");
+}
+
+class CliEdge : public ::testing::Test {
+ protected:
+  CliEdge() : rng_(3), network_(engine_, topo_, rng_, router::NetworkConfig{}) {
+    r_ = topo_.add_router("r");
+    const auto lan = topo_.create_lan(*net::Prefix::parse("10.1.1.0/24"));
+    topo_.attach_to_lan(r_, lan);
+    h_ = topo_.add_host("h");
+    topo_.attach_to_lan(h_, lan);
+    router::RouterConfig config;  // no protocols enabled at all
+    config.igmp.timers_enabled = false;
+    network_.add_router(r_, config);
+    network_.start();
+  }
+  sim::Engine engine_;
+  sim::Rng rng_;
+  net::Topology topo_;
+  router::Network network_;
+  net::NodeId r_, h_;
+};
+
+TEST_F(CliEdge, ProtocollessRouterRendersNotRunningMarkers) {
+  EXPECT_NE(router::cli::show_ip_dvmrp_route(*network_.router(r_), engine_.now())
+                .find("% DVMRP not running"),
+            std::string::npos);
+  EXPECT_NE(router::cli::show_ip_msdp_sa_cache(*network_.router(r_), engine_.now())
+                .find("% MSDP not running"),
+            std::string::npos);
+  EXPECT_NE(router::cli::show_ip_mbgp(*network_.router(r_), engine_.now())
+                .find("% MBGP not running"),
+            std::string::npos);
+}
+
+TEST_F(CliEdge, IgmpGroupsRendersMembership) {
+  network_.host_join(h_, net::Ipv4Address(224, 2, 0, 9));
+  engine_.run_until(engine_.now() + sim::Duration::seconds(1));
+  const std::string text =
+      router::cli::show_ip_igmp_groups(*network_.router(r_), engine_.now());
+  EXPECT_NE(text.find("224.2.0.9"), std::string::npos);
+  EXPECT_NE(text.find("10.1.1.2"), std::string::npos);  // the reporter
+}
+
+TEST_F(CliEdge, EmptyMrouteCountRendersHeaderOnly) {
+  const std::string text =
+      router::cli::show_ip_mroute_count(*network_.router(r_), engine_.now());
+  EXPECT_NE(text.find("0 routes"), std::string::npos);
+  EXPECT_EQ(text.find("Group:"), std::string::npos);
+}
+
+TEST(ChartEdge, CombinedManualRanges) {
+  core::TimeSeries series("x");
+  for (int i = 0; i < 100; ++i) {
+    series.add(sim::TimePoint::start() + sim::Duration::hours(i),
+               static_cast<double>(i));
+  }
+  core::AsciiChart chart(40, 8);
+  chart.add_series(series, '*');
+  chart.set_x_range(sim::TimePoint::start() + sim::Duration::hours(10),
+                    sim::TimePoint::start() + sim::Duration::hours(20));
+  chart.set_y_range(0, 50);
+  const std::string text = chart.render();
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find("50.0"), std::string::npos);
+}
+
+TEST(ChartEdge, LongSpanUsesDayLabels) {
+  core::TimeSeries series("x");
+  series.add(sim::TimePoint::start(), 1.0);
+  series.add(sim::TimePoint::start() + sim::Duration::days(30), 2.0);
+  core::AsciiChart chart(40, 6);
+  chart.add_series(series, '*');
+  const std::string text = chart.render();
+  EXPECT_NE(text.find("30.0d"), std::string::npos);
+}
+
+TEST(UnicastEdge, HostsGetRoutesToo) {
+  net::Topology topo;
+  const auto r1 = topo.add_router("r1");
+  const auto r2 = topo.add_router("r2");
+  topo.connect(r1, r2, *net::Prefix::parse("192.168.0.0/30"));
+  const auto lan = topo.create_lan(*net::Prefix::parse("10.1.1.0/24"));
+  topo.attach_to_lan(r1, lan);
+  const auto host = topo.add_host("h");
+  topo.attach_to_lan(host, lan);
+  const auto ribs = router::compute_global_routes(topo);
+  // The host can resolve the remote p2p subnet through its LAN.
+  const auto* route = ribs[host].lookup(net::Ipv4Address(192, 168, 0, 2));
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->next_hop, net::Ipv4Address(10, 1, 1, 1));
+}
+
+TEST(MfcEdge, VisitIsSortedDeterministically) {
+  router::Mfc mfc;
+  for (int i = 20; i > 0; --i) {
+    mfc.ensure(net::Ipv4Address(static_cast<std::uint32_t>(0x0A000000 + i)),
+               net::Ipv4Address(224, 2, 0, 1), router::MfcMode::kDense, 0,
+               sim::TimePoint::start());
+  }
+  net::Ipv4Address previous;
+  mfc.visit([&](const router::MfcEntry& entry) {
+    EXPECT_LT(previous, entry.source);
+    previous = entry.source;
+  });
+}
+
+}  // namespace
+}  // namespace mantra

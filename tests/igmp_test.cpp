@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "igmp/igmp.hpp"
+
+namespace mantra::igmp {
+namespace {
+
+const net::Ipv4Address kGroup1{224, 2, 0, 1};
+const net::Ipv4Address kGroup2{224, 2, 0, 2};
+const net::Ipv4Address kHostA{10, 0, 1, 2};
+const net::Ipv4Address kHostB{10, 0, 1, 3};
+
+struct Change {
+  net::IfIndex ifindex;
+  net::Ipv4Address group;
+  bool has_members;
+};
+
+class IgmpTest : public ::testing::Test {
+ protected:
+  IgmpTest() : igmp_(engine_, Config{}) {
+    igmp_.set_membership_change_handler(
+        [this](net::IfIndex ifindex, net::Ipv4Address group, bool has) {
+          changes_.push_back({ifindex, group, has});
+        });
+  }
+
+  sim::Engine engine_;
+  Igmp igmp_;
+  std::vector<Change> changes_;
+};
+
+TEST_F(IgmpTest, FirstReportCreatesMembership) {
+  igmp_.on_report(0, kGroup1, kHostA);
+  EXPECT_TRUE(igmp_.has_members(0, kGroup1));
+  ASSERT_EQ(changes_.size(), 1u);
+  EXPECT_TRUE(changes_[0].has_members);
+  EXPECT_EQ(changes_[0].group, kGroup1);
+}
+
+TEST_F(IgmpTest, SecondReporterDoesNotRefireChange) {
+  igmp_.on_report(0, kGroup1, kHostA);
+  igmp_.on_report(0, kGroup1, kHostB);
+  EXPECT_EQ(changes_.size(), 1u);
+  EXPECT_EQ(igmp_.members(0, kGroup1).size(), 2u);
+}
+
+TEST_F(IgmpTest, LastLeaveFiresChange) {
+  igmp_.on_report(0, kGroup1, kHostA);
+  igmp_.on_report(0, kGroup1, kHostB);
+  igmp_.on_leave(0, kGroup1, kHostA);
+  EXPECT_TRUE(igmp_.has_members(0, kGroup1));
+  EXPECT_EQ(changes_.size(), 1u);
+  igmp_.on_leave(0, kGroup1, kHostB);
+  EXPECT_FALSE(igmp_.has_members(0, kGroup1));
+  ASSERT_EQ(changes_.size(), 2u);
+  EXPECT_FALSE(changes_[1].has_members);
+}
+
+TEST_F(IgmpTest, LeaveForUnknownGroupIsIgnored) {
+  igmp_.on_leave(0, kGroup1, kHostA);
+  EXPECT_TRUE(changes_.empty());
+}
+
+TEST_F(IgmpTest, NonMulticastReportIgnored) {
+  igmp_.on_report(0, net::Ipv4Address(10, 0, 0, 1), kHostA);
+  EXPECT_TRUE(changes_.empty());
+}
+
+TEST_F(IgmpTest, MembershipIsPerInterface) {
+  igmp_.on_report(0, kGroup1, kHostA);
+  igmp_.on_report(1, kGroup1, kHostB);
+  EXPECT_TRUE(igmp_.has_members(0, kGroup1));
+  EXPECT_TRUE(igmp_.has_members(1, kGroup1));
+  EXPECT_EQ(igmp_.interfaces_with_members(kGroup1).size(), 2u);
+  igmp_.on_leave(0, kGroup1, kHostA);
+  EXPECT_FALSE(igmp_.has_members(0, kGroup1));
+  EXPECT_TRUE(igmp_.has_members(1, kGroup1));
+}
+
+TEST_F(IgmpTest, GroupsAndAllGroups) {
+  igmp_.on_report(0, kGroup1, kHostA);
+  igmp_.on_report(0, kGroup2, kHostA);
+  igmp_.on_report(1, kGroup1, kHostB);
+  EXPECT_EQ(igmp_.groups(0).size(), 2u);
+  EXPECT_EQ(igmp_.groups(1).size(), 1u);
+  EXPECT_EQ(igmp_.all_groups().size(), 2u);
+}
+
+TEST_F(IgmpTest, ExpirySweepsSilentMembers) {
+  igmp_.on_report(0, kGroup1, kHostA);
+  // kHostA never re-reports; after the timeout the expiry sweep fires the
+  // membership-down change.
+  engine_.run_until(sim::TimePoint::start() + igmp_.config().membership_timeout +
+                    sim::Duration::seconds(1));
+  EXPECT_FALSE(igmp_.has_members(0, kGroup1));
+  ASSERT_EQ(changes_.size(), 2u);
+  EXPECT_FALSE(changes_[1].has_members);
+}
+
+TEST_F(IgmpTest, RefreshedMemberSurvivesExpiry) {
+  igmp_.on_report(0, kGroup1, kHostA);
+  engine_.run_until(sim::TimePoint::start() + sim::Duration::seconds(200));
+  igmp_.on_report(0, kGroup1, kHostA);  // refresh
+  igmp_.expire(engine_.now());
+  EXPECT_TRUE(igmp_.has_members(0, kGroup1));
+}
+
+TEST(IgmpNoTimers, DisabledTimersNeverExpire) {
+  sim::Engine engine;
+  Config config;
+  config.timers_enabled = false;
+  Igmp igmp(engine, config);
+  igmp.on_report(0, kGroup1, kHostA);
+  engine.run_until(sim::TimePoint::start() + sim::Duration::days(30));
+  EXPECT_TRUE(igmp.has_members(0, kGroup1));
+  EXPECT_EQ(engine.events_processed(), 0u);  // no timer traffic at all
+}
+
+}  // namespace
+}  // namespace mantra::igmp

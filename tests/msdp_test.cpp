@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "msdp/msdp.hpp"
+
+namespace mantra::msdp {
+namespace {
+
+const net::Ipv4Address kSelfRp{10, 0, 0, 1};
+const net::Ipv4Address kPeerA{10, 0, 0, 2};
+const net::Ipv4Address kPeerB{10, 0, 0, 3};
+const net::Ipv4Address kRemoteRp{10, 0, 0, 9};
+const net::Ipv4Address kSource{10, 7, 1, 5};
+const net::Ipv4Address kGroup{224, 2, 0, 5};
+
+class MsdpTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Msdp> make(Config config = default_config()) {
+    auto msdp = std::make_unique<Msdp>(engine_, kSelfRp, std::move(config));
+    msdp->set_send_sa([this](net::Ipv4Address peer, const SourceActive& sa) {
+      sent_[peer].push_back(sa);
+    });
+    msdp->set_rpf_peer([this](net::Ipv4Address) { return rpf_peer_; });
+    msdp->set_sa_learned([this](net::Ipv4Address s, net::Ipv4Address g,
+                                net::Ipv4Address rp) {
+      learned_.push_back({s, g, rp});
+    });
+    msdp->set_sa_expired([this](net::Ipv4Address s, net::Ipv4Address g) {
+      expired_.push_back({s, g});
+    });
+    return msdp;
+  }
+
+  static Config default_config() {
+    Config config;
+    config.peers = {{kPeerA, 0}, {kPeerB, 0}};
+    config.timers_enabled = false;
+    return config;
+  }
+
+  sim::Engine engine_;
+  net::Ipv4Address rpf_peer_ = kPeerA;
+  std::map<net::Ipv4Address, std::vector<SourceActive>> sent_;
+  struct Learned {
+    net::Ipv4Address source, group, rp;
+  };
+  std::vector<Learned> learned_;
+  std::vector<std::pair<net::Ipv4Address, net::Ipv4Address>> expired_;
+};
+
+TEST_F(MsdpTest, OriginateCachesAndFloodsToAllPeers) {
+  auto msdp = make();
+  msdp->originate(kSource, kGroup);
+  EXPECT_TRUE(msdp->has_sa(kSource, kGroup));
+  ASSERT_EQ(sent_[kPeerA].size(), 1u);
+  ASSERT_EQ(sent_[kPeerB].size(), 1u);
+  EXPECT_EQ(sent_[kPeerA][0].origin_rp, kSelfRp);
+}
+
+TEST_F(MsdpTest, AcceptsSaFromRpfPeerAndFloodsOnward) {
+  auto msdp = make();
+  SourceActive sa{kPeerA, kRemoteRp, kSource, kGroup};
+  msdp->on_source_active(sa);
+  EXPECT_TRUE(msdp->has_sa(kSource, kGroup));
+  ASSERT_EQ(learned_.size(), 1u);
+  EXPECT_EQ(learned_[0].rp, kRemoteRp);
+  // Flooded to B, not back to A.
+  EXPECT_TRUE(sent_[kPeerA].empty());
+  ASSERT_EQ(sent_[kPeerB].size(), 1u);
+  EXPECT_EQ(sent_[kPeerB][0].sender, kSelfRp);  // re-sent under our identity
+}
+
+TEST_F(MsdpTest, RejectsSaFailingPeerRpf) {
+  auto msdp = make();
+  rpf_peer_ = kPeerB;  // the legitimate path is via B
+  SourceActive sa{kPeerA, kRemoteRp, kSource, kGroup};
+  msdp->on_source_active(sa);
+  EXPECT_FALSE(msdp->has_sa(kSource, kGroup));
+  EXPECT_EQ(msdp->sa_rpf_failures(), 1u);
+  EXPECT_TRUE(learned_.empty());
+}
+
+TEST_F(MsdpTest, DuplicateSaRefreshesWithoutRelearning) {
+  auto msdp = make();
+  SourceActive sa{kPeerA, kRemoteRp, kSource, kGroup};
+  msdp->on_source_active(sa);
+  msdp->on_source_active(sa);
+  EXPECT_EQ(learned_.size(), 1u);
+  EXPECT_EQ(msdp->cache_size(), 1u);
+}
+
+TEST_F(MsdpTest, MeshGroupMemberBypassesRpfAndIsNotRefloodedToMesh) {
+  Config config;
+  config.peers = {{kPeerA, 7}, {kPeerB, 7}};
+  config.timers_enabled = false;
+  auto msdp = make(std::move(config));
+  rpf_peer_ = net::Ipv4Address(1, 2, 3, 4);  // would fail normal peer-RPF
+  SourceActive sa{kPeerA, kRemoteRp, kSource, kGroup};
+  msdp->on_source_active(sa);
+  EXPECT_TRUE(msdp->has_sa(kSource, kGroup));
+  // Not re-flooded to the other member of the same mesh group.
+  EXPECT_TRUE(sent_[kPeerB].empty());
+}
+
+TEST_F(MsdpTest, ExpiryRemovesStaleEntriesAndNotifies) {
+  auto msdp = make();
+  SourceActive sa{kPeerA, kRemoteRp, kSource, kGroup};
+  msdp->on_source_active(sa);
+  engine_.run_until(sim::TimePoint::start() + msdp->config().sa_cache_timeout +
+                    sim::Duration::seconds(1));
+  msdp->expire_now();
+  EXPECT_FALSE(msdp->has_sa(kSource, kGroup));
+  ASSERT_EQ(expired_.size(), 1u);
+}
+
+TEST_F(MsdpTest, LocallyOriginatedEntriesDoNotExpire) {
+  auto msdp = make();
+  msdp->originate(kSource, kGroup);
+  engine_.run_until(sim::TimePoint::start() + msdp->config().sa_cache_timeout * std::int64_t{3});
+  msdp->expire_now();
+  EXPECT_TRUE(msdp->has_sa(kSource, kGroup));
+}
+
+TEST_F(MsdpTest, StopOriginatingLetsEntryAgeOut) {
+  auto msdp = make();
+  msdp->originate(kSource, kGroup);
+  msdp->stop_originating(kSource, kGroup);
+  engine_.run_until(sim::TimePoint::start() + msdp->config().sa_cache_timeout +
+                    sim::Duration::seconds(1));
+  msdp->expire_now();
+  EXPECT_FALSE(msdp->has_sa(kSource, kGroup));
+}
+
+TEST_F(MsdpTest, FlushRemovesImmediately) {
+  auto msdp = make();
+  SourceActive sa{kPeerA, kRemoteRp, kSource, kGroup};
+  msdp->on_source_active(sa);
+  msdp->flush(kSource, kGroup);
+  EXPECT_FALSE(msdp->has_sa(kSource, kGroup));
+  EXPECT_EQ(expired_.size(), 1u);
+}
+
+TEST_F(MsdpTest, AdvertiseNowRefloodsOriginatedSas) {
+  auto msdp = make();
+  msdp->originate(kSource, kGroup);
+  const auto before = sent_[kPeerA].size();
+  msdp->advertise_now();
+  EXPECT_EQ(sent_[kPeerA].size(), before + 1);
+}
+
+TEST_F(MsdpTest, PeriodicTimersReadvertise) {
+  Config config = default_config();
+  config.timers_enabled = true;
+  auto msdp = make(std::move(config));
+  msdp->start();
+  msdp->originate(kSource, kGroup);
+  engine_.run_until(sim::TimePoint::start() +
+                    msdp->config().sa_advertisement_interval * std::int64_t{2} +
+                    sim::Duration::seconds(5));
+  EXPECT_GE(sent_[kPeerA].size(), 3u);  // originate + 2 periodic refreshes
+}
+
+TEST_F(MsdpTest, SaCacheListsEntries) {
+  auto msdp = make();
+  msdp->originate(kSource, kGroup);
+  SourceActive sa{kPeerA, kRemoteRp, net::Ipv4Address(10, 8, 0, 1), kGroup};
+  msdp->on_source_active(sa);
+  const auto cache = msdp->sa_cache();
+  ASSERT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mantra::msdp

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "router/mtrace.hpp"
+#include "workload/scenario.hpp"
+
+namespace mantra::router {
+namespace {
+
+const net::Ipv4Address kGroup{224, 2, 0, 77};
+
+class MtraceTest : public ::testing::Test {
+ protected:
+  MtraceTest() : scenario_(make_config()) {
+    scenario_.start();
+    scenario_.engine().run_until(sim::TimePoint::start() + sim::Duration::minutes(5));
+  }
+
+  static workload::ScenarioConfig make_config() {
+    workload::ScenarioConfig config;
+    config.seed = 5;
+    config.domains = 4;
+    config.hosts_per_domain = 3;
+    config.dvmrp_prefixes_per_domain = 2;
+    config.report_loss = 0.0;
+    config.timer_scale = 1;
+    config.full_timers = true;
+    config.generator.session_arrivals_per_hour = 0.0;
+    config.generator.bursts_per_day = 0.0;
+    return config;
+  }
+
+  net::NodeId host(int domain, int index) {
+    const std::string name =
+        (domain == 0 ? std::string("ucsb-gw") : "bdr" + std::to_string(domain)) +
+        "-h" + std::to_string(index);
+    for (const net::Node& node : scenario_.topology().nodes()) {
+      if (node.name == name) return node.id;
+    }
+    return net::kInvalidNode;
+  }
+
+  workload::FixwScenario scenario_;
+};
+
+TEST_F(MtraceTest, TracesCrossDomainReversePath) {
+  const net::NodeId sender = host(1, 0);
+  const net::NodeId receiver = host(2, 0);
+  scenario_.network().host_join(receiver, kGroup);
+  scenario_.network().flow_start(sender, kGroup, 100.0, MfcMode::kDense);
+  scenario_.engine().run_until(scenario_.engine().now() + sim::Duration::seconds(30));
+
+  const MtraceResult result = mtrace(
+      scenario_.network(), receiver,
+      scenario_.network().host_address(sender), kGroup);
+  EXPECT_TRUE(result.complete()) << result.to_string();
+  // Path: receiver's border (bdr2) -> fixw -> sender's border (bdr1).
+  ASSERT_EQ(result.hops.size(), 3u);
+  EXPECT_EQ(result.hops[0].router_name, "bdr2");
+  EXPECT_EQ(result.hops[1].router_name, "fixw");
+  EXPECT_EQ(result.hops[2].router_name, "bdr1");
+  // All hops on the live tree have forwarding state at the flow rate.
+  for (const MtraceHop& hop : result.hops) {
+    EXPECT_TRUE(hop.have_state) << hop.router_name;
+    EXPECT_DOUBLE_EQ(hop.rate_kbps, 100.0) << hop.router_name;
+    EXPECT_EQ(hop.protocol, "DVMRP");
+  }
+}
+
+TEST_F(MtraceTest, ReportsPrunedHopsForUnwantedTraffic) {
+  const net::NodeId sender = host(1, 1);
+  const net::NodeId bystander = host(3, 0);  // never joins
+  scenario_.network().flow_start(sender, kGroup, 64.0, MfcMode::kDense);
+  scenario_.engine().run_until(scenario_.engine().now() + sim::Duration::seconds(30));
+
+  const MtraceResult result = mtrace(
+      scenario_.network(), bystander,
+      scenario_.network().host_address(sender), kGroup);
+  EXPECT_TRUE(result.complete());
+  ASSERT_FALSE(result.hops.empty());
+  // The bystander's border router pruned itself off the tree.
+  EXPECT_TRUE(result.hops[0].have_state);
+  EXPECT_TRUE(result.hops[0].pruned);
+}
+
+TEST_F(MtraceTest, SparsePlaneUsesPimRpf) {
+  const net::NodeId sender = host(1, 2);
+  const net::NodeId receiver = host(2, 2);
+  scenario_.network().set_group_plane(kGroup, MfcMode::kSparse);
+  scenario_.network().host_join(receiver, kGroup);
+  scenario_.engine().run_until(scenario_.engine().now() + sim::Duration::seconds(5));
+  scenario_.network().flow_start(sender, kGroup, 150.0, MfcMode::kSparse);
+  scenario_.engine().run_until(scenario_.engine().now() + sim::Duration::minutes(1));
+
+  const MtraceResult result = mtrace(
+      scenario_.network(), receiver,
+      scenario_.network().host_address(sender), kGroup);
+  EXPECT_TRUE(result.complete());
+  ASSERT_GE(result.hops.size(), 2u);
+  EXPECT_EQ(result.hops[0].protocol, "PIM");
+}
+
+TEST_F(MtraceTest, NoRouteReportedWhenSourceUnknown) {
+  const net::NodeId receiver = host(2, 0);
+  const MtraceResult result =
+      mtrace(scenario_.network(), receiver,
+             net::Ipv4Address(203, 0, 113, 5),  // outside every DVMRP route
+             kGroup);
+  EXPECT_EQ(result.outcome, MtraceOutcome::kNoRoute);
+  EXPECT_FALSE(result.complete());
+}
+
+TEST_F(MtraceTest, RendersClassicLayout) {
+  const net::NodeId sender = host(1, 0);
+  const net::NodeId receiver = host(2, 0);
+  scenario_.network().host_join(receiver, kGroup);
+  scenario_.network().flow_start(sender, kGroup, 100.0, MfcMode::kDense);
+  scenario_.engine().run_until(scenario_.engine().now() + sim::Duration::seconds(30));
+  const MtraceResult result = mtrace(
+      scenario_.network(), receiver,
+      scenario_.network().host_address(sender), kGroup);
+  const std::string text = result.to_string();
+  EXPECT_NE(text.find("Querying reverse path"), std::string::npos);
+  EXPECT_NE(text.find("-0  bdr2"), std::string::npos);
+  EXPECT_NE(text.find("reached source network"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mantra::router

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include "router/network.hpp"
+#include "workload/scenario.hpp"
+
+namespace mantra::router {
+namespace {
+
+const net::Ipv4Address kGroupRp0{224, 2, 0, 10};  // served by RP at domain 0
+const net::Ipv4Address kGroupRp1{224, 4, 0, 10};  // served by RP at domain 1
+
+/// Small protocol-faithful FIXW instance: 4 domains, real timers.
+class NetworkIntegration : public ::testing::Test {
+ protected:
+  NetworkIntegration() : scenario_(make_config()) {
+    scenario_.start();
+    // Let DVMRP/MBGP converge (a few report rounds).
+    scenario_.engine().run_until(sim::TimePoint::start() + sim::Duration::minutes(5));
+  }
+
+  static workload::ScenarioConfig make_config() {
+    workload::ScenarioConfig config;
+    config.seed = 3;
+    config.domains = 4;
+    config.hosts_per_domain = 3;
+    config.dvmrp_prefixes_per_domain = 4;
+    config.report_loss = 0.0;
+    config.timer_scale = 1;
+    config.full_timers = true;
+    config.generator.session_arrivals_per_hour = 0.0;  // manual workload only
+    config.generator.bursts_per_day = 0.0;
+    return config;
+  }
+
+  net::NodeId host(int domain, int index) {
+    // Hosts were attached after the border on each LAN; ids are stable:
+    // border, h0, h1, h2 per domain. Resolve by name for clarity.
+    const std::string name =
+        (domain == 0 ? std::string("ucsb-gw") : "bdr" + std::to_string(domain)) +
+        "-h" + std::to_string(index);
+    for (const net::Node& node : scenario_.topology().nodes()) {
+      if (node.name == name) return node.id;
+    }
+    return net::kInvalidNode;
+  }
+
+  void settle(sim::Duration d = sim::Duration::seconds(5)) {
+    scenario_.engine().run_until(scenario_.engine().now() + d);
+  }
+
+  workload::FixwScenario scenario_;
+};
+
+TEST_F(NetworkIntegration, DvmrpConvergesAcrossDomains) {
+  // FIXW sees every domain's stub prefixes.
+  const MulticastRouter* fixw = scenario_.network().router(scenario_.fixw_node());
+  const dvmrp::Route* route = fixw->dvmrp()->routes().rpf_lookup(
+      net::Ipv4Address(10, 3, 17, 1));  // domain 3 stub
+  ASSERT_NE(route, nullptr);
+  // UCSB sees them through FIXW (metric one hop further).
+  const MulticastRouter* ucsb = scenario_.network().router(scenario_.ucsb_node());
+  const dvmrp::Route* remote = ucsb->dvmrp()->routes().rpf_lookup(
+      net::Ipv4Address(10, 3, 17, 1));
+  ASSERT_NE(remote, nullptr);
+  EXPECT_GT(remote->metric, route->metric);
+}
+
+TEST_F(NetworkIntegration, MbgpFullMeshThroughHub) {
+  for (int d = 0; d < 4; ++d) {
+    const MulticastRouter* border =
+        scenario_.network().router(scenario_.border_nodes()[d]);
+    EXPECT_EQ(border->mbgp()->route_count(), 4u) << "domain " << d;
+  }
+}
+
+TEST_F(NetworkIntegration, DenseFlowFloodsThenPrunesToActualReceivers) {
+  Network& network = scenario_.network();
+  const net::NodeId sender = host(1, 0);
+  const net::NodeId receiver = host(2, 0);
+
+  network.host_join(receiver, kGroupRp0);
+  settle();
+  network.flow_start(sender, kGroupRp0, 100.0, MfcMode::kDense);
+  settle(sim::Duration::seconds(30));
+
+  const Flow* flow = network.flow(network.host_address(sender), kGroupRp0);
+  ASSERT_NE(flow, nullptr);
+  // The flow reaches its receiver.
+  EXPECT_EQ(flow->reached_hosts.count(receiver), 1u);
+  // On-tree: sender's border, FIXW, receiver's border.
+  EXPECT_EQ(flow->on_tree.count(scenario_.border_nodes()[1]), 1u);
+  EXPECT_EQ(flow->on_tree.count(scenario_.fixw_node()), 1u);
+  EXPECT_EQ(flow->on_tree.count(scenario_.border_nodes()[2]), 1u);
+  // Domains without members pruned themselves off the tree.
+  EXPECT_EQ(flow->on_tree.count(scenario_.border_nodes()[3]), 0u);
+
+  // FIXW's forwarding entry carries the flow rate; the pruned domain's
+  // border keeps a zero-rate entry (prune state) from the initial flood.
+  const MfcEntry* at_fixw = network.router(scenario_.fixw_node())
+                                ->mfc()
+                                .find(network.host_address(sender), kGroupRp0);
+  ASSERT_NE(at_fixw, nullptr);
+  EXPECT_DOUBLE_EQ(at_fixw->rate_kbps, 100.0);
+  const MfcEntry* at_idle = network.router(scenario_.border_nodes()[3])
+                                ->mfc()
+                                .find(network.host_address(sender), kGroupRp0);
+  ASSERT_NE(at_idle, nullptr);
+  EXPECT_DOUBLE_EQ(at_idle->rate_kbps, 0.0);
+}
+
+TEST_F(NetworkIntegration, DenseLateJoinerGraftsOntoTree) {
+  Network& network = scenario_.network();
+  const net::NodeId sender = host(1, 0);
+  const net::NodeId late = host(3, 1);
+
+  network.flow_start(sender, kGroupRp0, 64.0, MfcMode::kDense);
+  settle(sim::Duration::seconds(30));  // floods, then everyone prunes
+
+  const Flow* flow = network.flow(network.host_address(sender), kGroupRp0);
+  ASSERT_NE(flow, nullptr);
+  EXPECT_TRUE(flow->reached_hosts.empty());
+
+  network.host_join(late, kGroupRp0);
+  settle(sim::Duration::seconds(30));
+  EXPECT_EQ(flow->reached_hosts.count(late), 1u);
+  EXPECT_EQ(flow->on_tree.count(scenario_.border_nodes()[3]), 1u);
+}
+
+TEST_F(NetworkIntegration, SparseFlowReachesReceiverViaRpAndSpt) {
+  Network& network = scenario_.network();
+  const net::NodeId sender = host(2, 0);    // domain 2 (not an RP for group)
+  const net::NodeId receiver = host(3, 0);  // domain 3
+
+  network.set_group_plane(kGroupRp0, MfcMode::kSparse);
+  network.host_join(receiver, kGroupRp0);   // receiver-domain RP terminates it
+  settle();
+  network.flow_start(sender, kGroupRp0, 200.0, MfcMode::kSparse);
+  settle(sim::Duration::seconds(60));
+
+  const Flow* flow = network.flow(network.host_address(sender), kGroupRp0);
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->reached_hosts.count(receiver), 1u);
+  // The receiver's border holds PIM state for the group.
+  const MulticastRouter* last_hop = network.router(scenario_.border_nodes()[3]);
+  EXPECT_NE(last_hop->pim()->find_star_g(kGroupRp0), nullptr);
+}
+
+TEST_F(NetworkIntegration, SparseSingleMemberSessionStaysLocal) {
+  Network& network = scenario_.network();
+  const net::NodeId solo = host(2, 1);
+  // The host "participates" alone: joins and sends RTCP, nobody else cares.
+  network.set_group_plane(kGroupRp1, MfcMode::kSparse);
+  network.host_join(solo, kGroupRp1);
+  settle();
+  network.flow_start(solo, kGroupRp1, 2.0, MfcMode::kSparse);
+  settle(sim::Duration::seconds(60));
+
+  const Flow* flow = network.flow(network.host_address(solo), kGroupRp1);
+  ASSERT_NE(flow, nullptr);
+  // FIXW never sees this session: no receivers beyond the local domain.
+  EXPECT_EQ(flow->on_tree.count(scenario_.fixw_node()), 0u);
+  EXPECT_EQ(network.router(scenario_.fixw_node())
+                ->mfc()
+                .find(network.host_address(solo), kGroupRp1),
+            nullptr);
+}
+
+TEST_F(NetworkIntegration, MsdpPropagatesSourceAcrossRpDomains) {
+  Network& network = scenario_.network();
+  // Sender under RP1 (domain 1 serves 224.4/16), receiver under RP0's
+  // domain but for the *same* group: the receiver-side RP must learn the
+  // source via MSDP... here group kGroupRp1 maps to RP1, receiver joins at
+  // domain 3; RP1 is the single RP for the group, so MSDP's job is to tell
+  // the *other* RPs. Verify SA caches on all three RPs.
+  const net::NodeId sender = host(2, 2);
+  network.flow_start(sender, kGroupRp1, 150.0, MfcMode::kSparse);
+  settle(sim::Duration::seconds(30));
+
+  int caches_with_sa = 0;
+  for (int d = 0; d < 3; ++d) {
+    const MulticastRouter* rp = network.router(scenario_.border_nodes()[d]);
+    if (rp->msdp() != nullptr &&
+        rp->msdp()->has_sa(network.host_address(sender), kGroupRp1)) {
+      ++caches_with_sa;
+    }
+  }
+  EXPECT_EQ(caches_with_sa, 3);  // origin RP + 2 peers
+}
+
+TEST_F(NetworkIntegration, FlowStopTearsDownStateAfterRetention) {
+  Network& network = scenario_.network();
+  const net::NodeId sender = host(1, 1);
+  const net::NodeId receiver = host(2, 1);
+  network.host_join(receiver, kGroupRp0);
+  settle();
+  network.flow_start(sender, kGroupRp0, 80.0, MfcMode::kDense);
+  settle(sim::Duration::seconds(30));
+  ASSERT_NE(network.router(scenario_.fixw_node())
+                ->mfc()
+                .find(network.host_address(sender), kGroupRp0),
+            nullptr);
+
+  network.flow_stop(sender, kGroupRp0);
+  // Within the retention window the entry lingers at rate 0 (the monitor
+  // still sees the session).
+  settle(sim::Duration::seconds(10));
+  const MfcEntry* lingering = network.router(scenario_.fixw_node())
+                                  ->mfc()
+                                  .find(network.host_address(sender), kGroupRp0);
+  ASSERT_NE(lingering, nullptr);
+  EXPECT_DOUBLE_EQ(lingering->rate_kbps, 0.0);
+
+  settle(sim::Duration::minutes(11));  // past the 10-minute mfc retention
+  EXPECT_EQ(network.router(scenario_.fixw_node())
+                ->mfc()
+                .find(network.host_address(sender), kGroupRp0),
+            nullptr);
+  EXPECT_EQ(network.flow(network.host_address(sender), kGroupRp0), nullptr);
+}
+
+TEST_F(NetworkIntegration, CountersAccrueWhileFlowRuns) {
+  Network& network = scenario_.network();
+  const net::NodeId sender = host(1, 2);
+  const net::NodeId receiver = host(3, 2);
+  network.host_join(receiver, kGroupRp0);
+  settle();
+  network.flow_start(sender, kGroupRp0, 800.0, MfcMode::kDense);  // 100 KB/s
+  settle(sim::Duration::minutes(10));
+
+  const MfcEntry* entry = network.router(scenario_.fixw_node())
+                              ->mfc()
+                              .find(network.host_address(sender), kGroupRp0);
+  ASSERT_NE(entry, nullptr);
+  entry->advance(scenario_.engine().now());
+  // ~100 KB/s for ~10 minutes, minus tree-setup seconds.
+  EXPECT_GT(entry->bytes, 50'000'000u);
+  EXPECT_LT(entry->bytes, 70'000'000u);
+}
+
+TEST_F(NetworkIntegration, FlowRateChangePropagates) {
+  Network& network = scenario_.network();
+  const net::NodeId sender = host(1, 0);
+  const net::NodeId receiver = host(2, 0);
+  network.host_join(receiver, kGroupRp0);
+  settle();
+  network.flow_start(sender, kGroupRp0, 100.0, MfcMode::kDense);
+  settle(sim::Duration::seconds(30));
+  network.flow_set_rate(sender, kGroupRp0, 400.0);
+  const MfcEntry* entry = network.router(scenario_.fixw_node())
+                              ->mfc()
+                              .find(network.host_address(sender), kGroupRp0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_DOUBLE_EQ(entry->rate_kbps, 400.0);
+}
+
+TEST_F(NetworkIntegration, FirstHopRouterIsDomainBorder) {
+  EXPECT_EQ(scenario_.network().first_hop_router(host(2, 0)),
+            scenario_.border_nodes()[2]);
+}
+
+TEST_F(NetworkIntegration, HostJoinIsIdempotent) {
+  Network& network = scenario_.network();
+  const net::NodeId receiver = host(2, 0);
+  network.host_join(receiver, kGroupRp0);
+  network.host_join(receiver, kGroupRp0);
+  settle();
+  const auto* members = network.group_members(kGroupRp0);
+  ASSERT_NE(members, nullptr);
+  EXPECT_EQ(members->size(), 1u);
+  network.host_leave(receiver, kGroupRp0);
+  settle();
+  EXPECT_EQ(network.group_members(kGroupRp0), nullptr);
+}
+
+TEST_F(NetworkIntegration, ReportLossDestabilisesRoutes) {
+  // Separate scenario with heavy loss: route counts at UCSB fluctuate.
+  workload::ScenarioConfig config = make_config();
+  config.report_loss = 0.35;
+  config.seed = 11;
+  workload::FixwScenario lossy(config);
+  lossy.start();
+
+  std::size_t min_routes = SIZE_MAX, max_routes = 0;
+  for (int i = 0; i < 40; ++i) {
+    lossy.engine().run_until(lossy.engine().now() + sim::Duration::minutes(2));
+    const std::size_t n =
+        lossy.network().router(lossy.ucsb_node())->dvmrp()->routes().valid_count();
+    min_routes = std::min(min_routes, n);
+    max_routes = std::max(max_routes, n);
+  }
+  EXPECT_LT(min_routes, max_routes);  // instability observed
+}
+
+}  // namespace
+}  // namespace mantra::router

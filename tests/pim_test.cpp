@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "pim/pim.hpp"
+
+namespace mantra::pim {
+namespace {
+
+const net::Ipv4Address kSelf{10, 0, 0, 1};
+const net::Ipv4Address kRp{10, 0, 0, 99};
+const net::Ipv4Address kUpstream{10, 0, 0, 2};
+const net::Ipv4Address kGroup{224, 2, 0, 5};
+const net::Ipv4Address kSource{10, 7, 1, 5};
+const net::Ipv4Address kLocalSource{10, 0, 1, 9};
+
+struct SentJoinPrune {
+  net::IfIndex ifindex;
+  JoinPrune message;
+};
+
+class PimTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Pim> make(bool self_is_rp, bool timers = false) {
+    Config config;
+    config.rp_map = {{net::kMulticastRange, self_is_rp ? kSelf : kRp}};
+    config.interfaces = {0, 1, 2};
+    config.timers_enabled = timers;
+    auto pim = std::make_unique<Pim>(engine_, kSelf, std::move(config));
+    pim->set_send_join_prune([this](net::IfIndex ifindex, const JoinPrune& m) {
+      joins_.push_back({ifindex, m});
+    });
+    pim->set_send_register(
+        [this](net::Ipv4Address rp, const Register& m) { registers_.emplace_back(rp, m); });
+    pim->set_send_register_stop([this](net::Ipv4Address dr, const RegisterStop& m) {
+      register_stops_.emplace_back(dr, m);
+    });
+    pim->set_rpf_lookup([this](net::Ipv4Address target) -> std::optional<RpfResult> {
+      const auto it = rpf_.find(target);
+      if (it == rpf_.end()) return std::nullopt;
+      return it->second;
+    });
+    pim->set_source_discovered([this](net::Ipv4Address s, net::Ipv4Address g) {
+      discovered_.emplace_back(s, g);
+    });
+    return pim;
+  }
+
+  sim::Engine engine_;
+  std::map<net::Ipv4Address, RpfResult> rpf_{
+      {kRp, RpfResult{0, kUpstream}},
+      {kSource, RpfResult{0, kUpstream}},
+      {kLocalSource, RpfResult{2, net::Ipv4Address{}}},  // directly connected
+  };
+  std::vector<SentJoinPrune> joins_;
+  std::vector<std::pair<net::Ipv4Address, Register>> registers_;
+  std::vector<std::pair<net::Ipv4Address, RegisterStop>> register_stops_;
+  std::vector<std::pair<net::Ipv4Address, net::Ipv4Address>> discovered_;
+};
+
+TEST_F(PimTest, RpMappingUsesFirstMatchingRange) {
+  auto pim = make(false);
+  EXPECT_EQ(pim->rp_for(kGroup), kRp);
+  EXPECT_FALSE(pim->is_rp_for(kGroup));
+  auto rp = make(true);
+  EXPECT_TRUE(rp->is_rp_for(kGroup));
+}
+
+TEST_F(PimTest, UnmappedGroupHasNoRp) {
+  Config config;
+  config.rp_map = {{net::Prefix(net::Ipv4Address(224, 2, 0, 0), 16), kRp}};
+  Pim pim(engine_, kSelf, config);
+  EXPECT_TRUE(pim.rp_for(net::Ipv4Address(239, 1, 1, 1)).is_unspecified());
+}
+
+TEST_F(PimTest, LocalMembershipSendsStarGJoinTowardsRp) {
+  auto pim = make(false);
+  pim->local_membership_changed(1, kGroup, true);
+  ASSERT_EQ(joins_.size(), 1u);
+  EXPECT_EQ(joins_[0].ifindex, 0u);  // RPF interface towards RP
+  EXPECT_EQ(joins_[0].message.upstream_neighbor, kUpstream);
+  ASSERT_EQ(joins_[0].message.entries.size(), 1u);
+  EXPECT_TRUE(joins_[0].message.entries[0].wildcard);
+  EXPECT_TRUE(joins_[0].message.entries[0].join);
+
+  const RouteEntry* entry = pim->find_star_g(kGroup);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->oifs.count(1), 1u);
+  EXPECT_EQ(entry->rp, kRp);
+}
+
+TEST_F(PimTest, MembershipGoneSendsPruneAndGarbageCollects) {
+  auto pim = make(false);
+  pim->local_membership_changed(1, kGroup, true);
+  pim->local_membership_changed(1, kGroup, false);
+  ASSERT_EQ(joins_.size(), 2u);
+  EXPECT_FALSE(joins_[1].message.entries[0].join);  // prune
+  EXPECT_EQ(pim->find_star_g(kGroup), nullptr);     // entry gone
+}
+
+TEST_F(PimTest, RpDoesNotJoinUpstreamForStarG) {
+  auto rp = make(true);
+  rp->local_membership_changed(1, kGroup, true);
+  EXPECT_TRUE(joins_.empty());
+  EXPECT_NE(rp->find_star_g(kGroup), nullptr);
+}
+
+TEST_F(PimTest, DownstreamJoinAddsOif) {
+  auto pim = make(false);
+  JoinPrune message;
+  message.sender = net::Ipv4Address(10, 0, 2, 7);
+  message.upstream_neighbor = kSelf;
+  message.entries = {{kGroup, net::Ipv4Address{}, true, true}};
+  pim->on_join_prune(2, message);
+  const RouteEntry* entry = pim->find_star_g(kGroup);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->oifs.count(2), 1u);
+  // And the join propagates upstream.
+  ASSERT_EQ(joins_.size(), 1u);
+}
+
+TEST_F(PimTest, JoinAddressedToAnotherRouterIgnored) {
+  auto pim = make(false);
+  JoinPrune message;
+  message.sender = net::Ipv4Address(10, 0, 2, 7);
+  message.upstream_neighbor = net::Ipv4Address(10, 0, 0, 200);  // not us
+  message.entries = {{kGroup, net::Ipv4Address{}, true, true}};
+  pim->on_join_prune(2, message);
+  EXPECT_EQ(pim->find_star_g(kGroup), nullptr);
+  EXPECT_TRUE(joins_.empty());
+}
+
+TEST_F(PimTest, DownstreamPruneRemovesOifAndPropagates) {
+  auto pim = make(false);
+  JoinPrune join;
+  join.sender = net::Ipv4Address(10, 0, 2, 7);
+  join.upstream_neighbor = kSelf;
+  join.entries = {{kGroup, net::Ipv4Address{}, true, true}};
+  pim->on_join_prune(2, join);
+
+  JoinPrune prune = join;
+  prune.entries[0].join = false;
+  pim->on_join_prune(2, prune);
+  EXPECT_EQ(pim->find_star_g(kGroup), nullptr);
+  ASSERT_EQ(joins_.size(), 2u);
+  EXPECT_FALSE(joins_[1].message.entries[0].join);
+}
+
+TEST_F(PimTest, LocalSourceTriggersRegisterToRp) {
+  auto pim = make(false);
+  pim->local_source_active(kLocalSource, kGroup);
+  ASSERT_EQ(registers_.size(), 1u);
+  EXPECT_EQ(registers_[0].first, kRp);
+  EXPECT_EQ(registers_[0].second.source, kLocalSource);
+  const RouteEntry* entry = pim->find_sg(kLocalSource, kGroup);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->register_state);
+  // Directly connected source: no upstream (S,G) join.
+  EXPECT_TRUE(joins_.empty());
+}
+
+TEST_F(PimTest, RegisterAtRpWithoutReceiversOnlySendsStop) {
+  auto rp = make(true);
+  Register message{net::Ipv4Address(10, 3, 1, 1), kSource, kGroup};
+  rp->on_register(message);
+  ASSERT_EQ(discovered_.size(), 1u);
+  ASSERT_EQ(register_stops_.size(), 1u);
+  EXPECT_EQ(register_stops_[0].first, message.sender);
+  EXPECT_TRUE(joins_.empty());  // nobody wants the traffic
+}
+
+TEST_F(PimTest, RegisterAtRpWithReceiversJoinsSpt) {
+  auto rp = make(true);
+  rp->local_membership_changed(1, kGroup, true);  // receivers exist
+  Register message{net::Ipv4Address(10, 3, 1, 1), kSource, kGroup};
+  rp->on_register(message);
+  const RouteEntry* entry = rp->find_sg(kSource, kGroup);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_FALSE(joins_.empty());
+  EXPECT_FALSE(joins_.back().message.entries[0].wildcard);  // (S,G) join
+  EXPECT_TRUE(joins_.back().message.entries[0].join);
+}
+
+TEST_F(PimTest, LateReceiversPullKnownSources) {
+  auto rp = make(true);
+  Register message{net::Ipv4Address(10, 3, 1, 1), kSource, kGroup};
+  rp->on_register(message);
+  EXPECT_TRUE(joins_.empty());
+  // Receivers appear later: the RP joins every known source.
+  rp->local_membership_changed(1, kGroup, true);
+  ASSERT_FALSE(joins_.empty());
+  EXPECT_FALSE(joins_.back().message.entries[0].wildcard);
+}
+
+TEST_F(PimTest, DataArrivalTriggersSptSwitchover) {
+  auto pim = make(false);
+  pim->local_membership_changed(1, kGroup, true);
+  joins_.clear();
+  pim->on_data_arrival(kSource, kGroup);
+  const RouteEntry* entry = pim->find_sg(kSource, kGroup);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->spt);
+  ASSERT_EQ(joins_.size(), 1u);
+  EXPECT_FALSE(joins_[0].message.entries[0].wildcard);
+}
+
+TEST_F(PimTest, NoSwitchoverWithoutLocalMembers) {
+  auto pim = make(false);
+  pim->on_data_arrival(kSource, kGroup);
+  EXPECT_EQ(pim->find_sg(kSource, kGroup), nullptr);
+}
+
+TEST_F(PimTest, SwitchoverDisabledByConfig) {
+  Config config;
+  config.rp_map = {{net::kMulticastRange, kRp}};
+  config.interfaces = {0, 1};
+  config.spt_switchover = false;
+  config.timers_enabled = false;
+  Pim pim(engine_, kSelf, config);
+  pim.set_rpf_lookup([this](net::Ipv4Address target) -> std::optional<RpfResult> {
+    const auto it = rpf_.find(target);
+    return it == rpf_.end() ? std::nullopt : std::optional(it->second);
+  });
+  pim.local_membership_changed(1, kGroup, true);
+  pim.on_data_arrival(kSource, kGroup);
+  EXPECT_EQ(pim.find_sg(kSource, kGroup), nullptr);
+}
+
+TEST_F(PimTest, RemoteSourceGoneTearsDownInterest) {
+  auto pim = make(false);
+  pim->join_remote_source(kSource, kGroup);
+  ASSERT_NE(pim->find_sg(kSource, kGroup), nullptr);
+  const auto joins_before = joins_.size();
+  pim->remote_source_gone(kSource, kGroup);
+  EXPECT_EQ(pim->find_sg(kSource, kGroup), nullptr);
+  EXPECT_GT(joins_.size(), joins_before);  // the (S,G) prune went out
+  EXPECT_FALSE(joins_.back().message.entries[0].join);
+}
+
+TEST_F(PimTest, RegisterStopClearsRegisterState) {
+  auto pim = make(false);
+  pim->local_source_active(kLocalSource, kGroup);
+  pim->on_register_stop(RegisterStop{kRp, kLocalSource, kGroup});
+  const RouteEntry* entry = pim->find_sg(kLocalSource, kGroup);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->register_state);
+}
+
+TEST_F(PimTest, SgInheritsSharedTreeOifsForUpstreamInterest) {
+  auto pim = make(false);
+  // Downstream (*,G) join on interface 2, then an (S,G)-specific join is
+  // not needed for the (S,G) entry to want traffic.
+  JoinPrune star_join;
+  star_join.sender = net::Ipv4Address(10, 0, 2, 7);
+  star_join.upstream_neighbor = kSelf;
+  star_join.entries = {{kGroup, net::Ipv4Address{}, true, true}};
+  pim->on_join_prune(2, star_join);
+  joins_.clear();
+
+  JoinPrune sg_join;
+  sg_join.sender = net::Ipv4Address(10, 0, 2, 7);
+  sg_join.upstream_neighbor = kSelf;
+  sg_join.entries = {{kGroup, kSource, false, true}};
+  pim->on_join_prune(2, sg_join);
+  // The (S,G) upstream join was sent (inherited interest made it needed
+  // even before considering its own oifs).
+  ASSERT_FALSE(joins_.empty());
+  EXPECT_FALSE(joins_[0].message.entries[0].wildcard);
+}
+
+TEST_F(PimTest, DownstreamStateExpiresWithoutRefresh) {
+  auto pim = make(false);
+  JoinPrune join;
+  join.sender = net::Ipv4Address(10, 0, 2, 7);
+  join.upstream_neighbor = kSelf;
+  join.entries = {{kGroup, net::Ipv4Address{}, true, true}};
+  pim->on_join_prune(2, join);
+  ASSERT_NE(pim->find_star_g(kGroup), nullptr);
+
+  engine_.run_until(sim::TimePoint::start() + pim->config().state_holdtime +
+                    sim::Duration::seconds(1));
+  pim->expire_now();
+  EXPECT_EQ(pim->find_star_g(kGroup), nullptr);
+}
+
+TEST_F(PimTest, PeriodicJoinsRefreshUpstreamState) {
+  auto pim = make(false);
+  pim->local_membership_changed(1, kGroup, true);
+  const auto before = joins_.size();
+  pim->send_periodic_joins();
+  ASSERT_EQ(joins_.size(), before + 1);
+  EXPECT_TRUE(joins_.back().message.entries[0].join);
+}
+
+TEST_F(PimTest, OifsExcludeUpstreamInterface) {
+  auto pim = make(false);
+  // Membership on the same interface the RP is reached through: no oif, no
+  // upstream join (traffic would arrive and leave on the same interface).
+  pim->local_membership_changed(0, kGroup, true);
+  const RouteEntry* entry = pim->find_star_g(kGroup);
+  // The entry may exist but must not list the upstream interface as oif.
+  if (entry != nullptr) {
+    EXPECT_EQ(entry->oifs.count(0), 0u);
+  }
+  EXPECT_TRUE(joins_.empty());
+}
+
+}  // namespace
+}  // namespace mantra::pim

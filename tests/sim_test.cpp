@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace mantra::sim {
+namespace {
+
+// --- Time ----------------------------------------------------------------
+
+TEST(Duration, Factories) {
+  EXPECT_EQ(Duration::seconds(2).total_ms(), 2000);
+  EXPECT_EQ(Duration::minutes(3).total_ms(), 180'000);
+  EXPECT_EQ(Duration::hours(1).total_ms(), 3'600'000);
+  EXPECT_EQ(Duration::days(2).total_ms(), 172'800'000);
+  EXPECT_EQ(Duration::from_seconds(1.5).total_ms(), 1500);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration d = Duration::minutes(10) + Duration::seconds(30);
+  EXPECT_DOUBLE_EQ(d.total_seconds(), 630.0);
+  EXPECT_EQ((d - Duration::seconds(30)).total_ms(), 600'000);
+  EXPECT_EQ((Duration::seconds(10) * std::int64_t{6}).total_ms(), 60'000);
+  EXPECT_EQ((Duration::seconds(10) * 0.5).total_ms(), 5'000);
+  EXPECT_EQ(Duration::minutes(10) / Duration::minutes(2), 5);
+}
+
+TEST(Duration, ToStringForms) {
+  EXPECT_EQ(Duration::from_seconds(45.25).to_string(), "45.250s");
+  EXPECT_EQ(Duration::hours(2).to_string(), "02:00:00");
+  EXPECT_EQ((Duration::days(2) + Duration::hours(3)).to_string(), "2d 03:00:00");
+}
+
+TEST(TimePoint, ArithmeticAndComparison) {
+  const TimePoint t0 = TimePoint::start();
+  const TimePoint t1 = t0 + Duration::hours(5);
+  EXPECT_GT(t1, t0);
+  EXPECT_EQ((t1 - t0).total_hours(), 5.0);
+  EXPECT_EQ((t1 - Duration::hours(5)), t0);
+}
+
+// --- Engine ----------------------------------------------------------------
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(TimePoint::from_ms(30), [&] { order.push_back(3); });
+  engine.schedule_at(TimePoint::from_ms(10), [&] { order.push_back(1); });
+  engine.schedule_at(TimePoint::from_ms(20), [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SimultaneousEventsRunFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(TimePoint::from_ms(10), [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, RunUntilAdvancesClockAndStops) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(TimePoint::from_ms(100), [&] { ++fired; });
+  engine.schedule_at(TimePoint::from_ms(300), [&] { ++fired; });
+  EXPECT_EQ(engine.run_until(TimePoint::from_ms(200)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), TimePoint::from_ms(200));
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run_until(TimePoint::from_ms(400));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventsScheduledDuringRunAreHonoured) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(TimePoint::from_ms(10), [&] {
+    order.push_back(1);
+    engine.schedule_after(Duration::milliseconds(5), [&] { order.push_back(2); });
+  });
+  engine.run_until(TimePoint::from_ms(20));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  int fired = 0;
+  const EventId id = engine.schedule_at(TimePoint::from_ms(10), [&] { ++fired; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // double cancel is a no-op
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine engine;
+  engine.schedule_at(TimePoint::from_ms(50), [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(TimePoint::from_ms(10), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Engine, StepProcessesOneEvent) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(TimePoint::from_ms(1), [&] { ++fired; });
+  engine.schedule_at(TimePoint::from_ms(2), [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, RunRespectsMaxEvents) {
+  Engine engine;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(TimePoint::from_ms(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(engine.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTimer, TicksAtPeriod) {
+  Engine engine;
+  int ticks = 0;
+  PeriodicTimer timer(engine, Duration::seconds(10), [&] { ++ticks; });
+  timer.start();
+  engine.run_until(TimePoint::start() + Duration::seconds(35));
+  EXPECT_EQ(ticks, 3);  // t=10, 20, 30
+}
+
+TEST(PeriodicTimer, StopEndsTicks) {
+  Engine engine;
+  int ticks = 0;
+  PeriodicTimer timer(engine, Duration::seconds(10), [&] { ++ticks; });
+  timer.start();
+  engine.run_until(TimePoint::start() + Duration::seconds(15));
+  timer.stop();
+  EXPECT_FALSE(timer.running());
+  engine.run_until(TimePoint::start() + Duration::seconds(100));
+  EXPECT_EQ(ticks, 1);
+}
+
+TEST(PeriodicTimer, InitialDelayOverride) {
+  Engine engine;
+  int ticks = 0;
+  PeriodicTimer timer(engine, Duration::seconds(10), [&] { ++ticks; });
+  timer.start(Duration::seconds(1));
+  engine.run_until(TimePoint::start() + Duration::seconds(2));
+  EXPECT_EQ(ticks, 1);
+}
+
+// --- Rng / stats ------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(5.0);
+  EXPECT_NEAR(total / n, 5.0, 0.2);
+}
+
+TEST(Rng, ParetoRespectsScaleMinimum) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(1.2, 0.8), 0.8);
+  }
+}
+
+TEST(Rng, ZipfRanksWithinRangeAndSkewed) {
+  Rng rng(17);
+  int first = 0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) {
+    const auto rank = rng.zipf(10, 1.0);
+    ASSERT_GE(rank, 1);
+    ASSERT_LE(rank, 10);
+    if (rank == 1) ++first;
+  }
+  // Rank 1 should dominate: expected share ~1/H(10) ~ 34%.
+  EXPECT_GT(first, n / 5);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+}  // namespace
+}  // namespace mantra::sim

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace mantra::workload {
+namespace {
+
+TEST(GroupAllocator, AllocatesDistinctAddressesAcrossRanges) {
+  GroupAllocator allocator({*net::Prefix::parse("224.2.0.0/16"),
+                            *net::Prefix::parse("224.4.0.0/16")});
+  std::set<net::Ipv4Address> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const net::Ipv4Address group = allocator.allocate();
+    ASSERT_FALSE(group.is_unspecified());
+    ASSERT_TRUE(group.is_multicast());
+    EXPECT_TRUE(seen.insert(group).second) << group.to_string();
+  }
+  EXPECT_EQ(allocator.live_count(), 1000u);
+}
+
+TEST(GroupAllocator, ReleaseMakesAddressReusable) {
+  GroupAllocator allocator({*net::Prefix::parse("224.2.0.0/16")});
+  const net::Ipv4Address group = allocator.allocate();
+  allocator.release(group);
+  EXPECT_EQ(allocator.live_count(), 0u);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : scenario_(make_config()) { scenario_.start(); }
+
+  static ScenarioConfig make_config() {
+    ScenarioConfig config;
+    config.seed = 9;
+    config.domains = 5;
+    config.hosts_per_domain = 20;
+    config.dvmrp_prefixes_per_domain = 4;
+    config.report_loss = 0.0;
+    config.timer_scale = 10;       // trace-scale mode
+    config.full_timers = false;
+    config.generator.session_arrivals_per_hour = 60.0;
+    config.generator.bursts_per_day = 0.0;
+    return config;
+  }
+
+  void run_hours(int hours) {
+    scenario_.engine().run_until(scenario_.engine().now() +
+                                 sim::Duration::hours(hours));
+  }
+
+  FixwScenario scenario_;
+};
+
+TEST_F(GeneratorTest, SessionsReachSteadyChurn) {
+  run_hours(6);
+  Generator& generator = scenario_.generator();
+  EXPECT_GT(generator.sessions_created(), 200u);
+  EXPECT_GT(generator.live_session_count(), 20u);
+  // Sessions end too: live count is well below total created.
+  EXPECT_LT(generator.live_session_count(), generator.sessions_created() / 2);
+}
+
+TEST_F(GeneratorTest, MembershipIsHeavyTailed) {
+  run_hours(6);
+  std::size_t singles = 0, total = 0, at_most_two = 0;
+  for (const auto& [group, session] : scenario_.generator().sessions()) {
+    ++total;
+    if (session.participants.size() <= 1) ++singles;
+    if (session.participants.size() <= 2) ++at_most_two;
+  }
+  ASSERT_GT(total, 0u);
+  // The paper's offline claim: most sessions have <= 2 participants.
+  EXPECT_GT(static_cast<double>(at_most_two) / static_cast<double>(total), 0.55);
+  EXPECT_GT(singles, 0u);
+}
+
+TEST_F(GeneratorTest, SenderRatesRespectThresholdSplit) {
+  run_hours(4);
+  for (const auto& [group, session] : scenario_.generator().sessions()) {
+    for (const auto& [host, participant] : session.participants) {
+      if (participant.sender) {
+        EXPECT_GT(participant.rate_kbps, 4.0);
+      } else {
+        EXPECT_LT(participant.rate_kbps, 4.0);
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorTest, FlowsExistForParticipants) {
+  run_hours(3);
+  // Every live participant has a live flow in the network.
+  std::size_t checked = 0;
+  for (const auto& [group, session] : scenario_.generator().sessions()) {
+    for (const auto& [host, participant] : session.participants) {
+      const router::Flow* flow = scenario_.network().flow(
+          scenario_.network().host_address(host), group);
+      ASSERT_NE(flow, nullptr);
+      EXPECT_TRUE(flow->active);
+      if (++checked > 50) return;  // sample is enough
+    }
+  }
+}
+
+TEST_F(GeneratorTest, SparseProbabilitySwitchesPlane) {
+  scenario_.generator().set_sparse_probability(1.0);
+  const net::Ipv4Address group = scenario_.generator().create_session_now(
+      false, true, sim::Duration::hours(1), 3);
+  ASSERT_FALSE(group.is_unspecified());
+  EXPECT_EQ(scenario_.generator().sessions().at(group).plane,
+            router::MfcMode::kSparse);
+}
+
+TEST_F(GeneratorTest, BurstCreatesSingleMemberSessions) {
+  auto& params = scenario_.generator().params();
+  params.bursts_per_day = 0.0;
+  const std::size_t before = scenario_.generator().live_session_count();
+  // Create a burst-like batch via the public surface: one host, many groups.
+  for (int i = 0; i < 50; ++i) {
+    scenario_.generator().create_session_now(true, false,
+                                             sim::Duration::minutes(30), 1);
+  }
+  EXPECT_EQ(scenario_.generator().live_session_count(), before + 50);
+}
+
+TEST_F(GeneratorTest, AudienceSurgeRaisesParticipants) {
+  run_hours(1);
+  const std::uint64_t before = scenario_.generator().participants_added();
+  scenario_.generator().schedule_audience_surge(
+      scenario_.engine().now() + sim::Duration::minutes(5),
+      sim::Duration::hours(2), sim::Duration::hours(8), 150, 3);
+  run_hours(4);
+  EXPECT_GT(scenario_.generator().participants_added(), before + 100);
+}
+
+TEST_F(GeneratorTest, SessionsEndCleanly) {
+  // A short session's participants must be fully torn down.
+  const net::Ipv4Address group = scenario_.generator().create_session_now(
+      false, true, sim::Duration::minutes(10), 2);
+  run_hours(1);
+  EXPECT_EQ(scenario_.generator().sessions().count(group), 0u);
+}
+
+TEST(ScenarioMigration, DvmrpRouteCountDeclines) {
+  ScenarioConfig config;
+  config.seed = 13;
+  config.domains = 6;
+  config.hosts_per_domain = 2;
+  config.dvmrp_prefixes_per_domain = 20;
+  config.report_loss = 0.0;
+  config.timer_scale = 1;
+  config.full_timers = true;
+  config.generator.session_arrivals_per_hour = 0.0;
+  config.generator.bursts_per_day = 0.0;
+  FixwScenario scenario(config);
+  scenario.start();
+  scenario.engine().run_until(sim::TimePoint::start() + sim::Duration::minutes(5));
+
+  const auto* fixw = scenario.network().router(scenario.fixw_node());
+  const std::size_t before = fixw->dvmrp()->routes().valid_count();
+
+  scenario.schedule_dvmrp_migration(scenario.engine().now() + sim::Duration::minutes(1),
+                                    sim::Duration::minutes(10), 1.0);
+  scenario.engine().run_until(scenario.engine().now() + sim::Duration::minutes(30));
+  const std::size_t after = fixw->dvmrp()->routes().valid_count();
+  // All domains except UCSB withdrew their stubs.
+  EXPECT_LT(after, before - 50);
+}
+
+TEST(ScenarioInjection, UcsbTableSpikes) {
+  ScenarioConfig config;
+  config.seed = 17;
+  config.domains = 4;
+  config.hosts_per_domain = 2;
+  config.dvmrp_prefixes_per_domain = 5;
+  config.report_loss = 0.0;
+  config.timer_scale = 1;
+  config.full_timers = true;
+  config.generator.session_arrivals_per_hour = 0.0;
+  config.generator.bursts_per_day = 0.0;
+  FixwScenario scenario(config);
+  scenario.start();
+  scenario.engine().run_until(sim::TimePoint::start() + sim::Duration::minutes(5));
+
+  const auto* ucsb = scenario.network().router(scenario.ucsb_node());
+  const std::size_t before = ucsb->dvmrp()->routes().valid_count();
+  scenario.schedule_route_injection(scenario.engine().now() + sim::Duration::minutes(1),
+                                    500, sim::Duration::hours(1));
+  scenario.engine().run_until(scenario.engine().now() + sim::Duration::minutes(5));
+  EXPECT_GE(ucsb->dvmrp()->routes().valid_count(), before + 500);
+  // After the revert the injected routes age out of hold-down.
+  scenario.engine().run_until(scenario.engine().now() + sim::Duration::hours(2));
+  EXPECT_LT(ucsb->dvmrp()->routes().valid_count(), before + 50);
+}
+
+TEST(ScenarioTransition, SparseProbabilityRampsOverTime) {
+  ScenarioConfig config;
+  config.seed = 19;
+  config.domains = 3;
+  config.hosts_per_domain = 2;
+  config.generator.session_arrivals_per_hour = 0.0;
+  config.generator.bursts_per_day = 0.0;
+  config.full_timers = false;
+  FixwScenario scenario(config);
+  scenario.start();
+  scenario.schedule_transition(sim::TimePoint::start() + sim::Duration::days(1),
+                               sim::Duration::days(10), 0.9);
+  scenario.engine().run_until(sim::TimePoint::start() + sim::Duration::days(6));
+  const double mid = scenario.generator().sparse_probability();
+  EXPECT_GT(mid, 0.3);
+  EXPECT_LT(mid, 0.9);
+  scenario.engine().run_until(sim::TimePoint::start() + sim::Duration::days(12));
+  EXPECT_NEAR(scenario.generator().sparse_probability(), 0.9, 1e-9);
+}
+
+}  // namespace
+}  // namespace mantra::workload
