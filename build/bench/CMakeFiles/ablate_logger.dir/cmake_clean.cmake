@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_logger.dir/ablate_logger.cpp.o"
+  "CMakeFiles/ablate_logger.dir/ablate_logger.cpp.o.d"
+  "ablate_logger"
+  "ablate_logger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_density_skew.dir/claims_density_skew.cpp.o"
+  "CMakeFiles/claims_density_skew.dir/claims_density_skew.cpp.o.d"
+  "claims_density_skew"
+  "claims_density_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_density_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

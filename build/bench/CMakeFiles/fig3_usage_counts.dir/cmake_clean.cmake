@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_usage_counts.dir/fig3_usage_counts.cpp.o"
+  "CMakeFiles/fig3_usage_counts.dir/fig3_usage_counts.cpp.o.d"
+  "fig3_usage_counts"
+  "fig3_usage_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_usage_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_percent_active.dir/fig6_percent_active.cpp.o"
+  "CMakeFiles/fig6_percent_active.dir/fig6_percent_active.cpp.o.d"
+  "fig6_percent_active"
+  "fig6_percent_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_percent_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

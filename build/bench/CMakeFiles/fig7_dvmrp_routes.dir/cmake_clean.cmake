@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dvmrp_routes.dir/fig7_dvmrp_routes.cpp.o"
+  "CMakeFiles/fig7_dvmrp_routes.dir/fig7_dvmrp_routes.cpp.o.d"
+  "fig7_dvmrp_routes"
+  "fig7_dvmrp_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dvmrp_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

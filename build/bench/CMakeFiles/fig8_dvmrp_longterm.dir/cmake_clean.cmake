@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dvmrp_longterm.dir/fig8_dvmrp_longterm.cpp.o"
+  "CMakeFiles/fig8_dvmrp_longterm.dir/fig8_dvmrp_longterm.cpp.o.d"
+  "fig8_dvmrp_longterm"
+  "fig8_dvmrp_longterm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dvmrp_longterm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_route_injection.dir/fig9_route_injection.cpp.o"
+  "CMakeFiles/fig9_route_injection.dir/fig9_route_injection.cpp.o.d"
+  "fig9_route_injection"
+  "fig9_route_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_route_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_micro.dir/pipeline_micro.cpp.o"
+  "CMakeFiles/pipeline_micro.dir/pipeline_micro.cpp.o.d"
+  "pipeline_micro"
+  "pipeline_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

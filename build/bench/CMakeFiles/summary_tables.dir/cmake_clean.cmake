@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_tables.dir/summary_tables.cpp.o"
+  "CMakeFiles/summary_tables.dir/summary_tables.cpp.o.d"
+  "summary_tables"
+  "summary_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

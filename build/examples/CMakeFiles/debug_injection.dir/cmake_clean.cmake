@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_injection.dir/debug_injection.cpp.o"
+  "CMakeFiles/debug_injection.dir/debug_injection.cpp.o.d"
+  "debug_injection"
+  "debug_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

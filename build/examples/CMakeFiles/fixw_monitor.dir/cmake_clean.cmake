@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixw_monitor.dir/fixw_monitor.cpp.o"
+  "CMakeFiles/fixw_monitor.dir/fixw_monitor.cpp.o.d"
+  "fixw_monitor"
+  "fixw_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixw_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msdp_watch.dir/msdp_watch.cpp.o"
+  "CMakeFiles/msdp_watch.dir/msdp_watch.cpp.o.d"
+  "msdp_watch"
+  "msdp_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msdp_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

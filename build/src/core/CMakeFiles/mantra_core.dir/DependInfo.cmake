@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collect.cpp" "src/core/CMakeFiles/mantra_core.dir/collect.cpp.o" "gcc" "src/core/CMakeFiles/mantra_core.dir/collect.cpp.o.d"
+  "/root/repo/src/core/log.cpp" "src/core/CMakeFiles/mantra_core.dir/log.cpp.o" "gcc" "src/core/CMakeFiles/mantra_core.dir/log.cpp.o.d"
+  "/root/repo/src/core/mantra.cpp" "src/core/CMakeFiles/mantra_core.dir/mantra.cpp.o" "gcc" "src/core/CMakeFiles/mantra_core.dir/mantra.cpp.o.d"
+  "/root/repo/src/core/output.cpp" "src/core/CMakeFiles/mantra_core.dir/output.cpp.o" "gcc" "src/core/CMakeFiles/mantra_core.dir/output.cpp.o.d"
+  "/root/repo/src/core/parse.cpp" "src/core/CMakeFiles/mantra_core.dir/parse.cpp.o" "gcc" "src/core/CMakeFiles/mantra_core.dir/parse.cpp.o.d"
+  "/root/repo/src/core/process.cpp" "src/core/CMakeFiles/mantra_core.dir/process.cpp.o" "gcc" "src/core/CMakeFiles/mantra_core.dir/process.cpp.o.d"
+  "/root/repo/src/core/tables.cpp" "src/core/CMakeFiles/mantra_core.dir/tables.cpp.o" "gcc" "src/core/CMakeFiles/mantra_core.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/router/CMakeFiles/mantra_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/igmp/CMakeFiles/mantra_igmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvmrp/CMakeFiles/mantra_dvmrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/mantra_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbgp/CMakeFiles/mantra_mbgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/msdp/CMakeFiles/mantra_msdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mantra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mantra_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantra_core.dir/collect.cpp.o"
+  "CMakeFiles/mantra_core.dir/collect.cpp.o.d"
+  "CMakeFiles/mantra_core.dir/log.cpp.o"
+  "CMakeFiles/mantra_core.dir/log.cpp.o.d"
+  "CMakeFiles/mantra_core.dir/mantra.cpp.o"
+  "CMakeFiles/mantra_core.dir/mantra.cpp.o.d"
+  "CMakeFiles/mantra_core.dir/output.cpp.o"
+  "CMakeFiles/mantra_core.dir/output.cpp.o.d"
+  "CMakeFiles/mantra_core.dir/parse.cpp.o"
+  "CMakeFiles/mantra_core.dir/parse.cpp.o.d"
+  "CMakeFiles/mantra_core.dir/process.cpp.o"
+  "CMakeFiles/mantra_core.dir/process.cpp.o.d"
+  "CMakeFiles/mantra_core.dir/tables.cpp.o"
+  "CMakeFiles/mantra_core.dir/tables.cpp.o.d"
+  "libmantra_core.a"
+  "libmantra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantra_dvmrp.dir/dvmrp.cpp.o"
+  "CMakeFiles/mantra_dvmrp.dir/dvmrp.cpp.o.d"
+  "CMakeFiles/mantra_dvmrp.dir/route_table.cpp.o"
+  "CMakeFiles/mantra_dvmrp.dir/route_table.cpp.o.d"
+  "libmantra_dvmrp.a"
+  "libmantra_dvmrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantra_dvmrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

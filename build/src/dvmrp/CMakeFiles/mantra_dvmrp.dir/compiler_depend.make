@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mantra_dvmrp.
+# This may be replaced when dependencies are built.

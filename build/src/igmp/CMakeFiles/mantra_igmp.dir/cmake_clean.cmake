@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantra_igmp.dir/igmp.cpp.o"
+  "CMakeFiles/mantra_igmp.dir/igmp.cpp.o.d"
+  "libmantra_igmp.a"
+  "libmantra_igmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantra_igmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantra_mbgp.dir/mbgp.cpp.o"
+  "CMakeFiles/mantra_mbgp.dir/mbgp.cpp.o.d"
+  "libmantra_mbgp.a"
+  "libmantra_mbgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantra_mbgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

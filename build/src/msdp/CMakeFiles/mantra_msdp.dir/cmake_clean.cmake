@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantra_msdp.dir/msdp.cpp.o"
+  "CMakeFiles/mantra_msdp.dir/msdp.cpp.o.d"
+  "libmantra_msdp.a"
+  "libmantra_msdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantra_msdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

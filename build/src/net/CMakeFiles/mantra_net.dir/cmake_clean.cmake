@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantra_net.dir/ipv4.cpp.o"
+  "CMakeFiles/mantra_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/mantra_net.dir/prefix.cpp.o"
+  "CMakeFiles/mantra_net.dir/prefix.cpp.o.d"
+  "CMakeFiles/mantra_net.dir/topology.cpp.o"
+  "CMakeFiles/mantra_net.dir/topology.cpp.o.d"
+  "libmantra_net.a"
+  "libmantra_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantra_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantra_pim.dir/pim.cpp.o"
+  "CMakeFiles/mantra_pim.dir/pim.cpp.o.d"
+  "libmantra_pim.a"
+  "libmantra_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantra_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/router/cli.cpp" "src/router/CMakeFiles/mantra_router.dir/cli.cpp.o" "gcc" "src/router/CMakeFiles/mantra_router.dir/cli.cpp.o.d"
+  "/root/repo/src/router/mfc.cpp" "src/router/CMakeFiles/mantra_router.dir/mfc.cpp.o" "gcc" "src/router/CMakeFiles/mantra_router.dir/mfc.cpp.o.d"
+  "/root/repo/src/router/mtrace.cpp" "src/router/CMakeFiles/mantra_router.dir/mtrace.cpp.o" "gcc" "src/router/CMakeFiles/mantra_router.dir/mtrace.cpp.o.d"
+  "/root/repo/src/router/network.cpp" "src/router/CMakeFiles/mantra_router.dir/network.cpp.o" "gcc" "src/router/CMakeFiles/mantra_router.dir/network.cpp.o.d"
+  "/root/repo/src/router/router.cpp" "src/router/CMakeFiles/mantra_router.dir/router.cpp.o" "gcc" "src/router/CMakeFiles/mantra_router.dir/router.cpp.o.d"
+  "/root/repo/src/router/unicast.cpp" "src/router/CMakeFiles/mantra_router.dir/unicast.cpp.o" "gcc" "src/router/CMakeFiles/mantra_router.dir/unicast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mantra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mantra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/igmp/CMakeFiles/mantra_igmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvmrp/CMakeFiles/mantra_dvmrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/mantra_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbgp/CMakeFiles/mantra_mbgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/msdp/CMakeFiles/mantra_msdp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantra_router.dir/cli.cpp.o"
+  "CMakeFiles/mantra_router.dir/cli.cpp.o.d"
+  "CMakeFiles/mantra_router.dir/mfc.cpp.o"
+  "CMakeFiles/mantra_router.dir/mfc.cpp.o.d"
+  "CMakeFiles/mantra_router.dir/mtrace.cpp.o"
+  "CMakeFiles/mantra_router.dir/mtrace.cpp.o.d"
+  "CMakeFiles/mantra_router.dir/network.cpp.o"
+  "CMakeFiles/mantra_router.dir/network.cpp.o.d"
+  "CMakeFiles/mantra_router.dir/router.cpp.o"
+  "CMakeFiles/mantra_router.dir/router.cpp.o.d"
+  "CMakeFiles/mantra_router.dir/unicast.cpp.o"
+  "CMakeFiles/mantra_router.dir/unicast.cpp.o.d"
+  "libmantra_router.a"
+  "libmantra_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantra_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

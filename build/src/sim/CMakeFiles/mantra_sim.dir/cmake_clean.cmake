@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantra_sim.dir/engine.cpp.o"
+  "CMakeFiles/mantra_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mantra_sim.dir/random.cpp.o"
+  "CMakeFiles/mantra_sim.dir/random.cpp.o.d"
+  "CMakeFiles/mantra_sim.dir/time.cpp.o"
+  "CMakeFiles/mantra_sim.dir/time.cpp.o.d"
+  "libmantra_sim.a"
+  "libmantra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

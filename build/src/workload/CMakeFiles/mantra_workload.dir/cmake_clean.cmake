@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantra_workload.dir/generator.cpp.o"
+  "CMakeFiles/mantra_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/mantra_workload.dir/scenario.cpp.o"
+  "CMakeFiles/mantra_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/mantra_workload.dir/session.cpp.o"
+  "CMakeFiles/mantra_workload.dir/session.cpp.o.d"
+  "libmantra_workload.a"
+  "libmantra_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantra_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_log_test.dir/core_log_test.cpp.o"
+  "CMakeFiles/core_log_test.dir/core_log_test.cpp.o.d"
+  "core_log_test"
+  "core_log_test.pdb"
+  "core_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

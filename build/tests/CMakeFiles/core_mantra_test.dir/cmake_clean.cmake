@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mantra_test.dir/core_mantra_test.cpp.o"
+  "CMakeFiles/core_mantra_test.dir/core_mantra_test.cpp.o.d"
+  "core_mantra_test"
+  "core_mantra_test.pdb"
+  "core_mantra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mantra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

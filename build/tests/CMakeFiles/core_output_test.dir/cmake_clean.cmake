@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_output_test.dir/core_output_test.cpp.o"
+  "CMakeFiles/core_output_test.dir/core_output_test.cpp.o.d"
+  "core_output_test"
+  "core_output_test.pdb"
+  "core_output_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_output_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

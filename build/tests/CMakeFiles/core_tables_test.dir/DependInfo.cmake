@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_tables_test.cpp" "tests/CMakeFiles/core_tables_test.dir/core_tables_test.cpp.o" "gcc" "tests/CMakeFiles/core_tables_test.dir/core_tables_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mantra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/mantra_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/igmp/CMakeFiles/mantra_igmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvmrp/CMakeFiles/mantra_dvmrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/mantra_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbgp/CMakeFiles/mantra_mbgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/msdp/CMakeFiles/mantra_msdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mantra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mantra_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tables_test.dir/core_tables_test.cpp.o"
+  "CMakeFiles/core_tables_test.dir/core_tables_test.cpp.o.d"
+  "core_tables_test"
+  "core_tables_test.pdb"
+  "core_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbgp_test.dir/mbgp_test.cpp.o"
+  "CMakeFiles/mbgp_test.dir/mbgp_test.cpp.o.d"
+  "mbgp_test"
+  "mbgp_test.pdb"
+  "mbgp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbgp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

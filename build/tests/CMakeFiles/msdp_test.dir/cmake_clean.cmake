@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msdp_test.dir/msdp_test.cpp.o"
+  "CMakeFiles/msdp_test.dir/msdp_test.cpp.o.d"
+  "msdp_test"
+  "msdp_test.pdb"
+  "msdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtrace_test.dir/mtrace_test.cpp.o"
+  "CMakeFiles/mtrace_test.dir/mtrace_test.cpp.o.d"
+  "mtrace_test"
+  "mtrace_test.pdb"
+  "mtrace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

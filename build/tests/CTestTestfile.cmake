@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/igmp_test[1]_include.cmake")
+include("/root/repo/build/tests/dvmrp_test[1]_include.cmake")
+include("/root/repo/build/tests/pim_test[1]_include.cmake")
+include("/root/repo/build/tests/mbgp_test[1]_include.cmake")
+include("/root/repo/build/tests/msdp_test[1]_include.cmake")
+include("/root/repo/build/tests/router_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/core_tables_test[1]_include.cmake")
+include("/root/repo/build/tests/core_parse_test[1]_include.cmake")
+include("/root/repo/build/tests/core_log_test[1]_include.cmake")
+include("/root/repo/build/tests/core_process_test[1]_include.cmake")
+include("/root/repo/build/tests/core_output_test[1]_include.cmake")
+include("/root/repo/build/tests/core_mantra_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/mtrace_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
