@@ -6,16 +6,25 @@
 // Runs the trace-scale FIXW scenario with the transition scheduled mid-run,
 // monitors both collection points, and emits the paper's series as CSV plus
 // overlaid ASCII charts — the terminal equivalent of Mantra's web applets.
+//
+// Pass a nonzero failure rate as the second argument to collect over a
+// faulty telnet path (the paper's reality): failed captures carry the
+// previous cycle's tables forward and the overview reports target health.
+//
+//   $ ./examples/fixw_monitor 14 0.2     (14 days, 20% command failures)
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "core/mantra.hpp"
+#include "core/transport.hpp"
 #include "workload/scenario.hpp"
 
 using namespace mantra;
 
 int main(int argc, char** argv) {
   const int days = argc > 1 ? std::atoi(argv[1]) : 14;
+  const double failure_rate = argc > 2 ? std::atof(argv[2]) : 0.0;
 
   workload::ScenarioConfig config;
   config.seed = 1998;
@@ -36,7 +45,12 @@ int main(int argc, char** argv) {
 
   core::MantraConfig monitor_config;
   monitor_config.cycle = sim::Duration::minutes(30);
-  core::Mantra mantra(scenario.engine(), monitor_config);
+  std::unique_ptr<core::Transport> transport;
+  if (failure_rate > 0.0) {
+    transport = std::make_unique<core::FaultInjectingTransport>(
+        config.seed, core::FaultProfile::command_failure_rate(failure_rate));
+  }
+  core::Mantra mantra(scenario.engine(), monitor_config, std::move(transport));
   mantra.add_target(scenario.network().router(scenario.fixw_node()));
   mantra.add_target(scenario.network().router(scenario.ucsb_node()));
 
@@ -78,6 +92,24 @@ int main(int argc, char** argv) {
 
   std::printf("=== Mantra overview (latest cycle) ===\n\n%s\n",
               mantra.overview().render().c_str());
+
+  if (failure_rate > 0.0) {
+    for (const std::string& name : mantra.target_names()) {
+      const core::Mantra::TargetView view = mantra.target_view(name);
+      std::size_t stale_cycles = 0;
+      std::size_t failed_commands = 0;
+      for (const core::CycleResult& result : view.results()) {
+        if (result.stale) ++stale_cycles;
+        failed_commands += result.collection_failures;
+      }
+      std::printf("collection health at %s: %s (%zu/%zu cycles stale, "
+                  "%zu failed commands, %zu dark cycles pending)\n",
+                  name.c_str(), core::to_string(view.health()),
+                  stale_cycles, view.results().size(), failed_commands,
+                  view.consecutive_failures());
+    }
+    std::printf("\n");
+  }
 
   // CSV export for external plotting (the archive Mantra kept for off-line
   // analysis).

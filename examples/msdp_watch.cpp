@@ -59,9 +59,10 @@ int main() {
 
   // Feed the scrape through the production parser, as a monitoring cycle
   // would.
-  const auto captures = core::Collector().capture(*ucsb, scenario.engine().now());
-  for (const core::RawCapture& capture : captures) {
-    if (capture.command != "show ip msdp sa-cache") continue;
+  const core::CaptureReport report =
+      core::Collector().capture(*ucsb, scenario.engine().now());
+  for (const core::RawCapture& capture : report.captures) {
+    if (capture.command != "show ip msdp sa-cache" || !capture.ok()) continue;
     const auto outcome = core::parse_msdp_sa_cache(capture.clean_text);
     std::printf("parser: %zu SA rows, %zu warnings\n", outcome.table.size(),
                 outcome.warnings.size());

@@ -93,13 +93,19 @@ int main() {
   }
 
   // Show a slice of what the collector actually scrapes.
-  const auto captures = core::Collector().capture(
+  const core::CaptureReport report = core::Collector().capture(
       *scenario.network().router(scenario.fixw_node()), scenario.engine().now());
   std::printf("\n=== Raw capture (first 12 lines of 'show ip dvmrp route') ===\n\n");
-  int lines = 0;
-  for (char c : captures[1].clean_text) {
-    std::putchar(c);
-    if (c == '\n' && ++lines == 12) break;
+  const core::RawCapture* dvmrp = report.find("show ip dvmrp route");
+  if (dvmrp != nullptr && dvmrp->ok()) {
+    int lines = 0;
+    for (char c : dvmrp->clean_text) {
+      std::putchar(c);
+      if (c == '\n' && ++lines == 12) break;
+    }
+  } else {
+    std::printf("(capture %s)\n",
+                dvmrp ? core::to_string(dvmrp->status) : "missing");
   }
   return 0;
 }

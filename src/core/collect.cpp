@@ -1,10 +1,51 @@
 #include "core/collect.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "router/cli.hpp"
 
 namespace mantra::core {
+
+const char* to_string(CaptureStatus status) {
+  switch (status) {
+    case CaptureStatus::ok: return "ok";
+    case CaptureStatus::truncated: return "truncated";
+    case CaptureStatus::failed: return "failed";
+    case CaptureStatus::invalid_command: return "invalid-command";
+  }
+  return "unknown";
+}
+
+bool CaptureReport::all_ok() const {
+  return connected &&
+         std::all_of(captures.begin(), captures.end(),
+                     [](const RawCapture& c) { return c.ok(); });
+}
+
+std::size_t CaptureReport::ok_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(captures.begin(), captures.end(),
+                    [](const RawCapture& c) { return c.ok(); }));
+}
+
+std::size_t CaptureReport::failure_count() const {
+  return captures.size() - ok_count();
+}
+
+const RawCapture* CaptureReport::find(std::string_view command) const {
+  for (const RawCapture& capture : captures) {
+    if (capture.command == command) return &capture;
+  }
+  return nullptr;
+}
+
+sim::Duration RetryPolicy::backoff_before(std::size_t retry, sim::Rng& rng) const {
+  double delay = initial_backoff.total_seconds() *
+                 std::pow(backoff_multiplier, static_cast<double>(retry - 1));
+  if (jitter > 0.0) delay *= 1.0 + rng.uniform(-jitter, jitter);
+  return sim::Duration::from_seconds(std::max(delay, 0.0));
+}
 
 const std::vector<std::string>& default_command_set() {
   static const std::vector<std::string> commands = {
@@ -72,20 +113,98 @@ std::string preprocess(std::string_view raw) {
   return out;
 }
 
-std::vector<RawCapture> Collector::capture(const router::MulticastRouter& router,
-                                           sim::TimePoint now) const {
-  std::vector<RawCapture> out;
-  out.reserve(commands_.size());
+Collector::Collector(std::vector<std::string> commands, RetryPolicy policy,
+                     std::unique_ptr<Transport> transport)
+    : commands_(std::move(commands)),
+      policy_(policy),
+      transport_(transport ? std::move(transport)
+                           : std::make_unique<CliTransport>()),
+      jitter_rng_(policy.jitter_seed) {}
+
+CaptureReport Collector::capture(const router::MulticastRouter& router,
+                                 sim::TimePoint now) {
+  CaptureReport report;
+  report.captures.reserve(commands_.size());
+  const std::size_t max_attempts = std::max<std::size_t>(policy_.max_attempts, 1);
+
+  // Establish the session, retrying with backoff.
+  TransportResult session;
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    session = transport_->connect(router, now);
+    ++report.attempts;
+    report.latency += session.latency;
+    if (session.ok()) {
+      report.connected = true;
+      break;
+    }
+    if (attempt < max_attempts) {
+      report.latency += policy_.backoff_before(attempt, jitter_rng_);
+    }
+  }
+  if (!report.connected) {
+    // The router is dark this cycle: every command is reported failed so
+    // callers see exactly which tables they are missing.
+    for (const std::string& command : commands_) {
+      RawCapture capture;
+      capture.router_name = router.hostname();
+      capture.command = command;
+      capture.captured = now;
+      capture.status = CaptureStatus::failed;
+      capture.transport_status = session.status;
+      report.captures.push_back(std::move(capture));
+    }
+    return report;
+  }
+
   for (const std::string& command : commands_) {
     RawCapture capture;
     capture.router_name = router.hostname();
     capture.command = command;
     capture.captured = now;
-    capture.raw_text = router::cli::telnet_capture(router, command, now);
-    capture.clean_text = preprocess(capture.raw_text);
-    out.push_back(std::move(capture));
+
+    for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      TransportResult result = transport_->execute(router, command, now);
+      ++report.attempts;
+      capture.attempts = attempt;
+      capture.latency += result.latency;
+      capture.transport_status = result.status;
+      capture.raw_text = std::move(result.text);
+      capture.clean_text.clear();
+
+      const bool over_deadline = result.latency > policy_.command_deadline;
+      if (result.status == TransportStatus::ok && !over_deadline) {
+        if (router::cli::is_invalid_command_output(capture.raw_text)) {
+          // The router understood us well enough to reject the command;
+          // retrying cannot help.
+          capture.status = CaptureStatus::invalid_command;
+          break;
+        }
+        capture.status = CaptureStatus::ok;
+        capture.clean_text = preprocess(capture.raw_text);
+        break;
+      }
+
+      if (result.status == TransportStatus::ok && over_deadline) {
+        capture.transport_status = TransportStatus::deadline_exceeded;
+        capture.status = CaptureStatus::failed;
+      } else if (result.status == TransportStatus::truncated) {
+        // Keep the partial dump for the archive, preprocessed for humans,
+        // but never hand it to the parsers as a complete table.
+        capture.status = CaptureStatus::truncated;
+        capture.clean_text = preprocess(capture.raw_text);
+      } else {
+        capture.status = CaptureStatus::failed;
+      }
+      if (attempt < max_attempts) {
+        capture.latency += policy_.backoff_before(attempt, jitter_rng_);
+      }
+    }
+
+    report.latency += capture.latency;
+    report.captures.push_back(std::move(capture));
   }
-  return out;
+  transport_->disconnect();
+  return report;
 }
 
 }  // namespace mantra::core

@@ -2,24 +2,84 @@
 // pre-processes it (strips the telnet transcript noise — banners, password
 // prompts, command echoes, carriage returns, excess blank lines) into text
 // the Router-Table Processor can parse.
+//
+// Collection is fallible by design: every capture goes through a Transport
+// session that can refuse the connection, hang at login, truncate a dump,
+// garble the transcript, or answer too slowly. The collector retries with
+// exponential backoff and reports a per-command CaptureStatus instead of
+// pretending every scrape succeeded.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/transport.hpp"
 #include "router/router.hpp"
+#include "sim/random.hpp"
 #include "sim/time.hpp"
 
 namespace mantra::core {
+
+/// Outcome of one command's capture after all retries.
+enum class CaptureStatus {
+  ok,               ///< clean transcript, safe to parse
+  truncated,        ///< partial dump survived; do not trust the table
+  failed,           ///< no usable transcript (refused/garbled/too slow)
+  invalid_command,  ///< router answered "% Invalid input"
+};
+
+[[nodiscard]] const char* to_string(CaptureStatus status);
 
 /// One raw capture from one command on one router.
 struct RawCapture {
   std::string router_name;
   std::string command;
   sim::TimePoint captured;
-  std::string raw_text;   ///< full telnet transcript, untouched
-  std::string clean_text; ///< after preprocess()
+  std::string raw_text;   ///< full telnet transcript, untouched (may be partial)
+  std::string clean_text; ///< after preprocess(); empty unless status is ok
+                          ///< or truncated
+  CaptureStatus status = CaptureStatus::ok;
+  TransportStatus transport_status = TransportStatus::ok;  ///< last attempt
+  std::size_t attempts = 0;  ///< command attempts made (0 if never connected)
+  sim::Duration latency;     ///< total simulated time incl. retries/backoff
+
+  [[nodiscard]] bool ok() const { return status == CaptureStatus::ok; }
+};
+
+/// The structured result of one collection pass over a router: one
+/// RawCapture per configured command (always, even when the session never
+/// came up — there is no silent-success path), plus session-level facts.
+struct CaptureReport {
+  std::vector<RawCapture> captures;
+  bool connected = false;    ///< a session was established (maybe after retries)
+  std::size_t attempts = 0;  ///< total connect + command attempts
+  sim::Duration latency;     ///< total simulated collection time incl. backoff
+
+  [[nodiscard]] bool all_ok() const;
+  [[nodiscard]] std::size_t ok_count() const;
+  [[nodiscard]] std::size_t failure_count() const;  ///< captures not ok
+  /// The capture for `command`, or nullptr if it was not in the command set.
+  [[nodiscard]] const RawCapture* find(std::string_view command) const;
+};
+
+/// Retry/backoff policy for one collection pass. Delays are expressed in
+/// sim::Duration so they compose with the engine clock; jitter is drawn from
+/// a collector-owned seeded RNG so a run is reproducible.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;  ///< per connect and per command, >= 1
+  sim::Duration initial_backoff = sim::Duration::seconds(1);
+  double backoff_multiplier = 2.0;  ///< >= 1
+  double jitter = 0.25;             ///< +/- fraction of each backoff, in [0, 1)
+  sim::Duration command_deadline = sim::Duration::seconds(30);
+  std::uint64_t jitter_seed = 0x6d616e747261;  ///< "mantra"
+
+  /// Backoff before retry number `retry` (1-based): initial * multiplier^(retry-1),
+  /// scaled by a jitter factor drawn from `rng`.
+  [[nodiscard]] sim::Duration backoff_before(std::size_t retry,
+                                             sim::Rng& rng) const;
 };
 
 /// The fixed command set Mantra runs each cycle (the paper's tables map to
@@ -33,18 +93,26 @@ struct RawCapture {
 
 class Collector {
  public:
-  explicit Collector(std::vector<std::string> commands = default_command_set())
-      : commands_(std::move(commands)) {}
+  /// A null `transport` means the default CliTransport.
+  explicit Collector(std::vector<std::string> commands = default_command_set(),
+                     RetryPolicy policy = {},
+                     std::unique_ptr<Transport> transport = nullptr);
 
-  /// Runs the full command set against one router, capturing and
-  /// preprocessing each output.
-  [[nodiscard]] std::vector<RawCapture> capture(
-      const router::MulticastRouter& router, sim::TimePoint now) const;
+  /// Runs the full command set against one router over one transport
+  /// session, retrying per the policy, capturing and preprocessing each
+  /// output. Never throws on collection failure — failures are statuses.
+  [[nodiscard]] CaptureReport capture(const router::MulticastRouter& router,
+                                      sim::TimePoint now);
 
   [[nodiscard]] const std::vector<std::string>& commands() const { return commands_; }
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+  [[nodiscard]] Transport& transport() { return *transport_; }
 
  private:
   std::vector<std::string> commands_;
+  RetryPolicy policy_;
+  std::unique_ptr<Transport> transport_;
+  sim::Rng jitter_rng_;
 };
 
 }  // namespace mantra::core

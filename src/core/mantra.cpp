@@ -5,15 +5,63 @@
 
 namespace mantra::core {
 
+const char* to_string(TargetHealth health) {
+  switch (health) {
+    case TargetHealth::Healthy: return "healthy";
+    case TargetHealth::Degraded: return "degraded";
+    case TargetHealth::Unreachable: return "unreachable";
+  }
+  return "unknown";
+}
+
+void MantraConfig::validate() const {
+  if (cycle <= sim::Duration()) {
+    throw std::invalid_argument("MantraConfig.cycle must be > 0");
+  }
+  if (sender_threshold_kbps < 0.0) {
+    throw std::invalid_argument("MantraConfig.sender_threshold_kbps must be >= 0");
+  }
+  if (spike_window < 2) {
+    throw std::invalid_argument("MantraConfig.spike_window must be >= 2");
+  }
+  if (spike_k <= 0.0) {
+    throw std::invalid_argument("MantraConfig.spike_k must be > 0");
+  }
+  if (retry.max_attempts == 0) {
+    throw std::invalid_argument("MantraConfig.retry.max_attempts must be >= 1");
+  }
+  if (retry.initial_backoff < sim::Duration()) {
+    throw std::invalid_argument("MantraConfig.retry.initial_backoff must be >= 0");
+  }
+  if (retry.backoff_multiplier < 1.0) {
+    throw std::invalid_argument("MantraConfig.retry.backoff_multiplier must be >= 1");
+  }
+  if (retry.jitter < 0.0 || retry.jitter >= 1.0) {
+    throw std::invalid_argument("MantraConfig.retry.jitter must be in [0, 1)");
+  }
+  if (retry.command_deadline <= sim::Duration()) {
+    throw std::invalid_argument("MantraConfig.retry.command_deadline must be > 0");
+  }
+  if (unreachable_after == 0) {
+    throw std::invalid_argument("MantraConfig.unreachable_after must be >= 1");
+  }
+}
+
 Mantra::Mantra(sim::Engine& engine, MantraConfig config)
+    : Mantra(engine, std::move(config), nullptr) {}
+
+Mantra::Mantra(sim::Engine& engine, MantraConfig config,
+               std::unique_ptr<Transport> transport)
     : engine_(engine),
-      config_(config),
+      config_((config.validate(), std::move(config))),
+      collector_(default_command_set(), config_.retry, std::move(transport)),
       cycle_timer_(engine, config_.cycle, [this] { run_cycle_now(); }) {}
 
 void Mantra::add_target(const router::MulticastRouter* target) {
   auto state = std::make_unique<TargetState>(config_.logger, config_.spike_window,
                                              config_.spike_k);
   state->router = target;
+  state->name = target->hostname();
   targets_[target->hostname()] = std::move(state);
 }
 
@@ -26,34 +74,66 @@ void Mantra::run_cycle_now() {
 
 void Mantra::run_target_cycle(TargetState& target) {
   const sim::TimePoint now = engine_.now();
-  const std::vector<RawCapture> captures = collector_.capture(*target.router, now);
+  const CaptureReport report = collector_.capture(*target.router, now);
+
+  if (!report.connected || report.ok_count() == 0) {
+    // Fully dark: no usable capture at all. Skip the cycle — the previous
+    // snapshot and statistics stand — and escalate the health state.
+    ++target.consecutive_failures;
+    target.health = target.consecutive_failures >= config_.unreachable_after
+                        ? TargetHealth::Unreachable
+                        : TargetHealth::Degraded;
+    return;
+  }
 
   Snapshot snapshot;
   snapshot.router_name = target.router->hostname();
   snapshot.captured = now;
   std::size_t warnings = 0;
+  std::size_t stale_tables = 0;
 
-  for (const RawCapture& capture : captures) {
-    if (capture.command == "show ip mroute count") {
-      auto parsed = parse_mroute_count(capture.clean_text);
-      warnings += parsed.warnings.size();
-      snapshot.pairs = std::move(parsed.table);
-    } else if (capture.command == "show ip dvmrp route") {
-      auto parsed = parse_dvmrp_route(capture.clean_text);
-      warnings += parsed.warnings.size();
-      snapshot.routes = std::move(parsed.table);
-    } else if (capture.command == "show ip msdp sa-cache") {
-      auto parsed = parse_msdp_sa_cache(capture.clean_text);
-      warnings += parsed.warnings.size();
-      snapshot.sa_cache = std::move(parsed.table);
-    } else if (capture.command == "show ip mbgp") {
-      auto parsed = parse_mbgp(capture.clean_text);
-      warnings += parsed.warnings.size();
-      snapshot.mbgp_routes = std::move(parsed.table);
-    }
-    // "show ip igmp groups" is captured for the archive; host-level
-    // membership detail is not part of the cycle statistics.
+  // Parse each table from its capture when the capture is clean; otherwise
+  // carry the previous snapshot's table forward so the cycle's statistics
+  // degrade to stale values instead of collapsing to zero.
+  const auto ok_capture = [&report](std::string_view command) -> const RawCapture* {
+    const RawCapture* capture = report.find(command);
+    return capture != nullptr && capture->ok() ? capture : nullptr;
+  };
+
+  if (const RawCapture* capture = ok_capture("show ip mroute count")) {
+    auto parsed = parse_mroute_count(capture->clean_text);
+    warnings += parsed.warnings.size();
+    snapshot.pairs = std::move(parsed.table);
+  } else {
+    snapshot.pairs = target.latest.pairs;
+    ++stale_tables;
   }
+  if (const RawCapture* capture = ok_capture("show ip dvmrp route")) {
+    auto parsed = parse_dvmrp_route(capture->clean_text);
+    warnings += parsed.warnings.size();
+    snapshot.routes = std::move(parsed.table);
+  } else {
+    snapshot.routes = target.latest.routes;
+    ++stale_tables;
+  }
+  if (const RawCapture* capture = ok_capture("show ip msdp sa-cache")) {
+    auto parsed = parse_msdp_sa_cache(capture->clean_text);
+    warnings += parsed.warnings.size();
+    snapshot.sa_cache = std::move(parsed.table);
+  } else {
+    snapshot.sa_cache = target.latest.sa_cache;
+    ++stale_tables;
+  }
+  if (const RawCapture* capture = ok_capture("show ip mbgp")) {
+    auto parsed = parse_mbgp(capture->clean_text);
+    warnings += parsed.warnings.size();
+    snapshot.mbgp_routes = std::move(parsed.table);
+  } else {
+    snapshot.mbgp_routes = target.latest.mbgp_routes;
+    ++stale_tables;
+  }
+  // "show ip igmp groups" is captured for the archive; host-level
+  // membership detail is not part of the cycle statistics.
 
   snapshot.participants =
       derive_participants(snapshot.pairs, config_.sender_threshold_kbps);
@@ -86,6 +166,16 @@ void Mantra::run_target_cycle(TargetState& target) {
   result.density_at_most_two_fraction = density.fraction_at_most_two;
   result.density_top_share_80 = density.top_session_share_for_80pct;
 
+  result.stale_tables = stale_tables;
+  result.stale = stale_tables > 0;
+  result.collection_failures = report.failure_count();
+  result.consecutive_failures = target.consecutive_failures;
+  result.capture_attempts = report.attempts;
+  result.collection_latency = report.latency;
+
+  target.consecutive_failures = 0;
+  target.health = report.all_ok() ? TargetHealth::Healthy : TargetHealth::Degraded;
+
   target.results.push_back(result);
   target.latest = std::move(snapshot);
 }
@@ -96,6 +186,32 @@ const Mantra::TargetState& Mantra::target(std::string_view router_name) const {
     throw std::out_of_range("unknown monitoring target: " + std::string(router_name));
   }
   return *it->second;
+}
+
+Mantra::TargetView Mantra::target_view(std::string_view router_name) const {
+  return TargetView(target(router_name));
+}
+
+const std::string& Mantra::TargetView::name() const { return state_->name; }
+
+const std::vector<CycleResult>& Mantra::TargetView::results() const {
+  return state_->results;
+}
+
+const DataLogger& Mantra::TargetView::logger() const { return state_->logger; }
+
+const RouteMonitor& Mantra::TargetView::route_monitor() const {
+  return state_->route_monitor;
+}
+
+const Snapshot& Mantra::TargetView::latest_snapshot() const {
+  return state_->latest;
+}
+
+TargetHealth Mantra::TargetView::health() const { return state_->health; }
+
+std::size_t Mantra::TargetView::consecutive_failures() const {
+  return state_->consecutive_failures;
 }
 
 const std::vector<CycleResult>& Mantra::results(std::string_view router_name) const {
@@ -178,23 +294,26 @@ SummaryTable Mantra::top_senders(std::string_view router_name,
 }
 
 SummaryTable Mantra::overview() const {
-  SummaryTable table({"router", "sessions", "participants", "active", "senders",
-                      "kbps", "dvmrp_routes", "sa_entries", "mbgp_routes"});
+  SummaryTable table({"router", "health", "sessions", "participants", "active",
+                      "senders", "kbps", "dvmrp_routes", "sa_entries",
+                      "mbgp_routes", "stale"});
   char buffer[64];
   for (const auto& [name, target] : targets_) {
     if (target->results.empty()) {
-      table.add_row({name});
+      table.add_row({name, to_string(target->health)});
       continue;
     }
     const CycleResult& last = target->results.back();
     std::snprintf(buffer, sizeof buffer, "%.1f", last.usage.bandwidth_kbps);
-    table.add_row({name, std::to_string(last.usage.sessions),
+    table.add_row({name, to_string(target->health),
+                   std::to_string(last.usage.sessions),
                    std::to_string(last.usage.participants),
                    std::to_string(last.usage.active_sessions),
                    std::to_string(last.usage.senders), buffer,
                    std::to_string(last.dvmrp_routes),
                    std::to_string(last.sa_entries),
-                   std::to_string(last.mbgp_routes)});
+                   std::to_string(last.mbgp_routes),
+                   last.stale ? "yes" : "no"});
   }
   return table;
 }

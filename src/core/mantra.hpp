@@ -3,6 +3,11 @@
 // table format -> log (deltas) -> process into statistics -> expose results
 // as time series and summary tables. Also implements the paper's §V future
 // work: concurrent multi-router collection with aggregated results.
+//
+// Collection is allowed to fail (see core/transport.hpp). A failed command
+// keeps the previous snapshot's table for that protocol and marks the cycle
+// stale; a fully dark router is skipped for the cycle and its health state
+// (Healthy/Degraded/Unreachable) is tracked per target.
 #pragma once
 
 #include <functional>
@@ -16,10 +21,19 @@
 #include "core/output.hpp"
 #include "core/parse.hpp"
 #include "core/process.hpp"
+#include "core/transport.hpp"
 #include "router/router.hpp"
 #include "sim/engine.hpp"
 
 namespace mantra::core {
+
+/// Per-target collection health, derived from recent cycle outcomes:
+/// Healthy (last cycle fully clean), Degraded (partial failures, or dark
+/// but not yet past the unreachable threshold), Unreachable (N consecutive
+/// fully dark cycles). Any fully clean cycle returns the target to Healthy.
+enum class TargetHealth { Healthy, Degraded, Unreachable };
+
+[[nodiscard]] const char* to_string(TargetHealth health);
 
 struct MantraConfig {
   sim::Duration cycle = sim::Duration::minutes(15);
@@ -28,6 +42,14 @@ struct MantraConfig {
   /// Route-count spike detection (Fig 9 debugging aid).
   std::size_t spike_window = 48;
   double spike_k = 10.0;
+  /// Collection retry/backoff policy, applied per connect and per command.
+  RetryPolicy retry;
+  /// Consecutive fully dark cycles before a target is marked Unreachable.
+  std::size_t unreachable_after = 3;
+
+  /// Sanity-checks every field; throws std::invalid_argument naming the
+  /// offending field. Called by the Mantra constructor.
+  void validate() const;
 };
 
 /// One monitoring cycle's processed results for one router.
@@ -46,11 +68,46 @@ struct CycleResult {
   double density_single_fraction = 0.0;
   double density_at_most_two_fraction = 0.0;
   double density_top_share_80 = 1.0;
+  // --- Collection-failure accounting ---
+  bool stale = false;  ///< at least one table carried forward from the
+                       ///< previous snapshot (never zero-valued on failure)
+  std::size_t stale_tables = 0;        ///< tables carried forward this cycle
+  std::size_t collection_failures = 0; ///< commands that did not capture ok
+  /// Fully dark cycles skipped since the previous recorded result.
+  std::size_t consecutive_failures = 0;
+  std::size_t capture_attempts = 0;    ///< connect + command attempts
+  sim::Duration collection_latency;    ///< simulated time incl. backoff
 };
 
 class Mantra {
+  struct TargetState;
+
  public:
+  /// Read-only facade over everything Mantra knows about one target:
+  /// results, logger, route monitor, latest snapshot, and health. The view
+  /// borrows from the Mantra instance and is invalidated by its destruction.
+  class TargetView {
+   public:
+    [[nodiscard]] const std::string& name() const;
+    [[nodiscard]] const std::vector<CycleResult>& results() const;
+    [[nodiscard]] const DataLogger& logger() const;
+    [[nodiscard]] const RouteMonitor& route_monitor() const;
+    [[nodiscard]] const Snapshot& latest_snapshot() const;
+    [[nodiscard]] TargetHealth health() const;
+    /// Fully dark cycles in a row as of now (0 while collection works).
+    [[nodiscard]] std::size_t consecutive_failures() const;
+
+   private:
+    friend class Mantra;
+    explicit TargetView(const TargetState& state) : state_(&state) {}
+    const TargetState* state_;
+  };
+
   Mantra(sim::Engine& engine, MantraConfig config);
+  /// As above with an explicit collection transport (e.g. a
+  /// FaultInjectingTransport); null falls back to the default CliTransport.
+  Mantra(sim::Engine& engine, MantraConfig config,
+         std::unique_ptr<Transport> transport);
 
   /// Registers a router to monitor. The pointer must outlive the monitor.
   void add_target(const router::MulticastRouter* target);
@@ -63,7 +120,13 @@ class Mantra {
   /// calls).
   void run_cycle_now();
 
+  /// The single per-target accessor; throws std::out_of_range for unknown
+  /// names.
+  [[nodiscard]] TargetView target_view(std::string_view router_name) const;
+
   // --- Per-router results ---
+  // Deprecated forwarders: prefer target_view(name).<accessor>(). Kept for
+  // one PR to ease migration.
   [[nodiscard]] const std::vector<CycleResult>& results(
       std::string_view router_name) const;
   [[nodiscard]] const DataLogger& logger(std::string_view router_name) const;
@@ -86,7 +149,7 @@ class Mantra {
   /// Top senders by rate.
   [[nodiscard]] SummaryTable top_senders(std::string_view router_name,
                                          std::size_t limit = 20) const;
-  /// Per-target one-row overview (routes, sessions, bandwidth).
+  /// Per-target one-row overview (health, routes, sessions, bandwidth).
   [[nodiscard]] SummaryTable overview() const;
 
   [[nodiscard]] std::size_t target_count() const { return targets_.size(); }
@@ -96,11 +159,14 @@ class Mantra {
  private:
   struct TargetState {
     const router::MulticastRouter* router = nullptr;
+    std::string name;
     DataLogger logger;
     RouteMonitor route_monitor;
     SpikeDetector spike_detector;
     std::vector<CycleResult> results;
     Snapshot latest;
+    TargetHealth health = TargetHealth::Healthy;
+    std::size_t consecutive_failures = 0;  ///< fully dark cycles in a row
 
     TargetState(const LoggerConfig& logger_config, std::size_t spike_window,
                 double spike_k)

@@ -1,0 +1,143 @@
+#include "core/transport.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "router/cli.hpp"
+
+namespace mantra::core {
+
+const char* to_string(TransportStatus status) {
+  switch (status) {
+    case TransportStatus::ok: return "ok";
+    case TransportStatus::connection_refused: return "connection-refused";
+    case TransportStatus::login_timeout: return "login-timeout";
+    case TransportStatus::truncated: return "truncated";
+    case TransportStatus::garbled: return "garbled";
+    case TransportStatus::deadline_exceeded: return "deadline-exceeded";
+  }
+  return "unknown";
+}
+
+TransportResult CliTransport::connect(const router::MulticastRouter& /*router*/,
+                                      sim::TimePoint /*now*/) {
+  TransportResult result;
+  result.latency = latency_;
+  return result;
+}
+
+TransportResult CliTransport::execute(const router::MulticastRouter& router,
+                                      std::string_view command,
+                                      sim::TimePoint now) {
+  TransportResult result;
+  result.text = router::cli::telnet_capture(router, command, now);
+  result.latency = latency_;
+  return result;
+}
+
+FaultProfile FaultProfile::command_failure_rate(double p) {
+  FaultProfile profile;
+  profile.connect_refused_p = p / 4.0;
+  profile.truncate_p = p / 2.0;
+  profile.garble_p = p / 4.0;
+  profile.slow_p = p / 4.0;
+  return profile;
+}
+
+TransportResult FaultInjectingTransport::connect(
+    const router::MulticastRouter& /*router*/, sim::TimePoint /*now*/) {
+  ++operations_;
+  TransportResult result;
+  // Fixed roll order so a given seed always produces the same schedule.
+  const bool refused = rng_.bernoulli(profile_.connect_refused_p);
+  const bool hung = rng_.bernoulli(profile_.login_timeout_p);
+  if (refused) {
+    ++faults_;
+    result.status = TransportStatus::connection_refused;
+    result.latency = profile_.base_latency;
+    return result;
+  }
+  if (hung) {
+    ++faults_;
+    result.status = TransportStatus::login_timeout;
+    result.latency = profile_.login_latency;
+    return result;
+  }
+  connected_ = true;
+  result.latency = profile_.base_latency;
+  return result;
+}
+
+std::string FaultInjectingTransport::truncate(std::string text) {
+  if (text.size() < 2) return text;
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(text.size()) * rng_.uniform(0.15, 0.85));
+  text.resize(std::max<std::size_t>(cut, 1));
+  return text;
+}
+
+std::string FaultInjectingTransport::garble(const std::string& text) {
+  // Interleave garbage between transcript lines: stray control bytes, hex
+  // noise, and re-echoed fragments of earlier lines — the classic symptoms
+  // of two sessions writing to one tty.
+  std::string out;
+  out.reserve(text.size() + text.size() / 4);
+  std::string previous_line;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    out.append(line);
+    out.push_back('\n');
+    if (rng_.bernoulli(0.3)) {
+      char noise[48];
+      std::snprintf(noise, sizeof noise, "\x07!%08llx%s\n",
+                    static_cast<unsigned long long>(
+                        rng_.uniform_int(0, 0x7fffffff)),
+                    previous_line.substr(0, previous_line.size() / 2).c_str());
+      out.append(noise);
+    }
+    previous_line = line;
+  }
+  return out;
+}
+
+TransportResult FaultInjectingTransport::execute(
+    const router::MulticastRouter& router, std::string_view command,
+    sim::TimePoint now) {
+  ++operations_;
+  TransportResult result;
+  result.text = router::cli::telnet_capture(router, command, now);
+  result.latency = profile_.base_latency;
+  if (!connected_) {
+    // Session was never established; the dump never arrives.
+    ++faults_;
+    result.status = TransportStatus::connection_refused;
+    result.text.clear();
+    return result;
+  }
+  // Fixed roll order (truncate, garble, slow); first hit wins so every
+  // failed command has exactly one unambiguous cause.
+  const bool truncated = rng_.bernoulli(profile_.truncate_p);
+  const bool garbled = rng_.bernoulli(profile_.garble_p);
+  const bool slow = rng_.bernoulli(profile_.slow_p);
+  if (truncated) {
+    ++faults_;
+    result.status = TransportStatus::truncated;
+    result.text = truncate(std::move(result.text));
+  } else if (garbled) {
+    ++faults_;
+    result.status = TransportStatus::garbled;
+    result.text = garble(result.text);
+  } else if (slow) {
+    // The dump itself is intact; it just arrives past any sane deadline.
+    // The collector compares latency against its policy and decides.
+    ++faults_;
+    result.latency = profile_.slow_latency;
+  }
+  return result;
+}
+
+}  // namespace mantra::core

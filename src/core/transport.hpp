@@ -1,0 +1,149 @@
+// Collection transport (§III): the session layer between the Data Collector
+// and a router's CLI. The paper's expect scripts spoke telnet to production
+// routers and failed in every way a 1998 WAN could arrange — refused
+// connections, hung logins, dumps cut off mid-table, garbage interleaved in
+// the transcript, responses too slow to be useful. The Transport interface
+// models that session (connect -> execute* -> disconnect) so the Collector
+// can retry, time out, and degrade instead of trusting every byte.
+//
+// Two implementations:
+//   * CliTransport — the default; wraps cli::telnet_capture and never fails
+//     (the simulator's routers always answer).
+//   * FaultInjectingTransport — deterministic failure injection driven by a
+//     seeded sim::Rng, for exercising the fallible collection path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "router/router.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace mantra::core {
+
+/// What happened to one transport operation (a login or one command).
+enum class TransportStatus {
+  ok,
+  connection_refused,  ///< session could not be established
+  login_timeout,       ///< login exchange hung past its deadline
+  truncated,           ///< output cut off mid-dump
+  garbled,             ///< garbage/interleaved lines in the transcript
+  deadline_exceeded,   ///< response slower than the per-command deadline
+};
+
+[[nodiscard]] const char* to_string(TransportStatus status);
+
+/// True for statuses that mean no session exists (retry must reconnect).
+[[nodiscard]] inline bool is_session_failure(TransportStatus status) {
+  return status == TransportStatus::connection_refused ||
+         status == TransportStatus::login_timeout;
+}
+
+/// Outcome of one transport operation. `text` may be partial (truncated) or
+/// corrupted (garbled); callers must check `status` before trusting it.
+struct TransportResult {
+  TransportStatus status = TransportStatus::ok;
+  std::string text;
+  sim::Duration latency;  ///< simulated round-trip for this operation
+
+  [[nodiscard]] bool ok() const { return status == TransportStatus::ok; }
+};
+
+/// A login session to one router: connect -> execute* -> disconnect.
+///
+/// Latencies are simulated bookkeeping (the collector runs synchronously
+/// inside one engine event); they feed the retry policy's deadline checks
+/// and the per-cycle collection-latency statistics.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Establishes a session. `status` is ok, connection_refused, or
+  /// login_timeout; `latency` covers the whole login exchange.
+  [[nodiscard]] virtual TransportResult connect(
+      const router::MulticastRouter& router, sim::TimePoint now) = 0;
+
+  /// Runs one command over the established session and returns the raw
+  /// transcript (banners, echoes, prompts included — preprocessing is the
+  /// collector's job).
+  [[nodiscard]] virtual TransportResult execute(
+      const router::MulticastRouter& router, std::string_view command,
+      sim::TimePoint now) = 0;
+
+  virtual void disconnect() = 0;
+};
+
+/// Default transport: wraps cli::telnet_capture. Always succeeds with a
+/// fixed per-operation latency.
+class CliTransport : public Transport {
+ public:
+  explicit CliTransport(
+      sim::Duration latency = sim::Duration::milliseconds(120))
+      : latency_(latency) {}
+
+  TransportResult connect(const router::MulticastRouter& router,
+                          sim::TimePoint now) override;
+  TransportResult execute(const router::MulticastRouter& router,
+                          std::string_view command, sim::TimePoint now) override;
+  void disconnect() override {}
+
+ private:
+  sim::Duration latency_;
+};
+
+/// Failure probabilities and timing for FaultInjectingTransport. All
+/// probabilities are independent per operation; exactly one failure mode is
+/// applied per command (rolled in a fixed order: truncate, garble, slow).
+struct FaultProfile {
+  double connect_refused_p = 0.0;  ///< per connect attempt
+  double login_timeout_p = 0.0;    ///< per connect attempt
+  double truncate_p = 0.0;         ///< per command: dump cut off mid-table
+  double garble_p = 0.0;           ///< per command: garbage interleaved
+  double slow_p = 0.0;             ///< per command: response exceeds deadline
+
+  sim::Duration base_latency = sim::Duration::milliseconds(120);
+  sim::Duration login_latency = sim::Duration::seconds(10);  ///< hung login
+  sim::Duration slow_latency = sim::Duration::seconds(90);   ///< slow response
+
+  /// A profile whose total per-command failure probability is roughly `p`
+  /// (split across truncation, garbling, and slowness), with `p/4` of
+  /// connect attempts refused.
+  [[nodiscard]] static FaultProfile command_failure_rate(double p);
+};
+
+/// Deterministic fault injection: wraps the real CLI renderers and corrupts
+/// the session per a seeded sim::Rng. The same seed and the same sequence of
+/// operations always yield the same failure schedule.
+class FaultInjectingTransport : public Transport {
+ public:
+  FaultInjectingTransport(std::uint64_t seed, FaultProfile profile)
+      : rng_(seed), profile_(profile) {}
+
+  TransportResult connect(const router::MulticastRouter& router,
+                          sim::TimePoint now) override;
+  TransportResult execute(const router::MulticastRouter& router,
+                          std::string_view command, sim::TimePoint now) override;
+  void disconnect() override { connected_ = false; }
+
+  /// Swaps the failure profile mid-run (e.g. to take a router dark and then
+  /// bring it back). Does not reseed the RNG.
+  void set_profile(const FaultProfile& profile) { profile_ = profile; }
+  [[nodiscard]] const FaultProfile& profile() const { return profile_; }
+
+  [[nodiscard]] std::uint64_t faults_injected() const { return faults_; }
+  [[nodiscard]] std::uint64_t operations() const { return operations_; }
+
+ private:
+  [[nodiscard]] std::string truncate(std::string text);
+  [[nodiscard]] std::string garble(const std::string& text);
+
+  sim::Rng rng_;
+  FaultProfile profile_;
+  bool connected_ = false;
+  std::uint64_t faults_ = 0;
+  std::uint64_t operations_ = 0;
+};
+
+}  // namespace mantra::core

@@ -220,6 +220,10 @@ std::string show_ip_igmp_groups(const MulticastRouter& router, sim::TimePoint no
   return out.str();
 }
 
+bool is_invalid_command_output(std::string_view raw) {
+  return raw.find(kInvalidInputMarker) != std::string_view::npos;
+}
+
 std::string execute_show(const MulticastRouter& router, std::string_view command,
                          sim::TimePoint now) {
   if (command == "show ip dvmrp route") return show_ip_dvmrp_route(router, now);

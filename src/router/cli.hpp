@@ -42,6 +42,14 @@ namespace mantra::router::cli {
 [[nodiscard]] std::string show_ip_igmp_groups(const MulticastRouter& router,
                                               sim::TimePoint now);
 
+/// The IOS rejection marker emitted for unknown commands.
+inline constexpr std::string_view kInvalidInputMarker = "% Invalid input";
+
+/// True when a transcript contains the "% Invalid input" rejection marker —
+/// the collector maps such captures to CaptureStatus::invalid_command
+/// instead of letting the rejection text through as parseable output.
+[[nodiscard]] bool is_invalid_command_output(std::string_view raw);
+
 /// Command dispatch; unknown commands produce the IOS "% Invalid input"
 /// marker (the collector treats that as a failed capture).
 [[nodiscard]] std::string execute_show(const MulticastRouter& router,

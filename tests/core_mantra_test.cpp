@@ -38,6 +38,11 @@ class MantraPipeline : public ::testing::Test {
                                  sim::Duration::hours(hours));
   }
 
+  void run_minutes(int minutes) {
+    scenario_.engine().run_until(scenario_.engine().now() +
+                                 sim::Duration::minutes(minutes));
+  }
+
   workload::FixwScenario scenario_;
   std::unique_ptr<Mantra> monitor_;
 };
@@ -125,6 +130,183 @@ TEST_F(MantraPipeline, StopHaltsCycles) {
   const std::size_t cycles = monitor_->results("fixw").size();
   run_hours(1);
   EXPECT_EQ(monitor_->results("fixw").size(), cycles);
+}
+
+TEST_F(MantraPipeline, TargetViewConsolidatesAccessors) {
+  run_hours(2);
+  const Mantra::TargetView view = monitor_->target_view("fixw");
+  EXPECT_EQ(view.name(), "fixw");
+  EXPECT_EQ(&view.results(), &monitor_->results("fixw"));
+  EXPECT_EQ(&view.logger(), &monitor_->logger("fixw"));
+  EXPECT_EQ(&view.route_monitor(), &monitor_->route_monitor("fixw"));
+  EXPECT_EQ(&view.latest_snapshot(), &monitor_->latest_snapshot("fixw"));
+  EXPECT_EQ(view.health(), TargetHealth::Healthy);
+  EXPECT_EQ(view.consecutive_failures(), 0u);
+  EXPECT_THROW(monitor_->target_view("nonesuch"), std::out_of_range);
+}
+
+TEST_F(MantraPipeline, CleanCollectionIsNeverStale) {
+  run_hours(2);
+  for (const CycleResult& result : monitor_->target_view("fixw").results()) {
+    EXPECT_FALSE(result.stale);
+    EXPECT_EQ(result.stale_tables, 0u);
+    EXPECT_EQ(result.collection_failures, 0u);
+    EXPECT_EQ(result.consecutive_failures, 0u);
+    EXPECT_GT(result.capture_attempts, 0u);
+    EXPECT_GT(result.collection_latency.total_ms(), 0);
+  }
+}
+
+TEST_F(MantraPipeline, OverviewReportsHealth) {
+  run_hours(1);
+  const SummaryTable overview = monitor_->overview();
+  const auto health_column = overview.column_index("health");
+  ASSERT_TRUE(health_column.has_value());
+  for (const auto& row : overview.rows()) {
+    EXPECT_EQ(row[*health_column], "healthy");
+  }
+}
+
+TEST_F(MantraPipeline, HealthTransitionsAreObservable) {
+  MantraConfig config;
+  config.cycle = sim::Duration::minutes(15);
+  config.unreachable_after = 2;
+  auto owned = std::make_unique<FaultInjectingTransport>(7, FaultProfile{});
+  FaultInjectingTransport* faults = owned.get();
+  Mantra faulty(scenario_.engine(), config, std::move(owned));
+  faulty.add_target(scenario_.network().router(scenario_.fixw_node()));
+  faulty.start();
+
+  run_hours(1);
+  EXPECT_EQ(faulty.target_view("fixw").health(), TargetHealth::Healthy);
+  const std::size_t clean_cycles = faulty.target_view("fixw").results().size();
+  EXPECT_GT(clean_cycles, 0u);
+
+  // Take the router dark: the first dark cycle degrades the target, the
+  // second (== unreachable_after) marks it unreachable; dark cycles record
+  // no results.
+  FaultProfile dark;
+  dark.connect_refused_p = 1.0;
+  faults->set_profile(dark);
+  run_minutes(15);
+  EXPECT_EQ(faulty.target_view("fixw").health(), TargetHealth::Degraded);
+  EXPECT_EQ(faulty.target_view("fixw").consecutive_failures(), 1u);
+  run_minutes(15);
+  EXPECT_EQ(faulty.target_view("fixw").health(), TargetHealth::Unreachable);
+  EXPECT_EQ(faulty.target_view("fixw").consecutive_failures(), 2u);
+  EXPECT_EQ(faulty.target_view("fixw").results().size(), clean_cycles);
+
+  // Recovery: the next clean cycle returns the target to Healthy and its
+  // result records how many dark cycles were skipped.
+  faults->set_profile(FaultProfile{});
+  run_minutes(15);
+  EXPECT_EQ(faulty.target_view("fixw").health(), TargetHealth::Healthy);
+  EXPECT_EQ(faulty.target_view("fixw").consecutive_failures(), 0u);
+  const auto& results = faulty.target_view("fixw").results();
+  ASSERT_EQ(results.size(), clean_cycles + 1);
+  EXPECT_EQ(results.back().consecutive_failures, 2u);
+}
+
+TEST_F(MantraPipeline, FaultyCollectionDegradesGracefully) {
+  // The acceptance run: 20% command-failure rate, retries disabled so every
+  // fault surfaces. The faulty monitor rides the same scenario as the
+  // fault-free fixture monitor, so every clean capture it makes is
+  // byte-identical to the fixture's at the same instant.
+  MantraConfig config;
+  config.cycle = sim::Duration::minutes(15);
+  config.retry.max_attempts = 1;
+  Mantra faulty(scenario_.engine(), config,
+                std::make_unique<FaultInjectingTransport>(
+                    99, FaultProfile::command_failure_rate(0.2)));
+  faulty.add_target(scenario_.network().router(scenario_.fixw_node()));
+  faulty.start();
+
+  run_hours(6);
+
+  const auto& clean = monitor_->results("fixw");
+  const auto& degraded = faulty.target_view("fixw").results();
+  ASSERT_FALSE(clean.empty());
+  ASSERT_FALSE(degraded.empty());
+  // Dark cycles may be skipped, never invented.
+  EXPECT_LE(degraded.size(), clean.size());
+
+  std::size_t stale_cycles = 0;
+  bool seen_routes = false;
+  for (const CycleResult& result : degraded) {
+    if (result.stale) ++stale_cycles;
+    EXPECT_EQ(result.stale, result.stale_tables > 0);
+    EXPECT_GE(result.collection_failures, result.stale_tables);
+
+    // Stale-carry-forward bound: every per-cycle statistic must equal the
+    // fault-free run's value at this cycle or at some earlier cycle — a
+    // failed capture repeats old truth, it never fabricates or zeroes.
+    bool sessions_ok = false;
+    bool routes_ok = false;
+    for (const CycleResult& reference : clean) {
+      if (reference.t > result.t) break;
+      if (reference.usage.sessions == result.usage.sessions) sessions_ok = true;
+      if (reference.dvmrp_routes == result.dvmrp_routes) routes_ok = true;
+    }
+    EXPECT_TRUE(sessions_ok) << "sessions value outside stale-carry-forward "
+                                "bounds at " << result.t.to_string();
+    EXPECT_TRUE(routes_ok) << "route count outside stale-carry-forward "
+                              "bounds at " << result.t.to_string();
+
+    // Once populated, carried-forward tables never collapse to zero.
+    if (result.dvmrp_routes > 0) {
+      seen_routes = true;
+    } else {
+      EXPECT_FALSE(seen_routes)
+          << "dvmrp routes zeroed after being populated at "
+          << result.t.to_string();
+    }
+  }
+  EXPECT_TRUE(seen_routes);
+  EXPECT_GT(stale_cycles, 0u);
+
+  const TargetHealth health = faulty.target_view("fixw").health();
+  EXPECT_TRUE(health == TargetHealth::Healthy || health == TargetHealth::Degraded ||
+              health == TargetHealth::Unreachable);
+}
+
+TEST(MantraConfigValidate, RejectsBadFieldsWithNamedMessages) {
+  sim::Engine engine;
+  const auto expect_reject = [&engine](const std::function<void(MantraConfig&)>& mutate,
+                                       std::string_view field) {
+    MantraConfig config;
+    mutate(config);
+    try {
+      Mantra monitor(engine, config);
+      FAIL() << "expected rejection of bad " << field;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string_view(error.what()).find(field),
+                std::string_view::npos)
+          << "message should name " << field << ", got: " << error.what();
+    }
+  };
+
+  expect_reject([](MantraConfig& c) { c.cycle = sim::Duration(); }, "cycle");
+  expect_reject([](MantraConfig& c) { c.sender_threshold_kbps = -1.0; },
+                "sender_threshold_kbps");
+  expect_reject([](MantraConfig& c) { c.spike_window = 1; }, "spike_window");
+  expect_reject([](MantraConfig& c) { c.spike_k = 0.0; }, "spike_k");
+  expect_reject([](MantraConfig& c) { c.retry.max_attempts = 0; },
+                "retry.max_attempts");
+  expect_reject(
+      [](MantraConfig& c) { c.retry.initial_backoff = sim::Duration::seconds(-1); },
+      "retry.initial_backoff");
+  expect_reject([](MantraConfig& c) { c.retry.backoff_multiplier = 0.5; },
+                "retry.backoff_multiplier");
+  expect_reject([](MantraConfig& c) { c.retry.jitter = 1.5; }, "retry.jitter");
+  expect_reject([](MantraConfig& c) { c.retry.command_deadline = sim::Duration(); },
+                "retry.command_deadline");
+  expect_reject([](MantraConfig& c) { c.unreachable_after = 0; },
+                "unreachable_after");
+}
+
+TEST(MantraConfigValidate, AcceptsDefaults) {
+  sim::Engine engine;
+  EXPECT_NO_THROW(Mantra(engine, MantraConfig{}));
 }
 
 TEST_F(MantraPipeline, RouteInjectionFlagsSpike) {

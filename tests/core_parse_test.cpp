@@ -33,6 +33,31 @@ TEST(Preprocess, CollapsesBlankRuns) {
 
 TEST(Preprocess, EmptyInput) { EXPECT_EQ(preprocess(""), ""); }
 
+TEST(Preprocess, CrlfOnlyLinesCollapseToNothing) {
+  EXPECT_EQ(preprocess("\r\n\r\n\r\n"), "");
+  // CRLF-only runs between data lines collapse to one blank line.
+  EXPECT_EQ(preprocess("a\r\n\r\n\r\n\r\nb\r\n"), "a\n\nb\n");
+}
+
+TEST(Preprocess, TruncatedFinalLineWithoutNewline) {
+  EXPECT_EQ(preprocess("complete line\npartial li"), "complete line\npartial li\n");
+  EXPECT_EQ(preprocess("only partial"), "only partial\n");
+}
+
+TEST(Preprocess, PromptLookalikeDataLinesAreKept) {
+  // '>' embedded mid-token is data, not a prompt.
+  EXPECT_EQ(preprocess("a>b rest of line\n"), "a>b rest of line\n");
+  // A token with non-hostname characters before '>' is data.
+  EXPECT_EQ(preprocess("(*,G)> entry\n"), "(*,G)> entry\n");
+  // A real prompt-echo line is still stripped.
+  EXPECT_EQ(preprocess("fixw> show ip mbgp\n*> 10.0.0.0/16 x\n"),
+            "*> 10.0.0.0/16 x\n");
+}
+
+TEST(Preprocess, WhitespaceOnlyInput) {
+  EXPECT_EQ(preprocess("   \t \n \r\n"), "");
+}
+
 // --- parse_uptime --------------------------------------------------------------
 
 TEST(ParseUptime, Forms) {
@@ -173,11 +198,11 @@ class RoundTrip : public ::testing::Test {
 };
 
 TEST_F(RoundTrip, DvmrpTableSurvivesScrapeAndParse) {
-  const auto captures = Collector().capture(*network_.router(r1_), engine_.now());
-  std::string dvmrp_text;
-  for (const RawCapture& capture : captures) {
-    if (capture.command == "show ip dvmrp route") dvmrp_text = capture.clean_text;
-  }
+  const CaptureReport report = Collector().capture(*network_.router(r1_), engine_.now());
+  ASSERT_TRUE(report.all_ok());
+  const RawCapture* capture = report.find("show ip dvmrp route");
+  ASSERT_NE(capture, nullptr);
+  const std::string dvmrp_text = capture->clean_text;
   const auto outcome = parse_dvmrp_route(dvmrp_text);
   EXPECT_TRUE(outcome.warnings.empty());
   // Parsed route count matches the router's actual table.
@@ -192,11 +217,11 @@ TEST_F(RoundTrip, MrouteCountSurvivesScrapeAndParse) {
                       router::MfcMode::kDense);
   engine_.run_until(engine_.now() + sim::Duration::minutes(10));
 
-  const auto captures = Collector().capture(*network_.router(r1_), engine_.now());
-  std::string text;
-  for (const RawCapture& capture : captures) {
-    if (capture.command == "show ip mroute count") text = capture.clean_text;
-  }
+  const CaptureReport report = Collector().capture(*network_.router(r1_), engine_.now());
+  ASSERT_TRUE(report.all_ok());
+  const RawCapture* capture = report.find("show ip mroute count");
+  ASSERT_NE(capture, nullptr);
+  const std::string text = capture->clean_text;
   const auto outcome = parse_mroute_count(text);
   EXPECT_TRUE(outcome.warnings.empty());
   ASSERT_EQ(outcome.table.size(), 1u);
@@ -207,10 +232,15 @@ TEST_F(RoundTrip, MrouteCountSurvivesScrapeAndParse) {
 }
 
 TEST_F(RoundTrip, CaptureRecordsRawAndCleanText) {
-  const auto captures = Collector().capture(*network_.router(r1_), engine_.now());
-  ASSERT_EQ(captures.size(), default_command_set().size());
-  for (const RawCapture& capture : captures) {
+  const CaptureReport report = Collector().capture(*network_.router(r1_), engine_.now());
+  ASSERT_EQ(report.captures.size(), default_command_set().size());
+  EXPECT_TRUE(report.connected);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.failure_count(), 0u);
+  for (const RawCapture& capture : report.captures) {
     EXPECT_EQ(capture.router_name, "r1");
+    EXPECT_EQ(capture.status, CaptureStatus::ok);
+    EXPECT_EQ(capture.attempts, 1u);
     EXPECT_NE(capture.raw_text.find("Password:"), std::string::npos);
     EXPECT_EQ(capture.clean_text.find("Password:"), std::string::npos);
   }

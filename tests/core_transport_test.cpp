@@ -1,0 +1,222 @@
+// Fault-tolerant collection transport: retry/backoff, per-command capture
+// statuses, and deterministic fault injection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/collect.hpp"
+#include "core/transport.hpp"
+#include "router/cli.hpp"
+#include "router/network.hpp"
+
+namespace mantra::core {
+namespace {
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest() : rng_(7), network_(engine_, topo_, rng_, router::NetworkConfig{}) {
+    r1_ = topo_.add_router("r1");
+    r2_ = topo_.add_router("r2");
+    topo_.connect(r1_, r2_, *net::Prefix::parse("192.168.0.0/30"));
+    const auto lan = topo_.create_lan(*net::Prefix::parse("10.1.1.0/24"));
+    topo_.attach_to_lan(r1_, lan);
+
+    router::RouterConfig config;
+    config.dvmrp_enabled = true;
+    config.dvmrp.timers_enabled = false;
+    config.igmp.timers_enabled = false;
+    network_.add_router(r1_, config);
+    network_.add_router(r2_, config);
+    network_.start();
+    network_.router(r1_)->dvmrp()->send_reports_now();
+    engine_.run_until(engine_.now() + sim::Duration::seconds(2));
+  }
+
+  [[nodiscard]] const router::MulticastRouter& r1() const {
+    return *network_.router(r1_);
+  }
+
+  sim::Engine engine_;
+  sim::Rng rng_;
+  net::Topology topo_;
+  router::Network network_;
+  net::NodeId r1_, r2_;
+};
+
+TEST_F(TransportTest, CliTransportSessionSucceeds) {
+  CliTransport transport;
+  const TransportResult login = transport.connect(r1(), engine_.now());
+  EXPECT_TRUE(login.ok());
+  const TransportResult result =
+      transport.execute(r1(), "show ip dvmrp route", engine_.now());
+  EXPECT_TRUE(result.ok());
+  EXPECT_NE(result.text.find("DVMRP Routing Table"), std::string::npos);
+  EXPECT_GT(result.latency.total_ms(), 0);
+}
+
+TEST_F(TransportTest, ConnectRefusalFailsEveryCommandAfterRetries) {
+  FaultProfile profile;
+  profile.connect_refused_p = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Collector collector(default_command_set(), policy,
+                      std::make_unique<FaultInjectingTransport>(1, profile));
+
+  const CaptureReport report = collector.capture(r1(), engine_.now());
+  EXPECT_FALSE(report.connected);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.attempts, 3u);  // three connect attempts, no commands
+  ASSERT_EQ(report.captures.size(), default_command_set().size());
+  EXPECT_EQ(report.failure_count(), report.captures.size());
+  for (const RawCapture& capture : report.captures) {
+    EXPECT_EQ(capture.status, CaptureStatus::failed);
+    EXPECT_EQ(capture.transport_status, TransportStatus::connection_refused);
+    EXPECT_EQ(capture.attempts, 0u);
+    EXPECT_TRUE(capture.raw_text.empty());
+  }
+}
+
+TEST_F(TransportTest, InvalidCommandIsNotRetriedAndNotParseable) {
+  Collector collector({"show ip bogus nonsense", "show ip dvmrp route"});
+  const CaptureReport report = collector.capture(r1(), engine_.now());
+  ASSERT_EQ(report.captures.size(), 2u);
+
+  const RawCapture& bogus = report.captures[0];
+  EXPECT_EQ(bogus.status, CaptureStatus::invalid_command);
+  EXPECT_EQ(bogus.attempts, 1u);  // rejection is definitive; no retry
+  EXPECT_TRUE(router::cli::is_invalid_command_output(bogus.raw_text));
+  EXPECT_TRUE(bogus.clean_text.empty());  // never offered to the parsers
+
+  const RawCapture& good = report.captures[1];
+  EXPECT_EQ(good.status, CaptureStatus::ok);
+  EXPECT_EQ(report.failure_count(), 1u);
+  EXPECT_FALSE(report.all_ok());
+}
+
+TEST_F(TransportTest, TruncationSurfacesPartialDumpAfterRetries) {
+  FaultProfile profile;
+  profile.truncate_p = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  Collector collector({"show ip dvmrp route"}, policy,
+                      std::make_unique<FaultInjectingTransport>(2, profile));
+
+  const CaptureReport report = collector.capture(r1(), engine_.now());
+  EXPECT_TRUE(report.connected);
+  ASSERT_EQ(report.captures.size(), 1u);
+  const RawCapture& capture = report.captures[0];
+  EXPECT_EQ(capture.status, CaptureStatus::truncated);
+  EXPECT_EQ(capture.attempts, 2u);
+
+  const std::string full =
+      router::cli::telnet_capture(r1(), "show ip dvmrp route", engine_.now());
+  EXPECT_LT(capture.raw_text.size(), full.size());
+  EXPECT_FALSE(capture.raw_text.empty());
+}
+
+TEST_F(TransportTest, SlowResponseExceedsDeadline) {
+  FaultProfile profile;
+  profile.slow_p = 1.0;
+  profile.slow_latency = sim::Duration::seconds(90);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.command_deadline = sim::Duration::seconds(30);
+  Collector collector({"show ip dvmrp route"}, policy,
+                      std::make_unique<FaultInjectingTransport>(3, profile));
+
+  const CaptureReport report = collector.capture(r1(), engine_.now());
+  ASSERT_EQ(report.captures.size(), 1u);
+  EXPECT_EQ(report.captures[0].status, CaptureStatus::failed);
+  EXPECT_EQ(report.captures[0].transport_status,
+            TransportStatus::deadline_exceeded);
+  EXPECT_EQ(report.captures[0].attempts, 2u);
+}
+
+TEST_F(TransportTest, GarbledTranscriptFails) {
+  FaultProfile profile;
+  profile.garble_p = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  Collector collector({"show ip dvmrp route"}, policy,
+                      std::make_unique<FaultInjectingTransport>(4, profile));
+
+  const CaptureReport report = collector.capture(r1(), engine_.now());
+  ASSERT_EQ(report.captures.size(), 1u);
+  EXPECT_EQ(report.captures[0].status, CaptureStatus::failed);
+  EXPECT_EQ(report.captures[0].transport_status, TransportStatus::garbled);
+  // The corrupted transcript is longer than the clean one (interleaved noise).
+  const std::string full =
+      router::cli::telnet_capture(r1(), "show ip dvmrp route", engine_.now());
+  EXPECT_GT(report.captures[0].raw_text.size(), full.size());
+}
+
+TEST_F(TransportTest, BackoffScheduleIsExactWithoutJitter) {
+  FaultProfile profile;
+  profile.truncate_p = 1.0;
+  profile.base_latency = sim::Duration::milliseconds(100);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = sim::Duration::seconds(1);
+  policy.backoff_multiplier = 2.0;
+  policy.jitter = 0.0;
+  Collector collector({"show ip dvmrp route"}, policy,
+                      std::make_unique<FaultInjectingTransport>(5, profile));
+
+  const CaptureReport report = collector.capture(r1(), engine_.now());
+  ASSERT_EQ(report.captures.size(), 1u);
+  // 3 attempts x 100ms, plus backoffs of 1s then 2s between them.
+  EXPECT_EQ(report.captures[0].latency.total_ms(), 3 * 100 + 1000 + 2000);
+}
+
+TEST_F(TransportTest, SameSeedSameFailureSchedule) {
+  const FaultProfile profile = FaultProfile::command_failure_rate(0.4);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+
+  const auto run = [&](std::uint64_t seed) {
+    Collector collector(default_command_set(), policy,
+                        std::make_unique<FaultInjectingTransport>(seed, profile));
+    std::vector<std::pair<CaptureStatus, std::size_t>> schedule;
+    std::vector<std::int64_t> latencies;
+    for (int cycle = 0; cycle < 12; ++cycle) {
+      const CaptureReport report = collector.capture(r1(), engine_.now());
+      for (const RawCapture& capture : report.captures) {
+        schedule.emplace_back(capture.status, capture.attempts);
+        latencies.push_back(capture.latency.total_ms());
+      }
+    }
+    return std::make_pair(schedule, latencies);
+  };
+
+  const auto a = run(42);
+  const auto b = run(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+
+  // The schedule actually contains failures (the profile is not a no-op).
+  bool any_failure = false;
+  for (const auto& [status, attempts] : a.first) {
+    if (status != CaptureStatus::ok) any_failure = true;
+  }
+  EXPECT_TRUE(any_failure);
+}
+
+TEST_F(TransportTest, ReportFindAndHelpers) {
+  Collector collector;
+  const CaptureReport report = collector.capture(r1(), engine_.now());
+  EXPECT_NE(report.find("show ip mbgp"), nullptr);
+  EXPECT_EQ(report.find("no such command"), nullptr);
+  EXPECT_EQ(report.ok_count() + report.failure_count(), report.captures.size());
+}
+
+TEST(FaultProfileTest, CommandFailureRateSplitsBudget) {
+  const FaultProfile profile = FaultProfile::command_failure_rate(0.2);
+  EXPECT_DOUBLE_EQ(profile.truncate_p, 0.1);
+  EXPECT_DOUBLE_EQ(profile.garble_p, 0.05);
+  EXPECT_DOUBLE_EQ(profile.slow_p, 0.05);
+  EXPECT_DOUBLE_EQ(profile.connect_refused_p, 0.05);
+}
+
+}  // namespace
+}  // namespace mantra::core
