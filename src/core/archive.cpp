@@ -1,0 +1,732 @@
+#include "core/archive.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace mantra::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4352414Du;  // "MARC" little-endian
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kFrameBytes = 8;  // length:u32 + crc:u32
+/// Corruption guard: a garbage length field must not trigger a huge read.
+constexpr std::uint32_t kMaxRecordBytes = 256u * 1024 * 1024;
+
+constexpr std::uint8_t kKindKeyframe = 1;
+constexpr std::uint8_t kKindDelta = 2;
+
+// --- CRC-32 ----------------------------------------------------------------
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// --- Encoding primitives ---------------------------------------------------
+
+void put_u32(std::string& out, std::uint32_t value) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
+  out.append(bytes, 4);
+}
+
+void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80u) {
+    out.push_back(static_cast<char>(value | 0x80u));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+void put_svarint(std::string& out, std::int64_t value) {
+  // ZigZag: small magnitudes (either sign) encode short.
+  put_varint(out, (static_cast<std::uint64_t>(value) << 1) ^
+                      static_cast<std::uint64_t>(value >> 63));
+}
+
+void put_f64(std::string& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(bits >> (8 * i));
+  out.append(bytes, 8);
+}
+
+void put_string(std::string& out, const std::string& value) {
+  put_varint(out, value.size());
+  out.append(value);
+}
+
+/// Bounds-checked decode cursor over a payload. Overruns throw; the reader
+/// converts a throw into tail truncation, so a corrupt payload that somehow
+/// passed CRC still cannot crash the process.
+struct Cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > size) throw std::runtime_error("archive payload overrun");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[pos + i]))
+               << (8 * i);
+    }
+    pos += 4;
+    return value;
+  }
+  std::uint64_t varint() {
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t byte = u8();
+      value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+      if ((byte & 0x80u) == 0) return value;
+    }
+    throw std::runtime_error("archive varint too long");
+  }
+  std::int64_t svarint() {
+    const std::uint64_t raw = varint();
+    return static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  }
+  double f64() {
+    need(8);
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[pos + i]))
+              << (8 * i);
+    }
+    pos += 8;
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+  }
+  std::string string() {
+    const std::uint64_t length = varint();
+    need(length);
+    std::string out(data + pos, length);
+    pos += length;
+    return out;
+  }
+};
+
+// --- Row codecs ------------------------------------------------------------
+// Rows are visited in key order, so keys delta-encode against the previous
+// row in the sequence (the paper's varint + delta trick applied at the byte
+// level: consecutive sources/prefixes are numerically close).
+
+std::int64_t delta_of(std::uint32_t value, std::uint32_t& prev) {
+  const std::int64_t d = static_cast<std::int64_t>(value) - prev;
+  prev = value;
+  return d;
+}
+
+std::uint32_t undelta(std::int64_t d, std::uint32_t& prev) {
+  prev = static_cast<std::uint32_t>(static_cast<std::int64_t>(prev) + d);
+  return prev;
+}
+
+struct KeyChain {
+  std::uint32_t a = 0;  ///< source / prefix address
+  std::uint32_t b = 0;  ///< group (pair-keyed rows only)
+};
+
+void encode_pair_key(std::string& out, const PairRow::Key& key, KeyChain& chain) {
+  put_svarint(out, delta_of(key.first.value(), chain.a));
+  put_svarint(out, delta_of(key.second.value(), chain.b));
+}
+
+PairRow::Key decode_pair_key(Cursor& in, KeyChain& chain) {
+  const std::uint32_t source = undelta(in.svarint(), chain.a);
+  const std::uint32_t group = undelta(in.svarint(), chain.b);
+  return {net::Ipv4Address(source), net::Ipv4Address(group)};
+}
+
+void encode_prefix_key(std::string& out, const net::Prefix& key, KeyChain& chain) {
+  put_svarint(out, delta_of(key.address().value(), chain.a));
+  out.push_back(static_cast<char>(key.length()));
+}
+
+net::Prefix decode_prefix_key(Cursor& in, KeyChain& chain) {
+  const std::uint32_t address = undelta(in.svarint(), chain.a);
+  const int length = in.u8();
+  if (length > 32) throw std::runtime_error("archive prefix length out of range");
+  return net::Prefix(net::Ipv4Address(address), length);
+}
+
+void encode_row(std::string& out, const PairRow& row, KeyChain& chain) {
+  encode_pair_key(out, row.key(), chain);
+  put_f64(out, row.current_kbps);
+  put_f64(out, row.average_kbps);
+  put_varint(out, row.packets);
+  put_svarint(out, row.uptime.total_ms());
+}
+
+PairRow decode_row_pair(Cursor& in, KeyChain& chain) {
+  PairRow row;
+  const PairRow::Key key = decode_pair_key(in, chain);
+  row.source = key.first;
+  row.group = key.second;
+  row.current_kbps = in.f64();
+  row.average_kbps = in.f64();
+  row.packets = in.varint();
+  row.uptime = sim::Duration::milliseconds(in.svarint());
+  return row;
+}
+
+void encode_row(std::string& out, const RouteRow& row, KeyChain& chain) {
+  encode_prefix_key(out, row.prefix, chain);
+  put_varint(out, row.next_hop.value());
+  put_string(out, row.interface);
+  put_svarint(out, row.metric);
+  put_svarint(out, row.uptime.total_ms());
+  out.push_back(row.holddown ? 1 : 0);
+}
+
+RouteRow decode_row_route(Cursor& in, KeyChain& chain) {
+  RouteRow row;
+  row.prefix = decode_prefix_key(in, chain);
+  row.next_hop = net::Ipv4Address(static_cast<std::uint32_t>(in.varint()));
+  row.interface = in.string();
+  row.metric = static_cast<int>(in.svarint());
+  row.uptime = sim::Duration::milliseconds(in.svarint());
+  row.holddown = in.u8() != 0;
+  return row;
+}
+
+void encode_row(std::string& out, const SaRow& row, KeyChain& chain) {
+  encode_pair_key(out, row.key(), chain);
+  put_varint(out, row.origin_rp.value());
+  put_varint(out, row.via_peer.value());
+  put_svarint(out, row.age.total_ms());
+}
+
+SaRow decode_row_sa(Cursor& in, KeyChain& chain) {
+  SaRow row;
+  const SaRow::Key key = decode_pair_key(in, chain);
+  row.source = key.first;
+  row.group = key.second;
+  row.origin_rp = net::Ipv4Address(static_cast<std::uint32_t>(in.varint()));
+  row.via_peer = net::Ipv4Address(static_cast<std::uint32_t>(in.varint()));
+  row.age = sim::Duration::milliseconds(in.svarint());
+  return row;
+}
+
+void encode_row(std::string& out, const MbgpRow& row, KeyChain& chain) {
+  encode_prefix_key(out, row.prefix, chain);
+  put_varint(out, row.next_hop.value());
+  put_string(out, row.as_path);
+}
+
+MbgpRow decode_row_mbgp(Cursor& in, KeyChain& chain) {
+  MbgpRow row;
+  row.prefix = decode_prefix_key(in, chain);
+  row.next_hop = net::Ipv4Address(static_cast<std::uint32_t>(in.varint()));
+  row.as_path = in.string();
+  return row;
+}
+
+// --- Table / delta codecs --------------------------------------------------
+
+template <typename Row>
+void encode_table(std::string& out, const Table<Row>& table) {
+  put_varint(out, table.size());
+  KeyChain chain;
+  table.visit([&](const Row& row) { encode_row(out, row, chain); });
+}
+
+template <typename Row, typename DecodeRow>
+Table<Row> decode_table(Cursor& in, DecodeRow decode_row) {
+  Table<Row> table;
+  const std::uint64_t count = in.varint();
+  KeyChain chain;
+  for (std::uint64_t i = 0; i < count; ++i) table.upsert(decode_row(in, chain));
+  return table;
+}
+
+template <typename Row, typename EncodeKey>
+void encode_delta(std::string& out, const typename Table<Row>::Delta& delta,
+                  EncodeKey encode_key) {
+  put_varint(out, delta.upserts.size());
+  KeyChain upsert_chain;
+  for (const Row& row : delta.upserts) encode_row(out, row, upsert_chain);
+  put_varint(out, delta.removals.size());
+  KeyChain removal_chain;
+  for (const auto& key : delta.removals) encode_key(out, key, removal_chain);
+}
+
+template <typename Row, typename DecodeRow, typename DecodeKey>
+typename Table<Row>::Delta decode_delta(Cursor& in, DecodeRow decode_row,
+                                        DecodeKey decode_key) {
+  typename Table<Row>::Delta delta;
+  const std::uint64_t upserts = in.varint();
+  KeyChain upsert_chain;
+  delta.upserts.reserve(upserts);
+  for (std::uint64_t i = 0; i < upserts; ++i) {
+    delta.upserts.push_back(decode_row(in, upsert_chain));
+  }
+  const std::uint64_t removals = in.varint();
+  KeyChain removal_chain;
+  delta.removals.reserve(removals);
+  for (std::uint64_t i = 0; i < removals; ++i) {
+    delta.removals.push_back(decode_key(in, removal_chain));
+  }
+  return delta;
+}
+
+// --- Record codec ----------------------------------------------------------
+
+void encode_meta(std::string& out, const ArchiveCycleMeta& meta) {
+  out.push_back(meta.stale ? 1 : 0);
+  put_varint(out, meta.stale_tables);
+  put_varint(out, meta.collection_failures);
+  put_varint(out, meta.consecutive_failures);
+  put_varint(out, meta.parse_warnings);
+  put_varint(out, meta.capture_attempts);
+  put_svarint(out, meta.collection_latency.total_ms());
+}
+
+ArchiveCycleMeta decode_meta(Cursor& in) {
+  ArchiveCycleMeta meta;
+  meta.stale = in.u8() != 0;
+  meta.stale_tables = static_cast<std::uint32_t>(in.varint());
+  meta.collection_failures = static_cast<std::uint32_t>(in.varint());
+  meta.consecutive_failures = static_cast<std::uint32_t>(in.varint());
+  meta.parse_warnings = static_cast<std::uint32_t>(in.varint());
+  meta.capture_attempts = in.varint();
+  meta.collection_latency = sim::Duration::milliseconds(in.svarint());
+  return meta;
+}
+
+/// The fixed part every record starts with: kind, timestamp, router, meta.
+struct RecordHeader {
+  std::uint8_t kind = 0;
+  std::int64_t t_ms = 0;
+  std::string router_name;
+  ArchiveCycleMeta meta;
+};
+
+RecordHeader decode_record_header(Cursor& in) {
+  RecordHeader header;
+  header.kind = in.u8();
+  if (header.kind != kKindKeyframe && header.kind != kKindDelta) {
+    throw std::runtime_error("archive record has unknown kind");
+  }
+  header.t_ms = in.svarint();
+  header.router_name = in.string();
+  header.meta = decode_meta(in);
+  return header;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// --- ArchiveWriter ---------------------------------------------------------
+
+ArchiveWriter::ArchiveWriter(std::string path, ArchiveOptions options)
+    : path_(std::move(path)), options_(options) {
+  if (options_.keyframe_interval < 1) {
+    throw std::invalid_argument("ArchiveOptions.keyframe_interval must be >= 1");
+  }
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("ArchiveWriter: cannot open " + path_);
+  }
+  std::string header;
+  put_u32(header, kMagic);
+  header.push_back(static_cast<char>(kVersion & 0xFF));
+  header.push_back(static_cast<char>(kVersion >> 8));
+  header.push_back(0);  // flags
+  header.push_back(0);
+  std::fwrite(header.data(), 1, header.size(), file_);
+  bytes_written_ = header.size();
+}
+
+ArchiveWriter::~ArchiveWriter() { close(); }
+
+void ArchiveWriter::append(const Snapshot& snapshot, const ArchiveCycleMeta& meta) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("ArchiveWriter: append to closed archive " + path_);
+  }
+  const bool keyframe =
+      !options_.store_deltas || !have_previous_ ||
+      cycles_written_ % static_cast<std::size_t>(options_.keyframe_interval) == 0;
+
+  std::string payload;
+  payload.push_back(static_cast<char>(keyframe ? kKindKeyframe : kKindDelta));
+  put_svarint(payload, snapshot.captured.total_ms());
+  put_string(payload, snapshot.router_name);
+  encode_meta(payload, meta);
+
+  if (keyframe) {
+    encode_table(payload, snapshot.pairs);
+    encode_table(payload, snapshot.routes);
+    encode_table(payload, snapshot.sa_cache);
+    encode_table(payload, snapshot.mbgp_routes);
+  } else {
+    encode_delta<PairRow>(payload, PairTable::diff(previous_.pairs, snapshot.pairs),
+                          encode_pair_key);
+    encode_delta<RouteRow>(payload,
+                           RouteTable::diff(previous_.routes, snapshot.routes),
+                           encode_prefix_key);
+    encode_delta<SaRow>(payload, SaTable::diff(previous_.sa_cache, snapshot.sa_cache),
+                        encode_pair_key);
+    encode_delta<MbgpRow>(
+        payload, MbgpTable::diff(previous_.mbgp_routes, snapshot.mbgp_routes),
+        encode_prefix_key);
+  }
+
+  std::string frame;
+  frame.reserve(kFrameBytes + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload.data(), payload.size()));
+  frame.append(payload);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    throw std::runtime_error("ArchiveWriter: short write to " + path_);
+  }
+  bytes_written_ += frame.size();
+  ++cycles_written_;
+
+  previous_.pairs = snapshot.pairs;
+  previous_.routes = snapshot.routes;
+  previous_.sa_cache = snapshot.sa_cache;
+  previous_.mbgp_routes = snapshot.mbgp_routes;
+  have_previous_ = true;
+
+  if (keyframe && options_.fsync_on_keyframe) sync();
+}
+
+void ArchiveWriter::sync() {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+#if defined(__unix__) || defined(__APPLE__)
+  ::fsync(fileno(file_));
+#endif
+}
+
+void ArchiveWriter::close() {
+  if (file_ == nullptr) return;
+  sync();
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+// --- ArchiveReader ---------------------------------------------------------
+
+ArchiveReader::ArchiveReader(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw std::runtime_error("ArchiveReader: cannot open " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long file_size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  buffer_.resize(file_size > 0 ? static_cast<std::size_t>(file_size) : 0);
+  if (!buffer_.empty() &&
+      std::fread(buffer_.data(), 1, buffer_.size(), file) != buffer_.size()) {
+    std::fclose(file);
+    throw std::runtime_error("ArchiveReader: cannot read " + path);
+  }
+  std::fclose(file);
+
+  if (buffer_.size() < kHeaderBytes) {
+    // A crash before the header completed: nothing recoverable, but not a
+    // reason to refuse the file — it simply holds zero cycles.
+    recovery_.clean = buffer_.empty();
+    recovery_.bytes_dropped = buffer_.size();
+    if (!buffer_.empty()) recovery_.reason = "truncated file header";
+    return;
+  }
+  Cursor header{buffer_.data(), buffer_.size()};
+  if (header.u32() != kMagic) {
+    throw std::runtime_error("ArchiveReader: bad magic in " + path);
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(header.u8()) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(header.u8()) << 8);
+  if (version != kVersion) {
+    throw std::runtime_error("ArchiveReader: unsupported archive version in " + path);
+  }
+
+  std::size_t pos = kHeaderBytes;
+  const auto drop_tail = [&](const char* reason) {
+    recovery_.clean = false;
+    recovery_.bytes_dropped = buffer_.size() - pos;
+    recovery_.reason = reason;
+  };
+  while (pos < buffer_.size()) {
+    if (pos + kFrameBytes > buffer_.size()) {
+      drop_tail("short frame header");
+      break;
+    }
+    Cursor frame{buffer_.data() + pos, kFrameBytes};
+    const std::uint32_t length = frame.u32();
+    const std::uint32_t expected_crc = frame.u32();
+    if (length > kMaxRecordBytes) {
+      drop_tail("implausible record length");
+      break;
+    }
+    if (pos + kFrameBytes + length > buffer_.size()) {
+      drop_tail("short record payload");
+      break;
+    }
+    const char* payload = buffer_.data() + pos + kFrameBytes;
+    if (crc32(payload, length) != expected_crc) {
+      drop_tail("crc mismatch");
+      break;
+    }
+    try {
+      Cursor cursor{payload, length};
+      const RecordHeader record = decode_record_header(cursor);
+      IndexEntry entry;
+      entry.payload_offset = pos + kFrameBytes;
+      entry.payload_size = length;
+      entry.t_ms = record.t_ms;
+      entry.keyframe = record.kind == kKindKeyframe;
+      entry.meta = record.meta;
+      index_.push_back(std::move(entry));
+    } catch (const std::runtime_error&) {
+      drop_tail("undecodable record");
+      break;
+    }
+    pos += kFrameBytes + length;
+  }
+  if (!index_.empty() && !index_.front().keyframe) {
+    // Cannot happen with our writer, but a hand-damaged file could start on
+    // a delta; there is nothing to replay it against.
+    index_.clear();
+    recovery_.clean = false;
+    recovery_.reason = "first record is not a key-frame";
+  }
+}
+
+std::uint64_t ArchiveReader::indexed_bytes() const {
+  if (index_.empty()) return kHeaderBytes;
+  const IndexEntry& last = index_.back();
+  return last.payload_offset + last.payload_size;
+}
+
+sim::TimePoint ArchiveReader::time_at(std::size_t index) const {
+  return sim::TimePoint::from_ms(index_.at(index).t_ms);
+}
+
+const ArchiveCycleMeta& ArchiveReader::meta_at(std::size_t index) const {
+  return index_.at(index).meta;
+}
+
+bool ArchiveReader::keyframe_at(std::size_t index) const {
+  return index_.at(index).keyframe;
+}
+
+sim::TimePoint ArchiveReader::first_time() const {
+  if (index_.empty()) throw std::out_of_range("ArchiveReader: empty archive");
+  return sim::TimePoint::from_ms(index_.front().t_ms);
+}
+
+sim::TimePoint ArchiveReader::last_time() const {
+  if (index_.empty()) throw std::out_of_range("ArchiveReader: empty archive");
+  return sim::TimePoint::from_ms(index_.back().t_ms);
+}
+
+std::optional<std::size_t> ArchiveReader::index_at_or_before(sim::TimePoint t) const {
+  const std::int64_t t_ms = t.total_ms();
+  const auto after = std::upper_bound(
+      index_.begin(), index_.end(), t_ms,
+      [](std::int64_t value, const IndexEntry& entry) { return value < entry.t_ms; });
+  if (after == index_.begin()) return std::nullopt;
+  return static_cast<std::size_t>(std::distance(index_.begin(), after)) - 1;
+}
+
+void ArchiveReader::decode_into(const IndexEntry& entry, Snapshot& state,
+                                bool& seeded) const {
+  Cursor cursor{buffer_.data() + entry.payload_offset, entry.payload_size};
+  const RecordHeader header = decode_record_header(cursor);
+  if (entry.keyframe) {
+    state.pairs = decode_table<PairRow>(cursor, decode_row_pair);
+    state.routes = decode_table<RouteRow>(cursor, decode_row_route);
+    state.sa_cache = decode_table<SaRow>(cursor, decode_row_sa);
+    state.mbgp_routes = decode_table<MbgpRow>(cursor, decode_row_mbgp);
+  } else {
+    if (!seeded) throw std::runtime_error("archive delta before any key-frame");
+    // Derived fields (uptimes, averages, counters) roll forward by the
+    // inter-cycle gap, then the delta overwrites the rows that actually
+    // changed with exact values — the same recurrence core/log replays.
+    const sim::Duration dt =
+        sim::TimePoint::from_ms(header.t_ms) - state.captured;
+    state.pairs.advance_derived(dt);
+    state.routes.advance_derived(dt);
+    state.sa_cache.advance_derived(dt);
+    state.pairs.apply(
+        decode_delta<PairRow>(cursor, decode_row_pair, decode_pair_key));
+    state.routes.apply(
+        decode_delta<RouteRow>(cursor, decode_row_route, decode_prefix_key));
+    state.sa_cache.apply(decode_delta<SaRow>(cursor, decode_row_sa, decode_pair_key));
+    state.mbgp_routes.apply(
+        decode_delta<MbgpRow>(cursor, decode_row_mbgp, decode_prefix_key));
+  }
+  state.router_name = header.router_name;
+  state.captured = sim::TimePoint::from_ms(header.t_ms);
+  seeded = true;
+}
+
+Snapshot ArchiveReader::snapshot(std::size_t index) const {
+  if (index >= index_.size()) {
+    throw std::out_of_range("ArchiveReader: cycle index out of range");
+  }
+  std::size_t keyframe = index;
+  while (keyframe > 0 && !index_[keyframe].keyframe) --keyframe;
+
+  Snapshot state;
+  bool seeded = false;
+  for (std::size_t i = keyframe; i <= index; ++i) {
+    decode_into(index_[i], state, seeded);
+  }
+  state.participants = derive_participants(state.pairs);
+  state.sessions = derive_sessions(state.pairs);
+  return state;
+}
+
+Snapshot ArchiveReader::snapshot_at(sim::TimePoint t) const {
+  const std::optional<std::size_t> index = index_at_or_before(t);
+  if (!index) {
+    throw std::out_of_range("ArchiveReader: time precedes the first archived cycle");
+  }
+  return snapshot(*index);
+}
+
+void ArchiveReader::for_each(
+    const std::function<void(std::size_t, const Snapshot&, const ArchiveCycleMeta&)>&
+        fn) const {
+  Snapshot state;
+  bool seeded = false;
+  for (std::size_t i = 0; i < index_.size(); ++i) {
+    decode_into(index_[i], state, seeded);
+    fn(i, state, index_[i].meta);
+  }
+}
+
+// --- Compaction ------------------------------------------------------------
+
+CompactionStats compact_archive(const std::string& input_path,
+                                const std::string& output_path,
+                                CompactionOptions options) {
+  const ArchiveReader reader(input_path);
+  ArchiveOptions writer_options;
+  writer_options.keyframe_interval = options.keyframe_interval;
+  writer_options.store_deltas = options.store_deltas;
+  writer_options.fsync_on_keyframe = false;  // one sync at the end is enough
+  ArchiveWriter writer(output_path, writer_options);
+
+  CompactionStats stats;
+  stats.cycles_in = reader.size();
+  stats.bytes_in = reader.indexed_bytes();
+  reader.for_each([&](std::size_t, const Snapshot& snapshot,
+                      const ArchiveCycleMeta& meta) {
+    if (options.drop_before && snapshot.captured < *options.drop_before) {
+      ++stats.cycles_dropped;
+      return;
+    }
+    writer.append(snapshot, meta);
+  });
+  writer.close();
+  stats.cycles_out = writer.cycles_written();
+  stats.bytes_out = writer.bytes_written();
+  return stats;
+}
+
+// --- Offline replay --------------------------------------------------------
+
+ReplayRun replay_archive(const ArchiveReader& reader, ReplayOptions options) {
+  ReplayRun run;
+  run.results.reserve(reader.size());
+  SpikeDetector spike_detector(options.spike_window, options.spike_k);
+
+  reader.for_each([&](std::size_t, const Snapshot& raw,
+                      const ArchiveCycleMeta& meta) {
+    // Mirror the processing half of Mantra::run_target_cycle exactly — same
+    // derivations, same statistics, same order — so a replayed CycleResult
+    // is indistinguishable from the live one.
+    Snapshot snapshot = raw;
+    snapshot.participants =
+        derive_participants(snapshot.pairs, options.sender_threshold_kbps);
+    snapshot.sessions =
+        derive_sessions(snapshot.pairs, options.sender_threshold_kbps);
+
+    run.route_monitor.observe(snapshot.captured, snapshot.routes);
+
+    CycleResult result;
+    result.t = snapshot.captured;
+    result.usage = compute_usage(snapshot, options.sender_threshold_kbps);
+    result.dvmrp_routes = snapshot.routes.size();
+    snapshot.routes.visit([&result](const RouteRow& route) {
+      if (!route.holddown) ++result.dvmrp_valid_routes;
+    });
+    if (!run.route_monitor.history().empty()) {
+      result.route_changes = run.route_monitor.history().back().changes;
+    }
+    result.sa_entries = snapshot.sa_cache.size();
+    result.mbgp_routes = snapshot.mbgp_routes.size();
+    result.parse_warnings = meta.parse_warnings;
+
+    const SpikeDetector::Verdict verdict = spike_detector.observe(
+        static_cast<double>(result.dvmrp_valid_routes));
+    result.route_spike = verdict.spike;
+    result.route_spike_score = verdict.score;
+
+    const DensityDistribution density =
+        compute_density_distribution(snapshot.sessions);
+    result.density_single_fraction = density.fraction_single_member;
+    result.density_at_most_two_fraction = density.fraction_at_most_two;
+    result.density_top_share_80 = density.top_session_share_for_80pct;
+
+    result.stale = meta.stale;
+    result.stale_tables = meta.stale_tables;
+    result.collection_failures = meta.collection_failures;
+    result.consecutive_failures = meta.consecutive_failures;
+    result.capture_attempts = meta.capture_attempts;
+    result.collection_latency = meta.collection_latency;
+
+    run.results.push_back(result);
+  });
+  run.spike_regime_resets = spike_detector.regime_resets();
+  return run;
+}
+
+TimeSeries series_from(const std::vector<CycleResult>& results, std::string name,
+                       const std::function<double(const CycleResult&)>& extract) {
+  TimeSeries out(std::move(name));
+  for (const CycleResult& result : results) out.add(result.t, extract(result));
+  return out;
+}
+
+}  // namespace mantra::core

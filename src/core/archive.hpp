@@ -1,0 +1,221 @@
+// Persistent snapshot archive (§III "Data Logger", taken to disk): the
+// durable counterpart of core/log's in-memory delta store. Mantra's value in
+// the paper came from six months of archived router state processed off-line
+// into the Figs 3-9 analyses; this module provides the capture-to-disk /
+// analyse-later split that makes those long-running deployments possible.
+//
+// On-disk format (binary, little-endian, append-only):
+//
+//   file   := header record*
+//   header := magic:u32 ("MARC") version:u16 flags:u16
+//   record := length:u32 crc32:u32 payload[length]
+//
+// The payload is a varint + delta encoded monitoring cycle: either a
+// key-frame (all four raw tables in full) or a delta (the existing
+// PairTable::Delta / RouteTable::Delta / SaTable::Delta / MbgpTable::Delta
+// types against the previous cycle). Row keys are encoded as differences
+// against the previous row in table order, doubles as raw IEEE-754 bits, so
+// reconstruction is bit-exact for every stored field. Derived tables
+// (participants, sessions) are never stored — redundancy avoidance, as in
+// core/log — and are re-derived on read.
+//
+// Crash safety: a record is visible only once its length/CRC frame is
+// complete, so a mid-write kill (or a file truncated at an arbitrary byte)
+// loses at most the final record. ArchiveReader detects the damage via the
+// framing, recovers every complete cycle, and reports the loss in
+// RecoveryInfo — a torn tail never poisons the preceding records.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/output.hpp"
+#include "core/process.hpp"
+#include "core/tables.hpp"
+
+namespace mantra::core {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention) over a byte range.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+/// Collection metadata archived alongside each cycle's tables — the facts a
+/// replay cannot recompute from the tables themselves (PR 1's stale/failure
+/// accounting).
+struct ArchiveCycleMeta {
+  bool stale = false;
+  std::uint32_t stale_tables = 0;
+  std::uint32_t collection_failures = 0;
+  std::uint32_t consecutive_failures = 0;
+  std::uint32_t parse_warnings = 0;
+  std::uint64_t capture_attempts = 0;
+  sim::Duration collection_latency;
+
+  friend bool operator==(const ArchiveCycleMeta&, const ArchiveCycleMeta&) = default;
+};
+
+struct ArchiveOptions {
+  bool store_deltas = true;     ///< ablation: false = every record a key-frame
+  int keyframe_interval = 96;   ///< full snapshot every N cycles (>= 1)
+  bool fsync_on_keyframe = true;  ///< durability point: fsync at each key-frame
+};
+
+/// Streaming append-only writer. Records become visible to readers atomically
+/// per the framing; fsync policy bounds the data loss window to one key-frame
+/// interval on power failure (a plain process kill loses at most the final
+/// partially written record).
+class ArchiveWriter {
+ public:
+  /// Creates/truncates `path`. Throws std::runtime_error if the file cannot
+  /// be opened.
+  explicit ArchiveWriter(std::string path, ArchiveOptions options = {});
+  ~ArchiveWriter();
+
+  ArchiveWriter(const ArchiveWriter&) = delete;
+  ArchiveWriter& operator=(const ArchiveWriter&) = delete;
+
+  /// Appends one monitoring cycle. Key-frame/delta selection follows the
+  /// configured interval; the first record is always a key-frame.
+  void append(const Snapshot& snapshot, const ArchiveCycleMeta& meta = {});
+
+  /// Flushes buffered data to the OS and (on POSIX) to stable storage.
+  void sync();
+
+  /// Flushes and closes the file; further appends throw. Idempotent.
+  void close();
+
+  [[nodiscard]] std::size_t cycles_written() const { return cycles_written_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] const ArchiveOptions& options() const { return options_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  ArchiveOptions options_;
+  std::FILE* file_ = nullptr;
+  std::size_t cycles_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  Snapshot previous_;
+  bool have_previous_ = false;
+};
+
+/// What ArchiveReader found (and lost) while opening a file.
+struct RecoveryInfo {
+  bool clean = true;            ///< file ended exactly on a record boundary
+  std::uint64_t bytes_dropped = 0;  ///< trailing bytes discarded
+  std::string reason;           ///< why the tail was dropped (empty if clean)
+};
+
+/// Random-access reader over an archive file with a time-range index.
+/// Opening scans the framing once, validates every CRC, and truncates a torn
+/// tail per the recovery semantics above; payloads decode on demand.
+class ArchiveReader {
+ public:
+  /// Throws std::runtime_error on a missing file or bad header. A damaged
+  /// tail is NOT an error — it is reported through recovery().
+  explicit ArchiveReader(const std::string& path);
+
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] bool empty() const { return index_.empty(); }
+  /// Bytes of the file actually indexed (excludes a dropped torn tail).
+  [[nodiscard]] std::uint64_t indexed_bytes() const;
+  [[nodiscard]] const RecoveryInfo& recovery() const { return recovery_; }
+
+  [[nodiscard]] sim::TimePoint time_at(std::size_t index) const;
+  [[nodiscard]] const ArchiveCycleMeta& meta_at(std::size_t index) const;
+  [[nodiscard]] bool keyframe_at(std::size_t index) const;
+  [[nodiscard]] sim::TimePoint first_time() const;
+  [[nodiscard]] sim::TimePoint last_time() const;
+
+  /// Index of the last cycle captured at or before `t` (time-range lookup);
+  /// nullopt when `t` precedes the first cycle.
+  [[nodiscard]] std::optional<std::size_t> index_at_or_before(sim::TimePoint t) const;
+
+  /// Reconstructs the full snapshot of cycle `index`: decode the nearest
+  /// key-frame at or before it, then replay deltas (rolling derived fields
+  /// forward by the inter-cycle gap, exactly as core/log reconstructs), and
+  /// re-derive the participant/session tables.
+  [[nodiscard]] Snapshot snapshot(std::size_t index) const;
+
+  /// Snapshot as of time `t` (the last cycle at or before it). Throws
+  /// std::out_of_range when `t` precedes the first archived cycle.
+  [[nodiscard]] Snapshot snapshot_at(sim::TimePoint t) const;
+
+  /// Streams every cycle in order in O(total) — the replay path. The
+  /// snapshot reference is only valid during the callback.
+  void for_each(const std::function<void(std::size_t index, const Snapshot&,
+                                         const ArchiveCycleMeta&)>& fn) const;
+
+ private:
+  struct IndexEntry {
+    std::uint64_t payload_offset = 0;  ///< into buffer_, past the frame header
+    std::uint32_t payload_size = 0;
+    std::int64_t t_ms = 0;
+    bool keyframe = false;
+    ArchiveCycleMeta meta;
+  };
+
+  void decode_into(const IndexEntry& entry, Snapshot& state, bool& seeded) const;
+
+  std::string buffer_;  ///< entire file contents
+  std::vector<IndexEntry> index_;
+  RecoveryInfo recovery_;
+};
+
+struct CompactionOptions {
+  int keyframe_interval = 96;  ///< key-frame interval of the rewritten file
+  bool store_deltas = true;
+  /// Retention horizon: cycles captured strictly before this instant are
+  /// dropped from the rewritten archive.
+  std::optional<sim::TimePoint> drop_before;
+};
+
+struct CompactionStats {
+  std::size_t cycles_in = 0;
+  std::size_t cycles_out = 0;
+  std::size_t cycles_dropped = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+/// Rewrites `input_path` into `output_path` with a new key-frame interval,
+/// dropping pre-horizon cycles. The input's torn tail (if any) is healed by
+/// construction — only complete cycles are rewritten.
+CompactionStats compact_archive(const std::string& input_path,
+                                const std::string& output_path,
+                                CompactionOptions options = {});
+
+/// Offline analysis configuration — mirrors the processing half of the live
+/// monitoring cycle (MantraConfig's processing knobs).
+struct ReplayOptions {
+  double sender_threshold_kbps = kSenderThresholdKbps;
+  std::size_t spike_window = 48;
+  double spike_k = 10.0;
+};
+
+/// The offline run: per-cycle results identical to what the live monitor
+/// produced, plus the accumulated route statistics.
+struct ReplayRun {
+  std::vector<CycleResult> results;
+  RouteMonitor route_monitor;
+  std::size_t spike_regime_resets = 0;
+};
+
+/// Runs the full Data Processor pipeline (UsageStats, DensityDistribution,
+/// RouteMonitor, SpikeDetector) over an archive instead of a live run. With
+/// the same processing options, the returned CycleResults match the live
+/// monitor's byte for byte on every field the archive preserves.
+[[nodiscard]] ReplayRun replay_archive(const ArchiveReader& reader,
+                                       ReplayOptions options = {});
+
+/// Extracts a TimeSeries from replayed (or live) cycle results — the offline
+/// equivalent of Mantra::series().
+[[nodiscard]] TimeSeries series_from(
+    const std::vector<CycleResult>& results, std::string name,
+    const std::function<double(const CycleResult&)>& extract);
+
+}  // namespace mantra::core

@@ -1,6 +1,7 @@
 #include "core/mantra.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 
 namespace mantra::core {
@@ -45,6 +46,9 @@ void MantraConfig::validate() const {
   if (unreachable_after == 0) {
     throw std::invalid_argument("MantraConfig.unreachable_after must be >= 1");
   }
+  if (archive.keyframe_interval < 1) {
+    throw std::invalid_argument("MantraConfig.archive.keyframe_interval must be >= 1");
+  }
 }
 
 Mantra::Mantra(sim::Engine& engine, MantraConfig config)
@@ -62,6 +66,11 @@ void Mantra::add_target(const router::MulticastRouter* target) {
                                              config_.spike_k);
   state->router = target;
   state->name = target->hostname();
+  if (!config_.archive_dir.empty()) {
+    std::filesystem::create_directories(config_.archive_dir);
+    state->archive = std::make_unique<ArchiveWriter>(
+        config_.archive_dir + "/" + state->name + ".marc", config_.archive);
+  }
   targets_[target->hostname()] = std::move(state);
 }
 
@@ -176,6 +185,20 @@ void Mantra::run_target_cycle(TargetState& target) {
   target.consecutive_failures = 0;
   target.health = report.all_ok() ? TargetHealth::Healthy : TargetHealth::Degraded;
 
+  if (target.archive) {
+    ArchiveCycleMeta meta;
+    meta.stale = result.stale;
+    meta.stale_tables = static_cast<std::uint32_t>(result.stale_tables);
+    meta.collection_failures =
+        static_cast<std::uint32_t>(result.collection_failures);
+    meta.consecutive_failures =
+        static_cast<std::uint32_t>(result.consecutive_failures);
+    meta.parse_warnings = static_cast<std::uint32_t>(result.parse_warnings);
+    meta.capture_attempts = result.capture_attempts;
+    meta.collection_latency = result.collection_latency;
+    target.archive->append(snapshot, meta);
+  }
+
   target.results.push_back(result);
   target.latest = std::move(snapshot);
 }
@@ -212,6 +235,10 @@ TargetHealth Mantra::TargetView::health() const { return state_->health; }
 
 std::size_t Mantra::TargetView::consecutive_failures() const {
   return state_->consecutive_failures;
+}
+
+const ArchiveWriter* Mantra::TargetView::archive() const {
+  return state_->archive.get();
 }
 
 const std::vector<CycleResult>& Mantra::results(std::string_view router_name) const {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/archive.hpp"
 #include "core/collect.hpp"
 #include "core/log.hpp"
 #include "core/output.hpp"
@@ -46,37 +47,17 @@ struct MantraConfig {
   RetryPolicy retry;
   /// Consecutive fully dark cycles before a target is marked Unreachable.
   std::size_t unreachable_after = 3;
+  /// Optional durable archive sink: when non-empty, every recorded cycle
+  /// (tables + stale/failure metadata) streams to
+  /// `<archive_dir>/<router>.marc`; the directory is created on demand.
+  /// core/archive replays those files off-line.
+  std::string archive_dir;
+  /// On-disk encoding policy for the archive sink.
+  ArchiveOptions archive;
 
   /// Sanity-checks every field; throws std::invalid_argument naming the
   /// offending field. Called by the Mantra constructor.
   void validate() const;
-};
-
-/// One monitoring cycle's processed results for one router.
-struct CycleResult {
-  sim::TimePoint t;
-  UsageStats usage;
-  std::size_t dvmrp_routes = 0;
-  std::size_t dvmrp_valid_routes = 0;
-  std::size_t route_changes = 0;
-  std::size_t sa_entries = 0;
-  std::size_t mbgp_routes = 0;
-  std::size_t parse_warnings = 0;
-  bool route_spike = false;
-  double route_spike_score = 0.0;
-  /// Per-cycle density-distribution facts (the §IV-B off-line analysis).
-  double density_single_fraction = 0.0;
-  double density_at_most_two_fraction = 0.0;
-  double density_top_share_80 = 1.0;
-  // --- Collection-failure accounting ---
-  bool stale = false;  ///< at least one table carried forward from the
-                       ///< previous snapshot (never zero-valued on failure)
-  std::size_t stale_tables = 0;        ///< tables carried forward this cycle
-  std::size_t collection_failures = 0; ///< commands that did not capture ok
-  /// Fully dark cycles skipped since the previous recorded result.
-  std::size_t consecutive_failures = 0;
-  std::size_t capture_attempts = 0;    ///< connect + command attempts
-  sim::Duration collection_latency;    ///< simulated time incl. backoff
 };
 
 class Mantra {
@@ -96,6 +77,8 @@ class Mantra {
     [[nodiscard]] TargetHealth health() const;
     /// Fully dark cycles in a row as of now (0 while collection works).
     [[nodiscard]] std::size_t consecutive_failures() const;
+    /// The durable archive sink, or nullptr when archiving is disabled.
+    [[nodiscard]] const ArchiveWriter* archive() const;
 
    private:
     friend class Mantra;
@@ -163,6 +146,7 @@ class Mantra {
     DataLogger logger;
     RouteMonitor route_monitor;
     SpikeDetector spike_detector;
+    std::unique_ptr<ArchiveWriter> archive;  ///< null when archiving is off
     std::vector<CycleResult> results;
     Snapshot latest;
     TargetHealth health = TargetHealth::Healthy;

@@ -29,6 +29,22 @@ std::string format_number(double value) {
   return buffer;
 }
 
+// RFC 4180: fields containing separators, quotes, or line breaks are quoted,
+// and embedded quotes are doubled.
+std::string csv_field(std::string_view cell) {
+  const bool quote = cell.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!quote) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (const char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 }  // namespace
 
 void SummaryTable::add_row(std::vector<std::string> cells) {
@@ -128,10 +144,7 @@ std::string SummaryTable::to_csv() const {
   const auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (i > 0) out << ',';
-      const bool quote = cells[i].find(',') != std::string::npos;
-      if (quote) out << '"';
-      out << cells[i];
-      if (quote) out << '"';
+      out << csv_field(cells[i]);
     }
     out << '\n';
   };
@@ -185,7 +198,7 @@ TimeSeries TimeSeries::slice(sim::TimePoint from, sim::TimePoint to) const {
 
 std::string TimeSeries::to_csv() const {
   std::ostringstream out;
-  out << "hours," << name_ << '\n';
+  out << "hours," << csv_field(name_) << '\n';
   char buffer[64];
   for (const SeriesPoint& p : points_) {
     std::snprintf(buffer, sizeof buffer, "%.3f,%.4f\n", p.t.total_hours(), p.value);

@@ -29,10 +29,43 @@ struct UsageStats {
   double saved_multiple = 0.0;  ///< unicast-equivalent / multicast (Fig 5 right)
   double pct_sessions_active = 0.0;
   double pct_participants_senders = 0.0;
+
+  friend bool operator==(const UsageStats&, const UsageStats&) = default;
 };
 
 [[nodiscard]] UsageStats compute_usage(const Snapshot& snapshot,
                                        double threshold_kbps = kSenderThresholdKbps);
+
+/// One monitoring cycle's processed results for one router. Produced by the
+/// live monitoring cycle (core/mantra) and reproduced verbatim by the
+/// offline archive replay (core/archive).
+struct CycleResult {
+  sim::TimePoint t;
+  UsageStats usage;
+  std::size_t dvmrp_routes = 0;
+  std::size_t dvmrp_valid_routes = 0;
+  std::size_t route_changes = 0;
+  std::size_t sa_entries = 0;
+  std::size_t mbgp_routes = 0;
+  std::size_t parse_warnings = 0;
+  bool route_spike = false;
+  double route_spike_score = 0.0;
+  /// Per-cycle density-distribution facts (the §IV-B off-line analysis).
+  double density_single_fraction = 0.0;
+  double density_at_most_two_fraction = 0.0;
+  double density_top_share_80 = 1.0;
+  // --- Collection-failure accounting ---
+  bool stale = false;  ///< at least one table carried forward from the
+                       ///< previous snapshot (never zero-valued on failure)
+  std::size_t stale_tables = 0;        ///< tables carried forward this cycle
+  std::size_t collection_failures = 0; ///< commands that did not capture ok
+  /// Fully dark cycles skipped since the previous recorded result.
+  std::size_t consecutive_failures = 0;
+  std::size_t capture_attempts = 0;    ///< connect + command attempts
+  sim::Duration collection_latency;    ///< simulated time incl. backoff
+
+  friend bool operator==(const CycleResult&, const CycleResult&) = default;
+};
 
 /// Density-skew facts from the §IV-B off-line analysis.
 struct DensityDistribution {

@@ -165,6 +165,41 @@ TEST(DataLogger, KeyframeIntervalBoundsReplayChain) {
   }
 }
 
+TEST(DataLogger, ReconstructExactOnAndAdjacentToKeyframeBoundaries) {
+  // The off-by-one minefield: the cycle a key-frame lands on, the one just
+  // before (longest delta chain), and the one just after (chain length 1)
+  // must all reconstruct the exact stable state.
+  LoggerConfig config;
+  config.full_snapshot_every = 4;  // key-frames at cycles 0, 4, 8
+  DataLogger logger(config);
+  std::vector<PairTable> truth;
+  PairTable current;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    current.upsert(pair(0x0A010100u + static_cast<std::uint32_t>(cycle), 1,
+                        static_cast<double>(10 * cycle + 1)));
+    if (cycle >= 2) {
+      current.erase({net::Ipv4Address(0x0A010100u + static_cast<std::uint32_t>(cycle - 2)),
+                     net::Ipv4Address(0xE0020001u)});
+    }
+    Snapshot snapshot = snapshot_at(sim::TimePoint::start() +
+                                    sim::Duration::minutes(15 * cycle));
+    snapshot.pairs = current;
+    logger.record(snapshot);
+    truth.push_back(current);
+  }
+  for (const std::size_t boundary : {std::size_t{4}, std::size_t{8}}) {
+    for (const std::size_t i : {boundary - 1, boundary, boundary + 1}) {
+      const Snapshot rebuilt = logger.reconstruct(i);
+      ASSERT_EQ(rebuilt.pairs.size(), truth[i].size()) << "cycle " << i;
+      truth[i].visit([&](const PairRow& row) {
+        const PairRow* got = rebuilt.pairs.find(row.key());
+        ASSERT_NE(got, nullptr) << "cycle " << i;
+        EXPECT_DOUBLE_EQ(got->current_kbps, row.current_kbps) << "cycle " << i;
+      });
+    }
+  }
+}
+
 TEST(DataLogger, RandomisedReconstructionMatchesDirectState) {
   // Property test: arbitrary mutate/record sequences reconstruct the exact
   // stable state at every cycle.

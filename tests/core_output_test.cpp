@@ -78,6 +78,38 @@ TEST(SummaryTable, CsvQuotesCommas) {
   EXPECT_EQ(table.to_csv(), "name\n\"a,b\"\n");
 }
 
+TEST(SummaryTable, CsvEscapesQuotesAndLineBreaks) {
+  // RFC 4180: embedded quotes are doubled inside a quoted field; CR/LF force
+  // quoting; clean cells stay unquoted. Session names come straight from SAP
+  // announcements, so hostile cells must not corrupt the row structure.
+  SummaryTable table({"group", "name"});
+  table.add_row({"224.2.0.1", "NASA \"live\" feed"});
+  table.add_row({"224.2.0.2", "line\nbreak"});
+  table.add_row({"224.2.0.3", "cr\rhere"});
+  table.add_row({"224.2.0.4", "plain"});
+  EXPECT_EQ(table.to_csv(),
+            "group,name\n"
+            "224.2.0.1,\"NASA \"\"live\"\" feed\"\n"
+            "224.2.0.2,\"line\nbreak\"\n"
+            "224.2.0.3,\"cr\rhere\"\n"
+            "224.2.0.4,plain\n");
+}
+
+TEST(SummaryTable, CsvQuotesHeaderCells) {
+  SummaryTable table({"a,b", "c\"d"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "\"a,b\",\"c\"\"d\"\n1,2\n");
+}
+
+TEST(TimeSeries, CsvEscapesSeriesName) {
+  TimeSeries series("sessions, active \"now\"");
+  series.add(sim::TimePoint::start() + sim::Duration::minutes(90), 42.0);
+  const std::string csv = series.to_csv();
+  EXPECT_NE(csv.find("hours,\"sessions, active \"\"now\"\"\"\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("1.500,42.0000"), std::string::npos);
+}
+
 TEST(SummaryTable, ShortRowsPadded) {
   SummaryTable table({"a", "b"});
   table.add_row({"1"});

@@ -205,5 +205,41 @@ TEST(SpikeDetector, NeedsMinimalBaseline) {
   }
 }
 
+TEST(SpikeDetector, PersistentShiftIsAcceptedAsNewRegime) {
+  SpikeDetector detector(16, 8.0, 3.0);
+  for (int i = 0; i < 16; ++i) detector.observe(100.0);
+
+  // A level shift alarms for regime_threshold (12) consecutive cycles, then
+  // the detector accepts the new level and re-seeds its baseline.
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_TRUE(detector.observe(5000.0).spike) << "cycle " << i;
+  }
+  EXPECT_EQ(detector.regime_resets(), 1u);
+
+  // The re-seeded baseline treats the new level as normal: once it has
+  // warmed back up, steady samples at 5000 no longer alarm...
+  bool post_reset_spike = false;
+  for (int i = 0; i < 16; ++i) post_reset_spike |= detector.observe(5000.0).spike;
+  EXPECT_FALSE(post_reset_spike);
+  EXPECT_EQ(detector.regime_resets(), 1u);
+
+  // ...and a fresh jump from the new regime is still caught.
+  EXPECT_TRUE(detector.observe(20000.0).spike);
+}
+
+TEST(SpikeDetector, BriefPlateauDoesNotResetBaseline) {
+  SpikeDetector detector(16, 8.0, 3.0);
+  for (int i = 0; i < 16; ++i) detector.observe(100.0);
+
+  // 11 consecutive anomalies — one short of the regime threshold — then a
+  // return to the old level: no reset, and the old baseline still stands.
+  for (int i = 0; i < 11; ++i) {
+    EXPECT_TRUE(detector.observe(5000.0).spike);
+  }
+  EXPECT_FALSE(detector.observe(100.0).spike);
+  EXPECT_EQ(detector.regime_resets(), 0u);
+  EXPECT_TRUE(detector.observe(5000.0).spike);  // anomalous again
+}
+
 }  // namespace
 }  // namespace mantra::core
