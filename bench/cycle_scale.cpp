@@ -1,0 +1,146 @@
+// Macro-benchmark for the parallel per-target collection pipeline: one
+// scenario, 10-200 monitored targets, the same cycles run sequentially
+// (worker_threads = 0) and on a worker pool (worker_threads = hardware),
+// with an equivalence check that both paths produced identical results.
+//
+// Emits BENCH_cycle_scale.json (one record per target count) to seed the
+// perf trajectory. Scale knobs:
+//   MANTRA_CYCLE_SCALE_MAX      largest target count (default 200)
+//   MANTRA_CYCLE_SCALE_CYCLES   monitoring cycles per measurement (default 4)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mantra.hpp"
+#include "core/parallel.hpp"
+#include "macro_run.hpp"
+#include "workload/scenario.hpp"
+
+namespace mantra::bench {
+namespace {
+
+int env_int(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return fallback;
+}
+
+struct Measurement {
+  int targets = 0;
+  double sequential_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool identical = false;
+};
+
+/// Wall-clock for `cycles` full monitoring cycles over the first `targets`
+/// routers, at the scenario's current instant (the engine clock is not
+/// advanced, so every variant sees identical router state).
+double time_cycles(workload::FixwScenario& scenario, std::size_t worker_threads,
+                   int targets, int cycles,
+                   std::vector<std::vector<core::CycleResult>>* results_out) {
+  core::MantraConfig config;
+  config.cycle = sim::Duration::minutes(30);
+  config.worker_threads = worker_threads;
+  core::Mantra monitor(scenario.engine(), config);
+  monitor.add_target(scenario.network().router(scenario.fixw_node()));
+  const auto& borders = scenario.border_nodes();
+  for (int i = 0; i + 1 < targets && i < static_cast<int>(borders.size()); ++i) {
+    monitor.add_target(scenario.network().router(borders[static_cast<std::size_t>(i)]));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int cycle = 0; cycle < cycles; ++cycle) monitor.run_cycle_now();
+  const auto stop = std::chrono::steady_clock::now();
+
+  if (results_out != nullptr) {
+    results_out->clear();
+    for (const std::string& name : monitor.target_names()) {
+      results_out->push_back(monitor.target_view(name).results());
+    }
+  }
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+}  // namespace mantra::bench
+
+int main() {
+  using namespace mantra;
+  using namespace mantra::bench;
+
+  const int max_targets = env_int("MANTRA_CYCLE_SCALE_MAX", 200);
+  const int cycles = env_int("MANTRA_CYCLE_SCALE_CYCLES", 4);
+  const std::size_t threads = core::parallel::hardware_threads();
+
+  // One shared scenario sized for the largest target count: small domains
+  // (the bench measures the monitor, not the workload), enough DVMRP stub
+  // prefixes for realistic table sizes.
+  workload::ScenarioConfig scenario_config;
+  scenario_config.seed = 2024;
+  scenario_config.domains = max_targets;  // fixw + (domains) borders
+  scenario_config.hosts_per_domain = 2;
+  scenario_config.dvmrp_prefixes_per_domain = 12;
+  scenario_config.report_loss = 0.02;
+  scenario_config.timer_scale = 40;
+  scenario_config.full_timers = false;
+  scenario_config.generator.session_arrivals_per_hour = 60.0;
+  scenario_config.generator.bursts_per_day = 0.0;
+  std::fprintf(stderr, "building scenario with %d domains...\n", max_targets);
+  workload::FixwScenario scenario(scenario_config);
+  scenario.start();
+  // Let routes propagate and sessions accumulate so captures carry real
+  // table volume.
+  scenario.engine().run_until(scenario.engine().now() + sim::Duration::hours(2));
+
+  std::vector<Measurement> measurements;
+  for (const int targets : {10, 25, 50, 100, 200}) {
+    if (targets > max_targets) break;
+    Measurement m;
+    m.targets = targets;
+    std::vector<std::vector<core::CycleResult>> seq_results;
+    std::vector<std::vector<core::CycleResult>> par_results;
+    m.sequential_ms = time_cycles(scenario, 0, targets, cycles, &seq_results);
+    m.parallel_ms = time_cycles(scenario, threads, targets, cycles, &par_results);
+    m.identical = seq_results == par_results;
+    std::fprintf(stderr,
+                 "targets=%3d  sequential=%9.2f ms  parallel=%9.2f ms  "
+                 "speedup=%.2fx  identical=%s\n",
+                 m.targets, m.sequential_ms, m.parallel_ms,
+                 m.parallel_ms > 0.0 ? m.sequential_ms / m.parallel_ms : 0.0,
+                 m.identical ? "yes" : "NO");
+    measurements.push_back(m);
+  }
+
+  std::ofstream json("BENCH_cycle_scale.json");
+  json << "{\n  \"bench\": \"cycle_scale\",\n  \"threads\": " << threads
+       << ",\n  \"cycles_per_measurement\": " << cycles
+       << ",\n  \"results\": [\n";
+  bool all_identical = true;
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    all_identical = all_identical && m.identical;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"targets\": %d, \"sequential_ms\": %.3f, "
+                  "\"parallel_ms\": %.3f, \"speedup\": %.3f, "
+                  "\"identical\": %s}%s\n",
+                  m.targets, m.sequential_ms, m.parallel_ms,
+                  m.parallel_ms > 0.0 ? m.sequential_ms / m.parallel_ms : 0.0,
+                  m.identical ? "true" : "false",
+                  i + 1 < measurements.size() ? "," : "");
+    json << line;
+  }
+  json << "  ]\n}\n";
+  std::fprintf(stderr, "wrote BENCH_cycle_scale.json\n");
+
+  print_check("parallel results identical to sequential", all_identical,
+              all_identical ? "all target counts byte-identical"
+                            : "MISMATCH between parallel and sequential results");
+  return all_identical ? 0 : 1;
+}

@@ -45,12 +45,17 @@ int main(int argc, char** argv) {
 
   core::MantraConfig monitor_config;
   monitor_config.cycle = sim::Duration::minutes(30);
-  std::unique_ptr<core::Transport> transport;
+  core::TransportFactory factory;
   if (failure_rate > 0.0) {
-    transport = std::make_unique<core::FaultInjectingTransport>(
-        config.seed, core::FaultProfile::command_failure_rate(failure_rate));
+    // Every target collects over its own faulty telnet path, each with an
+    // independent fault stream derived from the scenario seed.
+    factory = [&config, failure_rate](const std::string& name) {
+      return std::make_unique<core::FaultInjectingTransport>(
+          core::per_target_seed(config.seed, name),
+          core::FaultProfile::command_failure_rate(failure_rate));
+    };
   }
-  core::Mantra mantra(scenario.engine(), monitor_config, std::move(transport));
+  core::Mantra mantra(scenario.engine(), monitor_config, std::move(factory));
   mantra.add_target(scenario.network().router(scenario.fixw_node()));
   mantra.add_target(scenario.network().router(scenario.ucsb_node()));
 

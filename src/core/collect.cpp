@@ -40,6 +40,22 @@ const RawCapture* CaptureReport::find(std::string_view command) const {
   return nullptr;
 }
 
+std::uint64_t per_target_seed(std::uint64_t base_seed,
+                              std::string_view target_name) {
+  // FNV-1a over the name, then splitmix64 to decorrelate nearby names and
+  // nearby base seeds.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : target_name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  std::uint64_t z = base_seed ^ hash;
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 sim::Duration RetryPolicy::backoff_before(std::size_t retry, sim::Rng& rng) const {
   double delay = initial_backoff.total_seconds() *
                  std::pow(backoff_multiplier, static_cast<double>(retry - 1));
@@ -171,7 +187,10 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
       capture.raw_text = std::move(result.text);
       capture.clean_text.clear();
 
-      const bool over_deadline = result.latency > policy_.command_deadline;
+      // The deadline bounds the command's cumulative latency (attempts +
+      // backoff), not each attempt in isolation — otherwise retries could
+      // overshoot it max_attempts-fold.
+      const bool over_deadline = capture.latency > policy_.command_deadline;
       if (result.status == TransportStatus::ok && !over_deadline) {
         if (router::cli::is_invalid_command_output(capture.raw_text)) {
           // The router understood us well enough to reject the command;
@@ -195,9 +214,15 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
       } else {
         capture.status = CaptureStatus::failed;
       }
-      if (attempt < max_attempts) {
-        capture.latency += policy_.backoff_before(attempt, jitter_rng_);
+      if (attempt == max_attempts ||
+          capture.latency >= policy_.command_deadline) {
+        break;  // out of attempts, or the deadline budget is spent
       }
+      const sim::Duration backoff = policy_.backoff_before(attempt, jitter_rng_);
+      if (capture.latency + backoff >= policy_.command_deadline) {
+        break;  // no budget left for the backoff plus another attempt
+      }
+      capture.latency += backoff;
     }
 
     report.latency += capture.latency;

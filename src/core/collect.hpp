@@ -68,6 +68,11 @@ struct CaptureReport {
 /// Retry/backoff policy for one collection pass. Delays are expressed in
 /// sim::Duration so they compose with the engine clock; jitter is drawn from
 /// a collector-owned seeded RNG so a run is reproducible.
+///
+/// `command_deadline` bounds the *cumulative* time spent on one command —
+/// attempts, backoff, everything. Retrying stops as soon as the budget is
+/// spent, so a command can overshoot the deadline by at most one attempt's
+/// latency, never by max_attempts x.
 struct RetryPolicy {
   std::size_t max_attempts = 3;  ///< per connect and per command, >= 1
   sim::Duration initial_backoff = sim::Duration::seconds(1);
@@ -82,6 +87,16 @@ struct RetryPolicy {
                                              sim::Rng& rng) const;
 };
 
+/// Derives an independent jitter-RNG seed for one named collection stream
+/// from a base seed (splitmix64 over an FNV-1a hash of the name). Giving
+/// every monitored target its own stream keeps each target's backoff draws
+/// a pure function of that target's own failure history: adding, removing,
+/// or failing one target never perturbs another target's schedule, and the
+/// per-target schedules are identical whether the targets are collected
+/// sequentially or in parallel.
+[[nodiscard]] std::uint64_t per_target_seed(std::uint64_t base_seed,
+                                            std::string_view target_name);
+
 /// The fixed command set Mantra runs each cycle (the paper's tables map to
 /// these: forwarding state, DVMRP routes, and the newer-protocol state).
 [[nodiscard]] const std::vector<std::string>& default_command_set();
@@ -91,6 +106,10 @@ struct RetryPolicy {
 /// runs of blank lines.
 [[nodiscard]] std::string preprocess(std::string_view raw);
 
+/// One collection pipeline: owns its transport session and its jitter RNG,
+/// so two Collectors never share mutable state. Not thread-safe per
+/// instance — concurrent collection uses one Collector per target
+/// (core/mantra's per-target shards), never one Collector across threads.
 class Collector {
  public:
   /// A null `transport` means the default CliTransport.

@@ -52,13 +52,25 @@ void MantraConfig::validate() const {
 }
 
 Mantra::Mantra(sim::Engine& engine, MantraConfig config)
-    : Mantra(engine, std::move(config), nullptr) {}
+    : Mantra(engine, std::move(config), TransportFactory{}) {}
 
 Mantra::Mantra(sim::Engine& engine, MantraConfig config,
                std::unique_ptr<Transport> transport)
+    : Mantra(engine, std::move(config),
+             // Legacy single-transport form: hand the transport to the
+             // first target added; later targets default to CliTransport.
+             [held = std::make_shared<std::unique_ptr<Transport>>(
+                  std::move(transport))](const std::string&) {
+               return std::move(*held);
+             }) {}
+
+Mantra::Mantra(sim::Engine& engine, MantraConfig config, TransportFactory factory)
     : engine_(engine),
       config_((config.validate(), std::move(config))),
-      collector_(default_command_set(), config_.retry, std::move(transport)),
+      transport_factory_(std::move(factory)),
+      pool_(config_.worker_threads > 0
+                ? std::make_unique<parallel::ThreadPool>(config_.worker_threads)
+                : nullptr),
       cycle_timer_(engine, config_.cycle, [this] { run_cycle_now(); }) {}
 
 void Mantra::add_target(const router::MulticastRouter* target) {
@@ -66,6 +78,14 @@ void Mantra::add_target(const router::MulticastRouter* target) {
                                              config_.spike_k);
   state->router = target;
   state->name = target->hostname();
+  // Each target gets its own collector: its own transport session and an
+  // independent jitter-RNG stream seeded from the target name, so one
+  // target's retry history never perturbs another's backoff draws.
+  RetryPolicy policy = config_.retry;
+  policy.jitter_seed = per_target_seed(config_.retry.jitter_seed, state->name);
+  state->collector = std::make_unique<Collector>(
+      default_command_set(), policy,
+      transport_factory_ ? transport_factory_(state->name) : nullptr);
   if (!config_.archive_dir.empty()) {
     std::filesystem::create_directories(config_.archive_dir);
     state->archive = std::make_unique<ArchiveWriter>(
@@ -78,12 +98,21 @@ void Mantra::start() { cycle_timer_.start(); }
 void Mantra::stop() { cycle_timer_.stop(); }
 
 void Mantra::run_cycle_now() {
-  for (auto& [name, target] : targets_) run_target_cycle(*target);
+  // One clock snapshot for the whole cycle: every shard stamps the same
+  // instant regardless of scheduling order, and no worker touches the
+  // engine. The join below keeps the cycle synchronous with the simulator.
+  const sim::TimePoint now = engine_.now();
+  std::vector<std::function<void()>> shards;
+  shards.reserve(targets_.size());
+  for (auto& [name, target] : targets_) {
+    TargetState* state = target.get();
+    shards.emplace_back([this, state, now] { run_target_cycle(*state, now); });
+  }
+  parallel::run_all(pool_.get(), std::move(shards));
 }
 
-void Mantra::run_target_cycle(TargetState& target) {
-  const sim::TimePoint now = engine_.now();
-  const CaptureReport report = collector_.capture(*target.router, now);
+void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
+  const CaptureReport report = target.collector->capture(*target.router, now);
 
   if (!report.connected || report.ok_count() == 0) {
     // Fully dark: no usable capture at all. Skip the cycle — the previous

@@ -8,6 +8,12 @@
 // keeps the previous snapshot's table for that protocol and marks the cycle
 // stale; a fully dark router is skipped for the cycle and its health state
 // (Healthy/Degraded/Unreachable) is tracked per target.
+//
+// The cycle is sharded per target: each target owns its whole pipeline
+// (collector + transport + jitter RNG, tables, logger, monitors, archive
+// writer), so with `worker_threads > 0` run_cycle_now() fans the shards out
+// across a core/parallel pool and joins — results are byte-identical to the
+// sequential path.
 #pragma once
 
 #include <functional>
@@ -20,6 +26,7 @@
 #include "core/collect.hpp"
 #include "core/log.hpp"
 #include "core/output.hpp"
+#include "core/parallel.hpp"
 #include "core/parse.hpp"
 #include "core/process.hpp"
 #include "core/transport.hpp"
@@ -35,6 +42,13 @@ namespace mantra::core {
 enum class TargetHealth { Healthy, Degraded, Unreachable };
 
 [[nodiscard]] const char* to_string(TargetHealth health);
+
+/// Builds the collection transport for one named target. Called once per
+/// add_target(); returning null falls back to the default CliTransport.
+/// Per-target transports keep fault-injection schedules independent: one
+/// target's failures never advance another target's fault RNG.
+using TransportFactory =
+    std::function<std::unique_ptr<Transport>(const std::string& target_name)>;
 
 struct MantraConfig {
   sim::Duration cycle = sim::Duration::minutes(15);
@@ -54,6 +68,13 @@ struct MantraConfig {
   std::string archive_dir;
   /// On-disk encoding policy for the archive sink.
   ArchiveOptions archive;
+  /// Worker threads for the per-target collection fan-out: 0 collects
+  /// sequentially on the engine thread (the reference path), N > 0 runs
+  /// each target's capture->parse->process->archive chain on a pool of N
+  /// threads and joins before the cycle returns. Every target exclusively
+  /// owns its collector, tables, spike detector, route monitor and archive
+  /// writer, so both paths produce byte-identical results.
+  std::size_t worker_threads = 0;
 
   /// Sanity-checks every field; throws std::invalid_argument naming the
   /// offending field. Called by the Mantra constructor.
@@ -87,8 +108,13 @@ class Mantra {
   };
 
   Mantra(sim::Engine& engine, MantraConfig config);
-  /// As above with an explicit collection transport (e.g. a
-  /// FaultInjectingTransport); null falls back to the default CliTransport.
+  /// As above with a per-target transport factory (e.g. one
+  /// FaultInjectingTransport per target, each with its own seed/profile).
+  Mantra(sim::Engine& engine, MantraConfig config, TransportFactory factory);
+  /// Legacy single-transport form: the explicit transport (e.g. a
+  /// FaultInjectingTransport) goes to the *first* target added; any further
+  /// targets fall back to the default CliTransport. Prefer the
+  /// TransportFactory constructor for multi-target fault injection.
   Mantra(sim::Engine& engine, MantraConfig config,
          std::unique_ptr<Transport> transport);
 
@@ -100,7 +126,10 @@ class Mantra {
   void stop();
 
   /// Runs one cycle immediately across all targets (also what the timer
-  /// calls).
+  /// calls). With `worker_threads > 0` the per-target chains run
+  /// concurrently on the pool; the call still returns only after every
+  /// target has finished, so the engine's deterministic run-to-completion
+  /// semantics are preserved.
   void run_cycle_now();
 
   /// The single per-target accessor; throws std::out_of_range for unknown
@@ -140,9 +169,15 @@ class Mantra {
   [[nodiscard]] std::vector<std::string> target_names() const;
 
  private:
+  /// One collection shard. Every member — collector (with its own
+  /// transport and jitter-RNG stream), tables, logger, monitors, archive
+  /// writer — is exclusively owned by this target, so shards share no
+  /// mutable state and run_target_cycle is safe to run concurrently for
+  /// distinct targets.
   struct TargetState {
     const router::MulticastRouter* router = nullptr;
     std::string name;
+    std::unique_ptr<Collector> collector;
     DataLogger logger;
     RouteMonitor route_monitor;
     SpikeDetector spike_detector;
@@ -157,13 +192,14 @@ class Mantra {
         : logger(logger_config), spike_detector(spike_window, spike_k) {}
   };
 
-  void run_target_cycle(TargetState& target);
+  void run_target_cycle(TargetState& target, sim::TimePoint now);
   [[nodiscard]] const TargetState& target(std::string_view router_name) const;
 
   sim::Engine& engine_;
   MantraConfig config_;
-  Collector collector_;
+  TransportFactory transport_factory_;
   std::map<std::string, std::unique_ptr<TargetState>, std::less<>> targets_;
+  std::unique_ptr<parallel::ThreadPool> pool_;  ///< null when worker_threads == 0
   sim::PeriodicTimer cycle_timer_;
 };
 

@@ -1,0 +1,60 @@
+// Minimal fixed-size worker pool for fanning independent per-target work
+// out across threads (core/mantra's parallel collection cycle, §V's
+// concurrent multi-router collection).
+//
+// The pool is deliberately small: submit() enqueues a task, run_all() is
+// the structured-join primitive the monitoring cycle uses — it runs a batch
+// to completion (on the pool when one is given, inline otherwise) and only
+// then returns, so callers keep the simulator's deterministic
+// run-to-completion semantics. Tasks must not touch shared mutable state;
+// the pool provides no synchronisation beyond the final join.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mantra::core::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (floored at 1).
+  explicit ThreadPool(std::size_t threads);
+  /// Drains nothing: pending tasks that never ran are dropped; tasks
+  /// already running are joined.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Thread-safe. The task must not throw out of the
+  /// pool — use run_all() for exception-propagating batches.
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+/// Runs every task to completion and returns only when all have finished.
+/// With a null pool (or fewer than two tasks) the tasks run inline, in
+/// order, on the calling thread — the sequential reference path. The first
+/// exception any task throws is rethrown to the caller after the join (the
+/// remaining tasks still run to completion).
+void run_all(ThreadPool* pool, std::vector<std::function<void()>> tasks);
+
+/// std::thread::hardware_concurrency with a floor of 1.
+[[nodiscard]] std::size_t hardware_threads();
+
+}  // namespace mantra::core::parallel

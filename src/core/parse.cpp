@@ -180,7 +180,15 @@ ParseOutcome<PairTable> parse_mroute_count(std::string_view text) {
       }
       continue;
     }
-    // Header/boilerplate lines are expected; ignore silently.
+    // Known header/boilerplate lines pass silently; anything else is
+    // transcript corruption (interleaved sessions, line noise) and must
+    // surface as a warning — a garbled dump must never parse "cleanly".
+    const bool boilerplate =
+        line == "IP Multicast Statistics" ||
+        consume_prefix(line, "Counts: ") ||
+        (line.find("routes using") != std::string_view::npos &&
+         line.find("bytes of memory") != std::string_view::npos);
+    if (!boilerplate) out.warnings.emplace_back(raw);
   }
   flush();
   return out;
@@ -250,7 +258,12 @@ ParseOutcome<RouteTable> parse_dvmrp_route(std::string_view text) {
       have_pending = true;
       continue;
     }
-    // Header lines ("DVMRP Routing Table - N entries") are ignored.
+    // Header lines ("DVMRP Routing Table - N entries", "% DVMRP not
+    // running") are expected; any other unmatched non-empty line is
+    // transcript corruption and gets a warning.
+    const bool boilerplate = consume_prefix(line, "DVMRP Routing Table") ||
+                             consume_prefix(line, "% DVMRP");
+    if (!boilerplate) out.warnings.emplace_back(raw);
   }
   flush();
   return out;

@@ -144,7 +144,7 @@ ConsistencyStats compare_route_tables(const RouteTable& a, const RouteTable& b) 
 SpikeDetector::Verdict SpikeDetector::observe(double value) {
   ++samples_seen_;
   Verdict verdict;
-  if (values_.size() >= 8) {  // need a minimal baseline
+  if (values_.size() >= min_baseline_) {  // need a minimal baseline
     std::vector<double> sorted(values_.begin(), values_.end());
     std::sort(sorted.begin(), sorted.end());
     const double median = sorted[sorted.size() / 2];

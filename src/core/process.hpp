@@ -6,6 +6,7 @@
 // unicast route injection.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -130,7 +131,13 @@ class SpikeDetector {
  public:
   explicit SpikeDetector(std::size_t window = 48, double k = 10.0,
                          double mad_floor = 3.0)
-      : window_(window), k_(k), mad_floor_(mad_floor) {}
+      : window_(window),
+        // The baseline gate must fit inside the window: the trim keeps at
+        // most `window` samples, so a fixed gate of 8 would never open for
+        // window < 8 and the detector would be permanently dead.
+        min_baseline_(std::min<std::size_t>(window, 8)),
+        k_(k),
+        mad_floor_(mad_floor) {}
 
   struct Verdict {
     bool spike = false;
@@ -151,6 +158,7 @@ class SpikeDetector {
 
  private:
   std::size_t window_;
+  std::size_t min_baseline_;
   double k_;
   double mad_floor_;
   std::size_t regime_threshold_ = 12;

@@ -231,6 +231,39 @@ TEST_F(RoundTrip, MrouteCountSurvivesScrapeAndParse) {
   EXPECT_GT(row.uptime.total_seconds(), 500.0);
 }
 
+TEST_F(RoundTrip, GarbledTranscriptNeverParsesCleanly) {
+  // Regression: unrecognized non-header lines used to be dropped silently,
+  // so a transcript with interleaved garbage (two sessions on one tty)
+  // could parse with parse_warnings == 0 and nobody would know the table
+  // was suspect. Garble every command and check the parsers complain.
+  FaultProfile profile;
+  profile.garble_p = 1.0;
+  FaultInjectingTransport transport(11, profile);
+  ASSERT_TRUE(transport.connect(*network_.router(r1_), engine_.now()).ok());
+
+  const TransportResult dvmrp =
+      transport.execute(*network_.router(r1_), "show ip dvmrp route", engine_.now());
+  ASSERT_EQ(dvmrp.status, TransportStatus::garbled);
+  EXPECT_FALSE(parse_dvmrp_route(preprocess(dvmrp.text)).warnings.empty());
+
+  // Clean reference: the same dump un-garbled still parses warning-free.
+  const std::string clean = router::cli::telnet_capture(
+      *network_.router(r1_), "show ip dvmrp route", engine_.now());
+  EXPECT_TRUE(parse_dvmrp_route(preprocess(clean)).warnings.empty());
+
+  network_.host_join(host_, net::Ipv4Address(224, 2, 0, 5));
+  network_.flow_start(host_, net::Ipv4Address(224, 2, 0, 5), 100.0,
+                      router::MfcMode::kDense);
+  engine_.run_until(engine_.now() + sim::Duration::minutes(10));
+  const TransportResult mroute = transport.execute(
+      *network_.router(r1_), "show ip mroute count", engine_.now());
+  ASSERT_EQ(mroute.status, TransportStatus::garbled);
+  EXPECT_FALSE(parse_mroute_count(preprocess(mroute.text)).warnings.empty());
+  const std::string clean_mroute = router::cli::telnet_capture(
+      *network_.router(r1_), "show ip mroute count", engine_.now());
+  EXPECT_TRUE(parse_mroute_count(preprocess(clean_mroute)).warnings.empty());
+}
+
 TEST_F(RoundTrip, CaptureRecordsRawAndCleanText) {
   const CaptureReport report = Collector().capture(*network_.router(r1_), engine_.now());
   ASSERT_EQ(report.captures.size(), default_command_set().size());

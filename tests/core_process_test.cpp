@@ -205,6 +205,19 @@ TEST(SpikeDetector, NeedsMinimalBaseline) {
   }
 }
 
+TEST(SpikeDetector, SmallWindowStillDetects) {
+  // Regression: the window trim keeps at most `window` samples, so a fixed
+  // baseline gate of 8 left any spike_window < 8 permanently dead — the
+  // detector accumulated 4 samples, never reached 8, and never activated.
+  SpikeDetector detector(4, 10.0, 3.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(detector.observe(600.0).spike) << "sample " << i;
+  }
+  const auto verdict = detector.observe(2100.0);
+  EXPECT_TRUE(verdict.spike);
+  EXPECT_GT(verdict.score, 10.0);
+}
+
 TEST(SpikeDetector, PersistentShiftIsAcceptedAsNewRegime) {
   SpikeDetector detector(16, 8.0, 3.0);
   for (int i = 0; i < 16; ++i) detector.observe(100.0);

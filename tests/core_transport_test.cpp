@@ -130,7 +130,38 @@ TEST_F(TransportTest, SlowResponseExceedsDeadline) {
   EXPECT_EQ(report.captures[0].status, CaptureStatus::failed);
   EXPECT_EQ(report.captures[0].transport_status,
             TransportStatus::deadline_exceeded);
-  EXPECT_EQ(report.captures[0].attempts, 2u);
+  // The first slow response alone spends the whole cumulative deadline, so
+  // no retry is attempted.
+  EXPECT_EQ(report.captures[0].attempts, 1u);
+}
+
+TEST_F(TransportTest, DeadlineBoundsCumulativeLatencyAcrossRetries) {
+  // Each attempt fails in 12s against a 30s deadline with a generous
+  // attempt budget: retrying must stop once the cumulative spend (attempts
+  // + backoff) reaches the deadline, instead of burning max_attempts x.
+  FaultProfile profile;
+  profile.truncate_p = 1.0;
+  profile.base_latency = sim::Duration::seconds(12);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = sim::Duration::seconds(1);
+  policy.backoff_multiplier = 2.0;
+  policy.jitter = 0.0;
+  policy.command_deadline = sim::Duration::seconds(30);
+  Collector collector({"show ip dvmrp route"}, policy,
+                      std::make_unique<FaultInjectingTransport>(6, profile));
+
+  const CaptureReport report = collector.capture(r1(), engine_.now());
+  ASSERT_EQ(report.captures.size(), 1u);
+  const RawCapture& capture = report.captures[0];
+  // 12s + 1s backoff + 12s = 25s < 30s; the 2s backoff fits (27s) but the
+  // third attempt lands at 39s >= 30s, so collection stops there.
+  EXPECT_EQ(capture.attempts, 3u);
+  EXPECT_EQ(capture.latency.total_ms(), 3 * 12000 + 1000 + 2000);
+  // Overshoot is bounded by one attempt's latency, never by max_attempts x.
+  EXPECT_LE(capture.latency,
+            policy.command_deadline + profile.base_latency);
+  EXPECT_EQ(capture.status, CaptureStatus::truncated);
 }
 
 TEST_F(TransportTest, GarbledTranscriptFails) {
