@@ -1,0 +1,171 @@
+// Macro-benchmark for the telemetry subsystem's hot-path cost: the same
+// monitoring cycles run three ways — telemetry absent (the default no-op
+// sink), telemetry enabled, and telemetry enabled under fault injection
+// (retries, backoff and events firing) — with an equivalence check that
+// the enabled run's results are byte-identical to the no-op run's.
+//
+// The overhead budget is <3% of cycle wall time (documented in DESIGN.md
+// §8 / EXPERIMENTS.md); the exit-code gate is deliberately looser so a
+// noisy CI box does not flake the build. Knobs:
+//   MANTRA_TELEMETRY_OVERHEAD_CYCLES    cycles per measurement (default 24)
+//   MANTRA_TELEMETRY_OVERHEAD_REPEATS   repeats, best-of (default 5)
+//   MANTRA_TELEMETRY_OVERHEAD_MAX_PCT   exit-code gate in percent (default 10)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mantra.hpp"
+#include "core/parallel.hpp"
+#include "macro_run.hpp"
+#include "workload/scenario.hpp"
+
+namespace mantra::bench {
+namespace {
+
+int env_int(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return fallback;
+}
+
+core::TransportFactory faulty_factory() {
+  return [](const std::string& name) -> std::unique_ptr<core::Transport> {
+    return std::make_unique<core::FaultInjectingTransport>(
+        core::per_target_seed(0xbe7c, name),
+        core::FaultProfile::command_failure_rate(0.2));
+  };
+}
+
+/// Wall-clock milliseconds for `cycles` cycles at the scenario's current
+/// instant (the engine clock is not advanced, so every variant sees the
+/// same router state). Returns the per-target results for the identity
+/// check.
+double time_cycles(workload::FixwScenario& scenario, bool telemetry_on,
+                   bool faults, int cycles,
+                   std::vector<std::vector<core::CycleResult>>* results_out) {
+  core::MantraConfig config;
+  config.cycle = sim::Duration::minutes(30);
+  config.worker_threads = core::parallel::hardware_threads();
+  config.telemetry.enabled = telemetry_on;
+  auto monitor =
+      faults ? std::make_unique<core::Mantra>(scenario.engine(), config,
+                                              faulty_factory())
+             : std::make_unique<core::Mantra>(scenario.engine(), config);
+  monitor->add_target(scenario.network().router(scenario.fixw_node()));
+  for (const net::NodeId border : scenario.border_nodes()) {
+    monitor->add_target(scenario.network().router(border));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int cycle = 0; cycle < cycles; ++cycle) monitor->run_cycle_now();
+  const auto stop = std::chrono::steady_clock::now();
+
+  if (results_out != nullptr) {
+    results_out->clear();
+    for (const std::string& name : monitor->target_names()) {
+      results_out->push_back(monitor->target_view(name).results());
+    }
+  }
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+double best_of(workload::FixwScenario& scenario, bool telemetry_on, bool faults,
+               int cycles, int repeats,
+               std::vector<std::vector<core::CycleResult>>* results_out) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const double ms = time_cycles(scenario, telemetry_on, faults, cycles,
+                                  r + 1 == repeats ? results_out : nullptr);
+    best = r == 0 ? ms : std::min(best, ms);
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace mantra::bench
+
+int main() {
+  using namespace mantra;
+  using namespace mantra::bench;
+
+  const int cycles = env_int("MANTRA_TELEMETRY_OVERHEAD_CYCLES", 24);
+  const int repeats = env_int("MANTRA_TELEMETRY_OVERHEAD_REPEATS", 5);
+  const int max_pct = env_int("MANTRA_TELEMETRY_OVERHEAD_MAX_PCT", 10);
+
+  workload::ScenarioConfig scenario_config;
+  scenario_config.seed = 2024;
+  scenario_config.domains = 32;  // fixw + 32 borders
+  scenario_config.hosts_per_domain = 2;
+  scenario_config.dvmrp_prefixes_per_domain = 12;
+  scenario_config.report_loss = 0.02;
+  scenario_config.timer_scale = 40;
+  scenario_config.full_timers = false;
+  scenario_config.generator.session_arrivals_per_hour = 60.0;
+  scenario_config.generator.bursts_per_day = 0.0;
+  std::fprintf(stderr, "building scenario with %d domains...\n",
+               scenario_config.domains);
+  workload::FixwScenario scenario(scenario_config);
+  scenario.start();
+  scenario.engine().run_until(scenario.engine().now() + sim::Duration::hours(2));
+
+  std::vector<std::vector<core::CycleResult>> off_results;
+  std::vector<std::vector<core::CycleResult>> on_results;
+  const double off_ms = best_of(scenario, false, false, cycles, repeats,
+                                &off_results);
+  const double on_ms = best_of(scenario, true, false, cycles, repeats,
+                               &on_results);
+  const double faulty_off_ms =
+      best_of(scenario, false, true, cycles, repeats, nullptr);
+  const double faulty_on_ms =
+      best_of(scenario, true, true, cycles, repeats, nullptr);
+
+  const auto overhead_pct = [](double off, double on) {
+    return off > 0.0 ? (on - off) / off * 100.0 : 0.0;
+  };
+  const double clean_pct = overhead_pct(off_ms, on_ms);
+  const double faulty_pct = overhead_pct(faulty_off_ms, faulty_on_ms);
+  std::fprintf(stderr,
+               "clean:  off=%8.2f ms  on=%8.2f ms  overhead=%+.2f%%\n"
+               "faulty: off=%8.2f ms  on=%8.2f ms  overhead=%+.2f%%\n",
+               off_ms, on_ms, clean_pct, faulty_off_ms, faulty_on_ms,
+               faulty_pct);
+
+  const bool identical = off_results == on_results;
+
+  std::ofstream json("BENCH_telemetry_overhead.json");
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "{\n  \"bench\": \"telemetry_overhead\",\n"
+                "  \"cycles\": %d,\n  \"repeats\": %d,\n"
+                "  \"clean\": {\"off_ms\": %.3f, \"on_ms\": %.3f, "
+                "\"overhead_pct\": %.3f},\n"
+                "  \"faulty\": {\"off_ms\": %.3f, \"on_ms\": %.3f, "
+                "\"overhead_pct\": %.3f},\n"
+                "  \"identical\": %s,\n  \"target_pct\": 3.0,\n"
+                "  \"gate_pct\": %d\n}\n",
+                cycles, repeats, off_ms, on_ms, clean_pct, faulty_off_ms,
+                faulty_on_ms, faulty_pct, identical ? "true" : "false",
+                max_pct);
+  json << line;
+  std::fprintf(stderr, "wrote BENCH_telemetry_overhead.json\n");
+
+  char detail[160];
+  std::snprintf(detail, sizeof detail,
+                "clean %+.2f%%, faulty %+.2f%% (target <3%%, gate <%d%%)",
+                clean_pct, faulty_pct, max_pct);
+  const bool within_gate =
+      clean_pct < static_cast<double>(max_pct) &&
+      faulty_pct < static_cast<double>(max_pct);
+  print_check("telemetry overhead within gate", within_gate, detail);
+  print_check("telemetry-on results identical to no-op", identical,
+              identical ? "byte-identical cycle results"
+                        : "MISMATCH between telemetry-on and no-op results");
+  return within_gate && identical ? 0 : 1;
+}

@@ -1,7 +1,7 @@
 // The paper's headline deployment: Mantra watching the FIXW exchange point
 // and the UCSB campus mrouted across the infrastructure transition.
 //
-//   $ ./examples/fixw_monitor [days]     (default 14)
+//   $ ./examples/fixw_monitor [days] [failure_rate] [flags]    (default 14, 0)
 //
 // Runs the trace-scale FIXW scenario with the transition scheduled mid-run,
 // monitors both collection points, and emits the paper's series as CSV plus
@@ -12,9 +12,19 @@
 // previous cycle's tables forward and the overview reports target health.
 //
 //   $ ./examples/fixw_monitor 14 0.2     (14 days, 20% command failures)
+//
+// Self-instrumentation flags (either enables core/telemetry for the run):
+//   --metrics-out=<path>   write Prometheus metrics exposition on exit
+//   --trace-out=<path>     write Chrome trace_event JSON (chrome://tracing)
+// With telemetry on, the monitor-of-the-monitor status table prints each
+// simulated day and the run ends with the final status plus the tail of the
+// structured event log.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/mantra.hpp"
 #include "core/transport.hpp"
@@ -23,8 +33,21 @@
 using namespace mantra;
 
 int main(int argc, char** argv) {
-  const int days = argc > 1 ? std::atoi(argv[1]) : 14;
-  const double failure_rate = argc > 2 ? std::atof(argv[2]) : 0.0;
+  std::string metrics_out;
+  std::string trace_out;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int days = positional.size() > 0 ? std::atoi(positional[0]) : 14;
+  const double failure_rate = positional.size() > 1 ? std::atof(positional[1]) : 0.0;
+  const bool telemetry_on = !metrics_out.empty() || !trace_out.empty();
 
   workload::ScenarioConfig config;
   config.seed = 1998;
@@ -45,6 +68,7 @@ int main(int argc, char** argv) {
 
   core::MantraConfig monitor_config;
   monitor_config.cycle = sim::Duration::minutes(30);
+  monitor_config.telemetry.enabled = telemetry_on;
   core::TransportFactory factory;
   if (failure_rate > 0.0) {
     // Every target collects over its own faulty telnet path, each with an
@@ -65,6 +89,9 @@ int main(int argc, char** argv) {
     scenario.engine().run_until(sim::TimePoint::start() + sim::Duration::days(day));
     std::fprintf(stderr, "day %d/%d: %zu live sessions\n", day, days,
                  scenario.generator().live_session_count());
+    if (telemetry_on) {
+      std::fprintf(stderr, "%s\n", mantra.status().to_table().render().c_str());
+    }
   }
 
   const auto sessions = mantra.series("fixw", "sessions", [](const core::CycleResult& r) {
@@ -138,5 +165,30 @@ int main(int argc, char** argv) {
                   static_cast<double>(logger.stored_bytes()));
   std::printf("\nsenders at FIXW (last cycle): %.0f\n",
               senders.points().empty() ? 0.0 : senders.points().back().value);
+
+  if (telemetry_on) {
+    std::printf("\n=== Monitor status (end of run) ===\n\n%s\n",
+                mantra.status().to_table().render().c_str());
+    const core::Telemetry& telemetry = mantra.telemetry();
+    const std::string events = telemetry.events().logfmt(12);
+    if (!events.empty()) {
+      std::printf("=== Telemetry events (last %zu of %llu) ===\n%s\n",
+                  std::min<std::size_t>(telemetry.events().size(), 12),
+                  static_cast<unsigned long long>(telemetry.events().total_logged()),
+                  events.c_str());
+    }
+    if (!metrics_out.empty()) {
+      const bool ok = telemetry.write_metrics_prom(metrics_out);
+      std::fprintf(stderr, "%s %s\n",
+                   ok ? "wrote" : "FAILED to write", metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      const bool ok = telemetry.write_trace_json(trace_out);
+      std::fprintf(stderr, "%s %s (%zu spans, %llu dropped)\n",
+                   ok ? "wrote" : "FAILED to write", trace_out.c_str(),
+                   telemetry.tracer().span_count(),
+                   static_cast<unsigned long long>(telemetry.tracer().dropped()));
+    }
+  }
   return 0;
 }

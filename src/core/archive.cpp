@@ -423,15 +423,50 @@ void ArchiveWriter::append(const Snapshot& snapshot, const ArchiveCycleMeta& met
   previous_.mbgp_routes = snapshot.mbgp_routes;
   have_previous_ = true;
 
+  if (telemetry_->enabled()) {
+    MetricsRegistry& metrics = telemetry_->metrics();
+    metrics
+        .counter("mantra_archive_records_total",
+                 {{"target", telemetry_label_},
+                  {"kind", keyframe ? "keyframe" : "delta"}})
+        .inc();
+    metrics
+        .counter("mantra_archive_bytes_total", {{"target", telemetry_label_}})
+        .inc(frame.size());
+    if (keyframe) {
+      telemetry_->events().log(
+          EventLevel::info, "archive_keyframe", snapshot.captured,
+          {{"target", telemetry_label_},
+           {"cycle", std::to_string(cycles_written_ - 1)},
+           {"bytes", std::to_string(frame.size())}});
+    }
+  }
+
   if (keyframe && options_.fsync_on_keyframe) sync();
 }
 
 void ArchiveWriter::sync() {
   if (file_ == nullptr) return;
+  const bool telemetry_on = telemetry_->enabled();
+  const std::int64_t start_us =
+      telemetry_on ? telemetry_->tracer().wall_now_us() : 0;
   std::fflush(file_);
 #if defined(__unix__) || defined(__APPLE__)
   ::fsync(fileno(file_));
 #endif
+  if (telemetry_on) {
+    MetricsRegistry& metrics = telemetry_->metrics();
+    metrics.counter("mantra_archive_fsync_total", {{"target", telemetry_label_}})
+        .inc();
+    static const std::vector<double> fsync_buckets = {
+        1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0,
+    };
+    metrics
+        .histogram("mantra_archive_fsync_seconds", {{"target", telemetry_label_}},
+                   fsync_buckets)
+        .observe(static_cast<double>(telemetry_->tracer().wall_now_us() - start_us) /
+                 1e6);
+  }
 }
 
 void ArchiveWriter::close() {
@@ -439,6 +474,11 @@ void ArchiveWriter::close() {
   sync();
   std::fclose(file_);
   file_ = nullptr;
+}
+
+void ArchiveWriter::set_telemetry(Telemetry* telemetry, std::string label) {
+  telemetry_ = telemetry;
+  telemetry_label_ = std::move(label);
 }
 
 // --- ArchiveReader ---------------------------------------------------------

@@ -36,6 +36,7 @@
 #include "core/output.hpp"
 #include "core/process.hpp"
 #include "core/tables.hpp"
+#include "core/telemetry.hpp"
 
 namespace mantra::core {
 
@@ -88,6 +89,11 @@ class ArchiveWriter {
   /// Flushes and closes the file; further appends throw. Idempotent.
   void close();
 
+  /// Attaches a telemetry sink recording record mix, bytes, fsync count and
+  /// fsync wall duration under `label` (the target name). Never pass null —
+  /// use Telemetry::noop() to detach.
+  void set_telemetry(Telemetry* telemetry, std::string label);
+
   [[nodiscard]] std::size_t cycles_written() const { return cycles_written_; }
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
   [[nodiscard]] const ArchiveOptions& options() const { return options_; }
@@ -101,6 +107,8 @@ class ArchiveWriter {
   std::uint64_t bytes_written_ = 0;
   Snapshot previous_;
   bool have_previous_ = false;
+  Telemetry* telemetry_ = &Telemetry::noop();
+  std::string telemetry_label_;
 };
 
 /// What ArchiveReader found (and lost) while opening a file.

@@ -17,6 +17,15 @@ const char* to_string(CaptureStatus status) {
   return "unknown";
 }
 
+const char* to_string(DeadlinePhase phase) {
+  switch (phase) {
+    case DeadlinePhase::none: return "none";
+    case DeadlinePhase::in_flight: return "in-flight";
+    case DeadlinePhase::backoff: return "backoff";
+  }
+  return "unknown";
+}
+
 bool CaptureReport::all_ok() const {
   return connected &&
          std::all_of(captures.begin(), captures.end(),
@@ -137,11 +146,72 @@ Collector::Collector(std::vector<std::string> commands, RetryPolicy policy,
                            : std::make_unique<CliTransport>()),
       jitter_rng_(policy.jitter_seed) {}
 
+void Collector::set_telemetry(Telemetry* telemetry, std::string target) {
+  telemetry_ = telemetry;
+  telemetry_target_ = target;
+  transport_->set_telemetry(telemetry, std::move(target));
+}
+
+void Collector::record_capture_telemetry(const RawCapture& capture,
+                                         sim::TimePoint now,
+                                         sim::Duration backoff_total) {
+  if (!telemetry_->enabled()) return;
+  MetricsRegistry& metrics = telemetry_->metrics();
+  metrics
+      .counter("mantra_capture_status_total",
+               {{"target", telemetry_target_},
+                {"status", to_string(capture.status)}})
+      .inc();
+  if (capture.attempts > 1) {
+    metrics
+        .counter("mantra_capture_retries_total", {{"target", telemetry_target_}})
+        .inc(capture.attempts - 1);
+  }
+  if (backoff_total.total_ms() > 0) {
+    metrics
+        .counter("mantra_capture_backoff_ms_total",
+                 {{"target", telemetry_target_}})
+        .inc(static_cast<std::uint64_t>(backoff_total.total_ms()));
+  }
+  metrics
+      .histogram("mantra_capture_latency_seconds", {{"target", telemetry_target_}})
+      .observe(capture.latency.total_seconds());
+  metrics
+      .histogram("mantra_command_latency_seconds", {{"command", capture.command}})
+      .observe(capture.latency.total_seconds());
+  if (capture.deadline_phase != DeadlinePhase::none) {
+    metrics
+        .counter("mantra_capture_deadline_exhausted_total",
+                 {{"target", telemetry_target_},
+                  {"phase", to_string(capture.deadline_phase)}})
+        .inc();
+    telemetry_->events().log(
+        EventLevel::warn, "command_deadline_exhausted", now,
+        {{"target", telemetry_target_},
+         {"command", capture.command},
+         {"phase", to_string(capture.deadline_phase)},
+         {"attempts", std::to_string(capture.attempts)},
+         {"latency_ms", std::to_string(capture.latency.total_ms())}});
+  } else if (!capture.ok()) {
+    telemetry_->events().log(
+        EventLevel::warn, "capture_failed", now,
+        {{"target", telemetry_target_},
+         {"command", capture.command},
+         {"status", to_string(capture.status)},
+         {"transport", to_string(capture.transport_status)},
+         {"attempts", std::to_string(capture.attempts)}});
+  }
+}
+
 CaptureReport Collector::capture(const router::MulticastRouter& router,
                                  sim::TimePoint now) {
   CaptureReport report;
   report.captures.reserve(commands_.size());
   const std::size_t max_attempts = std::max<std::size_t>(policy_.max_attempts, 1);
+  const bool telemetry_on = telemetry_->enabled();
+  // A disabled tracer hands out an inert scope — no clock reads, no storage.
+  Tracer::Scope capture_scope = telemetry_->tracer().span("capture", "collect", now);
+  capture_scope.arg("target", telemetry_target_);
 
   // Establish the session, retrying with backoff.
   TransportResult session;
@@ -167,7 +237,17 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
       capture.captured = now;
       capture.status = CaptureStatus::failed;
       capture.transport_status = session.status;
+      record_capture_telemetry(capture, now, sim::Duration());
       report.captures.push_back(std::move(capture));
+    }
+    if (telemetry_on) {
+      telemetry_->events().log(
+          EventLevel::warn, "session_failed", now,
+          {{"target", telemetry_target_},
+           {"transport", to_string(session.status)},
+           {"attempts", std::to_string(report.attempts)}});
+      capture_scope.arg("connected", "false");
+      capture_scope.set_sim_interval(now, report.latency);
     }
     return report;
   }
@@ -177,8 +257,14 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
     capture.router_name = router.hostname();
     capture.command = command;
     capture.captured = now;
+    sim::Duration backoff_total;
+
+    Tracer::Scope command_scope = telemetry_->tracer().span(command, "command", now);
+    command_scope.arg("target", telemetry_target_);
 
     for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      const std::int64_t attempt_wall_start =
+          telemetry_on ? telemetry_->tracer().wall_now_us() : 0;
       TransportResult result = transport_->execute(router, command, now);
       ++report.attempts;
       capture.attempts = attempt;
@@ -186,6 +272,22 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
       capture.transport_status = result.status;
       capture.raw_text = std::move(result.text);
       capture.clean_text.clear();
+      if (telemetry_on) {
+        TraceSpan attempt_span;
+        attempt_span.name = "attempt";
+        attempt_span.category = "attempt";
+        attempt_span.sim_ts_ms = now.total_ms();
+        attempt_span.sim_dur_ms = result.latency.total_ms();
+        attempt_span.wall_ts_us = attempt_wall_start;
+        attempt_span.wall_dur_us =
+            telemetry_->tracer().wall_now_us() - attempt_wall_start;
+        attempt_span.tid = telemetry_->tracer().thread_id();
+        attempt_span.args = {{"target", telemetry_target_},
+                             {"command", command},
+                             {"attempt", std::to_string(attempt)},
+                             {"transport", to_string(result.status)}};
+        telemetry_->tracer().record(std::move(attempt_span));
+      }
 
       // The deadline bounds the command's cumulative latency (attempts +
       // backoff), not each attempt in isolation — otherwise retries could
@@ -205,7 +307,6 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
 
       if (result.status == TransportStatus::ok && over_deadline) {
         capture.transport_status = TransportStatus::deadline_exceeded;
-        capture.status = CaptureStatus::failed;
       } else if (result.status == TransportStatus::truncated) {
         // Keep the partial dump for the archive, preprocessed for humans,
         // but never hand it to the parsers as a complete table.
@@ -214,21 +315,42 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
       } else {
         capture.status = CaptureStatus::failed;
       }
-      if (attempt == max_attempts ||
-          capture.latency >= policy_.command_deadline) {
-        break;  // out of attempts, or the deadline budget is spent
+
+      // Deadline exhaustion — during the attempt itself, or because the
+      // backoff before the next attempt would spend the rest of the
+      // budget — is one uniform outcome: the capture failed, and
+      // `deadline_phase` records where the budget ran out. A command
+      // whose budget dies during backoff is exactly as unusable as one
+      // whose last attempt overran in flight; callers must not have to
+      // know the retry schedule to tell them apart.
+      if (capture.latency >= policy_.command_deadline || over_deadline) {
+        capture.status = CaptureStatus::failed;
+        capture.deadline_phase = DeadlinePhase::in_flight;
+        capture.clean_text.clear();
+        break;
       }
+      if (attempt == max_attempts) break;  // out of attempts
       const sim::Duration backoff = policy_.backoff_before(attempt, jitter_rng_);
       if (capture.latency + backoff >= policy_.command_deadline) {
-        break;  // no budget left for the backoff plus another attempt
+        // No budget left for the backoff plus another attempt: the retry
+        // schedule, not an in-flight response, spent the deadline. The
+        // last attempt's transport_status survives as the proximate cause.
+        capture.status = CaptureStatus::failed;
+        capture.deadline_phase = DeadlinePhase::backoff;
+        capture.clean_text.clear();
+        break;
       }
       capture.latency += backoff;
+      backoff_total += backoff;
     }
 
     report.latency += capture.latency;
+    if (telemetry_on) command_scope.set_sim_interval(now, capture.latency);
+    record_capture_telemetry(capture, now, backoff_total);
     report.captures.push_back(std::move(capture));
   }
   transport_->disconnect();
+  if (telemetry_on) capture_scope.set_sim_interval(now, report.latency);
   return report;
 }
 

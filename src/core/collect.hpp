@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/telemetry.hpp"
 #include "core/transport.hpp"
 #include "router/router.hpp"
 #include "sim/random.hpp"
@@ -33,6 +34,22 @@ enum class CaptureStatus {
 
 [[nodiscard]] const char* to_string(CaptureStatus status);
 
+/// Where a command's cumulative deadline budget ran out, when it did.
+/// Exhaustion is uniformly a `CaptureStatus::failed` capture; this field is
+/// the distinguishing fact (also logged as the `phase` field of the
+/// `command_deadline_exhausted` telemetry event):
+///   * in_flight — an attempt's own latency spent the remaining budget
+///     (whether the response was usable-but-late or a failure);
+///   * backoff — the last attempt failed and the backoff wait before the
+///     next attempt would overrun the budget, so no retry was made.
+enum class DeadlinePhase {
+  none,       ///< the deadline never ran out
+  in_flight,  ///< spent during an attempt
+  backoff,    ///< spent during (or by) the backoff sleep between attempts
+};
+
+[[nodiscard]] const char* to_string(DeadlinePhase phase);
+
 /// One raw capture from one command on one router.
 struct RawCapture {
   std::string router_name;
@@ -43,6 +60,9 @@ struct RawCapture {
                           ///< or truncated
   CaptureStatus status = CaptureStatus::ok;
   TransportStatus transport_status = TransportStatus::ok;  ///< last attempt
+  DeadlinePhase deadline_phase = DeadlinePhase::none;  ///< set iff the
+                                                       ///< cumulative deadline
+                                                       ///< was exhausted
   std::size_t attempts = 0;  ///< command attempts made (0 if never connected)
   sim::Duration latency;     ///< total simulated time incl. retries/backoff
 
@@ -123,15 +143,25 @@ class Collector {
   [[nodiscard]] CaptureReport capture(const router::MulticastRouter& router,
                                       sim::TimePoint now);
 
+  /// Attaches a telemetry sink (forwarded to the owned transport) and the
+  /// target label stamped on every metric/span/event this collector
+  /// records. Never pass null — use Telemetry::noop() to detach.
+  void set_telemetry(Telemetry* telemetry, std::string target);
+
   [[nodiscard]] const std::vector<std::string>& commands() const { return commands_; }
   [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
   [[nodiscard]] Transport& transport() { return *transport_; }
 
  private:
+  void record_capture_telemetry(const RawCapture& capture, sim::TimePoint now,
+                                sim::Duration backoff_total);
+
   std::vector<std::string> commands_;
   RetryPolicy policy_;
   std::unique_ptr<Transport> transport_;
   sim::Rng jitter_rng_;
+  Telemetry* telemetry_ = &Telemetry::noop();
+  std::string telemetry_target_;
 };
 
 }  // namespace mantra::core

@@ -1,8 +1,11 @@
 #include "core/mantra.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
+
+#include "sim/random.hpp"
 
 namespace mantra::core {
 
@@ -68,10 +71,13 @@ Mantra::Mantra(sim::Engine& engine, MantraConfig config, TransportFactory factor
     : engine_(engine),
       config_((config.validate(), std::move(config))),
       transport_factory_(std::move(factory)),
+      telemetry_(std::make_unique<Telemetry>(config_.telemetry)),
       pool_(config_.worker_threads > 0
                 ? std::make_unique<parallel::ThreadPool>(config_.worker_threads)
                 : nullptr),
-      cycle_timer_(engine, config_.cycle, [this] { run_cycle_now(); }) {}
+      cycle_timer_(engine, config_.cycle, [this] { run_cycle_now(); }) {
+  if (pool_) pool_->set_telemetry(telemetry_.get());
+}
 
 void Mantra::add_target(const router::MulticastRouter* target) {
   auto state = std::make_unique<TargetState>(config_.logger, config_.spike_window,
@@ -86,10 +92,12 @@ void Mantra::add_target(const router::MulticastRouter* target) {
   state->collector = std::make_unique<Collector>(
       default_command_set(), policy,
       transport_factory_ ? transport_factory_(state->name) : nullptr);
+  state->collector->set_telemetry(telemetry_.get(), state->name);
   if (!config_.archive_dir.empty()) {
     std::filesystem::create_directories(config_.archive_dir);
     state->archive = std::make_unique<ArchiveWriter>(
         config_.archive_dir + "/" + state->name + ".marc", config_.archive);
+    state->archive->set_telemetry(telemetry_.get(), state->name);
   }
   targets_[target->hostname()] = std::move(state);
 }
@@ -102,6 +110,14 @@ void Mantra::run_cycle_now() {
   // instant regardless of scheduling order, and no worker touches the
   // engine. The join below keeps the cycle synchronous with the simulator.
   const sim::TimePoint now = engine_.now();
+  Tracer::Scope cycle_scope = telemetry_->tracer().span("cycle", "cycle", now);
+  if (telemetry_->enabled()) {
+    cycle_scope.arg("targets", std::to_string(targets_.size()));
+    telemetry_->metrics().counter("mantra_cycles_total").inc();
+    telemetry_->metrics()
+        .gauge("mantra_targets")
+        .set(static_cast<double>(targets_.size()));
+  }
   std::vector<std::function<void()>> shards;
   shards.reserve(targets_.size());
   for (auto& [name, target] : targets_) {
@@ -109,19 +125,45 @@ void Mantra::run_cycle_now() {
     shards.emplace_back([this, state, now] { run_target_cycle(*state, now); });
   }
   parallel::run_all(pool_.get(), std::move(shards));
+  ++cycles_run_;
 }
 
 void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
+  Tracer::Scope target_scope =
+      telemetry_->tracer().span("target_cycle", "cycle", now);
+  target_scope.arg("target", target.name);
+
   const CaptureReport report = target.collector->capture(*target.router, now);
 
   if (!report.connected || report.ok_count() == 0) {
     // Fully dark: no usable capture at all. Skip the cycle — the previous
     // snapshot and statistics stand — and escalate the health state.
     ++target.consecutive_failures;
+    const TargetHealth previous_health = target.health;
     target.health = target.consecutive_failures >= config_.unreachable_after
                         ? TargetHealth::Unreachable
                         : TargetHealth::Degraded;
+    if (telemetry_->enabled()) {
+      telemetry_->metrics()
+          .counter("mantra_cycles_dark_total", {{"target", target.name}})
+          .inc();
+      if (target.health == TargetHealth::Unreachable &&
+          previous_health != TargetHealth::Unreachable) {
+        telemetry_->events().log(
+            EventLevel::error, "target_unreachable", now,
+            {{"target", target.name},
+             {"dark_cycles", std::to_string(target.consecutive_failures)}});
+      }
+      target_scope.arg("outcome", "dark");
+      target_scope.set_sim_interval(now, report.latency);
+    }
     return;
+  }
+  if (telemetry_->enabled() && target.consecutive_failures > 0) {
+    telemetry_->events().log(
+        EventLevel::info, "target_recovered", now,
+        {{"target", target.name},
+         {"dark_cycles", std::to_string(target.consecutive_failures)}});
   }
 
   Snapshot snapshot;
@@ -129,6 +171,12 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
   snapshot.captured = now;
   std::size_t warnings = 0;
   std::size_t stale_tables = 0;
+
+  // Parsing/derivation is instantaneous in sim time; the span captures its
+  // wall cost.
+  Tracer::Scope process_scope =
+      telemetry_->tracer().span("process", "process", now);
+  process_scope.arg("target", target.name);
 
   // Parse each table from its capture when the capture is clean; otherwise
   // carry the previous snapshot's table forward so the cycle's statistics
@@ -213,6 +261,42 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
 
   target.consecutive_failures = 0;
   target.health = report.all_ok() ? TargetHealth::Healthy : TargetHealth::Degraded;
+  target.last_success = now;
+
+  if (telemetry_->enabled()) {
+    MetricsRegistry& metrics = telemetry_->metrics();
+    metrics.counter("mantra_cycles_recorded_total", {{"target", target.name}})
+        .inc();
+    const std::size_t rows = snapshot.pairs.size() + snapshot.routes.size() +
+                             snapshot.sa_cache.size() +
+                             snapshot.mbgp_routes.size();
+    metrics.counter("mantra_parse_rows_total", {{"target", target.name}})
+        .inc(rows);
+    if (warnings > 0) {
+      metrics.counter("mantra_parse_warnings_total", {{"target", target.name}})
+          .inc(warnings);
+      telemetry_->events().log(EventLevel::warn, "parse_warning", now,
+                               {{"target", target.name},
+                                {"warnings", std::to_string(warnings)}});
+    }
+    if (stale_tables > 0) {
+      metrics.counter("mantra_stale_tables_total", {{"target", target.name}})
+          .inc(stale_tables);
+    }
+    if (result.route_spike) {
+      metrics.counter("mantra_route_spikes_total", {{"target", target.name}})
+          .inc();
+      char score[32];
+      std::snprintf(score, sizeof score, "%.2f", result.route_spike_score);
+      telemetry_->events().log(
+          EventLevel::warn, "spike_detected", now,
+          {{"target", target.name},
+           {"score", score},
+           {"valid_routes", std::to_string(result.dvmrp_valid_routes)}});
+    }
+    target_scope.arg("outcome", "recorded");
+    target_scope.set_sim_interval(now, report.latency);
+  }
 
   if (target.archive) {
     ArchiveCycleMeta meta;
@@ -264,6 +348,10 @@ TargetHealth Mantra::TargetView::health() const { return state_->health; }
 
 std::size_t Mantra::TargetView::consecutive_failures() const {
   return state_->consecutive_failures;
+}
+
+std::optional<sim::TimePoint> Mantra::TargetView::last_success() const {
+  return state_->last_success;
 }
 
 const ArchiveWriter* Mantra::TargetView::archive() const {
@@ -352,11 +440,14 @@ SummaryTable Mantra::top_senders(std::string_view router_name,
 SummaryTable Mantra::overview() const {
   SummaryTable table({"router", "health", "sessions", "participants", "active",
                       "senders", "kbps", "dvmrp_routes", "sa_entries",
-                      "mbgp_routes", "stale"});
+                      "mbgp_routes", "stale", "last_success"});
   char buffer[64];
   for (const auto& [name, target] : targets_) {
+    const std::string last_success =
+        target->last_success ? target->last_success->to_string() : "never";
     if (target->results.empty()) {
-      table.add_row({name, to_string(target->health)});
+      table.add_row({name, to_string(target->health), "", "", "", "", "", "",
+                     "", "", "", last_success});
       continue;
     }
     const CycleResult& last = target->results.back();
@@ -369,7 +460,64 @@ SummaryTable Mantra::overview() const {
                    std::to_string(last.dvmrp_routes),
                    std::to_string(last.sa_entries),
                    std::to_string(last.mbgp_routes),
-                   last.stale ? "yes" : "no"});
+                   last.stale ? "yes" : "no", last_success});
+  }
+  return table;
+}
+
+MonitorStatus Mantra::status() const {
+  MonitorStatus status;
+  status.now = engine_.now();
+  status.cycles_run = cycles_run_;
+  status.targets.reserve(targets_.size());
+  for (const auto& [name, target] : targets_) {
+    MonitorStatus::Target row;
+    row.name = name;
+    row.health = target->health;
+    row.cycles_recorded = target->results.size();
+    row.consecutive_failures = target->consecutive_failures;
+    row.last_success = target->last_success;
+    row.staleness = target->last_success
+                        ? status.now - *target->last_success
+                        : status.now - sim::TimePoint::start();
+    if (!target->results.empty()) {
+      row.last_latency = target->results.back().collection_latency;
+      std::vector<double> latencies;
+      latencies.reserve(target->results.size());
+      for (const CycleResult& result : target->results) {
+        latencies.push_back(result.collection_latency.total_seconds());
+        if (result.stale) ++row.stale_cycles;
+        if (result.route_spike) ++row.route_spikes;
+        row.latency_max_s = std::max(row.latency_max_s,
+                                     result.collection_latency.total_seconds());
+      }
+      row.latency_p50_s = sim::quantile(latencies, 0.5);
+      row.latency_p95_s = sim::quantile(latencies, 0.95);
+    }
+    status.targets.push_back(std::move(row));
+  }
+  return status;
+}
+
+SummaryTable MonitorStatus::to_table() const {
+  SummaryTable table({"router", "health", "cycles", "stale_cycles", "spikes",
+                      "fail_streak", "last_success", "staleness", "lat_last_s",
+                      "lat_p50_s", "lat_p95_s", "lat_max_s"});
+  char buffer[4][32];
+  for (const Target& target : targets) {
+    std::snprintf(buffer[0], sizeof buffer[0], "%.3f",
+                  target.last_latency.total_seconds());
+    std::snprintf(buffer[1], sizeof buffer[1], "%.3f", target.latency_p50_s);
+    std::snprintf(buffer[2], sizeof buffer[2], "%.3f", target.latency_p95_s);
+    std::snprintf(buffer[3], sizeof buffer[3], "%.3f", target.latency_max_s);
+    table.add_row(
+        {target.name, to_string(target.health),
+         std::to_string(target.cycles_recorded),
+         std::to_string(target.stale_cycles), std::to_string(target.route_spikes),
+         std::to_string(target.consecutive_failures),
+         target.last_success ? target.last_success->to_string() : "never",
+         target.staleness.to_string(), buffer[0], buffer[1], buffer[2],
+         buffer[3]});
   }
   return table;
 }

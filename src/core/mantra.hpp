@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "core/parallel.hpp"
 #include "core/parse.hpp"
 #include "core/process.hpp"
+#include "core/telemetry.hpp"
 #include "core/transport.hpp"
 #include "router/router.hpp"
 #include "sim/engine.hpp"
@@ -75,10 +77,47 @@ struct MantraConfig {
   /// owns its collector, tables, spike detector, route monitor and archive
   /// writer, so both paths produce byte-identical results.
   std::size_t worker_threads = 0;
+  /// Self-instrumentation (core/telemetry): disabled by default. Telemetry
+  /// is strictly write-only from the monitoring path — results, series and
+  /// archives are byte-identical with it on or off.
+  TelemetryConfig telemetry;
 
   /// Sanity-checks every field; throws std::invalid_argument naming the
   /// offending field. Called by the Mantra constructor.
   void validate() const;
+};
+
+/// The "monitor of the monitor" report: a point-in-time summary of how well
+/// collection itself is going, per target — health, success recency and
+/// staleness age, failure streaks, and collection-latency percentiles
+/// computed from the recorded cycle history (deterministic sim time, so the
+/// report is identical with telemetry on or off).
+struct MonitorStatus {
+  struct Target {
+    std::string name;
+    TargetHealth health = TargetHealth::Healthy;
+    std::size_t cycles_recorded = 0;       ///< cycles that produced a result
+    std::size_t stale_cycles = 0;          ///< recorded cycles with stale tables
+    std::size_t route_spikes = 0;
+    std::size_t consecutive_failures = 0;  ///< fully dark cycles in a row
+    /// When the target last produced a usable capture; nullopt = never.
+    std::optional<sim::TimePoint> last_success;
+    /// Age of the data being served: now - last_success (now - run start
+    /// when the target never succeeded).
+    sim::Duration staleness;
+    sim::Duration last_latency;  ///< last recorded cycle's collection latency
+    double latency_p50_s = 0.0;  ///< percentiles over all recorded cycles
+    double latency_p95_s = 0.0;
+    double latency_max_s = 0.0;
+  };
+
+  sim::TimePoint now;
+  std::size_t cycles_run = 0;  ///< monitoring cycles executed (incl. dark)
+  std::vector<Target> targets;
+
+  /// Renders as a SummaryTable (one row per target), printable/CSV-able
+  /// like every other Mantra surface.
+  [[nodiscard]] SummaryTable to_table() const;
 };
 
 class Mantra {
@@ -98,6 +137,9 @@ class Mantra {
     [[nodiscard]] TargetHealth health() const;
     /// Fully dark cycles in a row as of now (0 while collection works).
     [[nodiscard]] std::size_t consecutive_failures() const;
+    /// When the target last produced a usable capture (a recorded cycle);
+    /// nullopt until the first success, frozen while the target is dark.
+    [[nodiscard]] std::optional<sim::TimePoint> last_success() const;
     /// The durable archive sink, or nullptr when archiving is disabled.
     [[nodiscard]] const ArchiveWriter* archive() const;
 
@@ -164,6 +206,16 @@ class Mantra {
   /// Per-target one-row overview (health, routes, sessions, bandwidth).
   [[nodiscard]] SummaryTable overview() const;
 
+  /// The monitor-of-the-monitor report: collection health, staleness and
+  /// latency percentiles per target, as of the engine clock.
+  [[nodiscard]] MonitorStatus status() const;
+
+  /// The self-instrumentation sinks (a no-op bundle unless
+  /// MantraConfig::telemetry.enabled). Always valid for the monitor's
+  /// lifetime; safe to read concurrently with a running cycle.
+  [[nodiscard]] Telemetry& telemetry() { return *telemetry_; }
+  [[nodiscard]] const Telemetry& telemetry() const { return *telemetry_; }
+
   [[nodiscard]] std::size_t target_count() const { return targets_.size(); }
   [[nodiscard]] const MantraConfig& config() const { return config_; }
   [[nodiscard]] std::vector<std::string> target_names() const;
@@ -186,6 +238,7 @@ class Mantra {
     Snapshot latest;
     TargetHealth health = TargetHealth::Healthy;
     std::size_t consecutive_failures = 0;  ///< fully dark cycles in a row
+    std::optional<sim::TimePoint> last_success;  ///< last recorded cycle
 
     TargetState(const LoggerConfig& logger_config, std::size_t spike_window,
                 double spike_k)
@@ -198,9 +251,14 @@ class Mantra {
   sim::Engine& engine_;
   MantraConfig config_;
   TransportFactory transport_factory_;
+  // Declared before the targets and the pool: collectors, archive writers
+  // and pool workers all hold raw pointers into the telemetry bundle, so it
+  // must be destroyed last.
+  std::unique_ptr<Telemetry> telemetry_;
   std::map<std::string, std::unique_ptr<TargetState>, std::less<>> targets_;
   std::unique_ptr<parallel::ThreadPool> pool_;  ///< null when worker_threads == 0
   sim::PeriodicTimer cycle_timer_;
+  std::size_t cycles_run_ = 0;
 };
 
 }  // namespace mantra::core

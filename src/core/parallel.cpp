@@ -23,25 +23,81 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+namespace {
+
+/// Wait/run wall times are µs-to-ms scale, far below the collection-latency
+/// buckets — give them their own bounds.
+const std::vector<double>& pool_time_buckets_s() {
+  static const std::vector<double> buckets = {
+      1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+  };
+  return buckets;
+}
+
+}  // namespace
+
+void ThreadPool::set_telemetry(Telemetry* telemetry) {
+  // Under the pool mutex so workers blocked in wait() observe the new sink
+  // with a happens-before edge on their next dequeue.
+  std::lock_guard<std::mutex> lock(mutex_);
+  telemetry_ = telemetry;
+  if (telemetry_->enabled()) {
+    telemetry_->metrics()
+        .gauge("mantra_pool_threads")
+        .set(static_cast<double>(workers_.size()));
+  }
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    Entry entry;
+    entry.fn = std::move(task);
+    if (telemetry_->enabled()) {
+      entry.enqueued_us = telemetry_->tracer().wall_now_us();
+      telemetry_->metrics().counter("mantra_pool_tasks_total").inc();
+      telemetry_->metrics()
+          .gauge("mantra_pool_queue_depth")
+          .set(static_cast<double>(queue_.size() + 1));
+    }
+    queue_.push_back(std::move(entry));
   }
   wake_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Entry entry;
+    Telemetry* telemetry;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (stopping_) return;
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
+      telemetry = telemetry_;
+      if (telemetry->enabled()) {
+        telemetry->metrics()
+            .gauge("mantra_pool_queue_depth")
+            .set(static_cast<double>(queue_.size()));
+      }
     }
-    task();
+    if (!telemetry->enabled()) {
+      entry.fn();
+      continue;
+    }
+    const std::int64_t start_us = telemetry->tracer().wall_now_us();
+    telemetry->metrics()
+        .histogram("mantra_pool_task_wait_seconds", {}, pool_time_buckets_s())
+        .observe(static_cast<double>(start_us - entry.enqueued_us) / 1e6);
+    Gauge& busy = telemetry->metrics().gauge("mantra_pool_busy_workers");
+    busy.add(1.0);
+    entry.fn();
+    busy.add(-1.0);
+    telemetry->metrics()
+        .histogram("mantra_pool_task_run_seconds", {}, pool_time_buckets_s())
+        .observe(static_cast<double>(telemetry->tracer().wall_now_us() - start_us) /
+                 1e6);
   }
 }
 

@@ -12,11 +12,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/telemetry.hpp"
 
 namespace mantra::core::parallel {
 
@@ -33,18 +36,30 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// Attaches a telemetry sink recording queue depth, task throughput,
+  /// per-task wall wait/run times and worker occupancy. Taken under the
+  /// pool mutex so workers observe it on their next dequeue. Never pass
+  /// null — use Telemetry::noop() to detach.
+  void set_telemetry(Telemetry* telemetry);
+
   /// Enqueues one task. Thread-safe. The task must not throw out of the
   /// pool — use run_all() for exception-propagating batches.
   void submit(std::function<void()> task);
 
  private:
+  struct Entry {
+    std::function<void()> fn;
+    std::int64_t enqueued_us = 0;  ///< tracer wall clock at submit (0 = off)
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Entry> queue_;
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;
+  Telemetry* telemetry_ = &Telemetry::noop();
 };
 
 /// Runs every task to completion and returns only when all have finished.

@@ -1,0 +1,510 @@
+#include "core/telemetry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace mantra::core {
+
+namespace {
+
+/// Serializes labels sorted by key: `k1="v1",k2="v2"`. Empty for no labels.
+std::string label_string(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out.push_back(',');
+    out += key;
+    out += "=\"";
+    out += value;
+    out += '"';
+  }
+  return out;
+}
+
+/// JSON string escaping (quotes, backslashes, control bytes).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  // %g keeps integral values compact ("5" not "5.000000") and is stable.
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  return buffer;
+}
+
+void atomic_double_add(std::atomic<double>& target, double d) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + d,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size()) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  if (it == bounds_.end()) {
+    inf_bucket_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_double_add(sum_, value);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::uint64_t Histogram::cumulative_count(std::size_t i) const {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i && b < buckets_.size(); ++b) {
+    total += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative + in_bucket) >= rank && in_bucket > 0) {
+      const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+      const double upper = bounds_[b];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  // Rank falls in the +Inf bucket: the best estimate is the largest bound.
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+const std::vector<double>& default_latency_buckets_s() {
+  static const std::vector<double> buckets = {
+      0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+      5.0,  10.0,  20.0, 30.0, 60.0, 120.0, 300.0,
+  };
+  return buckets;
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry(bool enabled)
+    : enabled_(enabled),
+      scratch_histogram_(std::make_unique<Histogram>(default_latency_buckets_s())) {}
+
+Counter& MetricsRegistry::counter(std::string_view name, MetricLabels labels) {
+  if (!enabled_) return scratch_counter_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[std::string(name)].instances[label_string(std::move(labels))];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, MetricLabels labels) {
+  if (!enabled_) return scratch_gauge_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[std::string(name)].instances[label_string(std::move(labels))];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, MetricLabels labels,
+                                      const std::vector<double>& upper_bounds) {
+  if (!enabled_) return *scratch_histogram_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot =
+      histograms_[std::string(name)].instances[label_string(std::move(labels))];
+  if (!slot) slot = std::make_unique<Histogram>(upper_bounds);
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::counter_total(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto family = counters_.find(std::string(name));
+  if (family == counters_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& [labels, counter] : family->second.instances) {
+    total += counter->value();
+  }
+  return total;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name,
+                                             const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto family = counters_.find(std::string(name));
+  if (family == counters_.end()) return 0;
+  const auto instance = family->second.instances.find(label_string(labels));
+  return instance == family->second.instances.end() ? 0
+                                                    : instance->second->value();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name,
+                                                 const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto family = histograms_.find(std::string(name));
+  if (family == histograms_.end()) return nullptr;
+  const auto instance = family->second.instances.find(label_string(labels));
+  return instance == family->second.instances.end() ? nullptr
+                                                    : instance->second.get();
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  char line[256];
+
+  for (const auto& [name, family] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    for (const auto& [labels, counter] : family.instances) {
+      const std::string instance =
+          labels.empty() ? name : name + "{" + labels + "}";
+      std::snprintf(line, sizeof line, " %" PRIu64 "\n", counter->value());
+      out += instance + line;
+    }
+  }
+  for (const auto& [name, family] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    for (const auto& [labels, gauge] : family.instances) {
+      const std::string instance =
+          labels.empty() ? name : name + "{" + labels + "}";
+      out += instance + " " + format_double(gauge->value()) + "\n";
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    out += "# TYPE " + name + " histogram\n";
+    for (const auto& [labels, histogram] : family.instances) {
+      const std::string separator = labels.empty() ? "" : ",";
+      const auto& bounds = histogram->upper_bounds();
+      for (std::size_t b = 0; b < bounds.size(); ++b) {
+        out += name + "_bucket{" + labels + separator + "le=\"" +
+               format_double(bounds[b]) + "\"}";
+        std::snprintf(line, sizeof line, " %" PRIu64 "\n",
+                      histogram->cumulative_count(b));
+        out += line;
+      }
+      out += name + "_bucket{" + labels + separator + "le=\"+Inf\"}";
+      std::snprintf(line, sizeof line, " %" PRIu64 "\n", histogram->count());
+      out += line;
+      const std::string brace_labels = labels.empty() ? "" : "{" + labels + "}";
+      out += name + "_sum" + brace_labels + " " + format_double(histogram->sum()) +
+             "\n";
+      std::snprintf(line, sizeof line, " %" PRIu64 "\n", histogram->count());
+      out += name + "_count" + brace_labels + line;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json_dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": [";
+  char buffer[96];
+  bool first = true;
+  for (const auto& [name, family] : counters_) {
+    for (const auto& [labels, counter] : family.instances) {
+      std::snprintf(buffer, sizeof buffer, "\"value\": %" PRIu64 "}",
+                    counter->value());
+      out += first ? "\n" : ",\n";
+      out += "    {\"name\": \"" + json_escape(name) + "\", \"labels\": \"" +
+             json_escape(labels) + "\", " + buffer;
+      first = false;
+    }
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  first = true;
+  for (const auto& [name, family] : gauges_) {
+    for (const auto& [labels, gauge] : family.instances) {
+      out += first ? "\n" : ",\n";
+      out += "    {\"name\": \"" + json_escape(name) + "\", \"labels\": \"" +
+             json_escape(labels) + "\", \"value\": " +
+             format_double(gauge->value()) + "}";
+      first = false;
+    }
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const auto& [name, family] : histograms_) {
+    for (const auto& [labels, histogram] : family.instances) {
+      std::snprintf(buffer, sizeof buffer, "\"count\": %" PRIu64 ", ",
+                    histogram->count());
+      out += first ? "\n" : ",\n";
+      out += "    {\"name\": \"" + json_escape(name) + "\", \"labels\": \"" +
+             json_escape(labels) + "\", " + buffer +
+             "\"sum\": " + format_double(histogram->sum()) +
+             ", \"p50\": " + format_double(histogram->quantile(0.5)) +
+             ", \"p99\": " + format_double(histogram->quantile(0.99)) + "}";
+      first = false;
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+// --- Tracer ------------------------------------------------------------------
+
+Tracer::Tracer(bool enabled, std::size_t max_spans)
+    : enabled_(enabled),
+      max_spans_(std::max<std::size_t>(max_spans, 1)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::Scope::Scope(Scope&& other) noexcept
+    : tracer_(other.tracer_),
+      span_(std::move(other.span_)),
+      wall_start_(other.wall_start_) {
+  other.tracer_ = nullptr;
+}
+
+Tracer::Scope::~Scope() {
+  if (tracer_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  span_.wall_dur_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now - wall_start_)
+                          .count();
+  tracer_->record(std::move(span_));
+}
+
+void Tracer::Scope::arg(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  span_.args.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::Scope::set_sim_interval(sim::TimePoint start, sim::Duration duration) {
+  if (tracer_ == nullptr) return;
+  span_.sim_ts_ms = start.total_ms();
+  span_.sim_dur_ms = duration.total_ms();
+}
+
+Tracer::Scope Tracer::span(std::string_view name, std::string_view category,
+                           sim::TimePoint sim_now) {
+  Scope scope(enabled_ ? this : nullptr);
+  if (!enabled_) return scope;
+  scope.wall_start_ = std::chrono::steady_clock::now();
+  scope.span_.name = std::string(name);
+  scope.span_.category = std::string(category);
+  scope.span_.sim_ts_ms = sim_now.total_ms();
+  scope.span_.wall_ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                               scope.wall_start_ - epoch_)
+                               .count();
+  scope.span_.tid = thread_id();
+  return scope;
+}
+
+void Tracer::record(TraceSpan span) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= max_spans_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<TraceSpan> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::int64_t Tracer::wall_now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint32_t Tracer::thread_id() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = thread_ids_.emplace(
+      std::this_thread::get_id(),
+      static_cast<std::uint32_t>(thread_ids_.size() + 1));
+  return it->second;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  out +=
+      "  {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"mantra\"}}";
+  char buffer[160];
+  for (const TraceSpan& span : spans_) {
+    std::snprintf(buffer, sizeof buffer,
+                  "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"ts\": %" PRId64
+                  ", \"dur\": %" PRId64,
+                  span.tid, span.wall_ts_us, span.wall_dur_us);
+    out += ",\n  {\"name\": \"" + json_escape(span.name) + "\", \"cat\": \"" +
+           json_escape(span.category) + "\", " + buffer + ", \"args\": {";
+    std::snprintf(buffer, sizeof buffer,
+                  "\"sim_ts_ms\": %" PRId64 ", \"sim_dur_ms\": %" PRId64,
+                  span.sim_ts_ms, span.sim_dur_ms);
+    out += buffer;
+    for (const auto& [key, value] : span.args) {
+      out += ", \"" + json_escape(key) + "\": \"" + json_escape(value) + "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+// --- EventLog ----------------------------------------------------------------
+
+const char* to_string(EventLevel level) {
+  switch (level) {
+    case EventLevel::debug: return "debug";
+    case EventLevel::info: return "info";
+    case EventLevel::warn: return "warn";
+    case EventLevel::error: return "error";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(bool enabled, std::size_t capacity)
+    : enabled_(enabled), capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void EventLog::log(EventLevel level, std::string_view name, sim::TimePoint t,
+                   std::vector<std::pair<std::string, std::string>> fields) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  TelemetryEvent event;
+  event.level = level;
+  event.name = std::string(name);
+  event.sim_ts_ms = t.total_ms();
+  event.seq = total_.fetch_add(1, std::memory_order_relaxed);
+  event.fields = std::move(fields);
+  ring_.push_back(std::move(event));
+  if (ring_.size() > capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::vector<TelemetryEvent> EventLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+namespace {
+
+/// logfmt value: bare when simple, double-quoted with escapes otherwise.
+std::string logfmt_value(const std::string& value) {
+  const bool needs_quotes =
+      value.empty() ||
+      value.find_first_of(" \t\"=\n") != std::string::npos;
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string EventLog::logfmt(std::size_t last_n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t start = 0;
+  if (last_n > 0 && last_n < ring_.size()) start = ring_.size() - last_n;
+  std::string out;
+  char buffer[64];
+  for (std::size_t i = start; i < ring_.size(); ++i) {
+    const TelemetryEvent& event = ring_[i];
+    std::snprintf(buffer, sizeof buffer, "sim_ts=%" PRId64 " ", event.sim_ts_ms);
+    out += buffer;
+    out += "level=";
+    out += to_string(event.level);
+    out += " event=";
+    out += logfmt_value(event.name);
+    for (const auto& [key, value] : event.fields) {
+      out += " " + key + "=" + logfmt_value(value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// --- Telemetry ---------------------------------------------------------------
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(config),
+      metrics_(config.enabled),
+      tracer_(config.enabled, config.max_spans),
+      events_(config.enabled, config.max_events) {}
+
+namespace {
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool Telemetry::write_metrics_prom(const std::string& path) const {
+  return write_text_file(path, metrics_.prometheus_text());
+}
+
+bool Telemetry::write_trace_json(const std::string& path) const {
+  return write_text_file(path, tracer_.chrome_trace_json());
+}
+
+Telemetry& Telemetry::noop() {
+  static Telemetry instance;
+  return instance;
+}
+
+}  // namespace mantra::core

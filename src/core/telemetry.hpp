@@ -1,0 +1,318 @@
+// Self-instrumentation for the monitor itself ("monitor of the monitor").
+// Mantra's credibility rests on its collection robustness (§III): retries,
+// backoff waits, stale carry-forwards, pool utilization and archive fsync
+// stalls must be observable without asserting on them in tests. This module
+// provides the three sinks the collection path records into:
+//
+//   * MetricsRegistry — thread-safe counters, gauges and fixed-bucket
+//     histograms, grouped into labeled families (target/command/...), with a
+//     Prometheus text exposition and a JSON dump. The mutation fast path is
+//     lock-free (relaxed atomics); only handle creation takes a mutex.
+//   * Tracer — per-cycle / per-target / per-command / per-retry-attempt
+//     spans carrying both the simulated interval (sim::TimePoint + duration)
+//     and the measured wall-clock duration, exportable as Chrome
+//     `trace_event` JSON for chrome://tracing / Perfetto.
+//   * EventLog — ring-buffered structured events (level + key/value fields)
+//     for discrete facts: target_unreachable, parse_warning,
+//     archive_keyframe, spike_detected, command_deadline_exhausted.
+//     Rendered as logfmt.
+//
+// A default-constructed Telemetry is a no-op sink: every record call checks
+// one `enabled()` flag and returns, so instrumented code costs ~nothing when
+// telemetry is off. Telemetry is strictly write-only from the monitored
+// path — nothing in it ever feeds back into collection, parsing, retry
+// scheduling or archived bytes, so runs are byte-identical with the sink on
+// or off (proven by core_telemetry_test).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mantra::core {
+
+/// Label set attached to one metric instance, e.g. {{"target", "fixw"}}.
+/// Serialized sorted by key, so label order at the call site is irrelevant.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing integer metric. Lock-free.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Settable double metric (queue depths, pool sizes). Lock-free.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double expected = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(expected, expected + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (Prometheus semantics: buckets are cumulative
+/// upper bounds, +Inf implied). Observation is lock-free; the bucket bounds
+/// are immutable after construction.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Cumulative count at bucket `i` (bounds_[i] upper bound); the +Inf
+  /// bucket is count().
+  [[nodiscard]] std::uint64_t cumulative_count(std::size_t i) const;
+  /// Quantile estimate by linear interpolation within the containing
+  /// bucket (the usual Prometheus histogram_quantile approximation).
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;                       ///< ascending, finite
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< per-bucket (non-cumulative)
+  std::atomic<std::uint64_t> inf_bucket_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Latency bucket bounds in seconds, spanning the 120 ms clean-capture case
+/// through slow responses, backoff chains and hung logins.
+[[nodiscard]] const std::vector<double>& default_latency_buckets_s();
+
+/// Thread-safe metric registry. Handle lookup (`counter()` etc.) takes a
+/// mutex and may allocate; the returned reference is stable for the
+/// registry's lifetime, so call sites that care cache it. When the registry
+/// is disabled, lookups return shared scratch instances that are never
+/// exposed, so instrumented code needs no null checks.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = false);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  Counter& counter(std::string_view name, MetricLabels labels = {});
+  Gauge& gauge(std::string_view name, MetricLabels labels = {});
+  Histogram& histogram(std::string_view name, MetricLabels labels = {},
+                       const std::vector<double>& upper_bounds =
+                           default_latency_buckets_s());
+
+  /// Sum of one counter family across all label sets (0 if absent).
+  [[nodiscard]] std::uint64_t counter_total(std::string_view name) const;
+  /// Value of one exact counter instance (0 if absent).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name,
+                                            const MetricLabels& labels) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name,
+                                                const MetricLabels& labels) const;
+
+  /// Prometheus text exposition format, families sorted by name, instances
+  /// sorted by serialized labels — deterministic for a given set of values.
+  [[nodiscard]] std::string prometheus_text() const;
+  /// The same data as a JSON document (for dashboards/tests).
+  [[nodiscard]] std::string json_dump() const;
+
+ private:
+  template <typename T>
+  struct Family {
+    std::map<std::string, std::unique_ptr<T>> instances;  ///< by label string
+  };
+
+  bool enabled_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Family<Counter>> counters_;
+  std::map<std::string, Family<Gauge>> gauges_;
+  std::map<std::string, Family<Histogram>> histograms_;
+  // Scratch sinks handed out while disabled; their values are never read.
+  Counter scratch_counter_;
+  Gauge scratch_gauge_;
+  std::unique_ptr<Histogram> scratch_histogram_;
+};
+
+/// One completed span. Wall times are microseconds since the tracer's
+/// construction; the simulated interval rides along (a span that covers a
+/// 12 s simulated backoff executes in ~0 wall time, and vice versa for
+/// parsing, which is instantaneous in sim time).
+struct TraceSpan {
+  std::string name;
+  std::string category;
+  std::int64_t sim_ts_ms = 0;
+  std::int64_t sim_dur_ms = 0;
+  std::int64_t wall_ts_us = 0;
+  std::int64_t wall_dur_us = 0;
+  std::uint32_t tid = 0;  ///< small stable per-thread id
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Span recorder. Bounded: past `max_spans`, further spans are counted as
+/// dropped rather than stored (the export stays loadable).
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = false, std::size_t max_spans = 262'144);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// RAII span: wall interval measured from construction to destruction;
+  /// the simulated interval and args are attached before it closes. A
+  /// disabled tracer hands out inert scopes (no clock reads, no storage).
+  class Scope {
+   public:
+    Scope(Scope&& other) noexcept;
+    Scope& operator=(Scope&&) = delete;
+    Scope(const Scope&) = delete;
+    ~Scope();
+
+    void arg(std::string key, std::string value);
+    void set_sim_interval(sim::TimePoint start, sim::Duration duration);
+
+   private:
+    friend class Tracer;
+    explicit Scope(Tracer* tracer) : tracer_(tracer) {}
+    Tracer* tracer_;  ///< null = inert
+    TraceSpan span_;
+    std::chrono::steady_clock::time_point wall_start_;
+  };
+
+  [[nodiscard]] Scope span(std::string_view name, std::string_view category,
+                           sim::TimePoint sim_now);
+  /// Records a hand-built span (used for retry attempts, where the wall
+  /// interval is measured around the transport call by the collector).
+  void record(TraceSpan span);
+
+  [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::vector<TraceSpan> snapshot() const;
+
+  /// Chrome trace_event JSON ("X" complete events, wall timeline, simulated
+  /// interval and labels in args) — loadable in chrome://tracing / Perfetto.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Microseconds of wall time since the tracer was constructed, and the
+  /// calling thread's stable small id (creates one on first use).
+  [[nodiscard]] std::int64_t wall_now_us() const;
+  [[nodiscard]] std::uint32_t thread_id();
+
+ private:
+  bool enabled_;
+  std::size_t max_spans_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+  std::map<std::thread::id, std::uint32_t> thread_ids_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+enum class EventLevel { debug, info, warn, error };
+
+[[nodiscard]] const char* to_string(EventLevel level);
+
+/// One discrete structured fact.
+struct TelemetryEvent {
+  EventLevel level = EventLevel::info;
+  std::string name;
+  std::int64_t sim_ts_ms = 0;
+  std::uint64_t seq = 0;  ///< global arrival order
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Ring-buffered structured event log: the newest `capacity` events are
+/// kept, older ones are dropped (and counted). Renderable as logfmt.
+class EventLog {
+ public:
+  explicit EventLog(bool enabled = false, std::size_t capacity = 8192);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void log(EventLevel level, std::string_view name, sim::TimePoint t,
+           std::vector<std::pair<std::string, std::string>> fields = {});
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t total_logged() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::vector<TelemetryEvent> snapshot() const;
+  /// `sim_ts=<t> level=<l> event=<name> k=v ...` per line, oldest first.
+  /// Values containing spaces/quotes are quoted and escaped.
+  [[nodiscard]] std::string logfmt(std::size_t last_n = 0) const;
+
+ private:
+  bool enabled_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<TelemetryEvent> ring_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+struct TelemetryConfig {
+  bool enabled = false;
+  std::size_t max_spans = 262'144;
+  std::size_t max_events = 8192;
+};
+
+/// The bundle the monitoring path records into. Enabled/disabled is fixed
+/// at construction (cached metric handles stay valid for the lifetime).
+class Telemetry {
+ public:
+  /// No-op sink: enabled() is false, every record call returns immediately.
+  Telemetry() : Telemetry(TelemetryConfig{}) {}
+  explicit Telemetry(TelemetryConfig config);
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const TelemetryConfig& config() const { return config_; }
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+  [[nodiscard]] EventLog& events() { return events_; }
+  [[nodiscard]] const EventLog& events() const { return events_; }
+
+  /// Writes metrics().prometheus_text() / tracer().chrome_trace_json() to
+  /// `path`; false (no throw) on I/O failure.
+  bool write_metrics_prom(const std::string& path) const;
+  bool write_trace_json(const std::string& path) const;
+
+  /// A shared disabled instance, the default sink for instrumented
+  /// components that were never wired to a monitor's telemetry.
+  [[nodiscard]] static Telemetry& noop();
+
+ private:
+  TelemetryConfig config_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  EventLog events_;
+};
+
+}  // namespace mantra::core

@@ -19,10 +19,27 @@ const char* to_string(TransportStatus status) {
   return "unknown";
 }
 
+void Transport::record_operation(const char* op, TransportStatus status) {
+  if (!telemetry_->enabled()) return;
+  telemetry_->metrics()
+      .counter(std::string("mantra_transport_") + op + "_total",
+               {{"target", telemetry_target_}, {"result", to_string(status)}})
+      .inc();
+}
+
+void Transport::record_fault(const char* mode) {
+  if (!telemetry_->enabled()) return;
+  telemetry_->metrics()
+      .counter("mantra_transport_faults_total",
+               {{"target", telemetry_target_}, {"mode", mode}})
+      .inc();
+}
+
 TransportResult CliTransport::connect(const router::MulticastRouter& /*router*/,
                                       sim::TimePoint /*now*/) {
   TransportResult result;
   result.latency = latency_;
+  record_operation("sessions", result.status);
   return result;
 }
 
@@ -32,6 +49,7 @@ TransportResult CliTransport::execute(const router::MulticastRouter& router,
   TransportResult result;
   result.text = router::cli::telnet_capture(router, command, now);
   result.latency = latency_;
+  record_operation("commands", result.status);
   return result;
 }
 
@@ -55,16 +73,21 @@ TransportResult FaultInjectingTransport::connect(
     ++faults_;
     result.status = TransportStatus::connection_refused;
     result.latency = profile_.base_latency;
+    record_fault("connection-refused");
+    record_operation("sessions", result.status);
     return result;
   }
   if (hung) {
     ++faults_;
     result.status = TransportStatus::login_timeout;
     result.latency = profile_.login_latency;
+    record_fault("login-timeout");
+    record_operation("sessions", result.status);
     return result;
   }
   connected_ = true;
   result.latency = profile_.base_latency;
+  record_operation("sessions", result.status);
   return result;
 }
 
@@ -116,6 +139,7 @@ TransportResult FaultInjectingTransport::execute(
     ++faults_;
     result.status = TransportStatus::connection_refused;
     result.text.clear();
+    record_operation("commands", result.status);
     return result;
   }
   // Fixed roll order (truncate, garble, slow); first hit wins so every
@@ -127,16 +151,20 @@ TransportResult FaultInjectingTransport::execute(
     ++faults_;
     result.status = TransportStatus::truncated;
     result.text = truncate(std::move(result.text));
+    record_fault("truncated");
   } else if (garbled) {
     ++faults_;
     result.status = TransportStatus::garbled;
     result.text = garble(result.text);
+    record_fault("garbled");
   } else if (slow) {
     // The dump itself is intact; it just arrives past any sane deadline.
     // The collector compares latency against its policy and decides.
     ++faults_;
     result.latency = profile_.slow_latency;
+    record_fault("slow");
   }
+  record_operation("commands", result.status);
   return result;
 }
 

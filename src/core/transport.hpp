@@ -17,6 +17,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/telemetry.hpp"
 #include "router/router.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -60,6 +61,15 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
+  /// Attaches a telemetry sink and the target label stamped on every metric
+  /// this transport records (session opens, per-operation outcomes, fault
+  /// modes hit). Never pass null — use Telemetry::noop() to detach. Must be
+  /// called before the transport is shared with a collection thread.
+  void set_telemetry(Telemetry* telemetry, std::string target) {
+    telemetry_ = telemetry;
+    telemetry_target_ = std::move(target);
+  }
+
   /// Establishes a session. `status` is ok, connection_refused, or
   /// login_timeout; `latency` covers the whole login exchange.
   [[nodiscard]] virtual TransportResult connect(
@@ -73,6 +83,16 @@ class Transport {
       sim::TimePoint now) = 0;
 
   virtual void disconnect() = 0;
+
+ protected:
+  /// Records one operation outcome under
+  /// `mantra_transport_<op>_total{target,result}`.
+  void record_operation(const char* op, TransportStatus status);
+  /// Records one injected fault under `mantra_transport_faults_total`.
+  void record_fault(const char* mode);
+
+  Telemetry* telemetry_ = &Telemetry::noop();
+  std::string telemetry_target_;
 };
 
 /// Default transport: wraps cli::telnet_capture. Always succeeds with a

@@ -207,6 +207,93 @@ TEST_F(MantraPipeline, HealthTransitionsAreObservable) {
   EXPECT_EQ(results.back().consecutive_failures, 2u);
 }
 
+TEST_F(MantraPipeline, LastSuccessFreezesThroughDarkCyclesAndRecovers) {
+  MantraConfig config;
+  config.cycle = sim::Duration::minutes(15);
+  config.unreachable_after = 2;
+  auto owned = std::make_unique<FaultInjectingTransport>(7, FaultProfile{});
+  FaultInjectingTransport* faults = owned.get();
+  Mantra faulty(scenario_.engine(), config, std::move(owned));
+  faulty.add_target(scenario_.network().router(scenario_.fixw_node()));
+
+  // Before any cycle has run the target has never succeeded.
+  EXPECT_FALSE(faulty.target_view("fixw").last_success().has_value());
+  faulty.start();
+
+  run_hours(1);
+  const auto after_clean = faulty.target_view("fixw").last_success();
+  ASSERT_TRUE(after_clean.has_value());
+  // The last recorded cycle's timestamp, i.e. the most recent cycle tick.
+  EXPECT_EQ(*after_clean, faulty.target_view("fixw").results().back().t);
+
+  // Dark cycles leave last_success frozen at the pre-outage instant.
+  FaultProfile dark;
+  dark.connect_refused_p = 1.0;
+  faults->set_profile(dark);
+  run_minutes(30);
+  EXPECT_EQ(faulty.target_view("fixw").health(), TargetHealth::Unreachable);
+  ASSERT_TRUE(faulty.target_view("fixw").last_success().has_value());
+  EXPECT_EQ(*faulty.target_view("fixw").last_success(), *after_clean);
+
+  // Recovery advances it to the recovering cycle's timestamp.
+  faults->set_profile(FaultProfile{});
+  run_minutes(15);
+  ASSERT_TRUE(faulty.target_view("fixw").last_success().has_value());
+  EXPECT_GT(*faulty.target_view("fixw").last_success(), *after_clean);
+  EXPECT_EQ(*faulty.target_view("fixw").last_success(),
+            faulty.target_view("fixw").results().back().t);
+
+  // The overview table surfaces the same instant.
+  const SummaryTable overview = faulty.overview();
+  const auto column = overview.column_index("last_success");
+  ASSERT_TRUE(column.has_value());
+  EXPECT_EQ(overview.rows()[0][*column],
+            faulty.target_view("fixw").last_success()->to_string());
+}
+
+TEST_F(MantraPipeline, MonitorStatusReportsCollectionHealth) {
+  MantraConfig config;
+  config.cycle = sim::Duration::minutes(15);
+  config.unreachable_after = 2;
+  auto owned = std::make_unique<FaultInjectingTransport>(7, FaultProfile{});
+  FaultInjectingTransport* faults = owned.get();
+  Mantra faulty(scenario_.engine(), config, std::move(owned));
+  faulty.add_target(scenario_.network().router(scenario_.fixw_node()));
+  faulty.start();
+
+  run_hours(1);
+  FaultProfile dark;
+  dark.connect_refused_p = 1.0;
+  faults->set_profile(dark);
+  run_minutes(30);
+
+  const MonitorStatus status = faulty.status();
+  EXPECT_EQ(status.now, scenario_.engine().now());
+  EXPECT_EQ(status.cycles_run, 6u);  // 1h clean + 30min dark at 15min cycles
+  ASSERT_EQ(status.targets.size(), 1u);
+  const MonitorStatus::Target& fixw = status.targets[0];
+  EXPECT_EQ(fixw.name, "fixw");
+  EXPECT_EQ(fixw.health, TargetHealth::Unreachable);
+  EXPECT_EQ(fixw.cycles_recorded, 4u);
+  EXPECT_EQ(fixw.consecutive_failures, 2u);
+  ASSERT_TRUE(fixw.last_success.has_value());
+  // Staleness is the age of the data being served: now - last_success.
+  EXPECT_EQ(fixw.staleness, status.now - *fixw.last_success);
+  EXPECT_GE(fixw.staleness, sim::Duration::minutes(30));
+  // Latency percentiles come from the recorded cycle history, so they are
+  // populated (clean CLI captures cost a fixed per-command latency).
+  EXPECT_GT(fixw.latency_p50_s, 0.0);
+  EXPECT_GE(fixw.latency_p95_s, fixw.latency_p50_s);
+  EXPECT_GE(fixw.latency_max_s, fixw.latency_p95_s);
+  EXPECT_EQ(fixw.last_latency.total_seconds(), fixw.latency_max_s);
+
+  // The rendered table has one row per target and stays renderable.
+  const SummaryTable table = status.to_table();
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_FALSE(table.render().empty());
+  EXPECT_TRUE(table.column_index("staleness").has_value());
+}
+
 TEST_F(MantraPipeline, FaultyCollectionDegradesGracefully) {
   // The acceptance run: 20% command-failure rate, retries disabled so every
   // fault surfaces. The faulty monitor rides the same scenario as the

@@ -1,0 +1,389 @@
+// core/telemetry: metric registry semantics and expositions, tracer spans,
+// event log ring; thread-safety under the worker pool; and the tentpole
+// invariant — telemetry is write-only from the monitored path, so a run's
+// results, CSV series and archive bytes are byte-identical with the sinks
+// enabled or disabled.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/mantra.hpp"
+#include "core/parallel.hpp"
+#include "core/telemetry.hpp"
+#include "workload/scenario.hpp"
+
+namespace mantra::core {
+namespace {
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesAndLabelsAreIndependent) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.counter("requests", {{"target", "fixw"}}).inc();
+  registry.counter("requests", {{"target", "fixw"}}).inc(2);
+  registry.counter("requests", {{"target", "ucsb-gw"}}).inc();
+  registry.counter("other").inc(5);
+  registry.gauge("depth").set(3.5);
+  registry.gauge("depth").add(-1.5);
+
+  EXPECT_EQ(registry.counter_value("requests", {{"target", "fixw"}}), 3u);
+  EXPECT_EQ(registry.counter_value("requests", {{"target", "ucsb-gw"}}), 1u);
+  EXPECT_EQ(registry.counter_total("requests"), 4u);
+  EXPECT_EQ(registry.counter_total("other"), 5u);
+  EXPECT_EQ(registry.counter_total("absent"), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("depth").value(), 2.0);
+  // Label order at the call site is irrelevant.
+  registry.counter("multi", {{"a", "1"}, {"b", "2"}}).inc();
+  EXPECT_EQ(registry.counter_value("multi", {{"b", "2"}, {"a", "1"}}), 1u);
+}
+
+TEST(MetricsRegistry, HistogramBucketsCountAndQuantiles) {
+  MetricsRegistry registry(/*enabled=*/true);
+  Histogram& latency =
+      registry.histogram("lat", {}, std::vector<double>{1.0, 2.0, 4.0});
+  for (const double v : {0.5, 0.5, 1.5, 3.0, 100.0}) latency.observe(v);
+
+  EXPECT_EQ(latency.count(), 5u);
+  EXPECT_DOUBLE_EQ(latency.sum(), 105.5);
+  EXPECT_EQ(latency.cumulative_count(0), 2u);  // <= 1.0
+  EXPECT_EQ(latency.cumulative_count(1), 3u);  // <= 2.0
+  EXPECT_EQ(latency.cumulative_count(2), 4u);  // <= 4.0 (+Inf holds the 100)
+  // Quantiles interpolate within the containing bucket.
+  EXPECT_GT(latency.quantile(0.5), 0.0);
+  EXPECT_LE(latency.quantile(0.5), 2.0);
+  // A rank landing in the +Inf bucket degrades to the largest finite bound.
+  EXPECT_DOUBLE_EQ(latency.quantile(1.0), 4.0);
+  EXPECT_EQ(registry.find_histogram("lat", {}), &latency);
+  EXPECT_EQ(registry.find_histogram("absent", {}), nullptr);
+}
+
+TEST(MetricsRegistry, PrometheusTextExposition) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.counter("mantra_cycles_total").inc(7);
+  registry.counter("mantra_capture_status_total",
+                   {{"target", "fixw"}, {"status", "ok"}})
+      .inc(5);
+  registry.gauge("mantra_pool_queue_depth").set(2);
+  registry.histogram("mantra_lat", {}, std::vector<double>{0.5, 1.0}).observe(0.7);
+
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# TYPE mantra_cycles_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("mantra_cycles_total 7\n"), std::string::npos);
+  // Labels are serialized sorted by key.
+  EXPECT_NE(text.find("mantra_capture_status_total{status=\"ok\","
+                      "target=\"fixw\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mantra_pool_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mantra_pool_queue_depth 2\n"), std::string::npos);
+  // Histogram exposition: cumulative buckets, +Inf, _sum and _count.
+  EXPECT_NE(text.find("mantra_lat_bucket{le=\"0.5\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("mantra_lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("mantra_lat_bucket{le=\"+Inf\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("mantra_lat_sum 0.7\n"), std::string::npos);
+  EXPECT_NE(text.find("mantra_lat_count 1\n"), std::string::npos);
+
+  // The JSON dump carries the same families.
+  const std::string json = registry.json_dump();
+  EXPECT_NE(json.find("\"mantra_cycles_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"mantra_lat\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, DisabledRegistryRecordsNothing) {
+  MetricsRegistry registry(/*enabled=*/false);
+  registry.counter("c").inc(10);
+  registry.gauge("g").set(1.0);
+  registry.histogram("h").observe(2.0);
+  EXPECT_EQ(registry.counter_total("c"), 0u);
+  EXPECT_EQ(registry.find_histogram("h", {}), nullptr);
+  EXPECT_EQ(registry.prometheus_text(), "");
+}
+
+// --- Tracer ------------------------------------------------------------------
+
+TEST(Tracer, ScopesRecordSpansWithSimAndWallIntervals) {
+  Tracer tracer(/*enabled=*/true);
+  {
+    Tracer::Scope scope =
+        tracer.span("capture", "collect", sim::TimePoint::from_ms(900'000));
+    scope.arg("target", "fixw");
+    scope.set_sim_interval(sim::TimePoint::from_ms(900'000),
+                           sim::Duration::seconds(12));
+  }
+  ASSERT_EQ(tracer.span_count(), 1u);
+  const TraceSpan span = tracer.snapshot()[0];
+  EXPECT_EQ(span.name, "capture");
+  EXPECT_EQ(span.category, "collect");
+  EXPECT_EQ(span.sim_ts_ms, 900'000);
+  EXPECT_EQ(span.sim_dur_ms, 12'000);
+  EXPECT_GE(span.wall_dur_us, 0);
+  EXPECT_GT(span.tid, 0u);
+  ASSERT_EQ(span.args.size(), 1u);
+  EXPECT_EQ(span.args[0].first, "target");
+
+  const std::string json = tracer.chrome_trace_json();
+  // Loadable trace_event JSON: complete events plus process metadata.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"capture\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_dur_ms\": 12000"), std::string::npos);
+}
+
+TEST(Tracer, BoundedSpanStorageCountsDrops) {
+  Tracer tracer(/*enabled=*/true, /*max_spans=*/4);
+  for (int i = 0; i < 10; ++i) {
+    Tracer::Scope scope = tracer.span("s", "c", sim::TimePoint::start());
+  }
+  EXPECT_EQ(tracer.span_count(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+}
+
+TEST(Tracer, DisabledTracerHandsOutInertScopes) {
+  Tracer tracer(/*enabled=*/false);
+  {
+    Tracer::Scope scope = tracer.span("s", "c", sim::TimePoint::start());
+    scope.arg("k", "v");
+    scope.set_sim_interval(sim::TimePoint::start(), sim::Duration::seconds(1));
+  }
+  EXPECT_EQ(tracer.span_count(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// --- EventLog ----------------------------------------------------------------
+
+TEST(EventLog, RingKeepsNewestAndRendersLogfmt) {
+  EventLog log(/*enabled=*/true, /*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    log.log(EventLevel::info, "tick", sim::TimePoint::from_ms(i * 1000),
+            {{"n", std::to_string(i)}});
+  }
+  log.log(EventLevel::warn, "target_unreachable",
+          sim::TimePoint::from_ms(9000),
+          {{"target", "bdr2"}, {"detail", "gone dark"}});
+
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_logged(), 6u);
+  EXPECT_EQ(log.dropped(), 3u);
+  const std::vector<TelemetryEvent> events = log.snapshot();
+  EXPECT_EQ(events.front().fields[0].second, "3");  // oldest survivor
+  EXPECT_EQ(events.back().name, "target_unreachable");
+  // Sequence numbers preserve global arrival order across the drop.
+  EXPECT_LT(events.front().seq, events.back().seq);
+
+  const std::string text = log.logfmt();
+  EXPECT_NE(text.find("sim_ts=9000 level=warn event=target_unreachable "
+                      "target=bdr2 detail=\"gone dark\""),
+            std::string::npos);
+  // last_n trims from the front.
+  const std::string tail = log.logfmt(1);
+  EXPECT_EQ(tail.find("event=tick"), std::string::npos);
+  EXPECT_NE(tail.find("event=target_unreachable"), std::string::npos);
+}
+
+TEST(EventLog, DisabledLogRecordsNothing) {
+  EventLog log(/*enabled=*/false);
+  log.log(EventLevel::error, "boom", sim::TimePoint::start());
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_logged(), 0u);
+}
+
+// --- Telemetry bundle --------------------------------------------------------
+
+TEST(Telemetry, NoopBundleIsSharedAndDisabled) {
+  Telemetry& noop = Telemetry::noop();
+  EXPECT_FALSE(noop.enabled());
+  EXPECT_EQ(&noop, &Telemetry::noop());
+  noop.metrics().counter("c").inc();
+  EXPECT_EQ(noop.metrics().counter_total("c"), 0u);
+}
+
+TEST(Telemetry, WritesMetricsAndTraceFiles) {
+  TelemetryConfig config;
+  config.enabled = true;
+  Telemetry telemetry(config);
+  telemetry.metrics().counter("mantra_cycles_total").inc(3);
+  { Tracer::Scope scope = telemetry.tracer().span("cycle", "cycle", sim::TimePoint::start()); }
+
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "mantra_telemetry_files";
+  std::filesystem::create_directories(dir);
+  const std::string prom = (dir / "metrics.prom").string();
+  const std::string trace = (dir / "trace.json").string();
+  ASSERT_TRUE(telemetry.write_metrics_prom(prom));
+  ASSERT_TRUE(telemetry.write_trace_json(trace));
+
+  std::ifstream prom_in(prom);
+  std::stringstream prom_text;
+  prom_text << prom_in.rdbuf();
+  EXPECT_NE(prom_text.str().find("mantra_cycles_total 3"), std::string::npos);
+  EXPECT_FALSE(telemetry.write_metrics_prom((dir / "no/such/dir/x").string()));
+  std::filesystem::remove_all(dir);
+}
+
+// --- Thread safety (run under the tsan preset) -------------------------------
+
+TEST(TelemetryConcurrency, PoolHammerOnSharedSinks) {
+  TelemetryConfig config;
+  config.enabled = true;
+  config.max_spans = 1024;  // force drops under contention too
+  config.max_events = 256;
+  Telemetry telemetry(config);
+
+  parallel::ThreadPool pool(8);
+  pool.set_telemetry(&telemetry);
+  constexpr int kTasks = 64;
+  constexpr int kIterations = 200;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    tasks.emplace_back([&telemetry, t] {
+      const std::string target = "target-" + std::to_string(t % 4);
+      Counter& cached =
+          telemetry.metrics().counter("hammer_cached_total", {{"target", target}});
+      for (int i = 0; i < kIterations; ++i) {
+        cached.inc();
+        telemetry.metrics().counter("hammer_total").inc();
+        telemetry.metrics().gauge("hammer_gauge").add(1.0);
+        telemetry.metrics()
+            .histogram("hammer_lat", {{"target", target}})
+            .observe(static_cast<double>(i % 7));
+        Tracer::Scope scope =
+            telemetry.tracer().span("hammer", "test", sim::TimePoint::start());
+        scope.arg("target", target);
+        if (i % 10 == 0) {
+          telemetry.events().log(EventLevel::debug, "hammer_tick",
+                                 sim::TimePoint::from_ms(i),
+                                 {{"target", target}});
+        }
+      }
+    });
+  }
+  parallel::run_all(&pool, std::move(tasks));
+
+  const std::uint64_t expected = static_cast<std::uint64_t>(kTasks) * kIterations;
+  EXPECT_EQ(telemetry.metrics().counter_total("hammer_total"), expected);
+  EXPECT_EQ(telemetry.metrics().counter_total("hammer_cached_total"), expected);
+  EXPECT_DOUBLE_EQ(telemetry.metrics().gauge("hammer_gauge").value(),
+                   static_cast<double>(expected));
+  const Histogram* lat =
+      telemetry.metrics().find_histogram("hammer_lat", {{"target", "target-0"}});
+  ASSERT_NE(lat, nullptr);
+  EXPECT_GT(lat->count(), 0u);
+  // Every span was either stored or counted as dropped — none lost.
+  EXPECT_EQ(telemetry.tracer().span_count() + telemetry.tracer().dropped(),
+            expected);
+  EXPECT_GT(telemetry.events().total_logged(), 0u);
+  // The expositions render without tearing while values are stable.
+  EXPECT_FALSE(telemetry.metrics().prometheus_text().empty());
+  EXPECT_FALSE(telemetry.tracer().chrome_trace_json().empty());
+}
+
+// --- Determinism: telemetry never feeds back into results --------------------
+
+std::string read_file_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TransportFactory faulty_factory() {
+  return [](const std::string& name) -> std::unique_ptr<Transport> {
+    FaultProfile profile;
+    if (name == "ucsb-gw") profile = FaultProfile::command_failure_rate(0.3);
+    return std::make_unique<FaultInjectingTransport>(
+        per_target_seed(0x7e1e3e7 , name), profile);
+  };
+}
+
+TEST(TelemetryDeterminism, ResultsSeriesAndArchivesIdenticalOnOrOff) {
+  workload::ScenarioConfig scenario_config;
+  scenario_config.seed = 21;
+  scenario_config.domains = 4;
+  scenario_config.hosts_per_domain = 6;
+  scenario_config.dvmrp_prefixes_per_domain = 6;
+  scenario_config.report_loss = 0.02;
+  scenario_config.timer_scale = 1;
+  scenario_config.full_timers = true;
+  scenario_config.generator.session_arrivals_per_hour = 40.0;
+  scenario_config.generator.bursts_per_day = 0.0;
+  workload::FixwScenario scenario(scenario_config);
+  scenario.start();
+
+  const std::filesystem::path base =
+      std::filesystem::path(::testing::TempDir()) / "mantra_telemetry_equiv";
+  std::filesystem::remove_all(base);
+  const std::string off_dir = (base / "off").string();
+  const std::string on_dir = (base / "on").string();
+
+  const auto make_monitor = [&](bool telemetry_on, const std::string& dir) {
+    MantraConfig config;
+    config.cycle = sim::Duration::minutes(15);
+    config.retry.max_attempts = 2;
+    config.worker_threads = 4;
+    config.archive_dir = dir;
+    config.telemetry.enabled = telemetry_on;
+    auto monitor = std::make_unique<Mantra>(scenario.engine(), config,
+                                            faulty_factory());
+    monitor->add_target(scenario.network().router(scenario.fixw_node()));
+    monitor->add_target(scenario.network().router(scenario.ucsb_node()));
+    monitor->start();
+    return monitor;
+  };
+  auto off = make_monitor(false, off_dir);
+  auto on = make_monitor(true, on_dir);
+  scenario.engine().run_until(scenario.engine().now() + sim::Duration::hours(4));
+
+  // The telemetry-on run actually observed the cycle: counters, spans and
+  // capture-latency samples all populated.
+  EXPECT_FALSE(off->telemetry().enabled());
+  ASSERT_TRUE(on->telemetry().enabled());
+  const MetricsRegistry& metrics = on->telemetry().metrics();
+  EXPECT_EQ(metrics.counter_total("mantra_cycles_total"), 16u);
+  EXPECT_GT(metrics.counter_total("mantra_cycles_recorded_total"), 0u);
+  EXPECT_GT(metrics.counter_total("mantra_transport_commands_total"), 0u);
+  EXPECT_GT(metrics.counter_total("mantra_capture_status_total"), 0u);
+  EXPECT_GT(metrics.counter_total("mantra_archive_records_total"), 0u);
+  EXPECT_GT(metrics.counter_total("mantra_pool_tasks_total"), 0u);
+  const Histogram* latency = metrics.find_histogram(
+      "mantra_capture_latency_seconds", {{"target", "fixw"}});
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->count(), 0u);
+  EXPECT_GT(on->telemetry().tracer().span_count(), 0u);
+
+  // The invariant: every monitored-path output is byte-identical.
+  for (const std::string& name : off->target_names()) {
+    EXPECT_EQ(off->target_view(name).results(), on->target_view(name).results())
+        << "target " << name;
+    const auto sessions = [](const CycleResult& r) {
+      return static_cast<double>(r.usage.sessions);
+    };
+    EXPECT_EQ(off->series(name, "sessions", sessions).to_csv(),
+              on->series(name, "sessions", sessions).to_csv())
+        << "target " << name;
+  }
+  EXPECT_EQ(off->overview().to_csv(), on->overview().to_csv());
+  EXPECT_EQ(off->status().to_table().to_csv(), on->status().to_table().to_csv());
+
+  const std::vector<std::string> names = off->target_names();
+  off.reset();
+  on.reset();
+  for (const std::string& name : names) {
+    const std::string off_bytes =
+        read_file_bytes(std::filesystem::path(off_dir) / (name + ".marc"));
+    const std::string on_bytes =
+        read_file_bytes(std::filesystem::path(on_dir) / (name + ".marc"));
+    EXPECT_FALSE(off_bytes.empty()) << "target " << name;
+    EXPECT_EQ(off_bytes, on_bytes) << "target " << name;
+  }
+  std::filesystem::remove_all(base);
+}
+
+}  // namespace
+}  // namespace mantra::core

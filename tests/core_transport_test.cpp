@@ -130,6 +130,7 @@ TEST_F(TransportTest, SlowResponseExceedsDeadline) {
   EXPECT_EQ(report.captures[0].status, CaptureStatus::failed);
   EXPECT_EQ(report.captures[0].transport_status,
             TransportStatus::deadline_exceeded);
+  EXPECT_EQ(report.captures[0].deadline_phase, DeadlinePhase::in_flight);
   // The first slow response alone spends the whole cumulative deadline, so
   // no retry is attempted.
   EXPECT_EQ(report.captures[0].attempts, 1u);
@@ -158,10 +159,49 @@ TEST_F(TransportTest, DeadlineBoundsCumulativeLatencyAcrossRetries) {
   // third attempt lands at 39s >= 30s, so collection stops there.
   EXPECT_EQ(capture.attempts, 3u);
   EXPECT_EQ(capture.latency.total_ms(), 3 * 12000 + 1000 + 2000);
+  // Retry accounting: the report counts every connect and command attempt.
+  EXPECT_EQ(report.attempts, 1u + capture.attempts);
   // Overshoot is bounded by one attempt's latency, never by max_attempts x.
   EXPECT_LE(capture.latency,
             policy.command_deadline + profile.base_latency);
-  EXPECT_EQ(capture.status, CaptureStatus::truncated);
+  // Exhausting the budget during an attempt is uniformly a failed capture
+  // (the last attempt's truncated dump must not read as a usable-if-stale
+  // partial capture), with the phase recording where the budget went.
+  EXPECT_EQ(capture.status, CaptureStatus::failed);
+  EXPECT_EQ(capture.deadline_phase, DeadlinePhase::in_flight);
+  EXPECT_EQ(capture.transport_status, TransportStatus::truncated);
+  EXPECT_TRUE(capture.clean_text.empty());
+}
+
+TEST_F(TransportTest, DeadlineExhaustedDuringBackoffIsFailed) {
+  // One 10s truncated attempt leaves 20s of budget; the configured 25s
+  // backoff cannot fit, so the collector gives up without retrying. That
+  // must be reported exactly like an in-flight deadline death — a failed
+  // capture — distinguished only by deadline_phase.
+  FaultProfile profile;
+  profile.truncate_p = 1.0;
+  profile.base_latency = sim::Duration::seconds(10);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = sim::Duration::seconds(25);
+  policy.backoff_multiplier = 1.0;
+  policy.jitter = 0.0;
+  policy.command_deadline = sim::Duration::seconds(30);
+  Collector collector({"show ip dvmrp route"}, policy,
+                      std::make_unique<FaultInjectingTransport>(6, profile));
+
+  const CaptureReport report = collector.capture(r1(), engine_.now());
+  ASSERT_EQ(report.captures.size(), 1u);
+  const RawCapture& capture = report.captures[0];
+  EXPECT_EQ(capture.attempts, 1u);
+  EXPECT_EQ(report.attempts, 1u + capture.attempts);
+  // The aborted backoff is not spent: latency covers only the attempt made.
+  EXPECT_EQ(capture.latency, sim::Duration::seconds(10));
+  EXPECT_EQ(capture.status, CaptureStatus::failed);
+  EXPECT_EQ(capture.deadline_phase, DeadlinePhase::backoff);
+  // The last attempt's own outcome survives as the proximate cause.
+  EXPECT_EQ(capture.transport_status, TransportStatus::truncated);
+  EXPECT_TRUE(capture.clean_text.empty());
 }
 
 TEST_F(TransportTest, GarbledTranscriptFails) {
