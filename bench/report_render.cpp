@@ -1,0 +1,98 @@
+// HTML report rendering throughput (google-benchmark): how long one
+// render_html_report pass takes as the run grows — the cost paid on every
+// --report-every refresh of the live dashboard, and once per archive
+// replay. Alert evaluation over the same stream is benched separately so
+// regressions in the rule engine and the renderer show up apart.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/alert.hpp"
+#include "core/report.hpp"
+#include "sim/random.hpp"
+
+using namespace mantra;
+
+namespace {
+
+/// A synthetic result stream with realistic shape: drifting usage, a route
+/// spike mid-run, a stale stretch, and one dark spell.
+std::vector<core::CycleResult> synth_results(std::size_t cycles,
+                                             std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<core::CycleResult> results;
+  results.reserve(cycles);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    core::CycleResult result;
+    result.t = sim::TimePoint::start() +
+               sim::Duration::minutes(15 * static_cast<std::int64_t>(c + 1));
+    result.usage.sessions = static_cast<std::size_t>(40.0 + rng.uniform(0, 20));
+    result.usage.participants = result.usage.sessions * 3;
+    result.usage.bandwidth_kbps = 500.0 + rng.uniform(0.0, 300.0);
+    result.dvmrp_routes = 900 + c % 40;
+    result.dvmrp_valid_routes = 880 + c % 40;
+    result.collection_latency = sim::Duration::seconds(
+        static_cast<std::int64_t>(rng.uniform(1.0, 20.0)));
+    if (c > cycles / 2 && c < cycles / 2 + 12) {
+      result.route_spike = true;
+      result.route_spike_score = 14.0;
+      result.dvmrp_valid_routes += 1500;
+    }
+    if (c % 7 == 0) result.stale = true;
+    if (c == 3 * cycles / 4) result.consecutive_failures = 3;
+    results.push_back(result);
+  }
+  return results;
+}
+
+core::ReportData synth_data(std::size_t cycles, std::size_t targets) {
+  std::vector<core::ReportTargetData> list;
+  for (std::size_t i = 0; i < targets; ++i) {
+    list.push_back({"router-" + std::to_string(i), synth_results(cycles, i)});
+  }
+  return core::report_data_from_replay(std::move(list),
+                                       core::default_alert_rules());
+}
+
+void BM_RenderReport(benchmark::State& state) {
+  const core::ReportData data =
+      synth_data(static_cast<std::size_t>(state.range(0)),
+                 static_cast<std::size_t>(state.range(1)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string html = core::render_html_report(data);
+    bytes = html.size();
+    benchmark::DoNotOptimize(html);
+  }
+  state.counters["html_bytes"] = static_cast<double>(bytes);
+  state.counters["cycles"] =
+      benchmark::Counter(static_cast<double>(state.range(0) * state.range(1) *
+                                             static_cast<std::int64_t>(
+                                                 state.iterations())),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RenderReport)
+    ->Args({96, 2})      // the CI fixture: 2 days, 2 targets
+    ->Args({672, 2})     // two weeks
+    ->Args({672, 16});   // two weeks, a rack of targets
+
+void BM_AlertEvaluation(benchmark::State& state) {
+  const std::vector<core::CycleResult> results =
+      synth_results(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    core::AlertEngine engine(core::default_alert_rules());
+    for (const core::CycleResult& result : results) {
+      engine.observe("fixw", result);
+    }
+    benchmark::DoNotOptimize(engine.history());
+  }
+  state.counters["cycles"] = benchmark::Counter(
+      static_cast<double>(state.range(0) *
+                          static_cast<std::int64_t>(state.iterations())),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AlertEvaluation)->Arg(96)->Arg(672)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

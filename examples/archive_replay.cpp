@@ -1,7 +1,7 @@
 // Capture-to-disk / analyse-later: the deployment split that let Mantra
 // archive six months of router state and build the paper's figures off-line.
 //
-//   $ ./examples/archive_replay [days] [archive.marc]
+//   $ ./examples/archive_replay [days] [archive.marc | archive-dir] [flags]
 //
 // With no archive argument, records a [days]-long FIXW run (default 2) into
 // /tmp/mantra-archive/fixw.marc with the durable archive sink enabled, then
@@ -11,13 +11,25 @@
 // argument, skips recording and analyses that file instead, so a file
 // written by fixw_monitor-style deployments (or a previous run of this tool)
 // replays without the scenario that produced it.
+//
+//   --report-out=<path>   re-derive the alert history (default rules) from
+//                         the replayed results and write the self-contained
+//                         HTML report. Given the directory a live
+//                         `fixw_monitor --archive-dir=` run wrote (every
+//                         *.marc replayed, target name = file stem), the
+//                         report is byte-identical to the live one.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/archive.hpp"
 #include "core/mantra.hpp"
+#include "core/report.hpp"
 #include "workload/scenario.hpp"
 
 using namespace mantra;
@@ -81,13 +93,73 @@ core::SummaryTable busiest_sessions(const core::Snapshot& snapshot,
   return trimmed;
 }
 
+/// Replays one archive file into a report target (name = filename stem).
+core::ReportTargetData replay_target(const std::filesystem::path& file) {
+  const core::ArchiveReader reader(file.string());
+  core::ReportTargetData target;
+  target.name = file.stem().string();
+  target.results = core::replay_archive(reader).results;
+  std::printf("  %s: %zu archived cycles\n", target.name.c_str(),
+              target.results.size());
+  return target;
+}
+
+/// Directory mode: every *.marc in `dir` (name order) replayed through the
+/// default alert rules, rendered to one report — the offline twin of a
+/// `fixw_monitor --archive-dir= --report-out=` run.
+int report_from_directory(const std::string& dir, const std::string& report_out) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".marc") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "no *.marc files in %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("replaying %zu archive(s) from %s\n", files.size(), dir.c_str());
+  std::vector<core::ReportTargetData> targets;
+  targets.reserve(files.size());
+  for (const std::filesystem::path& file : files) {
+    targets.push_back(replay_target(file));
+  }
+  const core::ReportData data = core::report_data_from_replay(
+      std::move(targets), core::default_alert_rules());
+  std::printf("re-derived %zu alert(s) from the archived results\n",
+              data.alerts.size());
+  const bool ok = core::write_html_report(report_out, data);
+  std::fprintf(stderr, "%s %s\n", ok ? "wrote" : "FAILED to write",
+               report_out.c_str());
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int days = argc > 1 ? std::atoi(argv[1]) : 2;
-  const std::string path = argc > 2
-                               ? argv[2]
-                               : record_demo_archive("/tmp/mantra-archive", days);
+  std::string report_out;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
+      report_out = argv[i] + 13;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int days = positional.size() > 0 ? std::atoi(positional[0]) : 2;
+  const std::string path =
+      positional.size() > 1 ? positional[1]
+                            : record_demo_archive("/tmp/mantra-archive", days);
+
+  if (std::filesystem::is_directory(path)) {
+    if (report_out.empty()) {
+      std::fprintf(stderr,
+                   "a directory argument needs --report-out=<path>\n");
+      return 2;
+    }
+    return report_from_directory(path, report_out);
+  }
 
   // --- Everything below reads only the archive file. ---
   const core::ArchiveReader reader(path);
@@ -152,5 +224,17 @@ int main(int argc, char** argv) {
               stats.cycles_in, stats.cycles_out, stats.cycles_dropped,
               static_cast<unsigned long long>(stats.bytes_in),
               static_cast<unsigned long long>(stats.bytes_out));
+
+  if (!report_out.empty()) {
+    core::ReportTargetData target;
+    target.name = std::filesystem::path(path).stem().string();
+    target.results = replay.results;
+    const core::ReportData data = core::report_data_from_replay(
+        {std::move(target)}, core::default_alert_rules());
+    const bool ok = core::write_html_report(report_out, data);
+    std::fprintf(stderr, "%s %s (%zu alerts re-derived)\n",
+                 ok ? "wrote" : "FAILED to write", report_out.c_str(),
+                 data.alerts.size());
+  }
   return 0;
 }

@@ -19,6 +19,17 @@
 // With telemetry on, the monitor-of-the-monitor status table prints each
 // simulated day and the run ends with the final status plus the tail of the
 // structured event log.
+//
+// Operator-facing observability (core/alert + core/report):
+//   --report-out=<path>    enable the default alert rules and write the
+//                          self-contained HTML report (plots, tables, alert
+//                          history) at the end of the run
+//   --report-every=<N>     also refresh the report every N cycles while
+//                          running (live dashboard semantics; default: only
+//                          the final write)
+//   --archive-dir=<dir>    durable .marc archive per target; replaying
+//                          those files through archive_replay --report-out=
+//                          reproduces this run's report byte-for-byte
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +38,7 @@
 #include <vector>
 
 #include "core/mantra.hpp"
+#include "core/report.hpp"
 #include "core/transport.hpp"
 #include "workload/scenario.hpp"
 
@@ -35,12 +47,21 @@ using namespace mantra;
 int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
+  std::string report_out;
+  std::string archive_dir;
+  std::size_t report_every = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
+      report_out = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--report-every=", 15) == 0) {
+      report_every = static_cast<std::size_t>(std::atoi(argv[i] + 15));
+    } else if (std::strncmp(argv[i], "--archive-dir=", 14) == 0) {
+      archive_dir = argv[i] + 14;
     } else {
       positional.push_back(argv[i]);
     }
@@ -65,10 +86,22 @@ int main(int argc, char** argv) {
   scenario.schedule_transition(
       sim::TimePoint::start() + sim::Duration::days(days / 2),
       sim::Duration::days(std::max(1, days / 5)), 0.85);
+  if (failure_rate > 0.0) {
+    // The faulty fixture also replays the Fig 9 incident: a misconfigured
+    // redistribution dumps unicast routes into the UCSB border's DVMRP
+    // table mid-run, so the spike detector (and the report's spike
+    // annotations) have something real to call out.
+    scenario.schedule_route_injection(
+        sim::TimePoint::start() + sim::Duration::days(days / 2) +
+            sim::Duration::hours(14),
+        1500, sim::Duration::hours(6));
+  }
 
   core::MantraConfig monitor_config;
   monitor_config.cycle = sim::Duration::minutes(30);
   monitor_config.telemetry.enabled = telemetry_on;
+  monitor_config.alerts.enabled = !report_out.empty();
+  monitor_config.archive_dir = archive_dir;
   core::TransportFactory factory;
   if (failure_rate > 0.0) {
     // Every target collects over its own faulty telnet path, each with an
@@ -82,6 +115,16 @@ int main(int argc, char** argv) {
   core::Mantra mantra(scenario.engine(), monitor_config, std::move(factory));
   mantra.add_target(scenario.network().router(scenario.fixw_node()));
   mantra.add_target(scenario.network().router(scenario.ucsb_node()));
+
+  if (!report_out.empty() && report_every > 0) {
+    // Live dashboard semantics: rewrite the report every N cycles so an
+    // operator refreshing the file sees the run as it happens.
+    mantra.set_cycle_hook([&mantra, &report_out, report_every](std::size_t cycle) {
+      if (cycle % report_every == 0) {
+        core::write_html_report(report_out, core::report_data_from(mantra));
+      }
+    });
+  }
 
   scenario.start();
   mantra.start();
@@ -189,6 +232,17 @@ int main(int argc, char** argv) {
                    telemetry.tracer().span_count(),
                    static_cast<unsigned long long>(telemetry.tracer().dropped()));
     }
+  }
+
+  if (!report_out.empty()) {
+    std::printf("\n=== Alerts ===\n\n%s\n",
+                mantra.alerts().history_table().render().c_str());
+    const bool ok =
+        core::write_html_report(report_out, core::report_data_from(mantra));
+    std::fprintf(stderr, "%s %s (%zu alerts fired, %zu firing now)\n",
+                 ok ? "wrote" : "FAILED to write", report_out.c_str(),
+                 mantra.alerts().history().size(),
+                 mantra.alerts().firing_count());
   }
   return 0;
 }

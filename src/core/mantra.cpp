@@ -52,6 +52,7 @@ void MantraConfig::validate() const {
   if (archive.keyframe_interval < 1) {
     throw std::invalid_argument("MantraConfig.archive.keyframe_interval must be >= 1");
   }
+  for (const AlertRule& rule : alerts.rules) rule.validate();
 }
 
 Mantra::Mantra(sim::Engine& engine, MantraConfig config)
@@ -72,11 +73,17 @@ Mantra::Mantra(sim::Engine& engine, MantraConfig config, TransportFactory factor
       config_((config.validate(), std::move(config))),
       transport_factory_(std::move(factory)),
       telemetry_(std::make_unique<Telemetry>(config_.telemetry)),
+      alerts_(std::make_unique<AlertEngine>(
+          !config_.alerts.enabled ? std::vector<AlertRule>{}
+          : config_.alerts.rules.empty()
+              ? default_alert_rules()
+              : std::vector<AlertRule>(config_.alerts.rules))),
       pool_(config_.worker_threads > 0
                 ? std::make_unique<parallel::ThreadPool>(config_.worker_threads)
                 : nullptr),
       cycle_timer_(engine, config_.cycle, [this] { run_cycle_now(); }) {
   if (pool_) pool_->set_telemetry(telemetry_.get());
+  alerts_->set_telemetry(telemetry_.get());
 }
 
 void Mantra::add_target(const router::MulticastRouter* target) {
@@ -125,7 +132,18 @@ void Mantra::run_cycle_now() {
     shards.emplace_back([this, state, now] { run_target_cycle(*state, now); });
   }
   parallel::run_all(pool_.get(), std::move(shards));
+  // Alert evaluation runs after the join, on the engine thread, in target-
+  // name order (the map's order) — deterministic across worker_threads
+  // settings, and reproducible offline by evaluate_history() over replayed
+  // archives. Dark cycles record no result and are skipped here; the dark
+  // spell surfaces through the next recorded cycle's consecutive_failures.
+  for (const auto& [name, target] : targets_) {
+    if (!target->results.empty() && target->results.back().t == now) {
+      alerts_->observe(name, target->results.back());
+    }
+  }
   ++cycles_run_;
+  if (cycle_hook_) cycle_hook_(cycles_run_);
 }
 
 void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {

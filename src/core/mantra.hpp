@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/alert.hpp"
 #include "core/archive.hpp"
 #include "core/collect.hpp"
 #include "core/log.hpp"
@@ -51,6 +52,16 @@ enum class TargetHealth { Healthy, Degraded, Unreachable };
 /// target's failures never advance another target's fault RNG.
 using TransportFactory =
     std::function<std::unique_ptr<Transport>(const std::string& target_name)>;
+
+/// Alert-engine wiring (core/alert). Evaluation is strictly result-neutral:
+/// the engine reads recorded CycleResults after the cycle joins and feeds
+/// nothing back, so results, series, CSVs and .marc bytes are identical
+/// with alerting on or off.
+struct AlertConfig {
+  bool enabled = false;
+  /// Rules to evaluate; empty + enabled selects default_alert_rules().
+  std::vector<AlertRule> rules;
+};
 
 struct MantraConfig {
   sim::Duration cycle = sim::Duration::minutes(15);
@@ -81,6 +92,9 @@ struct MantraConfig {
   /// is strictly write-only from the monitoring path — results, series and
   /// archives are byte-identical with it on or off.
   TelemetryConfig telemetry;
+  /// Rule-based alerting (core/alert): disabled by default, result-neutral
+  /// when enabled (alerts are derived from recorded results, not fed back).
+  AlertConfig alerts;
 
   /// Sanity-checks every field; throws std::invalid_argument naming the
   /// offending field. Called by the Mantra constructor.
@@ -216,6 +230,19 @@ class Mantra {
   [[nodiscard]] Telemetry& telemetry() { return *telemetry_; }
   [[nodiscard]] const Telemetry& telemetry() const { return *telemetry_; }
 
+  /// The alert engine (core/alert). Always valid; evaluates no rules unless
+  /// MantraConfig::alerts.enabled. Evaluation happens on the engine thread
+  /// after each cycle joins, in target-name order — deterministic across
+  /// worker_threads settings and reproducible from archive replay.
+  [[nodiscard]] const AlertEngine& alerts() const { return *alerts_; }
+
+  /// Called at the end of every run_cycle_now() with the number of cycles
+  /// run so far (1-based). Used by the examples to refresh the live HTML
+  /// report every N cycles; pass nullptr to detach.
+  void set_cycle_hook(std::function<void(std::size_t)> hook) {
+    cycle_hook_ = std::move(hook);
+  }
+
   [[nodiscard]] std::size_t target_count() const { return targets_.size(); }
   [[nodiscard]] const MantraConfig& config() const { return config_; }
   [[nodiscard]] std::vector<std::string> target_names() const;
@@ -255,9 +282,11 @@ class Mantra {
   // and pool workers all hold raw pointers into the telemetry bundle, so it
   // must be destroyed last.
   std::unique_ptr<Telemetry> telemetry_;
+  std::unique_ptr<AlertEngine> alerts_;  ///< empty rule set when disabled
   std::map<std::string, std::unique_ptr<TargetState>, std::less<>> targets_;
   std::unique_ptr<parallel::ThreadPool> pool_;  ///< null when worker_threads == 0
   sim::PeriodicTimer cycle_timer_;
+  std::function<void(std::size_t)> cycle_hook_;
   std::size_t cycles_run_ = 0;
 };
 

@@ -1,0 +1,622 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "core/archive.hpp"
+#include "core/mantra.hpp"
+#include "sim/random.hpp"
+
+namespace mantra::core {
+
+namespace {
+
+// --- deterministic formatting ------------------------------------------------
+
+std::string fnum(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+std::string f1(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.1f", value);
+  return buffer;
+}
+
+std::string f2(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.2f", value);
+  return buffer;
+}
+
+/// SVG coordinate: two decimals is sub-pixel and keeps the file compact.
+std::string coord(double value) { return f2(value); }
+
+std::string html_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&#39;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Renders a SummaryTable as an HTML table, every cell escaped.
+std::string html_table(const SummaryTable& table) {
+  std::string out = "<table>\n<thead><tr>";
+  for (const std::string& column : table.columns()) {
+    out += "<th>" + html_escape(column) + "</th>";
+  }
+  out += "</tr></thead>\n<tbody>\n";
+  for (const auto& row : table.rows()) {
+    out += "<tr>";
+    for (const std::string& cell : row) {
+      out += "<td>" + html_escape(cell) + "</td>";
+    }
+    out += "</tr>\n";
+  }
+  out += "</tbody></table>\n";
+  return out;
+}
+
+// --- SVG time-series plot ----------------------------------------------------
+
+constexpr const char* kSeriesColors[] = {"#2563eb", "#ea580c", "#16a34a",
+                                         "#9333ea"};
+
+struct PlotSeries {
+  std::string label;
+  std::vector<SeriesPoint> points;
+};
+
+struct PlotSpan {
+  std::int64_t from_ms = 0;
+  std::int64_t to_ms = 0;
+  std::string label;  ///< tooltip (<title>)
+};
+
+struct PlotMarker {
+  std::int64_t t_ms = 0;
+  std::string label;
+};
+
+/// One panel: polylines over a shared [t0, t1] x-domain with shaded spans
+/// (firing alerts) and vertical markers (spike cycles). Pure function of
+/// its inputs — deterministic text out.
+std::string render_plot(const std::string& title,
+                        const std::vector<PlotSeries>& series,
+                        const std::vector<PlotSpan>& spans,
+                        const std::vector<PlotMarker>& markers,
+                        std::int64_t t0_ms, std::int64_t t1_ms,
+                        const ReportOptions& options) {
+  const double left = 56.0, right = 12.0, top = 20.0, bottom = 30.0;
+  const double width = static_cast<double>(options.plot_width);
+  const double height = static_cast<double>(options.plot_height);
+  const double inner_w = width - left - right;
+  const double inner_h = height - top - bottom;
+  const double span_ms =
+      std::max<double>(1.0, static_cast<double>(t1_ms - t0_ms));
+
+  double y_max = 0.0;
+  for (const PlotSeries& s : series) {
+    for (const SeriesPoint& p : s.points) y_max = std::max(y_max, p.value);
+  }
+  if (y_max <= 0.0) y_max = 1.0;
+  y_max *= 1.08;  // headroom so the peak is not clipped by the frame
+
+  const auto x_of = [&](std::int64_t t_ms) {
+    return left + inner_w * static_cast<double>(t_ms - t0_ms) / span_ms;
+  };
+  const auto y_of = [&](double v) { return top + inner_h * (1.0 - v / y_max); };
+
+  std::string out = "<svg class=\"plot\" viewBox=\"0 0 " + fnum(width) + " " +
+                    fnum(height) + "\" width=\"" + fnum(width) +
+                    "\" height=\"" + fnum(height) +
+                    "\" xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\n";
+  out += "<text class=\"plot-title\" x=\"" + coord(left) + "\" y=\"13\">" +
+         html_escape(title) + "</text>\n";
+
+  // Shaded firing-alert spans first, under everything else.
+  for (const PlotSpan& span : spans) {
+    const double x_from = x_of(std::clamp(span.from_ms, t0_ms, t1_ms));
+    const double x_to = x_of(std::clamp(span.to_ms, t0_ms, t1_ms));
+    out += "<rect class=\"alert-span\" x=\"" + coord(x_from) + "\" y=\"" +
+           coord(top) + "\" width=\"" +
+           coord(std::max(1.0, x_to - x_from)) + "\" height=\"" +
+           coord(inner_h) + "\"><title>" + html_escape(span.label) +
+           "</title></rect>\n";
+  }
+
+  // Frame + y grid/ticks (0, mid, max).
+  out += "<rect class=\"frame\" x=\"" + coord(left) + "\" y=\"" + coord(top) +
+         "\" width=\"" + coord(inner_w) + "\" height=\"" + coord(inner_h) +
+         "\"/>\n";
+  for (const double frac : {0.0, 0.5, 1.0}) {
+    const double v = y_max * frac;
+    const double y = y_of(v);
+    if (frac > 0.0 && frac < 1.0) {
+      out += "<line class=\"grid\" x1=\"" + coord(left) + "\" y1=\"" +
+             coord(y) + "\" x2=\"" + coord(left + inner_w) + "\" y2=\"" +
+             coord(y) + "\"/>\n";
+    }
+    out += "<text class=\"tick\" text-anchor=\"end\" x=\"" + coord(left - 6) +
+           "\" y=\"" + coord(y + 4) + "\">" + fnum(v) + "</text>\n";
+  }
+  // x ticks at thirds of the window, labeled in sim time.
+  for (const double frac : {0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0}) {
+    const std::int64_t t_ms =
+        t0_ms + static_cast<std::int64_t>(span_ms * frac);
+    const double x = x_of(t_ms);
+    out += "<line class=\"tick-mark\" x1=\"" + coord(x) + "\" y1=\"" +
+           coord(top + inner_h) + "\" x2=\"" + coord(x) + "\" y2=\"" +
+           coord(top + inner_h + 4) + "\"/>\n";
+    out += "<text class=\"tick\" text-anchor=\"middle\" x=\"" + coord(x) +
+           "\" y=\"" + coord(top + inner_h + 16) + "\">" +
+           html_escape(sim::TimePoint::from_ms(t_ms).to_string()) +
+           "</text>\n";
+  }
+
+  // Spike markers: vertical amber lines through the plot area.
+  for (const PlotMarker& marker : markers) {
+    const double x = x_of(std::clamp(marker.t_ms, t0_ms, t1_ms));
+    out += "<line class=\"spike\" x1=\"" + coord(x) + "\" y1=\"" + coord(top) +
+           "\" x2=\"" + coord(x) + "\" y2=\"" + coord(top + inner_h) +
+           "\"><title>" + html_escape(marker.label) + "</title></line>\n";
+  }
+
+  // The series polylines (points for degenerate one-sample series).
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const char* color = kSeriesColors[i % (sizeof kSeriesColors /
+                                           sizeof kSeriesColors[0])];
+    const PlotSeries& s = series[i];
+    if (s.points.size() >= 2) {
+      std::string points;
+      for (const SeriesPoint& p : s.points) {
+        if (!points.empty()) points.push_back(' ');
+        points += coord(x_of(p.t.total_ms())) + "," + coord(y_of(p.value));
+      }
+      out += "<polyline class=\"series\" stroke=\"" + std::string(color) +
+             "\" points=\"" + points + "\"><title>" + html_escape(s.label) +
+             "</title></polyline>\n";
+    } else {
+      for (const SeriesPoint& p : s.points) {
+        out += "<circle class=\"dot\" fill=\"" + std::string(color) +
+               "\" cx=\"" + coord(x_of(p.t.total_ms())) + "\" cy=\"" +
+               coord(y_of(p.value)) + "\" r=\"2.5\"/>\n";
+      }
+    }
+    // Legend swatch + label along the top edge.
+    const double lx = left + 120.0 * static_cast<double>(i) + 90.0;
+    out += "<rect class=\"swatch\" fill=\"" + std::string(color) + "\" x=\"" +
+           coord(lx) + "\" y=\"6\" width=\"10\" height=\"10\"/>\n";
+    out += "<text class=\"legend\" x=\"" + coord(lx + 14) + "\" y=\"14\">" +
+           html_escape(s.label) + "</text>\n";
+  }
+
+  out += "</svg>\n";
+  return out;
+}
+
+// --- replay-derivable tables -------------------------------------------------
+
+/// Health as derivable from the recorded stream alone (a still-dark
+/// target's live Unreachable state is a live-only fact; see DESIGN §9).
+const char* derived_health(const ReportTargetData& target) {
+  if (target.results.empty()) return "no data";
+  const CycleResult& last = target.results.back();
+  return (last.stale || last.collection_failures > 0) ? "degraded" : "healthy";
+}
+
+SummaryTable overview_table(const ReportData& data) {
+  SummaryTable table({"router", "health", "sessions", "participants", "active",
+                      "senders", "kbps", "dvmrp_routes", "sa_entries",
+                      "mbgp_routes", "stale", "last_cycle"});
+  for (const ReportTargetData& target : data.targets) {
+    if (target.results.empty()) {
+      table.add_row({target.name, derived_health(target), "", "", "", "", "",
+                     "", "", "", "", "never"});
+      continue;
+    }
+    const CycleResult& last = target.results.back();
+    table.add_row({target.name, derived_health(target),
+                   std::to_string(last.usage.sessions),
+                   std::to_string(last.usage.participants),
+                   std::to_string(last.usage.active_sessions),
+                   std::to_string(last.usage.senders),
+                   f1(last.usage.bandwidth_kbps),
+                   std::to_string(last.dvmrp_routes),
+                   std::to_string(last.sa_entries),
+                   std::to_string(last.mbgp_routes), last.stale ? "yes" : "no",
+                   last.t.to_string()});
+  }
+  return table;
+}
+
+SummaryTable status_table(const ReportData& data) {
+  SummaryTable table({"router", "cycles", "stale_cycles", "stale_fraction",
+                      "spikes", "alerts_fired", "lat_p50_s", "lat_p95_s",
+                      "lat_max_s", "last_cycle"});
+  for (const ReportTargetData& target : data.targets) {
+    std::size_t stale_cycles = 0;
+    std::size_t spikes = 0;
+    double lat_max = 0.0;
+    std::vector<double> latencies;
+    latencies.reserve(target.results.size());
+    for (const CycleResult& result : target.results) {
+      if (result.stale) ++stale_cycles;
+      if (result.route_spike) ++spikes;
+      const double lat = result.collection_latency.total_seconds();
+      latencies.push_back(lat);
+      lat_max = std::max(lat_max, lat);
+    }
+    std::size_t alerts_fired = 0;
+    for (const AlertRecord& record : data.alerts) {
+      if (record.target == target.name) ++alerts_fired;
+    }
+    const double fraction =
+        target.results.empty()
+            ? 0.0
+            : static_cast<double>(stale_cycles) /
+                  static_cast<double>(target.results.size());
+    table.add_row(
+        {target.name, std::to_string(target.results.size()),
+         std::to_string(stale_cycles), f2(fraction), std::to_string(spikes),
+         std::to_string(alerts_fired), f2(sim::quantile(latencies, 0.5)),
+         f2(sim::quantile(latencies, 0.95)), f2(lat_max),
+         target.results.empty() ? "never" : target.results.back().t.to_string()});
+  }
+  return table;
+}
+
+// --- notable-event synthesis -------------------------------------------------
+
+/// A deterministic event stream rebuilt from the replay-derivable facts
+/// (recorded results + alert transitions). The live telemetry EventLog sees
+/// more (transport-level events), which is exactly why the report does not
+/// embed it: those facts do not survive into the archive.
+struct NotableEvent {
+  std::int64_t t_ms = 0;
+  int rank = 0;  ///< tie-break for same-instant events
+  std::string target;
+  std::string level;
+  std::string name;
+  std::string detail;
+};
+
+std::vector<NotableEvent> notable_events(const ReportData& data,
+                                         std::size_t tail) {
+  std::vector<NotableEvent> events;
+  for (const ReportTargetData& target : data.targets) {
+    for (const CycleResult& result : target.results) {
+      if (result.consecutive_failures > 0) {
+        events.push_back({result.t.total_ms(), 0, target.name, "info",
+                          "target_recovered",
+                          "dark_cycles=" +
+                              std::to_string(result.consecutive_failures)});
+      }
+      if (result.route_spike) {
+        events.push_back(
+            {result.t.total_ms(), 1, target.name, "warn", "spike_detected",
+             "score=" + f2(result.route_spike_score) + " valid_routes=" +
+                 std::to_string(result.dvmrp_valid_routes)});
+      }
+      if (result.parse_warnings > 0) {
+        events.push_back({result.t.total_ms(), 2, target.name, "warn",
+                          "parse_warning",
+                          "warnings=" + std::to_string(result.parse_warnings)});
+      }
+    }
+  }
+  for (const AlertRecord& record : data.alerts) {
+    events.push_back(
+        {record.fired_at.total_ms(), 3, record.target,
+         record.severity == AlertSeverity::critical ? "error" : "warn",
+         "alert_firing", "rule=" + record.rule});
+    if (record.resolved_at) {
+      events.push_back({record.resolved_at->total_ms(), 4, record.target,
+                        "info", "alert_resolved",
+                        "rule=" + record.rule + " cycles=" +
+                            std::to_string(record.cycles_firing)});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const NotableEvent& a, const NotableEvent& b) {
+              if (a.t_ms != b.t_ms) return a.t_ms < b.t_ms;
+              if (a.rank != b.rank) return a.rank < b.rank;
+              if (a.target != b.target) return a.target < b.target;
+              return a.detail < b.detail;
+            });
+  if (events.size() > tail) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(tail));
+  }
+  return events;
+}
+
+std::string stat_tile(const std::string& value, const std::string& label) {
+  return "<div class=\"tile\"><div class=\"tile-value\">" +
+         html_escape(value) + "</div><div class=\"tile-label\">" +
+         html_escape(label) + "</div></div>\n";
+}
+
+constexpr const char* kStyle = R"css(
+  :root { color-scheme: light; }
+  body { font-family: -apple-system, "Segoe UI", Roboto, Helvetica, Arial,
+         sans-serif; margin: 24px auto; max-width: 960px; color: #1f2430;
+         background: #fdfdfc; }
+  h1 { font-size: 22px; margin-bottom: 2px; }
+  h2 { font-size: 16px; margin: 28px 0 8px; border-bottom: 1px solid #e3e3de;
+       padding-bottom: 4px; }
+  h3 { font-size: 14px; margin: 18px 0 6px; }
+  .subtitle { color: #6b7280; font-size: 13px; margin-top: 0; }
+  .tiles { display: flex; gap: 12px; flex-wrap: wrap; margin: 16px 0; }
+  .tile { border: 1px solid #e3e3de; border-radius: 8px; padding: 10px 16px;
+          background: #ffffff; min-width: 96px; }
+  .tile-value { font-size: 20px; font-weight: 600; }
+  .tile-label { font-size: 12px; color: #6b7280; }
+  table { border-collapse: collapse; font-size: 12.5px; margin: 8px 0;
+          background: #ffffff; }
+  th, td { border: 1px solid #e3e3de; padding: 4px 8px; text-align: left; }
+  th { background: #f4f4f1; font-weight: 600; }
+  .muted { color: #6b7280; font-size: 13px; }
+  .firing { color: #b91c1c; font-weight: 600; }
+  svg.plot { display: block; margin: 10px 0 18px; background: #ffffff;
+             border: 1px solid #e3e3de; border-radius: 6px; }
+  svg .frame { fill: none; stroke: #c9c9c2; stroke-width: 1; }
+  svg .grid { stroke: #ecece7; stroke-width: 1; }
+  svg .tick-mark { stroke: #c9c9c2; stroke-width: 1; }
+  svg .tick, svg .legend { font-size: 10px; fill: #6b7280; }
+  svg .plot-title { font-size: 12px; font-weight: 600; fill: #1f2430; }
+  svg .series { fill: none; stroke-width: 1.5; }
+  svg .alert-span { fill: #dc2626; fill-opacity: 0.10; }
+  svg .spike { stroke: #d97706; stroke-width: 1.2; stroke-dasharray: 3 2; }
+  footer { margin-top: 32px; color: #9ca3af; font-size: 11px; }
+)css";
+
+}  // namespace
+
+ReportData report_data_from(const Mantra& monitor) {
+  ReportData data;
+  for (const std::string& name : monitor.target_names()) {
+    data.targets.push_back({name, monitor.target_view(name).results()});
+  }
+  data.alerts = monitor.alerts().history();
+  data.alert_states = monitor.alerts().status();
+  return data;
+}
+
+ReportData report_data_from_replay(std::vector<ReportTargetData> targets,
+                                   const std::vector<AlertRule>& rules) {
+  std::sort(targets.begin(), targets.end(),
+            [](const ReportTargetData& a, const ReportTargetData& b) {
+              return a.name < b.name;
+            });
+  AlertEngine engine{std::vector<AlertRule>(rules.begin(), rules.end())};
+
+  std::vector<std::pair<std::string, const std::vector<CycleResult>*>> streams;
+  streams.reserve(targets.size());
+  for (const ReportTargetData& target : targets) {
+    streams.emplace_back(target.name, &target.results);
+  }
+  evaluate_history(engine, streams);
+
+  ReportData data;
+  data.targets = std::move(targets);
+  data.alerts = engine.history();
+  data.alert_states = engine.status();
+  return data;
+}
+
+std::string render_html_report(const ReportData& data,
+                               const ReportOptions& options) {
+  // Window + headline facts across all targets.
+  std::int64_t t0_ms = 0, t1_ms = 0;
+  bool have_window = false;
+  std::size_t total_cycles = 0, total_spikes = 0;
+  for (const ReportTargetData& target : data.targets) {
+    total_cycles += target.results.size();
+    for (const CycleResult& result : target.results) {
+      if (result.route_spike) ++total_spikes;
+    }
+    if (target.results.empty()) continue;
+    const std::int64_t first = target.results.front().t.total_ms();
+    const std::int64_t last = target.results.back().t.total_ms();
+    if (!have_window) {
+      t0_ms = first;
+      t1_ms = last;
+      have_window = true;
+    } else {
+      t0_ms = std::min(t0_ms, first);
+      t1_ms = std::max(t1_ms, last);
+    }
+  }
+  std::size_t firing_now = 0;
+  for (const AlertStatus& status : data.alert_states) {
+    if (status.state == AlertState::firing) ++firing_now;
+  }
+
+  std::string out = "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+                    "<meta charset=\"utf-8\">\n<title>" +
+                    html_escape(options.title) + "</title>\n<style>" + kStyle +
+                    "</style>\n</head>\n<body>\n";
+  out += "<h1>" + html_escape(options.title) + "</h1>\n";
+  out += "<p class=\"subtitle\">";
+  if (have_window) {
+    out += html_escape(sim::TimePoint::from_ms(t0_ms).to_string()) + " — " +
+           html_escape(sim::TimePoint::from_ms(t1_ms).to_string()) +
+           " (simulated)";
+  } else {
+    out += "no recorded cycles";
+  }
+  out += "</p>\n";
+
+  out += "<div class=\"tiles\">\n";
+  out += stat_tile(std::to_string(data.targets.size()), "targets");
+  out += stat_tile(std::to_string(total_cycles), "recorded cycles");
+  out += stat_tile(std::to_string(total_spikes), "route spikes");
+  out += stat_tile(std::to_string(data.alerts.size()), "alerts fired");
+  out += stat_tile(std::to_string(firing_now), "firing now");
+  out += "</div>\n";
+
+  // --- alerts ---
+  out += "<h2>Alerts</h2>\n";
+  std::vector<AlertStatus> active;
+  for (const AlertStatus& status : data.alert_states) {
+    if (status.state != AlertState::inactive) active.push_back(status);
+  }
+  if (active.empty()) {
+    out += "<p class=\"muted\">no alert is pending or firing.</p>\n";
+  } else {
+    SummaryTable table({"rule", "target", "severity", "state", "value",
+                        "since"});
+    for (const AlertStatus& status : active) {
+      const auto& since = status.state == AlertState::firing
+                              ? status.firing_since
+                              : status.pending_since;
+      table.add_row({status.rule, status.target, to_string(status.severity),
+                     to_string(status.state), fnum(status.value),
+                     since ? since->to_string() : ""});
+    }
+    out += html_table(table);
+  }
+  if (data.alerts.empty()) {
+    out += "<p class=\"muted\">no alert fired during the run.</p>\n";
+  } else {
+    out += "<h3>History</h3>\n";
+    SummaryTable table({"rule", "target", "severity", "pending_at", "fired_at",
+                        "resolved_at", "peak", "cycles"});
+    const std::size_t start =
+        data.alerts.size() > options.max_alert_rows
+            ? data.alerts.size() - options.max_alert_rows
+            : 0;
+    for (std::size_t i = start; i < data.alerts.size(); ++i) {
+      const AlertRecord& record = data.alerts[i];
+      table.add_row({record.rule, record.target, to_string(record.severity),
+                     record.pending_at.to_string(),
+                     record.fired_at.to_string(),
+                     record.resolved_at ? record.resolved_at->to_string()
+                                        : "still firing",
+                     fnum(record.peak_value),
+                     std::to_string(record.cycles_firing)});
+    }
+    if (start > 0) {
+      out += "<p class=\"muted\">showing the newest " +
+             std::to_string(options.max_alert_rows) + " of " +
+             std::to_string(data.alerts.size()) + " alerts.</p>\n";
+    }
+    out += html_table(table);
+  }
+
+  // --- per-target plots ---
+  for (const ReportTargetData& target : data.targets) {
+    out += "<h2>" + html_escape(target.name) + "</h2>\n";
+    if (target.results.empty()) {
+      out += "<p class=\"muted\">no recorded cycles (the target never "
+             "produced a usable capture).</p>\n";
+      continue;
+    }
+    const std::int64_t first = target.results.front().t.total_ms();
+    const std::int64_t last = target.results.back().t.total_ms();
+
+    // Firing-alert spans and spike markers for this target.
+    std::vector<PlotSpan> spans;
+    for (const AlertRecord& record : data.alerts) {
+      if (record.target != target.name) continue;
+      spans.push_back({record.fired_at.total_ms(),
+                       record.resolved_at ? record.resolved_at->total_ms()
+                                          : last,
+                       record.rule + " (" + to_string(record.severity) + ")"});
+    }
+    std::vector<PlotMarker> spikes;
+    for (const CycleResult& result : target.results) {
+      if (result.route_spike) {
+        spikes.push_back({result.t.total_ms(),
+                          "route spike, score " +
+                              f2(result.route_spike_score)});
+      }
+    }
+
+    const auto extract_series =
+        [&target](const std::string& label,
+                  double (*extract)(const CycleResult&)) {
+          PlotSeries series;
+          series.label = label;
+          series.points.reserve(target.results.size());
+          for (const CycleResult& result : target.results) {
+            series.points.push_back({result.t, extract(result)});
+          }
+          return series;
+        };
+
+    std::vector<PlotSeries> usage;
+    usage.push_back(extract_series("sessions", [](const CycleResult& r) {
+      return static_cast<double>(r.usage.sessions);
+    }));
+    usage.push_back(extract_series("participants", [](const CycleResult& r) {
+      return static_cast<double>(r.usage.participants);
+    }));
+    out += render_plot("multicast groups: sessions / participants", usage,
+                       spans, {}, first, last, options);
+
+    std::vector<PlotSeries> bandwidth;
+    bandwidth.push_back(
+        extract_series("bandwidth_kbps", [](const CycleResult& r) {
+          return r.usage.bandwidth_kbps;
+        }));
+    out += render_plot("bandwidth through the router (kbps)", bandwidth, spans,
+                       {}, first, last, options);
+
+    std::vector<PlotSeries> routes;
+    routes.push_back(
+        extract_series("dvmrp_valid_routes", [](const CycleResult& r) {
+          return static_cast<double>(r.dvmrp_valid_routes);
+        }));
+    out += render_plot("DVMRP valid routes (spikes marked)", routes, spans,
+                       spikes, first, last, options);
+  }
+
+  // --- tables ---
+  out += "<h2>Overview</h2>\n" + html_table(overview_table(data));
+  out += "<h2>Collection status</h2>\n" + html_table(status_table(data));
+
+  out += "<h2>Notable events</h2>\n";
+  const std::vector<NotableEvent> events =
+      notable_events(data, options.event_tail);
+  if (events.empty()) {
+    out += "<p class=\"muted\">nothing notable happened.</p>\n";
+  } else {
+    SummaryTable table({"time", "level", "event", "target", "detail"});
+    for (const NotableEvent& event : events) {
+      table.add_row({sim::TimePoint::from_ms(event.t_ms).to_string(),
+                     event.level, event.name, event.target, event.detail});
+    }
+    out += html_table(table);
+  }
+
+  out += "<footer>mantra core/report — self-contained HTML+SVG, rendered "
+         "deterministically from recorded monitoring results; identical "
+         "bytes live or from archive replay.</footer>\n";
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+bool write_html_report(const std::string& path, const ReportData& data,
+                       const ReportOptions& options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << render_html_report(data, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace mantra::core

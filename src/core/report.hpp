@@ -1,0 +1,75 @@
+// Self-contained HTML monitoring report (§III "Output Interface", taken
+// from Java applets to a single file an operator can open anywhere): one
+// HTML document with inline CSS and inline SVG — no JavaScript, no external
+// assets — holding per-target time-series plots (sessions/participants,
+// bandwidth, DVMRP routes, with firing-alert spans shaded and spike cycles
+// marked), overview and collection-status tables, the alert history, and a
+// tail of notable events.
+//
+// The report is a pure function of (recorded results, alert history): it
+// embeds no wall-clock timestamps and iterates every surface in a fixed
+// order, so the same run renders to the same bytes — live from a running
+// Mantra (report_data_from) or offline from .marc archives
+// (report_data_from_replay). core_report_test proves the two are
+// byte-identical for the same run, and that sequential and pooled
+// collection render identically. Facts that exist only live (telemetry
+// counters, transport events, health of a still-dark target) are
+// deliberately excluded; the replay-derivable subset is the contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/alert.hpp"
+#include "core/process.hpp"
+
+namespace mantra::core {
+
+class Mantra;
+
+struct ReportOptions {
+  std::string title = "Mantra monitoring report";
+  /// Rows kept in the "notable events" tail.
+  std::size_t event_tail = 48;
+  /// Rows kept in the alert-history table (newest kept).
+  std::size_t max_alert_rows = 64;
+  /// Plot viewport in px (inline SVG; the page never loads assets).
+  int plot_width = 720;
+  int plot_height = 150;
+};
+
+/// One target's replay-derivable report input.
+struct ReportTargetData {
+  std::string name;
+  std::vector<CycleResult> results;
+};
+
+/// Everything the renderer consumes. Targets are sorted by name; alert
+/// history is in the engine's transition order.
+struct ReportData {
+  std::vector<ReportTargetData> targets;
+  std::vector<AlertRecord> alerts;
+  std::vector<AlertStatus> alert_states;
+};
+
+/// Snapshots a live monitor's recorded results and alert engine state.
+[[nodiscard]] ReportData report_data_from(const Mantra& monitor);
+
+/// Builds the same data from replayed result streams: sorts targets by
+/// name, re-evaluates `rules` over the merged streams in live order
+/// (evaluate_history), and snapshots the resulting engine. With the
+/// streams a .marc replay produced and the live rule set, the output is
+/// identical to report_data_from on the originating monitor.
+[[nodiscard]] ReportData report_data_from_replay(
+    std::vector<ReportTargetData> targets, const std::vector<AlertRule>& rules);
+
+/// Renders the document. Deterministic: same data + options, same bytes.
+[[nodiscard]] std::string render_html_report(const ReportData& data,
+                                             const ReportOptions& options = {});
+
+/// Renders and writes atomically-ish (truncate + write); false on I/O
+/// failure, never throws.
+bool write_html_report(const std::string& path, const ReportData& data,
+                       const ReportOptions& options = {});
+
+}  // namespace mantra::core

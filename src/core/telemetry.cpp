@@ -10,7 +10,26 @@ namespace mantra::core {
 
 namespace {
 
+/// Prometheus text-exposition escaping for label *values*: backslash,
+/// double quote and line feed are the spec's three special characters
+/// (distinct from json_escape below — the exposition format is not JSON).
+std::string prom_label_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 /// Serializes labels sorted by key: `k1="v1",k2="v2"`. Empty for no labels.
+/// Doubles as the instance key — the escape is injective, so escaped
+/// strings collide exactly when the raw label sets do.
 std::string label_string(MetricLabels labels) {
   std::sort(labels.begin(), labels.end());
   std::string out;
@@ -18,7 +37,7 @@ std::string label_string(MetricLabels labels) {
     if (!out.empty()) out.push_back(',');
     out += key;
     out += "=\"";
-    out += value;
+    out += prom_label_escape(value);
     out += '"';
   }
   return out;
@@ -433,19 +452,28 @@ std::vector<TelemetryEvent> EventLog::snapshot() const {
 namespace {
 
 /// logfmt value: bare when simple, double-quoted with escapes otherwise.
+/// Quoting triggers on anything that would make the bare form ambiguous —
+/// whitespace, `=`, quotes, backslashes, and control bytes — and the
+/// escaped form uses the conventional \" \\ \n \r \t sequences, so a
+/// rendered line round-trips to exactly one (key, value) sequence.
 std::string logfmt_value(const std::string& value) {
   const bool needs_quotes =
       value.empty() ||
-      value.find_first_of(" \t\"=\n") != std::string::npos;
+      std::any_of(value.begin(), value.end(), [](char c) {
+        return c == ' ' || c == '=' || c == '"' || c == '\\' ||
+               static_cast<unsigned char>(c) < 0x20;
+      });
   if (!needs_quotes) return value;
   std::string out = "\"";
   for (const char c : value) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
-      continue;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
     }
-    out.push_back(c);
   }
   out.push_back('"');
   return out;

@@ -95,7 +95,13 @@ class RunningStats {
 };
 
 /// Exact quantiles over a stored sample (the series in these experiments are
-/// at most ~70k points, so storing them is cheap).
+/// at most ~70k points, so storing them is cheap). Linear interpolation
+/// between order statistics; `q` is clamped to [0, 1].
+///
+/// Empty input is defined (not UB): returns 0.0. MonitorStatus latency
+/// percentiles and the alert engine's windowed quantile rules rely on this
+/// before any successful cycle — "no data" reads as zero latency, never a
+/// crash.
 [[nodiscard]] double quantile(std::vector<double> values, double q);
 
 }  // namespace mantra::sim

@@ -1,0 +1,229 @@
+// core/report: the self-contained HTML/SVG report renders deterministically
+// (same data, same bytes; sequential == parallel collection), live and
+// .marc-replay reports are byte-identical for the same run, annotations
+// (firing-alert spans, spike markers) appear, and hostile names are escaped.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/archive.hpp"
+#include "core/mantra.hpp"
+#include "core/report.hpp"
+#include "workload/scenario.hpp"
+
+namespace mantra::core {
+namespace {
+
+std::string read_file_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// --- synthetic-data rendering ------------------------------------------------
+
+/// A run with enough shape to exercise every report surface: a spike cycle,
+/// a stale cycle, a recovery, and one closed alert episode.
+ReportData synthetic_data() {
+  ReportData data;
+  ReportTargetData target;
+  target.name = "ucsb-gw";
+  for (int c = 0; c < 12; ++c) {
+    CycleResult result;
+    result.t = sim::TimePoint::start() + sim::Duration::minutes(15 * (c + 1));
+    result.usage.sessions = 20 + c;
+    result.usage.participants = 50 + 2 * c;
+    result.usage.bandwidth_kbps = 400.0 + 10.0 * c;
+    result.dvmrp_routes = 900 + c;
+    result.dvmrp_valid_routes = static_cast<std::size_t>(900 + (c == 6 ? 1500 : c));
+    if (c == 6) {
+      result.route_spike = true;
+      result.route_spike_score = 15.5;
+    }
+    if (c == 3) result.stale = true;
+    if (c == 8) result.consecutive_failures = 2;  // back from a dark spell
+    target.results.push_back(result);
+  }
+  data.targets.push_back(std::move(target));
+
+  AlertRecord record;
+  record.rule = "route_spike";
+  record.target = "ucsb-gw";
+  record.severity = AlertSeverity::critical;
+  record.pending_at = sim::TimePoint::start() + sim::Duration::minutes(105);
+  record.fired_at = sim::TimePoint::start() + sim::Duration::minutes(120);
+  record.resolved_at = sim::TimePoint::start() + sim::Duration::minutes(150);
+  record.peak_value = 15.5;
+  record.cycles_firing = 3;
+  data.alerts.push_back(std::move(record));
+  return data;
+}
+
+TEST(Report, RendersAnnotationsTablesAndEvents) {
+  const std::string html = render_html_report(synthetic_data());
+  // Self-contained: no scripts, no external asset references (the only
+  // URLs are the SVG xmlns declarations).
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("<link"), std::string::npos);
+  EXPECT_EQ(html.find("src="), std::string::npos);
+  std::size_t urls = 0, xmlns = 0, pos = 0;
+  while ((pos = html.find("http", pos)) != std::string::npos) {
+    ++urls;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = html.find("xmlns=\"http://www.w3.org/2000/svg\"", pos)) !=
+         std::string::npos) {
+    ++xmlns;
+    ++pos;
+  }
+  EXPECT_EQ(urls, xmlns);
+  // The firing-alert span is shaded and the spike cycle marked.
+  EXPECT_NE(html.find("class=\"alert-span\""), std::string::npos);
+  EXPECT_NE(html.find("class=\"spike\""), std::string::npos);
+  // Tables and the synthesized event tail made it in.
+  EXPECT_NE(html.find("Collection status"), std::string::npos);
+  EXPECT_NE(html.find("spike_detected"), std::string::npos);
+  EXPECT_NE(html.find("target_recovered"), std::string::npos);
+  EXPECT_NE(html.find("alert_firing"), std::string::npos);
+  EXPECT_NE(html.find("alert_resolved"), std::string::npos);
+  EXPECT_NE(html.find("route_spike"), std::string::npos);
+}
+
+TEST(Report, SameDataRendersSameBytes) {
+  const ReportData data = synthetic_data();
+  EXPECT_EQ(render_html_report(data), render_html_report(data));
+}
+
+TEST(Report, EscapesHostileNamesEverywhere) {
+  ReportData data = synthetic_data();
+  data.targets[0].name = "evil <b>&\"name\"</b>";
+  data.alerts[0].target = data.targets[0].name;
+  ReportOptions options;
+  options.title = "<script>alert(1)</script>";
+  const std::string html = render_html_report(data, options);
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+  EXPECT_EQ(html.find("<b>"), std::string::npos);
+  EXPECT_NE(html.find("evil &lt;b&gt;&amp;&quot;name&quot;&lt;/b&gt;"),
+            std::string::npos);
+}
+
+TEST(Report, EmptyDataRendersAndWrites) {
+  const ReportData data;  // no targets, no alerts
+  const std::string html = render_html_report(data);
+  EXPECT_NE(html.find("no recorded cycles"), std::string::npos);
+  EXPECT_NE(html.find("no alert fired"), std::string::npos);
+
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "mantra_empty_report.html";
+  ASSERT_TRUE(write_html_report(path.string(), data));
+  EXPECT_EQ(read_file_bytes(path), html);
+  EXPECT_FALSE(write_html_report("/nonexistent-dir/report.html", data));
+}
+
+TEST(Report, ReplayDataSortsTargetsByName) {
+  std::vector<ReportTargetData> targets;
+  targets.push_back({"zulu", {}});
+  targets.push_back({"alpha", {}});
+  const ReportData data =
+      report_data_from_replay(std::move(targets), default_alert_rules());
+  ASSERT_EQ(data.targets.size(), 2u);
+  EXPECT_EQ(data.targets[0].name, "alpha");
+  EXPECT_EQ(data.targets[1].name, "zulu");
+}
+
+// --- live run fixtures -------------------------------------------------------
+
+/// The faulty two-target FIXW fixture: one clean hub, one degraded border,
+/// alerts on (default rules), archives on.
+class ReportEquivalence : public ::testing::Test {
+ protected:
+  ReportEquivalence() : scenario_(make_config()) { scenario_.start(); }
+
+  static workload::ScenarioConfig make_config() {
+    workload::ScenarioConfig config;
+    config.seed = 33;
+    config.domains = 4;
+    config.hosts_per_domain = 6;
+    config.dvmrp_prefixes_per_domain = 6;
+    config.report_loss = 0.05;
+    config.timer_scale = 1;
+    config.full_timers = true;
+    config.generator.session_arrivals_per_hour = 40.0;
+    config.generator.bursts_per_day = 0.0;
+    return config;
+  }
+
+  std::unique_ptr<Mantra> make_monitor(std::size_t worker_threads,
+                                       const std::string& archive_dir) {
+    MantraConfig config;
+    config.cycle = sim::Duration::minutes(15);
+    config.retry.max_attempts = 2;
+    config.worker_threads = worker_threads;
+    config.archive_dir = archive_dir;
+    config.alerts.enabled = true;  // default rule set
+    auto monitor = std::make_unique<Mantra>(
+        scenario_.engine(), config,
+        [](const std::string& name) -> std::unique_ptr<Transport> {
+          FaultProfile profile;
+          if (name == "ucsb-gw") {
+            profile = FaultProfile::command_failure_rate(0.3);
+          }
+          return std::make_unique<FaultInjectingTransport>(
+              per_target_seed(0x5e90a7, name), profile);
+        });
+    monitor->add_target(scenario_.network().router(scenario_.fixw_node()));
+    monitor->add_target(scenario_.network().router(scenario_.ucsb_node()));
+    monitor->start();
+    return monitor;
+  }
+
+  workload::FixwScenario scenario_;
+};
+
+TEST_F(ReportEquivalence, LiveAndArchiveReplayReportsAreByteIdentical) {
+  const std::filesystem::path base =
+      std::filesystem::path(::testing::TempDir()) / "mantra_report_replay";
+  std::filesystem::remove_all(base);
+  auto monitor = make_monitor(0, base.string());
+  scenario_.engine().run_until(scenario_.engine().now() +
+                               sim::Duration::hours(8));
+
+  const std::string live = render_html_report(report_data_from(*monitor));
+  const std::vector<std::string> names = monitor->target_names();
+  monitor.reset();  // flush the archives
+
+  std::vector<ReportTargetData> targets;
+  for (const std::string& name : names) {
+    const ArchiveReader reader((base / (name + ".marc")).string());
+    ASSERT_TRUE(reader.recovery().clean);
+    targets.push_back({name, replay_archive(reader).results});
+  }
+  const std::string replayed = render_html_report(
+      report_data_from_replay(std::move(targets), default_alert_rules()));
+  EXPECT_EQ(live, replayed);
+  // The faulty fixture actually produced alert content to compare.
+  EXPECT_NE(live.find("class=\"alert-span\""), std::string::npos);
+}
+
+TEST_F(ReportEquivalence, SequentialAndParallelRunsRenderSameBytes) {
+  const std::filesystem::path base =
+      std::filesystem::path(::testing::TempDir()) / "mantra_report_par";
+  std::filesystem::remove_all(base);
+  auto sequential = make_monitor(0, (base / "seq").string());
+  auto pooled = make_monitor(4, (base / "par").string());
+  scenario_.engine().run_until(scenario_.engine().now() +
+                               sim::Duration::hours(6));
+
+  EXPECT_EQ(render_html_report(report_data_from(*sequential)),
+            render_html_report(report_data_from(*pooled)));
+}
+
+}  // namespace
+}  // namespace mantra::core

@@ -5,11 +5,13 @@
 // enabled or disabled.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/mantra.hpp"
@@ -92,6 +94,46 @@ TEST(MetricsRegistry, PrometheusTextExposition) {
   const std::string json = registry.json_dump();
   EXPECT_NE(json.find("\"mantra_cycles_total\""), std::string::npos);
   EXPECT_NE(json.find("\"mantra_lat\""), std::string::npos);
+}
+
+// Exposition-format spec compliance: label *values* must escape backslash,
+// double quote and line feed. A scraper reading the hostile exposition must
+// see one well-formed sample per line with the escapes in place.
+TEST(MetricsRegistry, PrometheusLabelValuesEscapeHostileNames) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.counter("mantra_cycles_total",
+                   {{"target", "evil\"quote"}})
+      .inc();
+  registry.counter("mantra_cycles_total",
+                   {{"target", "back\\slash"}})
+      .inc(2);
+  registry.counter("mantra_cycles_total",
+                   {{"target", "new\nline"}})
+      .inc(3);
+
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("mantra_cycles_total{target=\"evil\\\"quote\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mantra_cycles_total{target=\"back\\\\slash\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mantra_cycles_total{target=\"new\\nline\"} 3\n"),
+            std::string::npos);
+  // No raw newline may survive inside a label value: every line of the
+  // exposition is a comment or a complete `name{labels} value` sample.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << "torn sample: " << line;
+  }
+  // Escaped instances stay distinct, and lookup with the raw labels still
+  // resolves (the escape is applied consistently on both paths).
+  EXPECT_EQ(registry.counter_value("mantra_cycles_total",
+                                   {{"target", "evil\"quote"}}),
+            1u);
+  EXPECT_EQ(registry.counter_value("mantra_cycles_total",
+                                   {{"target", "back\\slash"}}),
+            2u);
 }
 
 TEST(MetricsRegistry, DisabledRegistryRecordsNothing) {
@@ -184,6 +226,81 @@ TEST(EventLog, RingKeepsNewestAndRendersLogfmt) {
   const std::string tail = log.logfmt(1);
   EXPECT_EQ(tail.find("event=tick"), std::string::npos);
   EXPECT_NE(tail.find("event=target_unreachable"), std::string::npos);
+}
+
+// Minimal logfmt scanner used to prove the rendering round-trips: values
+// are either a bare token (no spaces/quotes/equals/controls) or a quoted
+// string with \" \\ \n \r \t escapes.
+std::vector<std::pair<std::string, std::string>> parse_logfmt_line(
+    const std::string& line) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) break;
+    const std::size_t eq = line.find('=', i);
+    if (eq == std::string::npos) { ADD_FAILURE() << "no '=' in: " << line; break; }
+    std::string key = line.substr(i, eq - i);
+    std::string value;
+    i = eq + 1;
+    if (i < line.size() && line[i] == '"') {
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          const char next = line[i + 1];
+          value.push_back(next == 'n' ? '\n'
+                          : next == 'r' ? '\r'
+                          : next == 't' ? '\t'
+                                        : next);
+          i += 2;
+        } else {
+          value.push_back(line[i++]);
+        }
+      }
+      EXPECT_LT(i, line.size()) << "unterminated quote in: " << line;
+      ++i;  // closing quote
+    } else {
+      const std::size_t end = line.find(' ', i);
+      value = line.substr(i, end == std::string::npos ? end : end - i);
+      i = end == std::string::npos ? line.size() : end;
+    }
+    pairs.emplace_back(std::move(key), std::move(value));
+  }
+  return pairs;
+}
+
+// Satellite: hostile field values — spaces, '=', quotes, lone backslashes,
+// CR/LF/tab — must render to a line the scanner above maps back to exactly
+// the original (key, value) sequence.
+TEST(EventLog, LogfmtValuesRoundTripUnambiguously) {
+  const std::vector<std::pair<std::string, std::string>> hostile = {
+      {"plain", "bare-token"},
+      {"spaced", "gone dark"},
+      {"equals", "a=b=c"},
+      {"quoted", "say \"hi\""},
+      {"backslash", "C:\\mantra\\logs"},  // must trigger quoting by itself
+      {"newline", "line1\nline2"},
+      {"carriage", "line1\r\nline2"},
+      {"tab", "col1\tcol2"},
+      {"empty", ""},
+      {"mixed", "a \"b\" = \\ \n end"},
+  };
+  EventLog log(/*enabled=*/true, /*capacity=*/8);
+  log.log(EventLevel::info, "hostile", sim::TimePoint::from_ms(1000), hostile);
+
+  const std::string text = log.logfmt();
+  ASSERT_FALSE(text.empty());
+  // One event, one line: every embedded newline must be escaped.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+
+  const auto pairs = parse_logfmt_line(text.substr(0, text.size() - 1));
+  // sim_ts, level, event, then the fields in order.
+  ASSERT_EQ(pairs.size(), 3 + hostile.size());
+  EXPECT_EQ(pairs[0], (std::pair<std::string, std::string>{"sim_ts", "1000"}));
+  EXPECT_EQ(pairs[2], (std::pair<std::string, std::string>{"event", "hostile"}));
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    EXPECT_EQ(pairs[3 + i], hostile[i]) << "field #" << i;
+  }
 }
 
 TEST(EventLog, DisabledLogRecordsNothing) {

@@ -226,5 +226,27 @@ TEST(Quantile, InterpolatesBetweenPoints) {
   EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
 }
 
+// The documented contract for the degenerate inputs MonitorStatus and the
+// alert engine hit before any successful cycle: empty samples read as 0.0
+// at every q (never UB or a throw), a single sample is every quantile of
+// itself, and q outside [0, 1] clamps instead of indexing out of range.
+TEST(Quantile, EmptyInputIsDefinedAsZero) {
+  for (double q : {0.0, 0.25, 0.5, 0.95, 1.0, -3.0, 7.0}) {
+    EXPECT_DOUBLE_EQ(quantile({}, q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(Quantile, SingleElementIsEveryQuantile) {
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile({42.0}, q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(Quantile, OutOfRangeQClamps) {
+  std::vector<double> values{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(values, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 2.0), 5.0);
+}
+
 }  // namespace
 }  // namespace mantra::sim
