@@ -68,10 +68,10 @@ struct MacroRun {
   std::unique_ptr<core::Mantra> monitor;
 
   [[nodiscard]] const std::vector<core::CycleResult>& fixw() const {
-    return monitor->results("fixw");
+    return monitor->target_view("fixw").results();
   }
   [[nodiscard]] const std::vector<core::CycleResult>& ucsb() const {
-    return monitor->results("ucsb-gw");
+    return monitor->target_view("ucsb-gw").results();
   }
 };
 

@@ -44,11 +44,11 @@ int main() {
   bool alarmed = false;
   for (int hour = 1; hour <= 48; ++hour) {
     scenario.engine().run_until(sim::TimePoint::start() + sim::Duration::hours(hour));
-    const auto& results = mantra.results("ucsb-gw");
+    const auto& results = mantra.target_view("ucsb-gw").results();
     if (results.empty()) continue;
     const core::CycleResult& last = results.back();
     if (!alarmed && !last.route_spike) {
-      before_incident = mantra.latest_snapshot("ucsb-gw");
+      before_incident = mantra.target_view("ucsb-gw").latest_snapshot();
     }
     if (last.route_spike && !alarmed) {
       alarmed = true;
@@ -59,7 +59,7 @@ int main() {
       // Localise: diff the current route table against the last healthy
       // snapshot and bucket the new prefixes by /8 — the leak announces
       // itself as a block of addresses that never belonged in the MBone.
-      const core::Snapshot& now = mantra.latest_snapshot("ucsb-gw");
+      const core::Snapshot& now = mantra.target_view("ucsb-gw").latest_snapshot();
       const auto delta = core::RouteTable::diff(before_incident.routes, now.routes);
       std::map<int, int> new_by_slash8;
       for (const core::RouteRow& row : delta.upserts) {

@@ -197,7 +197,7 @@ int main(int argc, char** argv) {
   }
 
   // Storage accounting: the delta log vs naive full snapshots.
-  const core::DataLogger& logger = mantra.logger("fixw");
+  const core::DataLogger& logger = mantra.target_view("fixw").logger();
   std::printf("\n=== Data logger ===\ncycles recorded: %zu\n"
               "stored (delta codec): %llu bytes\nnaive (full snapshots): %llu bytes\n"
               "savings: %.1fx\n",

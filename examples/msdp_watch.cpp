@@ -63,10 +63,12 @@ int main() {
       core::Collector().capture(*ucsb, scenario.engine().now());
   for (const core::RawCapture& capture : report.captures) {
     if (capture.command != "show ip msdp sa-cache" || !capture.ok()) continue;
-    const auto outcome = core::parse_msdp_sa_cache(capture.clean_text);
-    std::printf("parser: %zu SA rows, %zu warnings\n", outcome.table.size(),
-                outcome.warnings.size());
-    outcome.table.visit([](const core::SaRow& row) {
+    core::SaTable sa_table;
+    std::vector<std::string> warnings;
+    core::parse_msdp_sa_cache(capture.clean_text, sa_table, &warnings);
+    std::printf("parser: %zu SA rows, %zu warnings\n", sa_table.size(),
+                warnings.size());
+    sa_table.visit([](const core::SaRow& row) {
       std::printf("  (%s, %s) via RP %s%s\n", row.source.to_string().c_str(),
                   row.group.to_string().c_str(), row.origin_rp.to_string().c_str(),
                   row.via_peer.is_unspecified() ? " [local]" : "");

@@ -71,7 +71,7 @@ int main() {
               aggregate.sessions, aggregate.participants, aggregate.bandwidth_kbps);
 
   // mtrace: the reverse-path debugging tool, against the busiest session.
-  const auto& fixw_snapshot = mantra.latest_snapshot("fixw");
+  const auto& fixw_snapshot = mantra.target_view("fixw").latest_snapshot();
   core::PairRow busiest;
   fixw_snapshot.pairs.visit([&](const core::PairRow& row) {
     if (row.current_kbps > busiest.current_kbps) busiest = row;

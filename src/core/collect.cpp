@@ -109,6 +109,12 @@ bool is_noise_line(std::string_view line) {
 
 std::string preprocess(std::string_view raw) {
   std::string out;
+  preprocess_into(raw, out);
+  return out;
+}
+
+void preprocess_into(std::string_view raw, std::string& out) {
+  out.clear();
   out.reserve(raw.size());
   std::size_t start = 0;
   bool last_blank = true;  // swallow leading blank lines
@@ -135,7 +141,6 @@ std::string preprocess(std::string_view raw) {
   while (out.size() >= 2 && out[out.size() - 1] == '\n' && out[out.size() - 2] == '\n') {
     out.pop_back();
   }
-  return out;
 }
 
 Collector::Collector(std::vector<std::string> commands, RetryPolicy policy,
@@ -203,23 +208,41 @@ void Collector::record_capture_telemetry(const RawCapture& capture,
   }
 }
 
-CaptureReport Collector::capture(const router::MulticastRouter& router,
-                                 sim::TimePoint now) {
-  CaptureReport report;
-  report.captures.reserve(commands_.size());
+const CaptureReport& Collector::capture(const router::MulticastRouter& router,
+                                        sim::TimePoint now) {
+  // Reset the reused report in place: slots (and their transcript buffers)
+  // from the previous cycle keep their capacity.
+  CaptureReport& report = report_;
+  report.connected = false;
+  report.attempts = 0;
+  report.latency = sim::Duration();
+  report.captures.resize(commands_.size());
   const std::size_t max_attempts = std::max<std::size_t>(policy_.max_attempts, 1);
   const bool telemetry_on = telemetry_->enabled();
   // A disabled tracer hands out an inert scope — no clock reads, no storage.
   Tracer::Scope capture_scope = telemetry_->tracer().span("capture", "collect", now);
   capture_scope.arg("target", telemetry_target_);
 
-  // Establish the session, retrying with backoff.
-  TransportResult session;
+  const auto reset_slot = [&](RawCapture& capture, const std::string& command) {
+    capture.router_name = router.hostname();
+    capture.command = command;
+    capture.captured = now;
+    capture.raw_text.clear();
+    capture.clean_text.clear();
+    capture.status = CaptureStatus::ok;
+    capture.transport_status = TransportStatus::ok;
+    capture.deadline_phase = DeadlinePhase::none;
+    capture.attempts = 0;
+    capture.latency = sim::Duration();
+  };
+
+  // Establish the session, retrying with backoff. `op_` holds the last
+  // connect outcome after the loop.
   for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
-    session = transport_->connect(router, now);
+    transport_->connect_into(router, now, op_);
     ++report.attempts;
-    report.latency += session.latency;
-    if (session.ok()) {
+    report.latency += op_.latency;
+    if (op_.ok()) {
       report.connected = true;
       break;
     }
@@ -230,21 +253,18 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
   if (!report.connected) {
     // The router is dark this cycle: every command is reported failed so
     // callers see exactly which tables they are missing.
-    for (const std::string& command : commands_) {
-      RawCapture capture;
-      capture.router_name = router.hostname();
-      capture.command = command;
-      capture.captured = now;
+    for (std::size_t i = 0; i < commands_.size(); ++i) {
+      RawCapture& capture = report.captures[i];
+      reset_slot(capture, commands_[i]);
       capture.status = CaptureStatus::failed;
-      capture.transport_status = session.status;
+      capture.transport_status = op_.status;
       record_capture_telemetry(capture, now, sim::Duration());
-      report.captures.push_back(std::move(capture));
     }
     if (telemetry_on) {
       telemetry_->events().log(
           EventLevel::warn, "session_failed", now,
           {{"target", telemetry_target_},
-           {"transport", to_string(session.status)},
+           {"transport", to_string(op_.status)},
            {"attempts", std::to_string(report.attempts)}});
       capture_scope.arg("connected", "false");
       capture_scope.set_sim_interval(now, report.latency);
@@ -252,11 +272,10 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
     return report;
   }
 
-  for (const std::string& command : commands_) {
-    RawCapture capture;
-    capture.router_name = router.hostname();
-    capture.command = command;
-    capture.captured = now;
+  for (std::size_t i = 0; i < commands_.size(); ++i) {
+    const std::string& command = commands_[i];
+    RawCapture& capture = report.captures[i];
+    reset_slot(capture, command);
     sim::Duration backoff_total;
 
     Tracer::Scope command_scope = telemetry_->tracer().span(command, "command", now);
@@ -265,19 +284,22 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
     for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
       const std::int64_t attempt_wall_start =
           telemetry_on ? telemetry_->tracer().wall_now_us() : 0;
-      TransportResult result = transport_->execute(router, command, now);
+      transport_->execute_into(router, command, now, op_);
       ++report.attempts;
       capture.attempts = attempt;
-      capture.latency += result.latency;
-      capture.transport_status = result.status;
-      capture.raw_text = std::move(result.text);
+      capture.latency += op_.latency;
+      capture.transport_status = op_.status;
+      // Swap, don't move: the slot's previous transcript buffer becomes the
+      // transport's next render buffer, so capacity circulates instead of
+      // being reallocated every cycle.
+      std::swap(capture.raw_text, op_.text);
       capture.clean_text.clear();
       if (telemetry_on) {
         TraceSpan attempt_span;
         attempt_span.name = "attempt";
         attempt_span.category = "attempt";
         attempt_span.sim_ts_ms = now.total_ms();
-        attempt_span.sim_dur_ms = result.latency.total_ms();
+        attempt_span.sim_dur_ms = op_.latency.total_ms();
         attempt_span.wall_ts_us = attempt_wall_start;
         attempt_span.wall_dur_us =
             telemetry_->tracer().wall_now_us() - attempt_wall_start;
@@ -285,7 +307,7 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
         attempt_span.args = {{"target", telemetry_target_},
                              {"command", command},
                              {"attempt", std::to_string(attempt)},
-                             {"transport", to_string(result.status)}};
+                             {"transport", to_string(op_.status)}};
         telemetry_->tracer().record(std::move(attempt_span));
       }
 
@@ -293,7 +315,7 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
       // backoff), not each attempt in isolation — otherwise retries could
       // overshoot it max_attempts-fold.
       const bool over_deadline = capture.latency > policy_.command_deadline;
-      if (result.status == TransportStatus::ok && !over_deadline) {
+      if (capture.transport_status == TransportStatus::ok && !over_deadline) {
         if (router::cli::is_invalid_command_output(capture.raw_text)) {
           // The router understood us well enough to reject the command;
           // retrying cannot help.
@@ -301,17 +323,17 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
           break;
         }
         capture.status = CaptureStatus::ok;
-        capture.clean_text = preprocess(capture.raw_text);
+        preprocess_into(capture.raw_text, capture.clean_text);
         break;
       }
 
-      if (result.status == TransportStatus::ok && over_deadline) {
+      if (capture.transport_status == TransportStatus::ok && over_deadline) {
         capture.transport_status = TransportStatus::deadline_exceeded;
-      } else if (result.status == TransportStatus::truncated) {
+      } else if (capture.transport_status == TransportStatus::truncated) {
         // Keep the partial dump for the archive, preprocessed for humans,
         // but never hand it to the parsers as a complete table.
         capture.status = CaptureStatus::truncated;
-        capture.clean_text = preprocess(capture.raw_text);
+        preprocess_into(capture.raw_text, capture.clean_text);
       } else {
         capture.status = CaptureStatus::failed;
       }
@@ -347,7 +369,6 @@ CaptureReport Collector::capture(const router::MulticastRouter& router,
     report.latency += capture.latency;
     if (telemetry_on) command_scope.set_sim_interval(now, capture.latency);
     record_capture_telemetry(capture, now, backoff_total);
-    report.captures.push_back(std::move(capture));
   }
   transport_->disconnect();
   if (telemetry_on) capture_scope.set_sim_interval(now, report.latency);

@@ -126,6 +126,11 @@ struct RetryPolicy {
 /// runs of blank lines.
 [[nodiscard]] std::string preprocess(std::string_view raw);
 
+/// In-place form of preprocess: clears `out` (keeping capacity) and fills it
+/// with the cleaned transcript. `raw` must not alias `out`. The collection
+/// loop reuses one clean-text buffer per capture slot through this.
+void preprocess_into(std::string_view raw, std::string& out);
+
 /// One collection pipeline: owns its transport session and its jitter RNG,
 /// so two Collectors never share mutable state. Not thread-safe per
 /// instance — concurrent collection uses one Collector per target
@@ -140,8 +145,14 @@ class Collector {
   /// Runs the full command set against one router over one transport
   /// session, retrying per the policy, capturing and preprocessing each
   /// output. Never throws on collection failure — failures are statuses.
-  [[nodiscard]] CaptureReport capture(const router::MulticastRouter& router,
-                                      sim::TimePoint now);
+  ///
+  /// Returns a reference to collector-owned storage that is overwritten by
+  /// the next capture() call: the report, its RawCapture slots, and their
+  /// transcript buffers are all reused across cycles, so a warmed-up
+  /// collector performs no per-cycle allocation on the capture path. Copy
+  /// the report (or the captures you need) to keep data across cycles.
+  [[nodiscard]] const CaptureReport& capture(
+      const router::MulticastRouter& router, sim::TimePoint now);
 
   /// Attaches a telemetry sink (forwarded to the owned transport) and the
   /// target label stamped on every metric/span/event this collector
@@ -162,6 +173,8 @@ class Collector {
   sim::Rng jitter_rng_;
   Telemetry* telemetry_ = &Telemetry::noop();
   std::string telemetry_target_;
+  CaptureReport report_;     ///< reused result storage (see capture())
+  TransportResult op_;       ///< reused per-operation transport buffer
 };
 
 }  // namespace mantra::core

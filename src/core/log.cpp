@@ -1,6 +1,6 @@
 #include "core/log.hpp"
 
-#include <sstream>
+#include <charconv>
 
 namespace mantra::core {
 
@@ -13,93 +13,227 @@ namespace {
 //   A src grp rp via age_ms                 (SA)
 //   B prefix nh as_path                     (MBGP)
 // Deltas prefix the tag with '+' (upsert) or '-' (removal, key fields only).
+//
+// The codec is written once against a Sink concept and instantiated twice:
+// StringSink appends the actual bytes (snapshot serialization), CountingSink
+// only accumulates their length. DataLogger::record needs byte *counts* —
+// the serialized text is never stored — so the per-cycle ledgers run on the
+// counting instantiation and the hot path writes no codec bytes at all.
+// Sharing one template keeps the two instantiations equal by construction.
+//
+// Numeric fields must keep the exact bytes the original ostream codec
+// produced: integers via to_chars (same digits as operator<<), doubles via
+// "%g" (operator<< on a default-formatted stream is specified as the %g
+// conversion, precision 6).
 
-void encode_pair(std::ostringstream& out, const PairRow& row) {
-  out << row.source.to_string() << ' ' << row.group.to_string() << ' '
-      << row.current_kbps << ' ' << row.average_kbps << ' ' << row.packets
-      << ' ' << row.uptime.total_ms() << '\n';
+struct StringSink {
+  std::string& out;
+  void text(std::string_view s) { out.append(s.data(), s.size()); }
+  void ch(char c) { out += c; }
+  void raw(const char* data, std::size_t size) { out.append(data, size); }
+  void ip(net::Ipv4Address address) { address.append_to(out); }
+  void prefix(const net::Prefix& value) { value.append_to(out); }
+};
+
+struct CountingSink {
+  std::size_t size = 0;
+  void text(std::string_view s) { size += s.size(); }
+  void ch(char) { ++size; }
+  void raw(const char*, std::size_t length) { size += length; }
+  void ip(net::Ipv4Address address) {
+    size += 3;  // the dots
+    for (int i = 0; i < 4; ++i) {
+      const std::uint8_t octet = address.octet(i);
+      size += octet >= 100 ? 3 : octet >= 10 ? 2 : 1;
+    }
+  }
+  void prefix(const net::Prefix& value) {
+    ip(value.address());
+    size += value.length() >= 10 ? 3 : 2;  // '/' + one or two digits
+  }
+};
+
+template <typename Sink, typename Int>
+void append_int(Sink& sink, Int value) {
+  char buffer[24];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  sink.raw(buffer, static_cast<std::size_t>(result.ptr - buffer));
 }
 
-void encode_route(std::ostringstream& out, const RouteRow& row) {
-  out << row.prefix.to_string() << ' ' << row.next_hop.to_string() << ' '
-      << (row.interface.empty() ? "-" : row.interface) << ' ' << row.metric
-      << ' ' << row.uptime.total_ms() << ' ' << (row.holddown ? 1 : 0) << '\n';
+template <typename Sink>
+void append_double(Sink& sink, double value) {
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value,
+                                    std::chars_format::general, 6);
+  sink.raw(buffer, static_cast<std::size_t>(result.ptr - buffer));
 }
 
-void encode_sa(std::ostringstream& out, const SaRow& row) {
-  out << row.source.to_string() << ' ' << row.group.to_string() << ' '
-      << row.origin_rp.to_string() << ' ' << row.via_peer.to_string() << ' '
-      << row.age.total_ms() << '\n';
+template <typename Sink>
+void encode_pair(Sink& sink, const PairRow& row) {
+  sink.ip(row.source);
+  sink.ch(' ');
+  sink.ip(row.group);
+  sink.ch(' ');
+  append_double(sink, row.current_kbps);
+  sink.ch(' ');
+  append_double(sink, row.average_kbps);
+  sink.ch(' ');
+  append_int(sink, row.packets);
+  sink.ch(' ');
+  append_int(sink, row.uptime.total_ms());
+  sink.ch('\n');
 }
 
-void encode_mbgp(std::ostringstream& out, const MbgpRow& row) {
-  out << row.prefix.to_string() << ' ' << row.next_hop.to_string() << ' '
-      << (row.as_path.empty() ? "i" : row.as_path) << '\n';
+template <typename Sink>
+void encode_route(Sink& sink, const RouteRow& row) {
+  sink.prefix(row.prefix);
+  sink.ch(' ');
+  sink.ip(row.next_hop);
+  sink.ch(' ');
+  sink.text(row.interface.empty() ? std::string_view("-")
+                                  : std::string_view(row.interface));
+  sink.ch(' ');
+  append_int(sink, row.metric);
+  sink.ch(' ');
+  append_int(sink, row.uptime.total_ms());
+  sink.ch(' ');
+  sink.ch(row.holddown ? '1' : '0');
+  sink.ch('\n');
 }
 
-void encode_participant(std::ostringstream& out, const ParticipantRow& row) {
-  out << row.host.to_string() << ' ' << row.group_count << ' ' << row.total_kbps
-      << ' ' << (row.sender ? 1 : 0) << ' ' << row.known_for.total_ms() << '\n';
+template <typename Sink>
+void encode_sa(Sink& sink, const SaRow& row) {
+  sink.ip(row.source);
+  sink.ch(' ');
+  sink.ip(row.group);
+  sink.ch(' ');
+  sink.ip(row.origin_rp);
+  sink.ch(' ');
+  sink.ip(row.via_peer);
+  sink.ch(' ');
+  append_int(sink, row.age.total_ms());
+  sink.ch('\n');
 }
 
-void encode_session(std::ostringstream& out, const SessionRow& row) {
-  out << row.group.to_string() << ' ' << row.density << ' ' << row.senders
-      << ' ' << row.total_kbps << ' ' << (row.active ? 1 : 0) << ' '
-      << row.age.total_ms() << '\n';
+template <typename Sink>
+void encode_mbgp(Sink& sink, const MbgpRow& row) {
+  sink.prefix(row.prefix);
+  sink.ch(' ');
+  sink.ip(row.next_hop);
+  sink.ch(' ');
+  sink.text(row.as_path.empty() ? std::string_view("i")
+                                : std::string_view(row.as_path));
+  sink.ch('\n');
 }
 
-template <typename Row, typename Encode>
-std::string encode_delta(const typename Table<Row>::Delta& delta, char tag,
-                         Encode encode, const std::function<std::string(
-                                            const typename Row::Key&)>& key_text) {
-  std::ostringstream out;
+template <typename Sink>
+void encode_participant(Sink& sink, const ParticipantRow& row) {
+  sink.ip(row.host);
+  sink.ch(' ');
+  append_int(sink, row.group_count);
+  sink.ch(' ');
+  append_double(sink, row.total_kbps);
+  sink.ch(' ');
+  sink.ch(row.sender ? '1' : '0');
+  sink.ch(' ');
+  append_int(sink, row.known_for.total_ms());
+  sink.ch('\n');
+}
+
+template <typename Sink>
+void encode_session(Sink& sink, const SessionRow& row) {
+  sink.ip(row.group);
+  sink.ch(' ');
+  append_int(sink, row.density);
+  sink.ch(' ');
+  append_int(sink, row.senders);
+  sink.ch(' ');
+  append_double(sink, row.total_kbps);
+  sink.ch(' ');
+  sink.ch(row.active ? '1' : '0');
+  sink.ch(' ');
+  append_int(sink, row.age.total_ms());
+  sink.ch('\n');
+}
+
+template <typename Sink>
+void append_pair_key(Sink& sink, const PairRow::Key& key) {
+  sink.ip(key.first);
+  sink.ch(' ');
+  sink.ip(key.second);
+}
+
+template <typename Sink>
+void append_prefix_key(Sink& sink, const net::Prefix& key) {
+  sink.prefix(key);
+}
+
+template <typename Row, typename Sink, typename Encode, typename KeyText>
+void append_delta(const typename Table<Row>::Delta& delta, char tag,
+                  Encode encode, KeyText key_text, Sink& sink) {
   for (const Row& row : delta.upserts) {
-    out << '+' << tag << ' ';
-    encode(out, row);
+    sink.ch('+');
+    sink.ch(tag);
+    sink.ch(' ');
+    encode(sink, row);
   }
   for (const auto& key : delta.removals) {
-    out << '-' << tag << ' ' << key_text(key) << '\n';
+    sink.ch('-');
+    sink.ch(tag);
+    sink.ch(' ');
+    key_text(sink, key);
+    sink.ch('\n');
   }
-  return out.str();
 }
 
-std::string pair_key_text(const PairRow::Key& key) {
-  return key.first.to_string() + " " + key.second.to_string();
+template <typename Sink>
+void serialize_snapshot_to(const Snapshot& snapshot, bool include_derived,
+                           Sink& sink) {
+  sink.text("# snapshot router=");
+  sink.text(snapshot.router_name);
+  sink.text(" t=");
+  append_int(sink, snapshot.captured.total_ms());
+  sink.ch('\n');
+  snapshot.pairs.visit([&](const PairRow& row) {
+    sink.text("P ");
+    encode_pair(sink, row);
+  });
+  snapshot.routes.visit([&](const RouteRow& row) {
+    sink.text("R ");
+    encode_route(sink, row);
+  });
+  snapshot.sa_cache.visit([&](const SaRow& row) {
+    sink.text("A ");
+    encode_sa(sink, row);
+  });
+  snapshot.mbgp_routes.visit([&](const MbgpRow& row) {
+    sink.text("B ");
+    encode_mbgp(sink, row);
+  });
+  if (include_derived) {
+    snapshot.participants.visit([&](const ParticipantRow& row) {
+      sink.text("H ");
+      encode_participant(sink, row);
+    });
+    snapshot.sessions.visit([&](const SessionRow& row) {
+      sink.text("G ");
+      encode_session(sink, row);
+    });
+  }
 }
 
 }  // namespace
 
+void serialize_snapshot_into(const Snapshot& snapshot, bool include_derived,
+                             std::string& out) {
+  StringSink sink{out};
+  serialize_snapshot_to(snapshot, include_derived, sink);
+}
+
 std::string serialize_snapshot(const Snapshot& snapshot, bool include_derived) {
-  std::ostringstream out;
-  out << "# snapshot router=" << snapshot.router_name
-      << " t=" << snapshot.captured.total_ms() << '\n';
-  snapshot.pairs.visit([&](const PairRow& row) {
-    out << "P ";
-    encode_pair(out, row);
-  });
-  snapshot.routes.visit([&](const RouteRow& row) {
-    out << "R ";
-    encode_route(out, row);
-  });
-  snapshot.sa_cache.visit([&](const SaRow& row) {
-    out << "A ";
-    encode_sa(out, row);
-  });
-  snapshot.mbgp_routes.visit([&](const MbgpRow& row) {
-    out << "B ";
-    encode_mbgp(out, row);
-  });
-  if (include_derived) {
-    snapshot.participants.visit([&](const ParticipantRow& row) {
-      out << "H ";
-      encode_participant(out, row);
-    });
-    snapshot.sessions.visit([&](const SessionRow& row) {
-      out << "G ";
-      encode_session(out, row);
-    });
-  }
-  return out.str();
+  std::string out;
+  serialize_snapshot_into(snapshot, include_derived, out);
+  return out;
 }
 
 void DataLogger::record(const Snapshot& snapshot) {
@@ -112,7 +246,11 @@ void DataLogger::record(const Snapshot& snapshot) {
       (config_.full_snapshot_every > 0 &&
        records_.size() % static_cast<std::size_t>(config_.full_snapshot_every) == 0);
 
-  naive_bytes_ += serialize_snapshot(snapshot, !config_.derive_redundant).size();
+  // One counting pass covers both ledgers: the naive ledger always counts a
+  // full snapshot, and on key-frames the stored ledger counts the same bytes.
+  CountingSink full;
+  serialize_snapshot_to(snapshot, !config_.derive_redundant, full);
+  naive_bytes_ += full.size;
 
   if (keyframe) {
     record.keyframe = true;
@@ -120,7 +258,7 @@ void DataLogger::record(const Snapshot& snapshot) {
     record.routes = snapshot.routes;
     record.sa_cache = snapshot.sa_cache;
     record.mbgp_routes = snapshot.mbgp_routes;
-    stored_bytes_ += serialize_snapshot(snapshot, !config_.derive_redundant).size();
+    stored_bytes_ += full.size;
   } else {
     record.keyframe = false;
     record.pair_delta = PairTable::diff(previous_.pairs, snapshot.pairs);
@@ -128,23 +266,39 @@ void DataLogger::record(const Snapshot& snapshot) {
     record.sa_delta = SaTable::diff(previous_.sa_cache, snapshot.sa_cache);
     record.mbgp_delta = MbgpTable::diff(previous_.mbgp_routes, snapshot.mbgp_routes);
 
-    stored_bytes_ +=
-        encode_delta<PairRow>(record.pair_delta, 'P', encode_pair, pair_key_text)
-            .size();
-    stored_bytes_ += encode_delta<RouteRow>(
-                         record.route_delta, 'R', encode_route,
-                         [](const net::Prefix& key) { return key.to_string(); })
-                         .size();
-    stored_bytes_ +=
-        encode_delta<SaRow>(record.sa_delta, 'A', encode_sa, pair_key_text).size();
-    stored_bytes_ += encode_delta<MbgpRow>(
-                         record.mbgp_delta, 'B', encode_mbgp,
-                         [](const net::Prefix& key) { return key.to_string(); })
-                         .size();
-    stored_bytes_ += 32;  // record header line
+    CountingSink deltas;
+    append_delta<PairRow>(record.pair_delta, 'P',
+                          [](CountingSink& s, const PairRow& r) { encode_pair(s, r); },
+                          [](CountingSink& s, const PairRow::Key& k) {
+                            append_pair_key(s, k);
+                          },
+                          deltas);
+    append_delta<RouteRow>(record.route_delta, 'R',
+                           [](CountingSink& s, const RouteRow& r) {
+                             encode_route(s, r);
+                           },
+                           [](CountingSink& s, const net::Prefix& k) {
+                             append_prefix_key(s, k);
+                           },
+                           deltas);
+    append_delta<SaRow>(record.sa_delta, 'A',
+                        [](CountingSink& s, const SaRow& r) { encode_sa(s, r); },
+                        [](CountingSink& s, const PairRow::Key& k) {
+                          append_pair_key(s, k);
+                        },
+                        deltas);
+    append_delta<MbgpRow>(record.mbgp_delta, 'B',
+                          [](CountingSink& s, const MbgpRow& r) { encode_mbgp(s, r); },
+                          [](CountingSink& s, const net::Prefix& k) {
+                            append_prefix_key(s, k);
+                          },
+                          deltas);
+    stored_bytes_ += deltas.size + 32;  // +32: record header line
   }
 
   records_.push_back(std::move(record));
+  // Copy-assignment (not fresh construction) so the rolling tables reuse
+  // their element storage cycle over cycle.
   previous_.pairs = snapshot.pairs;
   previous_.routes = snapshot.routes;
   previous_.sa_cache = snapshot.sa_cache;

@@ -24,7 +24,14 @@ struct LoggerConfig {
 };
 
 /// Serializes a snapshot (pairs + routes + SA + MBGP tables) to the text
-/// log format. Derived tables are included only when `include_derived`.
+/// log format, appending to `out` (which keeps its capacity across calls).
+/// Derived tables are included only when `include_derived`. The logger's
+/// own byte ledgers run the same codec through a counting sink instead, so
+/// the hot path never materializes this text.
+void serialize_snapshot_into(const Snapshot& snapshot, bool include_derived,
+                             std::string& out);
+
+/// Value-returning convenience wrapper over `serialize_snapshot_into`.
 [[nodiscard]] std::string serialize_snapshot(const Snapshot& snapshot,
                                              bool include_derived);
 

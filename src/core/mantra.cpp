@@ -151,7 +151,10 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
       telemetry_->tracer().span("target_cycle", "cycle", now);
   target_scope.arg("target", target.name);
 
-  const CaptureReport report = target.collector->capture(*target.router, now);
+  // Reference into collector-owned reused storage; valid until the next
+  // capture() on this collector (each target owns its collector, so the
+  // report lives for the whole cycle).
+  const CaptureReport& report = target.collector->capture(*target.router, now);
 
   if (!report.connected || report.ok_count() == 0) {
     // Fully dark: no usable capture at all. Skip the cycle — the previous
@@ -184,10 +187,15 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
          {"dark_cycles", std::to_string(target.consecutive_failures)}});
   }
 
-  Snapshot snapshot;
+  // Build the cycle's snapshot in the target's scratch area: each table is
+  // either parsed in place (reusing the row storage left from two cycles
+  // ago) or copy-assigned from the previous snapshot, so steady-state
+  // cycles allocate no snapshot storage at all.
+  Snapshot& snapshot = target.scratch;
   snapshot.router_name = target.router->hostname();
   snapshot.captured = now;
-  std::size_t warnings = 0;
+  std::vector<std::string>& warning_lines = target.parse_warnings;
+  warning_lines.clear();
   std::size_t stale_tables = 0;
 
   // Parsing/derivation is instantaneous in sim time; the span captures its
@@ -204,47 +212,53 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
     return capture != nullptr && capture->ok() ? capture : nullptr;
   };
 
-  if (const RawCapture* capture = ok_capture("show ip mroute count")) {
-    auto parsed = parse_mroute_count(capture->clean_text);
-    warnings += parsed.warnings.size();
-    snapshot.pairs = std::move(parsed.table);
-  } else {
-    snapshot.pairs = target.latest.pairs;
-    ++stale_tables;
-  }
-  if (const RawCapture* capture = ok_capture("show ip dvmrp route")) {
-    auto parsed = parse_dvmrp_route(capture->clean_text);
-    warnings += parsed.warnings.size();
-    snapshot.routes = std::move(parsed.table);
-  } else {
-    snapshot.routes = target.latest.routes;
-    ++stale_tables;
-  }
-  if (const RawCapture* capture = ok_capture("show ip msdp sa-cache")) {
-    auto parsed = parse_msdp_sa_cache(capture->clean_text);
-    warnings += parsed.warnings.size();
-    snapshot.sa_cache = std::move(parsed.table);
-  } else {
-    snapshot.sa_cache = target.latest.sa_cache;
-    ++stale_tables;
-  }
-  if (const RawCapture* capture = ok_capture("show ip mbgp")) {
-    auto parsed = parse_mbgp(capture->clean_text);
-    warnings += parsed.warnings.size();
-    snapshot.mbgp_routes = std::move(parsed.table);
-  } else {
-    snapshot.mbgp_routes = target.latest.mbgp_routes;
-    ++stale_tables;
+  {
+    Tracer::Scope parse_scope =
+        telemetry_->tracer().span("parse", "process", now);
+    if (const RawCapture* capture = ok_capture("show ip mroute count")) {
+      parse_mroute_count(capture->clean_text, snapshot.pairs, &warning_lines);
+    } else {
+      snapshot.pairs = target.latest.pairs;
+      ++stale_tables;
+    }
+    if (const RawCapture* capture = ok_capture("show ip dvmrp route")) {
+      parse_dvmrp_route(capture->clean_text, snapshot.routes, &warning_lines);
+    } else {
+      snapshot.routes = target.latest.routes;
+      ++stale_tables;
+    }
+    if (const RawCapture* capture = ok_capture("show ip msdp sa-cache")) {
+      parse_msdp_sa_cache(capture->clean_text, snapshot.sa_cache, &warning_lines);
+    } else {
+      snapshot.sa_cache = target.latest.sa_cache;
+      ++stale_tables;
+    }
+    if (const RawCapture* capture = ok_capture("show ip mbgp")) {
+      parse_mbgp(capture->clean_text, snapshot.mbgp_routes, &warning_lines);
+    } else {
+      snapshot.mbgp_routes = target.latest.mbgp_routes;
+      ++stale_tables;
+    }
   }
   // "show ip igmp groups" is captured for the archive; host-level
   // membership detail is not part of the cycle statistics.
+  const std::size_t warnings = warning_lines.size();
 
-  snapshot.participants =
-      derive_participants(snapshot.pairs, config_.sender_threshold_kbps);
-  snapshot.sessions = derive_sessions(snapshot.pairs, config_.sender_threshold_kbps);
+  {
+    Tracer::Scope derive_scope =
+        telemetry_->tracer().span("derive", "process", now);
+    derive_participants_into(snapshot.pairs, config_.sender_threshold_kbps,
+                             snapshot.participants);
+    derive_sessions_into(snapshot.pairs, config_.sender_threshold_kbps,
+                         snapshot.sessions);
+  }
 
-  target.logger.record(snapshot);
-  target.route_monitor.observe(now, snapshot.routes);
+  {
+    Tracer::Scope record_scope =
+        telemetry_->tracer().span("record", "process", now);
+    target.logger.record(snapshot);
+    target.route_monitor.observe(now, snapshot.routes);
+  }
 
   CycleResult result;
   result.t = now;
@@ -331,7 +345,9 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
   }
 
   target.results.push_back(result);
-  target.latest = std::move(snapshot);
+  // The scratch snapshot becomes the latest; the displaced snapshot's
+  // tables become next cycle's scratch capacity.
+  std::swap(target.latest, target.scratch);
 }
 
 const Mantra::TargetState& Mantra::target(std::string_view router_name) const {
@@ -374,22 +390,6 @@ std::optional<sim::TimePoint> Mantra::TargetView::last_success() const {
 
 const ArchiveWriter* Mantra::TargetView::archive() const {
   return state_->archive.get();
-}
-
-const std::vector<CycleResult>& Mantra::results(std::string_view router_name) const {
-  return target(router_name).results;
-}
-
-const DataLogger& Mantra::logger(std::string_view router_name) const {
-  return target(router_name).logger;
-}
-
-const RouteMonitor& Mantra::route_monitor(std::string_view router_name) const {
-  return target(router_name).route_monitor;
-}
-
-const Snapshot& Mantra::latest_snapshot(std::string_view router_name) const {
-  return target(router_name).latest;
 }
 
 TimeSeries Mantra::series(std::string_view router_name, std::string series_name,

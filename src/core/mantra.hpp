@@ -189,17 +189,10 @@ class Mantra {
   void run_cycle_now();
 
   /// The single per-target accessor; throws std::out_of_range for unknown
-  /// names.
+  /// names. (The old per-router forwarders — results(name), logger(name),
+  /// route_monitor(name), latest_snapshot(name) — were removed in favour of
+  /// target_view(name).<accessor>(); see DESIGN.md for the break note.)
   [[nodiscard]] TargetView target_view(std::string_view router_name) const;
-
-  // --- Per-router results ---
-  // Deprecated forwarders: prefer target_view(name).<accessor>(). Kept for
-  // one PR to ease migration.
-  [[nodiscard]] const std::vector<CycleResult>& results(
-      std::string_view router_name) const;
-  [[nodiscard]] const DataLogger& logger(std::string_view router_name) const;
-  [[nodiscard]] const RouteMonitor& route_monitor(std::string_view router_name) const;
-  [[nodiscard]] const Snapshot& latest_snapshot(std::string_view router_name) const;
 
   /// Extracts a time series from the result history of one router.
   [[nodiscard]] TimeSeries series(
@@ -263,6 +256,12 @@ class Mantra {
     std::unique_ptr<ArchiveWriter> archive;  ///< null when archiving is off
     std::vector<CycleResult> results;
     Snapshot latest;
+    /// Build area for the cycle in progress: every recorded cycle parses
+    /// into these tables (capacity retained from two cycles ago) and then
+    /// swaps `scratch` with `latest`, so steady-state cycles allocate
+    /// nothing for snapshot storage.
+    Snapshot scratch;
+    std::vector<std::string> parse_warnings;  ///< reused per-cycle scratch
     TargetHealth health = TargetHealth::Healthy;
     std::size_t consecutive_failures = 0;  ///< fully dark cycles in a row
     std::optional<sim::TimePoint> last_success;  ///< last recorded cycle

@@ -1,22 +1,23 @@
 #include "core/parse.hpp"
 
 #include <charconv>
-#include <cstdio>
 
 namespace mantra::core {
 
 namespace {
 
-std::vector<std::string_view> split_lines(std::string_view text) {
-  std::vector<std::string_view> lines;
+/// Calls `fn(line)` for each '\n'-separated line (no trailing-empty line).
+/// Replaces the old split_lines() vector so parsing allocates nothing for
+/// line structure.
+template <typename Fn>
+void for_each_line(std::string_view text, Fn&& fn) {
   std::size_t start = 0;
   while (start < text.size()) {
     std::size_t end = text.find('\n', start);
     if (end == std::string_view::npos) end = text.size();
-    lines.push_back(text.substr(start, end - start));
+    fn(text.substr(start, end - start));
     start = end + 1;
   }
-  return lines;
 }
 
 std::string_view trim(std::string_view s) {
@@ -25,9 +26,9 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
-/// Splits on whitespace runs.
-std::vector<std::string_view> tokens(std::string_view s) {
-  std::vector<std::string_view> out;
+/// Splits on whitespace runs into a reused scratch vector.
+void tokens_into(std::string_view s, std::vector<std::string_view>& out) {
+  out.clear();
   std::size_t i = 0;
   while (i < s.size()) {
     while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
@@ -35,7 +36,6 @@ std::vector<std::string_view> tokens(std::string_view s) {
     while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
     if (i > start) out.push_back(s.substr(start, i - start));
   }
-  return out;
 }
 
 bool consume_prefix(std::string_view& s, std::string_view prefix) {
@@ -65,6 +65,17 @@ std::string_view strip_suffix_char(std::string_view s, char c) {
   return s;
 }
 
+/// One "%d"-style field: optional leading blanks and sign, then digits.
+/// Mirrors the sscanf("%d") the old parse_uptime used, without the owned
+/// string copy.
+bool scan_int(std::string_view& s, int& value) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr == s.data()) return false;
+  s.remove_prefix(static_cast<std::size_t>(ptr - s.data()));
+  return true;
+}
+
 }  // namespace
 
 std::optional<sim::Duration> parse_uptime(std::string_view text) {
@@ -78,49 +89,54 @@ std::optional<sim::Duration> parse_uptime(std::string_view text) {
     return sim::Duration::days(static_cast<std::int64_t>(*days)) +
            sim::Duration::hours(static_cast<std::int64_t>(*hours));
   }
-  // "HH:MM:SS"
+  // "HH:MM:SS" — exactly three colon-separated fields, nothing after.
   int h = 0, m = 0, s = 0;
-  char extra = 0;
-  const std::string owned(text);
-  if (std::sscanf(owned.c_str(), "%d:%d:%d%c", &h, &m, &s, &extra) == 3) {
+  std::string_view rest = text;
+  if (scan_int(rest, h) && consume_prefix(rest, ":") && scan_int(rest, m) &&
+      consume_prefix(rest, ":") && scan_int(rest, s) && rest.empty()) {
     return sim::Duration::hours(h) + sim::Duration::minutes(m) +
            sim::Duration::seconds(s);
   }
   return std::nullopt;
 }
 
-ParseOutcome<PairTable> parse_mroute_count(std::string_view text) {
-  ParseOutcome<PairTable> out;
+std::size_t parse_mroute_count(std::string_view text, PairTable& table,
+                               std::vector<std::string>* warnings) {
+  table.clear();
   net::Ipv4Address group;
   PairRow pending;
   bool have_pending = false;
+  std::vector<std::string_view> toks;
 
+  const auto warn = [&](std::string_view raw) {
+    if (warnings != nullptr) warnings->emplace_back(raw);
+  };
   const auto flush = [&] {
-    if (have_pending) out.table.upsert(pending);
+    if (have_pending) table.upsert(pending);
     have_pending = false;
   };
 
-  for (std::string_view raw : split_lines(text)) {
+  for_each_line(text, [&](std::string_view raw) {
     std::string_view line = trim(raw);
-    if (line.empty()) continue;
+    if (line.empty()) return;
 
     if (consume_prefix(line, "Group: ")) {
       flush();
       const auto parsed = net::Ipv4Address::parse(trim(line));
       if (!parsed) {
-        out.warnings.emplace_back(raw);
-        continue;
+        warn(raw);
+        return;
       }
       group = *parsed;
-      continue;
+      return;
     }
     if (consume_prefix(line, "Source: ")) {
       flush();
       // "10.0.1.5/32, Forwarding: 123/4/512/3.20, Other: ..."
       const auto comma = line.find(',');
       if (comma == std::string_view::npos) {
-        out.warnings.emplace_back(raw);
-        continue;
+        warn(raw);
+        return;
       }
       std::string_view addr_text = line.substr(0, comma);
       const auto slash = addr_text.find('/');
@@ -128,31 +144,33 @@ ParseOutcome<PairTable> parse_mroute_count(std::string_view text) {
       const auto source = net::Ipv4Address::parse(addr_text);
       const auto fwd_pos = line.find("Forwarding: ");
       if (!source || fwd_pos == std::string_view::npos || group.is_unspecified()) {
-        out.warnings.emplace_back(raw);
-        continue;
+        warn(raw);
+        return;
       }
       std::string_view counters = line.substr(fwd_pos + 12);
       const auto counters_end = counters.find(',');
       if (counters_end != std::string_view::npos) counters = counters.substr(0, counters_end);
       // pkt/pps/size/kbps
-      std::vector<std::string_view> parts;
+      std::string_view parts[5];
+      std::size_t part_count = 0;
       std::size_t start = 0;
       while (start <= counters.size()) {
         std::size_t end = counters.find('/', start);
         if (end == std::string_view::npos) end = counters.size();
-        parts.push_back(counters.substr(start, end - start));
+        if (part_count < 5) parts[part_count] = counters.substr(start, end - start);
+        ++part_count;
         start = end + 1;
         if (end == counters.size()) break;
       }
-      if (parts.size() != 4) {
-        out.warnings.emplace_back(raw);
-        continue;
+      if (part_count != 4) {
+        warn(raw);
+        return;
       }
       const auto packets = to_u64(parts[0]);
       const auto kbps = to_double(parts[3]);
       if (!packets || !kbps) {
-        out.warnings.emplace_back(raw);
-        continue;
+        warn(raw);
+        return;
       }
       pending = PairRow{};
       pending.source = *source;
@@ -160,15 +178,15 @@ ParseOutcome<PairTable> parse_mroute_count(std::string_view text) {
       pending.packets = *packets;
       pending.current_kbps = *kbps;
       have_pending = true;
-      continue;
+      return;
     }
     if (consume_prefix(line, "Average: ")) {
       // "2.75 kbps, Uptime: 00:15:00"
       if (!have_pending) {
-        out.warnings.emplace_back(raw);
-        continue;
+        warn(raw);
+        return;
       }
-      const auto toks = tokens(line);
+      tokens_into(line, toks);
       if (toks.size() >= 1) {
         if (const auto avg = to_double(toks[0])) pending.average_kbps = *avg;
       }
@@ -178,7 +196,7 @@ ParseOutcome<PairTable> parse_mroute_count(std::string_view text) {
           pending.uptime = *uptime;
         }
       }
-      continue;
+      return;
     }
     // Known header/boilerplate lines pass silently; anything else is
     // transcript corruption (interleaved sessions, line noise) and must
@@ -188,30 +206,35 @@ ParseOutcome<PairTable> parse_mroute_count(std::string_view text) {
         consume_prefix(line, "Counts: ") ||
         (line.find("routes using") != std::string_view::npos &&
          line.find("bytes of memory") != std::string_view::npos);
-    if (!boilerplate) out.warnings.emplace_back(raw);
-  }
+    if (!boilerplate) warn(raw);
+  });
   flush();
-  return out;
+  return table.size();
 }
 
-ParseOutcome<RouteTable> parse_dvmrp_route(std::string_view text) {
-  ParseOutcome<RouteTable> out;
+std::size_t parse_dvmrp_route(std::string_view text, RouteTable& table,
+                              std::vector<std::string>* warnings) {
+  table.clear();
   RouteRow pending;
   bool have_pending = false;
+  std::vector<std::string_view> toks;
 
+  const auto warn = [&](std::string_view raw) {
+    if (warnings != nullptr) warnings->emplace_back(raw);
+  };
   const auto flush = [&] {
-    if (have_pending) out.table.upsert(pending);
+    if (have_pending) table.upsert(pending);
     have_pending = false;
   };
 
-  for (std::string_view raw : split_lines(text)) {
+  for_each_line(text, [&](std::string_view raw) {
     std::string_view line = trim(raw);
-    if (line.empty()) continue;
+    if (line.empty()) return;
     if (consume_prefix(line, "via ")) {
       // "via 192.168.3.2, tunnel0"
       if (!have_pending) {
-        out.warnings.emplace_back(raw);
-        continue;
+        warn(raw);
+        return;
       }
       const auto comma = line.find(',');
       const auto next_hop =
@@ -221,18 +244,18 @@ ParseOutcome<RouteTable> parse_dvmrp_route(std::string_view text) {
         pending.interface = std::string(trim(line.substr(comma + 1)));
       }
       flush();
-      continue;
+      return;
     }
     // "10.3.16.0/24 [0/3] uptime 01:23:45, expires 00:02:15"
-    const auto toks = tokens(line);
+    tokens_into(line, toks);
     if (toks.size() >= 5 && toks[1].front() == '[') {
       flush();
       const auto prefix = net::Prefix::parse(toks[0]);
       if (!prefix) {
         if (line.find("Routing Table") == std::string_view::npos) {
-          out.warnings.emplace_back(raw);
+          warn(raw);
         }
-        continue;
+        return;
       }
       pending = RouteRow{};
       pending.prefix = *prefix;
@@ -256,41 +279,45 @@ ParseOutcome<RouteTable> parse_dvmrp_route(std::string_view text) {
       }
       pending.holddown = line.find("expires holddown") != std::string_view::npos;
       have_pending = true;
-      continue;
+      return;
     }
     // Header lines ("DVMRP Routing Table - N entries", "% DVMRP not
     // running") are expected; any other unmatched non-empty line is
     // transcript corruption and gets a warning.
     const bool boilerplate = consume_prefix(line, "DVMRP Routing Table") ||
                              consume_prefix(line, "% DVMRP");
-    if (!boilerplate) out.warnings.emplace_back(raw);
-  }
+    if (!boilerplate) warn(raw);
+  });
   flush();
-  return out;
+  return table.size();
 }
 
-ParseOutcome<SaTable> parse_msdp_sa_cache(std::string_view text) {
-  ParseOutcome<SaTable> out;
-  for (std::string_view raw : split_lines(text)) {
+std::size_t parse_msdp_sa_cache(std::string_view text, SaTable& table,
+                                std::vector<std::string>* warnings) {
+  table.clear();
+  const auto warn = [&](std::string_view raw) {
+    if (warnings != nullptr) warnings->emplace_back(raw);
+  };
+  for_each_line(text, [&](std::string_view raw) {
     std::string_view line = trim(raw);
-    if (line.empty() || line.front() != '(') continue;
+    if (line.empty() || line.front() != '(') return;
     // "(10.2.1.7, 224.2.3.4), RP 192.168.1.2, via peer 192.168.2.2, 00:05:00"
     const auto close = line.find(')');
     if (close == std::string_view::npos) {
-      out.warnings.emplace_back(raw);
-      continue;
+      warn(raw);
+      return;
     }
     std::string_view pair = line.substr(1, close - 1);
     const auto comma = pair.find(',');
     if (comma == std::string_view::npos) {
-      out.warnings.emplace_back(raw);
-      continue;
+      warn(raw);
+      return;
     }
     const auto source = net::Ipv4Address::parse(trim(pair.substr(0, comma)));
     const auto group = net::Ipv4Address::parse(trim(pair.substr(comma + 1)));
     if (!source || !group) {
-      out.warnings.emplace_back(raw);
-      continue;
+      warn(raw);
+      return;
     }
     SaRow row;
     row.source = *source;
@@ -315,26 +342,31 @@ ParseOutcome<SaTable> parse_msdp_sa_cache(std::string_view text) {
     if (last_comma != std::string_view::npos) {
       if (const auto age = parse_uptime(line.substr(last_comma + 1))) row.age = *age;
     }
-    out.table.upsert(row);
-  }
-  return out;
+    table.upsert(row);
+  });
+  return table.size();
 }
 
-ParseOutcome<MbgpTable> parse_mbgp(std::string_view text) {
-  ParseOutcome<MbgpTable> out;
-  for (std::string_view raw : split_lines(text)) {
+std::size_t parse_mbgp(std::string_view text, MbgpTable& table,
+                       std::vector<std::string>* warnings) {
+  table.clear();
+  std::vector<std::string_view> toks;
+  const auto warn = [&](std::string_view raw) {
+    if (warnings != nullptr) warnings->emplace_back(raw);
+  };
+  for_each_line(text, [&](std::string_view raw) {
     std::string_view line = trim(raw);
-    if (!consume_prefix(line, "*> ")) continue;
-    const auto toks = tokens(line);
+    if (!consume_prefix(line, "*> ")) return;
+    tokens_into(line, toks);
     if (toks.size() < 2) {
-      out.warnings.emplace_back(raw);
-      continue;
+      warn(raw);
+      return;
     }
     const auto prefix = net::Prefix::parse(toks[0]);
     const auto next_hop = net::Ipv4Address::parse(toks[1]);
     if (!prefix || !next_hop) {
-      out.warnings.emplace_back(raw);
-      continue;
+      warn(raw);
+      return;
     }
     MbgpRow row;
     row.prefix = *prefix;
@@ -343,9 +375,9 @@ ParseOutcome<MbgpTable> parse_mbgp(std::string_view text) {
       if (!row.as_path.empty()) row.as_path.push_back(' ');
       row.as_path.append(toks[i]);
     }
-    out.table.upsert(row);
-  }
-  return out;
+    table.upsert(row);
+  });
+  return table.size();
 }
 
 }  // namespace mantra::core

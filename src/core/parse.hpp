@@ -2,6 +2,22 @@
 // Mantra's local table format. Parsers are tolerant: unrecognised lines are
 // collected as warnings rather than aborting the cycle (a production
 // scraper survives IOS cosmetic changes or truncated captures).
+//
+// API shape: every command has exactly one canonical entry point,
+//
+//   std::size_t parse_<command>(std::string_view text, Table& table,
+//                               std::vector<std::string>* warnings);
+//
+// which parses IN PLACE — it clears `table` (keeping its row capacity) and
+// fills it from `text`, appending unparseable data lines to `*warnings`
+// (pass nullptr to discard them). The return value is the number of rows in
+// the table afterwards. `text` is never copied; rows reference only their
+// own owned fields, so the input buffer may be reused or freed immediately
+// after the call. A warmed-up caller that reuses one table and one warnings
+// vector per command performs no per-cycle allocation in the parser.
+//
+// The older ParseOutcome-returning overloads below are deprecated wrappers
+// kept for one release; they allocate a fresh table per call.
 #pragma once
 
 #include <optional>
@@ -16,23 +32,64 @@ namespace mantra::core {
 /// Parses "HH:MM:SS" and "XdYYh" uptime forms.
 [[nodiscard]] std::optional<sim::Duration> parse_uptime(std::string_view text);
 
+/// `show ip mroute count` -> PairTable (current/average kbps, packets,
+/// uptime per (S,G)). In place: see the header comment for the contract.
+std::size_t parse_mroute_count(std::string_view text, PairTable& table,
+                               std::vector<std::string>* warnings = nullptr);
+
+/// `show ip dvmrp route` -> RouteTable. In place.
+std::size_t parse_dvmrp_route(std::string_view text, RouteTable& table,
+                              std::vector<std::string>* warnings = nullptr);
+
+/// `show ip msdp sa-cache` -> SaTable. In place.
+std::size_t parse_msdp_sa_cache(std::string_view text, SaTable& table,
+                                std::vector<std::string>* warnings = nullptr);
+
+/// `show ip mbgp` -> MbgpTable. In place.
+std::size_t parse_mbgp(std::string_view text, MbgpTable& table,
+                       std::vector<std::string>* warnings = nullptr);
+
 template <typename TableType>
 struct ParseOutcome {
   TableType table;
   std::vector<std::string> warnings;  ///< lines that looked like data but failed
 };
 
-/// `show ip mroute count` -> PairTable (current/average kbps, packets,
-/// uptime per (S,G)).
-[[nodiscard]] ParseOutcome<PairTable> parse_mroute_count(std::string_view text);
+// ---------------------------------------------------------------------------
+// Deprecated value-returning wrappers (one release of grace). They are exact
+// equivalents of the in-place API above — same rows, same warnings, in the
+// same order — just with per-call allocation.
+// ---------------------------------------------------------------------------
 
-/// `show ip dvmrp route` -> RouteTable.
-[[nodiscard]] ParseOutcome<RouteTable> parse_dvmrp_route(std::string_view text);
+[[deprecated("use parse_mroute_count(text, table, warnings)")]]
+[[nodiscard]] inline ParseOutcome<PairTable> parse_mroute_count(
+    std::string_view text) {
+  ParseOutcome<PairTable> out;
+  parse_mroute_count(text, out.table, &out.warnings);
+  return out;
+}
 
-/// `show ip msdp sa-cache` -> SaTable.
-[[nodiscard]] ParseOutcome<SaTable> parse_msdp_sa_cache(std::string_view text);
+[[deprecated("use parse_dvmrp_route(text, table, warnings)")]]
+[[nodiscard]] inline ParseOutcome<RouteTable> parse_dvmrp_route(
+    std::string_view text) {
+  ParseOutcome<RouteTable> out;
+  parse_dvmrp_route(text, out.table, &out.warnings);
+  return out;
+}
 
-/// `show ip mbgp` -> MbgpTable.
-[[nodiscard]] ParseOutcome<MbgpTable> parse_mbgp(std::string_view text);
+[[deprecated("use parse_msdp_sa_cache(text, table, warnings)")]]
+[[nodiscard]] inline ParseOutcome<SaTable> parse_msdp_sa_cache(
+    std::string_view text) {
+  ParseOutcome<SaTable> out;
+  parse_msdp_sa_cache(text, out.table, &out.warnings);
+  return out;
+}
+
+[[deprecated("use parse_mbgp(text, table, warnings)")]]
+[[nodiscard]] inline ParseOutcome<MbgpTable> parse_mbgp(std::string_view text) {
+  ParseOutcome<MbgpTable> out;
+  parse_mbgp(text, out.table, &out.warnings);
+  return out;
+}
 
 }  // namespace mantra::core

@@ -7,13 +7,21 @@ namespace mantra::core {
 
 UsageStats compute_usage(const Snapshot& snapshot, double threshold_kbps) {
   UsageStats stats;
-  const SessionTable sessions = snapshot.sessions.empty()
-                                    ? derive_sessions(snapshot.pairs, threshold_kbps)
-                                    : snapshot.sessions;
-  const ParticipantTable participants =
-      snapshot.participants.empty()
-          ? derive_participants(snapshot.pairs, threshold_kbps)
-          : snapshot.participants;
+  // Read the snapshot's derived tables in place (they used to be copied
+  // here — two full table copies per cycle); derive only when absent.
+  SessionTable derived_sessions;
+  ParticipantTable derived_participants;
+  if (snapshot.sessions.empty()) {
+    derive_sessions_into(snapshot.pairs, threshold_kbps, derived_sessions);
+  }
+  if (snapshot.participants.empty()) {
+    derive_participants_into(snapshot.pairs, threshold_kbps, derived_participants);
+  }
+  const SessionTable& sessions =
+      snapshot.sessions.empty() ? derived_sessions : snapshot.sessions;
+  const ParticipantTable& participants = snapshot.participants.empty()
+                                             ? derived_participants
+                                             : snapshot.participants;
 
   stats.sessions = static_cast<int>(sessions.size());
   stats.participants = static_cast<int>(participants.size());

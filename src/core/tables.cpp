@@ -1,30 +1,66 @@
 #include "core/tables.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace mantra::core {
 
-ParticipantTable derive_participants(const PairTable& pairs, double threshold_kbps) {
-  ParticipantTable out;
-  std::map<net::Ipv4Address, ParticipantRow> accum;
-  pairs.visit([&](const PairRow& pair) {
-    ParticipantRow& row = accum[pair.source];
-    row.host = pair.source;
+// Both derivations aggregate the pair table by one side of the (S, G) key.
+// The pair table iterates in (source, group) order, so:
+//   * participants (keyed by source) see each source's pairs contiguously —
+//     one linear pass with an append per new source;
+//   * sessions (keyed by group) need a regroup: an index sort by (group,
+//     source) keeps the per-group accumulation order identical to the old
+//     map-based walk (source-ascending within each group), so every
+//     floating-point total is bit-identical to the previous implementation.
+
+void derive_participants_into(const PairTable& pairs, double threshold_kbps,
+                              ParticipantTable& out) {
+  out.clear();
+  const PairRow* current = nullptr;
+  ParticipantRow row;
+  for (const PairRow& pair : pairs) {
+    if (current == nullptr || !(current->source == pair.source)) {
+      if (current != nullptr) out.upsert(std::move(row));
+      row = ParticipantRow{};
+      row.host = pair.source;
+    }
     ++row.group_count;
     row.total_kbps += pair.current_kbps;
     row.known_for = std::max(row.known_for, pair.uptime);
     if (pair.current_kbps > threshold_kbps) row.sender = true;
-  });
-  for (auto& [host, row] : accum) out.upsert(std::move(row));
-  return out;
+    current = &pair;
+  }
+  if (current != nullptr) out.upsert(std::move(row));
 }
 
-SessionTable derive_sessions(const PairTable& pairs, double threshold_kbps) {
-  SessionTable out;
-  std::map<net::Ipv4Address, SessionRow> accum;
-  pairs.visit([&](const PairRow& pair) {
-    SessionRow& row = accum[pair.group];
-    row.group = pair.group;
+void derive_sessions_into(const PairTable& pairs, double threshold_kbps,
+                          SessionTable& out) {
+  out.clear();
+  // Regroup by (group, source): sort an index array rather than copying
+  // rows. Keys are unique, so the order (and thus the accumulation order of
+  // each group's doubles) is fully deterministic.
+  std::vector<std::uint32_t> order(pairs.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto row_at = [&pairs](std::uint32_t i) -> const PairRow& {
+    return *(pairs.begin() + i);
+  };
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const PairRow& ra = row_at(a);
+    const PairRow& rb = row_at(b);
+    if (!(ra.group == rb.group)) return ra.group < rb.group;
+    return ra.source < rb.source;
+  });
+
+  const PairRow* current = nullptr;
+  SessionRow row;
+  for (const std::uint32_t i : order) {
+    const PairRow& pair = row_at(i);
+    if (current == nullptr || !(current->group == pair.group)) {
+      if (current != nullptr) out.upsert(std::move(row));
+      row = SessionRow{};
+      row.group = pair.group;
+    }
     ++row.density;
     row.total_kbps += pair.current_kbps;
     row.age = std::max(row.age, pair.uptime);
@@ -32,8 +68,20 @@ SessionTable derive_sessions(const PairTable& pairs, double threshold_kbps) {
       ++row.senders;
       row.active = true;
     }
-  });
-  for (auto& [group, row] : accum) out.upsert(std::move(row));
+    current = &pair;
+  }
+  if (current != nullptr) out.upsert(std::move(row));
+}
+
+ParticipantTable derive_participants(const PairTable& pairs, double threshold_kbps) {
+  ParticipantTable out;
+  derive_participants_into(pairs, threshold_kbps, out);
+  return out;
+}
+
+SessionTable derive_sessions(const PairTable& pairs, double threshold_kbps) {
+  SessionTable out;
+  derive_sessions_into(pairs, threshold_kbps, out);
   return out;
 }
 

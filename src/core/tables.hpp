@@ -4,9 +4,8 @@
 // data logger.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -27,37 +26,72 @@ namespace mantra::core {
 ///     reconstruction; derived fields are exact whenever the underlying
 ///     quantity followed the recurrence (constant rate within a cycle) and
 ///     boundedly approximate otherwise.
+///
+/// Storage is a flat vector kept sorted by key (it was a std::map until the
+/// hot-path overhaul). Iteration order is therefore still key order —
+/// every serialization, diff and derivation that walked the map sees the
+/// same sequence — but a table rebuild is now an append loop into reused
+/// capacity instead of a node allocation per row: parsers emit rows in key
+/// order (the CLI renders tables sorted), so `upsert` almost always takes
+/// the O(1) append path, and `clear()` keeps the vector's capacity for the
+/// next cycle.
 template <typename Row>
 class Table {
  public:
   using Key = typename Row::Key;
+  using const_iterator = typename std::vector<Row>::const_iterator;
 
-  void upsert(Row row) { rows_[row.key()] = std::move(row); }
-  bool erase(const Key& key) { return rows_.erase(key) > 0; }
+  /// Inserts or replaces by key. O(1) when rows arrive in ascending key
+  /// order (the parser/decoder case); O(n) insertion otherwise.
+  void upsert(Row row) {
+    if (rows_.empty() || rows_.back().key() < row.key()) {
+      rows_.push_back(std::move(row));
+      return;
+    }
+    const auto it = lower_bound(row.key());
+    if (it != rows_.end() && it->key() == row.key()) {
+      *it = std::move(row);
+    } else {
+      rows_.insert(it, std::move(row));
+    }
+  }
+
+  bool erase(const Key& key) {
+    const auto it = lower_bound(key);
+    if (it == rows_.end() || !(it->key() == key)) return false;
+    rows_.erase(it);
+    return true;
+  }
+
+  /// Drops every row but keeps the allocated capacity (reserve-and-reuse).
   void clear() { rows_.clear(); }
+  void reserve(std::size_t n) { rows_.reserve(n); }
+  [[nodiscard]] std::size_t capacity() const { return rows_.capacity(); }
 
   [[nodiscard]] const Row* find(const Key& key) const {
-    const auto it = rows_.find(key);
-    return it == rows_.end() ? nullptr : &it->second;
+    const auto it = lower_bound(key);
+    return it == rows_.end() || !(it->key() == key) ? nullptr : &*it;
   }
 
   [[nodiscard]] std::size_t size() const { return rows_.size(); }
   [[nodiscard]] bool empty() const { return rows_.empty(); }
 
-  void visit(const std::function<void(const Row&)>& fn) const {
-    for (const auto& [key, row] : rows_) fn(row);
+  /// Key-ordered iteration (rows are contiguous in memory).
+  [[nodiscard]] const_iterator begin() const { return rows_.begin(); }
+  [[nodiscard]] const_iterator end() const { return rows_.end(); }
+
+  /// Visits rows in key order. Template (not std::function) so the hot path
+  /// pays a direct call, not a type-erased indirect one.
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    for (const Row& row : rows_) fn(row);
   }
 
-  [[nodiscard]] std::vector<Row> rows() const {
-    std::vector<Row> out;
-    out.reserve(rows_.size());
-    for (const auto& [key, row] : rows_) out.push_back(row);
-    return out;
-  }
+  [[nodiscard]] std::vector<Row> rows() const { return rows_; }
 
   friend bool operator==(const Table& a, const Table& b) { return a.rows_ == b.rows_; }
 
-  /// Changes needed to turn `from` into `to`.
+  /// Changes needed to turn `from` into `to`. Both vectors are key-ordered.
   struct Delta {
     std::vector<Row> upserts;
     std::vector<Key> removals;
@@ -67,31 +101,57 @@ class Table {
     }
   };
 
+  /// Batched delta: one linear merge over the two sorted row vectors (the
+  /// map version did a lookup per row). Output order is unchanged — upserts
+  /// in `to` key order, removals in `from` key order.
   [[nodiscard]] static Delta diff(const Table& from, const Table& to) {
     Delta delta;
-    for (const auto& [key, row] : to.rows_) {
-      const Row* old = from.find(key);
-      if (old == nullptr || !Row::delta_equal(*old, row)) delta.upserts.push_back(row);
+    auto f = from.rows_.begin();
+    auto t = to.rows_.begin();
+    while (f != from.rows_.end() && t != to.rows_.end()) {
+      const Key fk = f->key();
+      const Key tk = t->key();
+      if (fk < tk) {
+        delta.removals.push_back(fk);
+        ++f;
+      } else if (tk < fk) {
+        delta.upserts.push_back(*t);
+        ++t;
+      } else {
+        if (!Row::delta_equal(*f, *t)) delta.upserts.push_back(*t);
+        ++f;
+        ++t;
+      }
     }
-    for (const auto& [key, row] : from.rows_) {
-      if (to.find(key) == nullptr) delta.removals.push_back(key);
-    }
+    for (; t != to.rows_.end(); ++t) delta.upserts.push_back(*t);
+    for (; f != from.rows_.end(); ++f) delta.removals.push_back(f->key());
     return delta;
   }
 
   void apply(const Delta& delta) {
-    for (const Key& key : delta.removals) rows_.erase(key);
-    for (const Row& row : delta.upserts) rows_[row.key()] = row;
+    for (const Key& key : delta.removals) erase(key);
+    for (const Row& row : delta.upserts) upsert(row);
   }
 
   /// Rolls every row's derived fields forward by `dt` (reconstruction step
   /// for cycles whose delta did not mention the row).
   void advance_derived(sim::Duration dt) {
-    for (auto& [key, row] : rows_) row.advance_derived(dt);
+    for (Row& row : rows_) row.advance_derived(dt);
   }
 
  private:
-  std::map<Key, Row> rows_;
+  [[nodiscard]] typename std::vector<Row>::iterator lower_bound(const Key& key) {
+    return std::lower_bound(
+        rows_.begin(), rows_.end(), key,
+        [](const Row& row, const Key& k) { return row.key() < k; });
+  }
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(
+        rows_.begin(), rows_.end(), key,
+        [](const Row& row, const Key& k) { return row.key() < k; });
+  }
+
+  std::vector<Row> rows_;  ///< sorted by key()
 };
 
 /// One (source, group) forwarding pair — the atom of usage monitoring.
@@ -256,5 +316,14 @@ inline constexpr double kSenderThresholdKbps = 4.0;
 /// Derives the session table from the pair table.
 [[nodiscard]] SessionTable derive_sessions(
     const PairTable& pairs, double threshold_kbps = kSenderThresholdKbps);
+
+/// Reserve-and-reuse variants: derive into a caller-owned table whose
+/// capacity survives across cycles (out is cleared first). The hot path
+/// (core/mantra's run_target_cycle) uses these so a steady-state cycle
+/// allocates nothing for the derived tables.
+void derive_participants_into(const PairTable& pairs, double threshold_kbps,
+                              ParticipantTable& out);
+void derive_sessions_into(const PairTable& pairs, double threshold_kbps,
+                          SessionTable& out);
 
 }  // namespace mantra::core

@@ -35,22 +35,20 @@ void Transport::record_fault(const char* mode) {
       .inc();
 }
 
-TransportResult CliTransport::connect(const router::MulticastRouter& /*router*/,
-                                      sim::TimePoint /*now*/) {
-  TransportResult result;
-  result.latency = latency_;
-  record_operation("sessions", result.status);
-  return result;
+void CliTransport::connect_into(const router::MulticastRouter& /*router*/,
+                                sim::TimePoint /*now*/, TransportResult& out) {
+  out.reset();
+  out.latency = latency_;
+  record_operation("sessions", out.status);
 }
 
-TransportResult CliTransport::execute(const router::MulticastRouter& router,
-                                      std::string_view command,
-                                      sim::TimePoint now) {
-  TransportResult result;
-  result.text = router::cli::telnet_capture(router, command, now);
-  result.latency = latency_;
-  record_operation("commands", result.status);
-  return result;
+void CliTransport::execute_into(const router::MulticastRouter& router,
+                                std::string_view command, sim::TimePoint now,
+                                TransportResult& out) {
+  out.reset();
+  router::cli::telnet_capture_into(router, command, now, out.text);
+  out.latency = latency_;
+  record_operation("commands", out.status);
 }
 
 FaultProfile FaultProfile::command_failure_rate(double p) {
@@ -62,85 +60,87 @@ FaultProfile FaultProfile::command_failure_rate(double p) {
   return profile;
 }
 
-TransportResult FaultInjectingTransport::connect(
-    const router::MulticastRouter& /*router*/, sim::TimePoint /*now*/) {
+void FaultInjectingTransport::connect_into(
+    const router::MulticastRouter& /*router*/, sim::TimePoint /*now*/,
+    TransportResult& out) {
   ++operations_;
-  TransportResult result;
+  out.reset();
   // Fixed roll order so a given seed always produces the same schedule.
   const bool refused = rng_.bernoulli(profile_.connect_refused_p);
   const bool hung = rng_.bernoulli(profile_.login_timeout_p);
   if (refused) {
     ++faults_;
-    result.status = TransportStatus::connection_refused;
-    result.latency = profile_.base_latency;
+    out.status = TransportStatus::connection_refused;
+    out.latency = profile_.base_latency;
     record_fault("connection-refused");
-    record_operation("sessions", result.status);
-    return result;
+    record_operation("sessions", out.status);
+    return;
   }
   if (hung) {
     ++faults_;
-    result.status = TransportStatus::login_timeout;
-    result.latency = profile_.login_latency;
+    out.status = TransportStatus::login_timeout;
+    out.latency = profile_.login_latency;
     record_fault("login-timeout");
-    record_operation("sessions", result.status);
-    return result;
+    record_operation("sessions", out.status);
+    return;
   }
   connected_ = true;
-  result.latency = profile_.base_latency;
-  record_operation("sessions", result.status);
-  return result;
+  out.latency = profile_.base_latency;
+  record_operation("sessions", out.status);
 }
 
-std::string FaultInjectingTransport::truncate(std::string text) {
-  if (text.size() < 2) return text;
+void FaultInjectingTransport::truncate_in_place(std::string& text) {
+  if (text.size() < 2) return;
   const auto cut = static_cast<std::size_t>(
       static_cast<double>(text.size()) * rng_.uniform(0.15, 0.85));
   text.resize(std::max<std::size_t>(cut, 1));
-  return text;
 }
 
-std::string FaultInjectingTransport::garble(const std::string& text) {
+void FaultInjectingTransport::garble_into(std::string_view text,
+                                          std::string& out) {
   // Interleave garbage between transcript lines: stray control bytes, hex
   // noise, and re-echoed fragments of earlier lines — the classic symptoms
   // of two sessions writing to one tty.
-  std::string out;
-  out.reserve(text.size() + text.size() / 4);
-  std::string previous_line;
+  out.reserve(out.size() + text.size() + text.size() / 4);
+  std::string_view previous_line;
+  std::string previous_half;  // NUL-terminated echo fragment for snprintf
   std::size_t start = 0;
   while (start < text.size()) {
     std::size_t end = text.find('\n', start);
-    if (end == std::string::npos) end = text.size();
-    const std::string line = text.substr(start, end - start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
     start = end + 1;
     out.append(line);
     out.push_back('\n');
     if (rng_.bernoulli(0.3)) {
+      previous_half.assign(previous_line.data(),
+                           previous_line.size() / 2);
       char noise[48];
       std::snprintf(noise, sizeof noise, "\x07!%08llx%s\n",
                     static_cast<unsigned long long>(
                         rng_.uniform_int(0, 0x7fffffff)),
-                    previous_line.substr(0, previous_line.size() / 2).c_str());
+                    previous_half.c_str());
       out.append(noise);
     }
     previous_line = line;
   }
-  return out;
 }
 
-TransportResult FaultInjectingTransport::execute(
-    const router::MulticastRouter& router, std::string_view command,
-    sim::TimePoint now) {
+void FaultInjectingTransport::execute_into(const router::MulticastRouter& router,
+                                           std::string_view command,
+                                           sim::TimePoint now,
+                                           TransportResult& out) {
   ++operations_;
-  TransportResult result;
-  result.text = router::cli::telnet_capture(router, command, now);
-  result.latency = profile_.base_latency;
+  out.reset();
+  router::cli::telnet_capture_into(router, command, now, out.text);
+  out.latency = profile_.base_latency;
   if (!connected_) {
     // Session was never established; the dump never arrives.
     ++faults_;
-    result.status = TransportStatus::connection_refused;
-    result.text.clear();
-    record_operation("commands", result.status);
-    return result;
+    out.status = TransportStatus::connection_refused;
+    out.text.clear();
+    record_operation("commands", out.status);
+    return;
   }
   // Fixed roll order (truncate, garble, slow); first hit wins so every
   // failed command has exactly one unambiguous cause.
@@ -149,23 +149,24 @@ TransportResult FaultInjectingTransport::execute(
   const bool slow = rng_.bernoulli(profile_.slow_p);
   if (truncated) {
     ++faults_;
-    result.status = TransportStatus::truncated;
-    result.text = truncate(std::move(result.text));
+    out.status = TransportStatus::truncated;
+    truncate_in_place(out.text);
     record_fault("truncated");
   } else if (garbled) {
     ++faults_;
-    result.status = TransportStatus::garbled;
-    result.text = garble(result.text);
+    out.status = TransportStatus::garbled;
+    garble_buffer_.clear();
+    garble_into(out.text, garble_buffer_);
+    std::swap(out.text, garble_buffer_);
     record_fault("garbled");
   } else if (slow) {
     // The dump itself is intact; it just arrives past any sane deadline.
     // The collector compares latency against its policy and decides.
     ++faults_;
-    result.latency = profile_.slow_latency;
+    out.latency = profile_.slow_latency;
     record_fault("slow");
   }
-  record_operation("commands", result.status);
-  return result;
+  record_operation("commands", out.status);
 }
 
 }  // namespace mantra::core

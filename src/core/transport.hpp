@@ -50,6 +50,15 @@ struct TransportResult {
   sim::Duration latency;  ///< simulated round-trip for this operation
 
   [[nodiscard]] bool ok() const { return status == TransportStatus::ok; }
+
+  /// Resets to a fresh ok result, keeping `text`'s capacity so the buffer
+  /// can be refilled without reallocating. The zero-copy collection loop
+  /// calls this once per operation on a reused instance.
+  void reset() {
+    status = TransportStatus::ok;
+    text.clear();
+    latency = sim::Duration();
+  }
 };
 
 /// A login session to one router: connect -> execute* -> disconnect.
@@ -70,19 +79,42 @@ class Transport {
     telemetry_target_ = std::move(target);
   }
 
-  /// Establishes a session. `status` is ok, connection_refused, or
-  /// login_timeout; `latency` covers the whole login exchange.
-  [[nodiscard]] virtual TransportResult connect(
-      const router::MulticastRouter& router, sim::TimePoint now) = 0;
+  /// Establishes a session into a caller-owned result (reset()s `out`, then
+  /// fills it). `status` is ok, connection_refused, or login_timeout;
+  /// `latency` covers the whole login exchange. Reusing one TransportResult
+  /// across operations keeps the transcript buffer's capacity warm — this is
+  /// the primitive the zero-copy collection loop is built on.
+  virtual void connect_into(const router::MulticastRouter& router,
+                            sim::TimePoint now, TransportResult& out) = 0;
 
-  /// Runs one command over the established session and returns the raw
-  /// transcript (banners, echoes, prompts included — preprocessing is the
-  /// collector's job).
-  [[nodiscard]] virtual TransportResult execute(
-      const router::MulticastRouter& router, std::string_view command,
-      sim::TimePoint now) = 0;
+  /// Runs one command over the established session into a caller-owned
+  /// result (reset()s `out`, then fills it). The transcript is raw —
+  /// banners, echoes, prompts included; preprocessing is the collector's
+  /// job.
+  virtual void execute_into(const router::MulticastRouter& router,
+                            std::string_view command, sim::TimePoint now,
+                            TransportResult& out) = 0;
 
   virtual void disconnect() = 0;
+
+  /// Value-returning convenience over connect_into (allocates a fresh
+  /// result each call; tests and one-shot callers use these, the collection
+  /// loop does not).
+  [[nodiscard]] TransportResult connect(const router::MulticastRouter& router,
+                                        sim::TimePoint now) {
+    TransportResult result;
+    connect_into(router, now, result);
+    return result;
+  }
+
+  /// Value-returning convenience over execute_into.
+  [[nodiscard]] TransportResult execute(const router::MulticastRouter& router,
+                                        std::string_view command,
+                                        sim::TimePoint now) {
+    TransportResult result;
+    execute_into(router, command, now, result);
+    return result;
+  }
 
  protected:
   /// Records one operation outcome under
@@ -103,10 +135,11 @@ class CliTransport : public Transport {
       sim::Duration latency = sim::Duration::milliseconds(120))
       : latency_(latency) {}
 
-  TransportResult connect(const router::MulticastRouter& router,
-                          sim::TimePoint now) override;
-  TransportResult execute(const router::MulticastRouter& router,
-                          std::string_view command, sim::TimePoint now) override;
+  void connect_into(const router::MulticastRouter& router, sim::TimePoint now,
+                    TransportResult& out) override;
+  void execute_into(const router::MulticastRouter& router,
+                    std::string_view command, sim::TimePoint now,
+                    TransportResult& out) override;
   void disconnect() override {}
 
  private:
@@ -141,10 +174,11 @@ class FaultInjectingTransport : public Transport {
   FaultInjectingTransport(std::uint64_t seed, FaultProfile profile)
       : rng_(seed), profile_(profile) {}
 
-  TransportResult connect(const router::MulticastRouter& router,
-                          sim::TimePoint now) override;
-  TransportResult execute(const router::MulticastRouter& router,
-                          std::string_view command, sim::TimePoint now) override;
+  void connect_into(const router::MulticastRouter& router, sim::TimePoint now,
+                    TransportResult& out) override;
+  void execute_into(const router::MulticastRouter& router,
+                    std::string_view command, sim::TimePoint now,
+                    TransportResult& out) override;
   void disconnect() override { connected_ = false; }
 
   /// Swaps the failure profile mid-run (e.g. to take a router dark and then
@@ -156,14 +190,17 @@ class FaultInjectingTransport : public Transport {
   [[nodiscard]] std::uint64_t operations() const { return operations_; }
 
  private:
-  [[nodiscard]] std::string truncate(std::string text);
-  [[nodiscard]] std::string garble(const std::string& text);
+  void truncate_in_place(std::string& text);
+  /// Appends a garbled copy of `text` to `out` (same bytes as the old
+  /// string-returning form, built into a reused buffer).
+  void garble_into(std::string_view text, std::string& out);
 
   sim::Rng rng_;
   FaultProfile profile_;
   bool connected_ = false;
   std::uint64_t faults_ = 0;
   std::uint64_t operations_ = 0;
+  std::string garble_buffer_;  ///< reused scratch for the garble fault path
 };
 
 }  // namespace mantra::core

@@ -47,10 +47,6 @@ const Route* RouteTable::rpf_lookup(net::Ipv4Address source) const {
   return nullptr;
 }
 
-void RouteTable::visit(const std::function<void(const Route&)>& fn) const {
-  table_.visit([&fn](const net::Prefix&, const Route& route) { fn(route); });
-}
-
 std::vector<Route> RouteTable::routes() const {
   std::vector<Route> out;
   out.reserve(table_.size());

@@ -59,7 +59,12 @@ class RouteTable {
   /// Longest-prefix match used for RPF lookups on source addresses.
   [[nodiscard]] const Route* rpf_lookup(net::Ipv4Address source) const;
 
-  void visit(const std::function<void(const Route&)>& fn) const;
+  /// Visits routes in address order; templated so the per-route call
+  /// inlines (this runs once per monitored capture on the render hot path).
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    table_.visit([&fn](const net::Prefix&, const Route& route) { fn(route); });
+  }
 
   /// All routes in address order (copies; use visit() on hot paths).
   [[nodiscard]] std::vector<Route> routes() const;

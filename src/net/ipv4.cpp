@@ -28,11 +28,18 @@ std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
 std::string Ipv4Address::to_string() const {
   std::string out;
   out.reserve(15);
-  for (int i = 0; i < 4; ++i) {
-    if (i > 0) out.push_back('.');
-    out.append(std::to_string(octet(i)));
-  }
+  append_to(out);
   return out;
+}
+
+void Ipv4Address::append_to(std::string& out) const {
+  char buffer[16];
+  char* cursor = buffer;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) *cursor++ = '.';
+    cursor = std::to_chars(cursor, buffer + sizeof buffer, octet(i)).ptr;
+  }
+  out.append(buffer, static_cast<std::size_t>(cursor - buffer));
 }
 
 }  // namespace mantra::net

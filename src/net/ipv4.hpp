@@ -33,6 +33,10 @@ class Ipv4Address {
   /// Renders dotted-quad notation.
   [[nodiscard]] std::string to_string() const;
 
+  /// Appends dotted-quad notation to `out` without a temporary string (the
+  /// zero-copy render/codec paths call this once per row per cycle).
+  void append_to(std::string& out) const;
+
   [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
 
   /// True for 224.0.0.0/4 (class D), the multicast group range.

@@ -25,7 +25,18 @@ std::optional<Prefix> Prefix::parse(std::string_view text) {
 }
 
 std::string Prefix::to_string() const {
-  return address_.to_string() + "/" + std::to_string(length_);
+  std::string out;
+  out.reserve(18);
+  append_to(out);
+  return out;
+}
+
+void Prefix::append_to(std::string& out) const {
+  address_.append_to(out);
+  out.push_back('/');
+  char buffer[4];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, length_);
+  out.append(buffer, static_cast<std::size_t>(result.ptr - buffer));
 }
 
 std::string Prefix::netmask_string() const {

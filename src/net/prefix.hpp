@@ -36,6 +36,9 @@ class Prefix {
   /// Renders "a.b.c.d/len".
   [[nodiscard]] std::string to_string() const;
 
+  /// Appends "a.b.c.d/len" to `out` without a temporary string.
+  void append_to(std::string& out) const;
+
   [[nodiscard]] constexpr Ipv4Address address() const { return address_; }
   [[nodiscard]] constexpr int length() const { return length_; }
   [[nodiscard]] constexpr std::uint32_t netmask() const {

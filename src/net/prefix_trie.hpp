@@ -90,9 +90,10 @@ class PrefixTrie {
   }
 
   /// Visits all entries in address order (pre-order over the trie, which for
-  /// canonical prefixes is lexicographic by (address, length)).
-  void visit(const std::function<void(const Prefix&, const Value&)>& fn) const {
-    Prefix scratch;
+  /// canonical prefixes is lexicographic by (address, length)). Templated so
+  /// per-node calls inline instead of going through std::function.
+  template <typename Fn>
+  void visit(Fn&& fn) const {
     visit_node(root_.get(), 0, 0, fn);
   }
 
@@ -142,8 +143,9 @@ class PrefixTrie {
     return node;
   }
 
+  template <typename Fn>
   void visit_node(const Node* node, std::uint32_t bits, int depth,
-                  const std::function<void(const Prefix&, const Value&)>& fn) const {
+                  Fn&& fn) const {
     if (node->value.has_value()) {
       fn(Prefix(Ipv4Address(bits), depth), *node->value);
     }

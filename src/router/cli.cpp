@@ -1,8 +1,7 @@
 #include "router/cli.hpp"
 
-#include <cinttypes>
+#include <charconv>
 #include <cstdio>
-#include <sstream>
 
 #include "dvmrp/route_table.hpp"
 
@@ -14,116 +13,184 @@ std::string interface_name(const MulticastRouter& router, net::IfIndex ifindex) 
   return router.interface_name(ifindex);
 }
 
+// Integer append without std::to_string temporaries.
+template <typename Int>
+void append_int(std::string& out, Int value) {
+  char buffer[24];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  out.append(buffer, static_cast<std::size_t>(result.ptr - buffer));
+}
+
+// Two decimal digits, zero-padded ("%02d" for values in [0, 99]).
+void append_2d(std::string& out, int value) {
+  out += static_cast<char>('0' + value / 10);
+  out += static_cast<char>('0' + value % 10);
+}
+
+// Appends `d` in IOS uptime form directly (same bytes as uptime_string).
+void append_uptime(std::string& out, sim::Duration d) {
+  const std::int64_t total_s = d.total_ms() / 1000;
+  if (total_s < 86400) {
+    // Hours can exceed two digits only past a day, so %02d == append_2d here.
+    append_2d(out, static_cast<int>(total_s / 3600));
+    out += ':';
+    append_2d(out, static_cast<int>((total_s / 60) % 60));
+    out += ':';
+    append_2d(out, static_cast<int>(total_s % 60));
+  } else {
+    append_int(out, total_s / 86400);
+    out += 'd';
+    append_2d(out, static_cast<int>((total_s / 3600) % 24));
+    out += 'h';
+  }
+}
+
+// Fixed-point double append: exact printf "%.*f" bytes via std::to_chars.
+void append_fixed(std::string& out, double value, int precision) {
+  char buffer[64];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value,
+                                    std::chars_format::fixed, precision);
+  out.append(buffer, static_cast<std::size_t>(result.ptr - buffer));
+}
+
+// Left-justifies the field appended since `field_start` to `width` columns
+// (printf "%-Ns": pad with spaces, never truncate).
+void pad_field(std::string& out, std::size_t field_start, std::size_t width) {
+  const std::size_t written = out.size() - field_start;
+  if (written < width) out.append(width - written, ' ');
+}
+
 }  // namespace
 
 std::string uptime_string(sim::Duration d) {
-  const std::int64_t total_s = d.total_ms() / 1000;
-  char buffer[32];
-  if (total_s < 86400) {
-    std::snprintf(buffer, sizeof buffer, "%02d:%02d:%02d",
-                  static_cast<int>(total_s / 3600),
-                  static_cast<int>((total_s / 60) % 60),
-                  static_cast<int>(total_s % 60));
-  } else {
-    std::snprintf(buffer, sizeof buffer, "%" PRId64 "d%02dh", total_s / 86400,
-                  static_cast<int>((total_s / 3600) % 24));
-  }
-  return buffer;
+  std::string out;
+  append_uptime(out, d);
+  return out;
 }
 
-std::string show_ip_dvmrp_route(const MulticastRouter& router, sim::TimePoint now) {
-  std::ostringstream out;
+void show_ip_dvmrp_route_into(const MulticastRouter& router, sim::TimePoint now,
+                              std::string& out) {
   const dvmrp::Dvmrp* instance = router.dvmrp();
   if (instance == nullptr) {
-    out << "% DVMRP not running\n";
-    return out.str();
+    out += "% DVMRP not running\n";
+    return;
   }
-  out << "DVMRP Routing Table - " << instance->routes().size() << " entries\n";
+  out += "DVMRP Routing Table - ";
+  append_int(out, instance->routes().size());
+  out += " entries\n";
   instance->routes().visit([&](const dvmrp::Route& route) {
-    char line[160];
-    const std::string from = route.local ? "0.0.0.0" : route.upstream.to_string();
-    const std::string expires =
-        route.state == dvmrp::RouteState::kHolddown
-            ? "holddown"
-            : uptime_string(now - route.last_refresh);
-    std::snprintf(line, sizeof line, "%s [%d/%d] uptime %s, expires %s\n",
-                  route.prefix.to_string().c_str(), 0, route.metric,
-                  uptime_string(now - route.learned).c_str(), expires.c_str());
-    out << line;
-    const std::string via = route.ifindex == net::kInvalidIf
-                                ? "connected"
-                                : interface_name(router, route.ifindex);
-    std::snprintf(line, sizeof line, "    via %s, %s\n", from.c_str(), via.c_str());
-    out << line;
+    route.prefix.append_to(out);
+    out += " [0/";
+    append_int(out, route.metric);
+    out += "] uptime ";
+    append_uptime(out, now - route.learned);
+    out += ", expires ";
+    if (route.state == dvmrp::RouteState::kHolddown) {
+      out += "holddown";
+    } else {
+      append_uptime(out, now - route.last_refresh);
+    }
+    out += "\n    via ";
+    if (route.local) {
+      out += "0.0.0.0";
+    } else {
+      route.upstream.append_to(out);
+    }
+    out += ", ";
+    if (route.ifindex == net::kInvalidIf) {
+      out += "connected";
+    } else {
+      out += interface_name(router, route.ifindex);
+    }
+    out += "\n";
   });
-  return out.str();
 }
 
-std::string show_ip_mroute(const MulticastRouter& router, sim::TimePoint now) {
-  std::ostringstream out;
-  out << "IP Multicast Routing Table\n"
-      << "Flags: D - Dense, S - Sparse, C - Connected, P - Pruned,\n"
-      << "       T - SPT-bit set, F - Register flag, J - Join SPT\n"
-      << "Timers: Uptime/Expires\n\n";
+void show_ip_mroute_into(const MulticastRouter& router, sim::TimePoint now,
+                         std::string& out) {
+  out +=
+      "IP Multicast Routing Table\n"
+      "Flags: D - Dense, S - Sparse, C - Connected, P - Pruned,\n"
+      "       T - SPT-bit set, F - Register flag, J - Join SPT\n"
+      "Timers: Uptime/Expires\n\n";
 
   // (*,G) entries first (PIM-SM shared trees).
   if (router.pim() != nullptr) {
     for (const pim::RouteEntry& entry : router.pim()->entries()) {
       if (!entry.wildcard) continue;
-      out << "(*, " << entry.group.to_string() << "), "
-          << uptime_string(now - entry.created) << "/00:03:30, RP "
-          << entry.rp.to_string() << ", flags: S\n";
-      out << "  Incoming interface: "
-          << (entry.upstream_if == net::kInvalidIf
-                  ? "Null"
-                  : interface_name(router, entry.upstream_if))
-          << ", RPF nbr " << entry.upstream_neighbor.to_string() << "\n";
-      out << "  Outgoing interface list:";
-      if (entry.oifs.empty()) {
-        out << " Null\n";
+      out += "(*, ";
+      entry.group.append_to(out);
+      out += "), ";
+      append_uptime(out, now - entry.created);
+      out += "/00:03:30, RP ";
+      entry.rp.append_to(out);
+      out += ", flags: S\n  Incoming interface: ";
+      if (entry.upstream_if == net::kInvalidIf) {
+        out += "Null";
       } else {
-        out << "\n";
+        out += interface_name(router, entry.upstream_if);
+      }
+      out += ", RPF nbr ";
+      entry.upstream_neighbor.append_to(out);
+      out += "\n  Outgoing interface list:";
+      if (entry.oifs.empty()) {
+        out += " Null\n";
+      } else {
+        out += "\n";
         for (net::IfIndex oif : entry.oifs) {
-          out << "    " << interface_name(router, oif) << ", Forward/Sparse, "
-              << uptime_string(now - entry.created) << "/00:03:30\n";
+          out += "    ";
+          out += interface_name(router, oif);
+          out += ", Forward/Sparse, ";
+          append_uptime(out, now - entry.created);
+          out += "/00:03:30\n";
         }
       }
-      out << "\n";
+      out += "\n";
     }
   }
 
   // (S,G) entries from the forwarding cache (both planes).
   router.mfc().visit([&](const MfcEntry& entry) {
-    std::string flags = entry.mode == MfcMode::kDense ? "D" : "ST";
-    if (entry.upstream_pruned) flags += "P";
-    out << "(" << entry.source.to_string() << ", " << entry.group.to_string()
-        << "), " << uptime_string(entry.uptime(now)) << "/00:03:30, flags: "
-        << flags << "\n";
-    out << "  Incoming interface: " << interface_name(router, entry.iif)
-        << ", RPF nbr 0.0.0.0\n";
-    out << "  Outgoing interface list:";
+    out += "(";
+    entry.source.append_to(out);
+    out += ", ";
+    entry.group.append_to(out);
+    out += "), ";
+    append_uptime(out, entry.uptime(now));
+    out += "/00:03:30, flags: ";
+    out += entry.mode == MfcMode::kDense ? "D" : "ST";
+    if (entry.upstream_pruned) out += "P";
+    out += "\n  Incoming interface: ";
+    out += interface_name(router, entry.iif);
+    out += ", RPF nbr 0.0.0.0\n  Outgoing interface list:";
     if (entry.oifs.empty()) {
-      out << " Null\n";
+      out += " Null\n";
     } else {
-      out << "\n";
+      out += "\n";
       for (net::IfIndex oif : entry.oifs) {
-        out << "    " << interface_name(router, oif) << ", Forward/"
-            << (entry.mode == MfcMode::kDense ? "Dense" : "Sparse") << ", "
-            << uptime_string(entry.uptime(now)) << "/00:03:30\n";
+        out += "    ";
+        out += interface_name(router, oif);
+        out += ", Forward/";
+        out += entry.mode == MfcMode::kDense ? "Dense" : "Sparse";
+        out += ", ";
+        append_uptime(out, entry.uptime(now));
+        out += "/00:03:30\n";
       }
     }
-    out << "\n";
+    out += "\n";
   });
-  return out.str();
 }
 
-std::string show_ip_mroute_count(const MulticastRouter& router, sim::TimePoint now) {
+void show_ip_mroute_count_into(const MulticastRouter& router, sim::TimePoint now,
+                               std::string& out) {
   router.mfc().advance_all(now);
-  std::ostringstream out;
-  out << "IP Multicast Statistics\n"
-      << router.mfc().size() << " routes using " << router.mfc().size() * 328
-      << " bytes of memory\n"
-      << "Counts: Pkt Count/Pkts per second/Avg Pkt Size/Kilobits per second\n\n";
+  out += "IP Multicast Statistics\n";
+  append_int(out, router.mfc().size());
+  out += " routes using ";
+  append_int(out, router.mfc().size() * 328);
+  out +=
+      " bytes of memory\n"
+      "Counts: Pkt Count/Pkts per second/Avg Pkt Size/Kilobits per second\n\n";
 
   // Group entries by group address, as IOS does.
   net::Ipv4Address current_group;
@@ -135,115 +202,213 @@ std::string show_ip_mroute_count(const MulticastRouter& router, sim::TimePoint n
     if (first || entry.group != current_group) {
       current_group = entry.group;
       first = false;
-      out << "Group: " << entry.group.to_string() << "\n";
+      out += "Group: ";
+      entry.group.append_to(out);
+      out += "\n";
     }
-    char line[200];
-    const double avg_rate = entry.average_rate_kbps(now);
-    std::snprintf(line, sizeof line,
-                  "  Source: %s/32, Forwarding: %" PRIu64 "/%.0f/%.0f/%.2f, Other: %" PRIu64
-                  "/0/0\n",
-                  entry.source.to_string().c_str(), entry.packets,
-                  entry.rate_kbps > 0.0
-                      ? entry.rate_kbps * 1000.0 / 8.0 / kAveragePacketBytes
-                      : 0.0,
-                  kAveragePacketBytes, entry.rate_kbps, entry.packets);
-    out << line;
-    std::snprintf(line, sizeof line, "    Average: %.2f kbps, Uptime: %s\n",
-                  avg_rate, uptime_string(entry.uptime(now)).c_str());
-    out << line;
+    out += "  Source: ";
+    entry.source.append_to(out);
+    out += "/32, Forwarding: ";
+    append_int(out, entry.packets);
+    out += '/';
+    append_fixed(out,
+                 entry.rate_kbps > 0.0
+                     ? entry.rate_kbps * 1000.0 / 8.0 / kAveragePacketBytes
+                     : 0.0,
+                 0);
+    out += '/';
+    append_fixed(out, kAveragePacketBytes, 0);
+    out += '/';
+    append_fixed(out, entry.rate_kbps, 2);
+    out += ", Other: ";
+    append_int(out, entry.packets);
+    out += "/0/0\n    Average: ";
+    append_fixed(out, entry.average_rate_kbps(now), 2);
+    out += " kbps, Uptime: ";
+    append_uptime(out, entry.uptime(now));
+    out += "\n";
   });
-  return out.str();
 }
 
-std::string show_ip_msdp_sa_cache(const MulticastRouter& router, sim::TimePoint now) {
-  std::ostringstream out;
+void show_ip_msdp_sa_cache_into(const MulticastRouter& router, sim::TimePoint now,
+                                std::string& out) {
   const msdp::Msdp* instance = router.msdp();
   if (instance == nullptr) {
-    out << "% MSDP not running\n";
-    return out.str();
+    out += "% MSDP not running\n";
+    return;
   }
-  out << "MSDP Source-Active Cache - " << instance->cache_size() << " entries\n";
+  out += "MSDP Source-Active Cache - ";
+  append_int(out, instance->cache_size());
+  out += " entries\n";
   for (const msdp::SaCacheEntry& entry : instance->sa_cache()) {
-    out << "(" << entry.source.to_string() << ", " << entry.group.to_string()
-        << "), RP " << entry.origin_rp.to_string() << ", "
-        << (entry.learned_from.is_unspecified()
-                ? std::string("local")
-                : "via peer " + entry.learned_from.to_string())
-        << ", " << uptime_string(now - entry.first_seen) << "\n";
+    out += "(";
+    entry.source.append_to(out);
+    out += ", ";
+    entry.group.append_to(out);
+    out += "), RP ";
+    entry.origin_rp.append_to(out);
+    out += ", ";
+    if (entry.learned_from.is_unspecified()) {
+      out += "local";
+    } else {
+      out += "via peer ";
+      entry.learned_from.append_to(out);
+    }
+    out += ", ";
+    append_uptime(out, now - entry.first_seen);
+    out += "\n";
   }
-  return out.str();
 }
 
-std::string show_ip_mbgp(const MulticastRouter& router, sim::TimePoint /*now*/) {
-  std::ostringstream out;
+void show_ip_mbgp_into(const MulticastRouter& router, sim::TimePoint /*now*/,
+                       std::string& out) {
   const mbgp::Mbgp* instance = router.mbgp();
   if (instance == nullptr) {
-    out << "% MBGP not running\n";
-    return out.str();
+    out += "% MBGP not running\n";
+    return;
   }
-  out << "MBGP table version is 1, local router ID is "
-      << instance->router_id().to_string() << "\n"
-      << "Status codes: * valid, > best\n"
-      << "   Network            Next Hop            Path\n";
+  out += "MBGP table version is 1, local router ID is ";
+  instance->router_id().append_to(out);
+  out +=
+      "\nStatus codes: * valid, > best\n"
+      "   Network            Next Hop            Path\n";
   for (const auto& [prefix, path] : instance->loc_rib()) {
-    char line[200];
-    std::string as_path;
-    for (mbgp::AsNumber as : path.as_path) {
-      if (!as_path.empty()) as_path.push_back(' ');
-      as_path += std::to_string(as);
+    out += "*> ";
+    std::size_t field = out.size();
+    prefix.append_to(out);
+    pad_field(out, field, 18);
+    out += " ";
+    field = out.size();
+    path.next_hop.append_to(out);
+    pad_field(out, field, 19);
+    out += " ";
+    if (path.as_path.empty()) {
+      out += "i";
+    } else {
+      bool first_as = true;
+      for (mbgp::AsNumber as : path.as_path) {
+        if (!first_as) out += " ";
+        first_as = false;
+        append_int(out, as);
+      }
     }
-    if (as_path.empty()) as_path = "i";
-    std::snprintf(line, sizeof line, "*> %-18s %-19s %s\n",
-                  prefix.to_string().c_str(), path.next_hop.to_string().c_str(),
-                  as_path.c_str());
-    out << line;
+    out += "\n";
   }
-  return out.str();
 }
 
-std::string show_ip_igmp_groups(const MulticastRouter& router, sim::TimePoint now) {
-  std::ostringstream out;
-  out << "IGMP Connected Group Membership\n"
-      << "Group Address    Interface     Uptime    Last Reporter\n";
+void show_ip_igmp_groups_into(const MulticastRouter& router, sim::TimePoint now,
+                              std::string& out) {
+  out +=
+      "IGMP Connected Group Membership\n"
+      "Group Address    Interface     Uptime    Last Reporter\n";
   (void)now;
   for (net::Ipv4Address group : router.igmp().all_groups()) {
     for (net::IfIndex ifindex : router.igmp().interfaces_with_members(group)) {
       const auto members = router.igmp().members(ifindex, group);
-      char line[160];
-      std::snprintf(line, sizeof line, "%-16s %-13s %-9s %s\n",
-                    group.to_string().c_str(),
-                    interface_name(router, ifindex).c_str(), "00:00:00",
-                    members.empty() ? "0.0.0.0" : members.back().to_string().c_str());
-      out << line;
+      std::size_t field = out.size();
+      group.append_to(out);
+      pad_field(out, field, 16);
+      out += " ";
+      field = out.size();
+      out += interface_name(router, ifindex);
+      pad_field(out, field, 13);
+      out += " 00:00:00  ";  // "%-9s" of "00:00:00" == the 8 chars + 1 pad
+      if (members.empty()) {
+        out += "0.0.0.0";
+      } else {
+        members.back().append_to(out);
+      }
+      out += "\n";
     }
   }
-  return out.str();
 }
 
 bool is_invalid_command_output(std::string_view raw) {
   return raw.find(kInvalidInputMarker) != std::string_view::npos;
 }
 
+void execute_show_into(const MulticastRouter& router, std::string_view command,
+                       sim::TimePoint now, std::string& out) {
+  if (command == "show ip dvmrp route") {
+    show_ip_dvmrp_route_into(router, now, out);
+  } else if (command == "show ip mroute") {
+    show_ip_mroute_into(router, now, out);
+  } else if (command == "show ip mroute count") {
+    show_ip_mroute_count_into(router, now, out);
+  } else if (command == "show ip msdp sa-cache") {
+    show_ip_msdp_sa_cache_into(router, now, out);
+  } else if (command == "show ip mbgp") {
+    show_ip_mbgp_into(router, now, out);
+  } else if (command == "show ip igmp groups") {
+    show_ip_igmp_groups_into(router, now, out);
+  } else {
+    out += "% Invalid input detected at '^' marker.\n";
+  }
+}
+
+void telnet_capture_into(const MulticastRouter& router, std::string_view command,
+                         sim::TimePoint now, std::string& out) {
+  const std::string& hostname = router.hostname();
+  out += "\r\nUser Access Verification\r\n\r\nPassword: \r\n";
+  out += hostname;
+  out += "> terminal length 0\r\n";
+  out += hostname;
+  out += "> ";
+  out += command;
+  out += "\r\n";
+  execute_show_into(router, command, now, out);
+  out += hostname;
+  out += "> ";
+}
+
+std::string show_ip_dvmrp_route(const MulticastRouter& router, sim::TimePoint now) {
+  std::string out;
+  show_ip_dvmrp_route_into(router, now, out);
+  return out;
+}
+
+std::string show_ip_mroute(const MulticastRouter& router, sim::TimePoint now) {
+  std::string out;
+  show_ip_mroute_into(router, now, out);
+  return out;
+}
+
+std::string show_ip_mroute_count(const MulticastRouter& router, sim::TimePoint now) {
+  std::string out;
+  show_ip_mroute_count_into(router, now, out);
+  return out;
+}
+
+std::string show_ip_msdp_sa_cache(const MulticastRouter& router, sim::TimePoint now) {
+  std::string out;
+  show_ip_msdp_sa_cache_into(router, now, out);
+  return out;
+}
+
+std::string show_ip_mbgp(const MulticastRouter& router, sim::TimePoint now) {
+  std::string out;
+  show_ip_mbgp_into(router, now, out);
+  return out;
+}
+
+std::string show_ip_igmp_groups(const MulticastRouter& router, sim::TimePoint now) {
+  std::string out;
+  show_ip_igmp_groups_into(router, now, out);
+  return out;
+}
+
 std::string execute_show(const MulticastRouter& router, std::string_view command,
                          sim::TimePoint now) {
-  if (command == "show ip dvmrp route") return show_ip_dvmrp_route(router, now);
-  if (command == "show ip mroute") return show_ip_mroute(router, now);
-  if (command == "show ip mroute count") return show_ip_mroute_count(router, now);
-  if (command == "show ip msdp sa-cache") return show_ip_msdp_sa_cache(router, now);
-  if (command == "show ip mbgp") return show_ip_mbgp(router, now);
-  if (command == "show ip igmp groups") return show_ip_igmp_groups(router, now);
-  return "% Invalid input detected at '^' marker.\n";
+  std::string out;
+  execute_show_into(router, command, now, out);
+  return out;
 }
 
 std::string telnet_capture(const MulticastRouter& router, std::string_view command,
                            sim::TimePoint now) {
-  std::ostringstream out;
-  const std::string prompt = router.hostname() + ">";
-  out << "\r\nUser Access Verification\r\n\r\nPassword: \r\n"
-      << prompt << " terminal length 0\r\n"
-      << prompt << " " << command << "\r\n"
-      << execute_show(router, command, now) << prompt << " ";
-  return out.str();
+  std::string out;
+  telnet_capture_into(router, command, now, out);
+  return out;
 }
 
 }  // namespace mantra::router::cli

@@ -17,6 +17,38 @@ namespace mantra::router::cli {
 /// "2d03h" beyond (IOS style).
 [[nodiscard]] std::string uptime_string(sim::Duration d);
 
+// ---------------------------------------------------------------------------
+// Zero-copy render API. Each `*_into` renderer APPENDS its transcript to
+// `out` without intermediate strings or streams; callers own the buffer and
+// clear it between captures, so a collector polling the same command set
+// reuses one allocation per target after warm-up. The string-returning
+// functions below are thin wrappers over these and produce byte-identical
+// output.
+// ---------------------------------------------------------------------------
+
+void show_ip_dvmrp_route_into(const MulticastRouter& router, sim::TimePoint now,
+                              std::string& out);
+void show_ip_mroute_into(const MulticastRouter& router, sim::TimePoint now,
+                         std::string& out);
+void show_ip_mroute_count_into(const MulticastRouter& router, sim::TimePoint now,
+                               std::string& out);
+void show_ip_msdp_sa_cache_into(const MulticastRouter& router, sim::TimePoint now,
+                                std::string& out);
+void show_ip_mbgp_into(const MulticastRouter& router, sim::TimePoint now,
+                       std::string& out);
+void show_ip_igmp_groups_into(const MulticastRouter& router, sim::TimePoint now,
+                              std::string& out);
+
+/// Command dispatch into a caller-owned buffer (appends). Unknown commands
+/// append the IOS "% Invalid input" marker.
+void execute_show_into(const MulticastRouter& router, std::string_view command,
+                       sim::TimePoint now, std::string& out);
+
+/// Full emulated telnet transcript appended to a caller-owned buffer:
+/// login banner, echoed command, output, trailing prompt.
+void telnet_capture_into(const MulticastRouter& router, std::string_view command,
+                         sim::TimePoint now, std::string& out);
+
 /// `show ip dvmrp route` — the DVMRP routing table (Figs 7-9 data source).
 [[nodiscard]] std::string show_ip_dvmrp_route(const MulticastRouter& router,
                                               sim::TimePoint now);

@@ -9,6 +9,7 @@ MfcEntry& Mfc::ensure(net::Ipv4Address source, net::Ipv4Address group,
   auto [it, fresh] = entries_.try_emplace(SgKey{source, group});
   MfcEntry& entry = it->second;
   if (fresh) {
+    sorted_dirty_ = true;
     entry.source = source;
     entry.group = group;
     entry.mode = mode;
@@ -31,21 +32,25 @@ const MfcEntry* Mfc::find(net::Ipv4Address source, net::Ipv4Address group) const
 }
 
 bool Mfc::erase(net::Ipv4Address source, net::Ipv4Address group) {
-  return entries_.erase(SgKey{source, group}) > 0;
+  const bool erased = entries_.erase(SgKey{source, group}) > 0;
+  if (erased) sorted_dirty_ = true;
+  return erased;
 }
 
 void Mfc::advance_all(sim::TimePoint now) const {
   for (const auto& [key, entry] : entries_) entry.advance(now);
 }
 
-void Mfc::visit(const std::function<void(const MfcEntry&)>& fn) const {
-  // Deterministic (S, G) order for rendering and tests.
-  std::vector<const std::pair<const SgKey, MfcEntry>*> sorted;
-  sorted.reserve(entries_.size());
-  for (const auto& item : entries_) sorted.push_back(&item);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
-  for (const auto* item : sorted) fn(item->second);
+void Mfc::ensure_sorted() const {
+  if (!sorted_dirty_) return;
+  sorted_cache_.clear();
+  sorted_cache_.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) sorted_cache_.push_back(&entry);
+  std::sort(sorted_cache_.begin(), sorted_cache_.end(),
+            [](const MfcEntry* a, const MfcEntry* b) {
+              return SgKey{a->source, a->group} < SgKey{b->source, b->group};
+            });
+  sorted_dirty_ = false;
 }
 
 void Mfc::visit_group(net::Ipv4Address group,

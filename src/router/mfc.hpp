@@ -79,6 +79,19 @@ class Mfc {
  public:
   using SgKey = std::pair<net::Ipv4Address, net::Ipv4Address>;  ///< (S, G)
 
+  Mfc() = default;
+  // The sorted-visit cache points into entries_, so a copy must not inherit
+  // the source's cache (moves are fine: unordered_map nodes move with it).
+  Mfc(const Mfc& other) : entries_(other.entries_) {}
+  Mfc& operator=(const Mfc& other) {
+    entries_ = other.entries_;
+    sorted_cache_.clear();
+    sorted_dirty_ = true;
+    return *this;
+  }
+  Mfc(Mfc&&) = default;
+  Mfc& operator=(Mfc&&) = default;
+
   struct SgHash {
     std::size_t operator()(const SgKey& key) const noexcept {
       // (S, G) pairs are well spread; splitmix the concatenation.
@@ -105,7 +118,15 @@ class Mfc {
   /// Advances all counters to `now` (called before a monitoring scrape).
   void advance_all(sim::TimePoint now) const;
 
-  void visit(const std::function<void(const MfcEntry&)>& fn) const;
+  /// Visits entries in deterministic (S, G) order. The sorted order is
+  /// cached between structural changes (unordered_map nodes are stable, so
+  /// the pointers survive counter mutation and rehash); renders on the
+  /// monitoring hot path hit the cache every cycle.
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    ensure_sorted();
+    for (const MfcEntry* entry : sorted_cache_) fn(*entry);
+  }
   void visit_group(net::Ipv4Address group,
                    const std::function<void(MfcEntry&)>& fn);
 
@@ -120,7 +141,12 @@ class Mfc {
   [[nodiscard]] double total_rate_kbps() const;
 
  private:
+  void ensure_sorted() const;
+
   std::unordered_map<SgKey, MfcEntry, SgHash> entries_;
+  // Deterministic visit order, rebuilt lazily after insert/erase.
+  mutable std::vector<const MfcEntry*> sorted_cache_;
+  mutable bool sorted_dirty_ = true;
 };
 
 }  // namespace mantra::router

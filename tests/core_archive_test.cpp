@@ -455,12 +455,12 @@ TEST_F(ArchiveReplay, FiveHundredCycleScenarioReplaysByteIdentically) {
   monitor->start();
   scenario.engine().run_until(sim::TimePoint::start() + sim::Duration::minutes(505));
 
-  const std::vector<CycleResult> live = monitor->results("fixw");
+  const std::vector<CycleResult> live = monitor->target_view("fixw").results();
   ASSERT_GE(live.size(), 500u);
   const ArchiveWriter* sink = monitor->target_view("fixw").archive();
   ASSERT_NE(sink, nullptr);
   EXPECT_EQ(sink->cycles_written(), live.size());
-  const RouteMonitor& live_monitor = monitor->route_monitor("fixw");
+  const RouteMonitor& live_monitor = monitor->target_view("fixw").route_monitor();
   const std::uint64_t live_total_changes = live_monitor.total_changes();
   const std::size_t live_completed_routes = live_monitor.completed_route_count();
   const double live_mean_lifetime = live_monitor.mean_completed_lifetime_s();

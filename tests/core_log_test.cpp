@@ -132,6 +132,48 @@ TEST(DataLogger, AblationFullSnapshotsMatchNaiveCost) {
   EXPECT_EQ(logger.stored_bytes(), logger.naive_bytes());
 }
 
+TEST(DataLogger, CountingLedgersMatchSerializedByteLengths) {
+  // The logger counts codec bytes without materializing them; the counting
+  // sink must agree exactly with the string sink on real row data,
+  // including awkward numeric widths (one-digit and three-digit octets,
+  // %g-formatted rates, multi-digit millisecond fields).
+  Snapshot snapshot = snapshot_at(sim::TimePoint::start() + sim::Duration::hours(7));
+  for (std::uint32_t i = 0; i < 120; ++i) {
+    PairRow row = pair(0x0A010100u + i, i % 9, 0.001 + 1234.5678 * i);
+    row.packets = 1 + 99991ull * i;
+    row.uptime = sim::Duration::seconds(17 * i);
+    snapshot.pairs.upsert(row);
+  }
+  for (std::uint32_t i = 0; i < 120; ++i) snapshot.routes.upsert(route(i, 1 + i % 250));
+  SaRow sa;
+  sa.source = net::Ipv4Address(10, 200, 3, 254);
+  sa.group = net::Ipv4Address(224, 2, 0, 5);
+  sa.origin_rp = net::Ipv4Address(10, 0, 1, 1);
+  sa.age = sim::Duration::minutes(90);
+  snapshot.sa_cache.upsert(sa);
+  MbgpRow mbgp;
+  mbgp.prefix = *net::Prefix::parse("10.4.0.0/16");
+  mbgp.next_hop = net::Ipv4Address(192, 168, 0, 2);
+  snapshot.mbgp_routes.upsert(mbgp);
+  snapshot.participants = derive_participants(snapshot.pairs);
+  snapshot.sessions = derive_sessions(snapshot.pairs);
+
+  // Key-frame-only logger: stored == naive == the real serialized size.
+  LoggerConfig full;
+  full.store_deltas = false;
+  DataLogger keyframes(full);
+  keyframes.record(snapshot);
+  EXPECT_EQ(keyframes.naive_bytes(), serialize_snapshot(snapshot, false).size());
+  EXPECT_EQ(keyframes.stored_bytes(), keyframes.naive_bytes());
+
+  // Ablated logger stores derived tables too.
+  LoggerConfig fat = full;
+  fat.derive_redundant = false;
+  DataLogger derived(fat);
+  derived.record(snapshot);
+  EXPECT_EQ(derived.stored_bytes(), serialize_snapshot(snapshot, true).size());
+}
+
 TEST(DataLogger, RedundancyAblationStoresDerivedTables) {
   Snapshot snapshot = snapshot_at(sim::TimePoint::start());
   for (std::uint32_t i = 0; i < 50; ++i) {

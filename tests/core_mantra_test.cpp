@@ -49,14 +49,14 @@ class MantraPipeline : public ::testing::Test {
 
 TEST_F(MantraPipeline, CyclesAccumulateResults) {
   run_hours(2);
-  const auto& results = monitor_->results("fixw");
+  const auto& results = monitor_->target_view("fixw").results();
   EXPECT_EQ(results.size(), 8u);  // 2h / 15min
-  EXPECT_EQ(monitor_->results("ucsb-gw").size(), 8u);
+  EXPECT_EQ(monitor_->target_view("ucsb-gw").results().size(), 8u);
 }
 
 TEST_F(MantraPipeline, UsageStatisticsAreLive) {
   run_hours(3);
-  const CycleResult& last = monitor_->results("fixw").back();
+  const CycleResult& last = monitor_->target_view("fixw").results().back();
   EXPECT_GT(last.usage.sessions, 0);
   EXPECT_GT(last.usage.participants, 0);
   EXPECT_GE(last.usage.participants, last.usage.senders);
@@ -67,10 +67,10 @@ TEST_F(MantraPipeline, UsageStatisticsAreLive) {
 
 TEST_F(MantraPipeline, LoggerRecordsEveryCycleAndReconstructs) {
   run_hours(2);
-  const DataLogger& logger = monitor_->logger("fixw");
+  const DataLogger& logger = monitor_->target_view("fixw").logger();
   EXPECT_EQ(logger.cycle_count(), 8u);
   const Snapshot rebuilt = logger.reconstruct(7);
-  const Snapshot& latest = monitor_->latest_snapshot("fixw");
+  const Snapshot& latest = monitor_->target_view("fixw").latest_snapshot();
   EXPECT_EQ(rebuilt.pairs.size(), latest.pairs.size());
   EXPECT_EQ(rebuilt.routes.size(), latest.routes.size());
 }
@@ -97,7 +97,7 @@ TEST_F(MantraPipeline, SummaryTablesRender) {
 
 TEST_F(MantraPipeline, AggregateUsageAtLeastSingleView) {
   run_hours(2);
-  const UsageStats fixw = compute_usage(monitor_->latest_snapshot("fixw"));
+  const UsageStats fixw = compute_usage(monitor_->target_view("fixw").latest_snapshot());
   const UsageStats aggregate = monitor_->aggregate_usage();
   EXPECT_GE(aggregate.sessions, fixw.sessions);
   EXPECT_GE(aggregate.participants, fixw.participants);
@@ -111,35 +111,35 @@ TEST_F(MantraPipeline, RouteMonitorSeesChangesAcrossOutage) {
   scenario_.network().set_interface_enabled(scenario_.fixw_node(), 0, false);
   run_hours(1);
   const std::size_t during =
-      monitor_->results("ucsb-gw").back().dvmrp_valid_routes;
+      monitor_->target_view("ucsb-gw").results().back().dvmrp_valid_routes;
   scenario_.network().set_interface_enabled(scenario_.fixw_node(), 0, true);
   run_hours(1);
-  const RouteMonitor& monitor = monitor_->route_monitor("ucsb-gw");
+  const RouteMonitor& monitor = monitor_->target_view("ucsb-gw").route_monitor();
   EXPECT_EQ(monitor.history().size(), 12u);
   EXPECT_GT(monitor.total_changes(), 0u);
-  EXPECT_LT(during, monitor_->results("ucsb-gw").back().dvmrp_valid_routes);
+  EXPECT_LT(during, monitor_->target_view("ucsb-gw").results().back().dvmrp_valid_routes);
 }
 
 TEST_F(MantraPipeline, UnknownTargetThrows) {
-  EXPECT_THROW(monitor_->results("nonesuch"), std::out_of_range);
+  EXPECT_THROW(monitor_->target_view("nonesuch").results(), std::out_of_range);
 }
 
 TEST_F(MantraPipeline, StopHaltsCycles) {
   run_hours(1);
   monitor_->stop();
-  const std::size_t cycles = monitor_->results("fixw").size();
+  const std::size_t cycles = monitor_->target_view("fixw").results().size();
   run_hours(1);
-  EXPECT_EQ(monitor_->results("fixw").size(), cycles);
+  EXPECT_EQ(monitor_->target_view("fixw").results().size(), cycles);
 }
 
 TEST_F(MantraPipeline, TargetViewConsolidatesAccessors) {
   run_hours(2);
   const Mantra::TargetView view = monitor_->target_view("fixw");
   EXPECT_EQ(view.name(), "fixw");
-  EXPECT_EQ(&view.results(), &monitor_->results("fixw"));
-  EXPECT_EQ(&view.logger(), &monitor_->logger("fixw"));
-  EXPECT_EQ(&view.route_monitor(), &monitor_->route_monitor("fixw"));
-  EXPECT_EQ(&view.latest_snapshot(), &monitor_->latest_snapshot("fixw"));
+  EXPECT_EQ(&view.results(), &monitor_->target_view("fixw").results());
+  EXPECT_EQ(&view.logger(), &monitor_->target_view("fixw").logger());
+  EXPECT_EQ(&view.route_monitor(), &monitor_->target_view("fixw").route_monitor());
+  EXPECT_EQ(&view.latest_snapshot(), &monitor_->target_view("fixw").latest_snapshot());
   EXPECT_EQ(view.health(), TargetHealth::Healthy);
   EXPECT_EQ(view.consecutive_failures(), 0u);
   EXPECT_THROW(monitor_->target_view("nonesuch"), std::out_of_range);
@@ -310,7 +310,7 @@ TEST_F(MantraPipeline, FaultyCollectionDegradesGracefully) {
 
   run_hours(6);
 
-  const auto& clean = monitor_->results("fixw");
+  const auto& clean = monitor_->target_view("fixw").results();
   const auto& degraded = faulty.target_view("fixw").results();
   ASSERT_FALSE(clean.empty());
   ASSERT_FALSE(degraded.empty());
@@ -403,7 +403,7 @@ TEST_F(MantraPipeline, RouteInjectionFlagsSpike) {
                                      1500, sim::Duration::hours(2));
   run_hours(1);
   bool spiked = false;
-  for (const CycleResult& result : monitor_->results("ucsb-gw")) {
+  for (const CycleResult& result : monitor_->target_view("ucsb-gw").results()) {
     if (result.route_spike) spiked = true;
   }
   EXPECT_TRUE(spiked);

@@ -8,6 +8,29 @@
 namespace mantra::core {
 namespace {
 
+// Test-local conveniences over the canonical in-place parse API: bundle the
+// table and warnings the way the old value-returning entry points did.
+ParseOutcome<PairTable> parsed_mroute_count(std::string_view text) {
+  ParseOutcome<PairTable> out;
+  parse_mroute_count(text, out.table, &out.warnings);
+  return out;
+}
+ParseOutcome<RouteTable> parsed_dvmrp_route(std::string_view text) {
+  ParseOutcome<RouteTable> out;
+  parse_dvmrp_route(text, out.table, &out.warnings);
+  return out;
+}
+ParseOutcome<SaTable> parsed_msdp_sa_cache(std::string_view text) {
+  ParseOutcome<SaTable> out;
+  parse_msdp_sa_cache(text, out.table, &out.warnings);
+  return out;
+}
+ParseOutcome<MbgpTable> parsed_mbgp(std::string_view text) {
+  ParseOutcome<MbgpTable> out;
+  parse_mbgp(text, out.table, &out.warnings);
+  return out;
+}
+
 // --- preprocess --------------------------------------------------------------
 
 TEST(Preprocess, StripsTelnetNoise) {
@@ -81,7 +104,7 @@ TEST(ParseMrouteCount, ExtractsPairs) {
       "    Average: 44.10 kbps, Uptime: 00:15:00\n"
       "  Source: 10.2.1.9/32, Forwarding: 30/0/512/1.20, Other: 30/0/0\n"
       "    Average: 1.10 kbps, Uptime: 01:00:30\n";
-  const auto outcome = parse_mroute_count(text);
+  const auto outcome = parsed_mroute_count(text);
   EXPECT_TRUE(outcome.warnings.empty());
   ASSERT_EQ(outcome.table.size(), 2u);
   const PairRow* row = outcome.table.find({*net::Ipv4Address::parse("10.1.1.2"),
@@ -94,13 +117,13 @@ TEST(ParseMrouteCount, ExtractsPairs) {
 }
 
 TEST(ParseMrouteCount, WarnsOnGarbageDataLines) {
-  const auto outcome = parse_mroute_count("Group: not-an-address\n");
+  const auto outcome = parsed_mroute_count("Group: not-an-address\n");
   EXPECT_EQ(outcome.table.size(), 0u);
   EXPECT_EQ(outcome.warnings.size(), 1u);
 }
 
 TEST(ParseMrouteCount, SourceBeforeGroupIsWarned) {
-  const auto outcome = parse_mroute_count(
+  const auto outcome = parsed_mroute_count(
       "  Source: 10.1.1.2/32, Forwarding: 1/0/512/0.5, Other: 1/0/0\n");
   EXPECT_EQ(outcome.table.size(), 0u);
   EXPECT_FALSE(outcome.warnings.empty());
@@ -113,7 +136,7 @@ TEST(ParseDvmrpRoute, ExtractsRoutes) {
       "    via 192.168.3.2, tunnel0\n"
       "10.4.0.0/16 [0/32] uptime 2d03h, expires holddown\n"
       "    via 192.168.4.2, tunnel1\n";
-  const auto outcome = parse_dvmrp_route(text);
+  const auto outcome = parsed_dvmrp_route(text);
   EXPECT_TRUE(outcome.warnings.empty());
   ASSERT_EQ(outcome.table.size(), 2u);
   const RouteRow* row = outcome.table.find(*net::Prefix::parse("10.3.16.0/24"));
@@ -132,7 +155,7 @@ TEST(ParseMsdpSaCache, ExtractsEntries) {
       "MSDP Source-Active Cache - 2 entries\n"
       "(10.2.1.7, 224.2.3.4), RP 192.168.1.2, via peer 192.168.2.2, 00:05:00\n"
       "(10.1.1.9, 224.4.1.2), RP 10.1.1.1, local, 00:07:21\n";
-  const auto outcome = parse_msdp_sa_cache(text);
+  const auto outcome = parsed_msdp_sa_cache(text);
   EXPECT_TRUE(outcome.warnings.empty());
   ASSERT_EQ(outcome.table.size(), 2u);
   const SaRow* remote = outcome.table.find({*net::Ipv4Address::parse("10.2.1.7"),
@@ -154,7 +177,7 @@ TEST(ParseMbgp, ExtractsBestPaths) {
       "   Network            Next Hop            Path\n"
       "*> 10.3.0.0/16        192.168.3.2         103\n"
       "*> 10.4.0.0/16        192.168.0.1         3000 104\n";
-  const auto outcome = parse_mbgp(text);
+  const auto outcome = parsed_mbgp(text);
   EXPECT_TRUE(outcome.warnings.empty());
   ASSERT_EQ(outcome.table.size(), 2u);
   const MbgpRow* row = outcome.table.find(*net::Prefix::parse("10.4.0.0/16"));
@@ -203,7 +226,7 @@ TEST_F(RoundTrip, DvmrpTableSurvivesScrapeAndParse) {
   const RawCapture* capture = report.find("show ip dvmrp route");
   ASSERT_NE(capture, nullptr);
   const std::string dvmrp_text = capture->clean_text;
-  const auto outcome = parse_dvmrp_route(dvmrp_text);
+  const auto outcome = parsed_dvmrp_route(dvmrp_text);
   EXPECT_TRUE(outcome.warnings.empty());
   // Parsed route count matches the router's actual table.
   EXPECT_EQ(outcome.table.size(),
@@ -222,7 +245,7 @@ TEST_F(RoundTrip, MrouteCountSurvivesScrapeAndParse) {
   const RawCapture* capture = report.find("show ip mroute count");
   ASSERT_NE(capture, nullptr);
   const std::string text = capture->clean_text;
-  const auto outcome = parse_mroute_count(text);
+  const auto outcome = parsed_mroute_count(text);
   EXPECT_TRUE(outcome.warnings.empty());
   ASSERT_EQ(outcome.table.size(), 1u);
   const PairRow row = outcome.table.rows()[0];
@@ -244,12 +267,12 @@ TEST_F(RoundTrip, GarbledTranscriptNeverParsesCleanly) {
   const TransportResult dvmrp =
       transport.execute(*network_.router(r1_), "show ip dvmrp route", engine_.now());
   ASSERT_EQ(dvmrp.status, TransportStatus::garbled);
-  EXPECT_FALSE(parse_dvmrp_route(preprocess(dvmrp.text)).warnings.empty());
+  EXPECT_FALSE(parsed_dvmrp_route(preprocess(dvmrp.text)).warnings.empty());
 
   // Clean reference: the same dump un-garbled still parses warning-free.
   const std::string clean = router::cli::telnet_capture(
       *network_.router(r1_), "show ip dvmrp route", engine_.now());
-  EXPECT_TRUE(parse_dvmrp_route(preprocess(clean)).warnings.empty());
+  EXPECT_TRUE(parsed_dvmrp_route(preprocess(clean)).warnings.empty());
 
   network_.host_join(host_, net::Ipv4Address(224, 2, 0, 5));
   network_.flow_start(host_, net::Ipv4Address(224, 2, 0, 5), 100.0,
@@ -258,10 +281,10 @@ TEST_F(RoundTrip, GarbledTranscriptNeverParsesCleanly) {
   const TransportResult mroute = transport.execute(
       *network_.router(r1_), "show ip mroute count", engine_.now());
   ASSERT_EQ(mroute.status, TransportStatus::garbled);
-  EXPECT_FALSE(parse_mroute_count(preprocess(mroute.text)).warnings.empty());
+  EXPECT_FALSE(parsed_mroute_count(preprocess(mroute.text)).warnings.empty());
   const std::string clean_mroute = router::cli::telnet_capture(
       *network_.router(r1_), "show ip mroute count", engine_.now());
-  EXPECT_TRUE(parse_mroute_count(preprocess(clean_mroute)).warnings.empty());
+  EXPECT_TRUE(parsed_mroute_count(preprocess(clean_mroute)).warnings.empty());
 }
 
 TEST_F(RoundTrip, CaptureRecordsRawAndCleanText) {

@@ -204,7 +204,7 @@ TEST_P(ScenarioDeterminism, SameSeedSameSeries) {
     mantra.start();
     scenario.engine().run_until(sim::TimePoint::start() + sim::Duration::hours(12));
     std::vector<std::pair<int, std::size_t>> series;
-    for (const core::CycleResult& r : mantra.results("fixw")) {
+    for (const core::CycleResult& r : mantra.target_view("fixw").results()) {
       series.emplace_back(r.usage.sessions, r.dvmrp_valid_routes);
     }
     return series;
@@ -351,15 +351,17 @@ TEST_P(ParserRobustness, CorruptedCapturesDegradeGracefully) {
     case 5: text = std::string(10'000, 'A'); break;
     default: break;
   }
-  const auto outcome = core::parse_mroute_count(text);
+  core::PairTable pairs;
+  core::parse_mroute_count(text, pairs);
   // Any parsed row must be internally valid.
-  outcome.table.visit([](const core::PairRow& row) {
+  pairs.visit([](const core::PairRow& row) {
     EXPECT_TRUE(row.group.is_multicast());
     EXPECT_FALSE(row.source.is_unspecified());
     EXPECT_GE(row.current_kbps, 0.0);
   });
-  const auto dvmrp_outcome = core::parse_dvmrp_route(text);
-  dvmrp_outcome.table.visit([](const core::RouteRow& row) {
+  core::RouteTable routes;
+  core::parse_dvmrp_route(text, routes);
+  routes.visit([](const core::RouteRow& row) {
     EXPECT_GE(row.metric, 0);
   });
 }
