@@ -29,6 +29,7 @@
 
 #include "core/archive.hpp"
 #include "core/mantra.hpp"
+#include "core/query.hpp"
 #include "core/report.hpp"
 #include "workload/scenario.hpp"
 
@@ -93,20 +94,21 @@ core::SummaryTable busiest_sessions(const core::Snapshot& snapshot,
   return trimmed;
 }
 
-/// Replays one archive file into a report target (name = filename stem).
-core::ReportTargetData replay_target(const std::filesystem::path& file) {
-  const core::ArchiveReader reader(file.string());
+/// Replays one engine target into a report target (name = target name).
+core::ReportTargetData replay_target(const core::QueryEngine& engine,
+                                     const std::string& name) {
   core::ReportTargetData target;
-  target.name = file.stem().string();
-  target.results = core::replay_archive(reader).results;
-  std::printf("  %s: %zu archived cycles\n", target.name.c_str(),
-              target.results.size());
+  target.name = name;
+  target.results = engine.replay(name).results;
+  std::printf("  %s: %zu archived cycles%s\n", target.name.c_str(),
+              target.results.size(),
+              engine.has_rollups(name) ? " (rollup sidecar attached)" : "");
   return target;
 }
 
-/// Directory mode: every *.marc in `dir` (name order) replayed through the
-/// default alert rules, rendered to one report — the offline twin of a
-/// `fixw_monitor --archive-dir= --report-out=` run.
+/// Directory mode: every *.marc in `dir` (name order) replayed through one
+/// query engine and the default alert rules, rendered to one report — the
+/// offline twin of a `fixw_monitor --archive-dir= --report-out=` run.
 int report_from_directory(const std::string& dir, const std::string& report_out) {
   std::vector<std::filesystem::path> files;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
@@ -120,10 +122,14 @@ int report_from_directory(const std::string& dir, const std::string& report_out)
     return 1;
   }
   std::printf("replaying %zu archive(s) from %s\n", files.size(), dir.c_str());
+  core::QueryEngine engine;
+  for (const std::filesystem::path& file : files) {
+    engine.add_archive(file.stem().string(), file.string());
+  }
   std::vector<core::ReportTargetData> targets;
   targets.reserve(files.size());
   for (const std::filesystem::path& file : files) {
-    targets.push_back(replay_target(file));
+    targets.push_back(replay_target(engine, file.stem().string()));
   }
   const core::ReportData data = core::report_data_from_replay(
       std::move(targets), core::default_alert_rules());
@@ -161,8 +167,12 @@ int main(int argc, char** argv) {
     return report_from_directory(path, report_out);
   }
 
-  // --- Everything below reads only the archive file. ---
-  const core::ArchiveReader reader(path);
+  // --- Everything below reads only the archive file, served through the
+  // query engine (the same path dashboards use). ---
+  core::QueryEngine engine;
+  const std::string target_name = std::filesystem::path(path).stem().string();
+  engine.add_archive(target_name, path);
+  const core::ArchiveReader& reader = *engine.reader(target_name);
   if (!reader.recovery().clean) {
     std::printf("note: torn tail recovered — dropped %llu bytes (%s)\n",
                 static_cast<unsigned long long>(reader.recovery().bytes_dropped),
@@ -176,7 +186,7 @@ int main(int argc, char** argv) {
               reader.first_time().to_string().c_str(),
               reader.last_time().to_string().c_str());
 
-  const core::ReplayRun replay = core::replay_archive(reader);
+  const core::ReplayRun replay = engine.replay(target_name);
 
   // Fig 3: usage counts over time, from disk.
   core::AsciiChart usage;
@@ -220,10 +230,32 @@ int main(int argc, char** argv) {
                            (reader.last_time() - reader.first_time()) / 2;
   const core::CompactionStats stats =
       core::compact_archive(path, path + ".compact", compaction);
-  std::printf("compacted %zu -> %zu cycles (%zu dropped), %llu -> %llu bytes\n",
+  std::printf("compacted %zu -> %zu cycles (%zu dropped), %llu -> %llu bytes, "
+              "rollup sidecar: %zu hourly + %zu daily buckets\n",
               stats.cycles_in, stats.cycles_out, stats.cycles_dropped,
               static_cast<unsigned long long>(stats.bytes_in),
-              static_cast<unsigned long long>(stats.bytes_out));
+              static_cast<unsigned long long>(stats.bytes_out),
+              stats.rollup_hour_buckets, stats.rollup_day_buckets);
+
+  // Serve a coarse query from the compacted file: with the sidecar attached
+  // an unfiltered per-hour question decodes zero archive records.
+  core::QueryEngine compacted;
+  compacted.add_archive(target_name, path + ".compact");
+  core::Query sample;
+  sample.target = target_name;
+  sample.metric = core::QueryMetric::sessions;
+  sample.resolution = core::QueryResolution::hour;
+  sample.aggregate = core::QueryAggregate::mean;
+  const core::QueryResult answer = compacted.run(sample);
+  std::printf("per-hour mean sessions over the compacted half: %zu points, "
+              "%s, %llu records decoded\n",
+              answer.points.size(),
+              answer.from_rollup ? "rollup-served" : "raw scan",
+              static_cast<unsigned long long>(answer.records_decoded));
+  const core::BlockCache::Stats cache = engine.cache().stats();
+  std::printf("replay block cache: %llu hits / %llu misses (%zu blocks resident)\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses), cache.entries);
 
   if (!report_out.empty()) {
     core::ReportTargetData target;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
-#include <cstring>
 #include <stdexcept>
+#include <utility>
+
+#include "core/codec.hpp"
+#include "core/query.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -12,6 +15,13 @@
 namespace mantra::core {
 
 namespace {
+
+using codec::Cursor;
+using codec::put_f64;
+using codec::put_string;
+using codec::put_svarint;
+using codec::put_u32;
+using codec::put_varint;
 
 constexpr std::uint32_t kMagic = 0x4352414Du;  // "MARC" little-endian
 constexpr std::uint16_t kVersion = 1;
@@ -36,100 +46,6 @@ std::array<std::uint32_t, 256> make_crc_table() {
   }
   return table;
 }
-
-// --- Encoding primitives ---------------------------------------------------
-
-void put_u32(std::string& out, std::uint32_t value) {
-  char bytes[4];
-  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
-  out.append(bytes, 4);
-}
-
-void put_varint(std::string& out, std::uint64_t value) {
-  while (value >= 0x80u) {
-    out.push_back(static_cast<char>(value | 0x80u));
-    value >>= 7;
-  }
-  out.push_back(static_cast<char>(value));
-}
-
-void put_svarint(std::string& out, std::int64_t value) {
-  // ZigZag: small magnitudes (either sign) encode short.
-  put_varint(out, (static_cast<std::uint64_t>(value) << 1) ^
-                      static_cast<std::uint64_t>(value >> 63));
-}
-
-void put_f64(std::string& out, double value) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &value, sizeof bits);
-  char bytes[8];
-  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(bits >> (8 * i));
-  out.append(bytes, 8);
-}
-
-void put_string(std::string& out, const std::string& value) {
-  put_varint(out, value.size());
-  out.append(value);
-}
-
-/// Bounds-checked decode cursor over a payload. Overruns throw; the reader
-/// converts a throw into tail truncation, so a corrupt payload that somehow
-/// passed CRC still cannot crash the process.
-struct Cursor {
-  const char* data;
-  std::size_t size;
-  std::size_t pos = 0;
-
-  void need(std::size_t n) const {
-    if (pos + n > size) throw std::runtime_error("archive payload overrun");
-  }
-  std::uint8_t u8() {
-    need(1);
-    return static_cast<std::uint8_t>(data[pos++]);
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t value = 0;
-    for (int i = 0; i < 4; ++i) {
-      value |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[pos + i]))
-               << (8 * i);
-    }
-    pos += 4;
-    return value;
-  }
-  std::uint64_t varint() {
-    std::uint64_t value = 0;
-    for (int shift = 0; shift < 64; shift += 7) {
-      const std::uint8_t byte = u8();
-      value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
-      if ((byte & 0x80u) == 0) return value;
-    }
-    throw std::runtime_error("archive varint too long");
-  }
-  std::int64_t svarint() {
-    const std::uint64_t raw = varint();
-    return static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
-  }
-  double f64() {
-    need(8);
-    std::uint64_t bits = 0;
-    for (int i = 0; i < 8; ++i) {
-      bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[pos + i]))
-              << (8 * i);
-    }
-    pos += 8;
-    double value = 0.0;
-    std::memcpy(&value, &bits, sizeof value);
-    return value;
-  }
-  std::string string() {
-    const std::uint64_t length = varint();
-    need(length);
-    std::string out(data + pos, length);
-    pos += length;
-    return out;
-  }
-};
 
 // --- Row codecs ------------------------------------------------------------
 // Rows are visited in key order, so keys delta-encode against the previous
@@ -553,6 +469,12 @@ ArchiveReader::ArchiveReader(const std::string& path) {
       entry.payload_size = length;
       entry.t_ms = record.t_ms;
       entry.keyframe = record.kind == kKindKeyframe;
+      // Back-pointer to the governing key-frame, so random access is O(1)
+      // instead of walking the delta run backwards.
+      entry.last_keyframe =
+          entry.keyframe
+              ? static_cast<std::uint32_t>(index_.size())
+              : (index_.empty() ? 0 : index_.back().last_keyframe);
       entry.meta = record.meta;
       index_.push_back(std::move(entry));
     } catch (const std::runtime_error&) {
@@ -607,8 +529,32 @@ std::optional<std::size_t> ArchiveReader::index_at_or_before(sim::TimePoint t) c
   return static_cast<std::size_t>(std::distance(index_.begin(), after)) - 1;
 }
 
+std::optional<std::size_t> ArchiveReader::index_at_or_after(sim::TimePoint t) const {
+  const std::int64_t t_ms = t.total_ms();
+  const auto at = std::lower_bound(
+      index_.begin(), index_.end(), t_ms,
+      [](const IndexEntry& entry, std::int64_t value) { return entry.t_ms < value; });
+  if (at == index_.end()) return std::nullopt;
+  return static_cast<std::size_t>(std::distance(index_.begin(), at));
+}
+
+std::size_t ArchiveReader::keyframe_index_before(std::size_t index) const {
+  return index_.at(index).last_keyframe;
+}
+
+void ArchiveReader::apply_cycle(std::size_t index, Snapshot& state) const {
+  if (index >= index_.size()) {
+    throw std::out_of_range("ArchiveReader: cycle index out of range");
+  }
+  // A key-frame replaces state outright, so it needs no seed; a delta's
+  // seed is the caller-provided previous cycle (the documented contract).
+  bool seeded = !index_[index].keyframe;
+  decode_into(index_[index], state, seeded);
+}
+
 void ArchiveReader::decode_into(const IndexEntry& entry, Snapshot& state,
                                 bool& seeded) const {
+  records_decoded_.fetch_add(1, std::memory_order_relaxed);
   Cursor cursor{buffer_.data() + entry.payload_offset, entry.payload_size};
   const RecordHeader header = decode_record_header(cursor);
   if (entry.keyframe) {
@@ -643,8 +589,7 @@ Snapshot ArchiveReader::snapshot(std::size_t index) const {
   if (index >= index_.size()) {
     throw std::out_of_range("ArchiveReader: cycle index out of range");
   }
-  std::size_t keyframe = index;
-  while (keyframe > 0 && !index_[keyframe].keyframe) --keyframe;
+  const std::size_t keyframe = index_[index].last_keyframe;
 
   Snapshot state;
   bool seeded = false;
@@ -690,6 +635,8 @@ CompactionStats compact_archive(const std::string& input_path,
   CompactionStats stats;
   stats.cycles_in = reader.size();
   stats.bytes_in = reader.indexed_bytes();
+  RollupBuilder rollups(options.sender_threshold_kbps);
+  RollupFingerprint fingerprint;
   reader.for_each([&](std::size_t, const Snapshot& snapshot,
                       const ArchiveCycleMeta& meta) {
     if (options.drop_before && snapshot.captured < *options.drop_before) {
@@ -697,69 +644,93 @@ CompactionStats compact_archive(const std::string& input_path,
       return;
     }
     writer.append(snapshot, meta);
+    if (options.write_rollups) {
+      // Rollups aggregate exactly the cycles that survive into the output,
+      // so a bucket straddling drop_before is rebuilt from the kept tail.
+      if (fingerprint.cycles == 0) fingerprint.first_ms = snapshot.captured.total_ms();
+      fingerprint.last_ms = snapshot.captured.total_ms();
+      ++fingerprint.cycles;
+      rollups.observe(snapshot, meta);
+    }
   });
   writer.close();
   stats.cycles_out = writer.cycles_written();
   stats.bytes_out = writer.bytes_written();
+  if (options.write_rollups) {
+    fingerprint.indexed_bytes = writer.bytes_written();
+    const RollupSidecar sidecar = rollups.finish(fingerprint);
+    stats.rollup_hour_buckets = sidecar.hourly.size();
+    stats.rollup_day_buckets = sidecar.daily.size();
+    stats.rollups_written =
+        write_rollup_sidecar(rollup_path_for(output_path), sidecar);
+  }
   return stats;
 }
 
 // --- Offline replay --------------------------------------------------------
 
-ReplayRun replay_archive(const ArchiveReader& reader, ReplayOptions options) {
-  ReplayRun run;
-  run.results.reserve(reader.size());
-  SpikeDetector spike_detector(options.spike_window, options.spike_k);
+ReplayPipeline::ReplayPipeline(ReplayOptions options)
+    : options_(options),
+      spike_detector_(options.spike_window, options.spike_k) {}
 
-  reader.for_each([&](std::size_t, const Snapshot& raw,
-                      const ArchiveCycleMeta& meta) {
-    // Mirror the processing half of Mantra::run_target_cycle exactly — same
-    // derivations, same statistics, same order — so a replayed CycleResult
-    // is indistinguishable from the live one.
-    Snapshot snapshot = raw;
-    snapshot.participants =
-        derive_participants(snapshot.pairs, options.sender_threshold_kbps);
-    snapshot.sessions =
-        derive_sessions(snapshot.pairs, options.sender_threshold_kbps);
+void ReplayPipeline::observe(const Snapshot& raw, const ArchiveCycleMeta& meta) {
+  // Mirror the processing half of Mantra::run_target_cycle exactly — same
+  // derivations, same statistics, same order — so a replayed CycleResult
+  // is indistinguishable from the live one.
+  Snapshot snapshot = raw;
+  snapshot.participants =
+      derive_participants(snapshot.pairs, options_.sender_threshold_kbps);
+  snapshot.sessions =
+      derive_sessions(snapshot.pairs, options_.sender_threshold_kbps);
 
-    run.route_monitor.observe(snapshot.captured, snapshot.routes);
+  run_.route_monitor.observe(snapshot.captured, snapshot.routes);
 
-    CycleResult result;
-    result.t = snapshot.captured;
-    result.usage = compute_usage(snapshot, options.sender_threshold_kbps);
-    result.dvmrp_routes = snapshot.routes.size();
-    snapshot.routes.visit([&result](const RouteRow& route) {
-      if (!route.holddown) ++result.dvmrp_valid_routes;
-    });
-    if (!run.route_monitor.history().empty()) {
-      result.route_changes = run.route_monitor.history().back().changes;
-    }
-    result.sa_entries = snapshot.sa_cache.size();
-    result.mbgp_routes = snapshot.mbgp_routes.size();
-    result.parse_warnings = meta.parse_warnings;
-
-    const SpikeDetector::Verdict verdict = spike_detector.observe(
-        static_cast<double>(result.dvmrp_valid_routes));
-    result.route_spike = verdict.spike;
-    result.route_spike_score = verdict.score;
-
-    const DensityDistribution density =
-        compute_density_distribution(snapshot.sessions);
-    result.density_single_fraction = density.fraction_single_member;
-    result.density_at_most_two_fraction = density.fraction_at_most_two;
-    result.density_top_share_80 = density.top_session_share_for_80pct;
-
-    result.stale = meta.stale;
-    result.stale_tables = meta.stale_tables;
-    result.collection_failures = meta.collection_failures;
-    result.consecutive_failures = meta.consecutive_failures;
-    result.capture_attempts = meta.capture_attempts;
-    result.collection_latency = meta.collection_latency;
-
-    run.results.push_back(result);
+  CycleResult result;
+  result.t = snapshot.captured;
+  result.usage = compute_usage(snapshot, options_.sender_threshold_kbps);
+  result.dvmrp_routes = snapshot.routes.size();
+  snapshot.routes.visit([&result](const RouteRow& route) {
+    if (!route.holddown) ++result.dvmrp_valid_routes;
   });
-  run.spike_regime_resets = spike_detector.regime_resets();
-  return run;
+  if (!run_.route_monitor.history().empty()) {
+    result.route_changes = run_.route_monitor.history().back().changes;
+  }
+  result.sa_entries = snapshot.sa_cache.size();
+  result.mbgp_routes = snapshot.mbgp_routes.size();
+  result.parse_warnings = meta.parse_warnings;
+
+  const SpikeDetector::Verdict verdict = spike_detector_.observe(
+      static_cast<double>(result.dvmrp_valid_routes));
+  result.route_spike = verdict.spike;
+  result.route_spike_score = verdict.score;
+
+  const DensityDistribution density =
+      compute_density_distribution(snapshot.sessions);
+  result.density_single_fraction = density.fraction_single_member;
+  result.density_at_most_two_fraction = density.fraction_at_most_two;
+  result.density_top_share_80 = density.top_session_share_for_80pct;
+
+  result.stale = meta.stale;
+  result.stale_tables = meta.stale_tables;
+  result.collection_failures = meta.collection_failures;
+  result.consecutive_failures = meta.consecutive_failures;
+  result.capture_attempts = meta.capture_attempts;
+  result.collection_latency = meta.collection_latency;
+
+  run_.results.push_back(result);
+}
+
+ReplayRun ReplayPipeline::finish() {
+  run_.spike_regime_resets = spike_detector_.regime_resets();
+  return std::move(run_);
+}
+
+ReplayRun replay_archive(const ArchiveReader& reader, ReplayOptions options) {
+  ReplayPipeline pipeline(options);
+  pipeline.reserve(reader.size());
+  reader.for_each([&](std::size_t, const Snapshot& raw,
+                      const ArchiveCycleMeta& meta) { pipeline.observe(raw, meta); });
+  return pipeline.finish();
 }
 
 TimeSeries series_from(const std::vector<CycleResult>& results, std::string name,

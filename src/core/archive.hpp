@@ -26,6 +26,7 @@
 // RecoveryInfo — a torn tail never poisons the preceding records.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -143,10 +144,34 @@ class ArchiveReader {
   /// nullopt when `t` precedes the first cycle.
   [[nodiscard]] std::optional<std::size_t> index_at_or_before(sim::TimePoint t) const;
 
+  /// Index of the first cycle captured at or after `t`; nullopt when `t` is
+  /// past the last cycle.
+  [[nodiscard]] std::optional<std::size_t> index_at_or_after(sim::TimePoint t) const;
+
+  /// Index of the nearest key-frame at or before `index` — O(1), from a
+  /// back-pointer built while the index is scanned, so random access never
+  /// walks the delta run. The first record is always a key-frame.
+  [[nodiscard]] std::size_t keyframe_index_before(std::size_t index) const;
+
+  /// Low-level single-record decode, the building block range scans
+  /// (core/query) compose with a block cache. Applies record `index` to
+  /// `state`: a key-frame replaces the four raw tables outright (`state` may
+  /// be empty); a delta rolls `state`'s derived fields forward and applies
+  /// the changes, so for deltas `state` MUST hold cycle `index - 1`. Derived
+  /// tables (participants/sessions) are never touched.
+  void apply_cycle(std::size_t index, Snapshot& state) const;
+
+  /// Record payloads decoded since open (diagnostics: key-frame pruning and
+  /// rollup short-circuits are provable as "this query decoded N records").
+  [[nodiscard]] std::uint64_t records_decoded() const {
+    return records_decoded_.load(std::memory_order_relaxed);
+  }
+
   /// Reconstructs the full snapshot of cycle `index`: decode the nearest
   /// key-frame at or before it, then replay deltas (rolling derived fields
   /// forward by the inter-cycle gap, exactly as core/log reconstructs), and
-  /// re-derive the participant/session tables.
+  /// re-derive the participant/session tables. A query landing exactly on a
+  /// key-frame decodes that single record — never the preceding delta run.
   [[nodiscard]] Snapshot snapshot(std::size_t index) const;
 
   /// Snapshot as of time `t` (the last cycle at or before it). Throws
@@ -164,6 +189,7 @@ class ArchiveReader {
     std::uint32_t payload_size = 0;
     std::int64_t t_ms = 0;
     bool keyframe = false;
+    std::uint32_t last_keyframe = 0;  ///< nearest key-frame index at or before
     ArchiveCycleMeta meta;
   };
 
@@ -172,6 +198,9 @@ class ArchiveReader {
   std::string buffer_;  ///< entire file contents
   std::vector<IndexEntry> index_;
   RecoveryInfo recovery_;
+  /// Decode counter only — never feeds back into results; relaxed updates
+  /// keep const readers shareable across query threads.
+  mutable std::atomic<std::uint64_t> records_decoded_{0};
 };
 
 struct CompactionOptions {
@@ -180,6 +209,13 @@ struct CompactionOptions {
   /// Retention horizon: cycles captured strictly before this instant are
   /// dropped from the rewritten archive.
   std::optional<sim::TimePoint> drop_before;
+  /// Materialize per-hour/per-day rollups alongside the output (the `.mroll`
+  /// sidecar core/query consults before touching raw deltas). Built in the
+  /// same pass — a bucket straddling `drop_before` is re-aggregated from the
+  /// surviving cycles only, so the sidecar never claims dropped data.
+  bool write_rollups = true;
+  /// Sender-classification threshold baked into the rollup usage metrics.
+  double sender_threshold_kbps = kSenderThresholdKbps;
 };
 
 struct CompactionStats {
@@ -188,11 +224,15 @@ struct CompactionStats {
   std::size_t cycles_dropped = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  bool rollups_written = false;   ///< `.mroll` sidecar emitted next to output
+  std::size_t rollup_hour_buckets = 0;
+  std::size_t rollup_day_buckets = 0;
 };
 
 /// Rewrites `input_path` into `output_path` with a new key-frame interval,
 /// dropping pre-horizon cycles. The input's torn tail (if any) is healed by
-/// construction — only complete cycles are rewritten.
+/// construction — only complete cycles are rewritten. By default the pass
+/// also materializes the `.mroll` rollup sidecar for the output archive.
 CompactionStats compact_archive(const std::string& input_path,
                                 const std::string& output_path,
                                 CompactionOptions options = {});
@@ -211,6 +251,32 @@ struct ReplayRun {
   std::vector<CycleResult> results;
   RouteMonitor route_monitor;
   std::size_t spike_regime_resets = 0;
+};
+
+/// The per-cycle half of the offline Data Processor, factored out so every
+/// snapshot-producing walk — `replay_archive`'s sequential for_each and
+/// core/query's cache-assisted scans — funnels raw cycles through the exact
+/// same statements. Feed cycles in archive order; the produced CycleResults
+/// match the live monitor's byte for byte on every field the archive
+/// preserves.
+class ReplayPipeline {
+ public:
+  explicit ReplayPipeline(ReplayOptions options = {});
+
+  /// Pre-sizes the result vector (pass the reader's cycle count).
+  void reserve(std::size_t cycles) { run_.results.reserve(cycles); }
+
+  /// Processes the next cycle: derives participant/session tables, updates
+  /// the route monitor and spike detector, appends one CycleResult.
+  void observe(const Snapshot& raw, const ArchiveCycleMeta& meta);
+
+  /// Moves the accumulated run out; the pipeline is spent afterwards.
+  [[nodiscard]] ReplayRun finish();
+
+ private:
+  ReplayOptions options_;
+  ReplayRun run_;
+  SpikeDetector spike_detector_;
 };
 
 /// Runs the full Data Processor pipeline (UsageStats, DensityDistribution,

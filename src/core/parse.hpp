@@ -15,9 +15,6 @@
 // own owned fields, so the input buffer may be reused or freed immediately
 // after the call. A warmed-up caller that reuses one table and one warnings
 // vector per command performs no per-cycle allocation in the parser.
-//
-// The older ParseOutcome-returning overloads below are deprecated wrappers
-// kept for one release; they allocate a fresh table per call.
 #pragma once
 
 #include <optional>
@@ -48,48 +45,5 @@ std::size_t parse_msdp_sa_cache(std::string_view text, SaTable& table,
 /// `show ip mbgp` -> MbgpTable. In place.
 std::size_t parse_mbgp(std::string_view text, MbgpTable& table,
                        std::vector<std::string>* warnings = nullptr);
-
-template <typename TableType>
-struct ParseOutcome {
-  TableType table;
-  std::vector<std::string> warnings;  ///< lines that looked like data but failed
-};
-
-// ---------------------------------------------------------------------------
-// Deprecated value-returning wrappers (one release of grace). They are exact
-// equivalents of the in-place API above — same rows, same warnings, in the
-// same order — just with per-call allocation.
-// ---------------------------------------------------------------------------
-
-[[deprecated("use parse_mroute_count(text, table, warnings)")]]
-[[nodiscard]] inline ParseOutcome<PairTable> parse_mroute_count(
-    std::string_view text) {
-  ParseOutcome<PairTable> out;
-  parse_mroute_count(text, out.table, &out.warnings);
-  return out;
-}
-
-[[deprecated("use parse_dvmrp_route(text, table, warnings)")]]
-[[nodiscard]] inline ParseOutcome<RouteTable> parse_dvmrp_route(
-    std::string_view text) {
-  ParseOutcome<RouteTable> out;
-  parse_dvmrp_route(text, out.table, &out.warnings);
-  return out;
-}
-
-[[deprecated("use parse_msdp_sa_cache(text, table, warnings)")]]
-[[nodiscard]] inline ParseOutcome<SaTable> parse_msdp_sa_cache(
-    std::string_view text) {
-  ParseOutcome<SaTable> out;
-  parse_msdp_sa_cache(text, out.table, &out.warnings);
-  return out;
-}
-
-[[deprecated("use parse_mbgp(text, table, warnings)")]]
-[[nodiscard]] inline ParseOutcome<MbgpTable> parse_mbgp(std::string_view text) {
-  ParseOutcome<MbgpTable> out;
-  parse_mbgp(text, out.table, &out.warnings);
-  return out;
-}
 
 }  // namespace mantra::core

@@ -1,0 +1,365 @@
+// Read-optimized serving layer over the `.marc` archives. The `.marc`
+// format (core/archive) is write-optimized: one append per cycle, deltas
+// against the previous cycle, key-frames every N cycles. The paper's
+// "millions of users" are *readers* of that history — dashboards and API
+// queries asking "sessions for target X between t1 and t2, downsampled per
+// hour" — and a reader population scales independently of the capture rate
+// only if most questions never touch the raw delta stream (contrail's
+// opserver/database split: collection and query are separate engines over
+// one store). Three layers make that true:
+//
+//   * QueryEngine — time-range scans with predicate pushdown. A query names
+//     a target, a metric, a range and optional filters (min/max value,
+//     exclude-stale, exclude-failed); the scan decodes only the key-frame
+//     blocks the range touches (O(1) back-pointer into the governing
+//     key-frame, never a walk of the whole file) and computes only what the
+//     requested metric needs (usage derivation is skipped for route-count
+//     queries, route diffs are skipped unless route_changes is asked for).
+//   * Materialized rollups — per-hour and per-day {count,min,max,sum,last}
+//     aggregates of every metric, built at `compact_archive` time (or
+//     explicitly via build_rollups) and persisted as a `.mroll` sidecar next
+//     to the archive. An unfiltered coarse query is answered entirely from
+//     the sidecar: zero archive records decoded, cost proportional to the
+//     bucket count, not the capture rate. A sidecar is consulted only when
+//     its fingerprint (cycle count, first/last timestamps, indexed bytes)
+//     matches the archive — a stale sidecar (e.g. next to a re-compacted
+//     file) is ignored, never trusted.
+//   * BlockCache — a sharded LRU cache over decoded key-frame snapshots,
+//     shared by all queries (and all threads) of one engine. Concurrent
+//     dashboard readers ask overlapping questions about the recent past;
+//     the cache turns the common block decodes into shared_ptr handoffs.
+//     Mutex-per-shard, byte-capacity bounded, hit/miss/eviction counters
+//     exported through core/telemetry.
+//
+// The first client is the existing report renderer: QueryEngine::replay
+// feeds the same ReplayPipeline the sequential replay uses, so
+// `archive_replay --report-out=` through the query engine renders the
+// byte-identical report the live monitor writes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/archive.hpp"
+#include "core/telemetry.hpp"
+
+namespace mantra::core {
+
+// --- Metrics ---------------------------------------------------------------
+
+/// Per-cycle scalars the serving layer answers questions about. Everything
+/// here is computable from one archived cycle (plus, for route_changes, the
+/// immediately preceding one) — no whole-history state like spike verdicts,
+/// which remain the replay pipeline's business.
+enum class QueryMetric : std::uint8_t {
+  sessions = 0,
+  participants,
+  active_sessions,
+  senders,
+  bandwidth_kbps,
+  unicast_equivalent_kbps,
+  dvmrp_routes,
+  dvmrp_valid_routes,
+  route_changes,
+  sa_entries,
+  mbgp_routes,
+  parse_warnings,
+  stale,                    ///< 1.0 when the cycle carried stale tables
+  collection_failures,
+  collection_latency_ms,
+};
+inline constexpr std::size_t kQueryMetricCount = 15;
+
+[[nodiscard]] const char* to_string(QueryMetric metric);
+
+// --- Rollup sidecar --------------------------------------------------------
+
+/// One metric's aggregate over one bucket. `count` lives on the bucket (it
+/// is the same for every metric: the cycles in the bucket).
+struct MetricRollup {
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double last = 0.0;
+
+  friend bool operator==(const MetricRollup&, const MetricRollup&) = default;
+};
+
+struct RollupBucket {
+  std::int64_t start_ms = 0;        ///< bucket-aligned (hour/day since t=0)
+  std::uint32_t cycles = 0;
+  std::uint32_t stale_cycles = 0;
+  std::uint32_t failure_cycles = 0;
+  std::array<MetricRollup, kQueryMetricCount> metrics{};
+
+  friend bool operator==(const RollupBucket&, const RollupBucket&) = default;
+};
+
+/// Identity of the archive a sidecar was built from. A sidecar whose
+/// fingerprint does not match the opened archive is stale — compaction with
+/// a retention horizon changes cycle count, first timestamp and byte size —
+/// and is ignored rather than served.
+struct RollupFingerprint {
+  std::uint64_t cycles = 0;
+  std::int64_t first_ms = 0;
+  std::int64_t last_ms = 0;
+  std::uint64_t indexed_bytes = 0;
+
+  friend bool operator==(const RollupFingerprint&, const RollupFingerprint&) = default;
+};
+
+struct RollupSidecar {
+  RollupFingerprint source;
+  std::vector<RollupBucket> hourly;  ///< ascending start_ms, gaps allowed
+  std::vector<RollupBucket> daily;
+};
+
+inline constexpr std::int64_t kHourMs = 3'600'000;
+inline constexpr std::int64_t kDayMs = 86'400'000;
+
+/// Streaming rollup accumulator: feed cycles in archive order, collect the
+/// sidecar at the end. Derives usage tables into reused scratch storage and
+/// tracks the previous route table for route_changes, exactly matching what
+/// a raw range scan over the same archive computes.
+class RollupBuilder {
+ public:
+  explicit RollupBuilder(double sender_threshold_kbps = kSenderThresholdKbps);
+  ~RollupBuilder();
+
+  void observe(const Snapshot& raw, const ArchiveCycleMeta& meta);
+
+  /// Finalizes open buckets and returns the sidecar stamped with
+  /// `fingerprint`. The builder is spent afterwards.
+  [[nodiscard]] RollupSidecar finish(RollupFingerprint fingerprint);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The fingerprint an up-to-date sidecar for `reader` must carry.
+[[nodiscard]] RollupFingerprint fingerprint_of(const ArchiveReader& reader);
+
+/// Builds rollups for an existing archive in one sequential pass (the
+/// compaction-time path is RollupBuilder inside compact_archive).
+[[nodiscard]] RollupSidecar build_rollups(
+    const ArchiveReader& reader,
+    double sender_threshold_kbps = kSenderThresholdKbps);
+
+/// `<dir>/<stem>.mroll` next to `<dir>/<stem>.marc` (any other extension is
+/// replaced the same way; a bare name gains `.mroll`).
+[[nodiscard]] std::string rollup_path_for(const std::string& archive_path);
+
+/// Writes the sidecar (MRLL header + one CRC-framed payload). False on I/O
+/// failure, never throws.
+bool write_rollup_sidecar(const std::string& path, const RollupSidecar& sidecar);
+
+/// Loads a sidecar; nullopt on a missing file, bad magic/version, CRC
+/// mismatch or undecodable payload (a damaged sidecar is simply absent —
+/// the raw archive remains the source of truth).
+[[nodiscard]] std::optional<RollupSidecar> load_rollup_sidecar(
+    const std::string& path);
+
+// --- Block cache -----------------------------------------------------------
+
+/// Approximate heap footprint of a decoded block (tables + strings), the
+/// unit the cache's byte budget is charged in.
+[[nodiscard]] std::size_t approx_block_bytes(const Snapshot& block);
+
+/// Sharded LRU cache over decoded key-frame snapshots, keyed by
+/// (source id, record index). Lookups hand out shared_ptr<const Snapshot>,
+/// so an entry evicted mid-use stays alive for the reader holding it.
+/// Thread safety: one mutex per shard (keys hash-distributed), counters are
+/// relaxed atomics; proven clean under the tsan preset by the cache hammer
+/// test. Capacity is bytes across all shards; each shard evicts its own LRU
+/// tail past capacity/shards. set_telemetry is not thread-safe — wire it
+/// before concurrent use.
+class BlockCache {
+ public:
+  explicit BlockCache(std::size_t capacity_bytes = kDefaultCapacityBytes,
+                      std::size_t shard_count = 8);
+
+  static constexpr std::size_t kDefaultCapacityBytes = 64u << 20;
+
+  [[nodiscard]] std::shared_ptr<const Snapshot> get(std::uint64_t key);
+
+  /// Inserts (or replaces) `block` under `key` and returns the shared
+  /// handle. The newest entry is never evicted by its own insertion, even
+  /// when it alone exceeds the shard budget — the next insertion will push
+  /// it out.
+  std::shared_ptr<const Snapshot> insert(std::uint64_t key, Snapshot block);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t bytes = 0;    ///< resident bytes across shards
+    std::size_t entries = 0;    ///< resident blocks across shards
+    [[nodiscard]] double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Mirrors hit/miss/eviction counters into `mantra_query_cache_*_total`
+  /// under `label`. Never pass null — use Telemetry::noop() to detach.
+  void set_telemetry(Telemetry* telemetry, std::string label);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Snapshot> block;
+    std::size_t bytes = 0;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::uint64_t, Entry> entries;
+    std::list<std::uint64_t> lru;  ///< front = most recently used
+    std::uint64_t bytes = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key);
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::string telemetry_label_;
+  // Cached registry handles (stable for the registry's lifetime) so the hot
+  // path never takes the registry's handle-lookup mutex. Null = unwired.
+  Counter* hit_counter_ = nullptr;
+  Counter* miss_counter_ = nullptr;
+  Counter* eviction_counter_ = nullptr;
+};
+
+// --- Queries ---------------------------------------------------------------
+
+enum class QueryResolution : std::uint8_t {
+  raw,   ///< one point per archived cycle
+  hour,  ///< one point per hour bucket (aggregate chosen below)
+  day,
+};
+
+enum class QueryAggregate : std::uint8_t { last, min, max, mean, sum, count };
+
+/// One question. Range semantics: cycles with from <= t <= to participate;
+/// for hour/day resolution the range snaps outward to whole buckets (every
+/// bucket that intersects [from, to] is aggregated over ALL its cycles), so
+/// a rollup-served answer and a raw-scanned answer are identical by
+/// construction. Filters (min/max value, exclude stale/failed) apply per
+/// cycle BEFORE aggregation — which is why a filtered coarse query cannot
+/// be served from rollups and falls back to the raw scan.
+struct Query {
+  std::string target;
+  QueryMetric metric = QueryMetric::sessions;
+  sim::TimePoint from = sim::TimePoint::start();
+  sim::TimePoint to = sim::TimePoint::from_ms(std::int64_t{1} << 62);
+  QueryResolution resolution = QueryResolution::raw;
+  QueryAggregate aggregate = QueryAggregate::last;  ///< ignored for raw
+  std::optional<double> min_value;  ///< keep cycles with value >= min
+  std::optional<double> max_value;  ///< keep cycles with value <= max
+  bool include_stale = true;        ///< false: drop stale-table cycles
+  bool include_failed = true;       ///< false: drop cycles with capture failures
+  bool allow_rollup = true;         ///< false: force the raw-scan path (bench)
+};
+
+struct QueryPoint {
+  sim::TimePoint t;           ///< cycle time (raw) or bucket start (coarse)
+  double value = 0.0;
+  std::uint32_t samples = 1;  ///< cycles that contributed (post-filter)
+};
+
+struct QueryResult {
+  std::vector<QueryPoint> points;
+  bool from_rollup = false;        ///< answered without touching the archive
+  std::uint64_t records_decoded = 0;   ///< archive payload decodes this query
+  std::uint64_t rollup_buckets = 0;    ///< sidecar buckets consulted
+  std::uint64_t cache_hits = 0;        ///< key-frame blocks served from cache
+  std::uint64_t cache_misses = 0;
+};
+
+struct QueryEngineOptions {
+  std::size_t cache_bytes = BlockCache::kDefaultCapacityBytes;
+  std::size_t cache_shards = 8;
+  /// Threshold the usage metrics are computed with; must match the rollup
+  /// builder's for rollup/raw parity (both default to the paper's 4 kbps).
+  double sender_threshold_kbps = kSenderThresholdKbps;
+};
+
+/// The serving engine: one or more archives (one per target), their rollup
+/// sidecars, and one shared block cache. add_archive is setup-phase;
+/// run/replay are const and safe to call from many threads concurrently.
+class QueryEngine {
+ public:
+  explicit QueryEngine(QueryEngineOptions options = {});
+
+  /// Opens `<path>` under `target` and attaches `<path>`'s `.mroll` sidecar
+  /// when present and fingerprint-matched (a stale or damaged sidecar is
+  /// counted and ignored). Throws what ArchiveReader throws.
+  void add_archive(std::string target, const std::string& path);
+
+  [[nodiscard]] std::vector<std::string> targets() const;
+  /// nullptr when `target` was never added.
+  [[nodiscard]] const ArchiveReader* reader(const std::string& target) const;
+  [[nodiscard]] bool has_rollups(const std::string& target) const;
+
+  /// Answers one query. Throws std::invalid_argument for an unknown target.
+  [[nodiscard]] QueryResult run(const Query& query) const;
+
+  /// Full-fidelity replay of one target through the shared ReplayPipeline —
+  /// the report renderer's path. Byte-identical to replay_archive on the
+  /// same file; key-frames come from the block cache.
+  [[nodiscard]] ReplayRun replay(const std::string& target,
+                                 ReplayOptions options = {}) const;
+
+  [[nodiscard]] BlockCache& cache() { return cache_; }
+  [[nodiscard]] const BlockCache& cache() const { return cache_; }
+
+  /// Sidecars rejected at add_archive time (stale fingerprint or damage).
+  [[nodiscard]] std::size_t rollups_rejected() const { return rollups_rejected_; }
+
+  /// Wires query/cache counters (`mantra_query_*`) under `label`.
+  void set_telemetry(Telemetry* telemetry, std::string label);
+
+ private:
+  struct Source {
+    std::string name;
+    std::uint32_t id = 0;  ///< high half of the block-cache key
+    std::unique_ptr<ArchiveReader> reader;
+    std::optional<RollupSidecar> rollups;
+  };
+
+  [[nodiscard]] const Source* find(const std::string& target) const;
+  [[nodiscard]] QueryResult run_rollup(const Source& source, const Query& query,
+                                       std::int64_t from_ms, std::int64_t to_ms) const;
+  [[nodiscard]] QueryResult run_raw(const Source& source, const Query& query,
+                                    std::int64_t from_ms, std::int64_t to_ms) const;
+  /// Loads key-frame `index` into `state` through the cache.
+  void fetch_block(const Source& source, std::size_t index, Snapshot& state,
+                   QueryResult& result) const;
+
+  QueryEngineOptions options_;
+  std::vector<std::unique_ptr<Source>> sources_;
+  mutable BlockCache cache_;
+  std::size_t rollups_rejected_ = 0;
+  std::string telemetry_label_;
+  Counter* query_counter_ = nullptr;         ///< mantra_query_runs_total
+  Counter* rollup_served_counter_ = nullptr; ///< mantra_query_rollup_served_total
+};
+
+}  // namespace mantra::core

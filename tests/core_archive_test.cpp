@@ -337,6 +337,46 @@ TEST(Archive, SnapshotAtOnAndAdjacentToKeyframeBoundaries) {
   EXPECT_EQ(reader.last_time(), history.back().captured);
 }
 
+TEST(Archive, ExactKeyframeLookupDecodesExactlyOneRecord) {
+  const std::string path = temp_path("boundary_decodes.marc");
+  const std::vector<Snapshot> history = synth_history(12);
+  ArchiveOptions options;
+  options.keyframe_interval = 4;  // key-frames at cycles 0, 4, 8
+  options.fsync_on_keyframe = false;
+  {
+    ArchiveWriter writer(path, options);
+    for (const Snapshot& snapshot : history) writer.append(snapshot);
+  }
+  const ArchiveReader reader(path);
+
+  // The O(1) back-pointer: every index resolves to its governing key-frame.
+  for (std::size_t i = 0; i < reader.size(); ++i) {
+    EXPECT_EQ(reader.keyframe_index_before(i), (i / 4) * 4) << "index " << i;
+  }
+
+  // A query landing exactly on a key-frame timestamp must decode that one
+  // record — never the preceding delta run.
+  for (const std::size_t keyframe : {std::size_t{0}, std::size_t{4}, std::size_t{8}}) {
+    const std::uint64_t before = reader.records_decoded();
+    expect_tables_equal(reader.snapshot_at(history[keyframe].captured),
+                        history[keyframe], "exact key-frame instant");
+    EXPECT_EQ(reader.records_decoded() - before, 1u)
+        << "key-frame " << keyframe << " pulled in its delta run";
+  }
+
+  // One cycle past a key-frame costs exactly two decodes (frame + delta)...
+  const std::uint64_t before_delta = reader.records_decoded();
+  expect_tables_equal(reader.snapshot_at(history[5].captured), history[5],
+                      "key-frame plus one delta");
+  EXPECT_EQ(reader.records_decoded() - before_delta, 2u);
+
+  // ...and the worst case is bounded by the interval, not the archive size.
+  const std::uint64_t before_worst = reader.records_decoded();
+  expect_tables_equal(reader.snapshot_at(history[11].captured), history[11],
+                      "end of a delta run");
+  EXPECT_EQ(reader.records_decoded() - before_worst, 4u);
+}
+
 TEST(Archive, CompactionRewritesKeyframesAndDropsHorizon) {
   const std::string path = temp_path("compact.in.marc");
   const std::string out_path = temp_path("compact.out.marc");

@@ -8,25 +8,31 @@
 namespace mantra::core {
 namespace {
 
-// Test-local conveniences over the canonical in-place parse API: bundle the
-// table and warnings the way the old value-returning entry points did.
-ParseOutcome<PairTable> parsed_mroute_count(std::string_view text) {
-  ParseOutcome<PairTable> out;
+// Test-local convenience over the canonical in-place parse API: bundle the
+// table and warnings so assertions read naturally.
+template <typename TableType>
+struct Parsed {
+  TableType table;
+  std::vector<std::string> warnings;
+};
+
+Parsed<PairTable> parsed_mroute_count(std::string_view text) {
+  Parsed<PairTable> out;
   parse_mroute_count(text, out.table, &out.warnings);
   return out;
 }
-ParseOutcome<RouteTable> parsed_dvmrp_route(std::string_view text) {
-  ParseOutcome<RouteTable> out;
+Parsed<RouteTable> parsed_dvmrp_route(std::string_view text) {
+  Parsed<RouteTable> out;
   parse_dvmrp_route(text, out.table, &out.warnings);
   return out;
 }
-ParseOutcome<SaTable> parsed_msdp_sa_cache(std::string_view text) {
-  ParseOutcome<SaTable> out;
+Parsed<SaTable> parsed_msdp_sa_cache(std::string_view text) {
+  Parsed<SaTable> out;
   parse_msdp_sa_cache(text, out.table, &out.warnings);
   return out;
 }
-ParseOutcome<MbgpTable> parsed_mbgp(std::string_view text) {
-  ParseOutcome<MbgpTable> out;
+Parsed<MbgpTable> parsed_mbgp(std::string_view text) {
+  Parsed<MbgpTable> out;
   parse_mbgp(text, out.table, &out.warnings);
   return out;
 }

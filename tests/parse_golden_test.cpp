@@ -1,9 +1,11 @@
-// Golden equivalence tests for the zero-copy parser layer: the in-place
-// string_view parsers must produce exactly the rows and warnings the legacy
-// ParseOutcome-returning entry points do, on clean captures, on truncated
-// captures (every byte offset of one transcript), and on garbled captures.
-// The legacy wrappers are deprecated; this file is their pinned consumer
-// until they are removed.
+// Golden reuse tests for the zero-copy parser layer: parsing into a dirty,
+// reused table (rows and capacity left over from an unrelated previous
+// parse) and an already-populated warnings vector must produce exactly what
+// a fresh table and vector do — same rows, warnings appended in the same
+// order after the preexisting ones. This is the contract the warmed-up
+// collection hot path depends on; it is exercised on clean captures, on
+// truncated captures (every byte offset of one transcript), and on garbled
+// captures.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -18,63 +20,69 @@
 namespace mantra::core {
 namespace {
 
-// The legacy path under test. Everything else in the tree has migrated to
-// the in-place API, so the deprecation warnings are expected right here.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-ParseOutcome<PairTable> legacy_mroute_count(std::string_view text) {
-  return parse_mroute_count(text);
-}
-ParseOutcome<RouteTable> legacy_dvmrp_route(std::string_view text) {
-  return parse_dvmrp_route(text);
-}
-ParseOutcome<SaTable> legacy_msdp_sa_cache(std::string_view text) {
-  return parse_msdp_sa_cache(text);
-}
-ParseOutcome<MbgpTable> legacy_mbgp(std::string_view text) {
-  return parse_mbgp(text);
-}
-#pragma GCC diagnostic pop
+/// Tables and a warnings vector reused across every parse in a test — each
+/// call sees whatever rows and capacity the previous text left behind, plus
+/// a sentinel warning that the parser must preserve (warnings are appended,
+/// never cleared).
+struct ReusedScratch {
+  PairTable pairs;
+  RouteTable routes;
+  SaTable sa_cache;
+  MbgpTable mbgp;
+  std::vector<std::string> warnings;
+};
 
-// Runs one text through both paths for all four parsers and asserts the
-// tables and warning lists are identical. `context` labels the failure.
-void expect_paths_identical(std::string_view text, const std::string& context) {
-  {
-    PairTable table;
-    std::vector<std::string> warnings;
-    const std::size_t rows = parse_mroute_count(text, table, &warnings);
-    const auto legacy = legacy_mroute_count(text);
-    EXPECT_EQ(rows, table.size()) << context;
-    EXPECT_TRUE(table == legacy.table) << "mroute_count rows differ: " << context;
-    EXPECT_EQ(warnings, legacy.warnings) << "mroute_count warnings differ: " << context;
-  }
-  {
-    RouteTable table;
-    std::vector<std::string> warnings;
-    const std::size_t rows = parse_dvmrp_route(text, table, &warnings);
-    const auto legacy = legacy_dvmrp_route(text);
-    EXPECT_EQ(rows, table.size()) << context;
-    EXPECT_TRUE(table == legacy.table) << "dvmrp_route rows differ: " << context;
-    EXPECT_EQ(warnings, legacy.warnings) << "dvmrp_route warnings differ: " << context;
-  }
-  {
-    SaTable table;
-    std::vector<std::string> warnings;
-    const std::size_t rows = parse_msdp_sa_cache(text, table, &warnings);
-    const auto legacy = legacy_msdp_sa_cache(text);
-    EXPECT_EQ(rows, table.size()) << context;
-    EXPECT_TRUE(table == legacy.table) << "msdp_sa_cache rows differ: " << context;
-    EXPECT_EQ(warnings, legacy.warnings) << "msdp_sa_cache warnings differ: " << context;
-  }
-  {
-    MbgpTable table;
-    std::vector<std::string> warnings;
-    const std::size_t rows = parse_mbgp(text, table, &warnings);
-    const auto legacy = legacy_mbgp(text);
-    EXPECT_EQ(rows, table.size()) << context;
-    EXPECT_TRUE(table == legacy.table) << "mbgp rows differ: " << context;
-    EXPECT_EQ(warnings, legacy.warnings) << "mbgp warnings differ: " << context;
-  }
+constexpr const char* kSentinel = "preexisting warning";
+
+/// Parses `text` with one parser into a fresh table/vector and into the
+/// reused scratch, asserting identical rows and appended-in-order warnings.
+template <typename TableType, typename ParseFn>
+void expect_reuse_identical(ParseFn parse, std::string_view text,
+                            TableType& reused, ReusedScratch& scratch,
+                            const char* parser, const std::string& context) {
+  TableType fresh;
+  std::vector<std::string> fresh_warnings;
+  const std::size_t fresh_rows = parse(text, fresh, &fresh_warnings);
+
+  scratch.warnings.assign({kSentinel});
+  const std::size_t reused_rows = parse(text, reused, &scratch.warnings);
+
+  EXPECT_EQ(fresh_rows, fresh.size()) << parser << ": " << context;
+  EXPECT_EQ(reused_rows, fresh_rows) << parser << ": " << context;
+  EXPECT_TRUE(reused == fresh) << parser << " rows differ after reuse: " << context;
+  ASSERT_FALSE(scratch.warnings.empty()) << parser << ": " << context;
+  EXPECT_EQ(scratch.warnings.front(), kSentinel)
+      << parser << " clobbered preexisting warnings: " << context;
+  EXPECT_EQ(std::vector<std::string>(scratch.warnings.begin() + 1,
+                                     scratch.warnings.end()),
+            fresh_warnings)
+      << parser << " warnings differ after reuse: " << context;
+}
+
+// Runs one text through all four parsers, fresh vs reused. `context` labels
+// the failure.
+void expect_paths_identical(std::string_view text, ReusedScratch& scratch,
+                            const std::string& context) {
+  expect_reuse_identical(
+      [](std::string_view t, PairTable& table, std::vector<std::string>* w) {
+        return parse_mroute_count(t, table, w);
+      },
+      text, scratch.pairs, scratch, "mroute_count", context);
+  expect_reuse_identical(
+      [](std::string_view t, RouteTable& table, std::vector<std::string>* w) {
+        return parse_dvmrp_route(t, table, w);
+      },
+      text, scratch.routes, scratch, "dvmrp_route", context);
+  expect_reuse_identical(
+      [](std::string_view t, SaTable& table, std::vector<std::string>* w) {
+        return parse_msdp_sa_cache(t, table, w);
+      },
+      text, scratch.sa_cache, scratch, "msdp_sa_cache", context);
+  expect_reuse_identical(
+      [](std::string_view t, MbgpTable& table, std::vector<std::string>* w) {
+        return parse_mbgp(t, table, w);
+      },
+      text, scratch.mbgp, scratch, "mbgp", context);
 }
 
 // A small live network so the fixture captures carry real table volume:
@@ -106,6 +114,22 @@ class ParseGolden : public ::testing::Test {
     network_.flow_start(host_, net::Ipv4Address(224, 2, 0, 5), 100.0,
                         router::MfcMode::kDense);
     engine_.run_until(engine_.now() + sim::Duration::minutes(10));
+
+    // Start the reused tables dirty: rows that no fixture capture contains,
+    // so a parser that merely appends (instead of clearing first) fails.
+    scratch_.pairs.upsert({net::Ipv4Address(203, 0, 113, 9),
+                           net::Ipv4Address(239, 255, 255, 250), 1.0, 1.0, 1,
+                           sim::Duration::seconds(1)});
+    scratch_.routes.upsert({*net::Prefix::parse("198.51.100.0/24"),
+                            net::Ipv4Address(203, 0, 113, 1), "stale0", 7,
+                            sim::Duration::seconds(1), true});
+    scratch_.sa_cache.upsert({net::Ipv4Address(203, 0, 113, 9),
+                              net::Ipv4Address(239, 255, 255, 250),
+                              net::Ipv4Address(203, 0, 113, 1),
+                              net::Ipv4Address(203, 0, 113, 2),
+                              sim::Duration::seconds(1)});
+    scratch_.mbgp.upsert({*net::Prefix::parse("198.51.100.0/24"),
+                          net::Ipv4Address(203, 0, 113, 1), "64496 64497"});
   }
 
   /// Clean preprocessed capture of `command` against r1.
@@ -123,13 +147,14 @@ class ParseGolden : public ::testing::Test {
   router::Network network_;
   Collector collector_;
   net::NodeId r1_, r2_, host_;
+  ReusedScratch scratch_;
 };
 
 TEST_F(ParseGolden, CleanCapturesParseIdentically) {
   for (const char* command :
        {"show ip mroute count", "show ip dvmrp route", "show ip msdp sa-cache",
         "show ip mbgp"}) {
-    expect_paths_identical(clean_capture(command), command);
+    expect_paths_identical(clean_capture(command), scratch_, command);
   }
 }
 
@@ -147,7 +172,7 @@ TEST_F(ParseGolden, EveryByteOffsetTruncationParsesIdentically) {
   std::string clean;
   for (std::size_t cut = 0; cut <= raw.size(); ++cut) {
     preprocess_into(std::string_view(raw).substr(0, cut), clean);
-    expect_paths_identical(clean, "cut at byte " + std::to_string(cut));
+    expect_paths_identical(clean, scratch_, "cut at byte " + std::to_string(cut));
     if (::testing::Test::HasFailure()) break;  // one offset is enough to debug
   }
 }
@@ -166,7 +191,7 @@ TEST_F(ParseGolden, GarbledCapturesParseIdentically) {
       const TransportResult result =
           transport.execute(*network_.router(r1_), command, engine_.now());
       ASSERT_EQ(result.status, TransportStatus::garbled) << command;
-      expect_paths_identical(preprocess(result.text),
+      expect_paths_identical(preprocess(result.text), scratch_,
                              std::string(command) + " seed " + std::to_string(seed));
     }
   }
@@ -186,7 +211,7 @@ TEST_F(ParseGolden, TruncatedTransportCapturesParseIdentically) {
       const TransportResult result =
           transport.execute(*network_.router(r1_), command, engine_.now());
       ASSERT_EQ(result.status, TransportStatus::truncated) << command;
-      expect_paths_identical(preprocess(result.text),
+      expect_paths_identical(preprocess(result.text), scratch_,
                              std::string(command) + " seed " + std::to_string(seed));
     }
   }
