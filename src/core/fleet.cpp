@@ -1,0 +1,119 @@
+#include "core/fleet.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace mantra::core {
+
+SummaryTable FleetStatus::shard_table() const {
+  SummaryTable table({"shard", "targets", "healthy", "degraded", "unreachable",
+                      "cycles_run", "cycles_recorded", "stale_cycles",
+                      "spikes", "alerts_firing"});
+  for (const ShardRow& row : shards) {
+    table.add_row({row.shard, std::to_string(row.targets),
+                   std::to_string(row.healthy), std::to_string(row.degraded),
+                   std::to_string(row.unreachable),
+                   std::to_string(row.cycles_run),
+                   std::to_string(row.cycles_recorded),
+                   std::to_string(row.stale_cycles),
+                   std::to_string(row.route_spikes),
+                   std::to_string(row.alerts_firing)});
+  }
+  return table;
+}
+
+SummaryTable FleetStatus::to_table() const {
+  SummaryTable table({"shard", "router", "health", "cycles", "stale_cycles",
+                      "spikes", "fail_streak", "last_success", "staleness",
+                      "lat_last_s", "lat_p50_s", "lat_p95_s", "lat_max_s"});
+  char buffer[4][32];
+  for (const TargetRow& row : targets) {
+    const MonitorStatus::Target& target = row.target;
+    std::snprintf(buffer[0], sizeof buffer[0], "%.3f",
+                  target.last_latency.total_seconds());
+    std::snprintf(buffer[1], sizeof buffer[1], "%.3f", target.latency_p50_s);
+    std::snprintf(buffer[2], sizeof buffer[2], "%.3f", target.latency_p95_s);
+    std::snprintf(buffer[3], sizeof buffer[3], "%.3f", target.latency_max_s);
+    table.add_row(
+        {row.shard, target.name, to_string(target.health),
+         std::to_string(target.cycles_recorded),
+         std::to_string(target.stale_cycles),
+         std::to_string(target.route_spikes),
+         std::to_string(target.consecutive_failures),
+         target.last_success ? target.last_success->to_string() : "never",
+         target.staleness.to_string(), buffer[0], buffer[1], buffer[2],
+         buffer[3]});
+  }
+  return table;
+}
+
+void FleetAggregator::add_shard(std::string name, const Mantra& monitor) {
+  if (name.empty()) {
+    throw std::invalid_argument("FleetAggregator: shard name must be non-empty");
+  }
+  if (shards_.contains(name)) {
+    throw std::invalid_argument("FleetAggregator: duplicate shard name: " +
+                                name);
+  }
+  shards_.emplace(std::move(name), &monitor);
+}
+
+std::size_t FleetAggregator::target_count() const {
+  std::size_t total = 0;
+  for (const auto& [name, monitor] : shards_) total += monitor->target_count();
+  return total;
+}
+
+std::vector<std::string> FleetAggregator::shard_names() const {
+  std::vector<std::string> out;
+  out.reserve(shards_.size());
+  for (const auto& [name, monitor] : shards_) out.push_back(name);
+  return out;
+}
+
+const Mantra& FleetAggregator::shard(std::string_view name) const {
+  const auto it = shards_.find(name);
+  if (it == shards_.end()) {
+    throw std::out_of_range("FleetAggregator: unknown shard: " +
+                            std::string(name));
+  }
+  return *it->second;
+}
+
+FleetStatus FleetAggregator::status() const {
+  FleetStatus fleet;
+  for (const auto& [name, monitor] : shards_) {
+    const MonitorStatus status = monitor->status();
+    if (status.now > fleet.now) fleet.now = status.now;
+
+    FleetStatus::ShardRow row;
+    row.shard = name;
+    row.targets = status.targets.size();
+    row.cycles_run = status.cycles_run;
+    row.alerts_firing = monitor->alerts().firing_count();
+    for (const MonitorStatus::Target& target : status.targets) {
+      switch (target.health) {
+        case TargetHealth::Healthy: ++row.healthy; break;
+        case TargetHealth::Degraded: ++row.degraded; break;
+        case TargetHealth::Unreachable: ++row.unreachable; break;
+      }
+      row.cycles_recorded += target.cycles_recorded;
+      row.stale_cycles += target.stale_cycles;
+      row.route_spikes += target.route_spikes;
+      fleet.targets.push_back({name, target});
+    }
+    fleet.shards.push_back(std::move(row));
+  }
+  return fleet;
+}
+
+FleetReportData fleet_report_data_from(const FleetAggregator& fleet) {
+  FleetReportData data;
+  data.shards.reserve(fleet.shard_count());
+  for (const std::string& name : fleet.shard_names()) {
+    data.shards.push_back({name, report_data_from(fleet.shard(name))});
+  }
+  return data;
+}
+
+}  // namespace mantra::core

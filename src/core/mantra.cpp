@@ -180,13 +180,6 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
     }
     return;
   }
-  if (telemetry_->enabled() && target.consecutive_failures > 0) {
-    telemetry_->events().log(
-        EventLevel::info, "target_recovered", now,
-        {{"target", target.name},
-         {"dark_cycles", std::to_string(target.consecutive_failures)}});
-  }
-
   // Build the cycle's snapshot in the target's scratch area: each table is
   // either parsed in place (reusing the row storage left from two cycles
   // ago) or copy-assigned from the previous snapshot, so steady-state
@@ -291,9 +284,23 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
   result.capture_attempts = report.attempts;
   result.collection_latency = report.latency;
 
+  // This recorded cycle is the transition that ends a dark spell (if one
+  // was running): capture its length before the reset, and emit the
+  // recovery event only after the new health state is known — a recovering
+  // capture can itself be partially failed, landing the target in Degraded
+  // rather than Healthy, and the event must say which.
+  const std::size_t ended_dark_cycles = target.consecutive_failures;
   target.consecutive_failures = 0;
   target.health = report.all_ok() ? TargetHealth::Healthy : TargetHealth::Degraded;
   target.last_success = now;
+
+  if (telemetry_->enabled() && ended_dark_cycles > 0) {
+    telemetry_->events().log(
+        EventLevel::info, "target_recovered", now,
+        {{"target", target.name},
+         {"dark_cycles", std::to_string(ended_dark_cycles)},
+         {"health", to_string(target.health)}});
+  }
 
   if (telemetry_->enabled()) {
     MetricsRegistry& metrics = telemetry_->metrics();

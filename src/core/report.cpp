@@ -619,4 +619,294 @@ bool write_html_report(const std::string& path, const ReportData& data,
   return static_cast<bool>(out);
 }
 
+// --- Fleet report (core/fleet aggregation tier) ------------------------------
+
+namespace {
+
+/// One shard's alert record with its shard tag — the unit of the fleet-wide
+/// alert merge. Pointers borrow from the FleetReportData being rendered.
+struct FleetAlertRow {
+  const std::string* shard = nullptr;
+  const AlertRecord* record = nullptr;
+};
+
+/// Every shard's history merged in (fired_at, shard, rule, target) order —
+/// a total order for real histories (one (rule, target) pair cannot fire
+/// twice at one instant), made unconditionally total by the pending_at
+/// tiebreak. No wall clock, no hash order: the same shard data merges to
+/// the same sequence however the shards were collected.
+std::vector<FleetAlertRow> merged_alert_history(const FleetReportData& data) {
+  std::vector<FleetAlertRow> rows;
+  for (const FleetShardData& shard : data.shards) {
+    for (const AlertRecord& record : shard.data.alerts) {
+      rows.push_back({&shard.shard, &record});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const FleetAlertRow& a, const FleetAlertRow& b) {
+              if (a.record->fired_at != b.record->fired_at) {
+                return a.record->fired_at.total_ms() <
+                       b.record->fired_at.total_ms();
+              }
+              if (*a.shard != *b.shard) return *a.shard < *b.shard;
+              if (a.record->rule != b.record->rule) {
+                return a.record->rule < b.record->rule;
+              }
+              if (a.record->target != b.record->target) {
+                return a.record->target < b.record->target;
+              }
+              return a.record->pending_at.total_ms() <
+                     b.record->pending_at.total_ms();
+            });
+  return rows;
+}
+
+/// The per-target collection-status table with a shard column — the same
+/// derivations as the single-monitor status_table, fleet-wide.
+SummaryTable fleet_status_table(const FleetReportData& data) {
+  SummaryTable table({"shard", "router", "cycles", "stale_cycles",
+                      "stale_fraction", "spikes", "alerts_fired", "lat_p50_s",
+                      "lat_p95_s", "lat_max_s", "last_cycle"});
+  for (const FleetShardData& shard : data.shards) {
+    for (const ReportTargetData& target : shard.data.targets) {
+      std::size_t stale_cycles = 0;
+      std::size_t spikes = 0;
+      double lat_max = 0.0;
+      std::vector<double> latencies;
+      latencies.reserve(target.results.size());
+      for (const CycleResult& result : target.results) {
+        if (result.stale) ++stale_cycles;
+        if (result.route_spike) ++spikes;
+        const double lat = result.collection_latency.total_seconds();
+        latencies.push_back(lat);
+        lat_max = std::max(lat_max, lat);
+      }
+      std::size_t alerts_fired = 0;
+      for (const AlertRecord& record : shard.data.alerts) {
+        if (record.target == target.name) ++alerts_fired;
+      }
+      const double fraction =
+          target.results.empty()
+              ? 0.0
+              : static_cast<double>(stale_cycles) /
+                    static_cast<double>(target.results.size());
+      table.add_row({shard.shard, target.name,
+                     std::to_string(target.results.size()),
+                     std::to_string(stale_cycles), f2(fraction),
+                     std::to_string(spikes), std::to_string(alerts_fired),
+                     f2(sim::quantile(latencies, 0.5)),
+                     f2(sim::quantile(latencies, 0.95)), f2(lat_max),
+                     target.results.empty()
+                         ? "never"
+                         : target.results.back().t.to_string()});
+    }
+  }
+  return table;
+}
+
+/// Top-K targets by last-cycle bandwidth, ties broken (shard, name) — a
+/// fixed order even when many idle targets report 0.0 kbps.
+SummaryTable busiest_targets_table(const FleetReportData& data,
+                                   std::size_t top_k) {
+  struct Row {
+    const std::string* shard;
+    const ReportTargetData* target;
+    double kbps;
+  };
+  std::vector<Row> rows;
+  for (const FleetShardData& shard : data.shards) {
+    for (const ReportTargetData& target : shard.data.targets) {
+      if (target.results.empty()) continue;
+      rows.push_back({&shard.shard, &target,
+                      target.results.back().usage.bandwidth_kbps});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.kbps != b.kbps) return a.kbps > b.kbps;
+    if (*a.shard != *b.shard) return *a.shard < *b.shard;
+    return a.target->name < b.target->name;
+  });
+  if (rows.size() > top_k) rows.resize(top_k);
+
+  SummaryTable table({"shard", "router", "health", "kbps", "sessions",
+                      "participants", "senders", "dvmrp_routes",
+                      "last_cycle"});
+  for (const Row& row : rows) {
+    const CycleResult& last = row.target->results.back();
+    table.add_row({*row.shard, row.target->name, derived_health(*row.target),
+                   f1(row.kbps), std::to_string(last.usage.sessions),
+                   std::to_string(last.usage.participants),
+                   std::to_string(last.usage.senders),
+                   std::to_string(last.dvmrp_routes), last.t.to_string()});
+  }
+  return table;
+}
+
+}  // namespace
+
+FleetReportData fleet_report_data_from_replay(
+    std::vector<FleetShardReplay> shards) {
+  std::sort(shards.begin(), shards.end(),
+            [](const FleetShardReplay& a, const FleetShardReplay& b) {
+              return a.shard < b.shard;
+            });
+  FleetReportData data;
+  data.shards.reserve(shards.size());
+  for (FleetShardReplay& shard : shards) {
+    data.shards.push_back(
+        {std::move(shard.shard),
+         report_data_from_replay(std::move(shard.targets), shard.rules)});
+  }
+  return data;
+}
+
+std::string render_fleet_html_report(const FleetReportData& data,
+                                     const FleetReportOptions& options) {
+  // Window + headline facts across every shard.
+  std::int64_t t0_ms = 0, t1_ms = 0;
+  bool have_window = false;
+  std::size_t total_targets = 0, total_cycles = 0, total_spikes = 0;
+  std::size_t total_alerts = 0, firing_now = 0;
+  for (const FleetShardData& shard : data.shards) {
+    total_targets += shard.data.targets.size();
+    total_alerts += shard.data.alerts.size();
+    for (const AlertStatus& status : shard.data.alert_states) {
+      if (status.state == AlertState::firing) ++firing_now;
+    }
+    for (const ReportTargetData& target : shard.data.targets) {
+      total_cycles += target.results.size();
+      for (const CycleResult& result : target.results) {
+        if (result.route_spike) ++total_spikes;
+      }
+      if (target.results.empty()) continue;
+      const std::int64_t first = target.results.front().t.total_ms();
+      const std::int64_t last = target.results.back().t.total_ms();
+      if (!have_window) {
+        t0_ms = first;
+        t1_ms = last;
+        have_window = true;
+      } else {
+        t0_ms = std::min(t0_ms, first);
+        t1_ms = std::max(t1_ms, last);
+      }
+    }
+  }
+
+  std::string out = "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+                    "<meta charset=\"utf-8\">\n<title>" +
+                    html_escape(options.title) + "</title>\n<style>" + kStyle +
+                    "</style>\n</head>\n<body>\n";
+  out += "<h1>" + html_escape(options.title) + "</h1>\n";
+  out += "<p class=\"subtitle\">";
+  if (have_window) {
+    out += html_escape(sim::TimePoint::from_ms(t0_ms).to_string()) + " — " +
+           html_escape(sim::TimePoint::from_ms(t1_ms).to_string()) +
+           " (simulated)";
+  } else {
+    out += "no recorded cycles";
+  }
+  out += "</p>\n";
+
+  out += "<div class=\"tiles\">\n";
+  out += stat_tile(std::to_string(data.shards.size()), "shards");
+  out += stat_tile(std::to_string(total_targets), "targets");
+  out += stat_tile(std::to_string(total_cycles), "recorded cycles");
+  out += stat_tile(std::to_string(total_spikes), "route spikes");
+  out += stat_tile(std::to_string(total_alerts), "alerts fired");
+  out += stat_tile(std::to_string(firing_now), "firing now");
+  out += "</div>\n";
+
+  // --- per-shard health tiles ---
+  out += "<h2>Shard health</h2>\n<div class=\"tiles\">\n";
+  for (const FleetShardData& shard : data.shards) {
+    std::size_t healthy = 0;
+    for (const ReportTargetData& target : shard.data.targets) {
+      if (std::string_view(derived_health(target)) == "healthy") ++healthy;
+    }
+    out += stat_tile(std::to_string(healthy) + "/" +
+                         std::to_string(shard.data.targets.size()),
+                     shard.shard + " healthy");
+  }
+  out += "</div>\n";
+
+  // --- fleet-wide alerts ---
+  out += "<h2>Fleet alerts</h2>\n";
+  {
+    SummaryTable table({"shard", "rule", "target", "severity", "state",
+                        "value", "since"});
+    for (const FleetShardData& shard : data.shards) {
+      for (const AlertStatus& status : shard.data.alert_states) {
+        if (status.state == AlertState::inactive) continue;
+        const auto& since = status.state == AlertState::firing
+                                ? status.firing_since
+                                : status.pending_since;
+        table.add_row({shard.shard, status.rule, status.target,
+                       to_string(status.severity), to_string(status.state),
+                       fnum(status.value),
+                       since ? since->to_string() : ""});
+      }
+    }
+    if (table.row_count() == 0) {
+      out += "<p class=\"muted\">no alert is pending or firing anywhere in "
+             "the fleet.</p>\n";
+    } else {
+      out += html_table(table);
+    }
+  }
+  const std::vector<FleetAlertRow> merged = merged_alert_history(data);
+  if (merged.empty()) {
+    out += "<p class=\"muted\">no alert fired during the run.</p>\n";
+  } else {
+    out += "<h3>History</h3>\n";
+    SummaryTable table({"shard", "rule", "target", "severity", "pending_at",
+                        "fired_at", "resolved_at", "peak", "cycles"});
+    const std::size_t start = merged.size() > options.max_alert_rows
+                                  ? merged.size() - options.max_alert_rows
+                                  : 0;
+    for (std::size_t i = start; i < merged.size(); ++i) {
+      const AlertRecord& record = *merged[i].record;
+      table.add_row({*merged[i].shard, record.rule, record.target,
+                     to_string(record.severity), record.pending_at.to_string(),
+                     record.fired_at.to_string(),
+                     record.resolved_at ? record.resolved_at->to_string()
+                                        : "still firing",
+                     fnum(record.peak_value),
+                     std::to_string(record.cycles_firing)});
+    }
+    if (start > 0) {
+      out += "<p class=\"muted\">showing the newest " +
+             std::to_string(options.max_alert_rows) + " of " +
+             std::to_string(merged.size()) + " alerts.</p>\n";
+    }
+    out += html_table(table);
+  }
+
+  // --- top-K busiest targets ---
+  out += "<h2>Busiest targets</h2>\n";
+  const SummaryTable busiest = busiest_targets_table(data, options.top_k);
+  if (busiest.row_count() == 0) {
+    out += "<p class=\"muted\">no target recorded a cycle.</p>\n";
+  } else {
+    out += html_table(busiest);
+  }
+
+  // --- per-target collection status ---
+  out += "<h2>Collection status</h2>\n" + html_table(fleet_status_table(data));
+
+  out += "<footer>mantra core/report — fleet view over sharded monitors, "
+         "rendered deterministically from recorded monitoring results; "
+         "identical bytes live or from archive replay.</footer>\n";
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+bool write_fleet_html_report(const std::string& path,
+                             const FleetReportData& data,
+                             const FleetReportOptions& options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << render_fleet_html_report(data, options);
+  return static_cast<bool>(out);
+}
+
 }  // namespace mantra::core

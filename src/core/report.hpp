@@ -72,4 +72,60 @@ struct ReportData {
 bool write_html_report(const std::string& path, const ReportData& data,
                        const ReportOptions& options = {});
 
+// --- Fleet report (core/fleet aggregation tier) -----------------------------
+//
+// One document over N shards: per-shard health tiles, the fleet-wide alert
+// table (every shard's history merged in (fired_at, shard, rule, target)
+// order), the top-K busiest targets across the fleet, and a per-target
+// collection-status table with a shard column. Same determinism contract as
+// the single-monitor report: pure function of replay-derivable facts, fixed
+// iteration order everywhere, so the live fleet report and one rebuilt from
+// the shards' .marc archives are byte-identical.
+
+/// One shard's replay-derivable report input, tagged with the shard name.
+struct FleetShardData {
+  std::string shard;
+  ReportData data;
+};
+
+/// Renderer input. Shards must be sorted by shard name (both builders
+/// guarantee it); each shard's targets are name-sorted per ReportData.
+struct FleetReportData {
+  std::vector<FleetShardData> shards;
+};
+
+struct FleetReportOptions {
+  std::string title = "Mantra fleet report";
+  /// Rows in the "busiest targets" table (by last-cycle bandwidth).
+  std::size_t top_k = 20;
+  /// Rows kept in the merged alert-history table (newest kept).
+  std::size_t max_alert_rows = 64;
+};
+
+/// One shard's replayed result streams plus the rule set its live alert
+/// engine ran — the offline input mirroring fleet_report_data_from.
+struct FleetShardReplay {
+  std::string shard;
+  std::vector<ReportTargetData> targets;
+  std::vector<AlertRule> rules;
+};
+
+/// Rebuilds FleetReportData from per-shard replayed streams: each shard's
+/// alert history is re-derived with report_data_from_replay (per-shard
+/// engines, exactly as live), then shards are sorted by name. With streams
+/// from the shards' .marc archives and the live rule sets, the output
+/// renders byte-identically to the live fleet report.
+[[nodiscard]] FleetReportData fleet_report_data_from_replay(
+    std::vector<FleetShardReplay> shards);
+
+/// Renders the fleet document. Deterministic: same data + options, same
+/// bytes.
+[[nodiscard]] std::string render_fleet_html_report(
+    const FleetReportData& data, const FleetReportOptions& options = {});
+
+/// Renders and writes; false on I/O failure, never throws.
+bool write_fleet_html_report(const std::string& path,
+                             const FleetReportData& data,
+                             const FleetReportOptions& options = {});
+
 }  // namespace mantra::core

@@ -46,8 +46,15 @@ double quantile(std::vector<double> values, double q) {
   const std::size_t hi = std::min(lo + 1, values.size() - 1);
   std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(lo), values.end());
   const double vlo = values[lo];
-  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(hi), values.end());
-  const double vhi = values[hi];
+  double vhi = vlo;
+  if (hi != lo) {
+    // The first selection already partitioned [0, lo] into place, so the
+    // hi element (always lo + 1 here) only needs selecting within the
+    // untouched upper range [lo + 1, end).
+    std::nth_element(values.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                     values.begin() + static_cast<std::ptrdiff_t>(hi), values.end());
+    vhi = values[hi];
+  }
   const double frac = pos - static_cast<double>(lo);
   return vlo + (vhi - vlo) * frac;
 }

@@ -1,10 +1,72 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/mantra.hpp"
 #include "workload/scenario.hpp"
 
 namespace mantra::core {
 namespace {
+
+/// Delegates to the real CLI transport but fails an exact set of commands
+/// (deterministic truncation) and can refuse sessions outright — full
+/// control over dark vs. partially-failed cycles for the recovery tests.
+class SelectiveFailTransport : public Transport {
+ public:
+  void fail_command(std::string command) { failing_.insert(std::move(command)); }
+  void clear_failures() { failing_.clear(); }
+  void set_dark(bool dark) { dark_ = dark; }
+
+  void connect_into(const router::MulticastRouter& router, sim::TimePoint now,
+                    TransportResult& out) override {
+    if (dark_) {
+      out.reset();
+      out.status = TransportStatus::connection_refused;
+      return;
+    }
+    inner_.connect_into(router, now, out);
+  }
+
+  void execute_into(const router::MulticastRouter& router,
+                    std::string_view command, sim::TimePoint now,
+                    TransportResult& out) override {
+    inner_.execute_into(router, command, now, out);
+    if (failing_.count(std::string(command)) > 0) {
+      out.status = TransportStatus::truncated;
+      out.text.clear();
+    }
+  }
+
+  void disconnect() override { inner_.disconnect(); }
+
+ private:
+  CliTransport inner_;
+  std::set<std::string> failing_;
+  bool dark_ = false;
+};
+
+/// The value of `field` in the newest `name` event, or nullopt.
+std::optional<std::string> newest_event_field(const Telemetry& telemetry,
+                                              std::string_view name,
+                                              std::string_view field) {
+  const std::vector<TelemetryEvent> events = telemetry.events().snapshot();
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    if (it->name != name) continue;
+    for (const auto& [key, value] : it->fields) {
+      if (key == field) return value;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::size_t event_count(const Telemetry& telemetry, std::string_view name) {
+  std::size_t count = 0;
+  for (const TelemetryEvent& event : telemetry.events().snapshot()) {
+    if (event.name == name) ++count;
+  }
+  return count;
+}
 
 /// Full pipeline over a small protocol-faithful scenario.
 class MantraPipeline : public ::testing::Test {
@@ -251,6 +313,73 @@ TEST_F(MantraPipeline, LastSuccessFreezesThroughDarkCyclesAndRecovers) {
             faulty.target_view("fixw").last_success()->to_string());
 }
 
+TEST_F(MantraPipeline, RecoveryToDegradedCarriesHealthContext) {
+  MantraConfig config;
+  config.cycle = sim::Duration::minutes(15);
+  config.retry.max_attempts = 1;
+  config.unreachable_after = 2;
+  config.telemetry.enabled = true;
+  auto owned = std::make_unique<SelectiveFailTransport>();
+  SelectiveFailTransport* transport = owned.get();
+  Mantra faulty(scenario_.engine(), config, std::move(owned));
+  faulty.add_target(scenario_.network().router(scenario_.fixw_node()));
+  faulty.start();
+
+  run_hours(1);
+  EXPECT_EQ(event_count(faulty.telemetry(), "target_recovered"), 0u);
+
+  // Two dark cycles, then a recovery whose capture is itself partially
+  // failed: the dark spell ends, but the target lands in Degraded — and the
+  // event must say so.
+  transport->set_dark(true);
+  run_minutes(30);
+  EXPECT_EQ(faulty.target_view("fixw").consecutive_failures(), 2u);
+  transport->set_dark(false);
+  transport->fail_command("show ip dvmrp route");
+  run_minutes(15);
+
+  EXPECT_EQ(faulty.target_view("fixw").health(), TargetHealth::Degraded);
+  EXPECT_EQ(faulty.target_view("fixw").results().back().consecutive_failures, 2u);
+  EXPECT_TRUE(faulty.target_view("fixw").results().back().stale);
+  ASSERT_EQ(event_count(faulty.telemetry(), "target_recovered"), 1u);
+  EXPECT_EQ(newest_event_field(faulty.telemetry(), "target_recovered", "health"),
+            "degraded");
+  EXPECT_EQ(newest_event_field(faulty.telemetry(), "target_recovered",
+                               "dark_cycles"),
+            "2");
+
+  // Further degraded-but-recorded cycles are not recoveries: no dark spell
+  // is ending, so no event fires.
+  run_minutes(30);
+  EXPECT_EQ(event_count(faulty.telemetry(), "target_recovered"), 1u);
+}
+
+TEST_F(MantraPipeline, RecoveryToHealthyCarriesHealthContext) {
+  MantraConfig config;
+  config.cycle = sim::Duration::minutes(15);
+  config.retry.max_attempts = 1;
+  config.telemetry.enabled = true;
+  auto owned = std::make_unique<SelectiveFailTransport>();
+  SelectiveFailTransport* transport = owned.get();
+  Mantra faulty(scenario_.engine(), config, std::move(owned));
+  faulty.add_target(scenario_.network().router(scenario_.fixw_node()));
+  faulty.start();
+
+  run_hours(1);
+  transport->set_dark(true);
+  run_minutes(15);
+  transport->set_dark(false);
+  run_minutes(15);
+
+  EXPECT_EQ(faulty.target_view("fixw").health(), TargetHealth::Healthy);
+  ASSERT_EQ(event_count(faulty.telemetry(), "target_recovered"), 1u);
+  EXPECT_EQ(newest_event_field(faulty.telemetry(), "target_recovered", "health"),
+            "healthy");
+  EXPECT_EQ(newest_event_field(faulty.telemetry(), "target_recovered",
+                               "dark_cycles"),
+            "1");
+}
+
 TEST_F(MantraPipeline, MonitorStatusReportsCollectionHealth) {
   MantraConfig config;
   config.cycle = sim::Duration::minutes(15);
@@ -292,6 +421,46 @@ TEST_F(MantraPipeline, MonitorStatusReportsCollectionHealth) {
   EXPECT_EQ(table.row_count(), 1u);
   EXPECT_FALSE(table.render().empty());
   EXPECT_TRUE(table.column_index("staleness").has_value());
+}
+
+// Pinned semantics for a target that has NEVER produced a usable capture:
+// last_success stays unset, the status row renders "never", and staleness is
+// the age of the whole run (now - sim::TimePoint::start()) — the monitor has
+// been serving no data for its entire lifetime, so the age of the data it
+// serves is the lifetime itself. The fleet-merged status (core/fleet) reuses
+// these rows verbatim, so the same semantics hold fleet-wide.
+TEST_F(MantraPipeline, MonitorStatusNeverSucceededTargetAgesFromRunStart) {
+  MantraConfig config;
+  config.cycle = sim::Duration::minutes(15);
+  config.unreachable_after = 2;
+  FaultProfile dark;
+  dark.connect_refused_p = 1.0;
+  Mantra faulty(scenario_.engine(), config,
+                std::make_unique<FaultInjectingTransport>(7, dark));
+  faulty.add_target(scenario_.network().router(scenario_.fixw_node()));
+  faulty.start();
+  run_hours(1);
+
+  const MonitorStatus status = faulty.status();
+  ASSERT_EQ(status.targets.size(), 1u);
+  const MonitorStatus::Target& row = status.targets[0];
+  EXPECT_FALSE(row.last_success.has_value());
+  EXPECT_EQ(row.cycles_recorded, 0u);
+  EXPECT_EQ(row.health, TargetHealth::Unreachable);
+  EXPECT_EQ(row.staleness, status.now - sim::TimePoint::start());
+  EXPECT_GE(row.staleness, sim::Duration::hours(1));
+  // No recorded cycles: every latency statistic reads zero, not garbage.
+  EXPECT_EQ(row.last_latency, sim::Duration());
+  EXPECT_DOUBLE_EQ(row.latency_p50_s, 0.0);
+  EXPECT_DOUBLE_EQ(row.latency_p95_s, 0.0);
+  EXPECT_DOUBLE_EQ(row.latency_max_s, 0.0);
+
+  const SummaryTable table = status.to_table();
+  const auto last_success = table.column_index("last_success");
+  const auto staleness = table.column_index("staleness");
+  ASSERT_TRUE(last_success.has_value() && staleness.has_value());
+  EXPECT_EQ(table.rows()[0][*last_success], "never");
+  EXPECT_EQ(table.rows()[0][*staleness], row.staleness.to_string());
 }
 
 TEST_F(MantraPipeline, FaultyCollectionDegradesGracefully) {

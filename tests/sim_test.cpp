@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -246,6 +247,69 @@ TEST(Quantile, OutOfRangeQClamps) {
   std::vector<double> values{5.0, 1.0, 3.0};
   EXPECT_DOUBLE_EQ(quantile(values, -0.5), 1.0);
   EXPECT_DOUBLE_EQ(quantile(values, 2.0), 5.0);
+}
+
+namespace {
+
+/// Reference implementation: full sort + linear interpolation — the
+/// semantics both the old double-full-range selection and the current
+/// partition-aware selection must reproduce exactly.
+double quantile_by_sort(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  return values[lo] + (values[hi] - values[lo]) * (pos - static_cast<double>(lo));
+}
+
+}  // namespace
+
+// Regression for the hi-element selection range: after the first
+// nth_element, [0, lo] is already partitioned, so the second selection runs
+// over [lo+1, end) only. Duplicate-heavy inputs are the adversarial case —
+// many elements equal to the lo value may sit on either side of the
+// partition point, and the hi pick must still equal the sorted hi element.
+TEST(Quantile, DuplicateHeavyInputMatchesSortedReference) {
+  const std::vector<double> duplicates{3.0, 3.0, 3.0, 1.0, 3.0, 3.0, 9.0,
+                                       3.0, 3.0, 1.0, 3.0, 3.0, 3.0, 9.0};
+  for (double q : {0.0, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(duplicates, q), quantile_by_sort(duplicates, q))
+        << "q=" << q;
+  }
+  // All-equal input: every quantile is the common value.
+  const std::vector<double> flat(17, 4.25);
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(flat, q), 4.25) << "q=" << q;
+  }
+}
+
+// Two elements is the smallest input where lo and hi differ, i.e. where the
+// upper-range selection actually runs (on a one-element range).
+TEST(Quantile, TwoElementInputMatchesSortedReference) {
+  const std::vector<double> pair{10.0, 0.0};  // deliberately unsorted
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(pair, q), quantile_by_sort(pair, q)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(quantile(pair, q), 10.0 * std::clamp(q, 0.0, 1.0));
+  }
+  const std::vector<double> equal_pair{7.0, 7.0};
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(equal_pair, q), 7.0) << "q=" << q;
+  }
+}
+
+// The status-table p95s and alert quantile rules must not change: sweep a
+// latency-shaped sample at the exact q values those surfaces use.
+TEST(Quantile, StatusTableQuantilesUnchangedBySelectionRange) {
+  std::vector<double> latencies;
+  for (int i = 0; i < 97; ++i) {
+    latencies.push_back(0.25 + 0.01 * static_cast<double>((i * 37) % 50));
+  }
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(quantile(latencies, q), quantile_by_sort(latencies, q))
+        << "q=" << q;
+  }
 }
 
 }  // namespace
