@@ -13,9 +13,14 @@
 //
 //   $ ./examples/fixw_monitor 14 0.2     (14 days, 20% command failures)
 //
-// Self-instrumentation flags (either enables core/telemetry for the run):
+// Self-instrumentation flags (any of these enables core/telemetry):
 //   --metrics-out=<path>   write Prometheus metrics exposition on exit
 //   --trace-out=<path>     write Chrome trace_event JSON (chrome://tracing)
+//   --mtel-out=<path>      durable self-telemetry: sample the full metric
+//                          registry + event tail into a `.mtel` archive every
+//                          cycle and evaluate the self-monitoring rule pack;
+//                          the HTML report (--report-out=) gains a "Monitor
+//                          health" section rendered from those samples
 // With telemetry on, the monitor-of-the-monitor status table prints each
 // simulated day and the run ends with the final status plus the tail of the
 // structured event log.
@@ -47,6 +52,7 @@ using namespace mantra;
 int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
+  std::string mtel_out;
   std::string report_out;
   std::string archive_dir;
   std::size_t report_every = 0;
@@ -56,6 +62,8 @@ int main(int argc, char** argv) {
       metrics_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--mtel-out=", 11) == 0) {
+      mtel_out = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
       report_out = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--report-every=", 15) == 0) {
@@ -68,7 +76,8 @@ int main(int argc, char** argv) {
   }
   const int days = positional.size() > 0 ? std::atoi(positional[0]) : 14;
   const double failure_rate = positional.size() > 1 ? std::atof(positional[1]) : 0.0;
-  const bool telemetry_on = !metrics_out.empty() || !trace_out.empty();
+  const bool telemetry_on =
+      !metrics_out.empty() || !trace_out.empty() || !mtel_out.empty();
 
   workload::ScenarioConfig config;
   config.seed = 1998;
@@ -102,6 +111,10 @@ int main(int argc, char** argv) {
   monitor_config.telemetry.enabled = telemetry_on;
   monitor_config.alerts.enabled = !report_out.empty();
   monitor_config.archive_dir = archive_dir;
+  if (!mtel_out.empty()) {
+    monitor_config.self.enabled = true;
+    monitor_config.self.path = mtel_out;
+  }
   core::TransportFactory factory;
   if (failure_rate > 0.0) {
     // Every target collects over its own faulty telnet path, each with an
@@ -231,6 +244,12 @@ int main(int argc, char** argv) {
                    ok ? "wrote" : "FAILED to write", trace_out.c_str(),
                    telemetry.tracer().span_count(),
                    static_cast<unsigned long long>(telemetry.tracer().dropped()));
+    }
+    if (core::SelfMonitor* self = mantra.self_monitor()) {
+      self->close();
+      std::fprintf(stderr, "wrote %s (%zu samples, %zu self-alerts fired)\n",
+                   mtel_out.c_str(), self->samples().size(),
+                   self->alerts().history().size());
     }
   }
 

@@ -19,6 +19,19 @@
 //                               offline from the archives via QueryEngine
 //                               and write it here; the bytes must equal the
 //                               live report (the CI job cmp's the two)
+//   --self-telemetry            enable core/telemetry + a per-shard
+//                               SelfMonitor; with --archive-dir each shard
+//                               streams its samples to
+//                               <dir>/<shard>/monitor.mtel and the replay
+//                               rebuilds each "Monitor health" section from
+//                               that file (still byte-identical)
+//   --metrics-out=<path>        write the fleet-federated Prometheus
+//                               exposition (counters summed across shards,
+//                               gauges/unmergeable histograms tagged
+//                               shard="..."); the exposition is lint-checked
+//                               and violations fail the run
+//   --events-out=<path>         write the fleet-merged logfmt event stream
+//                               ((sim_ts, shard, seq) order, shard= field)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +70,9 @@ int main(int argc, char** argv) {
   std::string report_out;
   std::string archive_dir;
   std::string replay_report_out;
+  std::string metrics_out;
+  std::string events_out;
+  bool self_telemetry = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
@@ -65,10 +81,18 @@ int main(int argc, char** argv) {
       archive_dir = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--replay-report-out=", 20) == 0) {
       replay_report_out = argv[i] + 20;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--events-out=", 13) == 0) {
+      events_out = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--self-telemetry") == 0) {
+      self_telemetry = true;
     } else {
       positional.push_back(argv[i]);
     }
   }
+  const bool telemetry_on =
+      self_telemetry || !metrics_out.empty() || !events_out.empty();
   const std::size_t shard_count =
       positional.size() > 0 ? static_cast<std::size_t>(std::atoi(positional[0])) : 4;
   const std::size_t targets_per_shard =
@@ -106,8 +130,17 @@ int main(int argc, char** argv) {
     core::MantraConfig monitor_config;
     monitor_config.cycle = sim::Duration::minutes(30);
     monitor_config.alerts.enabled = true;
+    monitor_config.telemetry.enabled = telemetry_on;
     if (!archive_dir.empty()) {
       monitor_config.archive_dir = archive_dir + "/" + shard.name;
+    }
+    if (self_telemetry) {
+      monitor_config.self.enabled = true;
+      monitor_config.self.name = shard.name;
+      if (!archive_dir.empty()) {
+        monitor_config.self.path =
+            archive_dir + "/" + shard.name + "/monitor.mtel";
+      }
     }
     core::TransportFactory factory;
     if (failure_rate > 0.0) {
@@ -154,6 +187,32 @@ int main(int argc, char** argv) {
   std::printf("=== Per-target status (%zu targets) ===\n\n%s\n",
               status.targets.size(), status.to_table().render().c_str());
 
+  const auto write_file = [](const std::string& path,
+                             const std::string& content) {
+    FILE* out = std::fopen(path.c_str(), "wb");
+    const bool ok = out != nullptr &&
+                    std::fwrite(content.data(), 1, content.size(), out) ==
+                        content.size();
+    if (out != nullptr) std::fclose(out);
+    std::fprintf(stderr, "%s %s\n", ok ? "wrote" : "FAILED to write",
+                 path.c_str());
+    return ok;
+  };
+
+  if (!metrics_out.empty()) {
+    const std::string exposition = core::federated_prometheus_text(fleet);
+    const std::vector<std::string> violations =
+        core::prometheus_lint(exposition);
+    for (const std::string& violation : violations) {
+      std::fprintf(stderr, "federated exposition lint: %s\n",
+                   violation.c_str());
+    }
+    if (!write_file(metrics_out, exposition) || !violations.empty()) return 1;
+  }
+  if (!events_out.empty()) {
+    if (!write_file(events_out, core::federated_events_logfmt(fleet))) return 1;
+  }
+
   std::string live_report;
   if (!report_out.empty()) {
     live_report =
@@ -187,6 +246,14 @@ int main(int argc, char** argv) {
       engine.add_archive(
           target, archive_dir + "/" + name + "/" + target + ".marc");
       shard.targets.push_back({target, engine.replay(target).results});
+    }
+    if (self_telemetry) {
+      // The "Monitor health" section re-derived from the shard's `.mtel`:
+      // the codec is lossless and the rule evaluation is a pure function of
+      // the samples, so the replayed section renders byte-identically.
+      core::TelemetryArchiveReader reader(archive_dir + "/" + name +
+                                          "/monitor.mtel");
+      shard.health = core::monitor_health_from_samples(name, reader.samples());
     }
     replayed.push_back(std::move(shard));
   }

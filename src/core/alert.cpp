@@ -201,6 +201,19 @@ double evaluate_value(const AlertRule& rule, const std::deque<double>& recent) {
 }  // namespace
 
 void AlertEngine::observe(std::string_view target, const CycleResult& result) {
+  std::vector<double> raw_values(rules_.size());
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    raw_values[r] = raw_value(rules_[r], result);
+  }
+  observe_values(target, result.t, raw_values);
+}
+
+void AlertEngine::observe_values(std::string_view target, sim::TimePoint t,
+                                 const std::vector<double>& raw_values) {
+  if (raw_values.size() != rules_.size()) {
+    throw std::invalid_argument(
+        "AlertEngine::observe_values: expected one value per rule");
+  }
   auto it = targets_.find(target);
   if (it == targets_.end()) {
     it = targets_.emplace(std::string(target),
@@ -212,7 +225,7 @@ void AlertEngine::observe(std::string_view target, const CycleResult& result) {
     const AlertRule& rule = rules_[r];
     RuleState& state = states[r];
 
-    state.recent.push_back(raw_value(rule, result));
+    state.recent.push_back(raw_values[r]);
     const std::size_t keep =
         rule.kind == AlertRule::Kind::rate_of_change ? rule.window + 1
                                                      : rule.window;
@@ -227,14 +240,14 @@ void AlertEngine::observe(std::string_view target, const CycleResult& result) {
 
     const auto fire = [&] {
       state.state = AlertState::firing;
-      state.firing_since = result.t;
+      state.firing_since = t;
       state.clear_hold = 0;
       AlertRecord record;
       record.rule = rule.name;
       record.target = std::string(target);
       record.severity = rule.severity;
       record.pending_at = *state.pending_since;
-      record.fired_at = result.t;
+      record.fired_at = t;
       record.peak_value = state.value;
       record.cycles_firing = 1;
       state.open_record = history_.size();
@@ -246,7 +259,7 @@ void AlertEngine::observe(std::string_view target, const CycleResult& result) {
         telemetry_->events().log(
             rule.severity == AlertSeverity::critical ? EventLevel::error
                                                      : EventLevel::warn,
-            "alert_firing", result.t,
+            "alert_firing", t,
             {{"rule", rule.name},
              {"target", std::string(target)},
              {"value", value}});
@@ -262,7 +275,7 @@ void AlertEngine::observe(std::string_view target, const CycleResult& result) {
     switch (state.state) {
       case AlertState::inactive:
         if (!fire_cond) break;
-        state.pending_since = result.t;
+        state.pending_since = t;
         state.hold = 1;
         if (state.hold >= rule.for_cycles) {
           fire();
@@ -290,7 +303,7 @@ void AlertEngine::observe(std::string_view target, const CycleResult& result) {
         if (clear_cond) {
           ++state.clear_hold;
           if (state.clear_hold >= rule.clear_for_cycles) {
-            record.resolved_at = result.t;
+            record.resolved_at = t;
             state.state = AlertState::inactive;
             state.hold = 0;
             state.clear_hold = 0;
@@ -300,7 +313,7 @@ void AlertEngine::observe(std::string_view target, const CycleResult& result) {
             transition_gauge(rule, target, AlertState::inactive);
             if (telemetry_->enabled()) {
               telemetry_->events().log(
-                  EventLevel::info, "alert_resolved", result.t,
+                  EventLevel::info, "alert_resolved", t,
                   {{"rule", rule.name},
                    {"target", std::string(target)},
                    {"fired_at", record.fired_at.to_string()}});

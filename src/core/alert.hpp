@@ -131,6 +131,15 @@ class AlertEngine {
   /// Observations for one target must arrive in time order.
   void observe(std::string_view target, const CycleResult& result);
 
+  /// Evaluates every rule against pre-extracted raw values — one per rule,
+  /// in rule order — stamped at `t`. This is the entry point for series
+  /// that are not CycleResults (the self-monitoring rules evaluate values
+  /// derived from `.mtel` telemetry samples); the windowing, for-duration
+  /// and hysteresis machinery is identical to observe(). Throws
+  /// std::invalid_argument when the value count does not match the rules.
+  void observe_values(std::string_view target, sim::TimePoint t,
+                      const std::vector<double>& raw_values);
+
   [[nodiscard]] const std::vector<AlertRule>& rules() const { return rules_; }
   /// Every (rule, target) state, targets in name order, rules in rule
   /// order — deterministic for a given observation sequence.

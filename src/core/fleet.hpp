@@ -97,4 +97,25 @@ class FleetAggregator {
 [[nodiscard]] FleetReportData fleet_report_data_from(
     const FleetAggregator& fleet);
 
+/// Fleet-wide metric federation: merges every shard's registry snapshot
+/// into one MetricsSnapshot. Counters are summed across shards per
+/// (name, labels) instance; gauges keep one sample per shard, tagged with a
+/// `shard` label; histograms merge bucket-wise when every shard agrees on
+/// the bucket bounds and fall back to per-shard `shard`-labelled samples
+/// otherwise. # HELP texts merge first-shard-wins. Deterministic: shards
+/// are visited in name order and every output vector ends up
+/// (name, labels)-sorted, so the federated exposition is byte-stable across
+/// shard registration order and worker_threads settings. Shard registries
+/// must not define a `shard` label of their own.
+[[nodiscard]] MetricsSnapshot federated_metrics(const FleetAggregator& fleet);
+
+/// prometheus_text_from(federated_metrics(fleet)): one lint-clean exposition
+/// for the whole fleet.
+[[nodiscard]] std::string federated_prometheus_text(const FleetAggregator& fleet);
+
+/// Merges every shard's event-ring snapshot into one logfmt stream, each
+/// line tagged with a `shard=` field, ordered by (sim_ts, shard, seq) — the
+/// same deterministic merge the status tables use, applied to events.
+[[nodiscard]] std::string federated_events_logfmt(const FleetAggregator& fleet);
+
 }  // namespace mantra::core

@@ -53,6 +53,13 @@ void MantraConfig::validate() const {
     throw std::invalid_argument("MantraConfig.archive.keyframe_interval must be >= 1");
   }
   for (const AlertRule& rule : alerts.rules) rule.validate();
+  if (self.enabled) {
+    if (!telemetry.enabled) {
+      throw std::invalid_argument(
+          "MantraConfig.self.enabled requires telemetry.enabled");
+    }
+    self.validate();
+  }
 }
 
 Mantra::Mantra(sim::Engine& engine, MantraConfig config)
@@ -84,6 +91,9 @@ Mantra::Mantra(sim::Engine& engine, MantraConfig config, TransportFactory factor
       cycle_timer_(engine, config_.cycle, [this] { run_cycle_now(); }) {
   if (pool_) pool_->set_telemetry(telemetry_.get());
   alerts_->set_telemetry(telemetry_.get());
+  if (config_.self.enabled) {
+    self_ = std::make_unique<SelfMonitor>(config_.self, telemetry_.get());
+  }
 }
 
 void Mantra::add_target(const router::MulticastRouter* target) {
@@ -125,6 +135,8 @@ void Mantra::run_cycle_now() {
         .gauge("mantra_targets")
         .set(static_cast<double>(targets_.size()));
   }
+  const std::int64_t cycle_start_us =
+      telemetry_->enabled() ? telemetry_->tracer().wall_now_us() : 0;
   std::vector<std::function<void()>> shards;
   shards.reserve(targets_.size());
   for (auto& [name, target] : targets_) {
@@ -132,6 +144,35 @@ void Mantra::run_cycle_now() {
     shards.emplace_back([this, state, now] { run_target_cycle(*state, now); });
   }
   parallel::run_all(pool_.get(), std::move(shards));
+  if (telemetry_->enabled()) {
+    // Wall-clock cost of the fan-out + join, the monitor's own hot path. The
+    // value is inherently non-deterministic, so nothing result-bearing may
+    // read it — it exists for the self-monitoring rule pack and `.mtel` plots.
+    const double cycle_s = static_cast<double>(telemetry_->tracer().wall_now_us() -
+                                               cycle_start_us) /
+                           1e6;
+    telemetry_->metrics().histogram("mantra_cycle_duration_seconds").observe(cycle_s);
+    telemetry_->metrics()
+        .gauge("mantra_pool_queue_depth_peak")
+        .set(pool_ ? static_cast<double>(pool_->take_queue_peak()) : 0.0);
+    // Mirror the tracer/event-log drop counts into the registry so the drops
+    // surface in expositions and `.mtel` archives; inc() by delta keeps the
+    // counters monotone across cycles.
+    const std::uint64_t trace_drops = telemetry_->tracer().dropped();
+    if (trace_drops > trace_drops_synced_) {
+      telemetry_->metrics()
+          .counter("mantra_trace_spans_dropped_total")
+          .inc(trace_drops - trace_drops_synced_);
+      trace_drops_synced_ = trace_drops;
+    }
+    const std::uint64_t event_drops = telemetry_->events().dropped();
+    if (event_drops > event_drops_synced_) {
+      telemetry_->metrics()
+          .counter("mantra_events_dropped_total")
+          .inc(event_drops - event_drops_synced_);
+      event_drops_synced_ = event_drops;
+    }
+  }
   // Alert evaluation runs after the join, on the engine thread, in target-
   // name order (the map's order) — deterministic across worker_threads
   // settings, and reproducible offline by evaluate_history() over replayed
@@ -142,6 +183,10 @@ void Mantra::run_cycle_now() {
       alerts_->observe(name, target->results.back());
     }
   }
+  // Self-telemetry sample goes last so the `.mtel` record of this cycle sees
+  // the cycle's own metrics (duration, queue peak, drops) and any alert
+  // events the observe loop just logged.
+  if (self_) self_->sample(now);
   ++cycles_run_;
   if (cycle_hook_) cycle_hook_(cycles_run_);
 }
@@ -494,6 +539,8 @@ MonitorStatus Mantra::status() const {
   MonitorStatus status;
   status.now = engine_.now();
   status.cycles_run = cycles_run_;
+  status.trace_spans_dropped = telemetry_->tracer().dropped();
+  status.events_dropped = telemetry_->events().dropped();
   status.targets.reserve(targets_.size());
   for (const auto& [name, target] : targets_) {
     MonitorStatus::Target row;
@@ -527,7 +574,10 @@ MonitorStatus Mantra::status() const {
 SummaryTable MonitorStatus::to_table() const {
   SummaryTable table({"router", "health", "cycles", "stale_cycles", "spikes",
                       "fail_streak", "last_success", "staleness", "lat_last_s",
-                      "lat_p50_s", "lat_p95_s", "lat_max_s"});
+                      "lat_p50_s", "lat_p95_s", "lat_max_s", "drops"});
+  // Monitor-wide telemetry back-pressure (spans + events discarded); the
+  // count is not per-target, so every row repeats the same value.
+  const std::string drops = std::to_string(trace_spans_dropped + events_dropped);
   char buffer[4][32];
   for (const Target& target : targets) {
     std::snprintf(buffer[0], sizeof buffer[0], "%.3f",
@@ -542,7 +592,7 @@ SummaryTable MonitorStatus::to_table() const {
          std::to_string(target.consecutive_failures),
          target.last_success ? target.last_success->to_string() : "never",
          target.staleness.to_string(), buffer[0], buffer[1], buffer[2],
-         buffer[3]});
+         buffer[3], drops});
   }
   return table;
 }

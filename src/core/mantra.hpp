@@ -32,6 +32,7 @@
 #include "core/parse.hpp"
 #include "core/process.hpp"
 #include "core/telemetry.hpp"
+#include "core/teltrace.hpp"
 #include "core/transport.hpp"
 #include "router/router.hpp"
 #include "sim/engine.hpp"
@@ -95,6 +96,13 @@ struct MantraConfig {
   /// Rule-based alerting (core/alert): disabled by default, result-neutral
   /// when enabled (alerts are derived from recorded results, not fed back).
   AlertConfig alerts;
+  /// Durable self-telemetry (core/teltrace): when enabled, every cycle ends
+  /// by sampling the full metric registry + event-log tail into a `.mtel`
+  /// archive (config.self.path) and evaluating the self-monitoring rule
+  /// pack. Requires telemetry.enabled; like telemetry itself, sampling is
+  /// strictly read-only — results, CSVs, status and `.marc` bytes are
+  /// identical with it on or off.
+  SelfMonitorConfig self;
 
   /// Sanity-checks every field; throws std::invalid_argument naming the
   /// offending field. Called by the Mantra constructor.
@@ -127,6 +135,11 @@ struct MonitorStatus {
 
   sim::TimePoint now;
   std::size_t cycles_run = 0;  ///< monitoring cycles executed (incl. dark)
+  /// Monitor-wide telemetry back-pressure: spans/events discarded because
+  /// the tracer or event ring hit capacity (0 with telemetry off). Non-zero
+  /// drops mean the self-telemetry record of this run has holes.
+  std::uint64_t trace_spans_dropped = 0;
+  std::uint64_t events_dropped = 0;
   std::vector<Target> targets;
 
   /// Renders as a SummaryTable (one row per target), printable/CSV-able
@@ -223,6 +236,12 @@ class Mantra {
   [[nodiscard]] Telemetry& telemetry() { return *telemetry_; }
   [[nodiscard]] const Telemetry& telemetry() const { return *telemetry_; }
 
+  /// The self-monitor (core/teltrace), sampling the telemetry bundle into a
+  /// `.mtel` archive once per cycle — or nullptr when
+  /// MantraConfig::self.enabled is false.
+  [[nodiscard]] SelfMonitor* self_monitor() { return self_.get(); }
+  [[nodiscard]] const SelfMonitor* self_monitor() const { return self_.get(); }
+
   /// The alert engine (core/alert). Always valid; evaluates no rules unless
   /// MantraConfig::alerts.enabled. Evaluation happens on the engine thread
   /// after each cycle joins, in target-name order — deterministic across
@@ -282,11 +301,16 @@ class Mantra {
   // must be destroyed last.
   std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<AlertEngine> alerts_;  ///< empty rule set when disabled
+  std::unique_ptr<SelfMonitor> self_;    ///< null when self-telemetry is off
   std::map<std::string, std::unique_ptr<TargetState>, std::less<>> targets_;
   std::unique_ptr<parallel::ThreadPool> pool_;  ///< null when worker_threads == 0
   sim::PeriodicTimer cycle_timer_;
   std::function<void(std::size_t)> cycle_hook_;
   std::size_t cycles_run_ = 0;
+  // Drop counts already mirrored into the mantra_*_dropped_total counters,
+  // so each cycle inc()s only the delta.
+  std::uint64_t trace_drops_synced_ = 0;
+  std::uint64_t event_drops_synced_ = 0;
 };
 
 }  // namespace mantra::core

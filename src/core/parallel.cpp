@@ -48,11 +48,17 @@ void ThreadPool::set_telemetry(Telemetry* telemetry) {
   }
 }
 
+std::size_t ThreadPool::take_queue_peak() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::exchange(queue_peak_, std::size_t{0});
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Entry entry;
     entry.fn = std::move(task);
+    queue_peak_ = std::max(queue_peak_, queue_.size() + 1);
     if (telemetry_->enabled()) {
       entry.enqueued_us = telemetry_->tracer().wall_now_us();
       telemetry_->metrics().counter("mantra_pool_tasks_total").inc();

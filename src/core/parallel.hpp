@@ -46,6 +46,12 @@ class ThreadPool {
   /// pool — use run_all() for exception-propagating batches.
   void submit(std::function<void()> task);
 
+  /// The deepest the queue has been since the last call (then resets to 0).
+  /// The instantaneous `mantra_pool_queue_depth` gauge is almost always 0
+  /// when read between cycles (the cycle joins before returning); the peak
+  /// is what the per-cycle self-telemetry sample records.
+  [[nodiscard]] std::size_t take_queue_peak();
+
  private:
   struct Entry {
     std::function<void()> fn;
@@ -56,6 +62,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<Entry> queue_;
+  std::size_t queue_peak_ = 0;  ///< deepest queue since take_queue_peak()
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;

@@ -350,6 +350,90 @@ std::string stat_tile(const std::string& value, const std::string& label) {
          html_escape(label) + "</div></div>\n";
 }
 
+// --- "Monitor health" section (core/teltrace self-telemetry) -----------------
+
+/// Pure function of MonitorHealthData, which itself is a pure function of
+/// the recorded `.mtel` samples — so the section renders byte-identically
+/// from the live SelfMonitor or from a decoded archive. The cycle-duration
+/// values are wall-clock (non-deterministic across runs), but within one
+/// run both paths read the same recorded numbers.
+std::string render_monitor_health(const MonitorHealthData& health,
+                                  const ReportOptions& options) {
+  std::string out;
+  if (health.samples.empty()) {
+    out += "<p class=\"muted\">self-telemetry recorded no samples.</p>\n";
+    return out;
+  }
+  const std::int64_t first = health.samples.front().t_ms;
+  const std::int64_t last = health.samples.back().t_ms;
+
+  std::vector<PlotSpan> spans;
+  for (const AlertRecord& record : health.alerts) {
+    spans.push_back({record.fired_at.total_ms(),
+                     record.resolved_at ? record.resolved_at->total_ms() : last,
+                     record.rule + " (" + to_string(record.severity) + ")"});
+  }
+
+  PlotSeries cycle;
+  cycle.label = "cycle_duration_s";
+  PlotSeries queue;
+  queue.label = "queue_depth_peak";
+  const TelemetrySample* prev = nullptr;
+  for (const TelemetrySample& sample : health.samples) {
+    const sim::TimePoint t = sim::TimePoint::from_ms(sample.t_ms);
+    cycle.points.push_back(
+        {t, self_cycle_duration_s(prev, sample).value_or(0.0)});
+    queue.points.push_back(
+        {t, telemetry_series_value(sample.metrics, "mantra_pool_queue_depth_peak")
+                .value_or(0.0)});
+    prev = &sample;
+  }
+
+  const MetricsSnapshot& last_metrics = health.samples.back().metrics;
+  std::uint64_t drops = 0;
+  if (const auto* c =
+          find_counter(last_metrics, "mantra_trace_spans_dropped_total")) {
+    drops += c->value;
+  }
+  if (const auto* c = find_counter(last_metrics, "mantra_events_dropped_total")) {
+    drops += c->value;
+  }
+  std::size_t firing_now = 0;
+  for (const AlertStatus& status : health.alert_states) {
+    if (status.state == AlertState::firing) ++firing_now;
+  }
+
+  out += "<div class=\"tiles\">\n";
+  out += stat_tile(std::to_string(health.samples.size()), "telemetry samples");
+  out += stat_tile(std::to_string(health.alerts.size()), "self-alerts fired");
+  out += stat_tile(std::to_string(firing_now), "firing now");
+  out += stat_tile(std::to_string(drops), "dropped spans/events");
+  out += "</div>\n";
+
+  out += render_plot("monitor cycle duration (s, wall clock)", {cycle}, spans,
+                     {}, first, last, options);
+  out += render_plot("worker-pool queue depth (per-cycle peak)", {queue}, spans,
+                     {}, first, last, options);
+
+  if (health.alerts.empty()) {
+    out += "<p class=\"muted\">no self-alert fired; the monitor stayed within "
+           "its own budgets.</p>\n";
+  } else {
+    SummaryTable table({"rule", "severity", "pending_at", "fired_at",
+                        "resolved_at", "peak", "cycles"});
+    for (const AlertRecord& record : health.alerts) {
+      table.add_row({record.rule, to_string(record.severity),
+                     record.pending_at.to_string(), record.fired_at.to_string(),
+                     record.resolved_at ? record.resolved_at->to_string()
+                                        : "still firing",
+                     fnum(record.peak_value),
+                     std::to_string(record.cycles_firing)});
+    }
+    out += html_table(table);
+  }
+  return out;
+}
+
 constexpr const char* kStyle = R"css(
   :root { color-scheme: light; }
   body { font-family: -apple-system, "Segoe UI", Roboto, Helvetica, Arial,
@@ -393,6 +477,11 @@ ReportData report_data_from(const Mantra& monitor) {
   }
   data.alerts = monitor.alerts().history();
   data.alert_states = monitor.alerts().status();
+  if (const SelfMonitor* self = monitor.self_monitor()) {
+    data.health = MonitorHealthData{self->config().name, self->samples(),
+                                    self->alerts().status(),
+                                    self->alerts().history()};
+  }
   return data;
 }
 
@@ -590,6 +679,11 @@ std::string render_html_report(const ReportData& data,
   out += "<h2>Overview</h2>\n" + html_table(overview_table(data));
   out += "<h2>Collection status</h2>\n" + html_table(status_table(data));
 
+  if (data.health) {
+    out += "<h2>Monitor health</h2>\n";
+    out += render_monitor_health(*data.health, options);
+  }
+
   out += "<h2>Notable events</h2>\n";
   const std::vector<NotableEvent> events =
       notable_events(data, options.event_tail);
@@ -753,9 +847,10 @@ FleetReportData fleet_report_data_from_replay(
   FleetReportData data;
   data.shards.reserve(shards.size());
   for (FleetShardReplay& shard : shards) {
-    data.shards.push_back(
-        {std::move(shard.shard),
-         report_data_from_replay(std::move(shard.targets), shard.rules)});
+    ReportData report =
+        report_data_from_replay(std::move(shard.targets), shard.rules);
+    report.health = std::move(shard.health);
+    data.shards.push_back({std::move(shard.shard), std::move(report)});
   }
   return data;
 }
@@ -892,6 +987,21 @@ std::string render_fleet_html_report(const FleetReportData& data,
 
   // --- per-target collection status ---
   out += "<h2>Collection status</h2>\n" + html_table(fleet_status_table(data));
+
+  // --- per-shard monitor health ---
+  bool any_health = false;
+  for (const FleetShardData& shard : data.shards) {
+    if (shard.data.health) any_health = true;
+  }
+  if (any_health) {
+    out += "<h2>Monitor health</h2>\n";
+    const ReportOptions plot_options;  // default plot geometry
+    for (const FleetShardData& shard : data.shards) {
+      if (!shard.data.health) continue;
+      out += "<h3>" + html_escape(shard.shard) + "</h3>\n";
+      out += render_monitor_health(*shard.data.health, plot_options);
+    }
+  }
 
   out += "<footer>mantra core/report — fleet view over sharded monitors, "
          "rendered deterministically from recorded monitoring results; "

@@ -17,11 +17,13 @@
 // deliberately excluded; the replay-derivable subset is the contract.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/alert.hpp"
 #include "core/process.hpp"
+#include "core/teltrace.hpp"
 
 namespace mantra::core {
 
@@ -50,9 +52,16 @@ struct ReportData {
   std::vector<ReportTargetData> targets;
   std::vector<AlertRecord> alerts;
   std::vector<AlertStatus> alert_states;
+  /// The "Monitor health" section input (core/teltrace): present when the
+  /// monitor ran with self-telemetry, absent otherwise (the section is then
+  /// omitted, so reports without self-telemetry render exactly as before).
+  /// monitor_health_from_samples over a decoded `.mtel` rebuilds the same
+  /// data offline, keeping live and replay reports byte-identical.
+  std::optional<MonitorHealthData> health;
 };
 
-/// Snapshots a live monitor's recorded results and alert engine state.
+/// Snapshots a live monitor's recorded results and alert engine state —
+/// including the self-monitor's sample history when one is attached.
 [[nodiscard]] ReportData report_data_from(const Mantra& monitor);
 
 /// Builds the same data from replayed result streams: sorts targets by
@@ -108,6 +117,10 @@ struct FleetShardReplay {
   std::string shard;
   std::vector<ReportTargetData> targets;
   std::vector<AlertRule> rules;
+  /// Monitor-health input rebuilt from the shard's `.mtel`
+  /// (monitor_health_from_samples over the decoded samples); nullopt when
+  /// the shard ran without self-telemetry.
+  std::optional<MonitorHealthData> health;
 };
 
 /// Rebuilds FleetReportData from per-shard replayed streams: each shard's

@@ -4,11 +4,11 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 
 namespace mantra::core {
-
-namespace {
 
 /// Prometheus text-exposition escaping for label *values*: backslash,
 /// double quote and line feed are the spec's three special characters
@@ -26,6 +26,8 @@ std::string prom_label_escape(std::string_view s) {
   }
   return out;
 }
+
+namespace {
 
 /// Serializes labels sorted by key: `k1="v1",k2="v2"`. Empty for no labels.
 /// Doubles as the instance key — the escape is injective, so escaped
@@ -113,17 +115,18 @@ std::uint64_t Histogram::cumulative_count(std::size_t i) const {
   return total;
 }
 
-double Histogram::quantile(double q) const {
-  const std::uint64_t total = count();
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& buckets,
+                          std::uint64_t total, double q) {
   if (total == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(total);
   std::uint64_t cumulative = 0;
-  for (std::size_t b = 0; b < buckets_.size(); ++b) {
-    const std::uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < bounds.size() && b < buckets.size(); ++b) {
+    const std::uint64_t in_bucket = buckets[b];
     if (static_cast<double>(cumulative + in_bucket) >= rank && in_bucket > 0) {
-      const double lower = b == 0 ? 0.0 : bounds_[b - 1];
-      const double upper = bounds_[b];
+      const double lower = b == 0 ? 0.0 : bounds[b - 1];
+      const double upper = bounds[b];
       const double fraction =
           (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
       return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
@@ -131,7 +134,16 @@ double Histogram::quantile(double q) const {
     cumulative += in_bucket;
   }
   // Rank falls in the +Inf bucket: the best estimate is the largest bound.
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double Histogram::quantile(double q) const {
+  std::vector<std::uint64_t> buckets(buckets_.size() + 1);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  buckets.back() = inf_bucket_.load(std::memory_order_relaxed);
+  return histogram_quantile(bounds_, buckets, count(), q);
 }
 
 const std::vector<double>& default_latency_buckets_s() {
@@ -174,6 +186,51 @@ Histogram& MetricsRegistry::histogram(std::string_view name, MetricLabels labels
   return *slot;
 }
 
+void MetricsRegistry::set_help(std::string_view name, std::string_view text) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  help_[std::string(name)] = std::string(text);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, family] : counters_) {
+    for (const auto& [labels, counter] : family.instances) {
+      out.counters.push_back({name, labels, counter->value()});
+    }
+  }
+  for (const auto& [name, family] : gauges_) {
+    for (const auto& [labels, gauge] : family.instances) {
+      out.gauges.push_back({name, labels, gauge->value()});
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    for (const auto& [labels, histogram] : family.instances) {
+      MetricsSnapshot::HistogramSample sample;
+      sample.name = name;
+      sample.labels = labels;
+      sample.bounds = histogram->upper_bounds();
+      sample.buckets.reserve(sample.bounds.size() + 1);
+      std::uint64_t previous = 0;
+      for (std::size_t b = 0; b < sample.bounds.size(); ++b) {
+        const std::uint64_t cumulative = histogram->cumulative_count(b);
+        sample.buckets.push_back(cumulative - previous);
+        previous = cumulative;
+      }
+      // Under a racing observe() the bucket counts can momentarily lead the
+      // total (bucket is bumped first); clamp so the +Inf bucket never
+      // underflows — quiescent snapshots are exact.
+      sample.count = std::max(histogram->count(), previous);
+      sample.buckets.push_back(sample.count - previous);  // +Inf bucket
+      sample.sum = histogram->sum();
+      out.histograms.push_back(std::move(sample));
+    }
+  }
+  out.help = help_;
+  return out;
+}
+
 std::uint64_t MetricsRegistry::counter_total(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto family = counters_.find(std::string(name));
@@ -205,51 +262,401 @@ const Histogram* MetricsRegistry::find_histogram(std::string_view name,
                                                     : instance->second.get();
 }
 
-std::string MetricsRegistry::prometheus_text() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::string out;
-  char line[256];
+namespace {
 
-  for (const auto& [name, family] : counters_) {
-    out += "# TYPE " + name + " counter\n";
-    for (const auto& [labels, counter] : family.instances) {
-      const std::string instance =
-          labels.empty() ? name : name + "{" + labels + "}";
-      std::snprintf(line, sizeof line, " %" PRIu64 "\n", counter->value());
-      out += instance + line;
-    }
-  }
-  for (const auto& [name, family] : gauges_) {
-    out += "# TYPE " + name + " gauge\n";
-    for (const auto& [labels, gauge] : family.instances) {
-      const std::string instance =
-          labels.empty() ? name : name + "{" + labels + "}";
-      out += instance + " " + format_double(gauge->value()) + "\n";
-    }
-  }
-  for (const auto& [name, family] : histograms_) {
-    out += "# TYPE " + name + " histogram\n";
-    for (const auto& [labels, histogram] : family.instances) {
-      const std::string separator = labels.empty() ? "" : ",";
-      const auto& bounds = histogram->upper_bounds();
-      for (std::size_t b = 0; b < bounds.size(); ++b) {
-        out += name + "_bucket{" + labels + separator + "le=\"" +
-               format_double(bounds[b]) + "\"}";
-        std::snprintf(line, sizeof line, " %" PRIu64 "\n",
-                      histogram->cumulative_count(b));
-        out += line;
-      }
-      out += name + "_bucket{" + labels + separator + "le=\"+Inf\"}";
-      std::snprintf(line, sizeof line, " %" PRIu64 "\n", histogram->count());
-      out += line;
-      const std::string brace_labels = labels.empty() ? "" : "{" + labels + "}";
-      out += name + "_sum" + brace_labels + " " + format_double(histogram->sum()) +
-             "\n";
-      std::snprintf(line, sizeof line, " %" PRIu64 "\n", histogram->count());
-      out += name + "_count" + brace_labels + line;
+/// # HELP text escaping: the exposition spec reserves backslash and line
+/// feed in help lines (quotes stay literal there, unlike label values).
+std::string prom_help_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
     }
   }
   return out;
+}
+
+void append_family_header(std::string& out, const std::string& name,
+                          const char* type, const MetricsSnapshot& snapshot) {
+  const auto help = snapshot.help.find(name);
+  if (help != snapshot.help.end()) {
+    out += "# HELP " + name + " " + prom_help_escape(help->second) + "\n";
+  }
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string prometheus_text_from(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[256];
+
+  const std::string* open_family = nullptr;
+  for (const MetricsSnapshot::CounterSample& sample : snapshot.counters) {
+    if (open_family == nullptr || *open_family != sample.name) {
+      append_family_header(out, sample.name, "counter", snapshot);
+      open_family = &sample.name;
+    }
+    const std::string instance = sample.labels.empty()
+                                     ? sample.name
+                                     : sample.name + "{" + sample.labels + "}";
+    std::snprintf(line, sizeof line, " %" PRIu64 "\n", sample.value);
+    out += instance + line;
+  }
+  open_family = nullptr;
+  for (const MetricsSnapshot::GaugeSample& sample : snapshot.gauges) {
+    if (open_family == nullptr || *open_family != sample.name) {
+      append_family_header(out, sample.name, "gauge", snapshot);
+      open_family = &sample.name;
+    }
+    const std::string instance = sample.labels.empty()
+                                     ? sample.name
+                                     : sample.name + "{" + sample.labels + "}";
+    out += instance + " " + format_double(sample.value) + "\n";
+  }
+  open_family = nullptr;
+  for (const MetricsSnapshot::HistogramSample& sample : snapshot.histograms) {
+    if (open_family == nullptr || *open_family != sample.name) {
+      append_family_header(out, sample.name, "histogram", snapshot);
+      open_family = &sample.name;
+    }
+    const std::string separator = sample.labels.empty() ? "" : ",";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < sample.bounds.size(); ++b) {
+      cumulative += b < sample.buckets.size() ? sample.buckets[b] : 0;
+      out += sample.name + "_bucket{" + sample.labels + separator + "le=\"" +
+             format_double(sample.bounds[b]) + "\"}";
+      std::snprintf(line, sizeof line, " %" PRIu64 "\n", cumulative);
+      out += line;
+    }
+    out += sample.name + "_bucket{" + sample.labels + separator + "le=\"+Inf\"}";
+    std::snprintf(line, sizeof line, " %" PRIu64 "\n", sample.count);
+    out += line;
+    const std::string brace_labels =
+        sample.labels.empty() ? "" : "{" + sample.labels + "}";
+    out += sample.name + "_sum" + brace_labels + " " + format_double(sample.sum) +
+           "\n";
+    std::snprintf(line, sizeof line, " %" PRIu64 "\n", sample.count);
+    out += sample.name + "_count" + brace_labels + line;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  return prometheus_text_from(snapshot());
+}
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto ok = [](char c, bool first) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    return alpha || c == '_' || c == ':' || (digit && !first);
+  };
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    if (!ok(name[i], i == 0)) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(std::string_view name) {
+  // Label names allow no colon (that is reserved for metric names).
+  return valid_metric_name(name) && name.find(':') == std::string_view::npos;
+}
+
+/// One parsed sample line: name, raw label string, parsed labels, value.
+struct LintSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+  std::string error;  ///< non-empty = unusable line
+};
+
+LintSample parse_sample_line(std::string_view line) {
+  LintSample out;
+  std::size_t pos = line.find_first_of("{ ");
+  if (pos == std::string_view::npos) {
+    out.error = "sample line has no value";
+    return out;
+  }
+  out.name = std::string(line.substr(0, pos));
+  if (!valid_metric_name(out.name)) {
+    out.error = "invalid metric name '" + out.name + "'";
+    return out;
+  }
+  if (line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      const std::size_t eq = line.find('=', pos);
+      if (eq == std::string_view::npos || eq + 1 >= line.size() ||
+          line[eq + 1] != '"') {
+        out.error = "malformed label pair in '" + out.name + "'";
+        return out;
+      }
+      const std::string key(line.substr(pos, eq - pos));
+      if (!valid_label_name(key)) {
+        out.error = "invalid label name '" + key + "' in '" + out.name + "'";
+        return out;
+      }
+      std::string value;
+      std::size_t v = eq + 2;
+      bool closed = false;
+      while (v < line.size()) {
+        const char c = line[v];
+        if (c == '\\') {
+          if (v + 1 >= line.size()) break;
+          const char esc = line[v + 1];
+          if (esc == '\\') value.push_back('\\');
+          else if (esc == '"') value.push_back('"');
+          else if (esc == 'n') value.push_back('\n');
+          else {
+            out.error = "invalid escape '\\" + std::string(1, esc) + "' in '" +
+                        out.name + "'";
+            return out;
+          }
+          v += 2;
+          continue;
+        }
+        if (c == '"') {
+          closed = true;
+          ++v;
+          break;
+        }
+        value.push_back(c);
+        ++v;
+      }
+      if (!closed) {
+        out.error = "unterminated label value in '" + out.name + "'";
+        return out;
+      }
+      out.labels.emplace_back(key, std::move(value));
+      pos = v;
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') {
+      out.error = "unterminated label set in '" + out.name + "'";
+      return out;
+    }
+    ++pos;
+  }
+  if (pos >= line.size() || line[pos] != ' ') {
+    out.error = "missing value separator in '" + out.name + "'";
+    return out;
+  }
+  const std::string value_text(line.substr(pos + 1));
+  if (value_text == "+Inf") {
+    out.value = std::numeric_limits<double>::infinity();
+    return out;
+  }
+  char* end = nullptr;
+  out.value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str() || *end != '\0') {
+    out.error = "unparseable value '" + value_text + "' for '" + out.name + "'";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> prometheus_lint(std::string_view exposition) {
+  std::vector<std::string> errors;
+  std::map<std::string, std::string> types;  // family -> declared type
+  std::map<std::string, bool> family_sampled;
+
+  /// Per histogram instance (family + labels sans `le`): running bucket
+  /// consistency state, finalized once the whole text is consumed.
+  struct HistogramState {
+    bool has_inf = false;
+    bool seen_bucket = false;
+    double last_le = -std::numeric_limits<double>::infinity();
+    std::uint64_t last_cumulative = 0;
+    std::uint64_t inf_count = 0;
+    bool has_sum = false;
+    bool has_count = false;
+    std::uint64_t count_value = 0;
+  };
+  std::map<std::string, HistogramState> histograms;
+
+  // Resolves a histogram sample's family from its suffixed series name.
+  const auto histogram_family = [&types](const std::string& name,
+                                         const char* suffix) -> std::string {
+    const std::string_view tail(suffix);
+    if (name.size() <= tail.size() ||
+        name.compare(name.size() - tail.size(), tail.size(), tail) != 0) {
+      return {};
+    }
+    const std::string family = name.substr(0, name.size() - tail.size());
+    const auto it = types.find(family);
+    return it != types.end() && it->second == "histogram" ? family : std::string();
+  };
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= exposition.size()) {
+    const std::size_t nl = exposition.find('\n', start);
+    const std::string_view line = exposition.substr(
+        start, nl == std::string_view::npos ? exposition.size() - start
+                                            : nl - start);
+    start = nl == std::string_view::npos ? exposition.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fail = [&errors, line_no](std::string message) {
+      errors.push_back("line " + std::to_string(line_no) + ": " +
+                       std::move(message));
+    };
+
+    if (line[0] == '#') {
+      // `# HELP <name> <text>` / `# TYPE <name> <kind>`; other comments pass.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t space = rest.find(' ');
+        const std::string name(rest.substr(0, space));
+        const std::string kind(
+            space == std::string_view::npos ? "" : rest.substr(space + 1));
+        if (!valid_metric_name(name)) {
+          fail("invalid family name in TYPE line");
+          continue;
+        }
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped") {
+          fail("unknown type '" + kind + "' for family '" + name + "'");
+          continue;
+        }
+        if (types.contains(name)) {
+          fail("duplicate TYPE for family '" + name + "'");
+          continue;
+        }
+        if (family_sampled[name]) {
+          fail("TYPE for '" + name + "' appears after its samples");
+        }
+        types[name] = kind;
+      } else if (line.rfind("# HELP ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const std::string name(rest.substr(0, rest.find(' ')));
+        if (!valid_metric_name(name)) {
+          fail("invalid family name in HELP line");
+        }
+      } else if (line.rfind("# TYPE", 0) == 0 || line.rfind("# HELP", 0) == 0) {
+        fail("malformed comment directive");
+      }
+      continue;
+    }
+
+    LintSample sample = parse_sample_line(line);
+    if (!sample.error.empty()) {
+      fail(sample.error);
+      continue;
+    }
+
+    // Find the owning family: exact name, or a histogram expansion.
+    std::string family;
+    const auto exact = types.find(sample.name);
+    if (exact != types.end()) {
+      if (exact->second == "histogram") {
+        fail("bare sample for histogram family '" + sample.name + "'");
+        continue;
+      }
+      family = sample.name;
+    } else {
+      for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        family = histogram_family(sample.name, suffix);
+        if (!family.empty()) break;
+      }
+      if (family.empty()) {
+        fail("sample '" + sample.name + "' has no preceding TYPE");
+        continue;
+      }
+    }
+    family_sampled[family] = true;
+
+    if (types[family] != "histogram") continue;
+
+    // Histogram consistency: group by labels minus `le`, in text order.
+    std::string le_value;
+    bool has_le = false;
+    std::string instance_key = family + "|";
+    for (const auto& [key, value] : sample.labels) {
+      if (key == "le" &&
+          sample.name.size() >= 7 &&
+          sample.name.compare(sample.name.size() - 7, 7, "_bucket") == 0) {
+        le_value = value;
+        has_le = true;
+        continue;
+      }
+      instance_key += key + "=" + value + "|";
+    }
+    HistogramState& state = histograms[instance_key];
+    if (sample.name.compare(sample.name.size() -
+                                std::min<std::size_t>(7, sample.name.size()),
+                            7, "_bucket") == 0) {
+      if (!has_le) {
+        fail("histogram bucket for '" + family + "' lacks an le label");
+        continue;
+      }
+      if (state.has_inf) {
+        fail("histogram '" + family + "' has buckets after le=\"+Inf\"");
+        continue;
+      }
+      const std::uint64_t cumulative =
+          static_cast<std::uint64_t>(sample.value);
+      if (state.seen_bucket && cumulative < state.last_cumulative) {
+        fail("histogram '" + family + "' bucket counts are not cumulative");
+      }
+      if (le_value == "+Inf") {
+        state.has_inf = true;
+        state.inf_count = cumulative;
+      } else {
+        char* end = nullptr;
+        const double le = std::strtod(le_value.c_str(), &end);
+        if (end == le_value.c_str() || *end != '\0') {
+          fail("histogram '" + family + "' has unparseable le '" + le_value +
+               "'");
+          continue;
+        }
+        if (state.seen_bucket && le <= state.last_le) {
+          fail("histogram '" + family + "' le bounds are not ascending");
+        }
+        state.last_le = le;
+      }
+      state.seen_bucket = true;
+      state.last_cumulative = cumulative;
+    } else if (sample.name.compare(sample.name.size() - 4, 4, "_sum") == 0) {
+      state.has_sum = true;
+    } else {
+      state.has_count = true;
+      state.count_value = static_cast<std::uint64_t>(sample.value);
+    }
+  }
+
+  for (const auto& [key, state] : histograms) {
+    const std::string family = key.substr(0, key.find('|'));
+    if (!state.has_inf) {
+      errors.push_back("histogram '" + family +
+                       "' bucket run does not end in le=\"+Inf\"");
+    }
+    if (!state.has_sum) {
+      errors.push_back("histogram '" + family + "' is missing _sum");
+    }
+    if (!state.has_count) {
+      errors.push_back("histogram '" + family + "' is missing _count");
+    } else if (state.has_inf && state.inf_count != state.count_value) {
+      errors.push_back("histogram '" + family +
+                       "' +Inf bucket disagrees with _count");
+    }
+  }
+  for (const auto& [family, kind] : types) {
+    if (!family_sampled[family]) {
+      errors.push_back("family '" + family + "' declares TYPE but has no samples");
+    }
+  }
+  return errors;
 }
 
 std::string MetricsRegistry::json_dump() const {
@@ -419,12 +826,16 @@ const char* to_string(EventLevel level) {
   return "unknown";
 }
 
-EventLog::EventLog(bool enabled, std::size_t capacity)
-    : enabled_(enabled), capacity_(std::max<std::size_t>(capacity, 1)) {}
+EventLog::EventLog(bool enabled, std::size_t capacity, EventLevel min_level)
+    : enabled_(enabled),
+      capacity_(std::max<std::size_t>(capacity, 1)),
+      min_level_(min_level) {}
 
 void EventLog::log(EventLevel level, std::string_view name, sim::TimePoint t,
                    std::vector<std::pair<std::string, std::string>> fields) {
-  if (!enabled_) return;
+  // Level filtering happens before any accounting: a filtered event neither
+  // consumes ring capacity nor counts as logged/dropped.
+  if (!enabled_ || level < min_level_) return;
   std::lock_guard<std::mutex> lock(mutex_);
   TelemetryEvent event;
   event.level = level;
@@ -448,8 +859,6 @@ std::vector<TelemetryEvent> EventLog::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return {ring_.begin(), ring_.end()};
 }
-
-namespace {
 
 /// logfmt value: bare when simple, double-quoted with escapes otherwise.
 /// Quoting triggers on anything that would make the bare form ambiguous —
@@ -479,8 +888,6 @@ std::string logfmt_value(const std::string& value) {
   return out;
 }
 
-}  // namespace
-
 std::string EventLog::logfmt(std::size_t last_n) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t start = 0;
@@ -509,7 +916,7 @@ Telemetry::Telemetry(TelemetryConfig config)
     : config_(config),
       metrics_(config.enabled),
       tracer_(config.enabled, config.max_spans),
-      events_(config.enabled, config.max_events) {}
+      events_(config.enabled, config.max_events, config.min_event_level) {}
 
 namespace {
 

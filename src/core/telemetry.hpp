@@ -107,6 +107,80 @@ class Histogram {
 /// through slow responses, backoff chains and hung logins.
 [[nodiscard]] const std::vector<double>& default_latency_buckets_s();
 
+/// Quantile estimate over a bucketed distribution: `buckets` holds one
+/// non-cumulative count per finite bound plus a trailing +Inf count, `total`
+/// is the observation count. Linear interpolation within the containing
+/// bucket — the same approximation Histogram::quantile and the sampled
+/// HistogramSample::quantile share, so a quantile computed live and one
+/// computed from a `.mtel` sample of the same state agree bit for bit.
+[[nodiscard]] double histogram_quantile(const std::vector<double>& bounds,
+                                        const std::vector<std::uint64_t>& buckets,
+                                        std::uint64_t total, double q);
+
+/// Point-in-time value dump of every registered metric, in deterministic
+/// (name, serialized-labels) order. This is the unit the `.mtel`
+/// self-telemetry archive samples once per cycle (core/teltrace) and the
+/// fleet federation merges across shards (core/fleet) — both consumers need
+/// plain data, not live atomics.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::string labels;  ///< serialized sorted `k="v"` form ("" = unlabeled)
+    std::uint64_t value = 0;
+    friend bool operator==(const CounterSample&, const CounterSample&) = default;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::string labels;
+    double value = 0.0;
+    friend bool operator==(const GaugeSample&, const GaugeSample&) = default;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::string labels;
+    std::vector<double> bounds;          ///< ascending finite upper bounds
+    std::vector<std::uint64_t> buckets;  ///< per-bound counts + trailing +Inf
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    /// Same interpolation as Histogram::quantile, over the sampled counts.
+    [[nodiscard]] double quantile(double q) const {
+      return histogram_quantile(bounds, buckets, count, q);
+    }
+    friend bool operator==(const HistogramSample&, const HistogramSample&) = default;
+  };
+
+  std::vector<CounterSample> counters;      ///< (name, labels) order
+  std::vector<GaugeSample> gauges;          ///< (name, labels) order
+  std::vector<HistogramSample> histograms;  ///< (name, labels) order
+  std::map<std::string, std::string> help;  ///< family name -> # HELP text
+
+  friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&) = default;
+};
+
+/// Renders a snapshot in the Prometheus text exposition format (HELP/TYPE
+/// lines, histogram _bucket/_sum/_count expansion). MetricsRegistry::
+/// prometheus_text() and the fleet federation both funnel through this one
+/// renderer, so every exposition the system emits has identical shape.
+[[nodiscard]] std::string prometheus_text_from(const MetricsSnapshot& snapshot);
+
+/// Conformance checker for a Prometheus text exposition: every sample line
+/// must belong to a preceding # TYPE of the right kind, metric/label names
+/// must be well formed, label values must round-trip the escaping rules,
+/// histogram _bucket series must be cumulative with ascending `le` bounds
+/// ending in +Inf and agree with _count, and no family may repeat. Returns
+/// one human-readable string per violation (empty = conformant).
+[[nodiscard]] std::vector<std::string> prometheus_lint(std::string_view exposition);
+
+/// Prometheus label-value escaping (backslash, double quote, line feed).
+/// Exposed so the fleet federation can build label strings that collate with
+/// the registry's own serialized `k="v"` form.
+[[nodiscard]] std::string prom_label_escape(std::string_view s);
+
+/// Renders one logfmt value: bare when unambiguous, double-quoted with the
+/// conventional \" \\ \n \r \t escapes otherwise. Shared by
+/// EventLog::logfmt and the fleet-federated event export.
+[[nodiscard]] std::string logfmt_value(const std::string& value);
+
 /// Thread-safe metric registry. Handle lookup (`counter()` etc.) takes a
 /// mutex and may allocate; the returned reference is stable for the
 /// registry's lifetime, so call sites that care cache it. When the registry
@@ -124,6 +198,10 @@ class MetricsRegistry {
                        const std::vector<double>& upper_bounds =
                            default_latency_buckets_s());
 
+  /// Registers a `# HELP` text for one family, emitted before its # TYPE
+  /// line in the exposition. No-op while disabled; setting again replaces.
+  void set_help(std::string_view name, std::string_view text);
+
   /// Sum of one counter family across all label sets (0 if absent).
   [[nodiscard]] std::uint64_t counter_total(std::string_view name) const;
   /// Value of one exact counter instance (0 if absent).
@@ -132,8 +210,15 @@ class MetricsRegistry {
   [[nodiscard]] const Histogram* find_histogram(std::string_view name,
                                                 const MetricLabels& labels) const;
 
+  /// Dumps every registered metric's current value in (name, labels) order.
+  /// Thread-safe against concurrent mutation (values are read with the same
+  /// relaxed loads the accessors use); per-histogram snapshots are
+  /// internally consistent only when no observation races the dump.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
   /// Prometheus text exposition format, families sorted by name, instances
   /// sorted by serialized labels — deterministic for a given set of values.
+  /// Implemented as prometheus_text_from(snapshot()).
   [[nodiscard]] std::string prometheus_text() const;
   /// The same data as a JSON document (for dashboards/tests).
   [[nodiscard]] std::string json_dump() const;
@@ -149,6 +234,7 @@ class MetricsRegistry {
   std::map<std::string, Family<Counter>> counters_;
   std::map<std::string, Family<Gauge>> gauges_;
   std::map<std::string, Family<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
   // Scratch sinks handed out while disabled; their values are never read.
   Counter scratch_counter_;
   Gauge scratch_gauge_;
@@ -241,15 +327,21 @@ struct TelemetryEvent {
   std::int64_t sim_ts_ms = 0;
   std::uint64_t seq = 0;  ///< global arrival order
   std::vector<std::pair<std::string, std::string>> fields;
+
+  friend bool operator==(const TelemetryEvent&, const TelemetryEvent&) = default;
 };
 
 /// Ring-buffered structured event log: the newest `capacity` events are
-/// kept, older ones are dropped (and counted). Renderable as logfmt.
+/// kept, older ones are dropped (and counted). Events below `min_level` are
+/// filtered at the door — they consume no ring capacity and bump neither
+/// total_logged() nor dropped(). Renderable as logfmt.
 class EventLog {
  public:
-  explicit EventLog(bool enabled = false, std::size_t capacity = 8192);
+  explicit EventLog(bool enabled = false, std::size_t capacity = 8192,
+                    EventLevel min_level = EventLevel::debug);
 
   [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] EventLevel min_level() const { return min_level_; }
 
   void log(EventLevel level, std::string_view name, sim::TimePoint t,
            std::vector<std::pair<std::string, std::string>> fields = {});
@@ -269,6 +361,7 @@ class EventLog {
  private:
   bool enabled_;
   std::size_t capacity_;
+  EventLevel min_level_;
   mutable std::mutex mutex_;
   std::deque<TelemetryEvent> ring_;
   std::atomic<std::uint64_t> total_{0};
@@ -279,6 +372,9 @@ struct TelemetryConfig {
   bool enabled = false;
   std::size_t max_spans = 262'144;
   std::size_t max_events = 8192;
+  /// Events below this level never enter the ring (debug chatter otherwise
+  /// evicts the warnings an operator actually wants to keep).
+  EventLevel min_event_level = EventLevel::debug;
 };
 
 /// The bundle the monitoring path records into. Enabled/disabled is fixed

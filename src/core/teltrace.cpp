@@ -1,0 +1,1362 @@
+#include "core/teltrace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "core/codec.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace mantra::core {
+
+namespace {
+
+using codec::Cursor;
+using codec::put_f64;
+using codec::put_string;
+using codec::put_svarint;
+using codec::put_u32;
+using codec::put_varint;
+
+constexpr std::uint32_t kMagic = 0x4C45544Du;  // "MTEL" little-endian
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kFrameBytes = 8;  // length:u32 + crc:u32
+/// Corruption guard: a garbage length field must not trigger a huge read.
+constexpr std::uint32_t kMaxRecordBytes = 256u * 1024 * 1024;
+
+constexpr std::uint8_t kRecordKeyframe = 1;
+constexpr std::uint8_t kRecordDelta = 2;
+
+constexpr std::uint8_t kKindCounter = 0;
+constexpr std::uint8_t kKindGauge = 1;
+constexpr std::uint8_t kKindHistogram = 2;
+
+constexpr std::uint32_t kRollupMagic = 0x4C52544Du;  // "MTRL" little-endian
+constexpr std::uint32_t kRollupVersion = 1;
+constexpr std::size_t kRollupHeaderBytes = 8;
+
+std::uint64_t f64_bits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+double bits_f64(std::uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+template <typename Sample>
+const Sample* find_sample(const std::vector<Sample>& entries,
+                          std::string_view name, std::string_view labels) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), std::make_pair(name, labels),
+      [](const Sample& entry,
+         const std::pair<std::string_view, std::string_view>& key) {
+        if (entry.name != key.first) return entry.name < key.first;
+        return entry.labels < key.second;
+      });
+  if (it != entries.end() && it->name == name && it->labels == labels) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+std::int64_t hour_start(std::int64_t t_ms) {
+  std::int64_t q = t_ms / kHourMs;
+  if (t_ms % kHourMs != 0 && t_ms < 0) --q;  // floor, not truncation
+  return q * kHourMs;
+}
+
+/// Series key of one metric instance: `name` or `name{labels}`.
+std::string series_key(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  std::string key;
+  key.reserve(name.size() + labels.size() + 2);
+  key.append(name);
+  key.push_back('{');
+  key.append(labels);
+  key.push_back('}');
+  return key;
+}
+
+/// Enumerates every (series, value) pair of a snapshot in deterministic
+/// order, producing the exact doubles telemetry_series_value returns — the
+/// rollup builder and the raw query path must agree bit for bit.
+template <typename Fn>
+void enumerate_series_values(const MetricsSnapshot& snapshot, Fn&& fn) {
+  for (const MetricsSnapshot::CounterSample& counter : snapshot.counters) {
+    fn(series_key(counter.name, counter.labels),
+       static_cast<double>(counter.value));
+  }
+  for (const MetricsSnapshot::GaugeSample& gauge : snapshot.gauges) {
+    fn(series_key(gauge.name, gauge.labels), gauge.value);
+  }
+  for (const MetricsSnapshot::HistogramSample& histogram : snapshot.histograms) {
+    const std::string base = series_key(histogram.name, histogram.labels);
+    fn(base + ":count", static_cast<double>(histogram.count));
+    fn(base + ":sum", histogram.sum);
+    fn(base + ":p50", histogram.quantile(0.5));
+    fn(base + ":p95", histogram.quantile(0.95));
+  }
+}
+
+double aggregate_bucket(QueryAggregate aggregate,
+                        const TelemetryRollupBucket& bucket) {
+  switch (aggregate) {
+    case QueryAggregate::last:
+      return bucket.last;
+    case QueryAggregate::min:
+      return bucket.min;
+    case QueryAggregate::max:
+      return bucket.max;
+    case QueryAggregate::mean:
+      return bucket.samples == 0
+                 ? 0.0
+                 : bucket.sum / static_cast<double>(bucket.samples);
+    case QueryAggregate::sum:
+      return bucket.sum;
+    case QueryAggregate::count:
+      return static_cast<double>(bucket.samples);
+  }
+  return 0.0;  // unreachable: the switch is exhaustive
+}
+
+double zero_extract(const CycleResult&) { return 0.0; }
+
+/// AlertEngine requires a non-null extract for threshold rules even though
+/// the self-monitoring path feeds values through observe_values directly.
+std::vector<AlertRule> alert_rules_of(const std::vector<SelfRule>& rules) {
+  std::vector<AlertRule> out;
+  out.reserve(rules.size());
+  for (const SelfRule& self : rules) {
+    AlertRule rule = self.rule;
+    if (!rule.extract) rule.extract = zero_extract;
+    out.push_back(std::move(rule));
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Snapshot lookups ------------------------------------------------------
+
+const MetricsSnapshot::CounterSample* find_counter(const MetricsSnapshot& snapshot,
+                                                   std::string_view name,
+                                                   std::string_view labels) {
+  return find_sample(snapshot.counters, name, labels);
+}
+
+const MetricsSnapshot::GaugeSample* find_gauge(const MetricsSnapshot& snapshot,
+                                               std::string_view name,
+                                               std::string_view labels) {
+  return find_sample(snapshot.gauges, name, labels);
+}
+
+const MetricsSnapshot::HistogramSample* find_histogram(
+    const MetricsSnapshot& snapshot, std::string_view name,
+    std::string_view labels) {
+  return find_sample(snapshot.histograms, name, labels);
+}
+
+std::optional<double> self_cycle_duration_s(const TelemetrySample* prev,
+                                            const TelemetrySample& cur) {
+  const MetricsSnapshot::HistogramSample* current =
+      find_histogram(cur.metrics, "mantra_cycle_duration_seconds");
+  if (current == nullptr) return std::nullopt;
+  double sum = current->sum;
+  std::uint64_t count = current->count;
+  if (prev != nullptr) {
+    if (const MetricsSnapshot::HistogramSample* before =
+            find_histogram(prev->metrics, "mantra_cycle_duration_seconds")) {
+      sum -= before->sum;
+      count -= before->count;
+    }
+  }
+  if (count == 0) return std::nullopt;
+  return sum / static_cast<double>(count);
+}
+
+// --- .mtel writer ----------------------------------------------------------
+
+/// Per-metric encoder state: identity plus the previously written values the
+/// next delta record encodes against. New entries start from zero baselines,
+/// so a metric appearing mid-file still delta-encodes its first value.
+struct TelemetryArchiveWriter::DictEntry {
+  std::uint8_t kind = kKindCounter;
+  std::string name;
+  std::string labels;
+  std::vector<double> bounds;  ///< histograms only
+  std::uint64_t prev_counter = 0;
+  std::uint64_t prev_gauge_bits = 0;
+  std::vector<std::uint64_t> prev_buckets;  ///< per-bound + trailing +Inf
+  std::uint64_t prev_count = 0;
+  std::uint64_t prev_sum_bits = 0;
+};
+
+TelemetryArchiveWriter::TelemetryArchiveWriter(std::string path,
+                                               TelemetryArchiveOptions options)
+    : path_(std::move(path)), options_(options) {
+  if (options_.keyframe_interval < 1) {
+    throw std::runtime_error(
+        "TelemetryArchiveWriter: keyframe_interval must be >= 1");
+  }
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("TelemetryArchiveWriter: cannot open " + path_);
+  }
+  std::string header;
+  put_u32(header, kMagic);
+  header.push_back(static_cast<char>(kVersion & 0xFF));
+  header.push_back(static_cast<char>(kVersion >> 8));
+  header.push_back(0);  // flags
+  header.push_back(0);
+  std::fwrite(header.data(), 1, header.size(), file_);
+  bytes_written_ = header.size();
+}
+
+TelemetryArchiveWriter::~TelemetryArchiveWriter() { close(); }
+
+void TelemetryArchiveWriter::append(const TelemetrySample& sample) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("TelemetryArchiveWriter: appending to closed " +
+                             path_);
+  }
+  const bool keyframe =
+      samples_written_ %
+          static_cast<std::size_t>(options_.keyframe_interval) ==
+      0;
+
+  // Intern every instance first so the dictionary (and therefore the value
+  // section's id order) is fixed before encoding begins.
+  std::vector<std::size_t> new_ids;
+  const auto intern = [&](std::uint8_t kind, const std::string& name,
+                          const std::string& labels,
+                          const std::vector<double>* bounds) {
+    std::string key;
+    key.reserve(name.size() + labels.size() + 2);
+    key.push_back(static_cast<char>('0' + kind));
+    key.append(name);
+    key.push_back('\x1f');
+    key.append(labels);
+    const auto [it, inserted] = dict_index_.emplace(std::move(key), dict_.size());
+    if (inserted) {
+      DictEntry entry;
+      entry.kind = kind;
+      entry.name = name;
+      entry.labels = labels;
+      if (bounds != nullptr) {
+        entry.bounds = *bounds;
+        entry.prev_buckets.assign(bounds->size() + 1, 0);
+      }
+      dict_.push_back(std::move(entry));
+      new_ids.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  for (const MetricsSnapshot::CounterSample& counter : sample.metrics.counters) {
+    intern(kKindCounter, counter.name, counter.labels, nullptr);
+  }
+  for (const MetricsSnapshot::GaugeSample& gauge : sample.metrics.gauges) {
+    intern(kKindGauge, gauge.name, gauge.labels, nullptr);
+  }
+  for (const MetricsSnapshot::HistogramSample& histogram :
+       sample.metrics.histograms) {
+    const std::size_t id = intern(kKindHistogram, histogram.name,
+                                  histogram.labels, &histogram.bounds);
+    if (dict_[id].bounds != histogram.bounds ||
+        histogram.buckets.size() != histogram.bounds.size() + 1) {
+      throw std::runtime_error(
+          "TelemetryArchiveWriter: histogram bounds changed for " +
+          histogram.name);
+    }
+  }
+
+  // Current-sample instance per dictionary id; ids absent from this sample
+  // (impossible with a MetricsRegistry, which never removes metrics, but
+  // legal for hand-built samples) re-encode their previous value.
+  std::vector<const MetricsSnapshot::CounterSample*> cur_counters(dict_.size(),
+                                                                  nullptr);
+  std::vector<const MetricsSnapshot::GaugeSample*> cur_gauges(dict_.size(),
+                                                              nullptr);
+  std::vector<const MetricsSnapshot::HistogramSample*> cur_histograms(
+      dict_.size(), nullptr);
+  for (const MetricsSnapshot::CounterSample& counter : sample.metrics.counters) {
+    cur_counters[intern(kKindCounter, counter.name, counter.labels, nullptr)] =
+        &counter;
+  }
+  for (const MetricsSnapshot::GaugeSample& gauge : sample.metrics.gauges) {
+    cur_gauges[intern(kKindGauge, gauge.name, gauge.labels, nullptr)] = &gauge;
+  }
+  for (const MetricsSnapshot::HistogramSample& histogram :
+       sample.metrics.histograms) {
+    cur_histograms[intern(kKindHistogram, histogram.name, histogram.labels,
+                          &histogram.bounds)] = &histogram;
+  }
+
+  std::string payload;
+  payload.push_back(
+      static_cast<char>(keyframe ? kRecordKeyframe : kRecordDelta));
+  put_svarint(payload, sample.t_ms);
+
+  // New dictionary entries (ids are implicit: sequential from the decoder's
+  // current dictionary size).
+  put_varint(payload, new_ids.size());
+  for (const std::size_t id : new_ids) {
+    const DictEntry& entry = dict_[id];
+    payload.push_back(static_cast<char>(entry.kind));
+    put_string(payload, entry.name);
+    put_string(payload, entry.labels);
+    if (entry.kind == kKindHistogram) {
+      put_varint(payload, entry.bounds.size());
+      for (const double bound : entry.bounds) put_f64(payload, bound);
+    }
+  }
+
+  // Help text diffs: upserts then removals against the previous record.
+  std::vector<std::pair<const std::string*, const std::string*>> upserts;
+  for (const auto& [name, text] : sample.metrics.help) {
+    const auto it = prev_help_.find(name);
+    if (it == prev_help_.end() || it->second != text) {
+      upserts.emplace_back(&name, &text);
+    }
+  }
+  std::vector<const std::string*> removals;
+  for (const auto& [name, text] : prev_help_) {
+    if (sample.metrics.help.find(name) == sample.metrics.help.end()) {
+      removals.push_back(&name);
+    }
+  }
+  put_varint(payload, upserts.size());
+  for (const auto& [name, text] : upserts) {
+    put_string(payload, *name);
+    put_string(payload, *text);
+  }
+  put_varint(payload, removals.size());
+  for (const std::string* name : removals) put_string(payload, *name);
+  prev_help_ = sample.metrics.help;
+
+  // One value per dictionary id, in id order. Key-frames write absolute
+  // values; deltas write differences (counters/buckets as zigzag varints of
+  // the unsigned difference, doubles as varints of XORed IEEE-754 bits —
+  // both exactly invertible).
+  for (DictEntry& entry : dict_) {
+    const std::size_t id = static_cast<std::size_t>(&entry - dict_.data());
+    switch (entry.kind) {
+      case kKindCounter: {
+        const std::uint64_t value = cur_counters[id] != nullptr
+                                        ? cur_counters[id]->value
+                                        : entry.prev_counter;
+        if (keyframe) {
+          put_varint(payload, value);
+        } else {
+          put_svarint(payload,
+                      static_cast<std::int64_t>(value - entry.prev_counter));
+        }
+        entry.prev_counter = value;
+        break;
+      }
+      case kKindGauge: {
+        const std::uint64_t bits = cur_gauges[id] != nullptr
+                                       ? f64_bits(cur_gauges[id]->value)
+                                       : entry.prev_gauge_bits;
+        if (keyframe) {
+          put_f64(payload, bits_f64(bits));
+        } else {
+          put_varint(payload, bits ^ entry.prev_gauge_bits);
+        }
+        entry.prev_gauge_bits = bits;
+        break;
+      }
+      case kKindHistogram: {
+        const MetricsSnapshot::HistogramSample* histogram = cur_histograms[id];
+        for (std::size_t b = 0; b < entry.prev_buckets.size(); ++b) {
+          const std::uint64_t value =
+              histogram != nullptr ? histogram->buckets[b] : entry.prev_buckets[b];
+          if (keyframe) {
+            put_varint(payload, value);
+          } else {
+            put_svarint(payload, static_cast<std::int64_t>(
+                                     value - entry.prev_buckets[b]));
+          }
+          entry.prev_buckets[b] = value;
+        }
+        const std::uint64_t count =
+            histogram != nullptr ? histogram->count : entry.prev_count;
+        const std::uint64_t sum_bits =
+            histogram != nullptr ? f64_bits(histogram->sum) : entry.prev_sum_bits;
+        if (keyframe) {
+          put_varint(payload, count);
+          put_f64(payload, bits_f64(sum_bits));
+        } else {
+          put_svarint(payload,
+                      static_cast<std::int64_t>(count - entry.prev_count));
+          put_varint(payload, sum_bits ^ entry.prev_sum_bits);
+        }
+        entry.prev_count = count;
+        entry.prev_sum_bits = sum_bits;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // The event tail, verbatim.
+  put_varint(payload, sample.events.size());
+  for (const TelemetryEvent& event : sample.events) {
+    payload.push_back(static_cast<char>(event.level));
+    put_string(payload, event.name);
+    put_svarint(payload, event.sim_ts_ms);
+    put_varint(payload, event.seq);
+    put_varint(payload, event.fields.size());
+    for (const auto& [key, value] : event.fields) {
+      put_string(payload, key);
+      put_string(payload, value);
+    }
+  }
+
+  std::string frame;
+  frame.reserve(kFrameBytes + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload.data(), payload.size()));
+  frame.append(payload);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    throw std::runtime_error("TelemetryArchiveWriter: short write to " + path_);
+  }
+  bytes_written_ += frame.size();
+  ++samples_written_;
+
+  if (keyframe && options_.fsync_on_keyframe) sync();
+}
+
+void TelemetryArchiveWriter::sync() {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+#if defined(__unix__) || defined(__APPLE__)
+  ::fsync(fileno(file_));
+#endif
+}
+
+void TelemetryArchiveWriter::close() {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+// --- .mtel reader ----------------------------------------------------------
+
+TelemetryArchiveReader::TelemetryArchiveReader(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    throw std::runtime_error("TelemetryArchiveReader: cannot open " + path);
+  }
+  std::string buffer;
+  char chunk[65536];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, in)) > 0) {
+    buffer.append(chunk, got);
+  }
+  std::fclose(in);
+
+  if (buffer.size() < kHeaderBytes) {
+    if (!buffer.empty()) {
+      recovery_.clean = false;
+      recovery_.bytes_dropped = buffer.size();
+      recovery_.reason = "truncated file header";
+    }
+    return;
+  }
+  Cursor header{buffer.data(), buffer.size()};
+  if (header.u32() != kMagic) {
+    throw std::runtime_error("TelemetryArchiveReader: bad magic in " + path);
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(header.u8()) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(header.u8()) << 8);
+  if (version != kVersion) {
+    throw std::runtime_error(
+        "TelemetryArchiveReader: unsupported version in " + path);
+  }
+
+  // Cumulative decoder state, mirroring the writer's dictionary.
+  struct DecodeEntry {
+    std::uint8_t kind = kKindCounter;
+    std::string name;
+    std::string labels;
+    std::vector<double> bounds;
+    std::uint64_t counter = 0;
+    std::uint64_t gauge_bits = 0;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum_bits = 0;
+  };
+  std::vector<DecodeEntry> dict;
+  std::map<std::string, std::string> help;
+
+  std::size_t pos = kHeaderBytes;
+  const auto drop_tail = [&](const char* reason) {
+    recovery_.clean = false;
+    recovery_.bytes_dropped = buffer.size() - pos;
+    recovery_.reason = reason;
+  };
+
+  const auto decode = [&](const char* payload, std::uint32_t length,
+                          TelemetrySample& sample, bool& keyframe) {
+    Cursor cursor{payload, length};
+    const std::uint8_t record_kind = cursor.u8();
+    if (record_kind != kRecordKeyframe && record_kind != kRecordDelta) {
+      throw std::runtime_error("unknown record kind");
+    }
+    keyframe = record_kind == kRecordKeyframe;
+    sample.t_ms = cursor.svarint();
+
+    const std::uint64_t new_entries = cursor.varint();
+    for (std::uint64_t i = 0; i < new_entries; ++i) {
+      DecodeEntry entry;
+      entry.kind = cursor.u8();
+      if (entry.kind > kKindHistogram) {
+        throw std::runtime_error("unknown metric kind");
+      }
+      entry.name = cursor.string();
+      entry.labels = cursor.string();
+      if (entry.kind == kKindHistogram) {
+        const std::uint64_t bound_count = cursor.varint();
+        entry.bounds.reserve(bound_count);
+        for (std::uint64_t b = 0; b < bound_count; ++b) {
+          entry.bounds.push_back(cursor.f64());
+        }
+        entry.buckets.assign(entry.bounds.size() + 1, 0);
+      }
+      dict.push_back(std::move(entry));
+    }
+
+    const std::uint64_t upserts = cursor.varint();
+    for (std::uint64_t i = 0; i < upserts; ++i) {
+      std::string name = cursor.string();
+      help[std::move(name)] = cursor.string();
+    }
+    const std::uint64_t removals = cursor.varint();
+    for (std::uint64_t i = 0; i < removals; ++i) {
+      help.erase(cursor.string());
+    }
+
+    for (DecodeEntry& entry : dict) {
+      switch (entry.kind) {
+        case kKindCounter:
+          entry.counter = keyframe
+                              ? cursor.varint()
+                              : entry.counter +
+                                    static_cast<std::uint64_t>(cursor.svarint());
+          break;
+        case kKindGauge:
+          entry.gauge_bits = keyframe ? f64_bits(cursor.f64())
+                                      : entry.gauge_bits ^ cursor.varint();
+          break;
+        case kKindHistogram: {
+          for (std::uint64_t& bucket : entry.buckets) {
+            bucket = keyframe
+                         ? cursor.varint()
+                         : bucket + static_cast<std::uint64_t>(cursor.svarint());
+          }
+          if (keyframe) {
+            entry.count = cursor.varint();
+            entry.sum_bits = f64_bits(cursor.f64());
+          } else {
+            entry.count += static_cast<std::uint64_t>(cursor.svarint());
+            entry.sum_bits ^= cursor.varint();
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    const std::uint64_t event_count = cursor.varint();
+    sample.events.reserve(event_count);
+    for (std::uint64_t i = 0; i < event_count; ++i) {
+      TelemetryEvent event;
+      const std::uint8_t level = cursor.u8();
+      if (level > static_cast<std::uint8_t>(EventLevel::error)) {
+        throw std::runtime_error("unknown event level");
+      }
+      event.level = static_cast<EventLevel>(level);
+      event.name = cursor.string();
+      event.sim_ts_ms = cursor.svarint();
+      event.seq = cursor.varint();
+      const std::uint64_t field_count = cursor.varint();
+      event.fields.reserve(field_count);
+      for (std::uint64_t f = 0; f < field_count; ++f) {
+        std::string key = cursor.string();
+        std::string value = cursor.string();
+        event.fields.emplace_back(std::move(key), std::move(value));
+      }
+      sample.events.push_back(std::move(event));
+    }
+    if (cursor.pos != cursor.size) {
+      throw std::runtime_error("trailing bytes in record");
+    }
+
+    // Materialize the snapshot in the registry's (name, labels) order.
+    for (const DecodeEntry& entry : dict) {
+      switch (entry.kind) {
+        case kKindCounter:
+          sample.metrics.counters.push_back(
+              {entry.name, entry.labels, entry.counter});
+          break;
+        case kKindGauge:
+          sample.metrics.gauges.push_back(
+              {entry.name, entry.labels, bits_f64(entry.gauge_bits)});
+          break;
+        case kKindHistogram: {
+          MetricsSnapshot::HistogramSample histogram;
+          histogram.name = entry.name;
+          histogram.labels = entry.labels;
+          histogram.bounds = entry.bounds;
+          histogram.buckets = entry.buckets;
+          histogram.count = entry.count;
+          histogram.sum = bits_f64(entry.sum_bits);
+          sample.metrics.histograms.push_back(std::move(histogram));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    const auto by_name_labels = [](const auto& a, const auto& b) {
+      if (a.name != b.name) return a.name < b.name;
+      return a.labels < b.labels;
+    };
+    std::sort(sample.metrics.counters.begin(), sample.metrics.counters.end(),
+              by_name_labels);
+    std::sort(sample.metrics.gauges.begin(), sample.metrics.gauges.end(),
+              by_name_labels);
+    std::sort(sample.metrics.histograms.begin(), sample.metrics.histograms.end(),
+              by_name_labels);
+    sample.metrics.help = help;
+  };
+
+  while (pos < buffer.size()) {
+    if (pos + kFrameBytes > buffer.size()) {
+      drop_tail("short frame header");
+      break;
+    }
+    Cursor frame{buffer.data() + pos, kFrameBytes};
+    const std::uint32_t length = frame.u32();
+    const std::uint32_t expected_crc = frame.u32();
+    if (length > kMaxRecordBytes) {
+      drop_tail("implausible record length");
+      break;
+    }
+    if (pos + kFrameBytes + length > buffer.size()) {
+      drop_tail("short record payload");
+      break;
+    }
+    const char* payload = buffer.data() + pos + kFrameBytes;
+    if (crc32(payload, length) != expected_crc) {
+      drop_tail("crc mismatch");
+      break;
+    }
+    TelemetrySample sample;
+    bool keyframe = false;
+    try {
+      decode(payload, length, sample, keyframe);
+    } catch (const std::exception&) {
+      drop_tail("undecodable record");
+      break;
+    }
+    if (samples_.empty() && !keyframe) {
+      drop_tail("first record is not a key-frame");
+      break;
+    }
+    samples_.push_back(std::move(sample));
+    pos += kFrameBytes + length;
+  }
+  indexed_bytes_ = pos;
+}
+
+// --- Series ----------------------------------------------------------------
+
+namespace {
+
+std::optional<double> lookup_series(const MetricsSnapshot& snapshot,
+                                    std::string_view name,
+                                    std::string_view labels,
+                                    std::string_view suffix) {
+  if (suffix.empty()) {
+    if (const auto* counter = find_counter(snapshot, name, labels)) {
+      return static_cast<double>(counter->value);
+    }
+    if (const auto* gauge = find_gauge(snapshot, name, labels)) {
+      return gauge->value;
+    }
+    return std::nullopt;
+  }
+  const auto* histogram = find_histogram(snapshot, name, labels);
+  if (histogram == nullptr) return std::nullopt;
+  if (suffix == ":count") return static_cast<double>(histogram->count);
+  if (suffix == ":sum") return histogram->sum;
+  if (suffix == ":p50") return histogram->quantile(0.5);
+  if (suffix == ":p95") return histogram->quantile(0.95);
+  if (suffix == ":p99") return histogram->quantile(0.99);
+  return std::nullopt;
+}
+
+constexpr std::string_view kHistogramSuffixes[] = {":count", ":sum", ":p50",
+                                                   ":p95", ":p99"};
+
+}  // namespace
+
+std::optional<double> telemetry_series_value(const MetricsSnapshot& snapshot,
+                                             std::string_view series) {
+  const std::size_t brace = series.find('{');
+  if (brace != std::string_view::npos) {
+    const std::size_t close = series.rfind('}');
+    if (close == std::string_view::npos || close < brace) return std::nullopt;
+    return lookup_series(snapshot, series.substr(0, brace),
+                         series.substr(brace + 1, close - brace - 1),
+                         series.substr(close + 1));
+  }
+  // Unlabeled: an exact counter/gauge name wins (metric names may legally
+  // contain colons), then the histogram suffixes.
+  if (const std::optional<double> value = lookup_series(snapshot, series, "", "")) {
+    return value;
+  }
+  for (const std::string_view suffix : kHistogramSuffixes) {
+    if (series.size() > suffix.size() &&
+        series.substr(series.size() - suffix.size()) == suffix) {
+      return lookup_series(snapshot,
+                           series.substr(0, series.size() - suffix.size()), "",
+                           suffix);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> telemetry_series_names(const MetricsSnapshot& snapshot) {
+  std::vector<std::string> names;
+  names.reserve(snapshot.counters.size() + snapshot.gauges.size() +
+                snapshot.histograms.size() * 4);
+  enumerate_series_values(snapshot, [&](std::string series, double) {
+    names.push_back(std::move(series));
+  });
+  return names;
+}
+
+// --- Rollups ---------------------------------------------------------------
+
+TelemetryRollupFingerprint telemetry_fingerprint_of(
+    const TelemetryArchiveReader& reader) {
+  TelemetryRollupFingerprint fingerprint;
+  fingerprint.samples = reader.size();
+  if (!reader.empty()) {
+    fingerprint.first_ms = reader.samples().front().t_ms;
+    fingerprint.last_ms = reader.samples().back().t_ms;
+  }
+  fingerprint.indexed_bytes = reader.indexed_bytes();
+  return fingerprint;
+}
+
+TelemetryRollupSidecar build_telemetry_rollups(
+    const TelemetryArchiveReader& reader) {
+  // series -> hour start -> bucket, accumulated in sample order with the
+  // exact arithmetic the raw query path uses.
+  std::map<std::string, std::map<std::int64_t, TelemetryRollupBucket>> acc;
+  for (const TelemetrySample& sample : reader.samples()) {
+    const std::int64_t start = hour_start(sample.t_ms);
+    enumerate_series_values(
+        sample.metrics, [&](std::string series, double value) {
+          TelemetryRollupBucket& bucket = acc[std::move(series)][start];
+          if (bucket.samples == 0) {
+            bucket.start_ms = start;
+            bucket.min = bucket.max = bucket.sum = bucket.last = value;
+          } else {
+            bucket.min = std::min(bucket.min, value);
+            bucket.max = std::max(bucket.max, value);
+            bucket.sum += value;
+            bucket.last = value;
+          }
+          ++bucket.samples;
+        });
+  }
+
+  TelemetryRollupSidecar sidecar;
+  sidecar.source = telemetry_fingerprint_of(reader);
+  sidecar.series.reserve(acc.size());
+  for (auto& [series, buckets] : acc) {
+    TelemetrySeriesRollup rollup;
+    rollup.series = series;
+    rollup.hourly.reserve(buckets.size());
+    for (auto& [start, bucket] : buckets) rollup.hourly.push_back(bucket);
+    sidecar.series.push_back(std::move(rollup));
+  }
+  return sidecar;
+}
+
+std::string telemetry_rollup_path_for(const std::string& archive_path) {
+  const std::size_t slash = archive_path.find_last_of('/');
+  const std::size_t dot = archive_path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return archive_path + ".mtrl";
+  }
+  return archive_path.substr(0, dot) + ".mtrl";
+}
+
+bool write_telemetry_rollup_sidecar(const std::string& path,
+                                    const TelemetryRollupSidecar& sidecar) {
+  std::string payload;
+  put_varint(payload, sidecar.source.samples);
+  put_svarint(payload, sidecar.source.first_ms);
+  put_svarint(payload, sidecar.source.last_ms);
+  put_varint(payload, sidecar.source.indexed_bytes);
+  put_varint(payload, sidecar.series.size());
+  for (const TelemetrySeriesRollup& series : sidecar.series) {
+    put_string(payload, series.series);
+    put_varint(payload, series.hourly.size());
+    for (const TelemetryRollupBucket& bucket : series.hourly) {
+      put_svarint(payload, bucket.start_ms);
+      put_varint(payload, bucket.samples);
+      put_f64(payload, bucket.min);
+      put_f64(payload, bucket.max);
+      put_f64(payload, bucket.sum);
+      put_f64(payload, bucket.last);
+    }
+  }
+
+  std::string file;
+  file.reserve(kRollupHeaderBytes + 8 + payload.size());
+  put_u32(file, kRollupMagic);
+  put_u32(file, kRollupVersion);
+  put_u32(file, static_cast<std::uint32_t>(payload.size()));
+  put_u32(file, crc32(payload.data(), payload.size()));
+  file.append(payload);
+
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) return false;
+  const bool ok = std::fwrite(file.data(), 1, file.size(), out) == file.size();
+  return std::fclose(out) == 0 && ok;
+}
+
+std::optional<TelemetryRollupSidecar> load_telemetry_rollup_sidecar(
+    const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return std::nullopt;
+  std::string contents;
+  char chunk[65536];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, in)) > 0) {
+    contents.append(chunk, got);
+  }
+  std::fclose(in);
+
+  try {
+    Cursor cursor{contents.data(), contents.size()};
+    if (cursor.u32() != kRollupMagic) return std::nullopt;
+    if (cursor.u32() != kRollupVersion) return std::nullopt;
+    const std::uint32_t length = cursor.u32();
+    const std::uint32_t expected_crc = cursor.u32();
+    // One record, exactly: trailing bytes mean the file is not what this
+    // writer produces, so treat it as damage.
+    if (contents.size() != kRollupHeaderBytes + 8 + length) return std::nullopt;
+    const char* payload = contents.data() + kRollupHeaderBytes + 8;
+    if (crc32(payload, length) != expected_crc) return std::nullopt;
+
+    Cursor body{payload, length};
+    TelemetryRollupSidecar sidecar;
+    sidecar.source.samples = body.varint();
+    sidecar.source.first_ms = body.svarint();
+    sidecar.source.last_ms = body.svarint();
+    sidecar.source.indexed_bytes = body.varint();
+    const std::uint64_t series_count = body.varint();
+    sidecar.series.reserve(series_count);
+    for (std::uint64_t s = 0; s < series_count; ++s) {
+      TelemetrySeriesRollup series;
+      series.series = body.string();
+      const std::uint64_t bucket_count = body.varint();
+      series.hourly.reserve(bucket_count);
+      for (std::uint64_t b = 0; b < bucket_count; ++b) {
+        TelemetryRollupBucket bucket;
+        bucket.start_ms = body.svarint();
+        bucket.samples = static_cast<std::uint32_t>(body.varint());
+        bucket.min = body.f64();
+        bucket.max = body.f64();
+        bucket.sum = body.f64();
+        bucket.last = body.f64();
+        series.hourly.push_back(bucket);
+      }
+      sidecar.series.push_back(std::move(series));
+    }
+    if (body.pos != body.size) return std::nullopt;
+    return sidecar;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+TelemetryCompactionStats compact_telemetry_archive(
+    const std::string& input_path, const std::string& output_path,
+    TelemetryCompactionOptions options) {
+  const TelemetryArchiveReader reader(input_path);
+  TelemetryArchiveOptions writer_options;
+  writer_options.keyframe_interval = options.keyframe_interval;
+  writer_options.fsync_on_keyframe = false;  // one sync at the end is enough
+  TelemetryArchiveWriter writer(output_path, writer_options);
+
+  TelemetryCompactionStats stats;
+  stats.samples_in = reader.size();
+  stats.bytes_in = reader.indexed_bytes();
+  for (const TelemetrySample& sample : reader.samples()) {
+    if (options.drop_before &&
+        sample.t_ms < options.drop_before->total_ms()) {
+      ++stats.samples_dropped;
+      continue;
+    }
+    writer.append(sample);
+  }
+  writer.sync();
+  writer.close();
+  stats.samples_out = writer.samples_written();
+  stats.bytes_out = writer.bytes_written();
+
+  if (options.write_rollups) {
+    // Re-open the output so the fingerprint describes the bytes actually on
+    // disk, not what we think we wrote.
+    const TelemetryArchiveReader rewritten(output_path);
+    const TelemetryRollupSidecar sidecar = build_telemetry_rollups(rewritten);
+    stats.rollups_written = write_telemetry_rollup_sidecar(
+        telemetry_rollup_path_for(output_path), sidecar);
+    if (stats.rollups_written) {
+      stats.rollup_series = sidecar.series.size();
+      for (const TelemetrySeriesRollup& series : sidecar.series) {
+        stats.rollup_hour_buckets += series.hourly.size();
+      }
+    }
+  }
+  return stats;
+}
+
+// --- Query engine ----------------------------------------------------------
+
+void TelemetryQueryEngine::add_archive(std::string name,
+                                       const std::string& path) {
+  auto source = std::make_unique<Source>();
+  source->name = std::move(name);
+  source->reader = std::make_unique<TelemetryArchiveReader>(path);
+  if (std::optional<TelemetryRollupSidecar> sidecar =
+          load_telemetry_rollup_sidecar(telemetry_rollup_path_for(path))) {
+    if (sidecar->source == telemetry_fingerprint_of(*source->reader)) {
+      source->rollups = std::move(sidecar);
+    } else {
+      ++rollups_rejected_;  // stale sidecar (e.g. re-compacted archive)
+    }
+  }
+  sources_.push_back(std::move(source));
+}
+
+std::vector<std::string> TelemetryQueryEngine::sources() const {
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const std::unique_ptr<Source>& source : sources_) {
+    names.push_back(source->name);
+  }
+  return names;
+}
+
+const TelemetryArchiveReader* TelemetryQueryEngine::reader(
+    const std::string& name) const {
+  for (const std::unique_ptr<Source>& source : sources_) {
+    if (source->name == name) return source->reader.get();
+  }
+  return nullptr;
+}
+
+bool TelemetryQueryEngine::has_rollups(const std::string& name) const {
+  for (const std::unique_ptr<Source>& source : sources_) {
+    if (source->name == name) return source->rollups.has_value();
+  }
+  return false;
+}
+
+QueryResult TelemetryQueryEngine::run(const TelemetryQuery& query) const {
+  const Source* source = nullptr;
+  for (const std::unique_ptr<Source>& candidate : sources_) {
+    if (candidate->name == query.source) {
+      source = candidate.get();
+      break;
+    }
+  }
+  if (source == nullptr) {
+    throw std::invalid_argument("TelemetryQueryEngine: unknown source " +
+                                query.source);
+  }
+
+  std::int64_t from_ms = query.from.total_ms();
+  std::int64_t to_ms = query.to.total_ms();
+  const bool bucketed = query.resolution != QueryResolution::raw;
+  const std::int64_t width =
+      query.resolution == QueryResolution::day ? kDayMs : kHourMs;
+  if (bucketed) {
+    // Snap outward to whole buckets, exactly as core/query does: every
+    // bucket intersecting [from, to] aggregates over ALL its samples, so the
+    // rollup-served and raw-scanned answers agree by construction.
+    const auto snap = [width](std::int64_t t) {
+      std::int64_t q = t / width;
+      if (t % width != 0 && t < 0) --q;
+      return q * width;
+    };
+    from_ms = snap(from_ms);
+    to_ms = snap(to_ms) + width - 1;
+  }
+  if (from_ms > to_ms) return {};
+
+  // The sidecar holds hourly buckets only; day resolution (and unknown
+  // series) falls back to the raw scan.
+  if (query.resolution == QueryResolution::hour && query.allow_rollup &&
+      source->rollups) {
+    const std::vector<TelemetrySeriesRollup>& all = source->rollups->series;
+    const auto it = std::lower_bound(
+        all.begin(), all.end(), query.series,
+        [](const TelemetrySeriesRollup& rollup, const std::string& key) {
+          return rollup.series < key;
+        });
+    if (it != all.end() && it->series == query.series) {
+      QueryResult result;
+      result.from_rollup = true;
+      const auto first = std::lower_bound(
+          it->hourly.begin(), it->hourly.end(), from_ms,
+          [](const TelemetryRollupBucket& bucket, std::int64_t t) {
+            return bucket.start_ms < t;
+          });
+      for (auto bucket = first;
+           bucket != it->hourly.end() && bucket->start_ms <= to_ms; ++bucket) {
+        ++result.rollup_buckets;
+        result.points.push_back({sim::TimePoint::from_ms(bucket->start_ms),
+                                 aggregate_bucket(query.aggregate, *bucket),
+                                 bucket->samples});
+      }
+      return result;
+    }
+  }
+
+  // Raw scan.
+  QueryResult result;
+  const std::vector<TelemetrySample>& samples = source->reader->samples();
+  auto it = std::lower_bound(
+      samples.begin(), samples.end(), from_ms,
+      [](const TelemetrySample& sample, std::int64_t t) {
+        return sample.t_ms < t;
+      });
+
+  TelemetryRollupBucket acc;
+  const auto flush = [&] {
+    if (acc.samples == 0) return;
+    result.points.push_back({sim::TimePoint::from_ms(acc.start_ms),
+                             aggregate_bucket(query.aggregate, acc),
+                             acc.samples});
+    acc.samples = 0;
+  };
+
+  for (; it != samples.end() && it->t_ms <= to_ms; ++it) {
+    ++result.records_decoded;
+    const std::optional<double> value =
+        telemetry_series_value(it->metrics, query.series);
+    if (!value) continue;
+    if (!bucketed) {
+      result.points.push_back({sim::TimePoint::from_ms(it->t_ms), *value, 1});
+      continue;
+    }
+    const std::int64_t start =
+        it->t_ms >= 0 ? it->t_ms / width * width
+                      : (it->t_ms - width + 1) / width * width;
+    if (acc.samples > 0 && start != acc.start_ms) flush();
+    if (acc.samples == 0) {
+      acc.start_ms = start;
+      acc.min = acc.max = acc.sum = acc.last = *value;
+    } else {
+      acc.min = std::min(acc.min, *value);
+      acc.max = std::max(acc.max, *value);
+      acc.sum += *value;
+      acc.last = *value;
+    }
+    ++acc.samples;
+  }
+  flush();
+  return result;
+}
+
+// --- Self-monitoring -------------------------------------------------------
+
+std::vector<SelfRule> default_self_rules() {
+  std::vector<SelfRule> rules;
+
+  // The cycle itself got slow: p95 of the per-cycle wall duration over the
+  // last day's worth of 30-minute cycles.
+  SelfRule cycle;
+  cycle.rule.name = "cycle_duration_p95";
+  cycle.rule.severity = AlertSeverity::warning;
+  cycle.rule.kind = AlertRule::Kind::threshold;
+  cycle.rule.extract = zero_extract;
+  cycle.rule.aggregate = AlertRule::Aggregate::quantile;
+  cycle.rule.quantile_q = 0.95;
+  cycle.rule.window = 48;
+  cycle.rule.fire_threshold = 5.0;
+  cycle.rule.clear_threshold = 2.5;
+  cycle.rule.for_cycles = 3;
+  cycle.rule.clear_for_cycles = 6;
+  cycle.value = [](const TelemetrySample* prev, const TelemetrySample& cur) {
+    return self_cycle_duration_s(prev, cur).value_or(0.0);
+  };
+  rules.push_back(std::move(cycle));
+
+  // Collection fan-out is backing up: sustained per-cycle queue-depth peak
+  // (targets waiting for a pool worker).
+  SelfRule queue;
+  queue.rule.name = "pool_queue_depth";
+  queue.rule.severity = AlertSeverity::warning;
+  queue.rule.kind = AlertRule::Kind::threshold;
+  queue.rule.extract = zero_extract;
+  queue.rule.aggregate = AlertRule::Aggregate::mean;
+  queue.rule.window = 12;
+  queue.rule.fire_threshold = 64.0;
+  queue.rule.clear_threshold = 32.0;
+  queue.rule.for_cycles = 3;
+  queue.rule.clear_for_cycles = 6;
+  queue.value = [](const TelemetrySample*, const TelemetrySample& cur) {
+    const auto* gauge = find_gauge(cur.metrics, "mantra_pool_queue_depth_peak");
+    return gauge == nullptr ? 0.0 : gauge->value;
+  };
+  rules.push_back(std::move(queue));
+
+  // Captures are failing across the board — the monitor is flying blind even
+  // if no single target has tripped its own failure-streak rule yet.
+  SelfRule failures;
+  failures.rule.name = "capture_failure_rate";
+  failures.rule.severity = AlertSeverity::critical;
+  failures.rule.kind = AlertRule::Kind::threshold;
+  failures.rule.extract = zero_extract;
+  failures.rule.aggregate = AlertRule::Aggregate::mean;
+  failures.rule.window = 6;
+  failures.rule.fire_threshold = 0.5;
+  failures.rule.clear_threshold = 0.25;
+  failures.rule.for_cycles = 2;
+  failures.rule.clear_for_cycles = 4;
+  failures.value = [](const TelemetrySample* prev, const TelemetrySample& cur) {
+    const auto counts = [](const MetricsSnapshot& metrics) {
+      std::uint64_t total = 0;
+      std::uint64_t failed = 0;
+      for (const MetricsSnapshot::CounterSample& counter : metrics.counters) {
+        if (counter.name != "mantra_capture_status_total") continue;
+        total += counter.value;
+        if (counter.labels.find("status=\"ok\"") == std::string::npos) {
+          failed += counter.value;
+        }
+      }
+      return std::make_pair(total, failed);
+    };
+    auto [total, failed] = counts(cur.metrics);
+    if (prev != nullptr) {
+      const auto [prev_total, prev_failed] = counts(prev->metrics);
+      total -= prev_total;
+      failed -= prev_failed;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(failed) / static_cast<double>(total);
+  };
+  rules.push_back(std::move(failures));
+
+  // Durability is stalling: p95 of archive fsync wall time this cycle,
+  // merged across every target's `.marc` writer.
+  SelfRule fsync_latency;
+  fsync_latency.rule.name = "archive_write_latency";
+  fsync_latency.rule.severity = AlertSeverity::warning;
+  fsync_latency.rule.kind = AlertRule::Kind::threshold;
+  fsync_latency.rule.extract = zero_extract;
+  fsync_latency.rule.aggregate = AlertRule::Aggregate::quantile;
+  fsync_latency.rule.quantile_q = 0.95;
+  fsync_latency.rule.window = 48;
+  fsync_latency.rule.fire_threshold = 1.0;
+  fsync_latency.rule.clear_threshold = 0.5;
+  fsync_latency.rule.for_cycles = 3;
+  fsync_latency.rule.clear_for_cycles = 6;
+  fsync_latency.value = [](const TelemetrySample* prev,
+                           const TelemetrySample& cur) {
+    const auto merged = [](const MetricsSnapshot& metrics,
+                           std::vector<double>& bounds,
+                           std::vector<std::uint64_t>& buckets,
+                           std::uint64_t& count, std::int64_t sign) {
+      for (const MetricsSnapshot::HistogramSample& histogram :
+           metrics.histograms) {
+        if (histogram.name != "mantra_archive_fsync_seconds") continue;
+        if (bounds.empty()) {
+          bounds = histogram.bounds;
+          buckets.assign(histogram.buckets.size(), 0);
+        }
+        if (histogram.bounds != bounds) continue;
+        for (std::size_t b = 0; b < buckets.size(); ++b) {
+          buckets[b] += static_cast<std::uint64_t>(
+              sign * static_cast<std::int64_t>(histogram.buckets[b]));
+        }
+        count += static_cast<std::uint64_t>(
+            sign * static_cast<std::int64_t>(histogram.count));
+      }
+    };
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    merged(cur.metrics, bounds, buckets, count, 1);
+    if (prev != nullptr) merged(prev->metrics, bounds, buckets, count, -1);
+    if (count == 0) return 0.0;
+    return histogram_quantile(bounds, buckets, count, 0.95);
+  };
+  rules.push_back(std::move(fsync_latency));
+
+  // The serving layer stopped benefiting from its cache: per-cycle hit
+  // fraction of the query block cache (fires below the threshold; an idle
+  // cycle with no lookups counts as healthy).
+  SelfRule cache;
+  cache.rule.name = "cache_hit_rate";
+  cache.rule.severity = AlertSeverity::info;
+  cache.rule.kind = AlertRule::Kind::threshold;
+  cache.rule.extract = zero_extract;
+  cache.rule.aggregate = AlertRule::Aggregate::mean;
+  cache.rule.window = 12;
+  cache.rule.fire_above = false;
+  cache.rule.fire_threshold = 0.2;
+  cache.rule.clear_threshold = 0.5;
+  cache.rule.for_cycles = 3;
+  cache.rule.clear_for_cycles = 6;
+  cache.value = [](const TelemetrySample* prev, const TelemetrySample& cur) {
+    const auto family_total = [](const MetricsSnapshot& metrics,
+                                 std::string_view name) {
+      std::uint64_t total = 0;
+      for (const MetricsSnapshot::CounterSample& counter : metrics.counters) {
+        if (counter.name == name) total += counter.value;
+      }
+      return total;
+    };
+    std::uint64_t hits = family_total(cur.metrics, "mantra_query_cache_hits_total");
+    std::uint64_t misses =
+        family_total(cur.metrics, "mantra_query_cache_misses_total");
+    if (prev != nullptr) {
+      hits -= family_total(prev->metrics, "mantra_query_cache_hits_total");
+      misses -= family_total(prev->metrics, "mantra_query_cache_misses_total");
+    }
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0
+               ? 1.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  };
+  rules.push_back(std::move(cache));
+
+  return rules;
+}
+
+void SelfMonitorConfig::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("SelfMonitorConfig.name must be non-empty");
+  }
+  if (archive.keyframe_interval < 1) {
+    throw std::invalid_argument(
+        "SelfMonitorConfig.archive.keyframe_interval must be >= 1");
+  }
+  for (const SelfRule& self : rules) {
+    if (!self.value) {
+      throw std::invalid_argument("SelfRule '" + self.rule.name +
+                                  "' has no value extractor");
+    }
+    AlertRule rule = self.rule;
+    if (!rule.extract) rule.extract = zero_extract;
+    rule.validate();
+  }
+}
+
+SelfMonitor::SelfMonitor(SelfMonitorConfig config, Telemetry* telemetry)
+    : config_(std::move(config)),
+      telemetry_(telemetry),
+      rules_(config_.rules.empty() ? default_self_rules() : config_.rules),
+      alerts_(alert_rules_of(rules_)) {
+  config_.validate();
+  if (telemetry_ == nullptr) {
+    throw std::invalid_argument("SelfMonitor: telemetry must not be null");
+  }
+  for (const SelfRule& self : rules_) {
+    if (!self.value) {
+      throw std::invalid_argument("SelfRule '" + self.rule.name +
+                                  "' has no value extractor");
+    }
+  }
+  alerts_.set_telemetry(telemetry_);
+  if (!config_.path.empty()) {
+    const std::filesystem::path parent =
+        std::filesystem::path(config_.path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    writer_ = std::make_unique<TelemetryArchiveWriter>(config_.path,
+                                                       config_.archive);
+  }
+}
+
+void SelfMonitor::sample(sim::TimePoint now) {
+  TelemetrySample sample;
+  sample.t_ms = now.total_ms();
+  sample.metrics = telemetry_->metrics().snapshot();
+  for (TelemetryEvent& event : telemetry_->events().snapshot()) {
+    if (event.seq < next_event_seq_) continue;
+    next_event_seq_ = event.seq + 1;
+    sample.events.push_back(std::move(event));
+  }
+
+  if (writer_) writer_->append(sample);
+  samples_.push_back(std::move(sample));
+
+  const TelemetrySample* prev =
+      samples_.size() >= 2 ? &samples_[samples_.size() - 2] : nullptr;
+  std::vector<double> values;
+  values.reserve(rules_.size());
+  for (const SelfRule& self : rules_) {
+    values.push_back(self.value(prev, samples_.back()));
+  }
+  alerts_.observe_values(config_.name, now, values);
+}
+
+void SelfMonitor::close() {
+  if (writer_) {
+    writer_->sync();
+    writer_->close();
+  }
+}
+
+MonitorHealthData monitor_health_from_samples(std::string name,
+                                              std::vector<TelemetrySample> samples,
+                                              const std::vector<SelfRule>& rules) {
+  AlertEngine engine(alert_rules_of(rules));
+  std::vector<double> values(rules.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const TelemetrySample* prev = i > 0 ? &samples[i - 1] : nullptr;
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      values[r] = rules[r].value(prev, samples[i]);
+    }
+    engine.observe_values(name, sim::TimePoint::from_ms(samples[i].t_ms),
+                          values);
+  }
+
+  MonitorHealthData data;
+  data.name = std::move(name);
+  data.samples = std::move(samples);
+  data.alert_states = engine.status();
+  data.alerts = engine.history();
+  return data;
+}
+
+}  // namespace mantra::core

@@ -1,0 +1,423 @@
+// Durable self-telemetry: the monitor's own vital signs, archived with the
+// same discipline as the router state it collects. core/telemetry gives the
+// monitor in-memory counters, gauges, histograms and an event ring; this
+// module makes that state *durable and queryable* so "was the monitor
+// healthy last Tuesday?" has an answer after the process is gone — the
+// "monitor of the monitor" loop the paper's six-month deployment needed but
+// left implicit.
+//
+// Three pieces:
+//
+//   * `.mtel` archive — one record per monitoring cycle holding a
+//     MetricsSnapshot of every registered metric plus the event-log tail
+//     since the previous sample. Same framing as `.marc` (core/archive):
+//     magic/version header, `length:u32 crc32:u32 payload` records,
+//     key-frame/delta encoding (counters as varint deltas, doubles as
+//     XOR-of-IEEE-754-bits varints — lossless), torn-tail recovery via the
+//     framing. A metric dictionary grows append-only across the file so
+//     names/labels/bounds are written once.
+//   * TelemetryQueryEngine — the core/query pattern over `.mtel` files:
+//     {series, [from, to], resolution, aggregate} questions, per-hour
+//     rollup sidecars (`.mtrl`) built at compaction whose answers are
+//     bit-identical to a raw scan by construction (same extraction, same
+//     accumulation order, outward bucket snapping).
+//   * SelfMonitor — samples the live Telemetry once per cycle, appends to
+//     the `.mtel`, and evaluates a self-monitoring rule pack
+//     (cycle-duration p95, pool queue depth, capture failure rate, archive
+//     fsync latency, cache hit rate) through the existing AlertEngine —
+//     the monitor pages about itself with the same pending/firing/
+//     hysteresis machinery it uses for routers. monitor_health_from_samples
+//     re-derives the identical alert history from decoded samples, which is
+//     what makes the report's "Monitor health" section byte-identical
+//     between the live run and an `.mtel` replay.
+//
+// Everything here is read-only with respect to collection: sampling never
+// feeds back into capture, parsing, retry scheduling or `.marc` bytes, so
+// runs stay byte-identical with self-telemetry on or off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/alert.hpp"
+#include "core/query.hpp"
+#include "core/telemetry.hpp"
+#include "sim/time.hpp"
+
+namespace mantra::core {
+
+// --- Samples ---------------------------------------------------------------
+
+/// One cycle's worth of self-telemetry: the full metric state at `t_ms`
+/// plus the events that arrived since the previous sample. This is the unit
+/// the `.mtel` archive stores; the codec is lossless, so a decoded sample
+/// compares equal to the one that was appended.
+struct TelemetrySample {
+  std::int64_t t_ms = 0;
+  MetricsSnapshot metrics;
+  std::vector<TelemetryEvent> events;  ///< since the previous sample, seq order
+
+  friend bool operator==(const TelemetrySample&, const TelemetrySample&) = default;
+};
+
+/// Looks up one instance in a snapshot (labels in serialized sorted form,
+/// "" = unlabeled). nullptr when absent.
+[[nodiscard]] const MetricsSnapshot::CounterSample* find_counter(
+    const MetricsSnapshot& snapshot, std::string_view name,
+    std::string_view labels = "");
+[[nodiscard]] const MetricsSnapshot::GaugeSample* find_gauge(
+    const MetricsSnapshot& snapshot, std::string_view name,
+    std::string_view labels = "");
+[[nodiscard]] const MetricsSnapshot::HistogramSample* find_histogram(
+    const MetricsSnapshot& snapshot, std::string_view name,
+    std::string_view labels = "");
+
+/// Per-cycle mean of the `mantra_cycle_duration_seconds` histogram between
+/// two consecutive samples — with one observation per cycle this is the
+/// exact recorded duration, not a bucket estimate. nullopt when the
+/// histogram is absent or no observation landed between the samples.
+[[nodiscard]] std::optional<double> self_cycle_duration_s(
+    const TelemetrySample* prev, const TelemetrySample& cur);
+
+// --- .mtel archive ---------------------------------------------------------
+
+struct TelemetryArchiveOptions {
+  int keyframe_interval = 96;  ///< absolute-value record every N samples
+  /// The `.mtel` is diagnostics, not the system of record: losing a tail on
+  /// power failure is acceptable, so fsync is off by default (the framing
+  /// still bounds a process kill to the final record).
+  bool fsync_on_keyframe = false;
+};
+
+/// Append-only `.mtel` writer. File layout mirrors `.marc`:
+///
+///   file   := header record*
+///   header := magic:u32 ("MTEL") version:u16 flags:u16
+///   record := length:u32 crc32:u32 payload[length]
+///
+/// The payload carries the sample time, the new-this-record dictionary
+/// entries (metric kind/name/labels/bounds — ids assigned in first-seen
+/// order, cumulative across the file), `# HELP` upserts/removals, one value
+/// per dictionary id (absolute on key-frames, delta otherwise; doubles
+/// delta as XOR of raw bits so every value round-trips exactly), and the
+/// sample's events.
+class TelemetryArchiveWriter {
+ public:
+  /// Creates/truncates `path`. Throws std::runtime_error if the file cannot
+  /// be opened or the options are invalid.
+  explicit TelemetryArchiveWriter(std::string path,
+                                  TelemetryArchiveOptions options = {});
+  ~TelemetryArchiveWriter();
+
+  TelemetryArchiveWriter(const TelemetryArchiveWriter&) = delete;
+  TelemetryArchiveWriter& operator=(const TelemetryArchiveWriter&) = delete;
+
+  /// Appends one sample. Samples must arrive in non-decreasing time order.
+  void append(const TelemetrySample& sample);
+
+  void sync();
+  /// Flushes and closes; further appends throw. Idempotent.
+  void close();
+
+  [[nodiscard]] std::size_t samples_written() const { return samples_written_; }
+  /// Total file bytes including the header — the fingerprint identity.
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const TelemetryArchiveOptions& options() const { return options_; }
+
+ private:
+  struct DictEntry;  ///< per-metric previous values for delta encoding
+
+  std::string path_;
+  TelemetryArchiveOptions options_;
+  std::FILE* file_ = nullptr;
+  std::size_t samples_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::vector<DictEntry> dict_;
+  std::map<std::string, std::size_t> dict_index_;  ///< kind+name+labels -> id
+  std::map<std::string, std::string> prev_help_;
+};
+
+/// What the reader found (and lost) while opening a `.mtel` file — same
+/// semantics as core/archive's RecoveryInfo: a torn or corrupt tail is
+/// truncated, never fatal, and every complete sample before it survives.
+struct TelemetryRecoveryInfo {
+  bool clean = true;
+  std::uint64_t bytes_dropped = 0;
+  std::string reason;  ///< empty when clean
+};
+
+/// Decodes an entire `.mtel` file at open (self-telemetry files are small —
+/// one record per cycle, delta-encoded); samples() hands back the lossless
+/// reconstruction in append order.
+class TelemetryArchiveReader {
+ public:
+  /// Throws std::runtime_error on a missing file or bad header; tail damage
+  /// is reported through recovery() instead.
+  explicit TelemetryArchiveReader(const std::string& path);
+
+  [[nodiscard]] const std::vector<TelemetrySample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  /// File bytes actually decoded (header included, dropped tail excluded).
+  [[nodiscard]] std::uint64_t indexed_bytes() const { return indexed_bytes_; }
+  [[nodiscard]] const TelemetryRecoveryInfo& recovery() const { return recovery_; }
+
+ private:
+  std::vector<TelemetrySample> samples_;
+  std::uint64_t indexed_bytes_ = 0;
+  TelemetryRecoveryInfo recovery_;
+};
+
+// --- Series & rollups ------------------------------------------------------
+
+/// A telemetry series names one scalar per sample:
+///
+///   name                  counter or gauge, unlabeled
+///   name{labels}          counter or gauge, serialized sorted label form
+///   name[{labels}]:count  histogram observation count
+///   name[{labels}]:sum    histogram observation sum
+///   name[{labels}]:p50    histogram quantile (also :p95, :p99)
+///
+/// Values are the *cumulative* state at the sample (rates are a rule-pack
+/// concern, not a storage concern). nullopt when the series is absent from
+/// the sample — absent samples contribute nothing to aggregates, in both
+/// the raw and the rollup path.
+[[nodiscard]] std::optional<double> telemetry_series_value(
+    const MetricsSnapshot& snapshot, std::string_view series);
+
+/// Every series a snapshot exposes, in deterministic (kind-section, name,
+/// labels) order — the rollup builder's enumeration.
+[[nodiscard]] std::vector<std::string> telemetry_series_names(
+    const MetricsSnapshot& snapshot);
+
+struct TelemetryRollupBucket {
+  std::int64_t start_ms = 0;  ///< hour-aligned
+  std::uint32_t samples = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double last = 0.0;
+
+  friend bool operator==(const TelemetryRollupBucket&,
+                         const TelemetryRollupBucket&) = default;
+};
+
+struct TelemetrySeriesRollup {
+  std::string series;
+  std::vector<TelemetryRollupBucket> hourly;  ///< ascending, gaps allowed
+
+  friend bool operator==(const TelemetrySeriesRollup&,
+                         const TelemetrySeriesRollup&) = default;
+};
+
+/// Identity of the `.mtel` a sidecar was built from; mismatch = stale,
+/// ignored (the raw file stays the source of truth).
+struct TelemetryRollupFingerprint {
+  std::uint64_t samples = 0;
+  std::int64_t first_ms = 0;
+  std::int64_t last_ms = 0;
+  std::uint64_t indexed_bytes = 0;
+
+  friend bool operator==(const TelemetryRollupFingerprint&,
+                         const TelemetryRollupFingerprint&) = default;
+};
+
+struct TelemetryRollupSidecar {
+  TelemetryRollupFingerprint source;
+  std::vector<TelemetrySeriesRollup> series;  ///< sorted by series key
+};
+
+[[nodiscard]] TelemetryRollupFingerprint telemetry_fingerprint_of(
+    const TelemetryArchiveReader& reader);
+
+/// Per-hour rollups of every series in one sequential pass, accumulated in
+/// sample order with the same double arithmetic the raw query path uses —
+/// which is what makes rollup-served answers bit-identical to raw scans.
+[[nodiscard]] TelemetryRollupSidecar build_telemetry_rollups(
+    const TelemetryArchiveReader& reader);
+
+/// `<dir>/<stem>.mtrl` next to `<dir>/<stem>.mtel`.
+[[nodiscard]] std::string telemetry_rollup_path_for(
+    const std::string& archive_path);
+
+/// MTRL header + one CRC-framed payload. False on I/O failure, never throws.
+bool write_telemetry_rollup_sidecar(const std::string& path,
+                                    const TelemetryRollupSidecar& sidecar);
+
+/// nullopt on missing file, bad magic/version, CRC mismatch or undecodable
+/// payload.
+[[nodiscard]] std::optional<TelemetryRollupSidecar> load_telemetry_rollup_sidecar(
+    const std::string& path);
+
+struct TelemetryCompactionOptions {
+  int keyframe_interval = 96;
+  /// Samples strictly before this instant are dropped.
+  std::optional<sim::TimePoint> drop_before;
+  bool write_rollups = true;  ///< emit the `.mtrl` sidecar next to the output
+};
+
+struct TelemetryCompactionStats {
+  std::size_t samples_in = 0;
+  std::size_t samples_out = 0;
+  std::size_t samples_dropped = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  bool rollups_written = false;
+  std::size_t rollup_series = 0;
+  std::size_t rollup_hour_buckets = 0;
+};
+
+/// Rewrites `input_path` into `output_path` (healing any torn tail by
+/// construction) and by default materializes the rollup sidecar for the
+/// rewritten file.
+TelemetryCompactionStats compact_telemetry_archive(
+    const std::string& input_path, const std::string& output_path,
+    TelemetryCompactionOptions options = {});
+
+// --- Queries ---------------------------------------------------------------
+
+/// One question about a telemetry series. Same range semantics as
+/// core/query's Query: samples with from <= t <= to participate; hour
+/// resolution snaps the range outward to whole buckets so rollup-served and
+/// raw-scanned answers agree by construction.
+struct TelemetryQuery {
+  std::string source;  ///< archive name given to add_archive
+  std::string series;
+  sim::TimePoint from = sim::TimePoint::start();
+  sim::TimePoint to = sim::TimePoint::from_ms(std::int64_t{1} << 62);
+  QueryResolution resolution = QueryResolution::raw;
+  QueryAggregate aggregate = QueryAggregate::last;  ///< ignored for raw
+  bool allow_rollup = true;  ///< false: force the raw path (bench/parity tests)
+};
+
+/// Serves TelemetryQuery over one or more `.mtel` files (one per shard in a
+/// fleet). Results reuse core/query's QueryPoint/QueryResult. add_archive is
+/// setup-phase; run() is const and safe from many threads.
+class TelemetryQueryEngine {
+ public:
+  TelemetryQueryEngine() = default;
+
+  /// Opens `path` under `name` and attaches its `.mtrl` sidecar when present
+  /// and fingerprint-matched (stale/damaged sidecars are counted and
+  /// ignored). Throws what TelemetryArchiveReader throws.
+  void add_archive(std::string name, const std::string& path);
+
+  [[nodiscard]] std::vector<std::string> sources() const;
+  /// nullptr when `name` was never added.
+  [[nodiscard]] const TelemetryArchiveReader* reader(const std::string& name) const;
+  [[nodiscard]] bool has_rollups(const std::string& name) const;
+  [[nodiscard]] std::size_t rollups_rejected() const { return rollups_rejected_; }
+
+  /// Answers one query; QueryResult::records_decoded counts samples visited
+  /// by the raw path (0 when the rollup sidecar answered). Throws
+  /// std::invalid_argument for an unknown source.
+  [[nodiscard]] QueryResult run(const TelemetryQuery& query) const;
+
+ private:
+  struct Source {
+    std::string name;
+    std::unique_ptr<TelemetryArchiveReader> reader;
+    std::optional<TelemetryRollupSidecar> rollups;
+  };
+
+  std::vector<std::unique_ptr<Source>> sources_;
+  std::size_t rollups_rejected_ = 0;
+};
+
+// --- Self-monitoring -------------------------------------------------------
+
+/// One self-monitoring rule: the standard AlertRule thresholds/hysteresis
+/// plus an extractor over consecutive telemetry samples (prev is null for
+/// the first sample). The AlertRule::extract member is unused on this path
+/// (observe_values supplies the raw value directly).
+struct SelfRule {
+  AlertRule rule;
+  std::function<double(const TelemetrySample* prev, const TelemetrySample& cur)>
+      value;
+};
+
+/// The built-in pack — the monitor's own failure modes:
+///   cycle_duration_p95    windowed p95 of per-cycle wall duration
+///   pool_queue_depth      sustained mean of the per-cycle queue-depth peak
+///   capture_failure_rate  non-ok fraction of capture outcomes per cycle
+///   archive_write_latency windowed p95 of archive fsync wall time
+///   cache_hit_rate        per-cycle block-cache hit fraction (fires below)
+[[nodiscard]] std::vector<SelfRule> default_self_rules();
+
+struct SelfMonitorConfig {
+  bool enabled = false;
+  /// The alert "target" name self-alerts carry ("monitor", or the shard
+  /// name in a fleet).
+  std::string name = "monitor";
+  /// `.mtel` output path; empty keeps samples in memory only.
+  std::string path;
+  TelemetryArchiveOptions archive;
+  /// Empty = default_self_rules().
+  std::vector<SelfRule> rules;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// Samples a live Telemetry once per monitoring cycle, appends to the
+/// `.mtel`, and evaluates the self-rule pack. Self-alert transitions are
+/// mirrored into the same Telemetry (alert_firing events,
+/// mantra_alert_state gauges), so the monitor's own trouble shows up in the
+/// next cycle's sample — the closed loop.
+class SelfMonitor {
+ public:
+  /// Throws what TelemetryArchiveWriter throws when config.path is set.
+  /// `telemetry` must outlive the monitor and be enabled.
+  SelfMonitor(SelfMonitorConfig config, Telemetry* telemetry);
+
+  /// Takes one sample at `now`: metric snapshot + event-log tail (events
+  /// with seq beyond the previous sample's), appends it, evaluates rules.
+  void sample(sim::TimePoint now);
+
+  [[nodiscard]] const std::vector<TelemetrySample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] const std::vector<SelfRule>& rules() const { return rules_; }
+  [[nodiscard]] AlertEngine& alerts() { return alerts_; }
+  [[nodiscard]] const AlertEngine& alerts() const { return alerts_; }
+  [[nodiscard]] const SelfMonitorConfig& config() const { return config_; }
+
+  /// Flushes and closes the `.mtel` (idempotent; destructor also closes).
+  void close();
+
+ private:
+  SelfMonitorConfig config_;
+  Telemetry* telemetry_;
+  std::vector<SelfRule> rules_;
+  AlertEngine alerts_;
+  std::unique_ptr<TelemetryArchiveWriter> writer_;
+  std::vector<TelemetrySample> samples_;
+  std::uint64_t next_event_seq_ = 0;  ///< first seq not yet sampled
+};
+
+/// Everything the report's "Monitor health" section renders: the sample
+/// history plus the self-alert evaluation derived from it.
+struct MonitorHealthData {
+  std::string name;
+  std::vector<TelemetrySample> samples;
+  std::vector<AlertStatus> alert_states;  ///< (rule, target) order
+  std::vector<AlertRecord> alerts;        ///< firing episodes, open last
+};
+
+/// Re-derives the self-alert history from a sample stream — a pure function
+/// of the samples, so the live monitor and an `.mtel` replay produce
+/// identical MonitorHealthData (and byte-identical report sections).
+[[nodiscard]] MonitorHealthData monitor_health_from_samples(
+    std::string name, std::vector<TelemetrySample> samples,
+    const std::vector<SelfRule>& rules = default_self_rules());
+
+}  // namespace mantra::core

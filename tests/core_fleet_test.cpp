@@ -6,9 +6,12 @@
 // (never-succeeded staleness spans the whole run).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/fleet.hpp"
@@ -54,16 +57,20 @@ class FleetFixture : public ::testing::Test {
   }
 
   /// Builds one shard monitor. `faulty` shards collect through a 30%
-  /// command-failure transport; `archive_dir` empty disables archiving.
+  /// command-failure transport; `archive_dir` empty disables archiving;
+  /// `telemetry` turns on core/telemetry so the shard has a metric registry
+  /// and event log for the federation tests to merge.
   std::unique_ptr<Mantra> make_shard(std::size_t index,
                                      const std::string& archive_dir,
-                                     std::size_t worker_threads) {
+                                     std::size_t worker_threads,
+                                     bool telemetry = false) {
     MantraConfig config;
     config.cycle = sim::Duration::minutes(15);
     config.retry.max_attempts = 2;
     config.worker_threads = worker_threads;
     config.archive_dir = archive_dir;
     config.alerts.enabled = true;  // default rule set, per-shard engine
+    config.telemetry.enabled = telemetry;
     const bool faulty = index == 1;
     auto monitor = std::make_unique<Mantra>(
         scenario_.engine(), config,
@@ -79,13 +86,14 @@ class FleetFixture : public ::testing::Test {
   }
 
   std::vector<std::unique_ptr<Mantra>> make_fleet(
-      const std::filesystem::path& archive_base, std::size_t worker_threads) {
+      const std::filesystem::path& archive_base, std::size_t worker_threads,
+      bool telemetry = false) {
     std::vector<std::unique_ptr<Mantra>> shards;
     for (std::size_t i = 0; i < kShards; ++i) {
       const std::string dir =
           archive_base.empty() ? std::string()
                                : (archive_base / shard_name(i)).string();
-      shards.push_back(make_shard(i, dir, worker_threads));
+      shards.push_back(make_shard(i, dir, worker_threads, telemetry));
     }
     return shards;
   }
@@ -267,6 +275,131 @@ TEST_F(FleetFixture, NeverSucceededTargetKeepsPinnedStalenessFleetWide) {
   ASSERT_TRUE(last_success.has_value() && staleness.has_value());
   EXPECT_EQ(table.rows()[0][*last_success], "never");
   EXPECT_EQ(table.rows()[0][*staleness], row.target.staleness.to_string());
+}
+
+TEST_F(FleetFixture, FederatedMetricsSumCountersTagGaugesMergeHistograms) {
+  auto shards = make_fleet({}, 0, /*telemetry=*/true);
+  run_hours(4);
+
+  FleetAggregator fleet;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    fleet.add_shard(shard_name(i), *shards[i]);
+  }
+  const MetricsSnapshot merged = federated_metrics(fleet);
+
+  // Counters with equal (name, labels) collapse to one fleet-wide sum.
+  std::uint64_t cycles = 0;
+  for (const auto& shard : shards) {
+    cycles += shard->telemetry().metrics().counter_total("mantra_cycles_total");
+  }
+  const MetricsSnapshot::CounterSample* total =
+      find_counter(merged, "mantra_cycles_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_GT(total->value, 0u);
+  EXPECT_EQ(total->value, cycles);
+
+  // Gauges keep per-shard identity behind a shard="..." label; the unlabeled
+  // original must not leak through.
+  EXPECT_EQ(find_gauge(merged, "mantra_targets"), nullptr);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    const MetricsSnapshot::GaugeSample* targets =
+        find_gauge(merged, "mantra_targets", "shard=\"" + shard_name(i) + "\"");
+    ASSERT_NE(targets, nullptr) << shard_name(i);
+    EXPECT_EQ(targets->value, 1.0);
+  }
+
+  // Histograms whose bounds agree across every shard merge bucket-wise.
+  const MetricsSnapshot::HistogramSample* duration =
+      find_histogram(merged, "mantra_cycle_duration_seconds");
+  ASSERT_NE(duration, nullptr);
+  std::vector<std::uint64_t> buckets(duration->buckets.size(), 0);
+  std::uint64_t observations = 0;
+  for (const auto& shard : shards) {
+    const MetricsSnapshot snapshot = shard->telemetry().metrics().snapshot();
+    const MetricsSnapshot::HistogramSample* own =
+        find_histogram(snapshot, "mantra_cycle_duration_seconds");
+    ASSERT_NE(own, nullptr);
+    ASSERT_EQ(own->bounds, duration->bounds);
+    ASSERT_EQ(own->buckets.size(), buckets.size());
+    for (std::size_t j = 0; j < buckets.size(); ++j) {
+      buckets[j] += own->buckets[j];
+    }
+    observations += own->count;
+  }
+  EXPECT_GT(observations, 0u);
+  EXPECT_EQ(duration->count, observations);
+  EXPECT_EQ(duration->buckets, buckets);
+
+  // The rendered exposition passes the conformance checker and carries the
+  // shard label verbatim.
+  const std::string exposition = federated_prometheus_text(fleet);
+  EXPECT_TRUE(prometheus_lint(exposition).empty());
+  EXPECT_NE(exposition.find("mantra_targets{shard=\"shard-01\"} 1\n"),
+            std::string::npos);
+}
+
+TEST_F(FleetFixture, FederationIgnoresRegistrationOrder) {
+  auto shards = make_fleet({}, 0, /*telemetry=*/true);
+  run_hours(4);
+
+  FleetAggregator forward, scrambled;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    forward.add_shard(shard_name(i), *shards[i]);
+  }
+  for (const std::size_t i : {std::size_t{3}, std::size_t{1}, std::size_t{0},
+                              std::size_t{2}}) {
+    scrambled.add_shard(shard_name(i), *shards[i]);
+  }
+  EXPECT_EQ(federated_prometheus_text(forward),
+            federated_prometheus_text(scrambled));
+  EXPECT_EQ(federated_events_logfmt(forward),
+            federated_events_logfmt(scrambled));
+}
+
+TEST_F(FleetFixture, FederatedEventsMergeInTimestampShardOrder) {
+  auto shards = make_fleet({}, 0, /*telemetry=*/true);
+  run_hours(6);
+
+  FleetAggregator fleet;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    fleet.add_shard(shard_name(i), *shards[i]);
+  }
+  const std::string merged = federated_events_logfmt(fleet);
+  ASSERT_FALSE(merged.empty());
+
+  std::size_t buffered = 0;
+  for (const auto& shard : shards) {
+    buffered += shard->telemetry().events().size();
+  }
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (merged[i] == '\n') {
+      lines.push_back(merged.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  EXPECT_EQ(lines.size(), buffered);
+
+  // Every line is `sim_ts=<ms> shard=<name> ...` and the (sim_ts, shard)
+  // pairs are nondecreasing — the merge is a total order, not per-shard
+  // concatenation.
+  std::pair<std::int64_t, std::string> prev{
+      std::numeric_limits<std::int64_t>::min(), ""};
+  for (const std::string& line : lines) {
+    ASSERT_EQ(line.rfind("sim_ts=", 0), 0u) << line;
+    const std::size_t ts_end = line.find(' ');
+    ASSERT_NE(ts_end, std::string::npos) << line;
+    const std::int64_t ts = std::stoll(line.substr(7, ts_end - 7));
+    ASSERT_EQ(line.compare(ts_end + 1, 6, "shard="), 0) << line;
+    const std::size_t shard_end = line.find(' ', ts_end + 1);
+    ASSERT_NE(shard_end, std::string::npos) << line;
+    std::pair<std::int64_t, std::string> key{
+        ts, line.substr(ts_end + 7, shard_end - ts_end - 7)};
+    EXPECT_LE(prev, key) << line;
+    prev = std::move(key);
+  }
 }
 
 }  // namespace

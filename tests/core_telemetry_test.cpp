@@ -136,6 +136,90 @@ TEST(MetricsRegistry, PrometheusLabelValuesEscapeHostileNames) {
             2u);
 }
 
+// Satellite: golden-file conformance for the exposition. One registry,
+// every metric kind, help texts, sorted labels — the rendered text must
+// match byte-for-byte AND pass the lint checker. Guards the format against
+// accidental drift (scrapers parse these bytes).
+TEST(MetricsRegistry, PrometheusExpositionMatchesGolden) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.set_help("mantra_cycles_total", "Monitoring cycles executed.");
+  registry.counter("mantra_cycles_total").inc(96);
+  registry.counter("mantra_capture_status_total",
+                   {{"target", "fixw"}, {"status", "ok"}})
+      .inc(90);
+  registry.counter("mantra_capture_status_total",
+                   {{"target", "fixw"}, {"status", "failed"}})
+      .inc(6);
+  registry.set_help("mantra_targets", "Targets registered with the monitor.");
+  registry.gauge("mantra_targets").set(2);
+  Histogram& duration = registry.histogram("mantra_cycle_duration_seconds", {},
+                                           std::vector<double>{0.5, 1.0});
+  duration.observe(0.25);
+  duration.observe(0.75);
+
+  const std::string golden =
+      "# TYPE mantra_capture_status_total counter\n"
+      "mantra_capture_status_total{status=\"failed\",target=\"fixw\"} 6\n"
+      "mantra_capture_status_total{status=\"ok\",target=\"fixw\"} 90\n"
+      "# HELP mantra_cycles_total Monitoring cycles executed.\n"
+      "# TYPE mantra_cycles_total counter\n"
+      "mantra_cycles_total 96\n"
+      "# HELP mantra_targets Targets registered with the monitor.\n"
+      "# TYPE mantra_targets gauge\n"
+      "mantra_targets 2\n"
+      "# TYPE mantra_cycle_duration_seconds histogram\n"
+      "mantra_cycle_duration_seconds_bucket{le=\"0.5\"} 1\n"
+      "mantra_cycle_duration_seconds_bucket{le=\"1\"} 2\n"
+      "mantra_cycle_duration_seconds_bucket{le=\"+Inf\"} 2\n"
+      "mantra_cycle_duration_seconds_sum 1\n"
+      "mantra_cycle_duration_seconds_count 2\n";
+  EXPECT_EQ(registry.prometheus_text(), golden);
+  // The snapshot path funnels through the same renderer — same bytes.
+  EXPECT_EQ(prometheus_text_from(registry.snapshot()), golden);
+  // And the golden itself is lint-clean.
+  EXPECT_TRUE(prometheus_lint(golden).empty());
+}
+
+TEST(MetricsRegistry, PrometheusLintFlagsMalformedExpositions) {
+  // The real exposition (with hostile label values) passes.
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.counter("ok_total", {{"target", "evil\"quote\\and\nnewline"}}).inc();
+  registry.histogram("lat", {}, std::vector<double>{1.0}).observe(0.5);
+  EXPECT_TRUE(prometheus_lint(registry.prometheus_text()).empty());
+
+  // A sample with no preceding # TYPE.
+  EXPECT_FALSE(prometheus_lint("orphan_metric 1\n").empty());
+  // Type mismatch: counter sample under a gauge family is fine, but a
+  // histogram _bucket under a counter family is not.
+  EXPECT_FALSE(prometheus_lint("# TYPE x counter\n"
+                               "x_bucket{le=\"+Inf\"} 1\n")
+                   .empty());
+  // Malformed metric name.
+  EXPECT_FALSE(prometheus_lint("# TYPE 9bad counter\n9bad 1\n").empty());
+  // Repeated family.
+  EXPECT_FALSE(prometheus_lint("# TYPE x counter\nx 1\n"
+                               "# TYPE x counter\nx 2\n")
+                   .empty());
+  // Non-cumulative histogram buckets.
+  EXPECT_FALSE(prometheus_lint("# TYPE h histogram\n"
+                               "h_bucket{le=\"1\"} 5\n"
+                               "h_bucket{le=\"+Inf\"} 3\n"
+                               "h_sum 1\n"
+                               "h_count 3\n")
+                   .empty());
+  // _count disagreeing with the +Inf bucket.
+  EXPECT_FALSE(prometheus_lint("# TYPE h histogram\n"
+                               "h_bucket{le=\"1\"} 1\n"
+                               "h_bucket{le=\"+Inf\"} 2\n"
+                               "h_sum 1\n"
+                               "h_count 7\n")
+                   .empty());
+  // Unterminated label value.
+  EXPECT_FALSE(prometheus_lint("# TYPE x counter\n"
+                               "x{target=\"oops} 1\n")
+                   .empty());
+}
+
 TEST(MetricsRegistry, DisabledRegistryRecordsNothing) {
   MetricsRegistry registry(/*enabled=*/false);
   registry.counter("c").inc(10);
@@ -308,6 +392,50 @@ TEST(EventLog, DisabledLogRecordsNothing) {
   log.log(EventLevel::error, "boom", sim::TimePoint::start());
   EXPECT_EQ(log.size(), 0u);
   EXPECT_EQ(log.total_logged(), 0u);
+}
+
+// Satellite: min_event_level filters at the door — a filtered event consumes
+// no ring capacity and bumps NEITHER total_logged() nor dropped(). Only ring
+// overflow counts as a drop.
+TEST(EventLog, MinLevelFiltersWithoutCountingDrops) {
+  EventLog log(/*enabled=*/true, /*capacity=*/4, EventLevel::warn);
+  log.log(EventLevel::debug, "noise", sim::TimePoint::from_ms(0));
+  log.log(EventLevel::info, "still_noise", sim::TimePoint::from_ms(1000));
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_logged(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+
+  log.log(EventLevel::warn, "kept", sim::TimePoint::from_ms(2000));
+  log.log(EventLevel::error, "kept_too", sim::TimePoint::from_ms(3000));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.total_logged(), 2u);
+  EXPECT_EQ(log.dropped(), 0u);
+  // Sequence numbers stay dense over the kept events: the filter never
+  // consumed a seq, so samplers keying on seq see no gaps.
+  const std::vector<TelemetryEvent> events = log.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq + 1, events[1].seq);
+
+  // Ring overflow still counts as dropped, interleaved with filtering.
+  for (int i = 0; i < 6; ++i) {
+    log.log(EventLevel::debug, "noise", sim::TimePoint::from_ms(9000));
+    log.log(EventLevel::warn, "w", sim::TimePoint::from_ms(9000));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_logged(), 8u);
+  EXPECT_EQ(log.dropped(), 4u);
+}
+
+TEST(Telemetry, ConfigMinEventLevelReachesTheLog) {
+  TelemetryConfig config;
+  config.enabled = true;
+  config.min_event_level = EventLevel::error;
+  Telemetry telemetry(config);
+  telemetry.events().log(EventLevel::warn, "below", sim::TimePoint::start());
+  telemetry.events().log(EventLevel::error, "kept", sim::TimePoint::start());
+  EXPECT_EQ(telemetry.events().size(), 1u);
+  EXPECT_EQ(telemetry.events().total_logged(), 1u);
+  EXPECT_EQ(telemetry.events().dropped(), 0u);
 }
 
 // --- Telemetry bundle --------------------------------------------------------

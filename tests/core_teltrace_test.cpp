@@ -1,0 +1,602 @@
+// core/teltrace: the `.mtel` self-telemetry archive round-trips losslessly
+// and truncates (never propagates) torn tails; hourly rollup sidecars answer
+// coarse queries bit-identically to raw scans and are rejected when stale;
+// compaction heals damage and honors retention; the self-monitoring rule
+// pack fires on a seeded capture-fault burst; and the report's "Monitor
+// health" section renders byte-identically live and from an `.mtel` replay.
+// Sampling is result-neutral: every monitored-path output is byte-identical
+// with the self-monitor on or off.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/mantra.hpp"
+#include "core/query.hpp"
+#include "core/report.hpp"
+#include "core/teltrace.hpp"
+#include "core/telemetry.hpp"
+#include "core/transport.hpp"
+#include "sim/time.hpp"
+#include "workload/scenario.hpp"
+
+namespace mantra::core {
+namespace {
+
+std::filesystem::path temp_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string read_file_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Deterministic synthetic sample stream: a growing dictionary (one counter
+/// family gains a labeled instance mid-stream), negative/fractional gauge
+/// values, a histogram, help upserts, and an event tail — every codec path.
+TelemetrySample make_sample(int i) {
+  TelemetrySample sample;
+  sample.t_ms = static_cast<std::int64_t>(i) * 600'000;  // every 10 minutes
+
+  MetricsSnapshot& m = sample.metrics;
+  m.counters.push_back({"c_total", "", static_cast<std::uint64_t>(i) * 3 + 1});
+  if (i >= 5) {
+    // New dictionary entry appears mid-file; labels sort after "".
+    m.counters.push_back(
+        {"c_total", "target=\"a b\"", static_cast<std::uint64_t>(i - 5) * 7});
+  }
+  m.gauges.push_back({"g", "", 0.5 * i - 7.25});
+  MetricsSnapshot::HistogramSample h;
+  h.name = "h";
+  h.bounds = {1.0, 2.0};
+  h.buckets = {static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(i / 2),
+               static_cast<std::uint64_t>(i / 3)};
+  h.count = h.buckets[0] + h.buckets[1] + h.buckets[2];
+  h.sum = 1.375 * i;
+  m.histograms.push_back(std::move(h));
+  m.help["c_total"] = i < 8 ? "first help text" : "upserted help text";
+  if (i < 4) m.help["g"] = "transient help";  // exercises help removal
+
+  if (i % 3 == 0) {
+    TelemetryEvent event;
+    event.level = EventLevel::warn;
+    event.name = "tick";
+    event.sim_ts_ms = sample.t_ms;
+    event.seq = static_cast<std::uint64_t>(i);
+    event.fields = {{"i", std::to_string(i)}, {"note", "quote \" here"}};
+    sample.events.push_back(std::move(event));
+  }
+  return sample;
+}
+
+// --- `.mtel` archive ---------------------------------------------------------
+
+TEST(TelemetryArchive, RoundTripIsLossless) {
+  const std::filesystem::path dir = temp_dir("mantra_mtel_roundtrip");
+  const std::string path = (dir / "self.mtel").string();
+
+  std::vector<TelemetrySample> written;
+  {
+    TelemetryArchiveOptions options;
+    options.keyframe_interval = 3;  // keyframes and deltas both exercised
+    TelemetryArchiveWriter writer(path, options);
+    for (int i = 0; i < 20; ++i) {
+      written.push_back(make_sample(i));
+      writer.append(written.back());
+    }
+    EXPECT_EQ(writer.samples_written(), 20u);
+    writer.close();
+    EXPECT_EQ(writer.bytes_written(), std::filesystem::file_size(path));
+  }
+
+  TelemetryArchiveReader reader(path);
+  EXPECT_TRUE(reader.recovery().clean);
+  EXPECT_EQ(reader.recovery().bytes_dropped, 0u);
+  EXPECT_EQ(reader.indexed_bytes(), std::filesystem::file_size(path));
+  ASSERT_EQ(reader.size(), written.size());
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(reader.samples()[i], written[i]) << "sample #" << i;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryArchive, TornTailIsTruncatedNotFatal) {
+  const std::filesystem::path dir = temp_dir("mantra_mtel_torn");
+
+  std::vector<TelemetrySample> written;
+  std::vector<std::uint64_t> boundaries;  // file size after each append
+  const auto write_archive = [&](const std::string& path) {
+    written.clear();
+    boundaries.clear();
+    TelemetryArchiveWriter writer(path);
+    for (int i = 0; i < 6; ++i) {
+      written.push_back(make_sample(i));
+      writer.append(written.back());
+      boundaries.push_back(writer.bytes_written());
+    }
+    writer.close();
+  };
+
+  // Truncation mid-payload: the final record is dropped, all before survive.
+  const std::string mid_payload = (dir / "mid_payload.mtel").string();
+  write_archive(mid_payload);
+  std::filesystem::resize_file(mid_payload, boundaries[5] - 1);
+  {
+    TelemetryArchiveReader reader(mid_payload);
+    EXPECT_FALSE(reader.recovery().clean);
+    EXPECT_FALSE(reader.recovery().reason.empty());
+    EXPECT_GT(reader.recovery().bytes_dropped, 0u);
+    ASSERT_EQ(reader.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(reader.samples()[i], written[i]);
+    EXPECT_EQ(reader.indexed_bytes(), boundaries[4]);
+  }
+
+  // Truncation inside a record's length/crc frame.
+  const std::string mid_frame = (dir / "mid_frame.mtel").string();
+  write_archive(mid_frame);
+  std::filesystem::resize_file(mid_frame, boundaries[3] + 4);
+  {
+    TelemetryArchiveReader reader(mid_frame);
+    EXPECT_FALSE(reader.recovery().clean);
+    ASSERT_EQ(reader.size(), 4u);
+  }
+
+  // A flipped payload byte fails the CRC: that record and everything after
+  // it are dropped, the clean prefix survives.
+  const std::string corrupt = (dir / "corrupt.mtel").string();
+  write_archive(corrupt);
+  {
+    std::FILE* file = std::fopen(corrupt.c_str(), "r+b");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, static_cast<long>(boundaries[1]) + 8, SEEK_SET);
+    const int byte = std::fgetc(file);
+    std::fseek(file, static_cast<long>(boundaries[1]) + 8, SEEK_SET);
+    std::fputc(byte ^ 0xFF, file);
+    std::fclose(file);
+  }
+  {
+    TelemetryArchiveReader reader(corrupt);
+    EXPECT_FALSE(reader.recovery().clean);
+    EXPECT_GT(reader.recovery().bytes_dropped, 0u);
+    ASSERT_EQ(reader.size(), 2u);
+    EXPECT_EQ(reader.samples()[0], written[0]);
+    EXPECT_EQ(reader.samples()[1], written[1]);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryArchive, MissingFileAndBadHeaderThrow) {
+  const std::filesystem::path dir = temp_dir("mantra_mtel_badopen");
+  EXPECT_THROW(TelemetryArchiveReader((dir / "absent.mtel").string()),
+               std::runtime_error);
+  const std::string junk = (dir / "junk.mtel").string();
+  {
+    std::ofstream out(junk, std::ios::binary);
+    out << "this is not an mtel file";
+  }
+  EXPECT_THROW((void)TelemetryArchiveReader{junk}, std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+// --- Rollups & queries -------------------------------------------------------
+
+void expect_points_equal(const QueryResult& a, const QueryResult& b,
+                         const std::string& what) {
+  ASSERT_EQ(a.points.size(), b.points.size()) << what;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].t, b.points[i].t) << what << " point #" << i;
+    // Bit-identical, not approximately equal: both paths must run the same
+    // accumulation in the same order.
+    EXPECT_EQ(a.points[i].value, b.points[i].value) << what << " point #" << i;
+    EXPECT_EQ(a.points[i].samples, b.points[i].samples) << what << " point #" << i;
+  }
+}
+
+TEST(TelemetryRollups, HourlyRollupAnswersAreBitIdenticalToRawScans) {
+  const std::filesystem::path dir = temp_dir("mantra_mtrl_parity");
+  const std::string raw_path = (dir / "self.mtel").string();
+  const std::string compacted = (dir / "compacted.mtel").string();
+  {
+    TelemetryArchiveWriter writer(raw_path);
+    // 30 hours at one sample per 10 minutes.
+    for (int i = 0; i < 180; ++i) writer.append(make_sample(i));
+  }
+  const TelemetryCompactionStats stats =
+      compact_telemetry_archive(raw_path, compacted);
+  EXPECT_EQ(stats.samples_out, 180u);
+  EXPECT_TRUE(stats.rollups_written);
+  EXPECT_GT(stats.rollup_series, 0u);
+  EXPECT_GT(stats.rollup_hour_buckets, 0u);
+  ASSERT_TRUE(std::filesystem::exists(telemetry_rollup_path_for(compacted)));
+
+  TelemetryQueryEngine engine;
+  engine.add_archive("self", compacted);
+  ASSERT_TRUE(engine.has_rollups("self"));
+  EXPECT_EQ(engine.rollups_rejected(), 0u);
+
+  const std::vector<std::string> series =
+      telemetry_series_names(engine.reader("self")->samples().back().metrics);
+  ASSERT_FALSE(series.empty());
+  const std::vector<QueryAggregate> aggregates = {
+      QueryAggregate::last, QueryAggregate::min,  QueryAggregate::max,
+      QueryAggregate::mean, QueryAggregate::sum,  QueryAggregate::count};
+  // Full range plus a deliberately bucket-misaligned window (snaps outward).
+  const std::vector<std::pair<sim::TimePoint, sim::TimePoint>> ranges = {
+      {sim::TimePoint::start(), sim::TimePoint::from_ms(std::int64_t{1} << 62)},
+      {sim::TimePoint::from_ms(5 * 3'600'000 + 13 * 60'000),
+       sim::TimePoint::from_ms(17 * 3'600'000 + 47 * 60'000)},
+  };
+  std::size_t rollup_served = 0;
+  for (const std::string& name : series) {
+    for (const QueryAggregate aggregate : aggregates) {
+      for (const auto& [from, to] : ranges) {
+        TelemetryQuery query;
+        query.source = "self";
+        query.series = name;
+        query.from = from;
+        query.to = to;
+        query.resolution = QueryResolution::hour;
+        query.aggregate = aggregate;
+        const QueryResult via_rollup = engine.run(query);
+        query.allow_rollup = false;
+        const QueryResult via_raw = engine.run(query);
+        EXPECT_FALSE(via_raw.from_rollup);
+        EXPECT_GT(via_raw.records_decoded, 0u) << name;
+        if (via_rollup.from_rollup) {
+          ++rollup_served;
+          EXPECT_EQ(via_rollup.records_decoded, 0u) << name;
+        }
+        expect_points_equal(via_rollup, via_raw, name);
+      }
+    }
+  }
+  // The sidecar actually served the coarse queries — the parity above was
+  // rollup-vs-raw, not raw-vs-raw.
+  EXPECT_EQ(rollup_served, series.size() * aggregates.size() * ranges.size());
+
+  // Day resolution is not materialized: it must fall back to the raw scan.
+  TelemetryQuery day;
+  day.source = "self";
+  day.series = series.front();
+  day.resolution = QueryResolution::day;
+  EXPECT_FALSE(engine.run(day).from_rollup);
+  EXPECT_GT(engine.run(day).records_decoded, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryRollups, StaleSidecarIsRejectedAndRawScanServes) {
+  const std::filesystem::path dir = temp_dir("mantra_mtrl_stale");
+  const std::string path = (dir / "self.mtel").string();
+  {
+    TelemetryArchiveWriter writer(path);
+    for (int i = 0; i < 30; ++i) writer.append(make_sample(i));
+  }
+  TelemetryArchiveReader reader(path);
+  TelemetryRollupSidecar sidecar = build_telemetry_rollups(reader);
+  sidecar.source.samples += 1;  // no longer matches the `.mtel`
+  ASSERT_TRUE(
+      write_telemetry_rollup_sidecar(telemetry_rollup_path_for(path), sidecar));
+
+  TelemetryQueryEngine engine;
+  engine.add_archive("self", path);
+  EXPECT_FALSE(engine.has_rollups("self"));
+  EXPECT_EQ(engine.rollups_rejected(), 1u);
+
+  TelemetryQuery query;
+  query.source = "self";
+  query.series = "c_total";
+  query.resolution = QueryResolution::hour;
+  query.aggregate = QueryAggregate::last;
+  const QueryResult result = engine.run(query);
+  EXPECT_FALSE(result.from_rollup);
+  EXPECT_EQ(result.records_decoded, 30u);
+  EXPECT_FALSE(result.points.empty());
+
+  EXPECT_THROW((void)engine.run({.source = "unknown", .series = "c_total"}),
+               std::invalid_argument);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryCompaction, HealsTornTailsAndHonorsRetention) {
+  const std::filesystem::path dir = temp_dir("mantra_mtel_compact");
+  const std::string damaged = (dir / "damaged.mtel").string();
+  std::uint64_t keep_bytes = 0;
+  {
+    TelemetryArchiveWriter writer(damaged);
+    for (int i = 0; i < 24; ++i) {
+      writer.append(make_sample(i));
+      if (i == 22) keep_bytes = writer.bytes_written();
+    }
+    writer.close();
+  }
+  std::filesystem::resize_file(damaged, keep_bytes + 5);  // tear the tail
+
+  // drop_before removes the first 2 hours (samples 0..11); the torn final
+  // record is healed by construction.
+  TelemetryCompactionOptions options;
+  options.drop_before = sim::TimePoint::from_ms(12 * 600'000);
+  const std::string healed = (dir / "healed.mtel").string();
+  const TelemetryCompactionStats stats =
+      compact_telemetry_archive(damaged, healed, options);
+  EXPECT_EQ(stats.samples_in, 23u);  // sample 23 was torn off
+  EXPECT_EQ(stats.samples_dropped, 12u);
+  EXPECT_EQ(stats.samples_out, 11u);
+  EXPECT_LT(stats.bytes_out, stats.bytes_in);
+  EXPECT_TRUE(stats.rollups_written);
+
+  TelemetryArchiveReader reader(healed);
+  EXPECT_TRUE(reader.recovery().clean);
+  ASSERT_EQ(reader.size(), 11u);
+  for (std::size_t i = 0; i < reader.size(); ++i) {
+    EXPECT_EQ(reader.samples()[i], make_sample(static_cast<int>(i) + 12));
+  }
+  TelemetryQueryEngine engine;
+  engine.add_archive("self", healed);
+  EXPECT_TRUE(engine.has_rollups("self"));
+  std::filesystem::remove_all(dir);
+}
+
+// --- Self-monitoring over a live Mantra -------------------------------------
+
+workload::ScenarioConfig small_scenario(std::uint64_t seed) {
+  workload::ScenarioConfig config;
+  config.seed = seed;
+  config.domains = 4;
+  config.hosts_per_domain = 6;
+  config.dvmrp_prefixes_per_domain = 6;
+  config.report_loss = 0.02;
+  config.timer_scale = 1;
+  config.full_timers = true;
+  config.generator.session_arrivals_per_hour = 40.0;
+  config.generator.bursts_per_day = 0.0;
+  return config;
+}
+
+TEST(SelfMonitor, SeededFaultBurstFiresCaptureFailureRate) {
+  workload::FixwScenario scenario(small_scenario(23));
+  scenario.start();
+
+  MantraConfig config;
+  config.cycle = sim::Duration::minutes(15);
+  config.retry.max_attempts = 2;
+  config.telemetry.enabled = true;
+  config.self.enabled = true;
+  config.self.name = "monitor";
+  Mantra monitor(scenario.engine(), config,
+                 [](const std::string& name) -> std::unique_ptr<Transport> {
+                   return std::make_unique<FaultInjectingTransport>(
+                       per_target_seed(0xb00f, name),
+                       FaultProfile::command_failure_rate(0.9));
+                 });
+  monitor.add_target(scenario.network().router(scenario.fixw_node()));
+  monitor.add_target(scenario.network().router(scenario.ucsb_node()));
+  monitor.start();
+  scenario.engine().run_until(scenario.engine().now() + sim::Duration::hours(4));
+
+  SelfMonitor* self = monitor.self_monitor();
+  ASSERT_NE(self, nullptr);
+  EXPECT_EQ(self->samples().size(), monitor.status().cycles_run);
+
+  bool fired = false;
+  for (const AlertRecord& record : self->alerts().history()) {
+    if (record.rule != "capture_failure_rate") continue;
+    fired = true;
+    EXPECT_EQ(record.target, "monitor");
+    EXPECT_EQ(record.severity, AlertSeverity::critical);
+    EXPECT_GE(record.peak_value, 0.5);
+  }
+  EXPECT_TRUE(fired) << "capture_failure_rate never fired under a 90% "
+                        "command-failure transport";
+  // The closed loop: the self-alert transition was mirrored back into the
+  // telemetry the next samples archived.
+  const TelemetrySample& last = self->samples().back();
+  EXPECT_NE(find_gauge(last.metrics, "mantra_alert_state",
+                       "rule=\"capture_failure_rate\",target=\"monitor\""),
+            nullptr);
+}
+
+TEST(SelfMonitor, LiveAndMtelReplayReportsAreByteIdentical) {
+  workload::FixwScenario scenario(small_scenario(29));
+  scenario.start();
+  const std::filesystem::path dir = temp_dir("mantra_mtel_replay");
+  const std::string mtel = (dir / "monitor.mtel").string();
+
+  MantraConfig config;
+  config.cycle = sim::Duration::minutes(15);
+  config.retry.max_attempts = 2;
+  config.archive_dir = dir.string();
+  config.alerts.enabled = true;
+  config.telemetry.enabled = true;
+  config.self.enabled = true;
+  config.self.path = mtel;
+  auto monitor = std::make_unique<Mantra>(
+      scenario.engine(), config,
+      [](const std::string& name) -> std::unique_ptr<Transport> {
+        FaultProfile profile;
+        if (name == "ucsb-gw") profile = FaultProfile::command_failure_rate(0.3);
+        return std::make_unique<FaultInjectingTransport>(
+            per_target_seed(0x51ab, name), profile);
+      });
+  monitor->add_target(scenario.network().router(scenario.fixw_node()));
+  monitor->add_target(scenario.network().router(scenario.ucsb_node()));
+  monitor->start();
+  scenario.engine().run_until(scenario.engine().now() + sim::Duration::hours(6));
+
+  const std::string live = render_html_report(report_data_from(*monitor));
+  EXPECT_NE(live.find("Monitor health"), std::string::npos);
+  const std::vector<TelemetrySample> live_samples =
+      monitor->self_monitor()->samples();
+  const std::vector<std::string> targets = monitor->target_names();
+  monitor.reset();  // flushes the .marc archives and the .mtel
+
+  // Offline rebuild: target streams from the .marc files, the "Monitor
+  // health" section from the decoded .mtel — no live state involved.
+  QueryEngine marc;
+  std::vector<ReportTargetData> replayed;
+  for (const std::string& target : targets) {
+    marc.add_archive(target, (dir / (target + ".marc")).string());
+    replayed.push_back({target, marc.replay(target).results});
+  }
+  ReportData offline =
+      report_data_from_replay(std::move(replayed), default_alert_rules());
+  TelemetryArchiveReader reader(mtel);
+  EXPECT_TRUE(reader.recovery().clean);
+  EXPECT_EQ(reader.samples(), live_samples);  // the codec is lossless
+  offline.health = monitor_health_from_samples("monitor", reader.samples());
+
+  EXPECT_EQ(live, render_html_report(offline));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SelfMonitor, SamplingIsResultNeutral) {
+  workload::FixwScenario scenario(small_scenario(31));
+  scenario.start();
+  const std::filesystem::path base = temp_dir("mantra_self_neutral");
+  const std::string off_dir = (base / "off").string();
+  const std::string on_dir = (base / "on").string();
+
+  const auto make_monitor = [&](bool self_on, const std::string& dir) {
+    MantraConfig config;
+    config.cycle = sim::Duration::minutes(15);
+    config.retry.max_attempts = 2;
+    config.worker_threads = 4;
+    config.archive_dir = dir;
+    config.alerts.enabled = true;
+    config.telemetry.enabled = true;
+    config.self.enabled = self_on;
+    if (self_on) config.self.path = dir + "/monitor.mtel";
+    auto monitor = std::make_unique<Mantra>(
+        scenario.engine(), config,
+        [](const std::string& name) -> std::unique_ptr<Transport> {
+          FaultProfile profile;
+          if (name == "ucsb-gw") profile = FaultProfile::command_failure_rate(0.3);
+          return std::make_unique<FaultInjectingTransport>(
+              per_target_seed(0x7e1e, name), profile);
+        });
+    monitor->add_target(scenario.network().router(scenario.fixw_node()));
+    monitor->add_target(scenario.network().router(scenario.ucsb_node()));
+    monitor->start();
+    return monitor;
+  };
+  auto off = make_monitor(false, off_dir);
+  auto on = make_monitor(true, on_dir);
+  scenario.engine().run_until(scenario.engine().now() + sim::Duration::hours(4));
+
+  ASSERT_NE(on->self_monitor(), nullptr);
+  EXPECT_EQ(off->self_monitor(), nullptr);
+  EXPECT_GT(on->self_monitor()->samples().size(), 0u);
+
+  // The invariant: sampling reads collection state, never feeds back into it.
+  for (const std::string& name : off->target_names()) {
+    EXPECT_EQ(off->target_view(name).results(), on->target_view(name).results())
+        << "target " << name;
+    const auto sessions = [](const CycleResult& r) {
+      return static_cast<double>(r.usage.sessions);
+    };
+    EXPECT_EQ(off->series(name, "sessions", sessions).to_csv(),
+              on->series(name, "sessions", sessions).to_csv())
+        << "target " << name;
+  }
+  EXPECT_EQ(off->overview().to_csv(), on->overview().to_csv());
+  EXPECT_EQ(off->status().to_table().to_csv(), on->status().to_table().to_csv());
+
+  const std::vector<std::string> names = off->target_names();
+  off.reset();
+  on.reset();
+  for (const std::string& name : names) {
+    const std::string off_bytes =
+        read_file_bytes(std::filesystem::path(off_dir) / (name + ".marc"));
+    const std::string on_bytes =
+        read_file_bytes(std::filesystem::path(on_dir) / (name + ".marc"));
+    EXPECT_FALSE(off_bytes.empty()) << "target " << name;
+    EXPECT_EQ(off_bytes, on_bytes) << "target " << name;
+  }
+  std::filesystem::remove_all(base);
+}
+
+// --- Thread safety (run under the tsan preset) -------------------------------
+
+TEST(TeltraceConcurrency, SamplerRacesInstrumentation) {
+  TelemetryConfig telemetry_config;
+  telemetry_config.enabled = true;
+  telemetry_config.max_events = 512;
+  Telemetry telemetry(telemetry_config);
+
+  SelfMonitorConfig config;
+  config.enabled = true;
+  config.name = "race";
+  SelfMonitor self(config, &telemetry);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < 4; ++t) {
+    hammers.emplace_back([&telemetry, &stop, t] {
+      const std::string target = "target-" + std::to_string(t);
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        telemetry.metrics().counter("race_total").inc();
+        telemetry.metrics()
+            .counter("race_labeled_total", {{"target", target}})
+            .inc();
+        telemetry.metrics().gauge("race_gauge").set(static_cast<double>(i));
+        telemetry.metrics().histogram("race_lat").observe(
+            static_cast<double>(i % 5));
+        if (i % 16 == 0) {
+          telemetry.events().log(EventLevel::info, "race_tick",
+                                 sim::TimePoint::from_ms(i), {{"t", target}});
+        }
+        ++i;
+      }
+    });
+  }
+  // Don't race past the hammers before they even start: sample only once
+  // instrumentation is observably flowing, and keep it flowing mid-loop.
+  while (telemetry.metrics().counter_total("race_total") == 0) {
+    std::this_thread::yield();
+  }
+  constexpr int kSamples = 64;
+  for (int i = 0; i < kSamples; ++i) {
+    self.sample(sim::TimePoint::from_ms(static_cast<std::int64_t>(i) * 1000));
+    if (i % 16 == 0) std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : hammers) thread.join();
+
+  ASSERT_EQ(self.samples().size(), static_cast<std::size_t>(kSamples));
+  // Each sample is a consistent snapshot: the shared counter is monotone
+  // across samples and event seqs never repeat between tails.
+  std::uint64_t prev_total = 0;
+  std::uint64_t next_seq = 0;
+  for (const TelemetrySample& sample : self.samples()) {
+    const MetricsSnapshot::CounterSample* total =
+        find_counter(sample.metrics, "race_total");
+    if (total != nullptr) {
+      EXPECT_GE(total->value, prev_total);
+      prev_total = total->value;
+    }
+    for (const TelemetryEvent& event : sample.events) {
+      EXPECT_GE(event.seq, next_seq);
+      next_seq = event.seq + 1;
+    }
+  }
+  EXPECT_GT(prev_total, 0u);
+}
+
+}  // namespace
+}  // namespace mantra::core
