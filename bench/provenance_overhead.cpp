@@ -1,0 +1,175 @@
+// Macro-benchmark for provenance capture cost: the same monitoring cycles
+// run with the alert engine evaluating the default rule pack twice — once
+// with provenance capture off, once on (the flight recorder: per-rule
+// evaluation trails plus a ProvenanceRecord at every pending->firing
+// transition) — at the 50-target point, under fault injection so alerts
+// actually fire. An equivalence check proves capture is evaluation-neutral:
+// cycle results AND the alert history are byte-identical either way.
+//
+// The overhead budget is <3% of cycle wall time (DESIGN.md §17); unlike
+// bench/telemetry_overhead the exit gate defaults to the budget itself —
+// capture is a handful of deque pushes per observation, far from the
+// transport/parse hot path, so 3% has head-room even on a noisy box. Knobs:
+//   MANTRA_PROVENANCE_OVERHEAD_TARGETS  monitored routers (default 50)
+//   MANTRA_PROVENANCE_OVERHEAD_CYCLES   cycles per measurement (default 16)
+//   MANTRA_PROVENANCE_OVERHEAD_REPEATS  repeats, best-of (default 3)
+//   MANTRA_PROVENANCE_OVERHEAD_MAX_PCT  exit-code gate in percent (default 3)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/alert.hpp"
+#include "core/mantra.hpp"
+#include "core/parallel.hpp"
+#include "macro_run.hpp"
+#include "workload/scenario.hpp"
+
+namespace mantra::bench {
+namespace {
+
+int env_int(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return fallback;
+}
+
+core::TransportFactory faulty_factory() {
+  return [](const std::string& name) -> std::unique_ptr<core::Transport> {
+    return std::make_unique<core::FaultInjectingTransport>(
+        core::per_target_seed(0xf1a6, name),
+        core::FaultProfile::command_failure_rate(0.2));
+  };
+}
+
+struct Outcome {
+  std::vector<std::vector<core::CycleResult>> results;
+  std::vector<core::AlertRecord> history;
+  std::size_t provenance_records = 0;
+};
+
+/// Wall-clock milliseconds for `cycles` cycles at the scenario's current
+/// instant (the engine clock is not advanced, so both variants see the same
+/// router state). Alerts are on in both variants; only capture differs.
+double time_cycles(workload::FixwScenario& scenario, int targets,
+                   bool provenance_on, int cycles, Outcome* outcome) {
+  core::MantraConfig config;
+  config.cycle = sim::Duration::minutes(30);
+  config.worker_threads = core::parallel::hardware_threads();
+  config.telemetry.enabled = true;
+  config.alerts.enabled = true;
+  config.alerts.provenance = provenance_on;
+  auto monitor = std::make_unique<core::Mantra>(scenario.engine(), config,
+                                                faulty_factory());
+  monitor->add_target(scenario.network().router(scenario.fixw_node()));
+  int added = 1;
+  for (const net::NodeId border : scenario.border_nodes()) {
+    if (added >= targets) break;
+    monitor->add_target(scenario.network().router(border));
+    ++added;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int cycle = 0; cycle < cycles; ++cycle) monitor->run_cycle_now();
+  const auto stop = std::chrono::steady_clock::now();
+
+  if (outcome != nullptr) {
+    outcome->results.clear();
+    for (const std::string& name : monitor->target_names()) {
+      outcome->results.push_back(monitor->target_view(name).results());
+    }
+    outcome->history = monitor->alerts().history();
+    outcome->provenance_records = monitor->alerts().provenance().size();
+  }
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+double best_of(workload::FixwScenario& scenario, int targets,
+               bool provenance_on, int cycles, int repeats, Outcome* outcome) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const double ms = time_cycles(scenario, targets, provenance_on, cycles,
+                                  r + 1 == repeats ? outcome : nullptr);
+    best = r == 0 ? ms : std::min(best, ms);
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace mantra::bench
+
+int main() {
+  using namespace mantra;
+  using namespace mantra::bench;
+
+  const int targets = env_int("MANTRA_PROVENANCE_OVERHEAD_TARGETS", 50);
+  const int cycles = env_int("MANTRA_PROVENANCE_OVERHEAD_CYCLES", 16);
+  const int repeats = env_int("MANTRA_PROVENANCE_OVERHEAD_REPEATS", 3);
+  const int max_pct = env_int("MANTRA_PROVENANCE_OVERHEAD_MAX_PCT", 3);
+
+  workload::ScenarioConfig scenario_config;
+  scenario_config.seed = 2024;
+  scenario_config.domains = targets > 1 ? targets - 1 : 1;  // fixw + borders
+  scenario_config.hosts_per_domain = 2;
+  scenario_config.dvmrp_prefixes_per_domain = 12;
+  scenario_config.report_loss = 0.02;
+  scenario_config.timer_scale = 40;
+  scenario_config.full_timers = false;
+  scenario_config.generator.session_arrivals_per_hour = 60.0;
+  scenario_config.generator.bursts_per_day = 0.0;
+  std::fprintf(stderr, "building scenario with %d domains (%d targets)...\n",
+               scenario_config.domains, targets);
+  workload::FixwScenario scenario(scenario_config);
+  scenario.start();
+  scenario.engine().run_until(scenario.engine().now() + sim::Duration::hours(2));
+
+  Outcome off, on;
+  const double off_ms =
+      best_of(scenario, targets, false, cycles, repeats, &off);
+  const double on_ms = best_of(scenario, targets, true, cycles, repeats, &on);
+
+  const double pct = off_ms > 0.0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0;
+  std::fprintf(stderr,
+               "targets=%d cycles=%d  off=%8.2f ms  on=%8.2f ms  "
+               "overhead=%+.2f%%  records=%zu\n",
+               targets, cycles, off_ms, on_ms, pct, on.provenance_records);
+
+  // Evaluation neutrality: same cycle results, same alert episodes; only
+  // the provenance side-car differs (present vs absent).
+  const bool identical = off.results == on.results && off.history == on.history;
+  const bool captured = on.provenance_records > 0 && off.provenance_records == 0;
+
+  std::ofstream json("BENCH_provenance_overhead.json");
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "{\n  \"bench\": \"provenance_overhead\",\n"
+                "  \"targets\": %d,\n  \"cycles\": %d,\n  \"repeats\": %d,\n"
+                "  \"off_ms\": %.3f,\n  \"on_ms\": %.3f,\n"
+                "  \"overhead_pct\": %.3f,\n"
+                "  \"provenance_records\": %zu,\n"
+                "  \"identical\": %s,\n  \"target_pct\": 3.0,\n"
+                "  \"gate_pct\": %d\n}\n",
+                targets, cycles, repeats, off_ms, on_ms, pct,
+                on.provenance_records, identical ? "true" : "false", max_pct);
+  json << line;
+  std::fprintf(stderr, "wrote BENCH_provenance_overhead.json\n");
+
+  char detail[160];
+  std::snprintf(detail, sizeof detail, "%+.2f%% at %d targets (gate <%d%%)",
+                pct, targets, max_pct);
+  const bool within_gate = pct < static_cast<double>(max_pct);
+  print_check("provenance overhead within gate", within_gate, detail);
+  print_check("capture is evaluation-neutral", identical,
+              identical ? "results and alert history byte-identical"
+                        : "MISMATCH between provenance-on and -off runs");
+  print_check("provenance actually captured", captured,
+              captured ? "records only with capture on"
+                       : "no records captured (or captured while off)");
+  return within_gate && identical && captured ? 0 : 1;
+}

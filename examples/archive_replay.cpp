@@ -18,19 +18,34 @@
 //                         `fixw_monitor --archive-dir=` run wrote (every
 //                         *.marc replayed, target name = file stem), the
 //                         report is byte-identical to the live one.
+//   --explain[=<rule>[:<target>]]
+//                         re-derive alert provenance from the replayed
+//                         results and print each matching alert's causal
+//                         explanation: the evaluation window with per-cycle
+//                         collection facts and the triggering threshold
+//                         math. Byte-identical to the live monitor's
+//                         explanation of the same run.
+//   --explain-out=<path>  write the explanation text there instead of stdout.
+//   --mtel=<path>         the run's `.mtel` self-telemetry archive; attaches
+//                         the correlated event tail (capture_failed,
+//                         target_unreachable, ...) to each explanation and
+//                         rebuilds the report's "Monitor health" section.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/archive.hpp"
 #include "core/mantra.hpp"
+#include "core/provenance.hpp"
 #include "core/query.hpp"
 #include "core/report.hpp"
+#include "core/teltrace.hpp"
 #include "workload/scenario.hpp"
 
 using namespace mantra;
@@ -106,10 +121,42 @@ core::ReportTargetData replay_target(const core::QueryEngine& engine,
   return target;
 }
 
+/// Decoded `.mtel` samples for the explanation event tails; empty without a
+/// path (the tails are then empty, exactly as live without a SelfMonitor).
+std::vector<core::TelemetrySample> load_samples(const std::string& path) {
+  if (path.empty()) return {};
+  core::TelemetryArchiveReader reader(path);
+  if (!reader.recovery().clean) {
+    std::fprintf(stderr, "note: .mtel torn tail recovered — %s\n",
+                 reader.recovery().reason.c_str());
+  }
+  return reader.samples();
+}
+
+/// The --explain surface: renders matching provenance records to stdout or
+/// `out_path`. Returns 0 on success.
+int emit_explanations(const core::ReportData& data, const std::string& spec,
+                      const std::string& out_path) {
+  const std::string text = core::render_explanations(
+      data.provenance, core::parse_explain_spec(spec));
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (out) out << text;
+  std::fprintf(stderr, "%s %s\n", out ? "wrote" : "FAILED to write",
+               out_path.c_str());
+  return out ? 0 : 1;
+}
+
 /// Directory mode: every *.marc in `dir` (name order) replayed through one
 /// query engine and the default alert rules, rendered to one report — the
 /// offline twin of a `fixw_monitor --archive-dir= --report-out=` run.
-int report_from_directory(const std::string& dir, const std::string& report_out) {
+int report_from_directory(const std::string& dir, const std::string& report_out,
+                          const std::vector<core::TelemetrySample>& samples,
+                          bool explain, const std::string& explain_spec,
+                          const std::string& explain_out) {
   std::vector<std::filesystem::path> files;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     if (entry.is_regular_file() && entry.path().extension() == ".marc") {
@@ -131,24 +178,49 @@ int report_from_directory(const std::string& dir, const std::string& report_out)
   for (const std::filesystem::path& file : files) {
     targets.push_back(replay_target(engine, file.stem().string()));
   }
-  const core::ReportData data = core::report_data_from_replay(
-      std::move(targets), core::default_alert_rules());
+  core::ReportData data = core::report_data_from_replay(
+      std::move(targets), core::default_alert_rules(), &samples);
+  if (!samples.empty()) {
+    // "monitor" is SelfMonitorConfig's default name, which is what a
+    // single-monitor fixw_monitor --mtel-out= run carries; the health
+    // section then renders byte-identically to the live report.
+    data.health = core::monitor_health_from_samples("monitor", samples);
+  }
   std::printf("re-derived %zu alert(s) from the archived results\n",
               data.alerts.size());
-  const bool ok = core::write_html_report(report_out, data);
-  std::fprintf(stderr, "%s %s\n", ok ? "wrote" : "FAILED to write",
-               report_out.c_str());
-  return ok ? 0 : 1;
+  int rc = 0;
+  if (!report_out.empty()) {
+    const bool ok = core::write_html_report(report_out, data);
+    std::fprintf(stderr, "%s %s\n", ok ? "wrote" : "FAILED to write",
+                 report_out.c_str());
+    if (!ok) rc = 1;
+  }
+  if (explain && emit_explanations(data, explain_spec, explain_out) != 0) {
+    rc = 1;
+  }
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string report_out;
+  std::string explain_spec, explain_out, mtel_path;
+  bool explain = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
       report_out = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (std::strncmp(argv[i], "--explain=", 10) == 0) {
+      explain = true;
+      explain_spec = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--explain-out=", 14) == 0) {
+      explain = true;
+      explain_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--mtel=", 7) == 0) {
+      mtel_path = argv[i] + 7;
     } else {
       positional.push_back(argv[i]);
     }
@@ -157,14 +229,17 @@ int main(int argc, char** argv) {
   const std::string path =
       positional.size() > 1 ? positional[1]
                             : record_demo_archive("/tmp/mantra-archive", days);
+  const std::vector<core::TelemetrySample> samples = load_samples(mtel_path);
 
   if (std::filesystem::is_directory(path)) {
-    if (report_out.empty()) {
+    if (report_out.empty() && !explain) {
       std::fprintf(stderr,
-                   "a directory argument needs --report-out=<path>\n");
+                   "a directory argument needs --report-out=<path> "
+                   "or --explain\n");
       return 2;
     }
-    return report_from_directory(path, report_out);
+    return report_from_directory(path, report_out, samples, explain,
+                                 explain_spec, explain_out);
   }
 
   // --- Everything below reads only the archive file, served through the
@@ -257,16 +332,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.misses), cache.entries);
 
-  if (!report_out.empty()) {
+  int rc = 0;
+  if (!report_out.empty() || explain) {
     core::ReportTargetData target;
     target.name = std::filesystem::path(path).stem().string();
     target.results = replay.results;
     const core::ReportData data = core::report_data_from_replay(
-        {std::move(target)}, core::default_alert_rules());
-    const bool ok = core::write_html_report(report_out, data);
-    std::fprintf(stderr, "%s %s (%zu alerts re-derived)\n",
-                 ok ? "wrote" : "FAILED to write", report_out.c_str(),
-                 data.alerts.size());
+        {std::move(target)}, core::default_alert_rules(), &samples);
+    if (!report_out.empty()) {
+      const bool ok = core::write_html_report(report_out, data);
+      std::fprintf(stderr, "%s %s (%zu alerts re-derived)\n",
+                   ok ? "wrote" : "FAILED to write", report_out.c_str(),
+                   data.alerts.size());
+      if (!ok) rc = 1;
+    }
+    if (explain && emit_explanations(data, explain_spec, explain_out) != 0) {
+      rc = 1;
+    }
   }
-  return 0;
+  return rc;
 }

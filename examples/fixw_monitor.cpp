@@ -35,14 +35,21 @@
 //   --archive-dir=<dir>    durable .marc archive per target; replaying
 //                          those files through archive_replay --report-out=
 //                          reproduces this run's report byte-for-byte
+//   --explain-out=<path>   enable the alert rules and write every fired
+//                          alert's causal explanation (core/provenance) as
+//                          text; `archive_replay --explain` over the run's
+//                          --archive-dir (+ --mtel= for the event tails)
+//                          reconstructs the same bytes
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/mantra.hpp"
+#include "core/provenance.hpp"
 #include "core/report.hpp"
 #include "core/transport.hpp"
 #include "workload/scenario.hpp"
@@ -54,6 +61,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string mtel_out;
   std::string report_out;
+  std::string explain_out;
   std::string archive_dir;
   std::size_t report_every = 0;
   std::vector<const char*> positional;
@@ -66,6 +74,8 @@ int main(int argc, char** argv) {
       mtel_out = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
       report_out = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--explain-out=", 14) == 0) {
+      explain_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--report-every=", 15) == 0) {
       report_every = static_cast<std::size_t>(std::atoi(argv[i] + 15));
     } else if (std::strncmp(argv[i], "--archive-dir=", 14) == 0) {
@@ -109,7 +119,7 @@ int main(int argc, char** argv) {
   core::MantraConfig monitor_config;
   monitor_config.cycle = sim::Duration::minutes(30);
   monitor_config.telemetry.enabled = telemetry_on;
-  monitor_config.alerts.enabled = !report_out.empty();
+  monitor_config.alerts.enabled = !report_out.empty() || !explain_out.empty();
   monitor_config.archive_dir = archive_dir;
   if (!mtel_out.empty()) {
     monitor_config.self.enabled = true;
@@ -262,6 +272,20 @@ int main(int argc, char** argv) {
                  ok ? "wrote" : "FAILED to write", report_out.c_str(),
                  mantra.alerts().history().size(),
                  mantra.alerts().firing_count());
+  }
+
+  if (!explain_out.empty()) {
+    // report_data_from attaches the provenance event tails from the
+    // SelfMonitor's samples (when --mtel-out ran) — the same recorded
+    // stream `archive_replay --mtel=` feeds offline.
+    const core::ReportData data = core::report_data_from(mantra);
+    const std::string text =
+        core::render_explanations(data.provenance, core::ExplainFilter{});
+    std::ofstream out(explain_out, std::ios::binary | std::ios::trunc);
+    if (out) out << text;
+    std::fprintf(stderr, "%s %s (%zu explanation(s))\n",
+                 out ? "wrote" : "FAILED to write", explain_out.c_str(),
+                 data.provenance.size());
   }
   return 0;
 }

@@ -32,6 +32,14 @@
 //                               and violations fail the run
 //   --events-out=<path>         write the fleet-merged logfmt event stream
 //                               ((sim_ts, shard, seq) order, shard= field)
+//   --explain-out=<path>        write the fleet-wide alert explanations
+//                               (core/provenance, every shard's records
+//                               merged (fired_at, shard, rule, target))
+//   --replay-explain-out=<path> rebuild the explanations offline from the
+//                               archives (+ per-shard .mtel event tails)
+//                               and write them here; with --explain-out the
+//                               two are compared and a mismatch fails the
+//                               run
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +49,7 @@
 
 #include "core/fleet.hpp"
 #include "core/mantra.hpp"
+#include "core/provenance.hpp"
 #include "core/query.hpp"
 #include "core/report.hpp"
 #include "core/transport.hpp"
@@ -72,6 +81,8 @@ int main(int argc, char** argv) {
   std::string replay_report_out;
   std::string metrics_out;
   std::string events_out;
+  std::string explain_out;
+  std::string replay_explain_out;
   bool self_telemetry = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -81,6 +92,10 @@ int main(int argc, char** argv) {
       archive_dir = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--replay-report-out=", 20) == 0) {
       replay_report_out = argv[i] + 20;
+    } else if (std::strncmp(argv[i], "--explain-out=", 14) == 0) {
+      explain_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--replay-explain-out=", 21) == 0) {
+      replay_explain_out = argv[i] + 21;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--events-out=", 13) == 0) {
@@ -99,8 +114,11 @@ int main(int argc, char** argv) {
       positional.size() > 1 ? static_cast<std::size_t>(std::atoi(positional[1])) : 4;
   const int days = positional.size() > 2 ? std::atoi(positional[2]) : 3;
   const double failure_rate = positional.size() > 3 ? std::atof(positional[3]) : 0.0;
-  if (!replay_report_out.empty() && archive_dir.empty()) {
-    std::fprintf(stderr, "--replay-report-out requires --archive-dir\n");
+  if ((!replay_report_out.empty() || !replay_explain_out.empty()) &&
+      archive_dir.empty()) {
+    std::fprintf(stderr,
+                 "--replay-report-out/--replay-explain-out require "
+                 "--archive-dir\n");
     return 1;
   }
 
@@ -227,7 +245,16 @@ int main(int argc, char** argv) {
     if (!ok) return 1;
   }
 
-  if (replay_report_out.empty()) return 0;
+  std::string live_explain;
+  if (!explain_out.empty()) {
+    const core::FleetProvenance merged = core::fleet_provenance(fleet);
+    live_explain = core::render_explanations(merged.records,
+                                             core::ExplainFilter{},
+                                             &merged.shards);
+    if (!write_file(explain_out, live_explain)) return 1;
+  }
+
+  if (replay_report_out.empty() && replay_explain_out.empty()) return 0;
 
   // --- offline rebuild from the archives (QueryEngine per shard) ---
   std::vector<std::pair<std::string, std::vector<std::string>>> layout;
@@ -250,27 +277,38 @@ int main(int argc, char** argv) {
     if (self_telemetry) {
       // The "Monitor health" section re-derived from the shard's `.mtel`:
       // the codec is lossless and the rule evaluation is a pure function of
-      // the samples, so the replayed section renders byte-identically.
+      // the samples, so the replayed section renders byte-identically. The
+      // same samples feed the provenance event tails.
       core::TelemetryArchiveReader reader(archive_dir + "/" + name +
                                           "/monitor.mtel");
       shard.health = core::monitor_health_from_samples(name, reader.samples());
+      shard.samples = reader.samples();
     }
     replayed.push_back(std::move(shard));
   }
-  const std::string offline = core::render_fleet_html_report(
-      core::fleet_report_data_from_replay(std::move(replayed)));
-  FILE* out = std::fopen(replay_report_out.c_str(), "wb");
-  const bool ok = out != nullptr &&
-                  std::fwrite(offline.data(), 1, offline.size(), out) ==
-                      offline.size();
-  if (out != nullptr) std::fclose(out);
-  std::fprintf(stderr, "%s %s\n", ok ? "wrote" : "FAILED to write",
-               replay_report_out.c_str());
-  if (!ok) return 1;
-  if (!live_report.empty()) {
-    std::fprintf(stderr, "live vs replay fleet report: %s\n",
-                 live_report == offline ? "byte-identical" : "MISMATCH");
-    if (live_report != offline) return 1;
+  const core::FleetReportData offline_data =
+      core::fleet_report_data_from_replay(std::move(replayed));
+  if (!replay_report_out.empty()) {
+    const std::string offline = core::render_fleet_html_report(offline_data);
+    if (!write_file(replay_report_out, offline)) return 1;
+    if (!live_report.empty()) {
+      std::fprintf(stderr, "live vs replay fleet report: %s\n",
+                   live_report == offline ? "byte-identical" : "MISMATCH");
+      if (live_report != offline) return 1;
+    }
+  }
+  if (!replay_explain_out.empty()) {
+    const core::FleetProvenance merged =
+        core::fleet_provenance_from(offline_data);
+    const std::string offline_explain = core::render_explanations(
+        merged.records, core::ExplainFilter{}, &merged.shards);
+    if (!write_file(replay_explain_out, offline_explain)) return 1;
+    if (!live_explain.empty()) {
+      std::fprintf(stderr, "live vs replay fleet explanations: %s\n",
+                   live_explain == offline_explain ? "byte-identical"
+                                                   : "MISMATCH");
+      if (live_explain != offline_explain) return 1;
+    }
   }
   return 0;
 }

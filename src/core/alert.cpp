@@ -198,6 +198,57 @@ double evaluate_value(const AlertRule& rule, const std::deque<double>& recent) {
   return recent.back();
 }
 
+const char* kind_name(AlertRule::Kind kind) {
+  switch (kind) {
+    case AlertRule::Kind::threshold: return "threshold";
+    case AlertRule::Kind::rate_of_change: return "rate_of_change";
+    case AlertRule::Kind::spike: return "spike";
+  }
+  return "unknown";
+}
+
+const char* aggregate_name(AlertRule::Aggregate aggregate) {
+  switch (aggregate) {
+    case AlertRule::Aggregate::last: return "last";
+    case AlertRule::Aggregate::mean: return "mean";
+    case AlertRule::Aggregate::max: return "max";
+    case AlertRule::Aggregate::quantile: return "quantile";
+  }
+  return "unknown";
+}
+
+/// The triggering threshold math as one deterministic line, e.g.
+/// "mean(w=8) = 0.625 >= 0.5 held 3/3 cycles; clears < 0.25 for 3".
+std::string render_math(const AlertRule& rule, double value, std::size_t hold) {
+  char buffer[192];
+  std::string agg;
+  switch (rule.kind) {
+    case AlertRule::Kind::threshold:
+      if (rule.aggregate == AlertRule::Aggregate::quantile) {
+        std::snprintf(buffer, sizeof buffer, "q%.6g(w=%zu)", rule.quantile_q,
+                      rule.window);
+      } else {
+        std::snprintf(buffer, sizeof buffer, "%s(w=%zu)",
+                      aggregate_name(rule.aggregate), rule.window);
+      }
+      agg = buffer;
+      break;
+    case AlertRule::Kind::rate_of_change:
+      std::snprintf(buffer, sizeof buffer, "delta(w=%zu)", rule.window);
+      agg = buffer;
+      break;
+    case AlertRule::Kind::spike:
+      agg = "spike score";
+      break;
+  }
+  std::snprintf(buffer, sizeof buffer,
+                " = %.6g %s %.6g held %zu/%zu cycles; clears %s %.6g for %zu",
+                value, rule.fire_above ? ">=" : "<=", rule.fire_threshold, hold,
+                rule.for_cycles, rule.fire_above ? "<" : ">",
+                rule.clear_threshold, rule.clear_for_cycles);
+  return agg + buffer;
+}
+
 }  // namespace
 
 void AlertEngine::observe(std::string_view target, const CycleResult& result) {
@@ -205,11 +256,23 @@ void AlertEngine::observe(std::string_view target, const CycleResult& result) {
   for (std::size_t r = 0; r < rules_.size(); ++r) {
     raw_values[r] = raw_value(rules_[r], result);
   }
-  observe_values(target, result.t, raw_values);
+  // Collection facts for provenance capture — every field here is archived
+  // (ArchiveCycleMeta), so a replayed result carries the same facts and the
+  // captured records are byte-identical live vs offline.
+  ProvenanceFacts facts;
+  facts.cycle_seq = result.cycle_seq;
+  facts.stale = result.stale;
+  facts.stale_tables = result.stale_tables;
+  facts.collection_failures = result.collection_failures;
+  facts.consecutive_failures = result.consecutive_failures;
+  facts.capture_attempts = result.capture_attempts;
+  facts.collection_latency = result.collection_latency;
+  observe_values(target, result.t, raw_values, &facts);
 }
 
 void AlertEngine::observe_values(std::string_view target, sim::TimePoint t,
-                                 const std::vector<double>& raw_values) {
+                                 const std::vector<double>& raw_values,
+                                 const ProvenanceFacts* facts) {
   if (raw_values.size() != rules_.size()) {
     throw std::invalid_argument(
         "AlertEngine::observe_values: expected one value per rule");
@@ -238,6 +301,22 @@ void AlertEngine::observe_values(std::string_view target, sim::TimePoint t,
                                 ? state.value < rule.clear_threshold
                                 : state.value > rule.clear_threshold;
 
+    if (provenance_enabled_) {
+      // Evaluation trail: enough points to explain a fire (the aggregation
+      // window plus the pending hold). Strictly evaluation-neutral — the
+      // trail is only ever read at the pending->firing transition.
+      ProvenanceWindowPoint point;
+      point.cycle_seq = facts != nullptr ? facts->cycle_seq : 0;
+      point.t = t;
+      point.raw = raw_values[r];
+      point.value = state.value;
+      point.over = fire_cond;
+      if (facts != nullptr) point.facts = *facts;
+      state.trail.push_back(std::move(point));
+      const std::size_t keep = rule.window + rule.for_cycles;
+      while (state.trail.size() > keep) state.trail.pop_front();
+    }
+
     const auto fire = [&] {
       state.state = AlertState::firing;
       state.firing_since = t;
@@ -246,23 +325,54 @@ void AlertEngine::observe_values(std::string_view target, sim::TimePoint t,
       record.rule = rule.name;
       record.target = std::string(target);
       record.severity = rule.severity;
+      if (facts != nullptr) {
+        record.corr = correlation_id(facts->cycle_seq, target);
+      }
       record.pending_at = *state.pending_since;
       record.fired_at = t;
       record.peak_value = state.value;
       record.cycles_firing = 1;
       state.open_record = history_.size();
+      if (provenance_enabled_) {
+        ProvenanceRecord why;
+        why.corr = record.corr;
+        why.rule = rule.name;
+        why.target = record.target;
+        why.severity = to_string(rule.severity);
+        why.kind = kind_name(rule.kind);
+        if (rule.kind == AlertRule::Kind::threshold) {
+          why.aggregate = aggregate_name(rule.aggregate);
+        }
+        why.window = rule.window;
+        why.for_cycles = rule.for_cycles;
+        why.clear_for_cycles = rule.clear_for_cycles;
+        why.fire_above = rule.fire_above;
+        why.fire_threshold = rule.fire_threshold;
+        why.clear_threshold = rule.clear_threshold;
+        why.value_at_fire = state.value;
+        why.fire_cycle_seq = facts != nullptr ? facts->cycle_seq : 0;
+        why.pending_at = record.pending_at;
+        why.fired_at = t;
+        why.math = render_math(rule, state.value, state.hold);
+        why.points.assign(state.trail.begin(), state.trail.end());
+        provenance_.push_back(std::move(why));
+      }
       history_.push_back(std::move(record));
       transition_gauge(rule, target, AlertState::firing);
       if (telemetry_->enabled()) {
         char value[32];
         std::snprintf(value, sizeof value, "%.6g", state.value);
+        std::vector<std::pair<std::string, std::string>> fields = {
+            {"rule", rule.name},
+            {"target", std::string(target)},
+            {"value", value}};
+        if (facts != nullptr) {
+          fields.emplace_back("corr", correlation_id(facts->cycle_seq, target));
+        }
         telemetry_->events().log(
             rule.severity == AlertSeverity::critical ? EventLevel::error
                                                      : EventLevel::warn,
-            "alert_firing", t,
-            {{"rule", rule.name},
-             {"target", std::string(target)},
-             {"value", value}});
+            "alert_firing", t, std::move(fields));
       }
     };
     const auto deactivate = [&] {

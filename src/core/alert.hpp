@@ -39,6 +39,7 @@
 
 #include "core/output.hpp"
 #include "core/process.hpp"
+#include "core/provenance.hpp"
 #include "core/telemetry.hpp"
 #include "sim/time.hpp"
 
@@ -110,6 +111,10 @@ struct AlertRecord {
   std::string rule;
   std::string target;
   AlertSeverity severity = AlertSeverity::warning;
+  /// correlation_id(cycle_seq at fire, target), joining this episode to the
+  /// cycle's spans/events/results and its ProvenanceRecord. Empty when the
+  /// observation carried no collection facts (self-monitoring rules).
+  std::string corr;
   sim::TimePoint pending_at;  ///< when the condition first held
   sim::TimePoint fired_at;
   std::optional<sim::TimePoint> resolved_at;
@@ -137,8 +142,12 @@ class AlertEngine {
   /// derived from `.mtel` telemetry samples); the windowing, for-duration
   /// and hysteresis machinery is identical to observe(). Throws
   /// std::invalid_argument when the value count does not match the rules.
+  /// `facts` (optional) are the cycle's collection facts recorded into any
+  /// ProvenanceRecord this observation fires; observe() derives them from
+  /// the CycleResult, value-only callers leave them null.
   void observe_values(std::string_view target, sim::TimePoint t,
-                      const std::vector<double>& raw_values);
+                      const std::vector<double>& raw_values,
+                      const ProvenanceFacts* facts = nullptr);
 
   [[nodiscard]] const std::vector<AlertRule>& rules() const { return rules_; }
   /// Every (rule, target) state, targets in name order, rules in rule
@@ -150,6 +159,17 @@ class AlertEngine {
   [[nodiscard]] const std::vector<AlertRecord>& history() const {
     return history_;
   }
+  /// One ProvenanceRecord per firing episode, in the same order as
+  /// history() (captured at each pending->firing transition). Empty when
+  /// provenance capture is disabled. Event tails are not attached here —
+  /// callers with a self-telemetry stream use attach_provenance_events.
+  [[nodiscard]] const std::vector<ProvenanceRecord>& provenance() const {
+    return provenance_;
+  }
+  /// Toggles provenance capture (default on). Capture is strictly
+  /// evaluation-neutral — states, history and gauges are identical either
+  /// way; the toggle exists for the overhead bench's A/B.
+  void set_provenance(bool enabled) { provenance_enabled_ = enabled; }
   [[nodiscard]] std::size_t firing_count() const;
 
   /// Current states as a SummaryTable (rule, target, state, value, since).
@@ -172,6 +192,11 @@ class AlertEngine {
     std::optional<sim::TimePoint> firing_since;
     double value = 0.0;
     std::deque<double> recent;         ///< rolling raw values
+    /// Rolling evaluation trail for provenance capture: one point per
+    /// observation, trimmed to window + for_cycles (enough to explain a
+    /// fire: the full aggregation window plus the pending hold). Unused
+    /// (empty) when provenance capture is off.
+    std::deque<ProvenanceWindowPoint> trail;
     std::size_t open_record = SIZE_MAX;  ///< index into history_ while firing
   };
 
@@ -181,6 +206,8 @@ class AlertEngine {
   std::vector<AlertRule> rules_;
   std::map<std::string, std::vector<RuleState>, std::less<>> targets_;
   std::vector<AlertRecord> history_;
+  std::vector<ProvenanceRecord> provenance_;
+  bool provenance_enabled_ = true;
   Telemetry* telemetry_ = &Telemetry::noop();
 };
 

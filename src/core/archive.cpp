@@ -24,7 +24,9 @@ using codec::put_u32;
 using codec::put_varint;
 
 constexpr std::uint32_t kMagic = 0x4352414Du;  // "MARC" little-endian
-constexpr std::uint16_t kVersion = 1;
+// Version 2 added ArchiveCycleMeta::cycle_seq (a varint after the stale
+// byte). Old readers reject v2 files cleanly via the header check.
+constexpr std::uint16_t kVersion = 2;
 constexpr std::size_t kHeaderBytes = 8;
 constexpr std::size_t kFrameBytes = 8;  // length:u32 + crc:u32
 /// Corruption guard: a garbage length field must not trigger a huge read.
@@ -215,6 +217,7 @@ typename Table<Row>::Delta decode_delta(Cursor& in, DecodeRow decode_row,
 
 void encode_meta(std::string& out, const ArchiveCycleMeta& meta) {
   out.push_back(meta.stale ? 1 : 0);
+  put_varint(out, meta.cycle_seq);
   put_varint(out, meta.stale_tables);
   put_varint(out, meta.collection_failures);
   put_varint(out, meta.consecutive_failures);
@@ -226,6 +229,7 @@ void encode_meta(std::string& out, const ArchiveCycleMeta& meta) {
 ArchiveCycleMeta decode_meta(Cursor& in) {
   ArchiveCycleMeta meta;
   meta.stale = in.u8() != 0;
+  meta.cycle_seq = in.varint();
   meta.stale_tables = static_cast<std::uint32_t>(in.varint());
   meta.collection_failures = static_cast<std::uint32_t>(in.varint());
   meta.consecutive_failures = static_cast<std::uint32_t>(in.varint());
@@ -350,11 +354,17 @@ void ArchiveWriter::append(const Snapshot& snapshot, const ArchiveCycleMeta& met
         .counter("mantra_archive_bytes_total", {{"target", telemetry_label_}})
         .inc(frame.size());
     if (keyframe) {
-      telemetry_->events().log(
-          EventLevel::info, "archive_keyframe", snapshot.captured,
-          {{"target", telemetry_label_},
-           {"cycle", std::to_string(cycles_written_ - 1)},
-           {"bytes", std::to_string(frame.size())}});
+      std::vector<std::pair<std::string, std::string>> fields = {
+          {"target", telemetry_label_},
+          {"cycle", std::to_string(cycles_written_ - 1)},
+          {"bytes", std::to_string(frame.size())}};
+      if (stage_ != nullptr) {
+        stage_->log(EventLevel::info, "archive_keyframe", snapshot.captured,
+                    std::move(fields));
+      } else {
+        telemetry_->events().log(EventLevel::info, "archive_keyframe",
+                                 snapshot.captured, std::move(fields));
+      }
     }
   }
 
@@ -710,6 +720,7 @@ void ReplayPipeline::observe(const Snapshot& raw, const ArchiveCycleMeta& meta) 
   result.density_at_most_two_fraction = density.fraction_at_most_two;
   result.density_top_share_80 = density.top_session_share_for_80pct;
 
+  result.cycle_seq = static_cast<std::size_t>(meta.cycle_seq);
   result.stale = meta.stale;
   result.stale_tables = meta.stale_tables;
   result.collection_failures = meta.collection_failures;

@@ -50,6 +50,10 @@ namespace mantra::core {
 /// accounting).
 struct ArchiveCycleMeta {
   bool stale = false;
+  /// 1-based monitor cycle number (CycleResult::cycle_seq). Persisted so the
+  /// offline replay can rebuild correlation ids exactly — dark cycles leave
+  /// gaps the results index cannot recover. Format version 2.
+  std::uint64_t cycle_seq = 0;
   std::uint32_t stale_tables = 0;
   std::uint32_t collection_failures = 0;
   std::uint32_t consecutive_failures = 0;
@@ -95,6 +99,12 @@ class ArchiveWriter {
   /// use Telemetry::noop() to detach.
   void set_telemetry(Telemetry* telemetry, std::string label);
 
+  /// Routes the writer's events (archive_keyframe) through a per-target
+  /// staging buffer instead of the shared event log, so appends from worker
+  /// threads stay `worker_threads`-invariant. Null restores direct logging.
+  /// Metrics always go to the shared registry (commutative).
+  void set_stage(TelemetryStage* stage) { stage_ = stage; }
+
   [[nodiscard]] std::size_t cycles_written() const { return cycles_written_; }
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
   [[nodiscard]] const ArchiveOptions& options() const { return options_; }
@@ -110,6 +120,7 @@ class ArchiveWriter {
   bool have_previous_ = false;
   Telemetry* telemetry_ = &Telemetry::noop();
   std::string telemetry_label_;
+  TelemetryStage* stage_ = nullptr;
 };
 
 /// What ArchiveReader found (and lost) while opening a file.

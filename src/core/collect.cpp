@@ -154,7 +154,12 @@ Collector::Collector(std::vector<std::string> commands, RetryPolicy policy,
 void Collector::set_telemetry(Telemetry* telemetry, std::string target) {
   telemetry_ = telemetry;
   telemetry_target_ = target;
+  own_stage_.attach(telemetry);
   transport_->set_telemetry(telemetry, std::move(target));
+}
+
+void Collector::set_stage(TelemetryStage* stage) {
+  stage_ = stage != nullptr ? stage : &own_stage_;
 }
 
 void Collector::record_capture_telemetry(const RawCapture& capture,
@@ -190,26 +195,37 @@ void Collector::record_capture_telemetry(const RawCapture& capture,
                  {{"target", telemetry_target_},
                   {"phase", to_string(capture.deadline_phase)}})
         .inc();
-    telemetry_->events().log(
-        EventLevel::warn, "command_deadline_exhausted", now,
-        {{"target", telemetry_target_},
-         {"command", capture.command},
-         {"phase", to_string(capture.deadline_phase)},
-         {"attempts", std::to_string(capture.attempts)},
-         {"latency_ms", std::to_string(capture.latency.total_ms())}});
+    stage_->log(EventLevel::warn, "command_deadline_exhausted", now,
+                {{"target", telemetry_target_},
+                 {"command", capture.command},
+                 {"phase", to_string(capture.deadline_phase)},
+                 {"attempts", std::to_string(capture.attempts)},
+                 {"latency_ms", std::to_string(capture.latency.total_ms())}},
+                capture.command, capture.attempts);
   } else if (!capture.ok()) {
-    telemetry_->events().log(
-        EventLevel::warn, "capture_failed", now,
-        {{"target", telemetry_target_},
-         {"command", capture.command},
-         {"status", to_string(capture.status)},
-         {"transport", to_string(capture.transport_status)},
-         {"attempts", std::to_string(capture.attempts)}});
+    stage_->log(EventLevel::warn, "capture_failed", now,
+                {{"target", telemetry_target_},
+                 {"command", capture.command},
+                 {"status", to_string(capture.status)},
+                 {"transport", to_string(capture.transport_status)},
+                 {"attempts", std::to_string(capture.attempts)}},
+                capture.command, capture.attempts);
   }
 }
 
 const CaptureReport& Collector::capture(const router::MulticastRouter& router,
                                         sim::TimePoint now) {
+  do_capture(router, now);
+  // Standalone collectors (no monitor attached via set_stage) flush here so
+  // their spans/events still reach the sinks; cycle_seq 0 marks "no cycle".
+  if (stage_ == &own_stage_ && telemetry_->enabled()) {
+    own_stage_.flush(0, telemetry_target_, telemetry_->tracer().thread_id());
+  }
+  return report_;
+}
+
+void Collector::do_capture(const router::MulticastRouter& router,
+                           sim::TimePoint now) {
   // Reset the reused report in place: slots (and their transcript buffers)
   // from the previous cycle keep their capacity.
   CaptureReport& report = report_;
@@ -219,8 +235,8 @@ const CaptureReport& Collector::capture(const router::MulticastRouter& router,
   report.captures.resize(commands_.size());
   const std::size_t max_attempts = std::max<std::size_t>(policy_.max_attempts, 1);
   const bool telemetry_on = telemetry_->enabled();
-  // A disabled tracer hands out an inert scope — no clock reads, no storage.
-  Tracer::Scope capture_scope = telemetry_->tracer().span("capture", "collect", now);
+  // A disabled stage hands out an inert scope — no clock reads, no storage.
+  TelemetryStage::Span capture_scope = stage_->span("capture", "collect", now);
   capture_scope.arg("target", telemetry_target_);
 
   const auto reset_slot = [&](RawCapture& capture, const std::string& command) {
@@ -261,15 +277,14 @@ const CaptureReport& Collector::capture(const router::MulticastRouter& router,
       record_capture_telemetry(capture, now, sim::Duration());
     }
     if (telemetry_on) {
-      telemetry_->events().log(
-          EventLevel::warn, "session_failed", now,
-          {{"target", telemetry_target_},
-           {"transport", to_string(op_.status)},
-           {"attempts", std::to_string(report.attempts)}});
+      stage_->log(EventLevel::warn, "session_failed", now,
+                  {{"target", telemetry_target_},
+                   {"transport", to_string(op_.status)},
+                   {"attempts", std::to_string(report.attempts)}});
       capture_scope.arg("connected", "false");
       capture_scope.set_sim_interval(now, report.latency);
     }
-    return report;
+    return;
   }
 
   for (std::size_t i = 0; i < commands_.size(); ++i) {
@@ -278,7 +293,7 @@ const CaptureReport& Collector::capture(const router::MulticastRouter& router,
     reset_slot(capture, command);
     sim::Duration backoff_total;
 
-    Tracer::Scope command_scope = telemetry_->tracer().span(command, "command", now);
+    TelemetryStage::Span command_scope = stage_->span(command, "command", now);
     command_scope.arg("target", telemetry_target_);
 
     for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -303,12 +318,12 @@ const CaptureReport& Collector::capture(const router::MulticastRouter& router,
         attempt_span.wall_ts_us = attempt_wall_start;
         attempt_span.wall_dur_us =
             telemetry_->tracer().wall_now_us() - attempt_wall_start;
-        attempt_span.tid = telemetry_->tracer().thread_id();
+        // tid is stamped at flush time (deterministic, post-join).
         attempt_span.args = {{"target", telemetry_target_},
                              {"command", command},
                              {"attempt", std::to_string(attempt)},
                              {"transport", to_string(op_.status)}};
-        telemetry_->tracer().record(std::move(attempt_span));
+        stage_->record(std::move(attempt_span), command, attempt);
       }
 
       // The deadline bounds the command's cumulative latency (attempts +
@@ -367,12 +382,16 @@ const CaptureReport& Collector::capture(const router::MulticastRouter& router,
     }
 
     report.latency += capture.latency;
-    if (telemetry_on) command_scope.set_sim_interval(now, capture.latency);
+    if (telemetry_on) {
+      command_scope.set_sim_interval(now, capture.latency);
+      // The command span shares its correlation id with the deciding (last)
+      // attempt, joining the summary span to the attempt that settled it.
+      command_scope.set_context(command, capture.attempts);
+    }
     record_capture_telemetry(capture, now, backoff_total);
   }
   transport_->disconnect();
   if (telemetry_on) capture_scope.set_sim_interval(now, report.latency);
-  return report;
 }
 
 }  // namespace mantra::core

@@ -157,13 +157,26 @@ class Collector {
   /// Attaches a telemetry sink (forwarded to the owned transport) and the
   /// target label stamped on every metric/span/event this collector
   /// records. Never pass null — use Telemetry::noop() to detach.
+  ///
+  /// Spans and events route through a TelemetryStage: by default a
+  /// collector-owned one that auto-flushes at the end of each capture()
+  /// (with cycle_seq 0 — standalone collectors have no monitor cycle), or
+  /// the caller's via set_stage(), in which case the caller owns the flush
+  /// and its correlation context (core/mantra's post-join name-order flush).
   void set_telemetry(Telemetry* telemetry, std::string target);
+
+  /// Redirects span/event staging to an external buffer (flushed by the
+  /// caller). Null restores the collector-owned auto-flushed stage.
+  void set_stage(TelemetryStage* stage);
 
   [[nodiscard]] const std::vector<std::string>& commands() const { return commands_; }
   [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
   [[nodiscard]] Transport& transport() { return *transport_; }
 
  private:
+  /// The collection pass proper; capture() wraps it so the span scopes are
+  /// closed before a standalone collector auto-flushes its own stage.
+  void do_capture(const router::MulticastRouter& router, sim::TimePoint now);
   void record_capture_telemetry(const RawCapture& capture, sim::TimePoint now,
                                 sim::Duration backoff_total);
 
@@ -173,6 +186,8 @@ class Collector {
   sim::Rng jitter_rng_;
   Telemetry* telemetry_ = &Telemetry::noop();
   std::string telemetry_target_;
+  TelemetryStage own_stage_;          ///< default staging sink (auto-flushed)
+  TelemetryStage* stage_ = &own_stage_;
   CaptureReport report_;     ///< reused result storage (see capture())
   TransportResult op_;       ///< reused per-operation transport buffer
 };

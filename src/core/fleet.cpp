@@ -119,6 +119,10 @@ FleetReportData fleet_report_data_from(const FleetAggregator& fleet) {
   return data;
 }
 
+FleetProvenance fleet_provenance(const FleetAggregator& fleet) {
+  return fleet_provenance_from(fleet_report_data_from(fleet));
+}
+
 namespace {
 
 /// Inserts `shard="<shard>"` into a serialized sorted label string at its

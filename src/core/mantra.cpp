@@ -91,6 +91,7 @@ Mantra::Mantra(sim::Engine& engine, MantraConfig config, TransportFactory factor
       cycle_timer_(engine, config_.cycle, [this] { run_cycle_now(); }) {
   if (pool_) pool_->set_telemetry(telemetry_.get());
   alerts_->set_telemetry(telemetry_.get());
+  alerts_->set_provenance(config_.alerts.provenance);
   if (config_.self.enabled) {
     self_ = std::make_unique<SelfMonitor>(config_.self, telemetry_.get());
   }
@@ -110,13 +111,27 @@ void Mantra::add_target(const router::MulticastRouter* target) {
       default_command_set(), policy,
       transport_factory_ ? transport_factory_(state->name) : nullptr);
   state->collector->set_telemetry(telemetry_.get(), state->name);
+  state->stage.attach(telemetry_.get());
+  state->collector->set_stage(&state->stage);
   if (!config_.archive_dir.empty()) {
     std::filesystem::create_directories(config_.archive_dir);
     state->archive = std::make_unique<ArchiveWriter>(
         config_.archive_dir + "/" + state->name + ".marc", config_.archive);
     state->archive->set_telemetry(telemetry_.get(), state->name);
+    state->archive->set_stage(&state->stage);
   }
   targets_[target->hostname()] = std::move(state);
+  // Reassign the trace lanes: tid 1 is the driver thread (the first — and
+  // with staging the only — caller of Tracer::thread_id), tid 2+i the i-th
+  // target in name order. Recomputed on every add so lanes stay stable
+  // functions of the final target set, not of insertion order.
+  telemetry_->tracer().set_thread_name(1, "driver");
+  std::uint32_t tid = 2;
+  for (auto& [name, existing] : targets_) {
+    existing->tid = tid;
+    telemetry_->tracer().set_thread_name(tid, name);
+    ++tid;
+  }
 }
 
 void Mantra::start() { cycle_timer_.start(); }
@@ -127,8 +142,14 @@ void Mantra::run_cycle_now() {
   // instant regardless of scheduling order, and no worker touches the
   // engine. The join below keeps the cycle synchronous with the simulator.
   const sim::TimePoint now = engine_.now();
+  // The cycle sequence number joins everything this cycle produces — spans,
+  // events, CycleResults, archive meta, alert transitions — via
+  // correlation_id(). 1-based; dark cycles consume a number without
+  // recording a result, which is why the archive persists it.
+  const std::size_t cycle_seq = cycles_run_ + 1;
   Tracer::Scope cycle_scope = telemetry_->tracer().span("cycle", "cycle", now);
   if (telemetry_->enabled()) {
+    cycle_scope.arg("seq", std::to_string(cycle_seq));
     cycle_scope.arg("targets", std::to_string(targets_.size()));
     telemetry_->metrics().counter("mantra_cycles_total").inc();
     telemetry_->metrics()
@@ -141,9 +162,22 @@ void Mantra::run_cycle_now() {
   shards.reserve(targets_.size());
   for (auto& [name, target] : targets_) {
     TargetState* state = target.get();
-    shards.emplace_back([this, state, now] { run_target_cycle(*state, now); });
+    shards.emplace_back([this, state, now, cycle_seq] {
+      run_target_cycle(*state, now, cycle_seq);
+    });
   }
   parallel::run_all(pool_.get(), std::move(shards));
+  // Post-join flush, in target-name order (the map's order): every span and
+  // event staged by the workers reaches the shared tracer/event log here, on
+  // the engine thread, with the target's stable tid and its correlation id.
+  // Sequence numbers are therefore assigned in (cycle, target-name) order —
+  // the logfmt stream and the trace JSON are byte-identical for any
+  // worker_threads setting.
+  if (telemetry_->enabled()) {
+    for (auto& [name, target] : targets_) {
+      target->stage.flush(cycle_seq, name, target->tid);
+    }
+  }
   if (telemetry_->enabled()) {
     // Wall-clock cost of the fan-out + join, the monitor's own hot path. The
     // value is inherently non-deterministic, so nothing result-bearing may
@@ -191,9 +225,12 @@ void Mantra::run_cycle_now() {
   if (cycle_hook_) cycle_hook_(cycles_run_);
 }
 
-void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
-  Tracer::Scope target_scope =
-      telemetry_->tracer().span("target_cycle", "cycle", now);
+void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now,
+                              std::size_t cycle_seq) {
+  // Everything below stages into target.stage; run_cycle_now flushes it
+  // post-join. Only commutative metric updates touch shared state here.
+  TelemetryStage::Span target_scope =
+      target.stage.span("target_cycle", "cycle", now);
   target_scope.arg("target", target.name);
 
   // Reference into collector-owned reused storage; valid until the next
@@ -215,7 +252,7 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
           .inc();
       if (target.health == TargetHealth::Unreachable &&
           previous_health != TargetHealth::Unreachable) {
-        telemetry_->events().log(
+        target.stage.log(
             EventLevel::error, "target_unreachable", now,
             {{"target", target.name},
              {"dark_cycles", std::to_string(target.consecutive_failures)}});
@@ -238,8 +275,8 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
 
   // Parsing/derivation is instantaneous in sim time; the span captures its
   // wall cost.
-  Tracer::Scope process_scope =
-      telemetry_->tracer().span("process", "process", now);
+  TelemetryStage::Span process_scope =
+      target.stage.span("process", "process", now);
   process_scope.arg("target", target.name);
 
   // Parse each table from its capture when the capture is clean; otherwise
@@ -251,8 +288,8 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
   };
 
   {
-    Tracer::Scope parse_scope =
-        telemetry_->tracer().span("parse", "process", now);
+    TelemetryStage::Span parse_scope =
+        target.stage.span("parse", "process", now);
     if (const RawCapture* capture = ok_capture("show ip mroute count")) {
       parse_mroute_count(capture->clean_text, snapshot.pairs, &warning_lines);
     } else {
@@ -283,8 +320,8 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
   const std::size_t warnings = warning_lines.size();
 
   {
-    Tracer::Scope derive_scope =
-        telemetry_->tracer().span("derive", "process", now);
+    TelemetryStage::Span derive_scope =
+        target.stage.span("derive", "process", now);
     derive_participants_into(snapshot.pairs, config_.sender_threshold_kbps,
                              snapshot.participants);
     derive_sessions_into(snapshot.pairs, config_.sender_threshold_kbps,
@@ -292,14 +329,15 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
   }
 
   {
-    Tracer::Scope record_scope =
-        telemetry_->tracer().span("record", "process", now);
+    TelemetryStage::Span record_scope =
+        target.stage.span("record", "process", now);
     target.logger.record(snapshot);
     target.route_monitor.observe(now, snapshot.routes);
   }
 
   CycleResult result;
   result.t = now;
+  result.cycle_seq = cycle_seq;
   result.usage = compute_usage(snapshot, config_.sender_threshold_kbps);
   result.dvmrp_routes = snapshot.routes.size();
   snapshot.routes.visit([&result](const RouteRow& route) {
@@ -340,7 +378,7 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
   target.last_success = now;
 
   if (telemetry_->enabled() && ended_dark_cycles > 0) {
-    telemetry_->events().log(
+    target.stage.log(
         EventLevel::info, "target_recovered", now,
         {{"target", target.name},
          {"dark_cycles", std::to_string(ended_dark_cycles)},
@@ -359,9 +397,9 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
     if (warnings > 0) {
       metrics.counter("mantra_parse_warnings_total", {{"target", target.name}})
           .inc(warnings);
-      telemetry_->events().log(EventLevel::warn, "parse_warning", now,
-                               {{"target", target.name},
-                                {"warnings", std::to_string(warnings)}});
+      target.stage.log(EventLevel::warn, "parse_warning", now,
+                       {{"target", target.name},
+                        {"warnings", std::to_string(warnings)}});
     }
     if (stale_tables > 0) {
       metrics.counter("mantra_stale_tables_total", {{"target", target.name}})
@@ -372,7 +410,7 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
           .inc();
       char score[32];
       std::snprintf(score, sizeof score, "%.2f", result.route_spike_score);
-      telemetry_->events().log(
+      target.stage.log(
           EventLevel::warn, "spike_detected", now,
           {{"target", target.name},
            {"score", score},
@@ -384,6 +422,7 @@ void Mantra::run_target_cycle(TargetState& target, sim::TimePoint now) {
 
   if (target.archive) {
     ArchiveCycleMeta meta;
+    meta.cycle_seq = static_cast<std::uint64_t>(result.cycle_seq);
     meta.stale = result.stale;
     meta.stale_tables = static_cast<std::uint32_t>(result.stale_tables);
     meta.collection_failures =

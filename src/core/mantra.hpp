@@ -62,6 +62,10 @@ struct AlertConfig {
   bool enabled = false;
   /// Rules to evaluate; empty + enabled selects default_alert_rules().
   std::vector<AlertRule> rules;
+  /// Capture a ProvenanceRecord at every pending->firing transition
+  /// (core/provenance). Evaluation-neutral; off exists for the overhead
+  /// bench's A/B (bench/provenance_overhead).
+  bool provenance = true;
 };
 
 struct MantraConfig {
@@ -284,13 +288,22 @@ class Mantra {
     TargetHealth health = TargetHealth::Healthy;
     std::size_t consecutive_failures = 0;  ///< fully dark cycles in a row
     std::optional<sim::TimePoint> last_success;  ///< last recorded cycle
+    /// Per-cycle span/event staging buffer. The worker thread running this
+    /// shard records into it; run_cycle_now flushes the stages post-join in
+    /// target-name order with deterministic tids, so the event log and the
+    /// trace are byte-identical across worker_threads settings.
+    TelemetryStage stage;
+    /// This target's stable trace lane: 2 + name-order index (tid 1 is the
+    /// driver thread). Assigned by add_target.
+    std::uint32_t tid = 0;
 
     TargetState(const LoggerConfig& logger_config, std::size_t spike_window,
                 double spike_k)
         : logger(logger_config), spike_detector(spike_window, spike_k) {}
   };
 
-  void run_target_cycle(TargetState& target, sim::TimePoint now);
+  void run_target_cycle(TargetState& target, sim::TimePoint now,
+                        std::size_t cycle_seq);
   [[nodiscard]] const TargetState& target(std::string_view router_name) const;
 
   sim::Engine& engine_;

@@ -42,6 +42,12 @@ struct UsageStats {
 /// offline archive replay (core/archive).
 struct CycleResult {
   sim::TimePoint t;
+  /// 1-based monitor cycle number this result was produced in. Dark cycles
+  /// record no result, so the sequence may have gaps — which is exactly why
+  /// it is persisted (archive meta) rather than derived from the results
+  /// index. Joins this result to its spans/events/alerts via
+  /// `correlation_id(cycle_seq, target)`.
+  std::size_t cycle_seq = 0;
   UsageStats usage;
   std::size_t dvmrp_routes = 0;
   std::size_t dvmrp_valid_routes = 0;

@@ -1,0 +1,142 @@
+#include "core/provenance.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/teltrace.hpp"
+
+namespace mantra::core {
+
+namespace {
+
+/// The target an event is about, per the convention every emitter in this
+/// codebase follows ("target" as a field); empty for monitor-wide events.
+std::string_view event_target(const TelemetryEvent& event) {
+  for (const auto& [key, value] : event.fields) {
+    if (key == "target") return value;
+  }
+  return {};
+}
+
+void attach_from(std::vector<ProvenanceRecord>& records,
+                 const std::vector<TelemetryEvent>& events) {
+  for (ProvenanceRecord& record : records) {
+    record.events.clear();
+    if (record.points.empty()) continue;
+    const std::int64_t from_ms = record.points.front().t.total_ms();
+    const std::int64_t to_ms = record.fired_at.total_ms();
+    for (const TelemetryEvent& event : events) {
+      if (event.sim_ts_ms < from_ms || event.sim_ts_ms > to_ms) continue;
+      if (event_target(event) != record.target) continue;
+      record.events.push_back(event);
+    }
+    std::sort(record.events.begin(), record.events.end(),
+              [](const TelemetryEvent& a, const TelemetryEvent& b) {
+                if (a.sim_ts_ms != b.sim_ts_ms) return a.sim_ts_ms < b.sim_ts_ms;
+                return a.seq < b.seq;
+              });
+    if (record.events.size() > kMaxProvenanceEvents) {
+      record.events.erase(record.events.begin(),
+                          record.events.end() - kMaxProvenanceEvents);
+    }
+  }
+}
+
+}  // namespace
+
+void attach_provenance_events(std::vector<ProvenanceRecord>& records,
+                              const std::vector<TelemetryEvent>& events) {
+  attach_from(records, events);
+}
+
+void attach_provenance_events(std::vector<ProvenanceRecord>& records,
+                              const std::vector<TelemetrySample>& samples) {
+  std::vector<TelemetryEvent> events;
+  for (const TelemetrySample& sample : samples) {
+    events.insert(events.end(), sample.events.begin(), sample.events.end());
+  }
+  attach_from(records, events);
+}
+
+ExplainFilter parse_explain_spec(std::string_view spec) {
+  ExplainFilter filter;
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    filter.rule = std::string(spec);
+  } else {
+    filter.rule = std::string(spec.substr(0, colon));
+    filter.target = std::string(spec.substr(colon + 1));
+  }
+  return filter;
+}
+
+namespace {
+
+std::string fnum(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string render_explanations(const std::vector<ProvenanceRecord>& records,
+                                const ExplainFilter& filter,
+                                const std::vector<std::string>* shards) {
+  std::string out;
+  char buffer[192];
+  std::size_t matched = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ProvenanceRecord& record = records[i];
+    if (!filter.matches(record)) continue;
+    ++matched;
+    out += "alert " + record.rule + ":" + record.target;
+    if (shards != nullptr && i < shards->size()) {
+      out += " shard=" + (*shards)[i];
+    }
+    out += " severity=" + record.severity;
+    if (!record.corr.empty()) out += " corr=" + record.corr;
+    out += "\n  pending_at=" + record.pending_at.to_string() +
+           " fired_at=" + record.fired_at.to_string();
+    std::snprintf(buffer, sizeof buffer, " fire_cycle=%zu value=",
+                  record.fire_cycle_seq);
+    out += buffer;
+    out += fnum(record.value_at_fire);
+    out += "\n  math: " + record.math + "\n";
+    out += "  window:\n";
+    for (const ProvenanceWindowPoint& point : record.points) {
+      std::snprintf(buffer, sizeof buffer, "    seq=%zu t=", point.cycle_seq);
+      out += buffer;
+      out += point.t.to_string();
+      out += " raw=" + fnum(point.raw) + " value=" + fnum(point.value);
+      std::snprintf(buffer, sizeof buffer,
+                    " over=%d stale=%d stale_tables=%zu fails=%zu streak=%zu "
+                    "attempts=%zu latency_ms=%" PRId64 "\n",
+                    point.over ? 1 : 0, point.facts.stale ? 1 : 0,
+                    point.facts.stale_tables, point.facts.collection_failures,
+                    point.facts.consecutive_failures,
+                    point.facts.capture_attempts,
+                    point.facts.collection_latency.total_ms());
+      out += buffer;
+    }
+    if (!record.events.empty()) {
+      out += "  events:\n";
+      for (const TelemetryEvent& event : record.events) {
+        std::snprintf(buffer, sizeof buffer, "    sim_ts=%" PRId64 " level=%s",
+                      event.sim_ts_ms, to_string(event.level));
+        out += buffer;
+        out += " event=" + logfmt_value(event.name);
+        for (const auto& [key, value] : event.fields) {
+          out += " " + key + "=" + logfmt_value(value);
+        }
+        out += "\n";
+      }
+    }
+  }
+  std::snprintf(buffer, sizeof buffer, "%zu alert(s) explained\n", matched);
+  out += buffer;
+  return out;
+}
+
+}  // namespace mantra::core

@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -434,6 +435,162 @@ std::string render_monitor_health(const MonitorHealthData& health,
   return out;
 }
 
+// --- "Alert drill-down" section (core/provenance) ----------------------------
+
+/// Sparkline of the rule's evaluation trail: the aggregated value per
+/// recorded evaluation, fire threshold dashed, over-threshold evaluations
+/// dotted red. Index-spaced x — a sparkline, not a time axis; the window
+/// table below carries the timestamps.
+std::string render_provenance_sparkline(const ProvenanceRecord& record) {
+  const double width = 260.0, height = 48.0, pad = 5.0;
+  double lo = record.fire_threshold, hi = record.fire_threshold;
+  for (const ProvenanceWindowPoint& point : record.points) {
+    lo = std::min(lo, point.value);
+    hi = std::max(hi, point.value);
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+  const double n = static_cast<double>(record.points.size());
+  const auto x_of = [&](std::size_t i) {
+    return n <= 1.0 ? width / 2.0
+                    : pad + (width - 2.0 * pad) * static_cast<double>(i) /
+                          (n - 1.0);
+  };
+  const auto y_of = [&](double v) {
+    return pad + (height - 2.0 * pad) * (1.0 - (v - lo) / (hi - lo));
+  };
+
+  std::string out = "<svg class=\"spark\" viewBox=\"0 0 " + fnum(width) + " " +
+                    fnum(height) + "\" width=\"" + fnum(width) +
+                    "\" height=\"" + fnum(height) +
+                    "\" xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\n";
+  const double ty = y_of(record.fire_threshold);
+  out += "<line class=\"threshold\" x1=\"" + coord(pad) + "\" y1=\"" +
+         coord(ty) + "\" x2=\"" + coord(width - pad) + "\" y2=\"" + coord(ty) +
+         "\"><title>fire_threshold " + fnum(record.fire_threshold) +
+         "</title></line>\n";
+  if (record.points.size() >= 2) {
+    std::string points;
+    for (std::size_t i = 0; i < record.points.size(); ++i) {
+      if (!points.empty()) points.push_back(' ');
+      points += coord(x_of(i)) + "," + coord(y_of(record.points[i].value));
+    }
+    out += "<polyline class=\"value\" points=\"" + points + "\"/>\n";
+  }
+  for (std::size_t i = 0; i < record.points.size(); ++i) {
+    const ProvenanceWindowPoint& point = record.points[i];
+    out += "<circle class=\"" + std::string(point.over ? "over" : "under") +
+           "\" cx=\"" + coord(x_of(i)) + "\" cy=\"" + coord(y_of(point.value)) +
+           "\" r=\"2\"><title>seq " + std::to_string(point.cycle_seq) +
+           ": " + fnum(point.value) + "</title></circle>\n";
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+/// Collection-latency waterfall over the same trail: one bar per recorded
+/// cycle (retry/backoff waits included — CycleResult.collection_latency),
+/// the worst cycle highlighted. The replay-derivable stand-in for a live
+/// span waterfall: the spans themselves live only in the trace ring, but
+/// their deciding per-cycle durations are archived, so this renders
+/// byte-identically live and from replay.
+std::string render_provenance_waterfall(const ProvenanceRecord& record) {
+  const double label_w = 150.0, right = 8.0, width = 560.0;
+  const double row_h = 14.0, bar_h = 9.0;
+  const double height = row_h * static_cast<double>(record.points.size()) + 6.0;
+
+  std::int64_t max_ms = 1;
+  std::size_t worst = 0;
+  for (std::size_t i = 0; i < record.points.size(); ++i) {
+    const std::int64_t ms = record.points[i].facts.collection_latency.total_ms();
+    if (ms > max_ms) {
+      max_ms = ms;
+      worst = i;
+    }
+  }
+
+  std::string out = "<svg class=\"wf\" viewBox=\"0 0 " + fnum(width) + " " +
+                    fnum(height) + "\" width=\"" + fnum(width) +
+                    "\" height=\"" + fnum(height) +
+                    "\" xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\n";
+  for (std::size_t i = 0; i < record.points.size(); ++i) {
+    const ProvenanceWindowPoint& point = record.points[i];
+    const std::int64_t ms = point.facts.collection_latency.total_ms();
+    const double y = 3.0 + row_h * static_cast<double>(i);
+    out += "<text class=\"wf-label\" x=\"" + coord(label_w - 6.0) +
+           "\" y=\"" + coord(y + bar_h - 1.0) +
+           "\" text-anchor=\"end\">c" + std::to_string(point.cycle_seq) +
+           " · " + std::to_string(ms) + "ms</text>\n";
+    const double bar_w = (width - label_w - right) *
+                         static_cast<double>(ms) /
+                         static_cast<double>(max_ms);
+    out += "<rect class=\"" +
+           std::string(i == worst ? "bar-worst" : "bar") + "\" x=\"" +
+           coord(label_w) + "\" y=\"" + coord(y) + "\" width=\"" +
+           coord(std::max(1.0, bar_w)) + "\" height=\"" + coord(bar_h) +
+           "\"><title>cycle " + std::to_string(point.cycle_seq) +
+           " collection latency " + std::to_string(ms) + "ms" +
+           (i == worst ? " (worst in window)" : "") + "</title></rect>\n";
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+/// One alert's drill-down card: identity + correlation id, the rendered
+/// threshold math, the evaluation-window sparkline and table, the latency
+/// waterfall, and the correlated event tail (logfmt). Every fact is
+/// replay-derivable; the tail comes from the lossless `.mtel` stream.
+std::string render_provenance_drilldown(const ProvenanceRecord& record,
+                                        const std::string* shard) {
+  std::string out = "<div class=\"drill\">\n<h3>";
+  if (shard != nullptr) out += html_escape(*shard) + " / ";
+  out += html_escape(record.rule) + " : " + html_escape(record.target) + " (" +
+         html_escape(record.severity) + ")</h3>\n";
+  out += "<p class=\"corr\">";
+  if (!record.corr.empty()) out += "corr=" + html_escape(record.corr) + " · ";
+  out += "pending " + html_escape(record.pending_at.to_string()) + " · fired " +
+         html_escape(record.fired_at.to_string()) + " · cycle " +
+         std::to_string(record.fire_cycle_seq) + " · value " +
+         fnum(record.value_at_fire) + "</p>\n";
+  out += "<p class=\"math\">" + html_escape(record.math) + "</p>\n";
+  if (!record.points.empty()) {
+    out += render_provenance_sparkline(record);
+    SummaryTable table({"cycle", "t", "raw", "value", "over", "stale",
+                        "stale_tables", "fails", "streak", "attempts",
+                        "latency_ms"});
+    for (const ProvenanceWindowPoint& point : record.points) {
+      table.add_row({std::to_string(point.cycle_seq), point.t.to_string(),
+                     fnum(point.raw), fnum(point.value),
+                     point.over ? "yes" : "no",
+                     point.facts.stale ? "yes" : "no",
+                     std::to_string(point.facts.stale_tables),
+                     std::to_string(point.facts.collection_failures),
+                     std::to_string(point.facts.consecutive_failures),
+                     std::to_string(point.facts.capture_attempts),
+                     std::to_string(
+                         point.facts.collection_latency.total_ms())});
+    }
+    out += html_table(table);
+    out += render_provenance_waterfall(record);
+  }
+  if (!record.events.empty()) {
+    out += "<pre class=\"events\">";
+    char buffer[64];
+    for (const TelemetryEvent& event : record.events) {
+      std::snprintf(buffer, sizeof buffer, "sim_ts=%" PRId64 " level=%s",
+                    event.sim_ts_ms, to_string(event.level));
+      std::string line = buffer;
+      line += " event=" + logfmt_value(event.name);
+      for (const auto& [key, value] : event.fields) {
+        line += " " + key + "=" + logfmt_value(value);
+      }
+      out += html_escape(line) + "\n";
+    }
+    out += "</pre>\n";
+  }
+  out += "</div>\n";
+  return out;
+}
+
 constexpr const char* kStyle = R"css(
   :root { color-scheme: light; }
   body { font-family: -apple-system, "Segoe UI", Roboto, Helvetica, Arial,
@@ -465,6 +622,29 @@ constexpr const char* kStyle = R"css(
   svg .series { fill: none; stroke-width: 1.5; }
   svg .alert-span { fill: #dc2626; fill-opacity: 0.10; }
   svg .spike { stroke: #d97706; stroke-width: 1.2; stroke-dasharray: 3 2; }
+  .drill { border: 1px solid #e3e3de; border-radius: 8px; padding: 12px 16px;
+           margin: 12px 0; background: #ffffff; }
+  .drill h3 { margin: 0 0 4px; }
+  .corr { font-family: ui-monospace, SFMono-Regular, Menlo, Consolas,
+          monospace; color: #6b7280; font-size: 12px; margin: 2px 0 6px; }
+  .math { font-family: ui-monospace, SFMono-Regular, Menlo, Consolas,
+          monospace; font-size: 12px; background: #f4f4f1; padding: 6px 8px;
+          border-radius: 4px; display: inline-block; margin: 4px 0; }
+  pre.events { font-size: 11.5px; background: #f8f8f6; padding: 8px;
+               border: 1px solid #ecece7; border-radius: 4px;
+               overflow-x: auto; }
+  svg.spark { display: block; margin: 6px 0; }
+  svg.spark .value { fill: none; stroke: #2563eb; stroke-width: 1.5; }
+  svg.spark .threshold { stroke: #dc2626; stroke-width: 1;
+                         stroke-dasharray: 4 3; }
+  svg.spark .over { fill: #dc2626; }
+  svg.spark .under { fill: #2563eb; }
+  svg.wf { display: block; margin: 6px 0; }
+  svg.wf .bar { fill: #93c5fd; }
+  svg.wf .bar-worst { fill: #dc2626; }
+  svg.wf .wf-label { font-size: 10px; fill: #6b7280;
+                     font-family: ui-monospace, SFMono-Regular, Menlo,
+                     Consolas, monospace; }
   footer { margin-top: 32px; color: #9ca3af; font-size: 11px; }
 )css";
 
@@ -477,16 +657,19 @@ ReportData report_data_from(const Mantra& monitor) {
   }
   data.alerts = monitor.alerts().history();
   data.alert_states = monitor.alerts().status();
+  data.provenance = monitor.alerts().provenance();
   if (const SelfMonitor* self = monitor.self_monitor()) {
     data.health = MonitorHealthData{self->config().name, self->samples(),
                                     self->alerts().status(),
                                     self->alerts().history()};
+    attach_provenance_events(data.provenance, self->samples());
   }
   return data;
 }
 
 ReportData report_data_from_replay(std::vector<ReportTargetData> targets,
-                                   const std::vector<AlertRule>& rules) {
+                                   const std::vector<AlertRule>& rules,
+                                   const std::vector<TelemetrySample>* samples) {
   std::sort(targets.begin(), targets.end(),
             [](const ReportTargetData& a, const ReportTargetData& b) {
               return a.name < b.name;
@@ -504,6 +687,10 @@ ReportData report_data_from_replay(std::vector<ReportTargetData> targets,
   data.targets = std::move(targets);
   data.alerts = engine.history();
   data.alert_states = engine.status();
+  data.provenance = engine.provenance();
+  if (samples != nullptr) {
+    attach_provenance_events(data.provenance, *samples);
+  }
   return data;
 }
 
@@ -605,6 +792,23 @@ std::string render_html_report(const ReportData& data,
              std::to_string(data.alerts.size()) + " alerts.</p>\n";
     }
     out += html_table(table);
+  }
+
+  // --- alert drill-down (core/provenance) ---
+  if (!data.provenance.empty()) {
+    out += "<h2>Alert drill-down</h2>\n";
+    const std::size_t start =
+        data.provenance.size() > options.max_explained
+            ? data.provenance.size() - options.max_explained
+            : 0;
+    if (start > 0) {
+      out += "<p class=\"muted\">showing the newest " +
+             std::to_string(options.max_explained) + " of " +
+             std::to_string(data.provenance.size()) + " explanations.</p>\n";
+    }
+    for (std::size_t i = start; i < data.provenance.size(); ++i) {
+      out += render_provenance_drilldown(data.provenance[i], nullptr);
+    }
   }
 
   // --- per-target plots ---
@@ -798,6 +1002,41 @@ SummaryTable fleet_status_table(const FleetReportData& data) {
   return table;
 }
 
+/// Every shard's provenance merged in (fired_at, shard, rule, target)
+/// order — the same total order as merged_alert_history, so the Nth
+/// drill-down explains the Nth merged history row. Pointers borrow from
+/// the FleetReportData being rendered.
+struct FleetProvenanceRow {
+  const std::string* shard = nullptr;
+  const ProvenanceRecord* record = nullptr;
+};
+
+std::vector<FleetProvenanceRow> merged_provenance(const FleetReportData& data) {
+  std::vector<FleetProvenanceRow> rows;
+  for (const FleetShardData& shard : data.shards) {
+    for (const ProvenanceRecord& record : shard.data.provenance) {
+      rows.push_back({&shard.shard, &record});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const FleetProvenanceRow& a, const FleetProvenanceRow& b) {
+              if (a.record->fired_at != b.record->fired_at) {
+                return a.record->fired_at.total_ms() <
+                       b.record->fired_at.total_ms();
+              }
+              if (*a.shard != *b.shard) return *a.shard < *b.shard;
+              if (a.record->rule != b.record->rule) {
+                return a.record->rule < b.record->rule;
+              }
+              if (a.record->target != b.record->target) {
+                return a.record->target < b.record->target;
+              }
+              return a.record->pending_at.total_ms() <
+                     b.record->pending_at.total_ms();
+            });
+  return rows;
+}
+
 /// Top-K targets by last-cycle bandwidth, ties broken (shard, name) — a
 /// fixed order even when many idle targets report 0.0 kbps.
 SummaryTable busiest_targets_table(const FleetReportData& data,
@@ -847,12 +1086,24 @@ FleetReportData fleet_report_data_from_replay(
   FleetReportData data;
   data.shards.reserve(shards.size());
   for (FleetShardReplay& shard : shards) {
-    ReportData report =
-        report_data_from_replay(std::move(shard.targets), shard.rules);
+    ReportData report = report_data_from_replay(std::move(shard.targets),
+                                                shard.rules, &shard.samples);
     report.health = std::move(shard.health);
     data.shards.push_back({std::move(shard.shard), std::move(report)});
   }
   return data;
+}
+
+FleetProvenance fleet_provenance_from(const FleetReportData& data) {
+  FleetProvenance merged;
+  const std::vector<FleetProvenanceRow> rows = merged_provenance(data);
+  merged.records.reserve(rows.size());
+  merged.shards.reserve(rows.size());
+  for (const FleetProvenanceRow& row : rows) {
+    merged.records.push_back(*row.record);
+    merged.shards.push_back(*row.shard);
+  }
+  return merged;
 }
 
 std::string render_fleet_html_report(const FleetReportData& data,
@@ -974,6 +1225,24 @@ std::string render_fleet_html_report(const FleetReportData& data,
              std::to_string(merged.size()) + " alerts.</p>\n";
     }
     out += html_table(table);
+  }
+
+  // --- fleet-wide alert drill-down (core/provenance) ---
+  const std::vector<FleetProvenanceRow> explained = merged_provenance(data);
+  if (!explained.empty()) {
+    out += "<h2>Alert drill-down</h2>\n";
+    const std::size_t start = explained.size() > options.max_explained
+                                  ? explained.size() - options.max_explained
+                                  : 0;
+    if (start > 0) {
+      out += "<p class=\"muted\">showing the newest " +
+             std::to_string(options.max_explained) + " of " +
+             std::to_string(explained.size()) + " explanations.</p>\n";
+    }
+    for (std::size_t i = start; i < explained.size(); ++i) {
+      out += render_provenance_drilldown(*explained[i].record,
+                                         explained[i].shard);
+    }
   }
 
   // --- top-K busiest targets ---

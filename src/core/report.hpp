@@ -35,6 +35,8 @@ struct ReportOptions {
   std::size_t event_tail = 48;
   /// Rows kept in the alert-history table (newest kept).
   std::size_t max_alert_rows = 64;
+  /// Drill-down sections rendered in "Alert drill-down" (newest kept).
+  std::size_t max_explained = 8;
   /// Plot viewport in px (inline SVG; the page never loads assets).
   int plot_width = 720;
   int plot_height = 150;
@@ -52,6 +54,12 @@ struct ReportData {
   std::vector<ReportTargetData> targets;
   std::vector<AlertRecord> alerts;
   std::vector<AlertStatus> alert_states;
+  /// One ProvenanceRecord per firing episode, capture order (parallel to
+  /// the engine's history). Event tails are attached when a self-telemetry
+  /// stream is available (live SelfMonitor samples or a decoded `.mtel`);
+  /// both paths feed the same recorded events, so the drill-down renders
+  /// byte-identically live and from replay.
+  std::vector<ProvenanceRecord> provenance;
   /// The "Monitor health" section input (core/teltrace): present when the
   /// monitor ran with self-telemetry, absent otherwise (the section is then
   /// omitted, so reports without self-telemetry render exactly as before).
@@ -66,11 +74,15 @@ struct ReportData {
 
 /// Builds the same data from replayed result streams: sorts targets by
 /// name, re-evaluates `rules` over the merged streams in live order
-/// (evaluate_history), and snapshots the resulting engine. With the
-/// streams a .marc replay produced and the live rule set, the output is
-/// identical to report_data_from on the originating monitor.
+/// (evaluate_history), and snapshots the resulting engine — provenance
+/// included. With the streams a .marc replay produced and the live rule
+/// set, the output is identical to report_data_from on the originating
+/// monitor. `samples` (optional) is the run's decoded `.mtel` stream; when
+/// given, provenance event tails are attached from it, mirroring what the
+/// live path attaches from the SelfMonitor.
 [[nodiscard]] ReportData report_data_from_replay(
-    std::vector<ReportTargetData> targets, const std::vector<AlertRule>& rules);
+    std::vector<ReportTargetData> targets, const std::vector<AlertRule>& rules,
+    const std::vector<TelemetrySample>* samples = nullptr);
 
 /// Renders the document. Deterministic: same data + options, same bytes.
 [[nodiscard]] std::string render_html_report(const ReportData& data,
@@ -109,6 +121,9 @@ struct FleetReportOptions {
   std::size_t top_k = 20;
   /// Rows kept in the merged alert-history table (newest kept).
   std::size_t max_alert_rows = 64;
+  /// Drill-down sections in the fleet "Alert drill-down" (newest kept,
+  /// merged (fired_at, shard, rule, target) order).
+  std::size_t max_explained = 8;
 };
 
 /// One shard's replayed result streams plus the rule set its live alert
@@ -121,6 +136,10 @@ struct FleetShardReplay {
   /// (monitor_health_from_samples over the decoded samples); nullopt when
   /// the shard ran without self-telemetry.
   std::optional<MonitorHealthData> health;
+  /// The shard's decoded `.mtel` samples, used to attach provenance event
+  /// tails (empty when the shard ran without self-telemetry — the tails
+  /// are then empty on both sides).
+  std::vector<TelemetrySample> samples;
 };
 
 /// Rebuilds FleetReportData from per-shard replayed streams: each shard's
@@ -130,6 +149,21 @@ struct FleetShardReplay {
 /// renders byte-identically to the live fleet report.
 [[nodiscard]] FleetReportData fleet_report_data_from_replay(
     std::vector<FleetShardReplay> shards);
+
+/// The fleet-wide explain input: every shard's provenance records with a
+/// parallel shard tag per record — feed both vectors to
+/// render_explanations(records, filter, &shards).
+struct FleetProvenance {
+  std::vector<ProvenanceRecord> records;
+  std::vector<std::string> shards;  ///< parallel to records
+};
+
+/// Merges every shard's provenance in (fired_at, shard, rule, target)
+/// order — the same total order as the fleet alert-history merge, made
+/// unconditionally total by a pending_at tiebreak. Works on live data
+/// (fleet_report_data_from) and replayed data alike; both merge to the
+/// same sequence.
+[[nodiscard]] FleetProvenance fleet_provenance_from(const FleetReportData& data);
 
 /// Renders the fleet document. Deterministic: same data + options, same
 /// bytes.

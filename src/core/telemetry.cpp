@@ -787,6 +787,11 @@ std::uint32_t Tracer::thread_id() {
   return it->second;
 }
 
+void Tracer::set_thread_name(std::uint32_t tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_names_[tid] = std::move(name);
+}
+
 std::string Tracer::chrome_trace_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
@@ -794,11 +799,24 @@ std::string Tracer::chrome_trace_json() const {
       "  {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
       "\"args\": {\"name\": \"mantra\"}}";
   char buffer[160];
+  // thread_name metadata next, in tid order (thread_names_ is an ordered
+  // map), so Perfetto labels each lane before any span references it.
+  for (const auto& [tid, name] : thread_names_) {
+    std::snprintf(buffer, sizeof buffer,
+                  "  {\"ph\": \"M\", \"pid\": 1, \"tid\": %u, "
+                  "\"name\": \"thread_name\", \"args\": {\"name\": \"",
+                  tid);
+    out += ",\n";
+    out += buffer;
+    out += json_escape(name) + "\"}}";
+  }
   for (const TraceSpan& span : spans_) {
+    // ts/dur are *simulated* microseconds: the export must be a pure
+    // function of the run, and wall intervals vary with host speed.
     std::snprintf(buffer, sizeof buffer,
                   "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"ts\": %" PRId64
                   ", \"dur\": %" PRId64,
-                  span.tid, span.wall_ts_us, span.wall_dur_us);
+                  span.tid, span.sim_ts_ms * 1000, span.sim_dur_ms * 1000);
     out += ",\n  {\"name\": \"" + json_escape(span.name) + "\", \"cat\": \"" +
            json_escape(span.category) + "\", " + buffer + ", \"args\": {";
     std::snprintf(buffer, sizeof buffer,
@@ -940,6 +958,125 @@ bool Telemetry::write_trace_json(const std::string& path) const {
 Telemetry& Telemetry::noop() {
   static Telemetry instance;
   return instance;
+}
+
+// --- Correlation ids ---------------------------------------------------------
+
+std::string correlation_id(std::size_t cycle_seq, std::string_view target) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "c%zu/", cycle_seq);
+  std::string out = buffer;
+  out += target;
+  return out;
+}
+
+std::string correlation_id(std::size_t cycle_seq, std::string_view target,
+                           std::string_view command, std::size_t attempt) {
+  std::string out = correlation_id(cycle_seq, target);
+  out.push_back('/');
+  out += command;
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "/a%zu", attempt);
+  out += buffer;
+  return out;
+}
+
+// --- TelemetryStage ----------------------------------------------------------
+
+TelemetryStage::Span::Span(Span&& other) noexcept
+    : stage_(other.stage_),
+      span_(std::move(other.span_)),
+      command_(std::move(other.command_)),
+      attempt_(other.attempt_),
+      wall_start_(other.wall_start_) {
+  other.stage_ = nullptr;
+}
+
+TelemetryStage::Span::~Span() {
+  if (stage_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  span_.wall_dur_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now - wall_start_)
+                          .count();
+  stage_->record(std::move(span_), std::move(command_), attempt_);
+}
+
+void TelemetryStage::Span::arg(std::string key, std::string value) {
+  if (stage_ == nullptr) return;
+  span_.args.emplace_back(std::move(key), std::move(value));
+}
+
+void TelemetryStage::Span::set_sim_interval(sim::TimePoint start,
+                                            sim::Duration duration) {
+  if (stage_ == nullptr) return;
+  span_.sim_ts_ms = start.total_ms();
+  span_.sim_dur_ms = duration.total_ms();
+}
+
+void TelemetryStage::Span::set_context(std::string command,
+                                       std::size_t attempt) {
+  if (stage_ == nullptr) return;
+  command_ = std::move(command);
+  attempt_ = attempt;
+}
+
+TelemetryStage::Span TelemetryStage::span(std::string_view name,
+                                          std::string_view category,
+                                          sim::TimePoint sim_now) {
+  Span scope(enabled() ? this : nullptr);
+  if (!enabled()) return scope;
+  scope.wall_start_ = std::chrono::steady_clock::now();
+  scope.span_.name = std::string(name);
+  scope.span_.category = std::string(category);
+  scope.span_.sim_ts_ms = sim_now.total_ms();
+  scope.span_.wall_ts_us = wall_now_us();
+  return scope;
+}
+
+void TelemetryStage::record(TraceSpan span, std::string command,
+                            std::size_t attempt) {
+  if (!enabled()) return;
+  spans_.push_back({std::move(span), std::move(command), attempt});
+}
+
+void TelemetryStage::log(EventLevel level, std::string_view name,
+                         sim::TimePoint t,
+                         std::vector<std::pair<std::string, std::string>> fields,
+                         std::string command, std::size_t attempt) {
+  if (!enabled()) return;
+  StagedEvent event;
+  event.level = level;
+  event.name = std::string(name);
+  event.t = t;
+  event.fields = std::move(fields);
+  event.command = std::move(command);
+  event.attempt = attempt;
+  events_.push_back(std::move(event));
+}
+
+void TelemetryStage::flush(std::size_t cycle_seq, std::string_view target,
+                           std::uint32_t tid) {
+  for (StagedSpan& staged : spans_) {
+    staged.span.tid = tid;
+    std::string corr =
+        staged.command.empty()
+            ? correlation_id(cycle_seq, target)
+            : correlation_id(cycle_seq, target, staged.command, staged.attempt);
+    staged.span.args.insert(staged.span.args.begin(),
+                            {"corr", std::move(corr)});
+    telemetry_->tracer().record(std::move(staged.span));
+  }
+  spans_.clear();
+  for (StagedEvent& staged : events_) {
+    std::string corr =
+        staged.command.empty()
+            ? correlation_id(cycle_seq, target)
+            : correlation_id(cycle_seq, target, staged.command, staged.attempt);
+    staged.fields.insert(staged.fields.begin(), {"corr", std::move(corr)});
+    telemetry_->events().log(staged.level, staged.name, staged.t,
+                             std::move(staged.fields));
+  }
+  events_.clear();
 }
 
 }  // namespace mantra::core

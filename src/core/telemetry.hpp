@@ -288,7 +288,8 @@ class Tracer {
   [[nodiscard]] Scope span(std::string_view name, std::string_view category,
                            sim::TimePoint sim_now);
   /// Records a hand-built span (used for retry attempts, where the wall
-  /// interval is measured around the transport call by the collector).
+  /// interval is measured around the transport call by the collector, and
+  /// by TelemetryStage::flush, which stamps tids post-join).
   void record(TraceSpan span);
 
   [[nodiscard]] std::size_t span_count() const;
@@ -297,8 +298,17 @@ class Tracer {
   }
   [[nodiscard]] std::vector<TraceSpan> snapshot() const;
 
-  /// Chrome trace_event JSON ("X" complete events, wall timeline, simulated
-  /// interval and labels in args) — loadable in chrome://tracing / Perfetto.
+  /// Names a tid for the trace export's `thread_name` metadata records
+  /// (Perfetto renders one lane per named tid). Idempotent.
+  void set_thread_name(std::uint32_t tid, std::string name);
+
+  /// Chrome trace_event JSON — loadable in chrome://tracing / Perfetto:
+  /// process/thread `"M"` metadata records first, then one `"X"` complete
+  /// event per span. `ts`/`dur` are *simulated* microseconds (sim_ts_ms /
+  /// sim_dur_ms × 1000): the export is a pure function of the run, so the
+  /// same run emits the same bytes regardless of worker_threads or host
+  /// speed. Wall intervals stay on TraceSpan for in-process consumers but
+  /// are deliberately absent from the export.
   [[nodiscard]] std::string chrome_trace_json() const;
 
   /// Microseconds of wall time since the tracer was constructed, and the
@@ -313,6 +323,7 @@ class Tracer {
   mutable std::mutex mutex_;
   std::vector<TraceSpan> spans_;
   std::map<std::thread::id, std::uint32_t> thread_ids_;
+  std::map<std::uint32_t, std::string> thread_names_;
   std::atomic<std::uint64_t> dropped_{0};
 };
 
@@ -409,6 +420,105 @@ class Telemetry {
   MetricsRegistry metrics_;
   Tracer tracer_;
   EventLog events_;
+};
+
+// --- Causal correlation (core/provenance's join key) -------------------------
+
+/// The deterministic correlation id threading every artifact of a cycle
+/// together: `c<cycle_seq>/<target>` for cycle-scope artifacts (spans,
+/// events, CycleResults, AlertRecord transitions) and
+/// `c<cycle_seq>/<target>/<command>/a<attempt>` for attempt-scope ones.
+/// Pure functions of replay-derivable facts — the same run yields the same
+/// ids live, from `.marc` replay, and across worker_threads settings.
+[[nodiscard]] std::string correlation_id(std::size_t cycle_seq,
+                                         std::string_view target);
+[[nodiscard]] std::string correlation_id(std::size_t cycle_seq,
+                                         std::string_view target,
+                                         std::string_view command,
+                                         std::size_t attempt);
+
+/// Per-target staging sink for one cycle's spans and events. Worker threads
+/// record into their target's stage (single-threaded by construction: one
+/// worker owns a target for the whole cycle), and the monitor flushes the
+/// stages post-join in (cycle, target-name) order — so event sequence
+/// numbers, span order, thread ids and correlation ids are all invariant to
+/// `worker_threads`. Metrics are NOT staged: counters/gauges/histograms are
+/// commutative, so the shared registry absorbs them directly.
+class TelemetryStage {
+ public:
+  /// RAII span against the stage's buffer, mirroring Tracer::Scope, plus
+  /// the correlation context (command/attempt) stamped at flush time.
+  class Span {
+   public:
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    ~Span();
+
+    void arg(std::string key, std::string value);
+    void set_sim_interval(sim::TimePoint start, sim::Duration duration);
+    void set_context(std::string command, std::size_t attempt = 0);
+
+   private:
+    friend class TelemetryStage;
+    explicit Span(TelemetryStage* stage) : stage_(stage) {}
+    TelemetryStage* stage_;  ///< null = inert
+    TraceSpan span_;
+    std::string command_;
+    std::size_t attempt_ = 0;
+    std::chrono::steady_clock::time_point wall_start_;
+  };
+
+  explicit TelemetryStage(Telemetry* telemetry = &Telemetry::noop())
+      : telemetry_(telemetry) {}
+
+  /// Re-points the stage (buffers survive). Never pass null — use
+  /// Telemetry::noop() to detach.
+  void attach(Telemetry* telemetry) { telemetry_ = telemetry; }
+
+  [[nodiscard]] bool enabled() const { return telemetry_->enabled(); }
+  [[nodiscard]] MetricsRegistry& metrics() { return telemetry_->metrics(); }
+  [[nodiscard]] std::int64_t wall_now_us() const {
+    return telemetry_->tracer().wall_now_us();
+  }
+
+  [[nodiscard]] Span span(std::string_view name, std::string_view category,
+                          sim::TimePoint sim_now);
+  /// Stages a hand-built span (retry attempts) with its correlation context.
+  void record(TraceSpan span, std::string command = {}, std::size_t attempt = 0);
+  /// Stages an event; `command`/`attempt` scope its correlation id.
+  void log(EventLevel level, std::string_view name, sim::TimePoint t,
+           std::vector<std::pair<std::string, std::string>> fields = {},
+           std::string command = {}, std::size_t attempt = 0);
+
+  [[nodiscard]] std::size_t staged_spans() const { return spans_.size(); }
+  [[nodiscard]] std::size_t staged_events() const { return events_.size(); }
+
+  /// Stamps `tid` and a correlation id built from (cycle_seq, target,
+  /// command, attempt) onto every staged span and event — the id becomes
+  /// the leading `corr` span arg / event field — then forwards them to the
+  /// owning Telemetry's tracer and event log in staged order and clears the
+  /// buffers. Call post-join, in target-name order.
+  void flush(std::size_t cycle_seq, std::string_view target, std::uint32_t tid);
+
+ private:
+  struct StagedSpan {
+    TraceSpan span;
+    std::string command;
+    std::size_t attempt = 0;
+  };
+  struct StagedEvent {
+    EventLevel level = EventLevel::info;
+    std::string name;
+    sim::TimePoint t;
+    std::vector<std::pair<std::string, std::string>> fields;
+    std::string command;
+    std::size_t attempt = 0;
+  };
+
+  Telemetry* telemetry_;
+  std::vector<StagedSpan> spans_;
+  std::vector<StagedEvent> events_;
 };
 
 }  // namespace mantra::core

@@ -11,13 +11,16 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "core/fleet.hpp"
 #include "core/mantra.hpp"
+#include "core/provenance.hpp"
 #include "core/query.hpp"
 #include "core/report.hpp"
+#include "core/teltrace.hpp"
 #include "workload/scenario.hpp"
 
 namespace mantra::core {
@@ -59,11 +62,14 @@ class FleetFixture : public ::testing::Test {
   /// Builds one shard monitor. `faulty` shards collect through a 30%
   /// command-failure transport; `archive_dir` empty disables archiving;
   /// `telemetry` turns on core/telemetry so the shard has a metric registry
-  /// and event log for the federation tests to merge.
+  /// and event log for the federation tests to merge; `self_path` non-empty
+  /// additionally records a `.mtel` self-telemetry archive (requires
+  /// telemetry), which the provenance tests replay for event tails.
   std::unique_ptr<Mantra> make_shard(std::size_t index,
                                      const std::string& archive_dir,
                                      std::size_t worker_threads,
-                                     bool telemetry = false) {
+                                     bool telemetry = false,
+                                     const std::string& self_path = {}) {
     MantraConfig config;
     config.cycle = sim::Duration::minutes(15);
     config.retry.max_attempts = 2;
@@ -71,6 +77,9 @@ class FleetFixture : public ::testing::Test {
     config.archive_dir = archive_dir;
     config.alerts.enabled = true;  // default rule set, per-shard engine
     config.telemetry.enabled = telemetry;
+    config.self.enabled = !self_path.empty();
+    config.self.path = self_path;
+    config.self.name = shard_name(index);
     const bool faulty = index == 1;
     auto monitor = std::make_unique<Mantra>(
         scenario_.engine(), config,
@@ -223,6 +232,115 @@ TEST_F(FleetFixture, LiveAndQueryReplayFleetReportsAreByteIdentical) {
   // The lossy shard produced real alert content to compare.
   EXPECT_NE(live.find("Fleet alerts"), std::string::npos);
   EXPECT_NE(live.find("shard-01"), std::string::npos);
+}
+
+// --- fleet provenance --------------------------------------------------------
+
+// The fleet-wide explain merge is the same total order as the fleet alert
+// table: (fired_at, shard, rule, target), pending_at tiebreak — pinned on
+// synthetic data so the comparator can't drift.
+TEST(FleetProvenanceMerge, OrdersByFiredAtShardRuleTarget) {
+  const auto record = [](int fired_min, const char* rule, const char* target) {
+    ProvenanceRecord out;
+    out.rule = rule;
+    out.target = target;
+    out.fired_at = sim::TimePoint::start() + sim::Duration::minutes(fired_min);
+    return out;
+  };
+  FleetReportData data;
+  data.shards.push_back({"a", {}});
+  data.shards.push_back({"b", {}});
+  // Capture order within each shard is deliberately not the merge order.
+  data.shards[0].data.provenance = {record(10, "r1", "t1"),
+                                    record(5, "r9", "t9")};
+  data.shards[1].data.provenance = {record(10, "r1", "t1"),
+                                    record(10, "r0", "t0"),
+                                    record(10, "r1", "t0")};
+
+  const FleetProvenance merged = fleet_provenance_from(data);
+  ASSERT_EQ(merged.records.size(), 5u);
+  ASSERT_EQ(merged.shards.size(), 5u);
+  const std::vector<std::string> expect_shards = {"a", "a", "b", "b", "b"};
+  const std::vector<std::string> expect_rules = {"r9", "r1", "r0", "r1", "r1"};
+  const std::vector<std::string> expect_targets = {"t9", "t1", "t0", "t0",
+                                                   "t1"};
+  for (std::size_t i = 0; i < merged.records.size(); ++i) {
+    EXPECT_EQ(merged.shards[i], expect_shards[i]) << i;
+    EXPECT_EQ(merged.records[i].rule, expect_rules[i]) << i;
+    EXPECT_EQ(merged.records[i].target, expect_targets[i]) << i;
+  }
+}
+
+TEST_F(FleetFixture, LiveAndReplayFleetExplanationsAreByteIdentical) {
+  const std::filesystem::path base =
+      std::filesystem::path(::testing::TempDir()) / "mantra_fleet_explain";
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+
+  // Shards with archives + self-telemetry (the `.mtel` feeds the replayed
+  // event tails) on worker pools, registered in scrambled order.
+  std::vector<std::unique_ptr<Mantra>> shards;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    const std::string dir = (base / shard_name(i)).string();
+    shards.push_back(make_shard(i, dir, /*worker_threads=*/2,
+                                /*telemetry=*/true,
+                                dir + "/" + shard_name(i) + ".mtel"));
+  }
+  run_hours(8);
+
+  FleetAggregator fleet;
+  for (const std::size_t i : {std::size_t{3}, std::size_t{1}, std::size_t{0},
+                              std::size_t{2}}) {
+    fleet.add_shard(shard_name(i), *shards[i]);
+  }
+  const FleetProvenance live = fleet_provenance(fleet);
+  ASSERT_FALSE(live.records.empty());
+  ASSERT_EQ(live.records.size(), live.shards.size());
+  // The merge is in (fired_at, shard, rule, target) order.
+  for (std::size_t i = 1; i < live.records.size(); ++i) {
+    const auto key = [&](std::size_t k) {
+      return std::make_tuple(live.records[k].fired_at.total_ms(),
+                             live.shards[k], live.records[k].rule,
+                             live.records[k].target);
+    };
+    EXPECT_LE(key(i - 1), key(i)) << i;
+  }
+  const std::string live_text =
+      render_explanations(live.records, ExplainFilter{}, &live.shards);
+  EXPECT_NE(live_text.find(" shard=shard-01 "), std::string::npos);
+
+  // Flush everything and rebuild the merged explanations from bytes alone.
+  std::vector<std::vector<std::string>> shard_targets;
+  for (auto& shard : shards) {
+    shard_targets.push_back(shard->target_names());
+    shard->self_monitor()->close();
+  }
+  shards.clear();
+
+  std::vector<FleetShardReplay> replayed;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    QueryEngine engine;
+    FleetShardReplay shard;
+    shard.shard = shard_name(i);
+    shard.rules = default_alert_rules();
+    for (const std::string& target : shard_targets[i]) {
+      engine.add_archive(target,
+                         (base / shard_name(i) / (target + ".marc")).string());
+      shard.targets.push_back({target, engine.replay(target).results});
+    }
+    TelemetryArchiveReader reader(
+        (base / shard_name(i) / (shard_name(i) + ".mtel")).string());
+    shard.samples = reader.samples();
+    replayed.push_back(std::move(shard));
+  }
+  const FleetProvenance offline =
+      fleet_provenance_from(fleet_report_data_from_replay(std::move(replayed)));
+  EXPECT_EQ(live.records, offline.records);
+  EXPECT_EQ(live.shards, offline.shards);
+  EXPECT_EQ(live_text,
+            render_explanations(offline.records, ExplainFilter{},
+                                &offline.shards));
+  std::filesystem::remove_all(base);
 }
 
 TEST_F(FleetFixture, PerShardWorkerPoolsDoNotChangeFleetReportBytes) {

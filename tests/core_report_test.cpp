@@ -96,6 +96,89 @@ TEST(Report, RendersAnnotationsTablesAndEvents) {
   EXPECT_NE(html.find("route_spike"), std::string::npos);
 }
 
+// --- alert drill-down --------------------------------------------------------
+
+/// A fully-populated explanation for the synthetic alert: two window points
+/// (one degraded), threshold math, and a correlated event tail.
+ProvenanceRecord synthetic_provenance() {
+  ProvenanceRecord why;
+  why.corr = "c8/ucsb-gw";
+  why.rule = "route_spike";
+  why.target = "ucsb-gw";
+  why.severity = "critical";
+  why.kind = "spike";
+  why.fire_threshold = 1.0;
+  why.clear_threshold = 1.0;
+  why.for_cycles = 2;
+  why.value_at_fire = 15.5;
+  why.fire_cycle_seq = 8;
+  why.pending_at = sim::TimePoint::start() + sim::Duration::minutes(105);
+  why.fired_at = sim::TimePoint::start() + sim::Duration::minutes(120);
+  why.math = "spike score = 15.5 >= 1 held 2/2 cycles; clears < 1 for 1";
+  for (int c = 0; c < 2; ++c) {
+    ProvenanceWindowPoint point;
+    point.cycle_seq = static_cast<std::size_t>(7 + c);
+    point.t = sim::TimePoint::start() + sim::Duration::minutes(105 + 15 * c);
+    point.raw = point.value = c == 1 ? 15.5 : 12.0;
+    point.over = true;
+    point.facts.cycle_seq = point.cycle_seq;
+    point.facts.stale = c == 0;
+    point.facts.stale_tables = c == 0 ? 2 : 0;
+    point.facts.capture_attempts = 2;
+    point.facts.collection_latency = sim::Duration::seconds(30 + 10 * c);
+    why.points.push_back(point);
+  }
+  TelemetryEvent event;
+  event.level = EventLevel::warn;
+  event.name = "spike_detected";
+  event.sim_ts_ms = why.fired_at.total_ms();
+  event.fields = {{"target", "ucsb-gw"}, {"score", "15.5"}};
+  why.events.push_back(event);
+  return why;
+}
+
+TEST(Report, AlertDrillDownRendersSparklineWaterfallAndTail) {
+  ReportData data = synthetic_data();
+  data.provenance.push_back(synthetic_provenance());
+  const std::string html = render_html_report(data);
+
+  EXPECT_NE(html.find("<h2>Alert drill-down</h2>"), std::string::npos);
+  EXPECT_NE(html.find("<div class=\"drill\">"), std::string::npos);
+  EXPECT_NE(html.find("route_spike : ucsb-gw (critical)"), std::string::npos);
+  // The correlation id joins the card to spans/events/results.
+  EXPECT_NE(html.find("corr=c8/ucsb-gw"), std::string::npos);
+  // The threshold math, the window sparkline and the latency waterfall.
+  EXPECT_NE(html.find("spike score = 15.5 &gt;= 1 held 2/2 cycles"),
+            std::string::npos);
+  EXPECT_NE(html.find("<svg class=\"spark\""), std::string::npos);
+  EXPECT_NE(html.find("<svg class=\"wf\""), std::string::npos);
+  EXPECT_NE(html.find("(worst in window)"), std::string::npos);
+  // The correlated event tail renders in logfmt inside the card.
+  EXPECT_NE(html.find("<pre class=\"events\">"), std::string::npos);
+  EXPECT_NE(html.find("event=spike_detected target=ucsb-gw score=15.5"),
+            std::string::npos);
+  // No drill-down, no section: the empty report stays as before.
+  EXPECT_EQ(render_html_report(synthetic_data()).find("Alert drill-down"),
+            std::string::npos);
+}
+
+TEST(Report, AlertDrillDownKeepsNewestMaxExplained) {
+  ReportData data = synthetic_data();
+  for (int i = 0; i < 3; ++i) {
+    ProvenanceRecord why = synthetic_provenance();
+    why.fire_cycle_seq = static_cast<std::size_t>(10 + i);
+    data.provenance.push_back(std::move(why));
+  }
+  ReportOptions options;
+  options.max_explained = 2;
+  const std::string html = render_html_report(data, options);
+  EXPECT_NE(html.find("showing the newest 2 of 3 explanations."),
+            std::string::npos);
+  EXPECT_EQ(html.find("cycle 10 "), std::string::npos);  // oldest trimmed
+  EXPECT_NE(html.find("cycle 11 "), std::string::npos);
+  EXPECT_NE(html.find("cycle 12 "), std::string::npos);
+}
+
 TEST(Report, SameDataRendersSameBytes) {
   const ReportData data = synthetic_data();
   EXPECT_EQ(render_html_report(data), render_html_report(data));

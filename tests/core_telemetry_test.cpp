@@ -261,6 +261,52 @@ TEST(Tracer, ScopesRecordSpansWithSimAndWallIntervals) {
   EXPECT_NE(json.find("\"sim_dur_ms\": 12000"), std::string::npos);
 }
 
+// Satellite: the export is Perfetto-legible — process_name metadata first,
+// thread_name metadata per named tid (in tid order, before any span
+// references the lane), ts/dur in *simulated* microseconds, and span args
+// carried through. The golden covers the exact record shapes Perfetto's
+// trace_event importer keys on.
+TEST(Tracer, ChromeTraceJsonIsPerfettoLegible) {
+  Tracer tracer(/*enabled=*/true);
+  tracer.set_thread_name(1, "driver");
+  tracer.set_thread_name(2, "target:fixw");
+  TraceSpan span;
+  span.name = "capture";
+  span.category = "collect";
+  span.sim_ts_ms = 900'000;
+  span.sim_dur_ms = 12'000;
+  span.wall_dur_us = 77;  // wall time must NOT leak into the export
+  span.tid = 2;
+  span.args = {{"corr", "c1/fixw/show_ip_dvmrp_route/a1"}, {"status", "ok"}};
+  tracer.record(std::move(span));
+
+  const std::string json = tracer.chrome_trace_json();
+  // Metadata: one process_name record, then thread_name per named tid.
+  EXPECT_NE(json.find("{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+                      "\"args\": {\"name\": \"mantra\"}}"),
+            std::string::npos);
+  const std::size_t driver_lane =
+      json.find("{\"ph\": \"M\", \"pid\": 1, \"tid\": 1, "
+                "\"name\": \"thread_name\", \"args\": {\"name\": \"driver\"}}");
+  const std::size_t target_lane =
+      json.find("{\"ph\": \"M\", \"pid\": 1, \"tid\": 2, "
+                "\"name\": \"thread_name\", "
+                "\"args\": {\"name\": \"target:fixw\"}}");
+  ASSERT_NE(driver_lane, std::string::npos);
+  ASSERT_NE(target_lane, std::string::npos);
+  EXPECT_LT(driver_lane, target_lane);  // tid order
+  // The complete event: sim µs timestamps, the lane's tid, args in order.
+  const std::size_t event = json.find(
+      "{\"name\": \"capture\", \"cat\": \"collect\", \"ph\": \"X\", "
+      "\"pid\": 1, \"tid\": 2, \"ts\": 900000000, \"dur\": 12000000, "
+      "\"args\": {\"sim_ts_ms\": 900000, \"sim_dur_ms\": 12000, "
+      "\"corr\": \"c1/fixw/show_ip_dvmrp_route/a1\", \"status\": \"ok\"}}");
+  ASSERT_NE(event, std::string::npos);
+  EXPECT_LT(target_lane, event);  // lanes are labeled before use
+  // Wall-clock numbers are absent: the export is a pure function of the run.
+  EXPECT_EQ(json.find("77"), std::string::npos);
+}
+
 TEST(Tracer, BoundedSpanStorageCountsDrops) {
   Tracer tracer(/*enabled=*/true, /*max_spans=*/4);
   for (int i = 0; i < 10; ++i) {
@@ -628,6 +674,125 @@ TEST(TelemetryDeterminism, ResultsSeriesAndArchivesIdenticalOnOrOff) {
     EXPECT_EQ(off_bytes, on_bytes) << "target " << name;
   }
   std::filesystem::remove_all(base);
+}
+
+// --- TelemetryStage ----------------------------------------------------------
+
+// The correlation layer: flush stamps the deterministic tid and a
+// c<cycle>/<target>[/<command>/a<attempt>] id onto every staged span and
+// event — the id leads the span args / event fields — and forwards in
+// staged order. Nothing reaches the shared sinks before the flush.
+TEST(TelemetryStage, FlushStampsTidAndCorrelationIds) {
+  TelemetryConfig config;
+  config.enabled = true;
+  Telemetry telemetry(config);
+  TelemetryStage stage(&telemetry);
+
+  {
+    TelemetryStage::Span span =
+        stage.span("capture", "collect", sim::TimePoint::from_ms(60'000));
+    span.set_context("show ip dvmrp route", /*attempt=*/2);
+    span.arg("status", "ok");
+  }
+  { TelemetryStage::Span span = stage.span("parse", "process",
+                                           sim::TimePoint::from_ms(60'000)); }
+  stage.log(EventLevel::warn, "capture_failed", sim::TimePoint::from_ms(60'000),
+            {{"target", "fixw"}}, "show ip mroute", /*attempt=*/1);
+  stage.log(EventLevel::info, "target_recovered",
+            sim::TimePoint::from_ms(60'000), {{"target", "fixw"}});
+  EXPECT_EQ(stage.staged_spans(), 2u);
+  EXPECT_EQ(stage.staged_events(), 2u);
+  EXPECT_EQ(telemetry.tracer().span_count(), 0u);  // nothing leaked pre-join
+  EXPECT_EQ(telemetry.events().size(), 0u);
+
+  stage.flush(/*cycle_seq=*/7, "fixw", /*tid=*/3);
+  EXPECT_EQ(stage.staged_spans(), 0u);
+  EXPECT_EQ(stage.staged_events(), 0u);
+
+  const std::vector<TraceSpan> spans = telemetry.tracer().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].tid, 3u);
+  ASSERT_FALSE(spans[0].args.empty());
+  // The id leads the args; command context scopes it to the attempt.
+  EXPECT_EQ(spans[0].args[0],
+            (std::pair<std::string, std::string>{
+                "corr", correlation_id(7, "fixw", "show ip dvmrp route", 2)}));
+  EXPECT_EQ(spans[0].args[1].first, "status");
+  // A span without command context gets the cycle-level id.
+  EXPECT_EQ(spans[1].args[0],
+            (std::pair<std::string, std::string>{"corr",
+                                                 correlation_id(7, "fixw")}));
+
+  const std::vector<TelemetryEvent> events = telemetry.events().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].fields[0],
+            (std::pair<std::string, std::string>{
+                "corr", correlation_id(7, "fixw", "show ip mroute", 1)}));
+  EXPECT_EQ(events[1].fields[0],
+            (std::pair<std::string, std::string>{"corr", "c7/fixw"}));
+  EXPECT_EQ(events[0].fields[1].first, "target");
+}
+
+// --- Determinism: ordering is worker_threads-invariant -----------------------
+
+// Tentpole invariant: spans and events are staged per target during the
+// cycle and flushed post-join in target-name order with deterministic tids
+// and correlation ids, so the logfmt event log and the Chrome trace export
+// are byte-identical whether the cycle ran sequentially or on a pool.
+// (Metrics are deliberately out of scope: pool gauges like queue depth
+// legitimately differ with worker count.)
+TEST(TelemetryOrdering, SequentialAndPooledRunsEmitIdenticalBytes) {
+  workload::ScenarioConfig scenario_config;
+  scenario_config.seed = 21;
+  scenario_config.domains = 4;
+  scenario_config.hosts_per_domain = 6;
+  scenario_config.dvmrp_prefixes_per_domain = 6;
+  scenario_config.report_loss = 0.02;
+  scenario_config.timer_scale = 1;
+  scenario_config.full_timers = true;
+  scenario_config.generator.session_arrivals_per_hour = 40.0;
+  scenario_config.generator.bursts_per_day = 0.0;
+  workload::FixwScenario scenario(scenario_config);
+  scenario.start();
+
+  const auto make_monitor = [&](std::size_t workers) {
+    MantraConfig config;
+    config.cycle = sim::Duration::minutes(15);
+    config.retry.max_attempts = 2;
+    config.worker_threads = workers;
+    config.telemetry.enabled = true;
+    auto monitor = std::make_unique<Mantra>(scenario.engine(), config,
+                                            faulty_factory());
+    monitor->add_target(scenario.network().router(scenario.fixw_node()));
+    monitor->add_target(scenario.network().router(scenario.ucsb_node()));
+    monitor->start();
+    return monitor;
+  };
+  const auto sequential = make_monitor(0);
+  const auto pooled = make_monitor(4);
+  scenario.engine().run_until(scenario.engine().now() + sim::Duration::hours(4));
+
+  const std::string sequential_trace =
+      sequential->telemetry().tracer().chrome_trace_json();
+  const std::string pooled_trace =
+      pooled->telemetry().tracer().chrome_trace_json();
+  ASSERT_GT(sequential->telemetry().tracer().span_count(), 0u);
+  EXPECT_EQ(sequential_trace, pooled_trace);
+  EXPECT_EQ(sequential->telemetry().events().logfmt(),
+            pooled->telemetry().events().logfmt());
+
+  // The shared export carries the correlation layer: every capture span's
+  // first arg is a c<cycle>/<target>/<command>/a<attempt> id, and the
+  // flush assigned stable per-target lanes (tid 1 = driver, 2+ = targets).
+  EXPECT_NE(sequential_trace.find("\"corr\": \"c1/fixw/"), std::string::npos);
+  EXPECT_NE(sequential_trace.find("{\"ph\": \"M\", \"pid\": 1, \"tid\": 1, "
+                                  "\"name\": \"thread_name\", "
+                                  "\"args\": {\"name\": \"driver\"}}"),
+            std::string::npos);
+  EXPECT_NE(sequential_trace.find("{\"ph\": \"M\", \"pid\": 1, \"tid\": 2, "
+                                  "\"name\": \"thread_name\", "
+                                  "\"args\": {\"name\": \"fixw\"}}"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -453,11 +453,11 @@ TEST(SelfMonitor, LiveAndMtelReplayReportsAreByteIdentical) {
     marc.add_archive(target, (dir / (target + ".marc")).string());
     replayed.push_back({target, marc.replay(target).results});
   }
-  ReportData offline =
-      report_data_from_replay(std::move(replayed), default_alert_rules());
   TelemetryArchiveReader reader(mtel);
   EXPECT_TRUE(reader.recovery().clean);
   EXPECT_EQ(reader.samples(), live_samples);  // the codec is lossless
+  ReportData offline = report_data_from_replay(
+      std::move(replayed), default_alert_rules(), &reader.samples());
   offline.health = monitor_health_from_samples("monitor", reader.samples());
 
   EXPECT_EQ(live, render_html_report(offline));
